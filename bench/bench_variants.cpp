@@ -1,0 +1,103 @@
+// Reproduces Fig. 8(a-c): runtime, overall explainability, and coverage
+// of CauSumX vs Greedy-Last-Step vs Brute-Force vs Brute-Force-LP across
+// the datasets. As in the paper, the Brute-Force variants only finish on
+// German (here: a CATE-evaluation budget plays the role of the paper's
+// 3-hour cutoff) and are reported as "cutoff" elsewhere.
+
+#include <string>
+#include <vector>
+
+#include "baselines/brute_force.h"
+#include "bench/bench_util.h"
+#include "util/timer.h"
+
+using namespace causumx;
+
+namespace {
+
+struct Row {
+  std::string dataset;
+  std::string variant;
+  double seconds = 0;
+  double explainability = 0;
+  double coverage = 0;
+  bool finished = true;
+};
+
+void Print(const Row& row) {
+  if (row.finished) {
+    std::printf("%-12s %-18s %9.2fs %16.3f %10.2f%%\n", row.dataset.c_str(),
+                row.variant.c_str(), row.seconds, row.explainability,
+                100.0 * row.coverage);
+  } else {
+    std::printf("%-12s %-18s %9s %16s %11s\n", row.dataset.c_str(),
+                row.variant.c_str(), "cutoff", "-", "-");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::BenchScale();
+  bench::Banner("Fig. 8(a-c)",
+                "runtime / explainability / coverage by variant");
+  std::printf("%-12s %-18s %10s %16s %11s\n", "dataset", "variant",
+              "runtime", "explainability", "coverage");
+
+  const std::vector<std::string> datasets = {"German", "Adult", "SO",
+                                             "IMPUS-CPS", "Accidents"};
+  for (const auto& name : datasets) {
+    const GeneratedDataset ds =
+        MakeDatasetByName(name, name == "German" ? 1.0 : scale);
+    const CauSumXConfig base =
+        bench::ConfigFor(ds, bench::PaperDefaultConfig());
+
+    // CauSumX (LP rounding last step).
+    {
+      Timer timer;
+      const CauSumXResult r =
+          RunCauSumX(ds.table, ds.default_query, ds.dag, base);
+      Print({name, "CauSumX", timer.Seconds(),
+             r.summary.total_explainability, r.summary.CoverageFraction()});
+    }
+    // Greedy-Last-Step.
+    {
+      CauSumXConfig config = base;
+      config.solver = FinalStepSolver::kGreedy;
+      Timer timer;
+      const CauSumXResult r =
+          RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+      Print({name, "Greedy-Last-Step", timer.Seconds(),
+             r.summary.total_explainability, r.summary.CoverageFraction()});
+    }
+    // Brute-Force variants: only feasible on German (paper's finding);
+    // elsewhere the evaluation budget models the paper's time cutoff.
+    const bool small = ds.table.NumRows() <= 2000;
+    for (const bool lp : {false, true}) {
+      BruteForceConfig bf;
+      bf.k = base.k;
+      bf.theta = base.theta;
+      bf.estimator = base.estimator;
+      bf.treatment = base.treatment;
+      bf.use_lp_rounding = lp;
+      bf.max_cate_evaluations = small ? 0 : 200;
+      Timer timer;
+      const BruteForceResult r =
+          RunBruteForce(ds.table, ds.default_query, ds.dag, bf);
+      Row row{name, lp ? "Brute-Force-LP" : "Brute-Force", timer.Seconds(),
+              r.summary.total_explainability,
+              r.summary.num_groups == 0
+                  ? 0.0
+                  : static_cast<double>(r.summary.covered_groups) /
+                        static_cast<double>(r.summary.num_groups)};
+      row.finished = !r.hit_evaluation_cap;
+      Print(row);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): CauSumX and Greedy-Last-Step run orders of\n"
+      "magnitude faster than Brute-Force; Brute-Force finishes only on\n"
+      "German with slightly higher explainability; CauSumX matches Greedy\n"
+      "on explainability while satisfying coverage more reliably.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Causal-discovery demo (the Section 6.6 / Table 4 protocol): run PC,
+// FCI, LiNGAM and the No-DAG strawman on a dataset replica, compare the
+// discovered structures against the ground-truth DAG, and show how the
+// explanation summary shifts with the DAG.
+
+#include <cstdio>
+#include <iostream>
+
+#include "causal/discovery.h"
+#include "core/causumx.h"
+#include "core/renderer.h"
+#include "datagen/german.h"
+
+int main() {
+  using namespace causumx;
+
+  GeneratedDataset ds = MakeGermanDataset();
+  std::printf("%-10s %8s %8s %18s\n", "algorithm", "edges", "density",
+              "diff-vs-truth(skel)");
+  std::printf("%-10s %8zu %8.3f %18s\n", "truth", ds.dag.NumEdges(),
+              ds.dag.Density(), "-");
+
+  const DiscoveryAlgorithm algos[] = {
+      DiscoveryAlgorithm::kPc, DiscoveryAlgorithm::kFci,
+      DiscoveryAlgorithm::kLingam, DiscoveryAlgorithm::kNoDag};
+  for (DiscoveryAlgorithm algo : algos) {
+    const CausalDag dag = DiscoverDag(ds.table, algo,
+                                      ds.default_query.avg_attribute);
+    std::printf("%-10s %8zu %8.3f %18zu\n", DiscoveryAlgorithmName(algo),
+                dag.NumEdges(), dag.Density(),
+                dag.EdgeDifference(ds.dag, /*ignore_direction=*/true));
+  }
+
+  // Show the effect of the DAG on the final explanation.
+  CauSumXConfig config;
+  config.k = 3;
+  config.theta = 0.5;
+  config.estimator.min_group_size = 5;
+  config.treatment.alpha = 0.1;
+
+  std::cout << "\n=== Summary with ground-truth DAG ===\n";
+  std::cout << RenderSummary(
+      RunCauSumX(ds.table, ds.default_query, ds.dag, config).summary,
+      ds.style);
+
+  const CausalDag pc_dag = DiscoverDag(ds.table, DiscoveryAlgorithm::kPc,
+                                       ds.default_query.avg_attribute);
+  std::cout << "\n=== Summary with PC-discovered DAG ===\n";
+  std::cout << RenderSummary(
+      RunCauSumX(ds.table, ds.default_query, pc_dag, config).summary,
+      ds.style);
+
+  // DOT export for visual inspection (pipe into `dot -Tpng`).
+  std::cout << "\n// ground-truth DAG in DOT format:\n"
+            << ds.dag.ToDot("German");
+  return 0;
+}

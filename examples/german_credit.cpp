@@ -1,0 +1,36 @@
+// The German Credit case study (Fig. 18): explain AVG(RiskScore) per
+// loan Purpose. German has no FDs from Purpose, so every group needs its
+// own per-group grouping pattern; some purposes stay unexplained when no
+// treatment is statistically significant (exactly as the paper reports
+// for the four low-support purposes).
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/causumx.h"
+#include "core/renderer.h"
+#include "datagen/german.h"
+
+int main() {
+  using namespace causumx;
+
+  GeneratedDataset ds = MakeGermanDataset();
+  std::printf("German replica: %zu rows, %zu attributes\n",
+              ds.table.NumRows(), ds.table.NumColumns());
+  std::cout << "Query: " << ds.default_query.ToSql("German") << "\n\n";
+
+  CauSumXConfig config;
+  config.k = 5;
+  config.theta = 0.5;  // full coverage is unreachable here (paper: 6/10)
+  config.estimator.min_group_size = 5;  // 1000-row dataset
+  config.treatment.alpha = 0.1;
+
+  CauSumXResult result =
+      RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+  std::cout << RenderSummary(result.summary, ds.style);
+
+  std::printf("\ncoverage satisfied: %s (%zu/%zu purposes)\n",
+              result.summary.coverage_satisfied ? "yes" : "no",
+              result.summary.covered_groups, result.summary.num_groups);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// The Brute-Force and Brute-Force-LP baselines (Section 6.1).
+//
+// Brute-Force enumerates *all* grouping patterns (every conjunction of
+// equality predicates over the FD attributes up to a depth cap, plus the
+// per-group patterns) and *all* treatment patterns up to a depth cap,
+// evaluates every CATE, and solves the selection exactly (branch and
+// bound over the Fig. 5 ILP). Brute-Force-LP replaces the exact last step
+// with LP rounding. Exponential — usable only on small inputs, exactly as
+// the paper reports (only German finished within the cutoff).
+
+#ifndef CAUSUMX_BASELINES_BRUTE_FORCE_H_
+#define CAUSUMX_BASELINES_BRUTE_FORCE_H_
+
+#include "core/causumx.h"
+
+namespace causumx {
+
+struct BruteForceConfig {
+  size_t k = 5;
+  double theta = 0.75;
+  size_t max_grouping_depth = 2;
+  size_t max_treatment_depth = 2;
+  EstimatorOptions estimator;
+  TreatmentMinerOptions treatment;  ///< atom generation settings reused.
+  /// Use LP rounding (Brute-Force-LP) instead of the exact ILP.
+  bool use_lp_rounding = false;
+  uint64_t seed = 1234;
+  size_t num_threads = 0;
+  /// Safety valve: abort enumeration after this many CATE evaluations
+  /// (0 = unlimited). The paper's 3h cutoff analog.
+  size_t max_cate_evaluations = 0;
+};
+
+struct BruteForceResult {
+  ExplanationSummary summary;
+  size_t grouping_patterns_enumerated = 0;
+  size_t treatment_patterns_enumerated = 0;
+  size_t cate_evaluations = 0;
+  bool hit_evaluation_cap = false;
+};
+
+/// Runs the exhaustive baseline.
+BruteForceResult RunBruteForce(const Table& table,
+                               const GroupByAvgQuery& query,
+                               const CausalDag& dag,
+                               const BruteForceConfig& config = {});
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_BASELINES_BRUTE_FORCE_H_

@@ -1,0 +1,85 @@
+#include "baselines/frl.h"
+
+#include <algorithm>
+
+namespace causumx {
+
+FrlResult RunFrl(const Table& table, const std::string& outcome,
+                 const FrlConfig& config) {
+  FrlResult result;
+  const BinnedOutcome binned = BinOutcomeAtMean(table, outcome);
+  const size_t n = binned.valid.Count();
+  if (n == 0) return result;
+
+  std::vector<std::string> attrs;
+  for (const auto& name : table.ColumnNames()) {
+    if (name != outcome) attrs.push_back(name);
+  }
+  std::vector<CandidateRule> candidates =
+      MineCandidateRules(table, binned, attrs, config.mining);
+
+  Bitset remaining = binned.valid;
+  std::vector<char> taken(candidates.size(), 0);
+  double last_probability = 1.0;
+
+  while (result.rules.size() < config.max_rules && remaining.Any()) {
+    size_t best_idx = candidates.size();
+    double best_rate = -1.0;
+    size_t best_support = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i]) continue;
+      const Bitset active = candidates[i].rows & remaining;
+      const size_t support = active.Count();
+      if (support < config.min_rule_support) continue;
+      size_t pos = 0;
+      for (size_t r : active.ToIndices()) pos += binned.label[r];
+      const double rate =
+          static_cast<double>(pos) / static_cast<double>(support);
+      // Falling property: the next rule may not exceed the previous one.
+      if (rate > last_probability + 1e-12) continue;
+      if (rate > best_rate ||
+          (rate == best_rate && support > best_support)) {
+        best_rate = rate;
+        best_idx = i;
+        best_support = support;
+      }
+    }
+    if (best_idx == candidates.size()) break;
+    taken[best_idx] = 1;
+    const Bitset active = candidates[best_idx].rows & remaining;
+    FrlRule rule;
+    rule.pattern = candidates[best_idx].pattern;
+    rule.probability = best_rate;
+    rule.support = active.Count();
+    result.rules.push_back(std::move(rule));
+    last_probability = best_rate;
+    // Remove decided tuples.
+    for (size_t r : active.ToIndices()) remaining.Clear(r);
+  }
+
+  // Default stratum.
+  size_t rem_pos = 0;
+  for (size_t r : remaining.ToIndices()) rem_pos += binned.label[r];
+  result.default_probability =
+      remaining.Any() ? static_cast<double>(rem_pos) /
+                            static_cast<double>(remaining.Count())
+                      : 0.0;
+
+  // Training accuracy at the 0.5 threshold.
+  size_t correct = 0;
+  for (size_t r : binned.valid.ToIndices()) {
+    double p = result.default_probability;
+    for (const auto& rule : result.rules) {
+      if (rule.pattern.Matches(table, r)) {
+        p = rule.probability;
+        break;
+      }
+    }
+    const int prediction = p >= 0.5 ? 1 : 0;
+    if (prediction == binned.label[r]) ++correct;
+  }
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace causumx

@@ -1,0 +1,45 @@
+// FRL-style Falling Rule List baseline (Chen & Rudin 2018), as used in
+// the paper's quality comparison.
+//
+// A falling rule list is an ordered sequence of if-then rules whose
+// positive-outcome probabilities are monotonically non-increasing: the
+// first rule captures the highest-risk stratum, and so on. We build the
+// list greedily — repeatedly appending the unused candidate rule with the
+// highest positive rate on the *remaining* (uncovered) tuples, subject to
+// a minimum support — which directly enforces the falling property.
+
+#ifndef CAUSUMX_BASELINES_FRL_H_
+#define CAUSUMX_BASELINES_FRL_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/rule_mining.h"
+#include "dataset/table.h"
+
+namespace causumx {
+
+struct FrlConfig {
+  size_t max_rules = 5;
+  size_t min_rule_support = 50;  ///< on remaining tuples.
+  RuleMiningOptions mining;
+};
+
+struct FrlRule {
+  Pattern pattern;
+  double probability = 0.0;  ///< P(outcome = 1 | reached & matched).
+  size_t support = 0;        ///< tuples this rule decided.
+};
+
+struct FrlResult {
+  std::vector<FrlRule> rules;  ///< probabilities non-increasing.
+  double default_probability = 0.0;  ///< P(1) among undecided tuples.
+  double accuracy = 0.0;       ///< training accuracy at the 0.5 cut.
+};
+
+FrlResult RunFrl(const Table& table, const std::string& outcome,
+                 const FrlConfig& config = {});
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_BASELINES_FRL_H_

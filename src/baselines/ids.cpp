@@ -1,0 +1,95 @@
+#include "baselines/ids.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace causumx {
+
+IdsResult RunIds(const Table& table, const std::string& outcome,
+                 const IdsConfig& config) {
+  IdsResult result;
+  const BinnedOutcome binned = BinOutcomeAtMean(table, outcome);
+  const size_t n = binned.valid.Count();
+  if (n == 0) return result;
+
+  std::vector<std::string> attrs;
+  for (const auto& name : table.ColumnNames()) {
+    if (name != outcome) attrs.push_back(name);
+  }
+  std::vector<CandidateRule> candidates =
+      MineCandidateRules(table, binned, attrs, config.mining);
+
+  // Greedy maximization of the IDS-style objective: at each step add the
+  // (rule, class) whose marginal gain in
+  //   w_acc * correct-coverage + w_cov * new-coverage
+  //   - w_overlap * overlap - w_len * length
+  // is largest and positive.
+  Bitset covered(table.NumRows());
+  std::vector<char> taken(candidates.size(), 0);
+  const double nd = static_cast<double>(n);
+
+  while (result.rules.size() < config.max_rules) {
+    double best_gain = 0.0;
+    size_t best_idx = candidates.size();
+    int best_class = 1;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i]) continue;
+      const CandidateRule& rule = candidates[i];
+      const double rate = rule.PositiveRate();
+      const int cls = rate >= 0.5 ? 1 : 0;
+      const size_t correct =
+          cls == 1 ? rule.positives : rule.support - rule.positives;
+      const Bitset overlap_bits = rule.rows & covered;
+      const double overlap = static_cast<double>(overlap_bits.Count());
+      const double new_cov =
+          static_cast<double>(rule.support) - overlap;
+      const double gain =
+          config.w_accuracy * static_cast<double>(correct) / nd +
+          config.w_coverage * new_cov / nd -
+          config.w_overlap * overlap / nd -
+          config.w_length * static_cast<double>(rule.pattern.Size()) /
+              10.0;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_idx = i;
+        best_class = cls;
+      }
+    }
+    if (best_idx == candidates.size()) break;
+    taken[best_idx] = 1;
+    const CandidateRule& rule = candidates[best_idx];
+    IdsRule selected;
+    selected.pattern = rule.pattern;
+    selected.predicted_class = best_class;
+    selected.confidence =
+        best_class == 1 ? rule.PositiveRate() : 1.0 - rule.PositiveRate();
+    selected.support = rule.support;
+    result.rules.push_back(std::move(selected));
+    covered |= rule.rows;
+    if (static_cast<double>(covered.Count()) / nd >= config.min_coverage &&
+        result.rules.size() >= 2) {
+      break;
+    }
+  }
+
+  result.covered_fraction = static_cast<double>(covered.Count()) / nd;
+
+  // Training accuracy: first matching rule decides; default = majority.
+  const int default_class =
+      binned.positives * 2 >= n ? 1 : 0;
+  size_t correct = 0;
+  for (size_t r : binned.valid.ToIndices()) {
+    int prediction = default_class;
+    for (const auto& rule : result.rules) {
+      if (rule.pattern.Matches(table, r)) {
+        prediction = rule.predicted_class;
+        break;
+      }
+    }
+    if (prediction == binned.label[r]) ++correct;
+  }
+  result.accuracy = static_cast<double>(correct) / nd;
+  return result;
+}
+
+}  // namespace causumx

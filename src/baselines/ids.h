@@ -1,0 +1,57 @@
+// IDS-style Interpretable Decision Sets baseline (Lakkaraju et al. 2016),
+// as used in the paper's quality comparison (Section 6.1-6.2).
+//
+// IDS selects a small, low-overlap set of if-then rules that jointly
+// describe a binary outcome. The original optimizes a 7-term
+// non-monotone submodular objective via smooth local search; consistent
+// with the paper's use of IDS purely as a comparison point, we implement
+// the same objective family with a deterministic greedy maximizer
+// (standard practice for these objectives and orders of magnitude
+// faster). Parameters mirror the paper: rule budget = k, coverage floor
+// = theta.
+
+#ifndef CAUSUMX_BASELINES_IDS_H_
+#define CAUSUMX_BASELINES_IDS_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/rule_mining.h"
+#include "dataset/table.h"
+
+namespace causumx {
+
+struct IdsConfig {
+  size_t max_rules = 5;        ///< the paper passes CauSumX's k.
+  double min_coverage = 0.75;  ///< fraction of tuples to cover (theta).
+  RuleMiningOptions mining;
+  /// Objective weights: accuracy, coverage, overlap penalty, length
+  /// penalty (normalized internally).
+  double w_accuracy = 1.0;
+  double w_coverage = 1.0;
+  double w_overlap = 0.5;
+  double w_length = 0.1;
+};
+
+/// One selected rule: pattern -> predicted class.
+struct IdsRule {
+  Pattern pattern;
+  int predicted_class = 1;   ///< 1 = high outcome, 0 = low.
+  double confidence = 0.0;   ///< empirical P(class | pattern).
+  size_t support = 0;
+};
+
+struct IdsResult {
+  std::vector<IdsRule> rules;
+  double covered_fraction = 0.0;
+  /// Training accuracy of the decision set (default class = majority).
+  double accuracy = 0.0;
+};
+
+/// Runs the IDS-style baseline on the table with outcome binned at mean.
+IdsResult RunIds(const Table& table, const std::string& outcome,
+                 const IdsConfig& config = {});
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_BASELINES_IDS_H_

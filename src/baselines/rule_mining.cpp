@@ -1,0 +1,84 @@
+#include "baselines/rule_mining.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mining/apriori.h"
+
+namespace causumx {
+
+BinnedOutcome BinOutcomeAtMean(const Table& table,
+                               const std::string& outcome) {
+  BinnedOutcome binned;
+  const Column& col = table.column(outcome);
+  binned.label.assign(table.NumRows(), 0);
+  binned.valid = Bitset(table.NumRows());
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    if (col.IsNull(r)) continue;
+    sum += col.GetNumeric(r);
+    ++count;
+  }
+  binned.threshold = count ? sum / static_cast<double>(count) : 0.0;
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    if (col.IsNull(r)) continue;
+    binned.valid.Set(r);
+    if (col.GetNumeric(r) >= binned.threshold) {
+      binned.label[r] = 1;
+      ++binned.positives;
+    }
+  }
+  return binned;
+}
+
+std::vector<CandidateRule> MineCandidateRules(
+    const Table& table, const BinnedOutcome& outcome,
+    const std::vector<std::string>& attributes,
+    const RuleMiningOptions& opt) {
+  std::vector<std::string> attrs = attributes;
+  if (attrs.empty()) attrs = table.ColumnNames();
+
+  AprioriOptions ap;
+  ap.min_support = opt.min_support;
+  ap.max_length = opt.max_length;
+  ap.max_values_per_attribute = opt.max_values_per_attribute;
+  const std::vector<FrequentPattern> frequent =
+      MineFrequentPatterns(table, attrs, ap);
+
+  const double base_rate =
+      outcome.valid.Count() == 0
+          ? 0.0
+          : static_cast<double>(outcome.positives) /
+                static_cast<double>(outcome.valid.Count());
+
+  std::vector<CandidateRule> rules;
+  rules.reserve(frequent.size());
+  for (const auto& fp : frequent) {
+    CandidateRule rule;
+    rule.pattern = fp.pattern;
+    rule.rows = fp.rows & outcome.valid;
+    rule.support = rule.rows.Count();
+    if (rule.support == 0) continue;
+    for (size_t r : rule.rows.ToIndices()) {
+      rule.positives += outcome.label[r];
+    }
+    rules.push_back(std::move(rule));
+  }
+
+  // Keep the most discriminative rules by |lift - 1|.
+  if (rules.size() > opt.max_rules) {
+    std::sort(rules.begin(), rules.end(),
+              [base_rate](const CandidateRule& a, const CandidateRule& b) {
+                const double la =
+                    std::fabs(a.PositiveRate() - base_rate);
+                const double lb =
+                    std::fabs(b.PositiveRate() - base_rate);
+                return la > lb;
+              });
+    rules.resize(opt.max_rules);
+  }
+  return rules;
+}
+
+}  // namespace causumx

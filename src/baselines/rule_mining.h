@@ -1,0 +1,64 @@
+// Shared rule-candidate machinery for the interpretable-prediction
+// baselines (IDS, FRL) and Explanation-Table.
+//
+// These baselines assume a *binary* outcome; per the paper's protocol the
+// outcome is binned at its mean ("we binned the outcome variable in each
+// examined scenario using the average outcome values"). Candidate rules
+// are frequent conjunctive equality patterns mined by the same Apriori
+// core the main algorithm uses.
+
+#ifndef CAUSUMX_BASELINES_RULE_MINING_H_
+#define CAUSUMX_BASELINES_RULE_MINING_H_
+
+#include <string>
+#include <vector>
+
+#include "dataset/pattern.h"
+#include "dataset/table.h"
+#include "util/bitset.h"
+
+namespace causumx {
+
+/// A candidate rule with cached statistics against the binary outcome.
+struct CandidateRule {
+  Pattern pattern;
+  Bitset rows;            ///< rows covered.
+  size_t support = 0;
+  size_t positives = 0;   ///< covered rows with outcome = 1.
+
+  double PositiveRate() const {
+    return support == 0 ? 0.0
+                        : static_cast<double>(positives) /
+                              static_cast<double>(support);
+  }
+};
+
+/// Bins a numeric outcome at its mean: 1 if >= mean else 0.
+/// Returns one flag per row (nulls -> 0 and excluded mask bit unset).
+struct BinnedOutcome {
+  std::vector<uint8_t> label;  ///< 0/1 per row.
+  Bitset valid;                ///< rows with a non-null outcome.
+  double threshold = 0.0;      ///< the mean used for binning.
+  size_t positives = 0;
+};
+
+BinnedOutcome BinOutcomeAtMean(const Table& table,
+                               const std::string& outcome);
+
+struct RuleMiningOptions {
+  double min_support = 0.02;
+  size_t max_length = 2;
+  size_t max_values_per_attribute = 40;
+  size_t max_rules = 2000;  ///< keep the strongest by lift.
+};
+
+/// Mines candidate rules over `attributes` (all except the outcome when
+/// empty) and annotates them with outcome statistics.
+std::vector<CandidateRule> MineCandidateRules(
+    const Table& table, const BinnedOutcome& outcome,
+    const std::vector<std::string>& attributes,
+    const RuleMiningOptions& options = {});
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_BASELINES_RULE_MINING_H_

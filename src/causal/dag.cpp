@@ -1,0 +1,245 @@
+#include "causal/dag.h"
+
+#include <deque>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace causumx {
+
+void CausalDag::AddNode(const std::string& name) {
+  if (node_index_.count(name)) return;
+  node_index_.emplace(name, nodes_.size());
+  nodes_.push_back(name);
+  children_[name];
+  parents_[name];
+}
+
+void CausalDag::AddEdge(const std::string& from, const std::string& to) {
+  AddNode(from);
+  AddNode(to);
+  if (from == to || WouldCreateCycle(from, to)) {
+    throw std::invalid_argument("edge " + from + " -> " + to +
+                                " would create a cycle");
+  }
+  children_[from].insert(to);
+  parents_[to].insert(from);
+}
+
+void CausalDag::RemoveEdge(const std::string& from, const std::string& to) {
+  auto cit = children_.find(from);
+  if (cit != children_.end()) cit->second.erase(to);
+  auto pit = parents_.find(to);
+  if (pit != parents_.end()) pit->second.erase(from);
+}
+
+bool CausalDag::HasNode(const std::string& name) const {
+  return node_index_.count(name) > 0;
+}
+
+bool CausalDag::HasEdge(const std::string& from, const std::string& to) const {
+  auto it = children_.find(from);
+  return it != children_.end() && it->second.count(to) > 0;
+}
+
+size_t CausalDag::NumEdges() const {
+  size_t n = 0;
+  for (const auto& [_, kids] : children_) n += kids.size();
+  return n;
+}
+
+double CausalDag::Density() const {
+  const size_t v = NumNodes();
+  if (v < 2) return 0.0;
+  return static_cast<double>(NumEdges()) /
+         (static_cast<double>(v) * static_cast<double>(v - 1));
+}
+
+std::vector<std::string> CausalDag::Parents(const std::string& node) const {
+  auto it = parents_.find(node);
+  if (it == parents_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<std::string> CausalDag::Children(const std::string& node) const {
+  auto it = children_.find(node);
+  if (it == children_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::set<std::string> CausalDag::Ancestors(const std::string& node) const {
+  std::set<std::string> out;
+  std::deque<std::string> queue{node};
+  while (!queue.empty()) {
+    const std::string cur = queue.front();
+    queue.pop_front();
+    auto it = parents_.find(cur);
+    if (it == parents_.end()) continue;
+    for (const auto& p : it->second) {
+      if (out.insert(p).second) queue.push_back(p);
+    }
+  }
+  out.erase(node);
+  return out;
+}
+
+std::set<std::string> CausalDag::Descendants(const std::string& node) const {
+  std::set<std::string> out;
+  std::deque<std::string> queue{node};
+  while (!queue.empty()) {
+    const std::string cur = queue.front();
+    queue.pop_front();
+    auto it = children_.find(cur);
+    if (it == children_.end()) continue;
+    for (const auto& c : it->second) {
+      if (out.insert(c).second) queue.push_back(c);
+    }
+  }
+  out.erase(node);
+  return out;
+}
+
+bool CausalDag::IsAncestor(const std::string& a, const std::string& b) const {
+  return Descendants(a).count(b) > 0;
+}
+
+bool CausalDag::WouldCreateCycle(const std::string& from,
+                                 const std::string& to) const {
+  // Adding from->to creates a cycle iff `from` is reachable from `to`.
+  if (!HasNode(from) || !HasNode(to)) return false;
+  return Descendants(to).count(from) > 0;
+}
+
+std::vector<std::string> CausalDag::TopologicalOrder() const {
+  std::unordered_map<std::string, size_t> indegree;
+  for (const auto& n : nodes_) indegree[n] = parents_.at(n).size();
+  std::deque<std::string> ready;
+  for (const auto& n : nodes_) {
+    if (indegree[n] == 0) ready.push_back(n);
+  }
+  std::vector<std::string> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const std::string n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (const auto& c : children_.at(n)) {
+      if (--indegree[c] == 0) ready.push_back(c);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw std::logic_error("graph contains a cycle");
+  }
+  return order;
+}
+
+bool CausalDag::DSeparated(const std::string& x, const std::string& y,
+                           const std::set<std::string>& z) const {
+  if (x == y) return false;
+  // Reachability over the moralized trail space: track (node, direction)
+  // where direction indicates whether we arrived via an incoming or
+  // outgoing edge ("Bayes ball").
+  std::set<std::string> ancestors_of_z;
+  for (const auto& n : z) {
+    ancestors_of_z.insert(n);
+    for (const auto& a : Ancestors(n)) ancestors_of_z.insert(a);
+  }
+
+  // State: (node, came_from_child). came_from_child=true means we arrived
+  // moving "up" (against an edge), i.e. from one of its children.
+  std::set<std::pair<std::string, bool>> visited;
+  std::deque<std::pair<std::string, bool>> queue;
+  queue.emplace_back(x, true);   // pretend we came from a virtual child
+  queue.emplace_back(x, false);  // and a virtual parent
+  while (!queue.empty()) {
+    auto [node, from_child] = queue.front();
+    queue.pop_front();
+    if (!visited.insert({node, from_child}).second) continue;
+    const bool in_z = z.count(node) > 0;
+    if (node == y && !in_z) return false;  // active trail reaches y
+
+    if (from_child) {
+      // Arrived from a child (moving up). If node not in Z we may continue
+      // up to parents and down to children.
+      if (!in_z) {
+        for (const auto& p : parents_.at(node)) queue.emplace_back(p, true);
+        for (const auto& c : children_.at(node)) queue.emplace_back(c, false);
+      }
+    } else {
+      // Arrived from a parent (moving down).
+      if (!in_z) {
+        // Chain/fork continues to children.
+        for (const auto& c : children_.at(node)) queue.emplace_back(c, false);
+      }
+      // Collider: path through node only active if node or a descendant
+      // is in Z; then we can bounce back up to parents.
+      if (ancestors_of_z.count(node)) {
+        for (const auto& p : parents_.at(node)) queue.emplace_back(p, true);
+      }
+    }
+  }
+  return true;
+}
+
+std::set<std::string> CausalDag::BackdoorAdjustmentSet(
+    const std::vector<std::string>& treatments,
+    const std::string& outcome) const {
+  std::set<std::string> z;
+  for (const auto& t : treatments) {
+    if (!HasNode(t)) continue;
+    for (const auto& p : parents_.at(t)) z.insert(p);
+  }
+  for (const auto& t : treatments) z.erase(t);
+  z.erase(outcome);
+  return z;
+}
+
+std::set<std::string> CausalDag::CausalAncestorsOf(
+    const std::string& outcome) const {
+  if (!HasNode(outcome)) return {};
+  return Ancestors(outcome);
+}
+
+std::string CausalDag::ToDot(const std::string& graph_name) const {
+  std::ostringstream oss;
+  oss << "digraph " << graph_name << " {\n";
+  for (const auto& n : nodes_) oss << "  \"" << n << "\";\n";
+  for (const auto& n : nodes_) {
+    for (const auto& c : children_.at(n)) {
+      oss << "  \"" << n << "\" -> \"" << c << "\";\n";
+    }
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+size_t CausalDag::EdgeDifference(const CausalDag& other,
+                                 bool ignore_direction) const {
+  auto edge_set = [ignore_direction](const CausalDag& g) {
+    std::set<std::pair<std::string, std::string>> edges;
+    for (const auto& n : g.nodes_) {
+      for (const auto& c : g.children_.at(n)) {
+        if (ignore_direction && c < n) {
+          edges.emplace(c, n);
+        } else if (ignore_direction) {
+          edges.emplace(n, c);
+        } else {
+          edges.emplace(n, c);
+        }
+      }
+    }
+    return edges;
+  };
+  const auto a = edge_set(*this);
+  const auto b = edge_set(other);
+  size_t diff = 0;
+  for (const auto& e : a) {
+    if (!b.count(e)) ++diff;
+  }
+  for (const auto& e : b) {
+    if (!a.count(e)) ++diff;
+  }
+  return diff;
+}
+
+}  // namespace causumx

@@ -1,0 +1,99 @@
+// Causal DAG over attribute names (Pearl's graphical causal model,
+// Section 3 of the paper). Nodes are the observed endogenous variables;
+// exogenous noise is implicit.
+
+#ifndef CAUSUMX_CAUSAL_DAG_H_
+#define CAUSUMX_CAUSAL_DAG_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace causumx {
+
+/// Directed acyclic graph over named variables.
+///
+/// Supports the queries the framework needs: parents (backdoor adjustment
+/// sets), ancestors/descendants (attribute pruning — optimization (a) in
+/// Section 5.2), d-separation (PC tests and unit tests), and DOT export.
+class CausalDag {
+ public:
+  CausalDag() = default;
+
+  /// Adds a node; no-op if present.
+  void AddNode(const std::string& name);
+
+  /// Adds edge from -> to, creating missing nodes. Throws
+  /// std::invalid_argument if the edge would create a cycle.
+  void AddEdge(const std::string& from, const std::string& to);
+
+  /// Removes an edge if present.
+  void RemoveEdge(const std::string& from, const std::string& to);
+
+  bool HasNode(const std::string& name) const;
+  bool HasEdge(const std::string& from, const std::string& to) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const;
+
+  /// Edge density: |E| / (|V| * (|V|-1)) — the measure in Table 4.
+  double Density() const;
+
+  /// Node names in insertion order.
+  const std::vector<std::string>& nodes() const { return nodes_; }
+
+  std::vector<std::string> Parents(const std::string& node) const;
+  std::vector<std::string> Children(const std::string& node) const;
+
+  /// All ancestors (excluding the node itself).
+  std::set<std::string> Ancestors(const std::string& node) const;
+
+  /// All descendants (excluding the node itself).
+  std::set<std::string> Descendants(const std::string& node) const;
+
+  /// True iff `a` is an ancestor of `b` (possibly indirectly).
+  bool IsAncestor(const std::string& a, const std::string& b) const;
+
+  /// Topological order (throws if the graph was corrupted into a cycle).
+  std::vector<std::string> TopologicalOrder() const;
+
+  /// d-separation: are x and y d-separated given conditioning set z?
+  /// Implemented via the reachability ("Bayes ball") algorithm.
+  bool DSeparated(const std::string& x, const std::string& y,
+                  const std::set<std::string>& z) const;
+
+  /// Backdoor adjustment set for estimating the effect of the (possibly
+  /// multi-attribute) treatment on `outcome`: the union of the treatment
+  /// attributes' parents, minus treatments and outcome. Pa(T) always
+  /// satisfies the backdoor criterion, matching DoWhy's default estimand.
+  std::set<std::string> BackdoorAdjustmentSet(
+      const std::vector<std::string>& treatments,
+      const std::string& outcome) const;
+
+  /// Nodes with a directed path to `outcome` (the causally relevant
+  /// treatment attributes; everything else is pruned per optimization (a)).
+  std::set<std::string> CausalAncestorsOf(const std::string& outcome) const;
+
+  /// Graphviz DOT text.
+  std::string ToDot(const std::string& graph_name = "G") const;
+
+  /// Structural-difference count vs. another DAG over the same nodes:
+  /// edges present in exactly one of the two (ignores orientation when
+  /// `ignore_direction`).
+  size_t EdgeDifference(const CausalDag& other,
+                        bool ignore_direction = false) const;
+
+ private:
+  bool WouldCreateCycle(const std::string& from, const std::string& to) const;
+
+  std::vector<std::string> nodes_;
+  std::unordered_map<std::string, size_t> node_index_;
+  // adjacency: children_[u] = set of v with edge u->v; parents_ mirrors it.
+  std::unordered_map<std::string, std::set<std::string>> children_;
+  std::unordered_map<std::string, std::set<std::string>> parents_;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_CAUSAL_DAG_H_

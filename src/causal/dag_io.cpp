@@ -1,0 +1,140 @@
+#include "causal/dag_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_utils.h"
+
+namespace causumx {
+
+namespace {
+
+std::string StripComment(const std::string& line) {
+  const size_t pos = line.find('#');
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+}  // namespace
+
+CausalDag ParseDagText(const std::string& text) {
+  CausalDag dag;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string body = Trim(StripComment(line));
+    if (body.empty()) continue;
+
+    const size_t arrow = body.find("->");
+    if (arrow == std::string::npos) {
+      // Isolated node declaration.
+      dag.AddNode(body);
+      continue;
+    }
+    const std::string from = Trim(body.substr(0, arrow));
+    const std::string targets = body.substr(arrow + 2);
+    if (from.empty()) {
+      throw std::runtime_error(
+          StrFormat("dag: line %zu: missing source node", line_no));
+    }
+    bool any_target = false;
+    for (const std::string& raw : Split(targets, ',')) {
+      const std::string to = Trim(raw);
+      if (to.empty()) continue;
+      any_target = true;
+      try {
+        dag.AddEdge(from, to);
+      } catch (const std::invalid_argument& e) {
+        throw std::runtime_error(
+            StrFormat("dag: line %zu: %s", line_no, e.what()));
+      }
+    }
+    if (!any_target) {
+      throw std::runtime_error(
+          StrFormat("dag: line %zu: '->' without a target", line_no));
+    }
+  }
+  return dag;
+}
+
+CausalDag ParseDotText(const std::string& text) {
+  CausalDag dag;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string body = Trim(StripComment(line));
+    if (body.empty() || body.starts_with("digraph") || body == "}" ||
+        body == "{") {
+      continue;
+    }
+    if (body.back() == ';') body.pop_back();
+    body = Trim(body);
+    // Extract quoted identifiers.
+    std::vector<std::string> names;
+    std::string cur;
+    bool in_quotes = false;
+    for (char c : body) {
+      if (c == '"') {
+        if (in_quotes) names.push_back(cur);
+        cur.clear();
+        in_quotes = !in_quotes;
+      } else if (in_quotes) {
+        cur.push_back(c);
+      }
+    }
+    if (names.size() == 1) {
+      dag.AddNode(names[0]);
+    } else if (names.size() == 2 &&
+               body.find("->") != std::string::npos) {
+      try {
+        dag.AddEdge(names[0], names[1]);
+      } catch (const std::invalid_argument& e) {
+        throw std::runtime_error(
+            StrFormat("dot: line %zu: %s", line_no, e.what()));
+      }
+    } else if (!names.empty()) {
+      throw std::runtime_error(
+          StrFormat("dot: line %zu: unrecognized statement", line_no));
+    }
+  }
+  return dag;
+}
+
+CausalDag ReadDagFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("dag: cannot open " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  // Sniff DOT by its header.
+  std::istringstream sniff(text);
+  std::string line;
+  while (std::getline(sniff, line)) {
+    const std::string body = Trim(StripComment(line));
+    if (body.empty()) continue;
+    if (body.starts_with("digraph")) return ParseDotText(text);
+    break;
+  }
+  return ParseDagText(text);
+}
+
+std::string DagToText(const CausalDag& dag) {
+  std::ostringstream oss;
+  oss << "# causal DAG: " << dag.NumNodes() << " nodes, " << dag.NumEdges()
+      << " edges\n";
+  for (const auto& node : dag.nodes()) {
+    const auto children = dag.Children(node);
+    if (children.empty()) {
+      if (dag.Parents(node).empty()) oss << node << "\n";
+      continue;
+    }
+    oss << node << " -> " << Join(children, ", ") << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace causumx

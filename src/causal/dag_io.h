@@ -1,0 +1,41 @@
+// Text serialization for causal DAGs.
+//
+// Domain experts hand the system their background knowledge as a graph
+// (Section 3: "a causal DAG can be constructed by a domain expert");
+// this module gives that a concrete interchange format:
+//
+//   # comments and blank lines ignored
+//   Age -> Education
+//   Education -> Salary, Role      # fan-out sugar
+//   Hobby                          # isolated node
+//
+// plus import of the DOT subset our ToDot() emits.
+
+#ifndef CAUSUMX_CAUSAL_DAG_IO_H_
+#define CAUSUMX_CAUSAL_DAG_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "causal/dag.h"
+
+namespace causumx {
+
+/// Parses the edge-list format above. Throws std::runtime_error with a
+/// line number on malformed input or on edges that would create a cycle.
+CausalDag ParseDagText(const std::string& text);
+
+/// Reads a DAG file from disk (edge-list format; files whose first
+/// non-blank line starts with "digraph" are parsed as DOT).
+CausalDag ReadDagFile(const std::string& path);
+
+/// Serializes to the edge-list format (round-trips through ParseDagText).
+std::string DagToText(const CausalDag& dag);
+
+/// Parses the DOT subset produced by CausalDag::ToDot (node declarations
+/// `"A";` and edges `"A" -> "B";`).
+CausalDag ParseDotText(const std::string& text);
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_CAUSAL_DAG_IO_H_

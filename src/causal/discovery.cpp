@@ -1,0 +1,55 @@
+#include "causal/discovery.h"
+
+#include "causal/fci.h"
+#include "causal/lingam.h"
+#include "causal/pc.h"
+
+namespace causumx {
+
+const char* DiscoveryAlgorithmName(DiscoveryAlgorithm a) {
+  switch (a) {
+    case DiscoveryAlgorithm::kPc:
+      return "PC";
+    case DiscoveryAlgorithm::kFci:
+      return "FCI";
+    case DiscoveryAlgorithm::kLingam:
+      return "LiNGAM";
+    case DiscoveryAlgorithm::kNoDag:
+      return "No-DAG";
+  }
+  return "?";
+}
+
+CausalDag MakeNoDag(const Table& table, const std::string& outcome) {
+  CausalDag dag;
+  dag.AddNode(outcome);
+  for (const auto& name : table.ColumnNames()) {
+    if (name == outcome) continue;
+    dag.AddEdge(name, outcome);
+  }
+  return dag;
+}
+
+CausalDag DiscoverDag(const Table& table, DiscoveryAlgorithm algorithm,
+                      const std::string& outcome,
+                      const DiscoveryOptions& options) {
+  switch (algorithm) {
+    case DiscoveryAlgorithm::kPc:
+      return RunPc(table, options.alpha, options.max_cond_size,
+                   options.max_rows)
+          .dag;
+    case DiscoveryAlgorithm::kFci:
+      return RunFci(table, options.alpha, options.max_cond_size,
+                    options.max_rows)
+          .dag;
+    case DiscoveryAlgorithm::kLingam:
+      return RunLingam(table, options.lingam_prune_threshold,
+                       options.max_rows)
+          .dag;
+    case DiscoveryAlgorithm::kNoDag:
+      return MakeNoDag(table, outcome);
+  }
+  return MakeNoDag(table, outcome);
+}
+
+}  // namespace causumx

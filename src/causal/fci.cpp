@@ -1,0 +1,117 @@
+#include "causal/fci.h"
+
+#include <algorithm>
+#include <functional>
+#include <deque>
+
+#include "causal/independence.h"
+
+namespace causumx {
+
+namespace {
+
+// Possible-D-SEP(x): nodes reachable from x in the skeleton — a superset
+// approximation of FCI's pd-sep set that keeps the pass sound (we only
+// *remove* edges when a separating subset is found).
+std::vector<std::string> ReachableFrom(const PdagBuilder& pdag,
+                                       const std::string& x) {
+  std::vector<std::string> out;
+  std::set<std::string> seen{x};
+  std::deque<std::string> queue{x};
+  while (!queue.empty()) {
+    const std::string cur = queue.front();
+    queue.pop_front();
+    for (const auto& n : pdag.Neighbors(cur)) {
+      if (seen.insert(n).second) {
+        out.push_back(n);
+        queue.push_back(n);
+      }
+    }
+  }
+  return out;
+}
+
+bool ForEachSubsetOfSize(
+    const std::vector<std::string>& pool, size_t k,
+    const std::function<bool(const std::vector<std::string>&)>& fn) {
+  if (k > pool.size()) return false;
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  std::vector<std::string> subset(k);
+  for (;;) {
+    for (size_t i = 0; i < k; ++i) subset[i] = pool[idx[i]];
+    if (fn(subset)) return true;
+    size_t i = k;
+    bool advanced = false;
+    while (i-- > 0) {
+      if (idx[i] != i + pool.size() - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced || k == 0) return false;
+  }
+}
+
+}  // namespace
+
+FciResult RunFci(const Table& table, double alpha, size_t max_cond_size,
+                 size_t max_rows) {
+  FciResult result;
+
+  // Stage 1: PC skeleton + v-structures (reuse RunPc up to its oriented
+  // graph — we rebuild the PDAG from the PC DAG's adjacency so the extra
+  // pass operates on the same structure).
+  PcResult pc = RunPc(table, alpha, max_cond_size, max_rows);
+  result.ci_tests_run = pc.ci_tests_run;
+
+  const std::vector<std::string> nodes = table.ColumnNames();
+  PdagBuilder pdag(nodes);
+  for (const auto& a : nodes) {
+    for (const auto& b : pc.dag.Children(a)) pdag.AddUndirected(a, b);
+  }
+
+  // Stage 2: possible-d-sep pruning — for every remaining edge, search for
+  // a separating set among nodes reachable from either endpoint (capped at
+  // max_cond_size for tractability, as in anytime FCI).
+  FisherZTest test(table, max_rows);
+  for (const auto& x : nodes) {
+    for (const auto& y : nodes) {
+      if (x >= y || !pdag.Adjacent(x, y)) continue;
+      std::vector<std::string> pool = ReachableFrom(pdag, x);
+      pool.erase(std::remove(pool.begin(), pool.end(), y), pool.end());
+      bool removed = false;
+      for (size_t k = 1; k <= max_cond_size && !removed; ++k) {
+        removed = ForEachSubsetOfSize(
+            pool, k, [&](const std::vector<std::string>& s) {
+              ++result.ci_tests_run;
+              if (test.Independent(x, y, s, alpha)) {
+                pdag.RemoveUndirected(x, y);
+                ++result.extra_edges_removed;
+                return true;
+              }
+              return false;
+            });
+      }
+    }
+  }
+
+  // Stage 3: re-orient on the pruned skeleton — keep PC's edge directions
+  // where both endpoints survived, then DAG-ify.
+  PdagBuilder oriented(nodes);
+  for (const auto& a : nodes) {
+    for (const auto& b : pc.dag.Children(a)) {
+      if (pdag.Adjacent(a, b)) {
+        oriented.AddUndirected(a, b);
+        oriented.Orient(a, b);
+      }
+    }
+  }
+  oriented.ApplyMeekRules();
+  result.dag = oriented.ToDag(nodes);
+  return result;
+}
+
+}  // namespace causumx

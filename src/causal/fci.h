@@ -1,0 +1,29 @@
+// FCI-style causal discovery.
+//
+// FCI extends PC to tolerate latent confounders by running an extra
+// skeleton-pruning pass over "possible d-separating" sets after the
+// initial PC skeleton and v-structure orientation. The full FCI outputs a
+// PAG; since CauSumX consumes a DAG, we follow the paper's experimental
+// protocol (Section 6.6 compares DAGs by the CATE rankings they induce)
+// and project the oriented graph onto a DAG the same way the PC path does.
+
+#ifndef CAUSUMX_CAUSAL_FCI_H_
+#define CAUSUMX_CAUSAL_FCI_H_
+
+#include "causal/pc.h"
+
+namespace causumx {
+
+struct FciResult {
+  CausalDag dag;
+  size_t ci_tests_run = 0;
+  size_t extra_edges_removed = 0;  ///< removals from the possible-d-sep pass.
+};
+
+/// Runs the FCI variant. Parameters mirror RunPc.
+FciResult RunFci(const Table& table, double alpha = 0.05,
+                 size_t max_cond_size = 3, size_t max_rows = 100'000);
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_CAUSAL_FCI_H_

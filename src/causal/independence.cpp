@@ -1,0 +1,115 @@
+#include "causal/independence.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace causumx {
+
+FisherZTest::FisherZTest(const Table& table, size_t max_rows) {
+  names_ = table.ColumnNames();
+  const size_t k = names_.size();
+  const size_t total = table.NumRows();
+  const size_t stride =
+      (max_rows > 0 && total > max_rows) ? (total + max_rows - 1) / max_rows
+                                         : 1;
+
+  // Gather numeric views (strided deterministic subsample for huge tables).
+  std::vector<std::vector<double>> cols(k);
+  for (size_t c = 0; c < k; ++c) {
+    const Column& col = table.column(c);
+    auto& v = cols[c];
+    v.reserve(total / stride + 1);
+    for (size_t r = 0; r < total; r += stride) {
+      const double x = col.GetNumeric(r);
+      v.push_back(std::isnan(x) ? 0.0 : x);
+    }
+  }
+  n_ = cols.empty() ? 0 : cols[0].size();
+
+  corr_.assign(k, std::vector<double>(k, 0.0));
+  for (size_t i = 0; i < k; ++i) {
+    corr_[i][i] = 1.0;
+    for (size_t j = i + 1; j < k; ++j) {
+      const double r = PearsonCorrelation(cols[i], cols[j]);
+      corr_[i][j] = corr_[j][i] = r;
+    }
+  }
+}
+
+size_t FisherZTest::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  throw std::out_of_range("unknown variable: " + name);
+}
+
+double FisherZTest::PartialCorrelation(
+    const std::string& x, const std::string& y,
+    const std::vector<std::string>& cond) const {
+  const size_t xi = IndexOf(x), yi = IndexOf(y);
+  if (cond.empty()) return corr_[xi][yi];
+
+  // Build the correlation submatrix over {x, y} ∪ cond and invert it; the
+  // partial correlation is -P_xy / sqrt(P_xx P_yy) for precision matrix P.
+  std::vector<size_t> idx{xi, yi};
+  for (const auto& c : cond) idx.push_back(IndexOf(c));
+  const size_t m = idx.size();
+  std::vector<std::vector<double>> a(m, std::vector<double>(m));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) a[i][j] = corr_[idx[i]][idx[j]];
+  }
+  // Gauss-Jordan inversion with partial pivoting and ridge fallback.
+  std::vector<std::vector<double>> inv(m, std::vector<double>(m, 0.0));
+  for (size_t i = 0; i < m; ++i) inv[i][i] = 1.0;
+  for (size_t col = 0; col < m; ++col) {
+    size_t piv = col;
+    for (size_t r = col + 1; r < m; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[piv][col])) piv = r;
+    }
+    if (std::fabs(a[piv][col]) < 1e-12) {
+      a[col][col] += 1e-8;  // collinear conditioning set; regularize.
+      piv = col;
+    }
+    std::swap(a[col], a[piv]);
+    std::swap(inv[col], inv[piv]);
+    const double d = a[col][col];
+    for (size_t j = 0; j < m; ++j) {
+      a[col][j] /= d;
+      inv[col][j] /= d;
+    }
+    for (size_t r = 0; r < m; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col];
+      if (f == 0.0) continue;
+      for (size_t j = 0; j < m; ++j) {
+        a[r][j] -= f * a[col][j];
+        inv[r][j] -= f * inv[col][j];
+      }
+    }
+  }
+  const double denom = std::sqrt(inv[0][0] * inv[1][1]);
+  if (denom <= 0.0) return 0.0;
+  double r = -inv[0][1] / denom;
+  if (r > 0.999999) r = 0.999999;
+  if (r < -0.999999) r = -0.999999;
+  return r;
+}
+
+double FisherZTest::PValue(const std::string& x, const std::string& y,
+                           const std::vector<std::string>& cond) const {
+  const double r = PartialCorrelation(x, y, cond);
+  const double df = static_cast<double>(n_) - cond.size() - 3.0;
+  if (df <= 0) return 1.0;
+  const double z = 0.5 * std::log((1.0 + r) / (1.0 - r)) * std::sqrt(df);
+  return TwoSidedPValueZ(z);
+}
+
+bool FisherZTest::Independent(const std::string& x, const std::string& y,
+                              const std::vector<std::string>& cond,
+                              double alpha) const {
+  return PValue(x, y, cond) > alpha;
+}
+
+}  // namespace causumx

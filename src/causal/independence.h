@@ -1,0 +1,54 @@
+// Conditional-independence tests for constraint-based causal discovery
+// (PC / FCI). Uses the Fisher-z test on partial correlations, computed
+// from the (cached) correlation matrix of the numerically encoded table.
+
+#ifndef CAUSUMX_CAUSAL_INDEPENDENCE_H_
+#define CAUSUMX_CAUSAL_INDEPENDENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "dataset/table.h"
+
+namespace causumx {
+
+/// Fisher-z conditional-independence tester over a table.
+///
+/// Columns are viewed numerically (categoricals by dictionary code — the
+/// standard pragmatic choice when running PC on mixed data). The full
+/// correlation matrix is computed once; partial correlations for a
+/// conditioning set S are obtained by inverting the submatrix over
+/// {x, y} ∪ S.
+class FisherZTest {
+ public:
+  /// `max_rows` caps the rows used to estimate correlations (0 = all).
+  explicit FisherZTest(const Table& table, size_t max_rows = 200'000);
+
+  /// Two-sided p-value for the hypothesis x ⟂ y | cond.
+  double PValue(const std::string& x, const std::string& y,
+                const std::vector<std::string>& cond) const;
+
+  /// Convenience: true when the p-value exceeds alpha (fail to reject
+  /// independence).
+  bool Independent(const std::string& x, const std::string& y,
+                   const std::vector<std::string>& cond,
+                   double alpha = 0.05) const;
+
+  /// Partial correlation of x and y given cond.
+  double PartialCorrelation(const std::string& x, const std::string& y,
+                            const std::vector<std::string>& cond) const;
+
+  size_t sample_size() const { return n_; }
+  const std::vector<std::string>& variables() const { return names_; }
+
+ private:
+  size_t IndexOf(const std::string& name) const;
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> corr_;
+  size_t n_ = 0;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_CAUSAL_INDEPENDENCE_H_

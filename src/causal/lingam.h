@@ -1,0 +1,38 @@
+// DirectLiNGAM causal discovery (Shimizu et al.).
+//
+// Assumes a linear non-Gaussian acyclic model. The algorithm repeatedly
+// identifies the most "exogenous" remaining variable — the one whose
+// regression residuals are most independent of it — prepends it to a
+// causal ordering, replaces the other variables by their residuals, and
+// finally prunes weak edges of the fully connected DAG implied by the
+// ordering. Independence is scored with Hyvarinen's maximum-entropy
+// approximation of differential entropy.
+
+#ifndef CAUSUMX_CAUSAL_LINGAM_H_
+#define CAUSUMX_CAUSAL_LINGAM_H_
+
+#include <string>
+#include <vector>
+
+#include "causal/dag.h"
+#include "dataset/table.h"
+
+namespace causumx {
+
+struct LingamResult {
+  CausalDag dag;
+  std::vector<std::string> causal_order;  ///< exogenous -> terminal.
+};
+
+/// Runs DirectLiNGAM. `prune_threshold` drops edges whose standardized
+/// coefficient magnitude is below it; `max_rows` caps rows used (0 = all).
+LingamResult RunLingam(const Table& table, double prune_threshold = 0.05,
+                       size_t max_rows = 100'000);
+
+/// Hyvarinen's entropy approximation for a standardized sample; exposed
+/// for tests. Lower entropy = more non-Gaussian.
+double ApproxNegentropy(const std::vector<double>& standardized);
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_CAUSAL_LINGAM_H_

@@ -1,0 +1,138 @@
+#include "causal/ols.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace causumx {
+
+double OlsResult::TStat(size_t j) const {
+  if (j >= coefficients.size() || std_errors[j] <= 0.0) return 0.0;
+  return coefficients[j] / std_errors[j];
+}
+
+double OlsResult::PValue(size_t j) const {
+  if (n <= p) return 1.0;
+  return TwoSidedPValueT(TStat(j), static_cast<double>(n - p));
+}
+
+bool SolveSpd(std::vector<std::vector<double>>* a_ptr,
+              std::vector<double>* b_ptr) {
+  auto& a = *a_ptr;
+  auto& b = *b_ptr;
+  const size_t n = a.size();
+  // Cholesky: A = L L^T. On a near-singular pivot, add jitter and retry
+  // once; OLS designs with collinear one-hot blocks hit this routinely.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::vector<std::vector<double>> l(n, std::vector<double>(n, 0.0));
+    bool failed = false;
+    for (size_t i = 0; i < n && !failed; ++i) {
+      for (size_t j = 0; j <= i; ++j) {
+        double sum = a[i][j];
+        for (size_t k = 0; k < j; ++k) sum -= l[i][k] * l[j][k];
+        if (i == j) {
+          if (sum <= 1e-12) {
+            failed = true;
+            break;
+          }
+          l[i][i] = std::sqrt(sum);
+        } else {
+          l[i][j] = sum / l[j][j];
+        }
+      }
+    }
+    if (failed) {
+      if (attempt == 1) return false;
+      double max_diag = 0.0;
+      for (size_t i = 0; i < n; ++i) max_diag = std::max(max_diag, a[i][i]);
+      const double jitter = std::max(1e-8, 1e-10 * max_diag);
+      for (size_t i = 0; i < n; ++i) a[i][i] += jitter;
+      continue;
+    }
+    // Forward solve L z = b, then back-substitute L^T x = z.
+    std::vector<double> z(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      double sum = b[i];
+      for (size_t k = 0; k < i; ++k) sum -= l[i][k] * z[k];
+      z[i] = sum / l[i][i];
+    }
+    for (size_t ii = n; ii-- > 0;) {
+      double sum = z[ii];
+      for (size_t k = ii + 1; k < n; ++k) sum -= l[k][ii] * b[k];
+      b[ii] = sum / l[ii][ii];
+    }
+    // Also stash L in `a` rows for the caller's covariance computation:
+    // overwrite a with the inverse of A (A^-1 = (L L^T)^-1), solved
+    // column-by-column.
+    std::vector<std::vector<double>> inv(n, std::vector<double>(n, 0.0));
+    for (size_t col = 0; col < n; ++col) {
+      std::vector<double> e(n, 0.0);
+      e[col] = 1.0;
+      std::vector<double> zz(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        double sum = e[i];
+        for (size_t k = 0; k < i; ++k) sum -= l[i][k] * zz[k];
+        zz[i] = sum / l[i][i];
+      }
+      for (size_t iii = n; iii-- > 0;) {
+        double sum = zz[iii];
+        for (size_t k = iii + 1; k < n; ++k) sum -= l[k][iii] * inv[k][col];
+        inv[iii][col] = sum / l[iii][iii];
+      }
+    }
+    a = std::move(inv);
+    return true;
+  }
+  return false;
+}
+
+OlsResult FitOls(const DesignMatrix& x, const std::vector<double>& y) {
+  OlsResult res;
+  const size_t n = x.rows();
+  const size_t p = x.cols();
+  res.n = n;
+  res.p = p;
+  if (n <= p || p == 0) return res;
+
+  // Normal equations: (X^T X) beta = X^T y.
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+  std::vector<double> xty(p, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < p; ++i) {
+      const double xi = x.At(r, i);
+      if (xi == 0.0) continue;
+      xty[i] += xi * y[r];
+      for (size_t j = i; j < p; ++j) {
+        xtx[i][j] += xi * x.At(r, j);
+      }
+    }
+  }
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j < i; ++j) xtx[i][j] = xtx[j][i];
+  }
+
+  std::vector<std::vector<double>> xtx_inv = xtx;
+  std::vector<double> beta = xty;
+  if (!SolveSpd(&xtx_inv, &beta)) return res;
+
+  // Residual variance and coefficient standard errors.
+  double rss = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    double pred = 0.0;
+    for (size_t j = 0; j < p; ++j) pred += x.At(r, j) * beta[j];
+    const double e = y[r] - pred;
+    rss += e * e;
+  }
+  const double dof = static_cast<double>(n - p);
+  res.residual_variance = rss / dof;
+  res.coefficients = std::move(beta);
+  res.std_errors.resize(p);
+  for (size_t j = 0; j < p; ++j) {
+    const double var = res.residual_variance * xtx_inv[j][j];
+    res.std_errors[j] = var > 0 ? std::sqrt(var) : 0.0;
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace causumx

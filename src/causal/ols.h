@@ -1,0 +1,59 @@
+// Ordinary least squares with standard errors.
+//
+// This is the regression backbone of the effect estimator: the paper
+// computes CATE values "using the DoWhy library, utilizing their linear
+// regression approach" (Section 6); we implement the same estimand
+// natively. Solved via normal equations with ridge-of-last-resort
+// regularization for rank-deficient designs.
+
+#ifndef CAUSUMX_CAUSAL_OLS_H_
+#define CAUSUMX_CAUSAL_OLS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace causumx {
+
+/// Result of an OLS fit y ~ X (X includes any intercept column).
+struct OlsResult {
+  bool ok = false;                   ///< false if the solve failed.
+  std::vector<double> coefficients;  ///< beta, one per design column.
+  std::vector<double> std_errors;    ///< standard error per coefficient.
+  double residual_variance = 0.0;    ///< s^2 = RSS / (n - p).
+  size_t n = 0;                      ///< rows used.
+  size_t p = 0;                      ///< design columns.
+
+  /// t-statistic for coefficient j (0 when its SE is 0).
+  double TStat(size_t j) const;
+  /// Two-sided p-value for coefficient j under t(n - p).
+  double PValue(size_t j) const;
+};
+
+/// Dense row-major design matrix.
+class DesignMatrix {
+ public:
+  DesignMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Fits y ~ X by OLS. Returns ok=false when n <= p or the normal equations
+/// are singular beyond repair.
+OlsResult FitOls(const DesignMatrix& x, const std::vector<double>& y);
+
+/// Solves the symmetric positive (semi)definite system A b = c in-place via
+/// Cholesky with diagonal jitter fallback. Returns false when singular.
+/// Exposed for tests and the LiNGAM residual computations.
+bool SolveSpd(std::vector<std::vector<double>>* a, std::vector<double>* b);
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_CAUSAL_OLS_H_

@@ -1,0 +1,232 @@
+#include "causal/pc.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace causumx {
+
+PdagBuilder::PdagBuilder(std::vector<std::string> nodes)
+    : nodes_(std::move(nodes)) {}
+
+void PdagBuilder::AddUndirected(const std::string& a, const std::string& b) {
+  undirected_.insert(Canon(a, b));
+}
+
+void PdagBuilder::RemoveUndirected(const std::string& a,
+                                   const std::string& b) {
+  undirected_.erase(Canon(a, b));
+  directed_.erase({a, b});
+  directed_.erase({b, a});
+}
+
+bool PdagBuilder::Adjacent(const std::string& a, const std::string& b) const {
+  return undirected_.count(Canon(a, b)) || directed_.count({a, b}) ||
+         directed_.count({b, a});
+}
+
+void PdagBuilder::Orient(const std::string& a, const std::string& b) {
+  if (directed_.count({b, a})) return;  // already oriented the other way
+  undirected_.erase(Canon(a, b));
+  directed_.insert({a, b});
+}
+
+bool PdagBuilder::IsOriented(const std::string& a,
+                             const std::string& b) const {
+  return directed_.count({a, b}) > 0;
+}
+
+bool PdagBuilder::IsUndirected(const std::string& a,
+                               const std::string& b) const {
+  return undirected_.count(Canon(a, b)) > 0;
+}
+
+std::vector<std::string> PdagBuilder::Neighbors(
+    const std::string& node) const {
+  std::vector<std::string> out;
+  for (const auto& other : nodes_) {
+    if (other != node && Adjacent(node, other)) out.push_back(other);
+  }
+  return out;
+}
+
+void PdagBuilder::ApplyMeekRules() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& a : nodes_) {
+      for (const auto& b : nodes_) {
+        if (a == b || !IsUndirected(a, b)) continue;
+        // Meek rule 1: c -> a and c not adjacent to b  =>  a -> b.
+        for (const auto& c : nodes_) {
+          if (c == a || c == b) continue;
+          if (IsOriented(c, a) && !Adjacent(c, b)) {
+            Orient(a, b);
+            changed = true;
+            break;
+          }
+        }
+        if (!IsUndirected(a, b)) continue;
+        // Meek rule 2: a -> c -> b  =>  a -> b (avoid cycle).
+        for (const auto& c : nodes_) {
+          if (c == a || c == b) continue;
+          if (IsOriented(a, c) && IsOriented(c, b)) {
+            Orient(a, b);
+            changed = true;
+            break;
+          }
+        }
+        if (!IsUndirected(a, b)) continue;
+        // Meek rule 3: a - c -> b and a - d -> b with c,d non-adjacent
+        // =>  a -> b.
+        bool done3 = false;
+        for (const auto& c : nodes_) {
+          if (done3 || c == a || c == b) continue;
+          if (!IsUndirected(a, c) || !IsOriented(c, b)) continue;
+          for (const auto& d : nodes_) {
+            if (d == a || d == b || d == c) continue;
+            if (IsUndirected(a, d) && IsOriented(d, b) && !Adjacent(c, d)) {
+              Orient(a, b);
+              changed = true;
+              done3 = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+CausalDag PdagBuilder::ToDag(const std::vector<std::string>& priority) const {
+  CausalDag dag;
+  for (const auto& n : nodes_) dag.AddNode(n);
+  // Directed edges first (skip any that would cycle — can happen if the CI
+  // tests produced an inconsistent orientation set on finite data).
+  for (const auto& [a, b] : directed_) {
+    try {
+      dag.AddEdge(a, b);
+    } catch (...) {
+      // Drop the conflicting orientation.
+    }
+  }
+  // Orient the remaining undirected edges along `priority` order.
+  auto rank = [&priority](const std::string& n) {
+    auto it = std::find(priority.begin(), priority.end(), n);
+    return static_cast<size_t>(it - priority.begin());
+  };
+  for (const auto& [a, b] : undirected_) {
+    if (directed_.count({a, b}) || directed_.count({b, a})) continue;
+    const std::string& from = rank(a) <= rank(b) ? a : b;
+    const std::string& to = rank(a) <= rank(b) ? b : a;
+    try {
+      dag.AddEdge(from, to);
+    } catch (...) {
+      try {
+        dag.AddEdge(to, from);
+      } catch (...) {
+        // Truly cyclic both ways: drop the edge.
+      }
+    }
+  }
+  return dag;
+}
+
+namespace {
+
+// Enumerates size-`k` subsets of `pool`, invoking fn(subset); stops early
+// if fn returns true. Returns whether fn succeeded for some subset.
+bool ForEachSubset(const std::vector<std::string>& pool, size_t k,
+                   const std::function<bool(const std::vector<std::string>&)>&
+                       fn) {
+  if (k > pool.size()) return false;
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  std::vector<std::string> subset(k);
+  for (;;) {
+    for (size_t i = 0; i < k; ++i) subset[i] = pool[idx[i]];
+    if (fn(subset)) return true;
+    // Next combination.
+    size_t i = k;
+    while (i-- > 0) {
+      if (idx[i] != i + pool.size() - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return false;
+    }
+    if (k == 0) return false;
+  }
+}
+
+}  // namespace
+
+PcResult RunPc(const Table& table, double alpha, size_t max_cond_size,
+               size_t max_rows) {
+  PcResult result;
+  FisherZTest test(table, max_rows);
+  const std::vector<std::string> nodes = table.ColumnNames();
+  PdagBuilder pdag(nodes);
+
+  // Phase 1: skeleton. Start complete.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      pdag.AddUndirected(nodes[i], nodes[j]);
+    }
+  }
+  for (size_t cond_size = 0; cond_size <= max_cond_size; ++cond_size) {
+    bool any_edge_testable = false;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      for (size_t j = i + 1; j < nodes.size(); ++j) {
+        const std::string& x = nodes[i];
+        const std::string& y = nodes[j];
+        if (!pdag.Adjacent(x, y)) continue;
+        // Candidate conditioning sets: neighbors of x (minus y).
+        std::vector<std::string> pool = pdag.Neighbors(x);
+        pool.erase(std::remove(pool.begin(), pool.end(), y), pool.end());
+        if (pool.size() < cond_size) continue;
+        any_edge_testable = true;
+        const bool removed = ForEachSubset(
+            pool, cond_size, [&](const std::vector<std::string>& s) {
+              ++result.ci_tests_run;
+              if (test.Independent(x, y, s, alpha)) {
+                pdag.RemoveUndirected(x, y);
+                result.sepsets[{std::min(x, y), std::max(x, y)}] =
+                    std::set<std::string>(s.begin(), s.end());
+                return true;
+              }
+              return false;
+            });
+        (void)removed;
+      }
+    }
+    if (!any_edge_testable) break;
+  }
+
+  // Phase 2: v-structures. For each unshielded triple x - z - y with x,y
+  // non-adjacent and z not in sepset(x, y): orient x -> z <- y.
+  for (const auto& z : nodes) {
+    const auto nbrs = pdag.Neighbors(z);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        const std::string& x = nbrs[i];
+        const std::string& y = nbrs[j];
+        if (pdag.Adjacent(x, y)) continue;
+        auto it = result.sepsets.find({std::min(x, y), std::max(x, y)});
+        const bool z_in_sepset =
+            it != result.sepsets.end() && it->second.count(z) > 0;
+        if (!z_in_sepset) {
+          pdag.Orient(x, z);
+          pdag.Orient(y, z);
+        }
+      }
+    }
+  }
+
+  // Phase 3: Meek rules, then DAG-ify with schema order as tiebreak.
+  pdag.ApplyMeekRules();
+  result.dag = pdag.ToDag(nodes);
+  return result;
+}
+
+}  // namespace causumx

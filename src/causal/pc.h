@@ -1,0 +1,75 @@
+// The PC algorithm (Spirtes et al.): constraint-based causal discovery.
+//
+// Phases: (1) skeleton search — start complete, remove edges whose
+// endpoints are independent given some subset of neighbors, growing the
+// conditioning size; (2) v-structure orientation from separating sets;
+// (3) Meek rules to propagate orientations; (4) any remaining undirected
+// edges are oriented by a deterministic fallback so the output is a DAG.
+
+#ifndef CAUSUMX_CAUSAL_PC_H_
+#define CAUSUMX_CAUSAL_PC_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "causal/dag.h"
+#include "causal/independence.h"
+#include "dataset/table.h"
+
+namespace causumx {
+
+/// Intermediate mixed graph used by PC/FCI: undirected skeleton plus
+/// accumulated orientations.
+class PdagBuilder {
+ public:
+  explicit PdagBuilder(std::vector<std::string> nodes);
+
+  void AddUndirected(const std::string& a, const std::string& b);
+  void RemoveUndirected(const std::string& a, const std::string& b);
+  bool Adjacent(const std::string& a, const std::string& b) const;
+
+  /// Orients a - b as a -> b (keeps adjacency).
+  void Orient(const std::string& a, const std::string& b);
+  bool IsOriented(const std::string& a, const std::string& b) const;
+  bool IsUndirected(const std::string& a, const std::string& b) const;
+
+  std::vector<std::string> Neighbors(const std::string& node) const;
+  const std::vector<std::string>& nodes() const { return nodes_; }
+
+  /// Applies Meek rules 1-3 until fixpoint.
+  void ApplyMeekRules();
+
+  /// Converts to a DAG: directed edges kept; undirected edges oriented by
+  /// the node order in `priority` (earlier -> later), skipping any
+  /// orientation that would close a cycle.
+  CausalDag ToDag(const std::vector<std::string>& priority) const;
+
+ private:
+  std::vector<std::string> nodes_;
+  std::set<std::pair<std::string, std::string>> undirected_;  // canonical a<b
+  std::set<std::pair<std::string, std::string>> directed_;    // a -> b
+
+  std::pair<std::string, std::string> Canon(const std::string& a,
+                                            const std::string& b) const {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+};
+
+struct PcResult {
+  CausalDag dag;
+  /// Separating sets found during skeleton search: sepset[{a,b}] is the
+  /// conditioning set that rendered a ⟂ b.
+  std::map<std::pair<std::string, std::string>, std::set<std::string>> sepsets;
+  size_t ci_tests_run = 0;
+};
+
+/// Runs PC over the table. `alpha` is the CI-test level; `max_cond_size`
+/// bounds conditioning-set size; `max_rows` caps rows for statistics.
+PcResult RunPc(const Table& table, double alpha = 0.05,
+               size_t max_cond_size = 3, size_t max_rows = 100'000);
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_CAUSAL_PC_H_

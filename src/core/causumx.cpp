@@ -1,0 +1,183 @@
+#include "core/causumx.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "lp/rounding.h"
+#include "util/thread_pool.h"
+
+namespace causumx {
+
+CandidateMiningResult MineExplanationCandidates(const Table& table,
+                                                const GroupByAvgQuery& query,
+                                                const CausalDag& dag,
+                                                const CauSumXConfig& config) {
+  CandidateMiningResult result;
+  Timer timer;
+
+  // Evaluate the aggregate view Q(D).
+  result.view = AggregateView::Evaluate(table, query);
+  const AggregateView& view = result.view;
+  const size_t m = view.NumGroups();
+  if (m == 0) return result;
+
+  // Attribute partition around the query (Section 4.1). An explicit
+  // allowlist (the paper's protocol — it pre-selects grouping attributes
+  // per dataset) overrides FD detection.
+  if (!config.grouping_attribute_allowlist.empty()) {
+    result.partition.grouping_attributes =
+        config.grouping_attribute_allowlist;
+    for (const auto& name : table.ColumnNames()) {
+      if (name == query.avg_attribute) continue;
+      bool is_gb = false;
+      for (const auto& gb : query.group_by) {
+        if (name == gb) is_gb = true;
+      }
+      bool is_grouping = false;
+      for (const auto& ga : config.grouping_attribute_allowlist) {
+        if (name == ga) is_grouping = true;
+      }
+      if (!is_gb && !is_grouping) {
+        result.partition.treatment_attributes.push_back(name);
+      }
+    }
+  } else {
+    result.partition =
+        PartitionAttributes(table, query.group_by, query.avg_attribute);
+  }
+
+  // ---- Phase 1: grouping patterns (Section 5.1). --------------------------
+  timer.Reset();
+  GroupingMinerOptions gopt = config.grouping;
+  gopt.apriori.min_support = config.apriori_support;
+  std::vector<GroupingPattern> grouping = MineGroupingPatterns(
+      table, view, result.partition.grouping_attributes, gopt);
+  result.num_grouping_candidates = grouping.size();
+  result.timings.Add("grouping", timer.Seconds());
+
+  // ---- Phase 2: treatment patterns (Section 5.2, Algorithm 2). ------------
+  timer.Reset();
+  EffectEstimator estimator(table, dag, config.estimator);
+  const std::vector<std::string>& treatment_attrs =
+      config.treatment_attribute_allowlist.empty()
+          ? result.partition.treatment_attributes
+          : config.treatment_attribute_allowlist;
+
+  std::vector<Explanation> candidates(grouping.size());
+  std::atomic<size_t> evaluated{0};
+  ThreadPool pool(config.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                          : config.num_threads);
+  pool.ParallelFor(grouping.size(), [&](size_t gi) {
+    const GroupingPattern& gp = grouping[gi];
+    Explanation exp;
+    exp.grouping_pattern = gp.pattern;
+    exp.group_coverage = gp.group_coverage;
+
+    TreatmentMiningStats stats;
+    auto pos = MineTopTreatmentWithStats(
+        estimator, gp.rows, query.avg_attribute, treatment_attrs,
+        TreatmentSign::kPositive, config.treatment, &stats);
+    if (pos) exp.positive = TreatmentSide{pos->pattern, pos->effect};
+    if (config.mine_negative) {
+      auto neg = MineTopTreatmentWithStats(
+          estimator, gp.rows, query.avg_attribute, treatment_attrs,
+          TreatmentSign::kNegative, config.treatment, &stats);
+      if (neg) exp.negative = TreatmentSide{neg->pattern, neg->effect};
+    }
+    evaluated.fetch_add(stats.patterns_evaluated);
+    candidates[gi] = std::move(exp);
+  });
+  result.treatment_patterns_evaluated = evaluated.load();
+
+  // Drop grouping patterns for which no treatment was found (no causal
+  // story to tell for those groups).
+  result.candidates.reserve(candidates.size());
+  for (auto& c : candidates) {
+    if (c.Weight() > 0.0) result.candidates.push_back(std::move(c));
+  }
+  result.timings.Add("treatment", timer.Seconds());
+  return result;
+}
+
+ExplanationSummary SelectExplanations(
+    const std::vector<Explanation>& candidates, size_t num_groups,
+    const CauSumXConfig& config, PhaseTimer* timings) {
+  Timer timer;
+  ExplanationSummary summary;
+  summary.num_groups = num_groups;
+
+  SelectionProblem problem;
+  problem.num_groups = num_groups;
+  problem.k = config.k;
+  problem.theta = config.theta;
+  problem.candidates.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    problem.candidates.push_back(
+        SelectionCandidate{c.Weight(), c.group_coverage});
+  }
+  SelectionResult sel;
+  switch (config.solver) {
+    case FinalStepSolver::kLpRounding:
+      sel = SolveByLpRounding(problem, config.rounding_rounds, config.seed);
+      break;
+    case FinalStepSolver::kGreedy:
+      sel = SolveGreedy(problem);
+      break;
+    case FinalStepSolver::kExact:
+      sel = SolveExact(problem);
+      break;
+  }
+  // The paper's rounding returns "no solution" when the ILP is infeasible
+  // (e.g. k patterns cannot reach theta coverage, as on German with
+  // one-group patterns). A library should still hand back its best
+  // effort, so fall back to coverage-greedy selection and let
+  // coverage_satisfied report the violation.
+  if (sel.selected.empty() && !candidates.empty()) {
+    sel = SolveGreedy(problem, /*gain_bonus=*/1.0);
+  }
+
+  Bitset covered(num_groups);
+  for (size_t j : sel.selected) {
+    summary.explanations.push_back(candidates[j]);
+    summary.total_explainability += candidates[j].Weight();
+    covered |= candidates[j].group_coverage;
+  }
+  // Deterministic presentation order: strongest first.
+  std::sort(summary.explanations.begin(), summary.explanations.end(),
+            [](const Explanation& a, const Explanation& b) {
+              return a.Weight() > b.Weight();
+            });
+  summary.covered_groups = covered.Count();
+  summary.coverage_satisfied =
+      summary.covered_groups >= problem.RequiredCoverage();
+  if (timings != nullptr) timings->Add("selection", timer.Seconds());
+  return summary;
+}
+
+CauSumXResult RunCauSumX(const Table& table, const GroupByAvgQuery& query,
+                         const CausalDag& dag, const CauSumXConfig& config) {
+  CauSumXResult result;
+  CandidateMiningResult mined =
+      MineExplanationCandidates(table, query, dag, config);
+  result.view = std::move(mined.view);
+  result.partition = std::move(mined.partition);
+  result.num_grouping_candidates = mined.num_grouping_candidates;
+  result.num_candidates_with_treatment = mined.candidates.size();
+  result.treatment_patterns_evaluated = mined.treatment_patterns_evaluated;
+  result.timings = mined.timings;
+  if (result.view.NumGroups() == 0) return result;
+
+  result.summary = SelectExplanations(mined.candidates,
+                                      result.view.NumGroups(), config,
+                                      &result.timings);
+  return result;
+}
+
+ExplanationSummary ExplainView(const Table& table,
+                               const GroupByAvgQuery& query,
+                               const CausalDag& dag,
+                               const CauSumXConfig& config) {
+  return RunCauSumX(table, query, dag, config).summary;
+}
+
+}  // namespace causumx

@@ -1,0 +1,109 @@
+// The CauSumX algorithm (Algorithm 1 of the paper): end-to-end generation
+// of a summarized causal explanation for an aggregate view.
+//
+//   1. Mine candidate grouping patterns (Apriori + coverage dedup).
+//   2. For each grouping pattern, mine the top positive and negative
+//      treatment patterns (lattice traversal, Algorithm 2) — in parallel
+//      across grouping patterns (optimization (c)).
+//   3. Select <= k explanation patterns covering >= theta * m groups by
+//      LP relaxation + randomized rounding of the Fig. 5 ILP.
+
+#ifndef CAUSUMX_CORE_CAUSUMX_H_
+#define CAUSUMX_CORE_CAUSUMX_H_
+
+#include <string>
+#include <vector>
+
+#include "causal/dag.h"
+#include "causal/estimator.h"
+#include "core/explanation.h"
+#include "dataset/fd.h"
+#include "dataset/group_query.h"
+#include "dataset/table.h"
+#include "mining/grouping_miner.h"
+#include "mining/treatment_miner.h"
+#include "util/timer.h"
+
+namespace causumx {
+
+/// Which solver phase 3 uses (the ablation of Section 6.4).
+enum class FinalStepSolver { kLpRounding, kGreedy, kExact };
+
+/// Full configuration of a CauSumX run.
+struct CauSumXConfig {
+  size_t k = 5;          ///< max explanation patterns (size constraint).
+  double theta = 0.75;   ///< min fraction of groups covered.
+  double apriori_support = 0.1;  ///< tau for grouping-pattern mining.
+  GroupingMinerOptions grouping;
+  TreatmentMinerOptions treatment;
+  EstimatorOptions estimator;
+  FinalStepSolver solver = FinalStepSolver::kLpRounding;
+  size_t rounding_rounds = 64;
+  uint64_t seed = 1234;
+  size_t num_threads = 0;  ///< 0 = hardware concurrency.
+  /// Mine both signs (paper default) or positive-only.
+  bool mine_negative = true;
+  /// Restrict treatment mining to these attributes (empty = all non-FD
+  /// attributes). Used by the sensitive-attributes case study (Fig. 6).
+  std::vector<std::string> treatment_attribute_allowlist;
+  /// Restrict grouping patterns to these attributes (empty = all
+  /// attributes with A_gb -> W). The paper pre-selects these per dataset;
+  /// mandatory when the group-by key is unique per tuple, where the FD
+  /// test is vacuous.
+  std::vector<std::string> grouping_attribute_allowlist;
+
+  CauSumXConfig() { grouping.apriori.min_support = apriori_support; }
+};
+
+/// Instrumented result (phase timings feed Fig. 14/20).
+struct CauSumXResult {
+  ExplanationSummary summary;
+  AggregateView view;
+  AttributePartition partition;
+  size_t num_grouping_candidates = 0;
+  size_t num_candidates_with_treatment = 0;
+  size_t treatment_patterns_evaluated = 0;
+  PhaseTimer timings;  ///< phases: "grouping", "treatment", "selection".
+};
+
+/// Output of phases 1 + 2 (mining), reusable across phase-3 parameter
+/// changes — see ExplorationSession in core/exploration.h.
+struct CandidateMiningResult {
+  AggregateView view;
+  AttributePartition partition;
+  /// One candidate per surviving grouping pattern, with its top positive
+  /// and/or negative treatment already attached.
+  std::vector<Explanation> candidates;
+  size_t num_grouping_candidates = 0;
+  size_t treatment_patterns_evaluated = 0;
+  PhaseTimer timings;  ///< phases "grouping" and "treatment".
+};
+
+/// Phases 1 + 2 of Algorithm 1: mine grouping patterns and their top
+/// treatments. Phase-3 parameters (k, theta, solver) are ignored here.
+CandidateMiningResult MineExplanationCandidates(const Table& table,
+                                                const GroupByAvgQuery& query,
+                                                const CausalDag& dag,
+                                                const CauSumXConfig& config);
+
+/// Phase 3 of Algorithm 1: select <= k candidates covering >= theta * m
+/// groups, maximizing total explainability. `timings` (optional) gains a
+/// "selection" phase entry.
+ExplanationSummary SelectExplanations(
+    const std::vector<Explanation>& candidates, size_t num_groups,
+    const CauSumXConfig& config, PhaseTimer* timings = nullptr);
+
+/// Runs CauSumX over the table for the given query and causal DAG.
+CauSumXResult RunCauSumX(const Table& table, const GroupByAvgQuery& query,
+                         const CausalDag& dag,
+                         const CauSumXConfig& config = {});
+
+/// Convenience wrapper returning just the summary.
+ExplanationSummary ExplainView(const Table& table,
+                               const GroupByAvgQuery& query,
+                               const CausalDag& dag,
+                               const CauSumXConfig& config = {});
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_CORE_CAUSUMX_H_

@@ -1,0 +1,18 @@
+#include "core/explanation.h"
+
+#include <cmath>
+
+namespace causumx {
+
+double Explanation::Weight() const {
+  double w = 0.0;
+  if (positive && positive->effect.valid) {
+    w += std::fabs(positive->effect.cate);
+  }
+  if (negative && negative->effect.valid) {
+    w += std::fabs(negative->effect.cate);
+  }
+  return w;
+}
+
+}  // namespace causumx

@@ -1,0 +1,58 @@
+// Explanation patterns and summaries — the framework's output types
+// (Definitions 4.2-4.5 of the paper).
+
+#ifndef CAUSUMX_CORE_EXPLANATION_H_
+#define CAUSUMX_CORE_EXPLANATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causal/estimator.h"
+#include "dataset/group_query.h"
+#include "dataset/pattern.h"
+#include "util/bitset.h"
+
+namespace causumx {
+
+/// A treatment pattern together with its estimated effect.
+struct TreatmentSide {
+  Pattern pattern;
+  EffectEstimate effect;
+};
+
+/// One explanation: a grouping pattern with its positive and/or negative
+/// treatment patterns (the paper's (P_g, P_t^+, P_t^-) combination whose
+/// weight is |CATE+| + |CATE-|).
+struct Explanation {
+  Pattern grouping_pattern;
+  Bitset group_coverage;  ///< groups of Q(D) covered (Cov(P_g)).
+  std::optional<TreatmentSide> positive;
+  std::optional<TreatmentSide> negative;
+
+  /// Explanation-pattern weight: sum of absolute explainabilities.
+  double Weight() const;
+
+  size_t NumGroupsCovered() const { return group_coverage.Count(); }
+};
+
+/// The summarized causal explanation Phi returned to the user.
+struct ExplanationSummary {
+  std::vector<Explanation> explanations;
+  size_t num_groups = 0;        ///< m = |Q(D)|.
+  size_t covered_groups = 0;    ///< |union Cov|.
+  double total_explainability = 0.0;
+  bool coverage_satisfied = false;  ///< covered >= ceil(theta * m).
+
+  /// Coverage fraction in [0, 1].
+  double CoverageFraction() const {
+    return num_groups == 0
+               ? 0.0
+               : static_cast<double>(covered_groups) /
+                     static_cast<double>(num_groups);
+  }
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_CORE_EXPLANATION_H_

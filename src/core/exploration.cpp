@@ -1,0 +1,65 @@
+#include "core/exploration.h"
+
+namespace causumx {
+
+ExplorationSession::ExplorationSession(const Table& table,
+                                       GroupByAvgQuery query, CausalDag dag,
+                                       CauSumXConfig config)
+    : table_(table),
+      query_(std::move(query)),
+      dag_(std::move(dag)),
+      config_(std::move(config)) {}
+
+void ExplorationSession::EnsureMined() {
+  if (!mined_) {
+    mined_ = MineExplanationCandidates(table_, query_, dag_, config_);
+  }
+}
+
+ExplanationSummary ExplorationSession::Solve(size_t k, double theta,
+                                             FinalStepSolver solver) {
+  EnsureMined();
+  CauSumXConfig config = config_;
+  config.k = k;
+  config.theta = theta;
+  config.solver = solver;
+  return SelectExplanations(mined_->candidates, mined_->view.NumGroups(),
+                            config);
+}
+
+ExplanationSummary ExplorationSession::Solve() {
+  return Solve(config_.k, config_.theta, config_.solver);
+}
+
+std::vector<ScoredTreatment> ExplorationSession::TopTreatments(
+    const Pattern& grouping_pattern, TreatmentSign sign, size_t k) {
+  EnsureMined();
+  Bitset rows = grouping_pattern.IsEmpty() ? Bitset(table_.NumRows())
+                                           : grouping_pattern.Evaluate(table_);
+  if (grouping_pattern.IsEmpty()) rows.SetAll();
+
+  EffectEstimator estimator(table_, dag_, config_.estimator);
+  const std::vector<std::string>& treatment_attrs =
+      config_.treatment_attribute_allowlist.empty()
+          ? mined_->partition.treatment_attributes
+          : config_.treatment_attribute_allowlist;
+  return MineTopKTreatments(estimator, rows, query_.avg_attribute,
+                            treatment_attrs, sign, k, config_.treatment);
+}
+
+const AggregateView& ExplorationSession::View() {
+  EnsureMined();
+  return mined_->view;
+}
+
+const std::vector<Explanation>& ExplorationSession::Candidates() {
+  EnsureMined();
+  return mined_->candidates;
+}
+
+const CandidateMiningResult& ExplorationSession::MiningResult() {
+  EnsureMined();
+  return *mined_;
+}
+
+}  // namespace causumx

@@ -1,0 +1,70 @@
+// Interactive exploration sessions.
+//
+// The paper's closing note — "The user can continue the exploration by
+// varying parameters in CauSumX" — needs the expensive phases (grouping
+// and treatment mining, >95% of the runtime per Fig. 14) to be cached
+// while k / theta / the solver vary. ExplorationSession mines once and
+// re-runs only the selection LP per query; it also exposes the paper's
+// UI drill-down of top-k positive/negative treatments per grouping
+// pattern.
+
+#ifndef CAUSUMX_CORE_EXPLORATION_H_
+#define CAUSUMX_CORE_EXPLORATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/causumx.h"
+#include "mining/treatment_miner.h"
+
+namespace causumx {
+
+/// A mined-once, query-many session over one (table, query, DAG) triple.
+///
+/// The table must outlive the session. Not thread-safe for concurrent
+/// Solve calls with interleaved mining (mining happens once, lazily, on
+/// first use).
+class ExplorationSession {
+ public:
+  /// `config` supplies the mining parameters (support threshold,
+  /// treatment options, estimator options, attribute allowlists); its
+  /// k / theta / solver act only as defaults for Solve().
+  ExplorationSession(const Table& table, GroupByAvgQuery query,
+                     CausalDag dag, CauSumXConfig config = {});
+
+  /// Re-solves the selection problem for new size / coverage parameters.
+  /// Mining runs on the first call and is reused afterwards.
+  ExplanationSummary Solve(size_t k, double theta,
+                           FinalStepSolver solver =
+                               FinalStepSolver::kLpRounding);
+
+  /// Solve with the session's default configuration.
+  ExplanationSummary Solve();
+
+  /// Drill-down: the top-k treatments of a sign for the subpopulation
+  /// selected by `grouping_pattern` (need not be a mined candidate).
+  std::vector<ScoredTreatment> TopTreatments(const Pattern& grouping_pattern,
+                                             TreatmentSign sign, size_t k);
+
+  /// The evaluated view (mines on first use).
+  const AggregateView& View();
+
+  /// All mined candidate explanations (mines on first use).
+  const std::vector<Explanation>& Candidates();
+
+  /// Mining statistics; valid after the first Solve/View/Candidates call.
+  const CandidateMiningResult& MiningResult();
+
+ private:
+  void EnsureMined();
+
+  const Table& table_;
+  GroupByAvgQuery query_;
+  CausalDag dag_;
+  CauSumXConfig config_;
+  std::optional<CandidateMiningResult> mined_;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_CORE_EXPLORATION_H_

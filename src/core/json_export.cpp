@@ -1,0 +1,126 @@
+#include "core/json_export.h"
+
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace causumx {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string PredicateToJson(const SimplePredicate& pred) {
+  std::ostringstream oss;
+  oss << "{\"attribute\":\"" << JsonEscape(pred.attribute) << "\",\"op\":\""
+      << CompareOpSymbol(pred.op) << "\",\"value\":";
+  if (pred.value.is_null()) {
+    oss << "null";
+  } else if (pred.value.is_string()) {
+    oss << "\"" << JsonEscape(pred.value.AsString()) << "\"";
+  } else {
+    oss << pred.value.ToString();
+  }
+  oss << "}";
+  return oss.str();
+}
+
+std::string PatternToJson(const Pattern& pattern) {
+  std::ostringstream oss;
+  oss << "[";
+  const auto& preds = pattern.predicates();
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i) oss << ",";
+    oss << PredicateToJson(preds[i]);
+  }
+  oss << "]";
+  return oss.str();
+}
+
+std::string EffectToJson(const EffectEstimate& effect) {
+  const auto [lo, hi] = effect.ConfidenceInterval();
+  std::ostringstream oss;
+  oss << "{\"valid\":" << (effect.valid ? "true" : "false")
+      << ",\"cate\":" << FormatDouble(effect.cate, 8)
+      << ",\"std_error\":" << FormatDouble(effect.std_error, 8)
+      << ",\"p_value\":" << FormatDouble(effect.p_value, 8)
+      << ",\"ci95\":[" << FormatDouble(lo, 8) << "," << FormatDouble(hi, 8)
+      << "],\"n_treated\":" << effect.n_treated
+      << ",\"n_control\":" << effect.n_control << "}";
+  return oss.str();
+}
+
+std::string ExplanationToJson(const Explanation& exp) {
+  std::ostringstream oss;
+  oss << "{\"grouping_pattern\":" << PatternToJson(exp.grouping_pattern)
+      << ",\"groups_covered\":[";
+  const auto groups = exp.group_coverage.ToIndices();
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (i) oss << ",";
+    oss << groups[i];
+  }
+  oss << "],\"weight\":" << FormatDouble(exp.Weight(), 8);
+  if (exp.positive) {
+    oss << ",\"positive\":{\"pattern\":"
+        << PatternToJson(exp.positive->pattern)
+        << ",\"effect\":" << EffectToJson(exp.positive->effect) << "}";
+  }
+  if (exp.negative) {
+    oss << ",\"negative\":{\"pattern\":"
+        << PatternToJson(exp.negative->pattern)
+        << ",\"effect\":" << EffectToJson(exp.negative->effect) << "}";
+  }
+  oss << "}";
+  return oss.str();
+}
+
+std::string SummaryToJson(const ExplanationSummary& summary,
+                          const GroupByAvgQuery* query) {
+  std::ostringstream oss;
+  oss << "{";
+  if (query != nullptr) {
+    oss << "\"query\":\"" << JsonEscape(query->ToSql()) << "\",";
+  }
+  oss << "\"num_groups\":" << summary.num_groups
+      << ",\"covered_groups\":" << summary.covered_groups
+      << ",\"coverage_satisfied\":"
+      << (summary.coverage_satisfied ? "true" : "false")
+      << ",\"total_explainability\":"
+      << FormatDouble(summary.total_explainability, 8)
+      << ",\"explanations\":[";
+  for (size_t i = 0; i < summary.explanations.size(); ++i) {
+    if (i) oss << ",";
+    oss << ExplanationToJson(summary.explanations[i]);
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+}  // namespace causumx

@@ -1,0 +1,38 @@
+// Machine-readable JSON export of explanation summaries, for UIs and
+// downstream tooling (the paper's prototype exposes its summaries through
+// a UI; this is the API such a UI would consume).
+
+#ifndef CAUSUMX_CORE_JSON_EXPORT_H_
+#define CAUSUMX_CORE_JSON_EXPORT_H_
+
+#include <string>
+
+#include "core/explanation.h"
+#include "dataset/group_query.h"
+
+namespace causumx {
+
+/// JSON-escapes a string (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Serializes one predicate as
+///   {"attribute": "...", "op": "<", "value": "..."}.
+std::string PredicateToJson(const SimplePredicate& pred);
+
+/// Serializes a pattern as a JSON array of predicates.
+std::string PatternToJson(const Pattern& pattern);
+
+/// Serializes an effect estimate with point value, CI, and p-value.
+std::string EffectToJson(const EffectEstimate& effect);
+
+/// Serializes one explanation (grouping pattern, coverage, both
+/// treatment sides when present).
+std::string ExplanationToJson(const Explanation& exp);
+
+/// Serializes a full summary, optionally embedding the originating query.
+std::string SummaryToJson(const ExplanationSummary& summary,
+                          const GroupByAvgQuery* query = nullptr);
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_CORE_JSON_EXPORT_H_

@@ -1,0 +1,109 @@
+#include "core/renderer.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace causumx {
+
+std::string RenderPValue(double p) {
+  if (p <= 0) return "p < 1e-16";
+  // Round up to the next power of ten for the "p < 1e-k" style.
+  const double exp10 = std::ceil(std::log10(p));
+  if (exp10 >= -1) return StrFormat("p = %.2g", p);
+  return StrFormat("p < 1e%d", static_cast<int>(exp10));
+}
+
+std::string RenderPredicate(const SimplePredicate& pred,
+                            const RenderStyle& style) {
+  auto it = style.predicate_phrases.find(pred.ToString());
+  if (it != style.predicate_phrases.end()) return it->second;
+  const std::string value = pred.value.ToString();
+  switch (pred.op) {
+    case CompareOp::kEq:
+      return pred.attribute + " = " + value;
+    case CompareOp::kLt:
+      return pred.attribute + " below " + value;
+    case CompareOp::kLe:
+      return pred.attribute + " at most " + value;
+    case CompareOp::kGt:
+      return pred.attribute + " above " + value;
+    case CompareOp::kGe:
+      return pred.attribute + " at least " + value;
+  }
+  return pred.ToString();
+}
+
+std::string RenderPattern(const Pattern& pattern, const RenderStyle& style) {
+  if (pattern.IsEmpty()) return "all " + style.subject_noun;
+  std::string out;
+  const auto& preds = pattern.predicates();
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i > 0) out += (i + 1 == preds.size()) ? " and " : ", ";
+    out += RenderPredicate(preds[i], style);
+  }
+  return out;
+}
+
+std::string RenderExplanation(const Explanation& exp,
+                              const RenderStyle& style) {
+  std::ostringstream oss;
+  oss << "For " << style.group_noun << " with "
+      << RenderPattern(exp.grouping_pattern, style) << " ("
+      << exp.NumGroupsCovered() << " " << style.group_noun << ")";
+  bool first_clause = true;
+  if (exp.positive && exp.positive->effect.valid) {
+    oss << ", the most substantial positive effect on " << style.outcome_noun
+        << " (effect size of " << HumanMagnitude(exp.positive->effect.cate)
+        << ", " << RenderPValue(exp.positive->effect.p_value)
+        << ") is observed for " << style.subject_noun << " with "
+        << RenderPattern(exp.positive->pattern, style);
+    first_clause = false;
+  }
+  if (exp.negative && exp.negative->effect.valid) {
+    oss << (first_clause ? ", " : ". Conversely, ")
+        << RenderPattern(exp.negative->pattern, style)
+        << " has the greatest adverse impact on " << style.outcome_noun
+        << " (effect size: " << HumanMagnitude(exp.negative->effect.cate)
+        << ", " << RenderPValue(exp.negative->effect.p_value) << ")";
+  }
+  oss << ".";
+  return oss.str();
+}
+
+std::string RenderEffectWithCi(const EffectEstimate& effect) {
+  const auto [lo, hi] = effect.ConfidenceInterval();
+  return StrFormat("%s [%s, %s], %s", HumanMagnitude(effect.cate).c_str(),
+                   HumanMagnitude(lo).c_str(), HumanMagnitude(hi).c_str(),
+                   RenderPValue(effect.p_value).c_str());
+}
+
+std::string RenderTreatmentList(const std::vector<ScoredTreatment>& list,
+                                const RenderStyle& style) {
+  std::ostringstream oss;
+  for (size_t i = 0; i < list.size(); ++i) {
+    oss << StrFormat("%2zu. ", i + 1) << RenderPattern(list[i].pattern, style)
+        << " — effect " << RenderEffectWithCi(list[i].effect) << "\n";
+  }
+  return oss.str();
+}
+
+std::string RenderSummary(const ExplanationSummary& summary,
+                          const RenderStyle& style) {
+  std::ostringstream oss;
+  if (summary.explanations.empty()) {
+    oss << "No statistically significant causal explanations were found.\n";
+    return oss.str();
+  }
+  for (const auto& exp : summary.explanations) {
+    oss << "* " << RenderExplanation(exp, style) << "\n";
+  }
+  oss << StrFormat(
+      "[covers %zu/%zu %s; total explainability %s]\n",
+      summary.covered_groups, summary.num_groups, style.group_noun.c_str(),
+      HumanMagnitude(summary.total_explainability).c_str());
+  return oss.str();
+}
+
+}  // namespace causumx

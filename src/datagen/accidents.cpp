@@ -1,0 +1,253 @@
+#include "datagen/accidents.h"
+
+#include <array>
+
+#include "util/string_utils.h"
+
+namespace causumx {
+
+namespace {
+
+struct RegionInfo {
+  const char* name;
+  std::array<const char*, 3> states;
+  double cold_bias;   // shifts temperature down
+  double rain_bias;   // P(rain-ish weather)
+  double snow_bias;   // P(snow | cold)
+};
+
+constexpr std::array<RegionInfo, 4> kRegions = {{
+    {"Northeast", {"NY", "MA", "PA"}, 8.0, 0.30, 0.35},
+    {"Midwest", {"IL", "MI", "OH"}, 12.0, 0.25, 0.55},
+    {"South", {"TX", "FL", "GA"}, -8.0, 0.40, 0.03},
+    {"West", {"CA", "AZ", "WA"}, -2.0, 0.20, 0.10},
+}};
+
+constexpr const char* kWeather[] = {"Clear", "Cloudy", "Overcast", "Rain",
+                                    "Snow", "Fog"};
+
+}  // namespace
+
+GeneratedDataset MakeAccidentsDataset(const AccidentsOptions& opt) {
+  GeneratedDataset ds;
+  ds.name = "Accidents";
+  Rng rng(opt.seed);
+
+  // Cities are assigned to regions round-robin with region-dependent
+  // sampling weights so group sizes vary like real city populations.
+  struct City {
+    std::string name;
+    size_t region;
+    const char* state;
+    double weight;
+  };
+  std::vector<City> cities;
+  cities.reserve(opt.num_cities);
+  for (size_t c = 0; c < opt.num_cities; ++c) {
+    const size_t region = c % kRegions.size();
+    City city;
+    city.name = StrFormat("City_%s_%03zu", kRegions[region].name, c);
+    city.region = region;
+    city.state = kRegions[region].states[(c / kRegions.size()) % 3];
+    city.weight = 1.0 / (1.0 + static_cast<double>(c) * 0.05);  // Zipf-ish
+    cities.push_back(std::move(city));
+  }
+  std::vector<double> city_weights;
+  for (const auto& c : cities) city_weights.push_back(c.weight);
+
+  Table& t = ds.table;
+  t.AddColumn("City", ColumnType::kCategorical);
+  t.AddColumn("Region", ColumnType::kCategorical);
+  t.AddColumn("State", ColumnType::kCategorical);
+  t.AddColumn("Weather", ColumnType::kCategorical);
+  t.AddColumn("Temperature", ColumnType::kDouble);
+  t.AddColumn("Visibility", ColumnType::kDouble);
+  t.AddColumn("Precipitation", ColumnType::kDouble);
+  t.AddColumn("Humidity", ColumnType::kDouble);
+  t.AddColumn("WindSpeed", ColumnType::kDouble);
+  t.AddColumn("TrafficSignal", ColumnType::kCategorical);
+  t.AddColumn("TrafficCalming", ColumnType::kCategorical);
+  t.AddColumn("CityRoad", ColumnType::kCategorical);
+  t.AddColumn("Junction", ColumnType::kCategorical);
+  t.AddColumn("Crossing", ColumnType::kCategorical);
+  t.AddColumn("Roundabout", ColumnType::kCategorical);
+  t.AddColumn("Stop", ColumnType::kCategorical);
+  t.AddColumn("DayPeriod", ColumnType::kCategorical);
+  t.AddColumn("RushHour", ColumnType::kCategorical);
+  if (opt.full_schema) {
+    // Environmental / POI flags filling out the paper's 40 attributes.
+    for (const char* extra :
+         {"Bump", "GiveWay", "NoExit", "Railway", "Station", "Amenity",
+          "TrafficLoop", "TurningCircle", "Interstate", "Tunnel", "Bridge",
+          "SchoolZone", "ConstructionZone", "OneWay", "SpeedLimitOver55",
+          "WindDirection", "PressureBand", "UVIndexBand", "Season",
+          "WeekendFlag", "HolidayFlag", "NightLighting"}) {
+      t.AddColumn(extra, ColumnType::kCategorical);
+    }
+  }
+  t.AddColumn("Severity", ColumnType::kDouble);
+  t.ReserveRows(opt.num_rows);
+
+  std::vector<Value> row(t.NumColumns());
+  for (size_t r = 0; r < opt.num_rows; ++r) {
+    const City& city = cities[SampleCategory(&rng, city_weights)];
+    const RegionInfo& region = kRegions[city.region];
+    const bool northeast = city.region == 0;
+    const bool midwest = city.region == 1;
+    const bool south = city.region == 2;
+    const bool west = city.region == 3;
+
+    // Weather generative process, region-conditioned.
+    const double temperature =
+        rng.NextGaussian(62.0 - region.cold_bias, 18.0);
+    const bool cold = temperature < 36.0;
+    const char* weather = "Clear";
+    double roll = rng.NextDouble();
+    if (cold && rng.NextBool(region.snow_bias)) {
+      weather = "Snow";
+    } else if (roll < region.rain_bias) {
+      weather = "Rain";
+    } else if (roll < region.rain_bias + 0.18) {
+      weather = "Overcast";
+    } else if (roll < region.rain_bias + 0.33) {
+      weather = "Cloudy";
+    } else if (roll < region.rain_bias + 0.37) {
+      weather = "Fog";
+    }
+    const bool is_snow = std::string(weather) == "Snow";
+    const bool is_rain = std::string(weather) == "Rain";
+    const bool is_overcast = std::string(weather) == "Overcast";
+    const bool is_fog = std::string(weather) == "Fog";
+    const bool is_clear = std::string(weather) == "Clear";
+
+    double visibility = rng.NextGaussian(9.0, 1.5);
+    if (is_fog) visibility -= 6.0;
+    if (is_snow || is_rain) visibility -= 3.0;
+    if (is_overcast) visibility -= 1.5;
+    visibility = Clamp(visibility, 0.1, 10.0);
+    const bool low_visibility = visibility < 5.0;
+
+    const double precipitation =
+        (is_rain || is_snow) ? Clamp(rng.NextGaussian(0.25, 0.2), 0, 2) : 0.0;
+    const double humidity = Clamp(
+        rng.NextGaussian(is_rain || is_snow ? 85 : 60, 12), 10, 100);
+    const double wind = Clamp(rng.NextGaussian(9, 5), 0, 50);
+
+    // Road infrastructure: the West cities under-invest in signals and
+    // calming (drives the Fig. 7 bullet 4 story).
+    const bool signal = rng.NextBool(west ? 0.25 : 0.45);
+    const bool calming = rng.NextBool(west ? 0.08 : 0.18);
+    const bool city_road = rng.NextBool(0.6);
+    const bool junction = rng.NextBool(0.25);
+    const bool crossing = rng.NextBool(0.2);
+    const bool roundabout = rng.NextBool(0.04);
+    const bool stop = rng.NextBool(0.15);
+    const char* day_period = rng.NextBool(0.7) ? "Day" : "Night";
+    const bool rush = rng.NextBool(0.3);
+
+    // Severity structural equation (1..4).
+    double severity = 2.1;
+    if (is_snow) severity += 0.35;
+    if (is_rain) severity += 0.18;
+    if (low_visibility) severity += 0.2;
+    if (cold) severity += 0.15;
+    if (signal) severity -= 0.3;
+    if (calming) severity -= 0.25;
+    if (city_road) severity -= 0.12;  // highways are worse
+    if (std::string(day_period) == "Night") severity += 0.12;
+    // Region-conditional interactions (Fig. 7):
+    if (northeast && is_overcast && low_visibility) severity += 0.4;
+    if (midwest && cold && is_snow) severity += 0.45;
+    if (midwest && is_clear) severity -= 0.18;
+    if (south && is_rain) severity += 0.22;
+    if (south && calming) severity -= 0.3;
+    if (west && !signal && !calming) severity += 0.4;
+    severity += rng.NextGaussian(0, 0.45);
+    severity = Clamp(severity, 1.0, 4.0);
+
+    size_t i = 0;
+    row[i++] = Value(city.name);
+    row[i++] = Value(region.name);
+    row[i++] = Value(city.state);
+    row[i++] = Value(weather);
+    row[i++] = Value(temperature);
+    row[i++] = Value(visibility);
+    row[i++] = Value(precipitation);
+    row[i++] = Value(humidity);
+    row[i++] = Value(wind);
+    row[i++] = Value(signal ? "Yes" : "No");
+    row[i++] = Value(calming ? "Yes" : "No");
+    row[i++] = Value(city_road ? "Yes" : "No");
+    row[i++] = Value(junction ? "Yes" : "No");
+    row[i++] = Value(crossing ? "Yes" : "No");
+    row[i++] = Value(roundabout ? "Yes" : "No");
+    row[i++] = Value(stop ? "Yes" : "No");
+    row[i++] = Value(day_period);
+    row[i++] = Value(rush ? "Yes" : "No");
+    if (opt.full_schema) {
+      // Inert environmental flags (balanced coin flips; no causal role).
+      for (int e = 0; e < 22; ++e) {
+        row[i++] = Value(rng.NextBool(0.5) ? "Yes" : "No");
+      }
+    }
+    row[i++] = Value(severity);
+    t.AddRow(row);
+  }
+
+  // Ground-truth causal DAG.
+  CausalDag& g = ds.dag;
+  g.AddEdge("City", "Region");
+  g.AddEdge("City", "State");
+  g.AddEdge("City", "Severity");
+  g.AddEdge("Weather", "Visibility");
+  g.AddEdge("Weather", "Precipitation");
+  g.AddEdge("Weather", "Humidity");
+  g.AddEdge("Weather", "Severity");
+  g.AddEdge("Temperature", "Weather");
+  g.AddEdge("Temperature", "Severity");
+  g.AddEdge("Visibility", "Severity");
+  g.AddEdge("TrafficSignal", "Severity");
+  g.AddEdge("TrafficCalming", "Severity");
+  g.AddEdge("CityRoad", "Severity");
+  g.AddEdge("DayPeriod", "Severity");
+  g.AddEdge("DayPeriod", "Visibility");
+  g.AddNode("WindSpeed");
+  g.AddNode("Junction");
+  g.AddNode("Crossing");
+  g.AddNode("Roundabout");
+  g.AddNode("Stop");
+  g.AddNode("RushHour");
+  if (opt.full_schema) {
+    for (const char* extra :
+         {"Bump", "GiveWay", "NoExit", "Railway", "Station", "Amenity",
+          "TrafficLoop", "TurningCircle", "Interstate", "Tunnel", "Bridge",
+          "SchoolZone", "ConstructionZone", "OneWay", "SpeedLimitOver55",
+          "WindDirection", "PressureBand", "UVIndexBand", "Season",
+          "WeekendFlag", "HolidayFlag", "NightLighting"}) {
+      g.AddNode(extra);
+    }
+  }
+
+  ds.default_query.group_by = {"City"};
+  ds.default_query.avg_attribute = "Severity";
+
+  ds.style.subject_noun = "accidents";
+  ds.style.outcome_noun = "severity";
+  ds.style.group_noun = "cities";
+  ds.style.predicate_phrases = {
+      {"Weather = Snow", "snow"},
+      {"Weather = Rain", "rain"},
+      {"Weather = Overcast", "overcast weather conditions"},
+      {"Weather = Clear", "clear weather"},
+      {"TrafficSignal = Yes", "the presence of traffic signals"},
+      {"TrafficSignal = No", "the absence of traffic signals"},
+      {"TrafficCalming = Yes", "the presence of traffic calming measures"},
+      {"TrafficCalming = No", "the absence of traffic calming measures"},
+      {"CityRoad = Yes", "city roads (as opposed to highways)"},
+      {"Visibility < 5", "low visibility"},
+      {"Temperature < 36", "cold temperatures"},
+  };
+  return ds;
+}
+
+}  // namespace causumx

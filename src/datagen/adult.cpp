@@ -1,0 +1,200 @@
+#include "datagen/adult.h"
+
+#include <array>
+#include <cmath>
+
+namespace causumx {
+
+namespace {
+
+struct OccupationInfo {
+  const char* name;
+  const char* category;  // Blue-collar / White-collar / Service
+  double base_logit;
+  double weight;
+};
+
+constexpr std::array<OccupationInfo, 12> kOccupations = {{
+    {"Exec-managerial", "White-collar", 0.9, 10},
+    {"Prof-specialty", "White-collar", 0.8, 10},
+    {"Adm-clerical", "White-collar", -0.3, 9},
+    {"Tech-support", "White-collar", 0.2, 3},
+    {"Craft-repair", "Blue-collar", -0.2, 10},
+    {"Machine-op-inspct", "Blue-collar", -0.6, 5},
+    {"Transport-moving", "Blue-collar", -0.4, 4},
+    {"Handlers-cleaners", "Blue-collar", -1.0, 3},
+    {"Farming-fishing", "Blue-collar", -1.1, 2},
+    {"Sales", "Service", 0.1, 9},
+    {"Other-service", "Service", -1.0, 8},
+    {"Protective-serv", "Service", 0.0, 2},
+}};
+
+constexpr const char* kEducationLevels[] = {
+    "HS-grad", "Some-college", "Bachelors", "Masters", "Doctorate",
+};
+
+constexpr const char* kMarital[] = {
+    "Married", "Never-married", "Divorced", "Widowed",
+};
+
+constexpr const char* kRaces[] = {"White", "Black", "Asian-Pac", "Other"};
+
+constexpr const char* kWorkclass[] = {"Private", "Self-emp", "Government"};
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+GeneratedDataset MakeAdultDataset(const AdultOptions& opt) {
+  GeneratedDataset ds;
+  ds.name = "Adult";
+  Rng rng(opt.seed);
+
+  Table& t = ds.table;
+  t.AddColumn("Occupation", ColumnType::kCategorical);
+  t.AddColumn("OccupationCategory", ColumnType::kCategorical);
+  t.AddColumn("Age", ColumnType::kInt64);
+  t.AddColumn("Workclass", ColumnType::kCategorical);
+  t.AddColumn("Education", ColumnType::kCategorical);
+  t.AddColumn("EducationNum", ColumnType::kInt64);
+  t.AddColumn("MaritalStatus", ColumnType::kCategorical);
+  t.AddColumn("Relationship", ColumnType::kCategorical);
+  t.AddColumn("Race", ColumnType::kCategorical);
+  t.AddColumn("Sex", ColumnType::kCategorical);
+  t.AddColumn("HoursPerWeek", ColumnType::kInt64);
+  t.AddColumn("NativeCountry", ColumnType::kCategorical);
+  t.AddColumn("Income", ColumnType::kDouble);
+  t.ReserveRows(opt.num_rows);
+
+  std::vector<double> occ_weights;
+  for (const auto& o : kOccupations) occ_weights.push_back(o.weight);
+
+  std::vector<Value> row(t.NumColumns());
+  for (size_t r = 0; r < opt.num_rows; ++r) {
+    const int64_t age =
+        static_cast<int64_t>(Clamp(rng.NextGaussian(39, 12), 17, 85));
+    const char* sex = rng.NextBool(0.67) ? "Male" : "Female";
+    const char* race = kRaces[SampleCategory(&rng, {8.5, 1.0, 0.3, 0.2})];
+    const char* country = rng.NextBool(0.9) ? "United-States" : "Other";
+
+    // Education: caused by age cohort + noise.
+    double edu_score = rng.NextGaussian(0, 1);
+    if (age >= 25) edu_score += 0.3;
+    const size_t edu_idx = edu_score < -0.4   ? 0
+                           : edu_score < 0.45 ? 1
+                           : edu_score < 1.3  ? 2
+                           : edu_score < 2.0  ? 3
+                                              : 4;
+    const char* education = kEducationLevels[edu_idx];
+    const int64_t edu_num = static_cast<int64_t>(9 + edu_idx * 2);
+
+    // Marital status: caused by age.
+    std::vector<double> marital_w = {5, 4, 1.5, 0.3};
+    if (age < 28) {
+      marital_w = {1.5, 8, 0.4, 0.05};
+    } else if (age > 50) {
+      marital_w = {6, 1, 2, 1.2};
+    }
+    const char* marital = kMarital[SampleCategory(&rng, marital_w)];
+    const char* relationship =
+        std::string(marital) == "Married"
+            ? (std::string(sex) == "Male" ? "Husband" : "Wife")
+            : "Not-in-family";
+
+    // Occupation: education shifts the distribution toward white-collar.
+    std::vector<double> w = occ_weights;
+    if (edu_idx >= 2) {
+      for (size_t i = 0; i < kOccupations.size(); ++i) {
+        if (std::string(kOccupations[i].category) == "White-collar") {
+          w[i] *= 3.0;
+        }
+      }
+    }
+    const OccupationInfo& occ = kOccupations[SampleCategory(&rng, w)];
+    const char* workclass =
+        kWorkclass[SampleCategory(&rng, {7.5, 1.2, 1.3})];
+
+    const int64_t hours = static_cast<int64_t>(
+        Clamp(rng.NextGaussian(41, 9), 10, 99));
+
+    // Income structural equation (binary via logit). Marriage dominates —
+    // the paper notes the dataset's filing-status artifact makes married
+    // respondents report household income.
+    const bool white_collar = std::string(occ.category) == "White-collar";
+    const bool service = std::string(occ.category) == "Service";
+    double logit = -1.4 + occ.base_logit;
+    if (std::string(marital) == "Married") logit += 1.6;
+    if (std::string(marital) == "Never-married") logit -= 1.1;
+    logit += 0.25 * static_cast<double>(edu_idx);
+    if (std::string(sex) == "Male") logit += 0.35;
+    if (white_collar && std::string(sex) == "Male" && edu_idx >= 2) {
+      logit += 1.2;  // Fig. 19 bullet 2 positive
+    }
+    if (service && std::string(marital) == "Married") {
+      logit += 0.9;  // Fig. 19 bullet 3 positive
+    }
+    if (service && std::string(marital) == "Never-married" &&
+        std::string(sex) == "Female") {
+      logit -= 0.9;  // Fig. 19 bullet 3 negative
+    }
+    logit += 0.015 * (static_cast<double>(hours) - 40.0);
+    logit += 0.012 * (static_cast<double>(age) - 39.0);
+    if (std::string(race) == "White") logit += 0.15;
+    const double income = rng.NextBool(Sigmoid(logit)) ? 1.0 : 0.0;
+
+    size_t i = 0;
+    row[i++] = Value(occ.name);
+    row[i++] = Value(occ.category);
+    row[i++] = Value(age);
+    row[i++] = Value(workclass);
+    row[i++] = Value(education);
+    row[i++] = Value(edu_num);
+    row[i++] = Value(marital);
+    row[i++] = Value(relationship);
+    row[i++] = Value(race);
+    row[i++] = Value(sex);
+    row[i++] = Value(hours);
+    row[i++] = Value(country);
+    row[i++] = Value(income);
+    t.AddRow(row);
+  }
+
+  // Ground-truth DAG (adapted from the fairness literature DAGs the paper
+  // cites for Adult).
+  CausalDag& g = ds.dag;
+  g.AddEdge("Age", "Education");
+  g.AddEdge("Age", "MaritalStatus");
+  g.AddEdge("Age", "Income");
+  g.AddEdge("Education", "Occupation");
+  g.AddEdge("Education", "Income");
+  g.AddEdge("EducationNum", "Income");
+  g.AddEdge("Education", "EducationNum");
+  g.AddEdge("MaritalStatus", "Relationship");
+  g.AddEdge("MaritalStatus", "Income");
+  g.AddEdge("Sex", "Occupation");
+  g.AddEdge("Sex", "Income");
+  g.AddEdge("Race", "Income");
+  g.AddEdge("Occupation", "Income");
+  g.AddEdge("Occupation", "OccupationCategory");
+  g.AddEdge("HoursPerWeek", "Income");
+  g.AddEdge("Workclass", "Income");
+  g.AddNode("NativeCountry");
+
+  ds.default_query.group_by = {"Occupation"};
+  ds.default_query.avg_attribute = "Income";
+
+  ds.style.subject_noun = "individuals";
+  ds.style.outcome_noun = "income";
+  ds.style.group_noun = "occupations";
+  ds.style.predicate_phrases = {
+      {"MaritalStatus = Married", "being married"},
+      {"MaritalStatus = Never-married", "being unmarried"},
+      {"Sex = Male", "being male"},
+      {"Sex = Female", "being female"},
+      {"Education = Bachelors", "holding a bachelor's degree"},
+      {"Education = Masters", "holding a master's degree"},
+  };
+  return ds;
+}
+
+}  // namespace causumx

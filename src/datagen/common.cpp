@@ -1,0 +1,15 @@
+#include "datagen/common.h"
+
+#include <algorithm>
+
+namespace causumx {
+
+size_t SampleCategory(Rng* rng, const std::vector<double>& weights) {
+  return rng->NextWeighted(weights);
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+}  // namespace causumx

@@ -1,0 +1,50 @@
+// Shared scaffolding for the structural-equation dataset generators.
+//
+// The paper evaluates on five real datasets (Stack Overflow 2018, UCI
+// Adult, UCI German Credit, IPUMS-CPS, US-Accidents) that are not
+// redistributable here. Each generator in this directory produces a
+// synthetic replica at the paper's scale with the same FD structure and a
+// ground-truth causal DAG whose structural equations plant the effects the
+// paper's case studies report. See DESIGN.md §3 for the substitution
+// rationale.
+
+#ifndef CAUSUMX_DATAGEN_COMMON_H_
+#define CAUSUMX_DATAGEN_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "causal/dag.h"
+#include "core/renderer.h"
+#include "dataset/group_query.h"
+#include "dataset/table.h"
+#include "util/rng.h"
+
+namespace causumx {
+
+/// A generated dataset bundle: the relation, its ground-truth causal DAG,
+/// the representative query from the paper's case study, and NL styling.
+struct GeneratedDataset {
+  std::string name;
+  Table table;
+  CausalDag dag;
+  GroupByAvgQuery default_query;
+  RenderStyle style;
+  /// Optional pre-selected grouping attributes (the paper pre-selects,
+  /// e.g. {Continent, HDI, Gini, GDP} for SO). Empty = derive from FDs.
+  std::vector<std::string> grouping_attribute_hint;
+  /// Optional pre-selected treatment attributes. Empty = all non-grouping
+  /// attributes. Needed when the group-by key is unique per tuple (the
+  /// synthetic schema), where every FD holds trivially.
+  std::vector<std::string> treatment_attribute_hint;
+};
+
+/// Weighted categorical sampler: returns an index into `weights`.
+size_t SampleCategory(Rng* rng, const std::vector<double>& weights);
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_DATAGEN_COMMON_H_

@@ -1,0 +1,162 @@
+#include "datagen/cps.h"
+
+#include <array>
+
+namespace causumx {
+
+namespace {
+
+struct StateInfo {
+  const char* name;
+  const char* division;  // census division; FD State -> Division
+  double wage_level;
+  double weight;
+};
+
+constexpr std::array<StateInfo, 16> kStates = {{
+    {"California", "Pacific", 1.25, 12},
+    {"Washington", "Pacific", 1.2, 3},
+    {"Oregon", "Pacific", 1.05, 2},
+    {"New York", "Mid-Atlantic", 1.25, 8},
+    {"New Jersey", "Mid-Atlantic", 1.2, 3},
+    {"Pennsylvania", "Mid-Atlantic", 1.0, 4},
+    {"Massachusetts", "New England", 1.3, 3},
+    {"Connecticut", "New England", 1.25, 1.5},
+    {"Texas", "West South Central", 0.95, 9},
+    {"Louisiana", "West South Central", 0.8, 1.5},
+    {"Florida", "South Atlantic", 0.9, 7},
+    {"Georgia", "South Atlantic", 0.9, 3.5},
+    {"Illinois", "East North Central", 1.05, 4},
+    {"Ohio", "East North Central", 0.9, 4},
+    {"Michigan", "East North Central", 0.92, 3},
+    {"Mississippi", "East South Central", 0.7, 1},
+}};
+
+constexpr const char* kEducation[] = {
+    "No diploma", "High school", "Some college", "Bachelors", "Advanced",
+};
+
+constexpr const char* kOccupations[] = {
+    "Management", "Professional", "Service", "Sales", "Office-admin",
+    "Construction", "Production", "Transportation",
+};
+
+}  // namespace
+
+GeneratedDataset MakeCpsDataset(const CpsOptions& opt) {
+  GeneratedDataset ds;
+  ds.name = "IMPUS-CPS";
+  Rng rng(opt.seed);
+
+  Table& t = ds.table;
+  t.AddColumn("State", ColumnType::kCategorical);
+  t.AddColumn("Division", ColumnType::kCategorical);
+  t.AddColumn("Age", ColumnType::kInt64);
+  t.AddColumn("Sex", ColumnType::kCategorical);
+  t.AddColumn("Race", ColumnType::kCategorical);
+  t.AddColumn("MaritalStatus", ColumnType::kCategorical);
+  t.AddColumn("Education", ColumnType::kCategorical);
+  t.AddColumn("Occupation", ColumnType::kCategorical);
+  t.AddColumn("HoursPerWeek", ColumnType::kInt64);
+  t.AddColumn("Income", ColumnType::kDouble);
+  t.ReserveRows(opt.num_rows);
+
+  std::vector<double> state_w;
+  for (const auto& s : kStates) state_w.push_back(s.weight);
+
+  std::vector<Value> row(t.NumColumns());
+  for (size_t r = 0; r < opt.num_rows; ++r) {
+    const StateInfo& state = kStates[SampleCategory(&rng, state_w)];
+    const int64_t age =
+        static_cast<int64_t>(Clamp(rng.NextGaussian(42, 13), 18, 80));
+    const char* sex = rng.NextBool(0.52) ? "Male" : "Female";
+    const char* race = rng.NextBool(0.72) ? "White"
+                       : rng.NextBool(0.5) ? "Black"
+                                           : "Other";
+    const char* marital = age < 27   ? (rng.NextBool(0.75) ? "Never-married"
+                                                           : "Married")
+                          : age > 60 ? (rng.NextBool(0.7) ? "Married"
+                                                          : "Widowed")
+                                     : (rng.NextBool(0.6) ? "Married"
+                                                          : "Divorced");
+
+    double edu_score = rng.NextGaussian(0, 1);
+    if (age >= 26) edu_score += 0.25;
+    const size_t edu_idx = edu_score < -1.1  ? 0
+                           : edu_score < 0.0 ? 1
+                           : edu_score < 0.8 ? 2
+                           : edu_score < 1.6 ? 3
+                                             : 4;
+    const char* education = kEducation[edu_idx];
+
+    std::vector<double> occ_w = {1.2, 1.6, 2.2, 1.4, 1.6, 1.2, 1.2, 1.0};
+    if (edu_idx >= 3) {
+      occ_w[0] *= 3.2;
+      occ_w[1] *= 3.6;
+      occ_w[5] *= 0.3;
+      occ_w[6] *= 0.3;
+    }
+    const size_t occ_idx = SampleCategory(&rng, occ_w);
+    const char* occupation = kOccupations[occ_idx];
+
+    const int64_t hours =
+        static_cast<int64_t>(Clamp(rng.NextGaussian(39, 9), 5, 90));
+
+    // Income structural equation.
+    double income = 28000.0 * state.wage_level;
+    income += 7000.0 * static_cast<double>(edu_idx);
+    static constexpr double kOccBoost[] = {26000, 24000, -6000, 4000,
+                                           0,     6000,  2000,  1000};
+    income += kOccBoost[occ_idx];
+    if (std::string(sex) == "Male") income += 6000;
+    if (std::string(marital) == "Married") income += 5000;
+    income += 350.0 * (static_cast<double>(age) - 18.0);
+    if (age > 62) income -= 9000;
+    income += 420.0 * (static_cast<double>(hours) - 39.0);
+    income += rng.NextGaussian(0, 9000);
+    income = Clamp(income, 2000, 400000);
+
+    size_t i = 0;
+    row[i++] = Value(state.name);
+    row[i++] = Value(state.division);
+    row[i++] = Value(age);
+    row[i++] = Value(sex);
+    row[i++] = Value(race);
+    row[i++] = Value(marital);
+    row[i++] = Value(education);
+    row[i++] = Value(occupation);
+    row[i++] = Value(hours);
+    row[i++] = Value(income);
+    t.AddRow(row);
+  }
+
+  CausalDag& g = ds.dag;
+  g.AddEdge("State", "Division");
+  g.AddEdge("State", "Income");
+  g.AddEdge("Age", "Education");
+  g.AddEdge("Age", "MaritalStatus");
+  g.AddEdge("Age", "Income");
+  g.AddEdge("Sex", "Income");
+  g.AddEdge("Race", "Income");
+  g.AddEdge("MaritalStatus", "Income");
+  g.AddEdge("Education", "Occupation");
+  g.AddEdge("Education", "Income");
+  g.AddEdge("Occupation", "Income");
+  g.AddEdge("HoursPerWeek", "Income");
+
+  ds.default_query.group_by = {"State"};
+  ds.default_query.avg_attribute = "Income";
+
+  ds.style.subject_noun = "workers";
+  ds.style.outcome_noun = "annual income";
+  ds.style.group_noun = "states";
+  ds.style.predicate_phrases = {
+      {"Education = Advanced", "holding an advanced degree"},
+      {"MaritalStatus = Married", "being married"},
+      {"Occupation = Management", "working in management"},
+      {"Occupation = Professional", "working in a professional occupation"},
+  };
+  return ds;
+}
+
+}  // namespace causumx

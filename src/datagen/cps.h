@@ -1,0 +1,27 @@
+// Structural-equation replica of the IPUMS-CPS (Current Population
+// Survey) extract the paper uses for scalability experiments (1.1M
+// tuples, 10 attributes: demographics + education + occupation + annual
+// income). Query = AVG(Income) GROUP BY State with the FD
+// State -> Division providing grouping patterns.
+//
+// Row count is configurable so the time-vs-dataset-size sweep (Fig. 11)
+// can subsample; default is bench-sized with the full 1.1M reachable.
+
+#ifndef CAUSUMX_DATAGEN_CPS_H_
+#define CAUSUMX_DATAGEN_CPS_H_
+
+#include "datagen/common.h"
+
+namespace causumx {
+
+struct CpsOptions {
+  size_t num_rows = 300'000;  ///< paper scale: 1.1M.
+  uint64_t seed = 29;
+};
+
+/// Generates the IPUMS-CPS replica.
+GeneratedDataset MakeCpsDataset(const CpsOptions& options = {});
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_DATAGEN_CPS_H_

@@ -1,0 +1,217 @@
+#include "datagen/german.h"
+
+#include <array>
+#include <cmath>
+
+namespace causumx {
+
+namespace {
+
+constexpr std::array<const char*, 10> kPurposes = {
+    "new car",     "used car",   "furniture",  "radio/TV", "appliances",
+    "repairs",     "education",  "vacation",   "retraining", "business",
+};
+
+constexpr std::array<double, 10> kPurposeWeights = {
+    2.3, 1.0, 1.8, 2.8, 0.5, 0.6, 0.5, 0.2, 0.3, 1.0,
+};
+
+constexpr const char* kChecking[] = {
+    "none", "below 0 DM", "0-200 DM", "200+ DM",
+};
+constexpr const char* kSavings[] = {
+    "below 100 DM", "100-500 DM", "500-1000 DM", "1000+ DM", "unknown",
+};
+constexpr const char* kHistory[] = {
+    "critical", "delayed", "existing paid", "all paid duly",
+};
+constexpr const char* kEmployment[] = {
+    "unemployed", "below 1 year", "1-4 years", "4-7 years", "7+ years",
+};
+constexpr const char* kHousing[] = {"rent", "own", "free"};
+constexpr const char* kJob[] = {
+    "unskilled", "skilled", "management",
+};
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+GeneratedDataset MakeGermanDataset(const GermanOptions& opt) {
+  GeneratedDataset ds;
+  ds.name = "German";
+  Rng rng(opt.seed);
+
+  Table& t = ds.table;
+  t.AddColumn("Purpose", ColumnType::kCategorical);
+  t.AddColumn("CheckingAccount", ColumnType::kCategorical);
+  t.AddColumn("SavingsAccount", ColumnType::kCategorical);
+  t.AddColumn("CreditHistory", ColumnType::kCategorical);
+  t.AddColumn("Duration", ColumnType::kInt64);
+  t.AddColumn("CreditAmount", ColumnType::kDouble);
+  t.AddColumn("Employment", ColumnType::kCategorical);
+  t.AddColumn("InstallmentRate", ColumnType::kInt64);
+  t.AddColumn("PersonalStatus", ColumnType::kCategorical);
+  t.AddColumn("OtherDebtors", ColumnType::kCategorical);
+  t.AddColumn("ResidenceSince", ColumnType::kInt64);
+  t.AddColumn("Property", ColumnType::kCategorical);
+  t.AddColumn("Age", ColumnType::kInt64);
+  t.AddColumn("OtherInstallments", ColumnType::kCategorical);
+  t.AddColumn("Housing", ColumnType::kCategorical);
+  t.AddColumn("ExistingCredits", ColumnType::kInt64);
+  t.AddColumn("Job", ColumnType::kCategorical);
+  t.AddColumn("Dependents", ColumnType::kInt64);
+  t.AddColumn("Telephone", ColumnType::kCategorical);
+  t.AddColumn("RiskScore", ColumnType::kDouble);
+  t.ReserveRows(opt.num_rows);
+
+  std::vector<double> purpose_w(kPurposeWeights.begin(),
+                                kPurposeWeights.end());
+  std::vector<Value> row(t.NumColumns());
+  for (size_t r = 0; r < opt.num_rows; ++r) {
+    const char* purpose = kPurposes[SampleCategory(&rng, purpose_w)];
+    const int64_t age =
+        static_cast<int64_t>(Clamp(rng.NextGaussian(36, 11), 19, 75));
+
+    // Employment drives account balances and job level.
+    const char* employment =
+        kEmployment[SampleCategory(&rng, {0.6, 1.7, 3.4, 1.7, 2.5})];
+    const bool stable_job = std::string(employment) == "4-7 years" ||
+                            std::string(employment) == "7+ years";
+
+    std::vector<double> checking_w = {4, 2.7, 2.7, 0.6};
+    if (stable_job) checking_w = {2, 1.5, 3.5, 3};
+    const char* checking = kChecking[SampleCategory(&rng, checking_w)];
+    std::vector<double> savings_w = {6, 1, 0.6, 0.5, 1.8};
+    if (stable_job) savings_w = {3, 1.5, 1.2, 1.8, 1.5};
+    const char* savings = kSavings[SampleCategory(&rng, savings_w)];
+
+    const char* history =
+        kHistory[SampleCategory(&rng, {2.9, 0.9, 5.3, 1.0})];
+
+    // Duration and amount depend on the purpose.
+    double mean_duration = 21;
+    double mean_amount = 3300;
+    if (std::string(purpose) == "new car") {
+      mean_duration = 24;
+      mean_amount = 5500;
+    } else if (std::string(purpose) == "business") {
+      mean_duration = 27;
+      mean_amount = 6500;
+    } else if (std::string(purpose) == "repairs" ||
+               std::string(purpose) == "appliances") {
+      mean_duration = 14;
+      mean_amount = 1800;
+    }
+    const int64_t duration = static_cast<int64_t>(
+        Clamp(rng.NextGaussian(mean_duration, 12), 4, 72));
+    const double amount =
+        Clamp(rng.NextGaussian(mean_amount, 2200), 250, 20000);
+
+    const char* housing = kHousing[SampleCategory(&rng, {1.8, 7.1, 1.1})];
+    const char* job = kJob[SampleCategory(&rng, {2, 6.3, 1.7})];
+    const int64_t installment_rate = rng.NextInt(1, 4);
+    const char* personal_status =
+        rng.NextBool(0.55) ? "male single" : "female/divorced/married";
+    const char* other_debtors = rng.NextBool(0.9) ? "none" : "guarantor";
+    const int64_t residence = rng.NextInt(1, 4);
+    const char* property =
+        rng.NextBool(0.28) ? "real estate"
+                           : (rng.NextBool(0.5) ? "car/other" : "none");
+    const char* other_installments = rng.NextBool(0.8) ? "none" : "bank";
+    const int64_t existing_credits = rng.NextInt(1, 3);
+    const int64_t dependents = rng.NextBool(0.85) ? 1 : 2;
+    const char* telephone = rng.NextBool(0.4) ? "yes" : "none";
+
+    // Risk structural equation (Fig. 18 story).
+    double logit = 0.4;
+    if (std::string(checking) == "200+ DM") logit += 1.5;
+    if (std::string(checking) == "none") logit -= 0.3;
+    if (std::string(checking) == "below 0 DM") logit -= 0.9;
+    if (std::string(savings) == "1000+ DM") logit += 1.1;
+    if (std::string(history) == "all paid duly") logit += 1.3;
+    if (std::string(history) == "critical") logit -= 0.9;
+    if (duration > 48) logit -= 1.8;
+    else if (duration <= 12) logit += 0.8;
+    logit -= 0.00008 * amount;
+    if (std::string(housing) == "own") logit += 0.5;
+    if (std::string(housing) == "rent" && std::string(checking) == "none") {
+      logit -= 0.8;  // Fig. 18 "repairs" negative side
+    }
+    if (stable_job) logit += 0.4;
+    logit += rng.NextGaussian(0, 0.6);
+    const double risk = rng.NextBool(Sigmoid(logit)) ? 1.0 : 0.0;
+
+    size_t i = 0;
+    row[i++] = Value(purpose);
+    row[i++] = Value(checking);
+    row[i++] = Value(savings);
+    row[i++] = Value(history);
+    row[i++] = Value(duration);
+    row[i++] = Value(amount);
+    row[i++] = Value(employment);
+    row[i++] = Value(installment_rate);
+    row[i++] = Value(personal_status);
+    row[i++] = Value(other_debtors);
+    row[i++] = Value(residence);
+    row[i++] = Value(property);
+    row[i++] = Value(age);
+    row[i++] = Value(other_installments);
+    row[i++] = Value(housing);
+    row[i++] = Value(existing_credits);
+    row[i++] = Value(job);
+    row[i++] = Value(dependents);
+    row[i++] = Value(telephone);
+    row[i++] = Value(risk);
+    t.AddRow(row);
+  }
+
+  // Ground-truth DAG (following the fairness-literature German DAG).
+  CausalDag& g = ds.dag;
+  g.AddEdge("Employment", "CheckingAccount");
+  g.AddEdge("Employment", "SavingsAccount");
+  g.AddEdge("Employment", "RiskScore");
+  g.AddEdge("CheckingAccount", "RiskScore");
+  g.AddEdge("SavingsAccount", "RiskScore");
+  g.AddEdge("CreditHistory", "RiskScore");
+  g.AddEdge("Purpose", "Duration");
+  g.AddEdge("Purpose", "CreditAmount");
+  g.AddEdge("Duration", "RiskScore");
+  g.AddEdge("CreditAmount", "RiskScore");
+  g.AddEdge("Housing", "RiskScore");
+  g.AddEdge("Age", "Employment");
+  g.AddEdge("Age", "Housing");
+  g.AddEdge("Job", "RiskScore");
+  g.AddNode("InstallmentRate");
+  g.AddNode("PersonalStatus");
+  g.AddNode("OtherDebtors");
+  g.AddNode("ResidenceSince");
+  g.AddNode("Property");
+  g.AddNode("OtherInstallments");
+  g.AddNode("ExistingCredits");
+  g.AddNode("Dependents");
+  g.AddNode("Telephone");
+
+  ds.default_query.group_by = {"Purpose"};
+  ds.default_query.avg_attribute = "RiskScore";
+
+  ds.style.subject_noun = "loan requests";
+  ds.style.outcome_noun = "the credit risk score";
+  ds.style.group_noun = "loan purposes";
+  ds.style.predicate_phrases = {
+      {"CheckingAccount = 200+ DM",
+       "having a checking account with at least 200 DM"},
+      {"CreditHistory = all paid duly",
+       "paying back all credits at this bank duly"},
+      {"Duration > 48", "requesting a duration exceeding 48 months"},
+      {"Duration <= 12", "requesting a duration of at most 12 months"},
+      {"SavingsAccount = 1000+ DM",
+       "having a savings account with at least 1000 DM"},
+      {"Housing = own", "owning a house"},
+      {"Housing = rent", "renting a house"},
+      {"CheckingAccount = none", "not having a checking account"},
+  };
+  return ds;
+}
+
+}  // namespace causumx

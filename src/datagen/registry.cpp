@@ -1,0 +1,56 @@
+#include "datagen/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "datagen/accidents.h"
+#include "datagen/adult.h"
+#include "datagen/cps.h"
+#include "datagen/german.h"
+#include "datagen/stackoverflow.h"
+#include "datagen/synthetic.h"
+
+namespace causumx {
+
+std::vector<std::string> RegisteredDatasetNames() {
+  return {"German", "Adult", "SO", "IMPUS-CPS", "Accidents", "Synthetic"};
+}
+
+GeneratedDataset MakeDatasetByName(const std::string& name, double scale) {
+  auto scaled = [scale](size_t rows) {
+    return std::max<size_t>(100, static_cast<size_t>(rows * scale));
+  };
+  if (name == "German") {
+    GermanOptions opt;
+    opt.num_rows = scaled(opt.num_rows);
+    return MakeGermanDataset(opt);
+  }
+  if (name == "Adult") {
+    AdultOptions opt;
+    opt.num_rows = scaled(opt.num_rows);
+    return MakeAdultDataset(opt);
+  }
+  if (name == "SO") {
+    StackOverflowOptions opt;
+    opt.num_rows = scaled(opt.num_rows);
+    return MakeStackOverflowDataset(opt);
+  }
+  if (name == "IMPUS-CPS") {
+    CpsOptions opt;
+    opt.num_rows = scaled(opt.num_rows);
+    return MakeCpsDataset(opt);
+  }
+  if (name == "Accidents") {
+    AccidentsOptions opt;
+    opt.num_rows = scaled(opt.num_rows);
+    return MakeAccidentsDataset(opt);
+  }
+  if (name == "Synthetic") {
+    SyntheticOptions opt;
+    opt.num_rows = scaled(opt.num_rows);
+    return MakeSyntheticDataset(opt);
+  }
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+}  // namespace causumx

@@ -1,0 +1,26 @@
+// Name-based access to all dataset replicas — the benchmark harness and
+// examples iterate the paper's Table 3 through this.
+
+#ifndef CAUSUMX_DATAGEN_REGISTRY_H_
+#define CAUSUMX_DATAGEN_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/common.h"
+
+namespace causumx {
+
+/// Dataset names in the paper's Table 3 order:
+/// German, Adult, SO, IMPUS-CPS, Accidents (+ Synthetic).
+std::vector<std::string> RegisteredDatasetNames();
+
+/// Builds a dataset by name. `scale` in (0, 1] shrinks row counts
+/// proportionally (used by scalability sweeps and fast unit tests).
+/// Throws std::out_of_range for unknown names.
+GeneratedDataset MakeDatasetByName(const std::string& name,
+                                   double scale = 1.0);
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_DATAGEN_REGISTRY_H_

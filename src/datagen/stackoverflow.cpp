@@ -1,0 +1,293 @@
+#include "datagen/stackoverflow.h"
+
+#include <array>
+
+namespace causumx {
+
+namespace {
+
+struct CountryInfo {
+  const char* name;
+  const char* continent;
+  const char* hdi;   // High / Medium
+  const char* gini;  // High / Low
+  const char* gdp;   // High / Medium / Low
+  double base_salary;  // country-level base, USD
+  double weight;       // sampling prevalence
+};
+
+// 20 countries, 5 continents, with economic tiers shaping the grouping
+// patterns {Continent, HDI, Gini, GDP} the paper's SO study uses.
+constexpr std::array<CountryInfo, 20> kCountries = {{
+    {"United States", "North America", "High", "High", "High", 95000, 18},
+    {"Canada", "North America", "High", "Low", "High", 70000, 4},
+    {"Mexico", "North America", "Medium", "High", "Medium", 22000, 2},
+    {"United Kingdom", "Europe", "High", "Low", "High", 62000, 7},
+    {"Germany", "Europe", "High", "Low", "High", 60000, 7},
+    {"France", "Europe", "High", "Low", "High", 52000, 4},
+    {"Spain", "Europe", "High", "Low", "Medium", 38000, 3},
+    {"Italy", "Europe", "High", "Low", "Medium", 36000, 3},
+    {"Poland", "Europe", "High", "Low", "Medium", 26000, 3},
+    {"Sweden", "Europe", "High", "Low", "High", 55000, 2},
+    {"Netherlands", "Europe", "High", "Low", "High", 58000, 2},
+    {"Russia", "Europe", "High", "High", "Medium", 21000, 3},
+    {"India", "Asia", "Medium", "High", "Low", 11000, 13},
+    {"China", "Asia", "Medium", "High", "Medium", 24000, 4},
+    {"Japan", "Asia", "High", "Low", "High", 49000, 2},
+    {"Israel", "Asia", "High", "High", "High", 63000, 2},
+    {"Turkey", "Asia", "Medium", "High", "Medium", 18000, 2},
+    {"Brazil", "South America", "Medium", "High", "Medium", 17000, 4},
+    {"Argentina", "South America", "Medium", "High", "Medium", 15000, 2},
+    {"Australia", "Oceania", "High", "Low", "High", 66000, 3},
+}};
+
+constexpr const char* kRoles[] = {
+    "Back-end developer", "Front-end developer", "Full-stack developer",
+    "Data scientist",     "DevOps specialist",   "QA developer",
+    "Mobile developer",   "C-suite executive",   "Engineering manager",
+    "Student",
+};
+
+constexpr const char* kEducation[] = {
+    "No formal degree", "Some college", "Bachelors degree",
+    "Masters degree",   "PhD",
+};
+
+constexpr const char* kMajors[] = {
+    "Computer science", "Other engineering", "Mathematics",
+    "Natural science",  "Humanities",        "Business",
+};
+
+constexpr const char* kEthnicities[] = {
+    "White", "South Asian", "East Asian", "Hispanic", "Black",
+    "Middle Eastern",
+};
+
+}  // namespace
+
+GeneratedDataset MakeStackOverflowDataset(const StackOverflowOptions& opt) {
+  GeneratedDataset ds;
+  ds.name = "SO";
+  Rng rng(opt.seed);
+
+  Table& t = ds.table;
+  t.AddColumn("Country", ColumnType::kCategorical);
+  t.AddColumn("Continent", ColumnType::kCategorical);
+  t.AddColumn("HDI", ColumnType::kCategorical);
+  t.AddColumn("Gini", ColumnType::kCategorical);
+  t.AddColumn("GDP", ColumnType::kCategorical);
+  t.AddColumn("Gender", ColumnType::kCategorical);
+  t.AddColumn("Ethnicity", ColumnType::kCategorical);
+  t.AddColumn("Age", ColumnType::kInt64);
+  t.AddColumn("Education", ColumnType::kCategorical);
+  t.AddColumn("EducationParents", ColumnType::kCategorical);
+  t.AddColumn("Major", ColumnType::kCategorical);
+  t.AddColumn("Role", ColumnType::kCategorical);
+  t.AddColumn("YearsCoding", ColumnType::kInt64);
+  t.AddColumn("Student", ColumnType::kCategorical);
+  t.AddColumn("Dependents", ColumnType::kCategorical);
+  t.AddColumn("Hobby", ColumnType::kCategorical);
+  t.AddColumn("HoursComputer", ColumnType::kInt64);
+  t.AddColumn("Exercise", ColumnType::kCategorical);
+  t.AddColumn("SexualOrientation", ColumnType::kCategorical);
+  t.AddColumn("Salary", ColumnType::kDouble);
+  t.ReserveRows(opt.num_rows);
+
+  std::vector<double> country_weights;
+  for (const auto& c : kCountries) country_weights.push_back(c.weight);
+
+  std::vector<Value> row(t.NumColumns());
+  for (size_t r = 0; r < opt.num_rows; ++r) {
+    const CountryInfo& c = kCountries[SampleCategory(&rng, country_weights)];
+    const bool europe = std::string(c.continent) == "Europe";
+    const bool high_gdp = std::string(c.gdp) == "High";
+    const bool high_gini = std::string(c.gini) == "High";
+
+    // --- Exogenous demographics -----------------------------------------
+    const int64_t age = static_cast<int64_t>(
+        Clamp(rng.NextGaussian(33, 9), 18, 70));
+    const char* gender =
+        rng.NextBool(0.80) ? "Male"
+                           : (rng.NextBool(0.92) ? "Female" : "Non-binary");
+    const char* ethnicity =
+        kEthnicities[SampleCategory(&rng, {5, 2, 2, 1.2, 1, 0.8})];
+    const char* parents_edu =
+        kEducation[SampleCategory(&rng, {2.5, 2.5, 3, 1.5, 0.5})];
+
+    // --- Education: caused by Age, Country (via HDI) and parents --------
+    double edu_score = rng.NextGaussian(0, 1);
+    if (age >= 28) edu_score += 0.6;
+    if (std::string(c.hdi) == "High") edu_score += 0.5;
+    if (std::string(parents_edu) == "Masters degree" ||
+        std::string(parents_edu) == "PhD") {
+      edu_score += 0.6;
+    }
+    const char* education = edu_score < -1.0   ? kEducation[0]
+                            : edu_score < -0.2 ? kEducation[1]
+                            : edu_score < 0.9  ? kEducation[2]
+                            : edu_score < 1.8  ? kEducation[3]
+                                               : kEducation[4];
+
+    // --- Major: influenced by education ---------------------------------
+    const char* major =
+        kMajors[SampleCategory(&rng, {5, 2, 1.2, 1, 0.6, 0.8})];
+
+    // --- Student status: young + low degree -----------------------------
+    const bool is_student =
+        age < 27 && rng.NextBool(std::string(education) == "No formal degree" ||
+                                         std::string(education) == "Some college"
+                                     ? 0.45
+                                     : 0.12);
+
+    // --- YearsCoding: caused by Age -------------------------------------
+    const int64_t years_coding = static_cast<int64_t>(Clamp(
+        rng.NextGaussian(static_cast<double>(age) - 22.0, 4.0), 0, 45));
+
+    // --- Role: caused by Education, Age, Major, YearsCoding (Fig. 3) ----
+    std::vector<double> role_w = {5, 4, 5, 1.5, 2, 2, 2.5, 0.4, 1, 0.1};
+    if (std::string(education) == "Masters degree" ||
+        std::string(education) == "PhD") {
+      role_w[3] *= 3.5;  // data scientist
+      role_w[7] *= 1.6;  // c-suite
+      role_w[8] *= 1.8;  // manager
+    }
+    if (age > 40) {
+      role_w[7] *= 4.0;
+      role_w[8] *= 3.0;
+    }
+    if (years_coding > 15) role_w[8] *= 1.7;
+    if (is_student) {
+      role_w.assign(role_w.size(), 0.05);
+      role_w[9] = 10;  // "Student" role
+    }
+    const char* role = kRoles[SampleCategory(&rng, role_w)];
+
+    const bool dependents = age > 30 && rng.NextBool(0.45);
+    const bool hobby = rng.NextBool(0.8);
+    const int64_t hours_computer =
+        static_cast<int64_t>(Clamp(rng.NextGaussian(9, 2), 2, 16));
+    const char* exercise = rng.NextBool(0.4) ? "Weekly" : "Rarely";
+    const char* orientation = rng.NextBool(0.92) ? "Straight" : "LGBTQ+";
+
+    // --- Salary: the structural equation planting the paper's story -----
+    double salary = c.base_salary;
+    // Universal effects (Fig. 6 sensitive-attribute study).
+    if (age < 35) salary += 9000;
+    if (age > 55) salary -= 12000;
+    if (std::string(gender) == "Male") salary += 5000;
+    if (std::string(ethnicity) == "White") salary += 4000;
+    // Education ladder.
+    if (std::string(education) == "No formal degree") salary -= 9000;
+    if (std::string(education) == "Masters degree") salary += 9000;
+    if (std::string(education) == "PhD") salary += 12000;
+    // Role ladder.
+    if (std::string(role) == "C-suite executive") salary += 30000;
+    if (std::string(role) == "Engineering manager") salary += 18000;
+    if (std::string(role) == "Data scientist") salary += 12000;
+    if (std::string(role) == "QA developer") salary -= 6000;
+    // Experience.
+    salary += 600.0 * static_cast<double>(years_coding);
+    // Students earn drastically less everywhere; strongest in Europe
+    // (Fig. 2 bullet 1's negative side).
+    if (is_student) salary -= europe ? 30000 : 20000;
+    // Group-conditional interactions that make the paper's insights the
+    // winning treatments:
+    if (europe && age < 35 && std::string(education) == "Masters degree") {
+      salary += 24000;  // Fig. 2 bullet 1 positive
+    }
+    if (high_gdp && std::string(role) == "C-suite executive") {
+      salary += 26000;  // Fig. 2 bullet 2 positive
+    }
+    if (high_gdp && age > 55 &&
+        std::string(education) == "Bachelors degree") {
+      salary -= 22000;  // Fig. 2 bullet 2 negative
+    }
+    if (high_gini && std::string(ethnicity) == "White" && age < 45) {
+      salary += 18000;  // Fig. 2 bullet 3 positive
+    }
+    if (high_gini && std::string(education) == "No formal degree") {
+      salary -= 15000;  // Fig. 2 bullet 3 negative
+    }
+    salary += rng.NextGaussian(0, 9000);
+    salary = Clamp(salary, 1000, 450000);
+
+    size_t i = 0;
+    row[i++] = Value(c.name);
+    row[i++] = Value(c.continent);
+    row[i++] = Value(c.hdi);
+    row[i++] = Value(c.gini);
+    row[i++] = Value(c.gdp);
+    row[i++] = Value(gender);
+    row[i++] = Value(ethnicity);
+    row[i++] = Value(age);
+    row[i++] = Value(education);
+    row[i++] = Value(parents_edu);
+    row[i++] = Value(major);
+    row[i++] = Value(role);
+    row[i++] = Value(years_coding);
+    row[i++] = Value(is_student ? "Yes" : "No");
+    row[i++] = Value(dependents ? "Yes" : "No");
+    row[i++] = Value(hobby ? "Yes" : "No");
+    row[i++] = Value(hours_computer);
+    row[i++] = Value(exercise);
+    row[i++] = Value(orientation);
+    row[i++] = Value(salary);
+    t.AddRow(row);
+  }
+
+  // --- Ground-truth causal DAG (Fig. 3 extended to all attributes) -------
+  CausalDag& g = ds.dag;
+  g.AddEdge("Country", "Salary");
+  g.AddEdge("Country", "Education");
+  g.AddEdge("Gender", "Salary");
+  g.AddEdge("Ethnicity", "Salary");
+  g.AddEdge("Age", "Education");
+  g.AddEdge("Age", "YearsCoding");
+  g.AddEdge("Age", "Role");
+  g.AddEdge("Age", "Salary");
+  g.AddEdge("Age", "Student");
+  g.AddEdge("EducationParents", "Education");
+  g.AddEdge("Education", "Role");
+  g.AddEdge("Education", "Salary");
+  g.AddEdge("Education", "Student");
+  g.AddEdge("Education", "Major");
+  g.AddEdge("Major", "Role");
+  g.AddEdge("YearsCoding", "Role");
+  g.AddEdge("YearsCoding", "Salary");
+  g.AddEdge("Role", "Salary");
+  g.AddEdge("Student", "Salary");
+  // FD-determined country descriptors (no causal role in Salary beyond
+  // Country itself, but present in the DAG as children of Country).
+  g.AddEdge("Country", "Continent");
+  g.AddEdge("Country", "HDI");
+  g.AddEdge("Country", "Gini");
+  g.AddEdge("Country", "GDP");
+  // Inert attributes.
+  g.AddNode("Dependents");
+  g.AddNode("Hobby");
+  g.AddNode("HoursComputer");
+  g.AddNode("Exercise");
+  g.AddNode("SexualOrientation");
+
+  ds.default_query.group_by = {"Country"};
+  ds.default_query.avg_attribute = "Salary";
+
+  ds.style.subject_noun = "individuals";
+  ds.style.outcome_noun = "annual income";
+  ds.style.group_noun = "countries";
+  ds.style.predicate_phrases = {
+      {"Age < 35", "being under 35"},
+      {"Age >= 35", "being 35 or older"},
+      {"Age < 45", "being under 45"},
+      {"Age > 55", "being over 55"},
+      {"Student = Yes", "being a student"},
+      {"Education = Masters degree", "holding a Master's degree"},
+      {"Education = No formal degree", "having no formal degree"},
+      {"Role = C-suite executive", "holding a C-level executive position"},
+      {"Ethnicity = White", "being white"},
+      {"Gender = Male", "being male"},
+  };
+  return ds;
+}
+
+}  // namespace causumx

@@ -1,0 +1,35 @@
+// Structural-equation replica of the Stack Overflow 2018 developer-survey
+// subset used throughout the paper (Example 1.1: 38090 tuples, 20
+// countries across 5 continents, 20 attributes, country-level economic
+// indicators HDI / Gini / GDP as FD-determined grouping attributes).
+//
+// Planted ground truth mirrors the published case study (Fig. 2/6):
+//  * Europe: Age<35 + Master's degree strongly raises Salary; being a
+//    student strongly lowers it.
+//  * High-GDP countries: C-level executives earn far more; Age>55 with a
+//    bachelor's earns less.
+//  * High-Gini countries: White respondents under 45 earn more; no formal
+//    degree earns much less.
+//  * Demographics (Gender/Ethnicity/Age) carry effects in every country
+//    (the sensitive-attributes study, Fig. 6).
+
+#ifndef CAUSUMX_DATAGEN_STACKOVERFLOW_H_
+#define CAUSUMX_DATAGEN_STACKOVERFLOW_H_
+
+#include "datagen/common.h"
+
+namespace causumx {
+
+struct StackOverflowOptions {
+  size_t num_rows = 38090;  ///< the paper's subset size.
+  uint64_t seed = 11;
+};
+
+/// Generates the Stack Overflow replica with its Fig. 3-style causal DAG
+/// and the running-example query (AVG(Salary) GROUP BY Country).
+GeneratedDataset MakeStackOverflowDataset(
+    const StackOverflowOptions& options = {});
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_DATAGEN_STACKOVERFLOW_H_

@@ -1,0 +1,36 @@
+// The paper's synthetic schema (Section 6.1):
+//
+//   G, G_1..G_i, T_1..T_j, O
+//
+// G takes a unique value per tuple (the grouping attribute). Each G_x
+// buckets G's range into a different number of buckets, so the FD
+// G -> G_x holds by construction. Each T_y is uniform in {1..5}. The
+// outcome is O = T_1 - T_2 + T_3 - ... (+-) T_j, so for every grouping
+// pattern the best positive treatment sets odd T's high / even T's low —
+// a recoverable ground truth for the accuracy experiments (Fig. 10).
+
+#ifndef CAUSUMX_DATAGEN_SYNTHETIC_H_
+#define CAUSUMX_DATAGEN_SYNTHETIC_H_
+
+#include "datagen/common.h"
+
+namespace causumx {
+
+struct SyntheticOptions {
+  size_t num_rows = 1000;            ///< n (paper uses n = 1k for Fig. 10).
+  size_t num_grouping_attrs = 3;     ///< i.
+  size_t num_treatment_attrs = 4;    ///< j.
+  /// Bucket count for G_x is buckets_base * (x + 1).
+  size_t buckets_base = 2;
+  /// Gaussian noise added to O (0 = the paper's exact deterministic O).
+  double noise_std = 0.0;
+  uint64_t seed = 7;
+};
+
+/// Generates the synthetic dataset. The ground-truth DAG is T_y -> O for
+/// all y (G's influence O only through selection, not causally).
+GeneratedDataset MakeSyntheticDataset(const SyntheticOptions& options = {});
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,208 @@
+#include "dataset/column.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace causumx {
+
+Column::Column(std::string name, ColumnType type)
+    : name_(std::move(name)), type_(type) {}
+
+size_t Column::size() const {
+  switch (type_) {
+    case ColumnType::kInt64:
+      return ints_.size();
+    case ColumnType::kDouble:
+      return doubles_.size();
+    case ColumnType::kCategorical:
+      return codes_.size();
+  }
+  return 0;
+}
+
+void Column::AppendInt(int64_t v) {
+  if (type_ != ColumnType::kInt64) {
+    throw std::logic_error("AppendInt on non-int column " + name_);
+  }
+  ints_.push_back(v);
+  distinct_dirty_ = true;
+}
+
+void Column::AppendDouble(double v) {
+  if (type_ != ColumnType::kDouble) {
+    throw std::logic_error("AppendDouble on non-double column " + name_);
+  }
+  doubles_.push_back(v);
+  distinct_dirty_ = true;
+}
+
+void Column::AppendCategorical(const std::string& v) {
+  if (type_ != ColumnType::kCategorical) {
+    throw std::logic_error("AppendCategorical on non-categorical column " +
+                           name_);
+  }
+  auto it = dict_index_.find(v);
+  int32_t code;
+  if (it == dict_index_.end()) {
+    code = static_cast<int32_t>(dict_.size());
+    dict_.push_back(v);
+    dict_index_.emplace(v, code);
+  } else {
+    code = it->second;
+  }
+  codes_.push_back(code);
+  distinct_dirty_ = true;
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case ColumnType::kInt64:
+      ints_.push_back(kNullInt);
+      break;
+    case ColumnType::kDouble:
+      doubles_.push_back(std::nan(""));
+      break;
+    case ColumnType::kCategorical:
+      codes_.push_back(kNullCode);
+      break;
+  }
+  distinct_dirty_ = true;
+}
+
+void Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case ColumnType::kInt64:
+      AppendInt(v.is_int() ? v.AsInt() : static_cast<int64_t>(v.AsDouble()));
+      break;
+    case ColumnType::kDouble:
+      AppendDouble(v.AsDouble());
+      break;
+    case ColumnType::kCategorical:
+      AppendCategorical(v.is_string() ? v.AsString() : v.ToString());
+      break;
+  }
+}
+
+bool Column::IsNull(size_t row) const {
+  switch (type_) {
+    case ColumnType::kInt64:
+      return ints_[row] == kNullInt;
+    case ColumnType::kDouble:
+      return std::isnan(doubles_[row]);
+    case ColumnType::kCategorical:
+      return codes_[row] == kNullCode;
+  }
+  return true;
+}
+
+double Column::GetNumeric(size_t row) const {
+  if (IsNull(row)) return std::nan("");
+  switch (type_) {
+    case ColumnType::kInt64:
+      return static_cast<double>(ints_[row]);
+    case ColumnType::kDouble:
+      return doubles_[row];
+    case ColumnType::kCategorical:
+      return static_cast<double>(codes_[row]);
+  }
+  return std::nan("");
+}
+
+Value Column::GetValue(size_t row) const {
+  if (IsNull(row)) return Value();
+  switch (type_) {
+    case ColumnType::kInt64:
+      return Value(ints_[row]);
+    case ColumnType::kDouble:
+      return Value(doubles_[row]);
+    case ColumnType::kCategorical:
+      return Value(dict_[codes_[row]]);
+  }
+  return Value();
+}
+
+int32_t Column::CodeOf(const std::string& s) const {
+  auto it = dict_index_.find(s);
+  return it == dict_index_.end() ? kNullCode : it->second;
+}
+
+size_t Column::NumDistinct() const {
+  if (!distinct_dirty_) return cached_distinct_;
+  switch (type_) {
+    case ColumnType::kCategorical:
+      cached_distinct_ = dict_.size();
+      break;
+    case ColumnType::kInt64: {
+      std::set<int64_t> s;
+      for (int64_t v : ints_) {
+        if (v != kNullInt) s.insert(v);
+      }
+      cached_distinct_ = s.size();
+      break;
+    }
+    case ColumnType::kDouble: {
+      std::set<double> s;
+      for (double v : doubles_) {
+        if (!std::isnan(v)) s.insert(v);
+      }
+      cached_distinct_ = s.size();
+      break;
+    }
+  }
+  distinct_dirty_ = false;
+  return cached_distinct_;
+}
+
+std::vector<Value> Column::DistinctValues() const {
+  std::vector<Value> out;
+  switch (type_) {
+    case ColumnType::kCategorical: {
+      std::vector<std::string> sorted = dict_;
+      std::sort(sorted.begin(), sorted.end());
+      out.reserve(sorted.size());
+      for (auto& s : sorted) out.emplace_back(std::move(s));
+      break;
+    }
+    case ColumnType::kInt64: {
+      std::set<int64_t> s;
+      for (int64_t v : ints_) {
+        if (v != kNullInt) s.insert(v);
+      }
+      out.reserve(s.size());
+      for (int64_t v : s) out.emplace_back(v);
+      break;
+    }
+    case ColumnType::kDouble: {
+      std::set<double> s;
+      for (double v : doubles_) {
+        if (!std::isnan(v)) s.insert(v);
+      }
+      out.reserve(s.size());
+      for (double v : s) out.emplace_back(v);
+      break;
+    }
+  }
+  return out;
+}
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case ColumnType::kInt64:
+      ints_.reserve(n);
+      break;
+    case ColumnType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ColumnType::kCategorical:
+      codes_.reserve(n);
+      break;
+  }
+}
+
+}  // namespace causumx

@@ -1,0 +1,83 @@
+// Typed column storage.
+//
+// Categorical columns are dictionary-encoded: the column stores int32
+// codes plus a dictionary of distinct strings. This keeps the hot paths
+// (predicate evaluation, grouping, Apriori item extraction) integer-only.
+
+#ifndef CAUSUMX_DATASET_COLUMN_H_
+#define CAUSUMX_DATASET_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/value.h"
+
+namespace causumx {
+
+/// A single named, typed column. Null entries are represented by a
+/// sentinel (kNullCode for categorical, NaN for double, kNullInt for int).
+class Column {
+ public:
+  static constexpr int32_t kNullCode = -1;
+  static constexpr int64_t kNullInt = INT64_MIN;
+
+  Column(std::string name, ColumnType type);
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  size_t size() const;
+
+  // --- Appending ----------------------------------------------------------
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendCategorical(const std::string& v);
+  void AppendNull();
+  void AppendValue(const Value& v);
+
+  // --- Access -------------------------------------------------------------
+  bool IsNull(size_t row) const;
+  int64_t GetInt(size_t row) const { return ints_[row]; }
+  double GetDouble(size_t row) const { return doubles_[row]; }
+  int32_t GetCode(size_t row) const { return codes_[row]; }
+  const std::string& DictString(int32_t code) const { return dict_[code]; }
+
+  /// Numeric view of any row: ints/doubles as-is, categorical as its code.
+  /// Null rows return NaN. Used by the regression encoder and CI tests.
+  double GetNumeric(size_t row) const;
+
+  /// Cell as a Value (categoricals decode to strings).
+  Value GetValue(size_t row) const;
+
+  /// Dictionary code for a string; kNullCode when absent. Categorical only.
+  int32_t CodeOf(const std::string& s) const;
+
+  /// Dictionary size (categorical) or count of distinct values (numeric;
+  /// computed on demand, O(n log n) first call, cached until next append).
+  size_t NumDistinct() const;
+
+  /// Distinct non-null values in this column, ascending.
+  std::vector<Value> DistinctValues() const;
+
+  const std::vector<std::string>& dictionary() const { return dict_; }
+
+  void Reserve(size_t n);
+
+ private:
+  std::string name_;
+  ColumnType type_;
+
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int32_t> dict_index_;
+
+  mutable size_t cached_distinct_ = 0;
+  mutable bool distinct_dirty_ = true;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_DATASET_COLUMN_H_

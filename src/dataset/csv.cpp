@@ -1,0 +1,208 @@
+#include "dataset/csv.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_utils.h"
+
+namespace causumx {
+
+namespace {
+
+bool IsNullToken(const std::string& s, const CsvOptions& opt) {
+  return std::find(opt.null_tokens.begin(), opt.null_tokens.end(), s) !=
+         opt.null_tokens.end();
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  const char* b = s.data();
+  const char* e = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(b, e, *out);
+  return ec == std::errc() && ptr == e;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+// Splits a CSV line honoring double-quote escaping.
+std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+}  // namespace
+
+Table ReadCsv(std::istream& in, const CsvOptions& opt) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("csv: empty input");
+  }
+  const std::vector<std::string> header = SplitCsvLine(line, opt.delimiter);
+
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = SplitCsvLine(line, opt.delimiter);
+    if (fields.size() != header.size()) {
+      throw std::runtime_error(StrFormat(
+          "csv: row %zu has %zu fields, expected %zu", rows.size() + 2,
+          fields.size(), header.size()));
+    }
+    rows.push_back(std::move(fields));
+  }
+
+  // Infer a type per column from a prefix of the data.
+  std::vector<ColumnType> types(header.size(), ColumnType::kCategorical);
+  if (opt.infer_types) {
+    const size_t probe = std::min(rows.size(), opt.type_inference_rows);
+    for (size_t c = 0; c < header.size(); ++c) {
+      bool all_int = true, all_num = true, any_value = false;
+      for (size_t r = 0; r < probe; ++r) {
+        const std::string& s = rows[r][c];
+        if (IsNullToken(s, opt)) continue;
+        any_value = true;
+        int64_t iv;
+        double dv;
+        if (!ParseInt(s, &iv)) all_int = false;
+        if (!ParseDouble(s, &dv)) {
+          all_num = false;
+          break;
+        }
+      }
+      if (any_value && all_int) {
+        types[c] = ColumnType::kInt64;
+      } else if (any_value && all_num) {
+        types[c] = ColumnType::kDouble;
+      }
+    }
+  }
+
+  Table table;
+  for (size_t c = 0; c < header.size(); ++c) {
+    table.AddColumn(Trim(header[c]), types[c]);
+  }
+  table.ReserveRows(rows.size());
+  std::vector<Value> row_values(header.size());
+  for (const auto& fields : rows) {
+    for (size_t c = 0; c < fields.size(); ++c) {
+      const std::string& s = fields[c];
+      if (IsNullToken(s, opt)) {
+        row_values[c] = Value();
+        continue;
+      }
+      switch (types[c]) {
+        case ColumnType::kInt64: {
+          int64_t iv;
+          if (ParseInt(s, &iv)) {
+            row_values[c] = Value(iv);
+          } else {
+            row_values[c] = Value();  // unparsable -> null
+          }
+          break;
+        }
+        case ColumnType::kDouble: {
+          double dv;
+          if (ParseDouble(s, &dv)) {
+            row_values[c] = Value(dv);
+          } else {
+            row_values[c] = Value();
+          }
+          break;
+        }
+        case ColumnType::kCategorical:
+          row_values[c] = Value(s);
+          break;
+      }
+    }
+    table.AddRow(row_values);
+  }
+  return table;
+}
+
+Table ReadCsvFile(const std::string& path, const CsvOptions& opt) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("csv: cannot open " + path);
+  return ReadCsv(f, opt);
+}
+
+namespace {
+
+std::string EscapeCsv(const std::string& s, char delim) {
+  if (s.find(delim) == std::string::npos &&
+      s.find('"') == std::string::npos && s.find('\n') == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+void WriteCsv(const Table& table, std::ostream& out, char delimiter) {
+  const auto names = table.ColumnNames();
+  for (size_t c = 0; c < names.size(); ++c) {
+    if (c) out << delimiter;
+    out << EscapeCsv(names[c], delimiter);
+  }
+  out << '\n';
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      if (c) out << delimiter;
+      const Column& col = table.column(c);
+      if (!col.IsNull(r)) {
+        out << EscapeCsv(col.GetValue(r).ToString(), delimiter);
+      }
+    }
+    out << '\n';
+  }
+}
+
+void WriteCsvFile(const Table& table, const std::string& path,
+                  char delimiter) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("csv: cannot open for write " + path);
+  WriteCsv(table, f, delimiter);
+}
+
+}  // namespace causumx

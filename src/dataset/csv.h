@@ -1,0 +1,45 @@
+// CSV import/export for Table.
+//
+// The paper's datasets arrive as CSV; our generators can also round-trip
+// through this reader so users can plug in their own data.
+
+#ifndef CAUSUMX_DATASET_CSV_H_
+#define CAUSUMX_DATASET_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dataset/table.h"
+
+namespace causumx {
+
+/// Options controlling CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true (default), column types are inferred from the first
+  /// `type_inference_rows` data rows: all-integer -> int64, all-numeric ->
+  /// double, otherwise categorical.
+  bool infer_types = true;
+  size_t type_inference_rows = 1000;
+  /// Strings treated as null cells.
+  std::vector<std::string> null_tokens = {"", "NA", "null", "NULL"};
+};
+
+/// Parses CSV text (first line = header) into a Table.
+/// Throws std::runtime_error on ragged rows.
+Table ReadCsv(std::istream& in, const CsvOptions& options = {});
+
+/// Reads a CSV file from disk. Throws on I/O failure.
+Table ReadCsvFile(const std::string& path, const CsvOptions& options = {});
+
+/// Writes a table as CSV (header + rows).
+void WriteCsv(const Table& table, std::ostream& out, char delimiter = ',');
+
+/// Writes a table to a CSV file. Throws on I/O failure.
+void WriteCsvFile(const Table& table, const std::string& path,
+                  char delimiter = ',');
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_DATASET_CSV_H_

@@ -1,0 +1,55 @@
+#include "dataset/fd.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace causumx {
+
+bool HoldsFd(const Table& table, const std::vector<std::string>& lhs,
+             const std::string& rhs) {
+  std::vector<const Column*> lhs_cols;
+  lhs_cols.reserve(lhs.size());
+  for (const auto& name : lhs) lhs_cols.push_back(&table.column(name));
+  const Column& rhs_col = table.column(rhs);
+
+  std::unordered_map<std::string, std::string> seen;
+  seen.reserve(table.NumRows() / 4 + 16);
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    bool null_key = false;
+    std::string key;
+    for (size_t k = 0; k < lhs_cols.size(); ++k) {
+      if (lhs_cols[k]->IsNull(r)) {
+        null_key = true;
+        break;
+      }
+      if (k) key += '\x1f';
+      key += lhs_cols[k]->GetValue(r).ToString();
+    }
+    if (null_key) continue;
+    const std::string val =
+        rhs_col.IsNull(r) ? "\x01<null>" : rhs_col.GetValue(r).ToString();
+    auto [it, inserted] = seen.try_emplace(key, val);
+    if (!inserted && it->second != val) return false;
+  }
+  return true;
+}
+
+AttributePartition PartitionAttributes(
+    const Table& table, const std::vector<std::string>& group_by,
+    const std::string& outcome) {
+  AttributePartition part;
+  for (const auto& name : table.ColumnNames()) {
+    if (name == outcome) continue;
+    if (std::find(group_by.begin(), group_by.end(), name) != group_by.end()) {
+      continue;
+    }
+    if (HoldsFd(table, group_by, name)) {
+      part.grouping_attributes.push_back(name);
+    } else {
+      part.treatment_attributes.push_back(name);
+    }
+  }
+  return part;
+}
+
+}  // namespace causumx

@@ -1,0 +1,40 @@
+// Functional-dependency detection.
+//
+// Grouping patterns may only use attributes W with A_gb -> W (Section 4.1);
+// this module partitions the schema into grouping vs. treatment attributes.
+
+#ifndef CAUSUMX_DATASET_FD_H_
+#define CAUSUMX_DATASET_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "dataset/table.h"
+
+namespace causumx {
+
+/// Exact check of the FD  lhs -> rhs  on the table: every combination of
+/// lhs values maps to at most one rhs value. Null lhs rows are skipped;
+/// a null rhs under a non-null lhs key counts as a distinct value.
+bool HoldsFd(const Table& table, const std::vector<std::string>& lhs,
+             const std::string& rhs);
+
+/// Result of partitioning the schema around a query.
+struct AttributePartition {
+  /// Attributes W (excluding A_gb itself and the outcome) with A_gb -> W:
+  /// the candidates for grouping patterns.
+  std::vector<std::string> grouping_attributes;
+  /// Everything else (excluding A_gb and the outcome): candidates for
+  /// treatment patterns.
+  std::vector<std::string> treatment_attributes;
+};
+
+/// Splits table attributes into grouping/treatment candidates for the
+/// given group-by attributes and outcome, per Section 4.1 of the paper.
+AttributePartition PartitionAttributes(const Table& table,
+                                       const std::vector<std::string>& group_by,
+                                       const std::string& outcome);
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_DATASET_FD_H_

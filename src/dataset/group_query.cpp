@@ -1,0 +1,92 @@
+#include "dataset/group_query.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace causumx {
+
+std::string GroupByAvgQuery::ToSql(const std::string& relation) const {
+  std::ostringstream oss;
+  oss << "SELECT " << Join(group_by, ", ") << ", AVG(" << avg_attribute
+      << ") FROM " << relation;
+  if (!where.IsEmpty()) oss << " WHERE " << where.ToString();
+  oss << " GROUP BY " << Join(group_by, ", ");
+  return oss.str();
+}
+
+std::string GroupResult::KeyString() const {
+  std::string out;
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (i) out += "|";
+    out += key[i].ToString();
+  }
+  return out;
+}
+
+AggregateView AggregateView::Evaluate(const Table& table,
+                                      const GroupByAvgQuery& query) {
+  AggregateView view;
+  view.query_ = query;
+  view.row_group_.assign(table.NumRows(), -1);
+
+  std::vector<const Column*> key_cols;
+  key_cols.reserve(query.group_by.size());
+  for (const auto& name : query.group_by) {
+    key_cols.push_back(&table.column(name));
+  }
+  const Column& avg_col = table.column(query.avg_attribute);
+
+  const Bitset where_mask =
+      query.where.IsEmpty() ? Bitset() : query.where.Evaluate(table);
+
+  // Key rows by the concatenation of group-by cell renderings. Using a map
+  // keyed on strings keeps composite keys simple; group order follows first
+  // appearance for stable output.
+  std::map<std::string, size_t> key_to_group;
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    if (!query.where.IsEmpty() && !where_mask.Test(r)) continue;
+    if (avg_col.IsNull(r)) continue;
+    bool null_key = false;
+    std::string key_str;
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      if (key_cols[k]->IsNull(r)) {
+        null_key = true;
+        break;
+      }
+      if (k) key_str += '\x1f';
+      key_str += key_cols[k]->GetValue(r).ToString();
+    }
+    if (null_key) continue;
+
+    auto [it, inserted] =
+        key_to_group.try_emplace(key_str, view.groups_.size());
+    if (inserted) {
+      GroupResult g;
+      g.key.reserve(key_cols.size());
+      for (const Column* c : key_cols) g.key.push_back(c->GetValue(r));
+      view.groups_.push_back(std::move(g));
+    }
+    GroupResult& g = view.groups_[it->second];
+    g.average += avg_col.GetNumeric(r);
+    g.count += 1;
+    g.rows.push_back(r);
+    view.row_group_[r] = static_cast<int32_t>(it->second);
+  }
+  for (auto& g : view.groups_) {
+    if (g.count > 0) g.average /= static_cast<double>(g.count);
+  }
+  return view;
+}
+
+std::vector<size_t> AggregateView::ActiveRows() const {
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < row_group_.size(); ++r) {
+    if (row_group_[r] >= 0) rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace causumx

@@ -1,0 +1,65 @@
+// The aggregate-view query engine: SELECT A_gb, AVG(A_avg) FROM D
+// WHERE phi GROUP BY A_gb  (Section 4 of the paper).
+
+#ifndef CAUSUMX_DATASET_GROUP_QUERY_H_
+#define CAUSUMX_DATASET_GROUP_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "dataset/pattern.h"
+#include "dataset/table.h"
+
+namespace causumx {
+
+/// A group-by-average query.
+struct GroupByAvgQuery {
+  std::vector<std::string> group_by;  ///< A_gb: categorical attributes.
+  std::string avg_attribute;          ///< A_avg: numeric outcome.
+  Pattern where;                      ///< phi (empty = no filter).
+
+  /// "SELECT Country, AVG(Salary) FROM D GROUP BY Country" rendering.
+  std::string ToSql(const std::string& relation = "D") const;
+};
+
+/// One output group: its key values, the AVG, and the member rows.
+struct GroupResult {
+  std::vector<Value> key;       ///< values of A_gb, in query order.
+  double average = 0.0;         ///< AVG(A_avg) over the group's rows.
+  size_t count = 0;             ///< number of contributing tuples.
+  std::vector<size_t> rows;     ///< row indices in the (filtered) table.
+
+  /// "US" or "US|Engineering" composite-key rendering.
+  std::string KeyString() const;
+};
+
+/// The evaluated aggregate view Q(D).
+class AggregateView {
+ public:
+  AggregateView() = default;
+
+  /// Evaluates the query. Rows failing WHERE or with a null in any group-by
+  /// or AVG attribute are excluded. Groups are ordered by first appearance.
+  static AggregateView Evaluate(const Table& table,
+                                const GroupByAvgQuery& query);
+
+  const GroupByAvgQuery& query() const { return query_; }
+  size_t NumGroups() const { return groups_.size(); }
+  const std::vector<GroupResult>& groups() const { return groups_; }
+  const GroupResult& group(size_t i) const { return groups_[i]; }
+
+  /// Group index that a table row belongs to, or -1 if filtered out.
+  int32_t GroupOfRow(size_t row) const { return row_group_[row]; }
+
+  /// All row indices that participate in some group.
+  std::vector<size_t> ActiveRows() const;
+
+ private:
+  GroupByAvgQuery query_;
+  std::vector<GroupResult> groups_;
+  std::vector<int32_t> row_group_;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_DATASET_GROUP_QUERY_H_

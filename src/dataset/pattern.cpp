@@ -1,0 +1,101 @@
+#include "dataset/pattern.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace causumx {
+
+Pattern::Pattern(std::vector<SimplePredicate> preds) : preds_(std::move(preds)) {
+  std::sort(preds_.begin(), preds_.end(),
+            [](const SimplePredicate& a, const SimplePredicate& b) {
+              return a.Less(b);
+            });
+  preds_.erase(std::unique(preds_.begin(), preds_.end()), preds_.end());
+}
+
+Pattern Pattern::With(const SimplePredicate& p) const {
+  std::vector<SimplePredicate> next = preds_;
+  next.push_back(p);
+  return Pattern(std::move(next));
+}
+
+bool Pattern::UsesAttribute(const std::string& attribute) const {
+  for (const auto& p : preds_) {
+    if (p.attribute == attribute) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Pattern::Attributes() const {
+  std::vector<std::string> attrs;
+  for (const auto& p : preds_) attrs.push_back(p.attribute);
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return attrs;
+}
+
+bool Pattern::Matches(const Table& table, size_t row) const {
+  for (const auto& p : preds_) {
+    if (!p.Matches(table, row)) return false;
+  }
+  return true;
+}
+
+Bitset Pattern::Evaluate(const Table& table) const {
+  Bitset out(table.NumRows());
+  out.SetAll();
+  // Evaluate predicate-by-predicate so each pass is a tight loop over one
+  // column; categorical equality resolves the dictionary code once.
+  for (const auto& p : preds_) {
+    const Column& col = table.column(p.attribute);
+    if (col.type() == ColumnType::kCategorical && p.op == CompareOp::kEq) {
+      const std::string rhs =
+          p.value.is_string() ? p.value.AsString() : p.value.ToString();
+      const int32_t code = col.CodeOf(rhs);
+      for (size_t r = 0; r < table.NumRows(); ++r) {
+        if (out.Test(r) && col.GetCode(r) != code) out.Clear(r);
+      }
+    } else {
+      for (size_t r = 0; r < table.NumRows(); ++r) {
+        if (out.Test(r) && !p.Matches(table, r)) out.Clear(r);
+      }
+    }
+  }
+  return out;
+}
+
+Bitset Pattern::EvaluateOn(const Table& table, const Bitset& mask) const {
+  Bitset out = Evaluate(table);
+  out &= mask;
+  return out;
+}
+
+std::string Pattern::ToString() const {
+  if (preds_.empty()) return "TRUE";
+  std::string out;
+  for (size_t i = 0; i < preds_.size(); ++i) {
+    if (i) out += " AND ";
+    out += preds_[i].ToString();
+  }
+  return out;
+}
+
+uint64_t Pattern::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& p : preds_) {
+    mix(p.attribute);
+    mix(CompareOpSymbol(p.op));
+    mix(p.value.ToString());
+  }
+  return h;
+}
+
+}  // namespace causumx

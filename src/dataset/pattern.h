@@ -1,0 +1,62 @@
+// Conjunctive patterns (Definition 4.1) and batched evaluation.
+
+#ifndef CAUSUMX_DATASET_PATTERN_H_
+#define CAUSUMX_DATASET_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "dataset/predicate.h"
+#include "util/bitset.h"
+
+namespace causumx {
+
+/// A conjunction of simple predicates, kept in canonical (sorted) order so
+/// that structurally equal patterns compare equal.
+class Pattern {
+ public:
+  Pattern() = default;
+  explicit Pattern(std::vector<SimplePredicate> preds);
+
+  /// The always-true empty pattern.
+  bool IsEmpty() const { return preds_.empty(); }
+  size_t Size() const { return preds_.size(); }
+
+  const std::vector<SimplePredicate>& predicates() const { return preds_; }
+
+  /// Returns a new pattern with `p` added (canonicalized). If the pattern
+  /// already constrains p.attribute, the result still contains both
+  /// predicates (e.g. Age > 20 AND Age < 35 is a valid range).
+  Pattern With(const SimplePredicate& p) const;
+
+  /// True iff this pattern mentions `attribute`.
+  bool UsesAttribute(const std::string& attribute) const;
+
+  /// Attributes mentioned (deduplicated, sorted).
+  std::vector<std::string> Attributes() const;
+
+  /// Row-at-a-time evaluation: all predicates must match.
+  /// The empty pattern matches every row.
+  bool Matches(const Table& table, size_t row) const;
+
+  /// Batched evaluation over an entire table; bit i set iff row i matches.
+  Bitset Evaluate(const Table& table) const;
+
+  /// Batched evaluation restricted to rows where `mask` is set.
+  Bitset EvaluateOn(const Table& table, const Bitset& mask) const;
+
+  /// "Age < 35 AND Education = Masters" rendering ("TRUE" when empty).
+  std::string ToString() const;
+
+  bool operator==(const Pattern& other) const { return preds_ == other.preds_; }
+
+  /// Stable content hash.
+  uint64_t Hash() const;
+
+ private:
+  std::vector<SimplePredicate> preds_;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_DATASET_PATTERN_H_

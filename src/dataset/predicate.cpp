@@ -1,0 +1,80 @@
+#include "dataset/predicate.h"
+
+#include <stdexcept>
+
+namespace causumx {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ApplyOp(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SimplePredicate::Matches(const Table& table, size_t row) const {
+  const Column& col = table.column(attribute);
+  if (col.IsNull(row)) return false;
+  if (col.type() == ColumnType::kCategorical) {
+    // Categorical supports equality only against string constants; ordered
+    // ops fall back to lexicographic comparison of the decoded string.
+    const std::string& cell = col.DictString(col.GetCode(row));
+    const std::string rhs =
+        value.is_string() ? value.AsString() : value.ToString();
+    return ApplyOp(op, cell.compare(rhs));
+  }
+  const double cell = col.GetNumeric(row);
+  const double rhs = value.AsDouble();
+  int cmp = 0;
+  if (cell < rhs) {
+    cmp = -1;
+  } else if (cell > rhs) {
+    cmp = 1;
+  }
+  return ApplyOp(op, cmp);
+}
+
+std::string SimplePredicate::ToString() const {
+  return attribute + " " + CompareOpSymbol(op) + " " + value.ToString();
+}
+
+bool SimplePredicate::operator==(const SimplePredicate& other) const {
+  return attribute == other.attribute && op == other.op &&
+         value.ToString() == other.value.ToString();
+}
+
+bool SimplePredicate::Less(const SimplePredicate& other) const {
+  if (attribute != other.attribute) return attribute < other.attribute;
+  if (op != other.op) return static_cast<int>(op) < static_cast<int>(other.op);
+  return value.ToString() < other.value.ToString();
+}
+
+}  // namespace causumx

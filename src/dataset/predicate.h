@@ -1,0 +1,47 @@
+// Simple predicates `A op v` (Definition 4.1 in the paper).
+
+#ifndef CAUSUMX_DATASET_PREDICATE_H_
+#define CAUSUMX_DATASET_PREDICATE_H_
+
+#include <string>
+
+#include "dataset/table.h"
+#include "dataset/value.h"
+
+namespace causumx {
+
+/// Comparison operators allowed in simple predicates.
+enum class CompareOp { kEq, kLt, kGt, kLe, kGe };
+
+/// Symbol for an operator ("=", "<", ">", "<=", ">=").
+const char* CompareOpSymbol(CompareOp op);
+
+/// A simple predicate: `attribute op constant`.
+///
+/// Evaluation against categorical columns resolves the constant to a
+/// dictionary code once per table (see PredicateEvaluator in pattern.h for
+/// the batched path); Matches() here is the row-at-a-time reference path.
+struct SimplePredicate {
+  std::string attribute;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+
+  SimplePredicate() = default;
+  SimplePredicate(std::string attr, CompareOp o, Value v)
+      : attribute(std::move(attr)), op(o), value(std::move(v)) {}
+
+  /// Row-at-a-time evaluation. Null cells never match.
+  bool Matches(const Table& table, size_t row) const;
+
+  /// "Age < 35" style rendering.
+  std::string ToString() const;
+
+  bool operator==(const SimplePredicate& other) const;
+
+  /// Total order (by attribute, op, value) used to canonicalize patterns.
+  bool Less(const SimplePredicate& other) const;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_DATASET_PREDICATE_H_

@@ -1,0 +1,118 @@
+#include "dataset/table.h"
+
+#include <stdexcept>
+
+namespace causumx {
+
+size_t Table::AddColumn(const std::string& name, ColumnType type) {
+  if (num_rows_ > 0) {
+    throw std::logic_error("AddColumn after rows were appended");
+  }
+  if (index_.count(name)) {
+    throw std::logic_error("duplicate column name: " + name);
+  }
+  const size_t idx = columns_.size();
+  columns_.push_back(std::make_unique<Column>(name, type));
+  index_.emplace(name, idx);
+  return idx;
+}
+
+void Table::AddRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    throw std::logic_error("row arity mismatch");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    columns_[i]->AppendValue(values[i]);
+  }
+  ++num_rows_;
+}
+
+std::optional<size_t> Table::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Column& Table::column(const std::string& name) const {
+  auto idx = ColumnIndex(name);
+  if (!idx) throw std::out_of_range("unknown column: " + name);
+  return *columns_[*idx];
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& c : columns_) names.push_back(c->name());
+  return names;
+}
+
+Table Table::SelectRows(const std::vector<size_t>& rows) const {
+  Table out;
+  for (const auto& c : columns_) out.AddColumn(c->name(), c->type());
+  out.ReserveRows(rows.size());
+  for (size_t r : rows) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      const Column& src = *columns_[i];
+      Column& dst = *out.columns_[i];
+      if (src.IsNull(r)) {
+        dst.AppendNull();
+        continue;
+      }
+      switch (src.type()) {
+        case ColumnType::kInt64:
+          dst.AppendInt(src.GetInt(r));
+          break;
+        case ColumnType::kDouble:
+          dst.AppendDouble(src.GetDouble(r));
+          break;
+        case ColumnType::kCategorical:
+          dst.AppendCategorical(src.DictString(src.GetCode(r)));
+          break;
+      }
+    }
+    ++out.num_rows_;
+  }
+  return out;
+}
+
+Table Table::SelectColumns(const std::vector<std::string>& names) const {
+  Table out;
+  std::vector<size_t> src_idx;
+  src_idx.reserve(names.size());
+  for (const auto& n : names) {
+    auto idx = ColumnIndex(n);
+    if (!idx) throw std::out_of_range("unknown column: " + n);
+    src_idx.push_back(*idx);
+    out.AddColumn(n, columns_[*idx]->type());
+  }
+  out.ReserveRows(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    for (size_t j = 0; j < src_idx.size(); ++j) {
+      const Column& src = *columns_[src_idx[j]];
+      Column& dst = *out.columns_[j];
+      if (src.IsNull(r)) {
+        dst.AppendNull();
+        continue;
+      }
+      switch (src.type()) {
+        case ColumnType::kInt64:
+          dst.AppendInt(src.GetInt(r));
+          break;
+        case ColumnType::kDouble:
+          dst.AppendDouble(src.GetDouble(r));
+          break;
+        case ColumnType::kCategorical:
+          dst.AppendCategorical(src.DictString(src.GetCode(r)));
+          break;
+      }
+    }
+  }
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+void Table::ReserveRows(size_t n) {
+  for (auto& c : columns_) c->Reserve(n);
+}
+
+}  // namespace causumx

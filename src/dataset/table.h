@@ -1,0 +1,65 @@
+// Single-relation in-memory table — the database substrate the paper's
+// framework operates on (Section 4: "We consider a single-relation
+// database over a schema A").
+
+#ifndef CAUSUMX_DATASET_TABLE_H_
+#define CAUSUMX_DATASET_TABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/column.h"
+#include "dataset/value.h"
+
+namespace causumx {
+
+/// Column-major table over a fixed schema.
+///
+/// Rows are appended via AddRow (values in schema order). Column lookup by
+/// name is O(1). The table owns its columns.
+class Table {
+ public:
+  Table() = default;
+
+  /// Declares a column; must happen before any rows are appended.
+  /// Returns the column index. Throws on duplicate names.
+  size_t AddColumn(const std::string& name, ColumnType type);
+
+  /// Appends one row; `values` must match the schema arity and order.
+  void AddRow(const std::vector<Value>& values);
+
+  size_t NumRows() const { return num_rows_; }
+  size_t NumColumns() const { return columns_.size(); }
+
+  /// Index of a column by name, or nullopt.
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Column by index / name; throws on a bad name.
+  const Column& column(size_t i) const { return *columns_[i]; }
+  Column& column(size_t i) { return *columns_[i]; }
+  const Column& column(const std::string& name) const;
+
+  std::vector<std::string> ColumnNames() const;
+
+  /// Materializes a new table containing only the rows whose indices are
+  /// listed (in the given order). Used for WHERE pushdown and sampling.
+  Table SelectRows(const std::vector<size_t>& rows) const;
+
+  /// Materializes a new table with only the named columns (schema order
+  /// follows `names`). Throws if a name is unknown.
+  Table SelectColumns(const std::vector<std::string>& names) const;
+
+  void ReserveRows(size_t n);
+
+ private:
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::unordered_map<std::string, size_t> index_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_DATASET_TABLE_H_

@@ -1,0 +1,52 @@
+#include "dataset/value.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/string_utils.h"
+
+namespace causumx {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kCategorical:
+      return "categorical";
+  }
+  return "?";
+}
+
+double Value::AsDouble() const {
+  if (is_double()) return std::get<double>(v_);
+  if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+  throw std::logic_error("Value::AsDouble on non-numeric value");
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (is_string() != other.is_string()) return false;
+  if (is_string()) return AsString() == other.AsString();
+  return AsDouble() == other.AsDouble();
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_string() && other.is_string()) {
+    return AsString().compare(other.AsString());
+  }
+  const double a = AsDouble(), b = other.AsDouble();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "<null>";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) return FormatDouble(std::get<double>(v_), 6);
+  return AsString();
+}
+
+}  // namespace causumx

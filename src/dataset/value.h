@@ -1,0 +1,63 @@
+// Scalar value type for cells, predicate constants, and group keys.
+
+#ifndef CAUSUMX_DATASET_VALUE_H_
+#define CAUSUMX_DATASET_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace causumx {
+
+/// Logical column types.
+///
+/// kCategorical columns are dictionary-encoded strings; kInt64 and kDouble
+/// are numeric. Grouping-pattern attributes must be categorical or integer
+/// (they need exact equality); treatment attributes may be any type.
+enum class ColumnType {
+  kInt64,
+  kDouble,
+  kCategorical,
+};
+
+/// Returns a human-readable name ("int64", "double", "categorical").
+const char* ColumnTypeName(ColumnType t);
+
+/// A dynamically typed scalar: null, int64, double, or string.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const;
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// True when both are non-null and numerically / lexically equal.
+  /// Ints and doubles compare numerically across types.
+  bool Equals(const Value& other) const;
+
+  /// Three-way compare for non-null values of compatible types; strings
+  /// compare lexically, numerics numerically. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// Display form ("<null>" for null).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return Equals(other); }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_DATASET_VALUE_H_

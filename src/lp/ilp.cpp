@@ -1,0 +1,128 @@
+#include "lp/ilp.h"
+
+#include <cmath>
+#include <optional>
+#include <stack>
+
+namespace causumx {
+
+namespace {
+
+constexpr double kIntTol = 1e-6;
+
+struct Node {
+  // Variable fixings: -1 = free, 0/1 = fixed.
+  std::vector<int8_t> fixed;
+};
+
+// Applies fixings to a copy of the base LP via bound rows.
+LinearProgram WithFixings(const LinearProgram& base,
+                          const std::vector<int8_t>& fixed) {
+  LinearProgram lp = base;
+  for (size_t j = 0; j < fixed.size(); ++j) {
+    if (fixed[j] < 0) continue;
+    std::vector<double> row(base.NumVars(), 0.0);
+    row[j] = 1.0;
+    lp.AddRow(std::move(row), ConstraintSense::kEq,
+              static_cast<double>(fixed[j]));
+  }
+  return lp;
+}
+
+// Index of the most fractional free binary variable, or nullopt if all
+// binaries are integral.
+std::optional<size_t> MostFractional(const std::vector<double>& x,
+                                     const std::vector<int8_t>& fixed,
+                                     size_t num_binary) {
+  std::optional<size_t> best;
+  double best_dist = kIntTol;
+  for (size_t j = 0; j < x.size() && j < num_binary; ++j) {
+    if (fixed[j] >= 0) continue;
+    const double frac = x[j] - std::floor(x[j]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+IlpSolution SolveBinaryIlp(const LinearProgram& base, size_t max_nodes,
+                           size_t num_binary_vars) {
+  IlpSolution incumbent;
+
+  LinearProgram lp = base;
+  if (num_binary_vars == 0 || num_binary_vars > lp.NumVars()) {
+    num_binary_vars = lp.NumVars();
+  }
+  // Ensure binary upper bounds on the binary prefix; continuous suffix
+  // variables keep their declared bounds (default 1.0 if unset).
+  if (lp.upper_bounds.size() < lp.NumVars()) {
+    lp.upper_bounds.resize(lp.NumVars(), 1.0);
+  }
+  for (size_t j = 0; j < num_binary_vars; ++j) lp.upper_bounds[j] = 1.0;
+
+  std::stack<Node> stack;
+  stack.push(Node{std::vector<int8_t>(lp.NumVars(), -1)});
+  size_t nodes = 0;
+  bool exhausted = false;
+
+  while (!stack.empty()) {
+    if (++nodes > max_nodes) {
+      exhausted = true;
+      break;
+    }
+    Node node = std::move(stack.top());
+    stack.pop();
+
+    const LpSolution relax = SolveLp(WithFixings(lp, node.fixed));
+    if (relax.status != LpStatus::kOptimal) continue;  // prune infeasible
+    if (incumbent.status == LpStatus::kOptimal &&
+        relax.objective_value <= incumbent.objective_value + 1e-9) {
+      continue;  // bound
+    }
+
+    const auto branch_var =
+        MostFractional(relax.values, node.fixed, num_binary_vars);
+    if (!branch_var) {
+      // Binary prefix integral (within tolerance) — round it and accept;
+      // continuous suffix values pass through.
+      IlpSolution cand;
+      cand.status = LpStatus::kOptimal;
+      cand.values.resize(relax.values.size());
+      for (size_t j = 0; j < relax.values.size(); ++j) {
+        cand.values[j] = j < num_binary_vars ? std::round(relax.values[j])
+                                             : relax.values[j];
+      }
+      cand.objective_value = 0.0;
+      for (size_t j = 0; j < lp.NumVars(); ++j) {
+        cand.objective_value += lp.objective[j] * cand.values[j];
+      }
+      if (incumbent.status != LpStatus::kOptimal ||
+          cand.objective_value > incumbent.objective_value) {
+        incumbent = std::move(cand);
+      }
+      continue;
+    }
+
+    // Branch: try the rounded-up child first (depth-first on 1 tends to
+    // find good incumbents early for cover-style problems).
+    Node zero = node, one = node;
+    zero.fixed[*branch_var] = 0;
+    one.fixed[*branch_var] = 1;
+    stack.push(std::move(zero));
+    stack.push(std::move(one));
+  }
+
+  if (incumbent.status != LpStatus::kOptimal) {
+    incumbent.status = exhausted ? LpStatus::kIterLimit : LpStatus::kInfeasible;
+  } else if (exhausted) {
+    incumbent.status = LpStatus::kIterLimit;  // best-effort incumbent
+  }
+  return incumbent;
+}
+
+}  // namespace causumx

@@ -1,0 +1,32 @@
+// Exact 0/1 ILP by LP-based branch and bound.
+//
+// Used by the Brute-Force baseline (which needs the true optimum of the
+// selection problem in Definition 4.5) and by tests that validate the
+// randomized-rounding approximation against exact solutions.
+
+#ifndef CAUSUMX_LP_ILP_H_
+#define CAUSUMX_LP_ILP_H_
+
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace causumx {
+
+struct IlpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective_value = 0.0;
+  std::vector<double> values;  ///< integral (0/1) per variable.
+};
+
+/// Solves the LP with the first `num_binary_vars` variables restricted to
+/// {0, 1} (0 or > NumVars() = all of them); remaining variables stay
+/// continuous within their bounds. `max_nodes` bounds the branch-and-bound
+/// tree; on exhaustion the best incumbent (if any) is returned with status
+/// kIterLimit.
+IlpSolution SolveBinaryIlp(const LinearProgram& lp, size_t max_nodes = 100'000,
+                           size_t num_binary_vars = 0);
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_LP_ILP_H_

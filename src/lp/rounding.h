@@ -1,0 +1,80 @@
+// The explanation-selection program of Fig. 5 and its randomized-rounding
+// solver (Section 5.3 / Appendix A of the paper).
+//
+// Variables: g_j (pick pattern j, weight w_j), t_i (group i covered).
+//   max  sum_j g_j w_j
+//   s.t. sum_j g_j <= k
+//        t_i <= sum_{j : pattern j covers group i} g_j      (for each i)
+//        sum_i t_i >= theta * m
+//        g_j, t_i in {0,1}
+// The LP relaxation is solved exactly (simplex) and rounded by sampling k
+// patterns with probabilities g_j / k (Raghavan–Thompson), repeated a few
+// times keeping the best feasible draw.
+
+#ifndef CAUSUMX_LP_ROUNDING_H_
+#define CAUSUMX_LP_ROUNDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/simplex.h"
+#include "util/bitset.h"
+
+namespace causumx {
+
+/// Input: one candidate per explanation pattern.
+struct SelectionCandidate {
+  double weight = 0.0;  ///< explainability weight (|CATE+| + |CATE-|).
+  Bitset coverage;      ///< bit per group in Q(D).
+};
+
+struct SelectionProblem {
+  std::vector<SelectionCandidate> candidates;
+  size_t num_groups = 0;
+  size_t k = 5;
+  double theta = 0.75;
+
+  /// Minimum number of groups that must be covered: ceil(theta * m).
+  size_t RequiredCoverage() const;
+
+  /// Builds the Fig. 5 LP relaxation (variables: candidates then groups).
+  LinearProgram BuildLp() const;
+
+  /// Equivalent reduced LP: groups with identical coverage signatures
+  /// (covered by exactly the same candidates) are aggregated into one
+  /// variable t_c in [0, count_c]. Exact for both the LP optimum and the
+  /// rounding probabilities while shrinking thousands of per-group
+  /// variables to a handful (crucial when m is large, e.g. the synthetic
+  /// dataset's one-group-per-tuple views). `signature_counts` receives the
+  /// group count per aggregated variable.
+  LinearProgram BuildReducedLp(std::vector<size_t>* signature_counts) const;
+};
+
+struct SelectionResult {
+  bool feasible = false;          ///< a constraint-satisfying set was found.
+  bool lp_feasible = false;       ///< the LP relaxation had a solution.
+  std::vector<size_t> selected;   ///< indices into candidates.
+  double total_weight = 0.0;      ///< sum of selected weights.
+  size_t covered_groups = 0;      ///< |union of coverages|.
+  double lp_objective = 0.0;      ///< optimal fractional objective (bound).
+};
+
+/// Solves by LP + randomized rounding. `rounds` independent rounding draws
+/// are taken; the best feasible one wins (ties by weight). If no draw is
+/// feasible, returns the best-coverage draw with feasible=false.
+SelectionResult SolveByLpRounding(const SelectionProblem& problem,
+                                  size_t rounds = 64, uint64_t seed = 1234);
+
+/// Exact solver via branch and bound over the same ILP; used by the
+/// Brute-Force baseline and tests.
+SelectionResult SolveExact(const SelectionProblem& problem);
+
+/// Greedy selection (the Greedy-Last-Step variant, Section 6): repeatedly
+/// takes the candidate maximizing weight + (coverage gain) * gain_bonus
+/// until k are chosen.
+SelectionResult SolveGreedy(const SelectionProblem& problem,
+                            double gain_bonus = 0.0);
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_LP_ROUNDING_H_

@@ -1,0 +1,235 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace causumx {
+
+void LinearProgram::AddRow(std::vector<double> row, ConstraintSense sense,
+                           double b) {
+  if (row.size() != NumVars()) {
+    throw std::invalid_argument("LP row arity mismatch");
+  }
+  rows.push_back(std::move(row));
+  senses.push_back(sense);
+  rhs.push_back(b);
+}
+
+const char* LpStatusName(LpStatus s) {
+  switch (s) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterLimit:
+      return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Internal standard-form tableau solver:
+//   max c^T x  s.t.  A x = b,  x >= 0,  b >= 0,
+// starting from the given basis (one basic variable per row).
+// Returns kOptimal/kUnbounded/kIterLimit; the tableau and basis are
+// updated in place.
+LpStatus RunSimplex(std::vector<std::vector<double>>& a,  // m x n
+                    std::vector<double>& b,               // m
+                    std::vector<double>& c,               // n (reduced costs)
+                    double& objective,                    // running objective
+                    std::vector<size_t>& basis,           // m
+                    size_t max_iterations) {
+  const size_t m = a.size();
+  const size_t n = c.size();
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    // Bland's rule: entering variable = smallest index with positive
+    // reduced cost (maximization).
+    size_t enter = n;
+    for (size_t j = 0; j < n; ++j) {
+      if (c[j] > kEps) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == n) return LpStatus::kOptimal;
+
+    // Ratio test: leaving row = min b_i / a_ie over a_ie > 0, Bland tiebreak
+    // on basic variable index.
+    size_t leave = m;
+    double best_ratio = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      if (a[i][enter] > kEps) {
+        const double ratio = b[i] / a[i][enter];
+        if (leave == m || ratio < best_ratio - kEps ||
+            (std::fabs(ratio - best_ratio) <= kEps &&
+             basis[i] < basis[leave])) {
+          leave = i;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave == m) return LpStatus::kUnbounded;
+
+    // Pivot on (leave, enter).
+    const double piv = a[leave][enter];
+    for (size_t j = 0; j < n; ++j) a[leave][j] /= piv;
+    b[leave] /= piv;
+    for (size_t i = 0; i < m; ++i) {
+      if (i == leave) continue;
+      const double f = a[i][enter];
+      if (std::fabs(f) <= kEps) continue;
+      for (size_t j = 0; j < n; ++j) a[i][j] -= f * a[leave][j];
+      b[i] -= f * b[leave];
+      if (b[i] < 0 && b[i] > -kEps) b[i] = 0;
+    }
+    const double fc = c[enter];
+    if (std::fabs(fc) > kEps) {
+      for (size_t j = 0; j < n; ++j) c[j] -= fc * a[leave][j];
+      objective += fc * b[leave];
+    }
+    basis[leave] = enter;
+  }
+  return LpStatus::kIterLimit;
+}
+
+}  // namespace
+
+LpSolution SolveLp(const LinearProgram& lp, size_t max_iterations) {
+  LpSolution sol;
+  const size_t n0 = lp.NumVars();
+
+  // Convert to standard form:
+  //  * finite upper bounds become extra <= rows,
+  //  * <= rows gain a slack, >= rows a surplus (negated slack),
+  //  * all rows normalized to b >= 0,
+  //  * phase-1 artificials for rows lacking an identity column.
+  std::vector<std::vector<double>> rows = lp.rows;
+  std::vector<ConstraintSense> senses = lp.senses;
+  std::vector<double> rhs = lp.rhs;
+  for (size_t j = 0; j < n0 && j < lp.upper_bounds.size(); ++j) {
+    const double ub = lp.upper_bounds[j];
+    if (std::isfinite(ub)) {
+      std::vector<double> row(n0, 0.0);
+      row[j] = 1.0;
+      rows.push_back(std::move(row));
+      senses.push_back(ConstraintSense::kLe);
+      rhs.push_back(ub);
+    }
+  }
+  const size_t m = rows.size();
+
+  // Count slack columns.
+  size_t num_slacks = 0;
+  for (auto s : senses) {
+    if (s != ConstraintSense::kEq) ++num_slacks;
+  }
+  const size_t n1 = n0 + num_slacks;        // structural + slack
+  const size_t n_total = n1 + m;            // + one artificial per row
+
+  std::vector<std::vector<double>> a(m, std::vector<double>(n_total, 0.0));
+  std::vector<double> b(m, 0.0);
+  std::vector<size_t> basis(m, 0);
+
+  size_t slack_col = n0;
+  for (size_t i = 0; i < m; ++i) {
+    double sign = 1.0;
+    if (rhs[i] < 0) sign = -1.0;  // normalize to b >= 0
+    for (size_t j = 0; j < n0; ++j) a[i][j] = sign * rows[i][j];
+    b[i] = sign * rhs[i];
+    if (senses[i] != ConstraintSense::kEq) {
+      const double slack_sign =
+          (senses[i] == ConstraintSense::kLe) ? 1.0 : -1.0;
+      a[i][slack_col] = sign * slack_sign;
+      ++slack_col;
+    }
+    // Artificial column for every row; phase 1 drives them out. (For rows
+    // whose slack already forms an identity column this is redundant but
+    // harmless — the artificial simply never enters.)
+    a[i][n1 + i] = 1.0;
+    basis[i] = n1 + i;
+  }
+
+  // Phase 1: minimize sum of artificials == max -sum(artificials).
+  std::vector<double> c1(n_total, 0.0);
+  for (size_t i = 0; i < m; ++i) c1[n1 + i] = -1.0;
+  // Price out the initial basis (reduced costs must be zero on basics).
+  double obj1 = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n_total; ++j) c1[j] += a[i][j];
+    obj1 -= b[i];
+  }
+  // (c1 := c1 - sum over basic rows of (coef of artificial = -1)*row.)
+  LpStatus st = RunSimplex(a, b, c1, obj1, basis, max_iterations);
+  if (st == LpStatus::kIterLimit) {
+    sol.status = st;
+    return sol;
+  }
+  if (obj1 < -1e-6) {
+    sol.status = LpStatus::kInfeasible;
+    return sol;
+  }
+  // Drive any artificial still in the basis to zero by pivoting it out on
+  // a nonzero structural column, or drop the (redundant) row.
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] < n1) continue;
+    size_t pivot_col = n_total;
+    for (size_t j = 0; j < n1; ++j) {
+      if (std::fabs(a[i][j]) > kEps) {
+        pivot_col = j;
+        break;
+      }
+    }
+    if (pivot_col == n_total) continue;  // all-zero row; harmless.
+    const double piv = a[i][pivot_col];
+    for (size_t j = 0; j < n_total; ++j) a[i][j] /= piv;
+    b[i] /= piv;
+    for (size_t r = 0; r < m; ++r) {
+      if (r == i) continue;
+      const double f = a[r][pivot_col];
+      if (std::fabs(f) <= kEps) continue;
+      for (size_t j = 0; j < n_total; ++j) a[r][j] -= f * a[i][j];
+      b[r] -= f * b[i];
+    }
+    basis[i] = pivot_col;
+  }
+
+  // Phase 2: original objective over structural + slack columns;
+  // artificials pinned at zero by excluding them (zero cost, and we forbid
+  // them from entering by making their reduced cost very negative).
+  std::vector<double> c2(n_total, 0.0);
+  for (size_t j = 0; j < n0; ++j) c2[j] = lp.objective[j];
+  // Price out the current basis.
+  double obj2 = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    const size_t bj = basis[i];
+    const double cb = bj < n0 ? lp.objective[bj] : 0.0;
+    if (cb == 0.0) continue;
+    for (size_t j = 0; j < n_total; ++j) c2[j] -= cb * a[i][j];
+    obj2 += cb * b[i];
+  }
+  for (size_t i = 0; i < m; ++i) c2[n1 + i] = -1e30;  // block artificials
+  st = RunSimplex(a, b, c2, obj2, basis, max_iterations);
+  if (st != LpStatus::kOptimal) {
+    sol.status = st;
+    return sol;
+  }
+
+  sol.status = LpStatus::kOptimal;
+  sol.values.assign(n0, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] < n0) sol.values[basis[i]] = b[i];
+  }
+  sol.objective_value = 0.0;
+  for (size_t j = 0; j < n0; ++j) {
+    sol.objective_value += lp.objective[j] * sol.values[j];
+  }
+  return sol;
+}
+
+}  // namespace causumx

@@ -1,0 +1,58 @@
+// Dense two-phase primal simplex LP solver.
+//
+// Solves  max c^T x  s.t.  A x {<=,>=,=} b,  0 <= x <= ub.
+// This replaces the paper prototype's use of z3 for the LP relaxation of
+// the explanation-selection ILP (Fig. 5). Problem sizes here are small
+// (variables = #explanation patterns + #groups), so a dense tableau with
+// Bland's anti-cycling rule is entirely adequate and dependency-free.
+
+#ifndef CAUSUMX_LP_SIMPLEX_H_
+#define CAUSUMX_LP_SIMPLEX_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace causumx {
+
+/// Row sense for a linear constraint.
+enum class ConstraintSense { kLe, kGe, kEq };
+
+/// A linear program in the standard "rows + bounds" form.
+struct LinearProgram {
+  /// Objective coefficients (maximization).
+  std::vector<double> objective;
+  /// Constraint matrix rows (dense), senses, and right-hand sides.
+  std::vector<std::vector<double>> rows;
+  std::vector<ConstraintSense> senses;
+  std::vector<double> rhs;
+  /// Per-variable upper bounds (lower bounds are 0). Use kInf for free-up.
+  std::vector<double> upper_bounds;
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  size_t NumVars() const { return objective.size(); }
+  size_t NumRows() const { return rows.size(); }
+
+  /// Appends a constraint; `row` must have NumVars entries.
+  void AddRow(std::vector<double> row, ConstraintSense sense, double b);
+};
+
+/// Solver outcome.
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+const char* LpStatusName(LpStatus s);
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective_value = 0.0;
+  std::vector<double> values;  ///< primal values, one per variable.
+};
+
+/// Solves the LP. `max_iterations` guards against pathological cycling
+/// (Bland's rule makes this a formality).
+LpSolution SolveLp(const LinearProgram& lp, size_t max_iterations = 100'000);
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_LP_SIMPLEX_H_

@@ -1,0 +1,288 @@
+#include "mining/treatment_miner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "util/stats.h"
+
+namespace causumx {
+
+std::vector<SimplePredicate> GenerateAtomicTreatments(
+    const Table& table, const std::vector<std::string>& attributes,
+    const TreatmentMinerOptions& opt) {
+  std::vector<SimplePredicate> atoms;
+  for (const auto& name : attributes) {
+    auto idx = table.ColumnIndex(name);
+    if (!idx) continue;
+    const Column& col = table.column(*idx);
+    const size_t distinct = col.NumDistinct();
+    if (distinct < 2) continue;
+
+    const bool small_domain = distinct <= opt.max_values_per_attribute;
+    if (col.type() == ColumnType::kCategorical) {
+      if (!small_domain) continue;
+      for (const Value& v : col.DistinctValues()) {
+        atoms.emplace_back(name, CompareOp::kEq, v);
+      }
+    } else if (small_domain &&
+               distinct <= std::max<size_t>(opt.numeric_bins * 2, 8)) {
+      // Small numeric domains (e.g. 1..5 Likert attributes): equality atoms.
+      for (const Value& v : col.DistinctValues()) {
+        atoms.emplace_back(name, CompareOp::kEq, v);
+      }
+    } else {
+      // Wide numeric domains: quantile thresholds A < q and A >= q.
+      std::vector<double> vals;
+      vals.reserve(table.NumRows());
+      for (size_t r = 0; r < table.NumRows(); ++r) {
+        if (!col.IsNull(r)) vals.push_back(col.GetNumeric(r));
+      }
+      if (vals.size() < 4) continue;
+      std::sort(vals.begin(), vals.end());
+      std::set<double> cuts;
+      for (size_t b = 1; b <= opt.numeric_bins; ++b) {
+        const double q =
+            static_cast<double>(b) / static_cast<double>(opt.numeric_bins + 1);
+        cuts.insert(vals[static_cast<size_t>(q * (vals.size() - 1))]);
+      }
+      for (double c : cuts) {
+        atoms.emplace_back(name, CompareOp::kLt, Value(c));
+        atoms.emplace_back(name, CompareOp::kGe, Value(c));
+      }
+    }
+  }
+  return atoms;
+}
+
+namespace {
+
+struct Node {
+  Pattern pattern;
+  double cate = 0.0;
+  double p_value = 1.0;
+  bool significant = false;
+  EffectEstimate estimate;
+};
+
+double SignedValue(TreatmentSign sign, double cate) {
+  return sign == TreatmentSign::kPositive ? cate : -cate;
+}
+
+}  // namespace
+
+namespace {
+
+// The lattice walk shared by the top-1 and top-k entry points. When
+// `survivors` is non-null, every sign-consistent significant node that
+// was materialized is appended to it.
+std::optional<ScoredTreatment> RunLatticeWalk(
+    const EffectEstimator& estimator, const Bitset& subpopulation,
+    const std::string& outcome,
+    const std::vector<std::string>& treatment_attributes, TreatmentSign sign,
+    const TreatmentMinerOptions& opt, TreatmentMiningStats* stats,
+    std::vector<ScoredTreatment>* survivors);
+
+}  // namespace
+
+std::optional<ScoredTreatment> MineTopTreatmentWithStats(
+    const EffectEstimator& estimator, const Bitset& subpopulation,
+    const std::string& outcome,
+    const std::vector<std::string>& treatment_attributes, TreatmentSign sign,
+    const TreatmentMinerOptions& opt, TreatmentMiningStats* stats) {
+  return RunLatticeWalk(estimator, subpopulation, outcome,
+                        treatment_attributes, sign, opt, stats, nullptr);
+}
+
+std::vector<ScoredTreatment> MineTopKTreatments(
+    const EffectEstimator& estimator, const Bitset& subpopulation,
+    const std::string& outcome,
+    const std::vector<std::string>& treatment_attributes, TreatmentSign sign,
+    size_t k, const TreatmentMinerOptions& opt) {
+  std::vector<ScoredTreatment> survivors;
+  RunLatticeWalk(estimator, subpopulation, outcome, treatment_attributes,
+                 sign, opt, nullptr, &survivors);
+  std::sort(survivors.begin(), survivors.end(),
+            [](const ScoredTreatment& a, const ScoredTreatment& b) {
+              return std::fabs(a.effect.cate) > std::fabs(b.effect.cate);
+            });
+  // Drop patterns whose treated set duplicates a stronger pattern's.
+  std::vector<ScoredTreatment> out;
+  std::unordered_set<uint64_t> seen_rows;
+  const Table& table = estimator.table();
+  for (auto& st : survivors) {
+    if (out.size() >= k) break;
+    const uint64_t h = st.pattern.EvaluateOn(table, subpopulation).Hash();
+    if (!seen_rows.insert(h).second) continue;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+namespace {
+
+std::optional<ScoredTreatment> RunLatticeWalk(
+    const EffectEstimator& estimator, const Bitset& subpopulation,
+    const std::string& outcome,
+    const std::vector<std::string>& treatment_attributes, TreatmentSign sign,
+    const TreatmentMinerOptions& opt, TreatmentMiningStats* stats,
+    std::vector<ScoredTreatment>* survivors) {
+  const Table& table = estimator.table();
+
+  // Optimization (a): restrict to attributes with a causal path to the
+  // outcome in the DAG (they are the only ones with nonzero true effects).
+  std::vector<std::string> causal_attrs;
+  const std::set<std::string> ancestors =
+      estimator.dag().CausalAncestorsOf(outcome);
+  for (const auto& a : treatment_attributes) {
+    if (!estimator.dag().HasNode(a) || ancestors.count(a)) {
+      // Attributes missing from the DAG are kept (unknown structure), the
+      // ones present but causally unrelated are pruned.
+      causal_attrs.push_back(a);
+    }
+  }
+
+  // Near-zero threshold scaled by the outcome spread in the subpopulation.
+  const Column& y_col = table.column(outcome);
+  RunningStats y_stats;
+  for (size_t r : subpopulation.ToIndices()) {
+    if (!y_col.IsNull(r)) y_stats.Add(y_col.GetNumeric(r));
+  }
+  const double near_zero = opt.near_zero_fraction * y_stats.StdDev();
+  const size_t subpop_size = y_stats.Count();
+  const size_t min_treated = std::max<size_t>(
+      estimator.options().min_group_size,
+      static_cast<size_t>(opt.min_treated_fraction *
+                          static_cast<double>(subpop_size)));
+
+  auto evaluate = [&](const Pattern& p) -> Node {
+    Node node;
+    node.pattern = p;
+    const EffectEstimate est =
+        estimator.EstimateCate(p, outcome, subpopulation);
+    if (stats) ++stats->patterns_evaluated;
+    if (!est.valid || est.n_treated < min_treated) return node;
+    node.cate = est.cate;
+    node.p_value = est.p_value;
+    node.significant = est.p_value <= opt.alpha;
+    node.estimate = est;
+    return node;
+  };
+  auto collect = [&](const Node& node) {
+    if (survivors != nullptr) {
+      survivors->push_back(ScoredTreatment{node.pattern, node.estimate});
+    }
+  };
+
+  // Level 1: atomic predicates (GenChildren in the paper's pseudocode).
+  const std::vector<SimplePredicate> atoms =
+      GenerateAtomicTreatments(table, causal_attrs, opt);
+  std::vector<Node> level;
+  level.reserve(atoms.size());
+  std::optional<Node> best;
+  for (const auto& atom : atoms) {
+    Node node = evaluate(Pattern({atom}));
+    if (!node.significant) continue;
+    // ComputeCATEnFilter: keep only the requested sign above near-zero.
+    if (SignedValue(sign, node.cate) <= near_zero) continue;
+    if (!best || SignedValue(sign, node.cate) >
+                     SignedValue(sign, best->cate)) {
+      best = node;
+    }
+    collect(node);
+    level.push_back(std::move(node));
+  }
+  if (stats) stats->levels_explored = 1;
+  if (!best) return std::nullopt;
+
+  // Level-1 survivors double as the atom pool for expansion: a child is a
+  // node plus one surviving atom, so every materialized parent we know of
+  // carries the right sign (the paper's GenChildrenNextLevel).
+  const std::vector<Node> atom_pool = level;
+
+  // Deeper levels: expand only while the incumbent improves (Algorithm 2
+  // terminates at the first level that fails to contain the max).
+  for (size_t depth = 2; depth <= opt.max_depth && !level.empty(); ++depth) {
+    // Optimization (b): only the strongest half of the level expands.
+    std::sort(level.begin(), level.end(), [&](const Node& a, const Node& b) {
+      return SignedValue(sign, a.cate) > SignedValue(sign, b.cate);
+    });
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(opt.level_keep_fraction *
+                               static_cast<double>(level.size())));
+    if (level.size() > keep) level.resize(keep);
+
+    // GenChildrenNextLevel: extend each kept node by one surviving atom
+    // whose attribute is compatible (equality predicates may not repeat an
+    // attribute; ordered predicates may pair into ranges when ops differ).
+    std::vector<Node> next;
+    std::unordered_set<uint64_t> seen;
+    bool width_exceeded = false;
+    for (size_t i = 0; i < level.size() && !width_exceeded; ++i) {
+      for (const auto& atom_node : atom_pool) {
+        const SimplePredicate& atom = atom_node.pattern.predicates()[0];
+        bool conflict = false;
+        for (const auto& pa : level[i].pattern.predicates()) {
+          if (pa.attribute == atom.attribute &&
+              (pa.op == CompareOp::kEq || atom.op == CompareOp::kEq ||
+               pa.op == atom.op)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (conflict) continue;
+        Pattern child = level[i].pattern.With(atom);
+        if (child.Size() != depth) continue;
+        if (!seen.insert(child.Hash()).second) continue;
+        if (next.size() >= opt.max_level_width) {
+          width_exceeded = true;
+          break;
+        }
+        Node node = evaluate(child);
+        if (!node.significant) continue;
+        if (SignedValue(sign, node.cate) <= near_zero) continue;
+        collect(node);
+        next.push_back(std::move(node));
+      }
+    }
+    if (next.empty()) break;
+
+    // Termination check (lines 10-13): stop when the level's best does not
+    // beat the incumbent.
+    const Node* level_best = &next[0];
+    for (const auto& n : next) {
+      if (SignedValue(sign, n.cate) > SignedValue(sign, level_best->cate)) {
+        level_best = &n;
+      }
+    }
+    if (stats) stats->levels_explored = depth;
+    if (SignedValue(sign, level_best->cate) >
+        SignedValue(sign, best->cate)) {
+      best = *level_best;
+      level = std::move(next);
+    } else {
+      break;
+    }
+  }
+
+  ScoredTreatment result;
+  result.pattern = best->pattern;
+  result.effect = estimator.EstimateCate(result.pattern, outcome,
+                                         subpopulation);
+  return result;
+}
+
+}  // namespace
+
+std::optional<ScoredTreatment> MineTopTreatment(
+    const EffectEstimator& estimator, const Bitset& subpopulation,
+    const std::string& outcome,
+    const std::vector<std::string>& treatment_attributes, TreatmentSign sign,
+    const TreatmentMinerOptions& options) {
+  return MineTopTreatmentWithStats(estimator, subpopulation, outcome,
+                                   treatment_attributes, sign, options,
+                                   nullptr);
+}
+
+}  // namespace causumx

@@ -1,0 +1,99 @@
+#include "util/bitset.h"
+
+#include <bit>
+#include <cassert>
+
+namespace causumx {
+
+Bitset::Bitset(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+void Bitset::Set(size_t i) {
+  assert(i < size_);
+  words_[i >> 6] |= (uint64_t{1} << (i & 63));
+}
+
+void Bitset::Clear(size_t i) {
+  assert(i < size_);
+  words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+bool Bitset::Test(size_t i) const {
+  if (i >= size_) return false;
+  return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+size_t Bitset::Count() const {
+  size_t c = 0;
+  for (uint64_t w : words_) c += std::popcount(w);
+  return c;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset Bitset::operator|(const Bitset& other) const {
+  Bitset r = *this;
+  r |= other;
+  return r;
+}
+
+Bitset Bitset::operator&(const Bitset& other) const {
+  Bitset r = *this;
+  r &= other;
+  return r;
+}
+
+bool Bitset::operator==(const Bitset& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> Bitset::ToIndices() const {
+  std::vector<size_t> out;
+  out.reserve(Count());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t bits = words_[w];
+    while (bits) {
+      const int b = std::countr_zero(bits);
+      out.push_back(w * 64 + static_cast<size_t>(b));
+      bits &= bits - 1;
+    }
+  }
+  return out;
+}
+
+uint64_t Bitset::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint64_t w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+  }
+  return h ^ size_;
+}
+
+void Bitset::SetAll() {
+  for (auto& w : words_) w = ~uint64_t{0};
+  // Clear padding bits past size_.
+  const size_t rem = size_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << rem) - 1;
+  }
+}
+
+}  // namespace causumx

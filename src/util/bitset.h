@@ -1,0 +1,61 @@
+// Dynamic bitset used for pattern coverage over groups and tuple
+// selections. Grouping-pattern dedup hashes these; the LP builder reads
+// them as group-coverage sets.
+
+#ifndef CAUSUMX_UTIL_BITSET_H_
+#define CAUSUMX_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace causumx {
+
+/// Fixed-universe dynamic bitset with the set operations the miners need.
+class Bitset {
+ public:
+  Bitset() = default;
+  /// Creates a bitset over universe [0, size), all bits clear.
+  explicit Bitset(size_t size);
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  bool Any() const { return Count() > 0; }
+  bool None() const { return Count() == 0; }
+
+  /// In-place union / intersection. Sizes must match.
+  Bitset& operator|=(const Bitset& other);
+  Bitset& operator&=(const Bitset& other);
+
+  Bitset operator|(const Bitset& other) const;
+  Bitset operator&(const Bitset& other) const;
+
+  bool operator==(const Bitset& other) const;
+
+  /// True iff this is a subset of `other`.
+  bool IsSubsetOf(const Bitset& other) const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<size_t> ToIndices() const;
+
+  /// FNV-1a style hash of the bit content (suitable for dedup maps).
+  uint64_t Hash() const;
+
+  /// Sets every bit in the universe.
+  void SetAll();
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_UTIL_BITSET_H_

@@ -1,0 +1,74 @@
+// Statistical primitives used across the library.
+//
+// Implemented from scratch (no external stats dependency): descriptive
+// statistics, Pearson/partial correlation helpers, normal and Student-t
+// distribution functions (for CI tests and CATE p-values), and Kendall's
+// tau (for the DAG-sensitivity and sampling experiments, Figs. 15/16).
+
+#ifndef CAUSUMX_UTIL_STATS_H_
+#define CAUSUMX_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace causumx {
+
+/// Arithmetic mean; returns 0 for an empty vector.
+double Mean(const std::vector<double>& x);
+
+/// Unbiased sample variance (divides by n-1); returns 0 for n < 2.
+double Variance(const std::vector<double>& x);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& x);
+
+/// Pearson correlation in [-1, 1]; returns 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.15e-9). Requires 0 < p < 1.
+double NormalQuantile(double p);
+
+/// Regularized incomplete beta function I_x(a, b) via the continued
+/// fraction of Lentz; used by StudentTCdf.
+double IncompleteBeta(double a, double b, double x);
+
+/// Student-t cumulative distribution function with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// Two-sided p-value for a t-statistic with `df` degrees of freedom.
+double TwoSidedPValueT(double t, double df);
+
+/// Two-sided p-value for a z-statistic under the standard normal.
+double TwoSidedPValueZ(double z);
+
+/// Kendall's tau-b rank correlation between two equally sized vectors.
+/// Handles ties; O(n^2) — fine for the <=20-element rankings in the paper's
+/// experiments. Returns 0 for n < 2.
+double KendallTau(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Natural logarithm of the gamma function (Lanczos approximation).
+double LogGamma(double x);
+
+/// Welford-style streaming accumulator for mean/variance.
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t Count() const { return n_; }
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  double Variance() const { return n_ > 1 ? m2_ / (n_ - 1) : 0.0; }
+  double StdDev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_UTIL_STATS_H_

@@ -1,0 +1,38 @@
+// Small string helpers shared by CSV I/O and the explanation renderer.
+
+#ifndef CAUSUMX_UTIL_STRING_UTILS_H_
+#define CAUSUMX_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <vector>
+
+namespace causumx {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// Lower-cases ASCII.
+std::string ToLower(const std::string& s);
+
+/// Formats a double compactly (trailing zeros stripped, up to `precision`
+/// significant decimals).
+std::string FormatDouble(double v, int precision = 4);
+
+/// Renders a value like 36000 as "36K" / 1200000 as "1.2M" for the
+/// natural-language summaries.
+std::string HumanMagnitude(double v);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_UTIL_STRING_UTILS_H_

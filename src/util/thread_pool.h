@@ -1,0 +1,55 @@
+// Fixed-size worker pool used to parallelize treatment-pattern mining
+// across grouping patterns (optimization (c) in Section 5.2 of the paper).
+
+#ifndef CAUSUMX_UTIL_THREAD_POOL_H_
+#define CAUSUMX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace causumx {
+
+/// A minimal fixed-size thread pool.
+///
+/// Tasks are std::function<void()>; Submit returns a future for the task's
+/// completion. The pool joins all workers on destruction after draining the
+/// queue. Thread-safe.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1; 0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future that becomes ready when it finishes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all
+  /// complete. Exceptions in tasks propagate from this call (first one).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t NumThreads() const { return workers_.size(); }
+
+  /// Hardware concurrency with a sane floor of 1.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_UTIL_THREAD_POOL_H_

@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// Header-only implementation; this translation unit exists so the library
+// has a stable archive member for the component.

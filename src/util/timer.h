@@ -1,0 +1,63 @@
+// Wall-clock timing helpers for the benchmark harness and the per-phase
+// runtime breakdown experiment (Fig. 14/20).
+
+#ifndef CAUSUMX_UTIL_TIMER_H_
+#define CAUSUMX_UTIL_TIMER_H_
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace causumx {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() { Reset(); }
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations; used by CauSumX to report the
+/// per-phase runtime breakdown of Algorithm 1.
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to the named phase.
+  void Add(const std::string& phase, double seconds) {
+    phases_[phase] += seconds;
+  }
+
+  /// Seconds recorded for `phase` (0 if absent).
+  double Get(const std::string& phase) const {
+    auto it = phases_.find(phase);
+    return it == phases_.end() ? 0.0 : it->second;
+  }
+
+  const std::map<std::string, double>& phases() const { return phases_; }
+
+  double Total() const {
+    double t = 0;
+    for (const auto& [_, v] : phases_) t += v;
+    return t;
+  }
+
+  void Clear() { phases_.clear(); }
+
+ private:
+  std::map<std::string, double> phases_;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_UTIL_TIMER_H_

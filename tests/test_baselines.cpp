@@ -1,0 +1,273 @@
+// Tests for the comparison baselines: IDS, FRL, Explanation-Table,
+// XInsight-style, and Brute-Force (Section 6.1 of the paper).
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "baselines/explanation_table.h"
+#include "baselines/frl.h"
+#include "baselines/ids.h"
+#include "baselines/rule_mining.h"
+#include "baselines/xinsight.h"
+#include "core/causumx.h"
+#include "util/rng.h"
+
+namespace causumx {
+namespace {
+
+// Binary-friendly world: Y = 1 mostly when flag = on; group attribute g
+// splits the table into two groups with different base rates.
+Table MakeRuleTable(size_t n, uint64_t seed) {
+  Table t;
+  t.AddColumn("g", ColumnType::kCategorical);
+  t.AddColumn("flag", ColumnType::kCategorical);
+  t.AddColumn("other", ColumnType::kCategorical);
+  t.AddColumn("Y", ColumnType::kDouble);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const bool grp = rng.NextBool(0.5);
+    const bool flag = rng.NextBool(0.5);
+    const bool other = rng.NextBool(0.5);
+    const double p = flag ? 0.85 : 0.15;
+    t.AddRow({Value(grp ? "g1" : "g2"), Value(flag ? "on" : "off"),
+              Value(other ? "x" : "y"),
+              Value(rng.NextBool(p) ? 1.0 : 0.0)});
+  }
+  return t;
+}
+
+TEST(RuleMiningTest, BinOutcomeAtMean) {
+  Table t;
+  t.AddColumn("Y", ColumnType::kDouble);
+  for (double v : {1.0, 2.0, 3.0, 10.0}) t.AddRow({Value(v)});
+  const BinnedOutcome binned = BinOutcomeAtMean(t, "Y");
+  EXPECT_DOUBLE_EQ(binned.threshold, 4.0);
+  EXPECT_EQ(binned.positives, 1u);
+  EXPECT_EQ(binned.label[3], 1);
+  EXPECT_EQ(binned.label[0], 0);
+  EXPECT_EQ(binned.valid.Count(), 4u);
+}
+
+TEST(RuleMiningTest, CandidateRulesCarryStats) {
+  const Table t = MakeRuleTable(2000, 1);
+  const BinnedOutcome binned = BinOutcomeAtMean(t, "Y");
+  RuleMiningOptions opt;
+  opt.min_support = 0.1;
+  const auto rules =
+      MineCandidateRules(t, binned, {"g", "flag", "other"}, opt);
+  ASSERT_FALSE(rules.empty());
+  bool found_flag_on = false;
+  for (const auto& r : rules) {
+    EXPECT_EQ(r.support, r.rows.Count());
+    EXPECT_LE(r.positives, r.support);
+    if (r.pattern.ToString() == "flag = on") {
+      found_flag_on = true;
+      EXPECT_GT(r.PositiveRate(), 0.7);
+    }
+  }
+  EXPECT_TRUE(found_flag_on);
+}
+
+TEST(IdsTest, FindsDiscriminativeRules) {
+  const Table t = MakeRuleTable(3000, 2);
+  IdsConfig config;
+  config.max_rules = 3;
+  const IdsResult result = RunIds(t, "Y", config);
+  ASSERT_FALSE(result.rules.empty());
+  EXPECT_LE(result.rules.size(), 3u);
+  // The decision set must beat the majority-class baseline (~0.5 here).
+  EXPECT_GT(result.accuracy, 0.7);
+  // The flag rule should be in there.
+  bool uses_flag = false;
+  for (const auto& r : result.rules) {
+    if (r.pattern.UsesAttribute("flag")) uses_flag = true;
+    EXPECT_GE(r.confidence, 0.5);
+  }
+  EXPECT_TRUE(uses_flag);
+}
+
+TEST(FrlTest, ProbabilitiesFall) {
+  const Table t = MakeRuleTable(3000, 3);
+  FrlConfig config;
+  config.max_rules = 4;
+  const FrlResult result = RunFrl(t, "Y", config);
+  ASSERT_FALSE(result.rules.empty());
+  for (size_t i = 1; i < result.rules.size(); ++i) {
+    EXPECT_LE(result.rules[i].probability,
+              result.rules[i - 1].probability + 1e-12);
+  }
+  EXPECT_GT(result.accuracy, 0.7);
+}
+
+TEST(FrlTest, FirstRuleIsHighestRisk) {
+  const Table t = MakeRuleTable(3000, 4);
+  const FrlResult result = RunFrl(t, "Y", {});
+  ASSERT_FALSE(result.rules.empty());
+  EXPECT_GT(result.rules[0].probability, 0.75);
+}
+
+TEST(ExplanationTableTest, GainDecreasesAndKlShrinks) {
+  const Table t = MakeRuleTable(3000, 5);
+  ExplanationTableConfig config;
+  config.max_patterns = 3;
+  const ExplanationTableResult result =
+      RunExplanationTable(t, "Y", config);
+  ASSERT_FALSE(result.entries.empty());
+  // First pick must be the informative flag attribute.
+  EXPECT_TRUE(result.entries[0].pattern.UsesAttribute("flag"));
+  for (const auto& e : result.entries) {
+    EXPECT_GT(e.gain, 0.0);
+  }
+  EXPECT_GE(result.final_kl, 0.0);
+}
+
+TEST(ExplanationTableTest, GroupVariantRunsPerGroup) {
+  const Table t = MakeRuleTable(2000, 6);
+  GroupByAvgQuery q;
+  q.group_by = {"g"};
+  q.avg_attribute = "Y";
+  const AggregateView view = AggregateView::Evaluate(t, q);
+  const auto per_group = RunExplanationTableG(t, view, "Y", {});
+  ASSERT_EQ(per_group.size(), 2u);
+  EXPECT_TRUE(per_group[0].first == "g1" || per_group[0].first == "g2");
+}
+
+TEST(XInsightTest, AllPairsProcessed) {
+  const Table t = MakeRuleTable(3000, 7);
+  GroupByAvgQuery q;
+  q.group_by = {"g"};
+  q.avg_attribute = "Y";
+  const AggregateView view = AggregateView::Evaluate(t, q);
+  CausalDag dag;
+  dag.AddEdge("flag", "Y");
+  dag.AddEdge("other", "Y");
+  XInsightConfig config;
+  config.estimator.min_group_size = 5;
+  const XInsightResult result =
+      RunXInsight(t, view, dag, {"flag", "other"}, config);
+  EXPECT_EQ(result.pairs_total, 1u);
+  EXPECT_EQ(result.pairs_processed, 1u);
+  EXPECT_FALSE(result.truncated);
+  ASSERT_FALSE(result.explanations.empty());
+  EXPECT_GT(result.output_bytes, 0u);
+}
+
+TEST(XInsightTest, PairCapTruncates) {
+  // Four groups -> 6 pairs; cap at 2.
+  Table t;
+  t.AddColumn("g", ColumnType::kCategorical);
+  t.AddColumn("flag", ColumnType::kCategorical);
+  t.AddColumn("Y", ColumnType::kDouble);
+  Rng rng(8);
+  for (size_t i = 0; i < 2000; ++i) {
+    const int grp = static_cast<int>(i % 4);
+    const bool flag = rng.NextBool(0.5);
+    t.AddRow({Value("g" + std::to_string(grp)),
+              Value(flag ? "on" : "off"),
+              Value((flag ? 1.0 : 0.0) + rng.NextGaussian(0, 0.3))});
+  }
+  GroupByAvgQuery q;
+  q.group_by = {"g"};
+  q.avg_attribute = "Y";
+  const AggregateView view = AggregateView::Evaluate(t, q);
+  CausalDag dag;
+  dag.AddEdge("flag", "Y");
+  XInsightConfig config;
+  config.max_pairs = 2;
+  config.estimator.min_group_size = 5;
+  const XInsightResult result = RunXInsight(t, view, dag, {"flag"}, config);
+  EXPECT_EQ(result.pairs_total, 6u);
+  EXPECT_EQ(result.pairs_processed, 2u);
+  EXPECT_TRUE(result.truncated);
+}
+
+TEST(BruteForceTest, FindsExplanationsOnSmallData) {
+  const Table t = MakeRuleTable(1500, 9);
+  GroupByAvgQuery q;
+  q.group_by = {"g"};
+  q.avg_attribute = "Y";
+  CausalDag dag;
+  dag.AddEdge("flag", "Y");
+  dag.AddEdge("other", "Y");
+  BruteForceConfig config;
+  config.k = 2;
+  config.theta = 1.0;
+  config.estimator.min_group_size = 5;
+  const BruteForceResult result = RunBruteForce(t, q, dag, config);
+  EXPECT_GT(result.grouping_patterns_enumerated, 0u);
+  EXPECT_GT(result.cate_evaluations, 0u);
+  ASSERT_FALSE(result.summary.explanations.empty());
+  // The strongest treatment must involve the flag.
+  bool uses_flag = false;
+  for (const auto& e : result.summary.explanations) {
+    if (e.positive && e.positive->pattern.UsesAttribute("flag")) {
+      uses_flag = true;
+    }
+  }
+  EXPECT_TRUE(uses_flag);
+}
+
+TEST(BruteForceTest, DominatesCauSumXInObjective) {
+  // On a small instance the exhaustive optimum must be at least the
+  // heuristic's objective (the Fig. 8(b) relationship).
+  const Table t = MakeRuleTable(1500, 10);
+  GroupByAvgQuery q;
+  q.group_by = {"g"};
+  q.avg_attribute = "Y";
+  CausalDag dag;
+  dag.AddEdge("flag", "Y");
+  dag.AddEdge("other", "Y");
+
+  BruteForceConfig bf_config;
+  bf_config.k = 2;
+  bf_config.theta = 1.0;
+  bf_config.estimator.min_group_size = 5;
+  const BruteForceResult bf = RunBruteForce(t, q, dag, bf_config);
+
+  CauSumXConfig cx_config;
+  cx_config.k = 2;
+  cx_config.theta = 1.0;
+  cx_config.estimator.min_group_size = 5;
+  const CauSumXResult cx = RunCauSumX(t, q, dag, cx_config);
+
+  if (bf.summary.coverage_satisfied && cx.summary.coverage_satisfied) {
+    EXPECT_GE(bf.summary.total_explainability + 1e-6,
+              cx.summary.total_explainability);
+  }
+}
+
+TEST(BruteForceTest, EvaluationCapHonored) {
+  const Table t = MakeRuleTable(1000, 11);
+  GroupByAvgQuery q;
+  q.group_by = {"g"};
+  q.avg_attribute = "Y";
+  CausalDag dag;
+  dag.AddEdge("flag", "Y");
+  dag.AddEdge("other", "Y");
+  BruteForceConfig config;
+  config.max_cate_evaluations = 3;
+  config.num_threads = 1;
+  const BruteForceResult result = RunBruteForce(t, q, dag, config);
+  EXPECT_TRUE(result.hit_evaluation_cap);
+  EXPECT_LE(result.cate_evaluations, 4u);
+}
+
+TEST(BruteForceTest, LpRoundingVariantRuns) {
+  const Table t = MakeRuleTable(1200, 12);
+  GroupByAvgQuery q;
+  q.group_by = {"g"};
+  q.avg_attribute = "Y";
+  CausalDag dag;
+  dag.AddEdge("flag", "Y");
+  dag.AddEdge("other", "Y");
+  BruteForceConfig config;
+  config.use_lp_rounding = true;
+  config.k = 2;
+  config.theta = 0.5;
+  config.estimator.min_group_size = 5;
+  const BruteForceResult result = RunBruteForce(t, q, dag, config);
+  EXPECT_FALSE(result.summary.explanations.empty());
+}
+
+}  // namespace
+}  // namespace causumx

@@ -1,0 +1,120 @@
+// Unit tests for the dynamic bitset.
+
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace causumx {
+namespace {
+
+TEST(BitsetTest, StartsEmpty) {
+  Bitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+}
+
+TEST(BitsetTest, SetClearTest) {
+  Bitset b(130);  // crosses a word boundary
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitsetTest, TestOutOfRangeIsFalse) {
+  Bitset b(10);
+  EXPECT_FALSE(b.Test(10));
+  EXPECT_FALSE(b.Test(1000));
+}
+
+TEST(BitsetTest, UnionIntersection) {
+  Bitset a(10), b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  const Bitset u = a | b;
+  EXPECT_EQ(u.Count(), 3u);
+  EXPECT_TRUE(u.Test(1) && u.Test(2) && u.Test(3));
+  const Bitset i = a & b;
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(2));
+}
+
+TEST(BitsetTest, SubsetRelation) {
+  Bitset a(10), b(10);
+  a.Set(1);
+  b.Set(1);
+  b.Set(5);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(BitsetTest, ToIndicesAscending) {
+  Bitset b(200);
+  b.Set(5);
+  b.Set(64);
+  b.Set(199);
+  const auto idx = b.ToIndices();
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 5u);
+  EXPECT_EQ(idx[1], 64u);
+  EXPECT_EQ(idx[2], 199u);
+}
+
+TEST(BitsetTest, EqualityAndHash) {
+  Bitset a(50), b(50);
+  a.Set(7);
+  b.Set(7);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(8);
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(BitsetTest, HashDistinguishesSizes) {
+  Bitset a(10), b(20);
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(BitsetTest, SetAllClearsPaddingBits) {
+  Bitset b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+  for (size_t i = 0; i < 70; ++i) EXPECT_TRUE(b.Test(i));
+}
+
+TEST(BitsetTest, SetAllExactWordMultiple) {
+  Bitset b(128);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 128u);
+}
+
+TEST(BitsetTest, InPlaceOps) {
+  Bitset a(10), b(10);
+  a.Set(1);
+  b.Set(2);
+  a |= b;
+  EXPECT_EQ(a.Count(), 2u);
+  Bitset mask(10);
+  mask.Set(2);
+  a &= mask;
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_TRUE(a.Test(2));
+}
+
+}  // namespace
+}  // namespace causumx

@@ -1,0 +1,225 @@
+// End-to-end tests for Algorithm 1 (the CauSumX pipeline) against the
+// synthetic ground truth and the framework's constraints.
+
+#include <gtest/gtest.h>
+
+#include "core/causumx.h"
+#include "datagen/synthetic.h"
+#include "util/bitset.h"
+
+namespace causumx {
+namespace {
+
+CauSumXConfig SyntheticConfig(const GeneratedDataset& ds) {
+  CauSumXConfig config;
+  config.k = 3;
+  config.theta = 0.75;
+  config.grouping_attribute_allowlist = ds.grouping_attribute_hint;
+  config.treatment_attribute_allowlist = ds.treatment_attribute_hint;
+  config.grouping.include_per_group_patterns = false;
+  return config;
+}
+
+TEST(CauSumXTest, SyntheticGroundTruthRecovered) {
+  SyntheticOptions opt;
+  opt.num_rows = 2000;
+  opt.num_treatment_attrs = 4;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  const CauSumXResult result =
+      RunCauSumX(ds.table, ds.default_query, ds.dag, SyntheticConfig(ds));
+
+  ASSERT_FALSE(result.summary.explanations.empty());
+  for (const auto& exp : result.summary.explanations) {
+    // Positive treatments must set odd T's high or even T's low.
+    ASSERT_TRUE(exp.positive.has_value());
+    EXPECT_GT(exp.positive->effect.cate, 0);
+    for (const auto& pred : exp.positive->pattern.predicates()) {
+      const int t_index = std::stoi(pred.attribute.substr(1));
+      const int64_t v = pred.value.AsInt();
+      if (t_index % 2 == 1) {
+        EXPECT_GE(v, 4) << pred.ToString();  // odd T: high value
+      } else {
+        EXPECT_LE(v, 2) << pred.ToString();  // even T: low value
+      }
+    }
+    // Negative treatments: the reverse.
+    ASSERT_TRUE(exp.negative.has_value());
+    EXPECT_LT(exp.negative->effect.cate, 0);
+    for (const auto& pred : exp.negative->pattern.predicates()) {
+      const int t_index = std::stoi(pred.attribute.substr(1));
+      const int64_t v = pred.value.AsInt();
+      if (t_index % 2 == 1) {
+        EXPECT_LE(v, 2) << pred.ToString();
+      } else {
+        EXPECT_GE(v, 4) << pred.ToString();
+      }
+    }
+  }
+}
+
+TEST(CauSumXTest, ConstraintsRespected) {
+  SyntheticOptions opt;
+  opt.num_rows = 1500;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  CauSumXConfig config = SyntheticConfig(ds);
+  config.k = 2;
+  config.theta = 0.4;
+  const CauSumXResult result =
+      RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+  EXPECT_LE(result.summary.explanations.size(), 2u);
+  if (result.summary.coverage_satisfied) {
+    EXPECT_GE(result.summary.CoverageFraction(), 0.4 - 1e-9);
+  }
+  // Incomparability: no two selected explanations share a coverage set.
+  for (size_t i = 0; i < result.summary.explanations.size(); ++i) {
+    for (size_t j = i + 1; j < result.summary.explanations.size(); ++j) {
+      EXPECT_FALSE(result.summary.explanations[i].group_coverage ==
+                   result.summary.explanations[j].group_coverage);
+    }
+  }
+}
+
+TEST(CauSumXTest, TotalExplainabilityIsSumOfWeights) {
+  SyntheticOptions opt;
+  opt.num_rows = 1200;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  const CauSumXResult result =
+      RunCauSumX(ds.table, ds.default_query, ds.dag, SyntheticConfig(ds));
+  double sum = 0;
+  for (const auto& e : result.summary.explanations) sum += e.Weight();
+  EXPECT_NEAR(result.summary.total_explainability, sum, 1e-9);
+}
+
+TEST(CauSumXTest, CoverageCountMatchesUnion) {
+  SyntheticOptions opt;
+  opt.num_rows = 1200;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  const CauSumXResult result =
+      RunCauSumX(ds.table, ds.default_query, ds.dag, SyntheticConfig(ds));
+  Bitset covered(result.summary.num_groups);
+  for (const auto& e : result.summary.explanations) {
+    covered |= e.group_coverage;
+  }
+  EXPECT_EQ(result.summary.covered_groups, covered.Count());
+}
+
+TEST(CauSumXTest, SolverVariantsAllProduceResults) {
+  SyntheticOptions opt;
+  opt.num_rows = 1500;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  CauSumXConfig config = SyntheticConfig(ds);
+
+  config.solver = FinalStepSolver::kLpRounding;
+  const auto lp = RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+  config.solver = FinalStepSolver::kGreedy;
+  const auto greedy = RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+  config.solver = FinalStepSolver::kExact;
+  const auto exact = RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+
+  EXPECT_FALSE(lp.summary.explanations.empty());
+  EXPECT_FALSE(greedy.summary.explanations.empty());
+  EXPECT_FALSE(exact.summary.explanations.empty());
+  // Exact dominates the rounded solution in explainability whenever both
+  // satisfy the constraints.
+  if (exact.summary.coverage_satisfied && lp.summary.coverage_satisfied) {
+    EXPECT_GE(exact.summary.total_explainability + 1e-6,
+              lp.summary.total_explainability);
+  }
+}
+
+TEST(CauSumXTest, DeterministicAcrossRuns) {
+  SyntheticOptions opt;
+  opt.num_rows = 1000;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  CauSumXConfig config = SyntheticConfig(ds);
+  config.num_threads = 2;
+  const auto a = RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+  const auto b = RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+  ASSERT_EQ(a.summary.explanations.size(), b.summary.explanations.size());
+  EXPECT_DOUBLE_EQ(a.summary.total_explainability,
+                   b.summary.total_explainability);
+  for (size_t i = 0; i < a.summary.explanations.size(); ++i) {
+    EXPECT_EQ(a.summary.explanations[i].grouping_pattern.ToString(),
+              b.summary.explanations[i].grouping_pattern.ToString());
+  }
+}
+
+TEST(CauSumXTest, PositiveOnlyMode) {
+  SyntheticOptions opt;
+  opt.num_rows = 1000;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  CauSumXConfig config = SyntheticConfig(ds);
+  config.mine_negative = false;
+  const auto result = RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+  for (const auto& e : result.summary.explanations) {
+    EXPECT_TRUE(e.positive.has_value());
+    EXPECT_FALSE(e.negative.has_value());
+  }
+}
+
+TEST(CauSumXTest, TreatmentAllowlistHonored) {
+  SyntheticOptions opt;
+  opt.num_rows = 1500;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  CauSumXConfig config = SyntheticConfig(ds);
+  config.treatment_attribute_allowlist = {"T1"};
+  const auto result = RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+  for (const auto& e : result.summary.explanations) {
+    if (e.positive) {
+      for (const auto& pred : e.positive->pattern.predicates()) {
+        EXPECT_EQ(pred.attribute, "T1");
+      }
+    }
+  }
+}
+
+TEST(CauSumXTest, PhaseTimingsRecorded) {
+  SyntheticOptions opt;
+  opt.num_rows = 800;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  const auto result =
+      RunCauSumX(ds.table, ds.default_query, ds.dag, SyntheticConfig(ds));
+  EXPECT_EQ(result.timings.phases().size(), 3u);
+  EXPECT_GE(result.timings.Get("grouping"), 0.0);
+  EXPECT_GE(result.timings.Get("treatment"), 0.0);
+  EXPECT_GE(result.timings.Get("selection"), 0.0);
+}
+
+TEST(CauSumXTest, EmptyViewHandled) {
+  Table t;
+  t.AddColumn("g", ColumnType::kCategorical);
+  t.AddColumn("y", ColumnType::kDouble);
+  GroupByAvgQuery q;
+  q.group_by = {"g"};
+  q.avg_attribute = "y";
+  CausalDag dag;
+  dag.AddNode("y");
+  const auto result = RunCauSumX(t, q, dag, {});
+  EXPECT_EQ(result.summary.num_groups, 0u);
+  EXPECT_TRUE(result.summary.explanations.empty());
+}
+
+// Parameterized sweep over k: explainability is monotone non-decreasing
+// in the budget (the Fig. 9(a) phenomenon).
+class CauSumXVaryK : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CauSumXVaryK, MoreBudgetNeverHurtsExplainability) {
+  SyntheticOptions opt;
+  opt.num_rows = 1500;
+  static const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  CauSumXConfig config = SyntheticConfig(ds);
+  config.theta = 0.3;
+  config.solver = FinalStepSolver::kExact;  // deterministic comparison
+  config.k = GetParam();
+  const auto small = RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+  config.k = GetParam() + 1;
+  const auto large = RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+  EXPECT_GE(large.summary.total_explainability + 1e-6,
+            small.summary.total_explainability);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, CauSumXVaryK,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace causumx

@@ -1,0 +1,174 @@
+// Unit tests for the causal DAG: structure, reachability, d-separation,
+// and backdoor adjustment sets (Section 3).
+
+#include <gtest/gtest.h>
+
+#include "causal/dag.h"
+
+namespace causumx {
+namespace {
+
+// The Fig. 3 style DAG used across tests:
+//   Age -> Education -> Role -> Salary
+//   Age -> Salary, Education -> Salary, Country -> Salary, Gender -> Salary
+CausalDag MakeSoDag() {
+  CausalDag g;
+  g.AddEdge("Age", "Education");
+  g.AddEdge("Education", "Role");
+  g.AddEdge("Role", "Salary");
+  g.AddEdge("Age", "Salary");
+  g.AddEdge("Education", "Salary");
+  g.AddEdge("Country", "Salary");
+  g.AddEdge("Gender", "Salary");
+  return g;
+}
+
+TEST(DagTest, NodesAndEdges) {
+  const CausalDag g = MakeSoDag();
+  EXPECT_EQ(g.NumNodes(), 6u);
+  EXPECT_EQ(g.NumEdges(), 7u);
+  EXPECT_TRUE(g.HasEdge("Age", "Education"));
+  EXPECT_FALSE(g.HasEdge("Education", "Age"));
+  EXPECT_TRUE(g.HasNode("Salary"));
+  EXPECT_FALSE(g.HasNode("Missing"));
+}
+
+TEST(DagTest, CycleRejected) {
+  CausalDag g;
+  g.AddEdge("A", "B");
+  g.AddEdge("B", "C");
+  EXPECT_THROW(g.AddEdge("C", "A"), std::invalid_argument);
+  EXPECT_THROW(g.AddEdge("A", "A"), std::invalid_argument);
+}
+
+TEST(DagTest, RemoveEdge) {
+  CausalDag g = MakeSoDag();
+  g.RemoveEdge("Age", "Salary");
+  EXPECT_FALSE(g.HasEdge("Age", "Salary"));
+  EXPECT_EQ(g.NumEdges(), 6u);
+  // Now C -> A is legal after breaking the path... (no cycle here anyway)
+  g.RemoveEdge("NotThere", "Salary");  // no-op, no throw
+}
+
+TEST(DagTest, AncestorsAndDescendants) {
+  const CausalDag g = MakeSoDag();
+  const auto anc = g.Ancestors("Salary");
+  EXPECT_EQ(anc.size(), 5u);
+  EXPECT_TRUE(anc.count("Age"));
+  EXPECT_TRUE(anc.count("Country"));
+  const auto desc = g.Descendants("Age");
+  EXPECT_EQ(desc.size(), 3u);  // Education, Role, Salary
+  EXPECT_TRUE(g.IsAncestor("Age", "Salary"));
+  EXPECT_FALSE(g.IsAncestor("Salary", "Age"));
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  const CausalDag g = MakeSoDag();
+  const auto order = g.TopologicalOrder();
+  ASSERT_EQ(order.size(), g.NumNodes());
+  auto pos = [&order](const std::string& n) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == n) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(pos("Age"), pos("Education"));
+  EXPECT_LT(pos("Education"), pos("Role"));
+  EXPECT_LT(pos("Role"), pos("Salary"));
+}
+
+TEST(DagTest, DSeparationChain) {
+  CausalDag g;
+  g.AddEdge("A", "B");
+  g.AddEdge("B", "C");
+  EXPECT_FALSE(g.DSeparated("A", "C", {}));
+  EXPECT_TRUE(g.DSeparated("A", "C", {"B"}));
+}
+
+TEST(DagTest, DSeparationFork) {
+  CausalDag g;
+  g.AddEdge("B", "A");
+  g.AddEdge("B", "C");
+  EXPECT_FALSE(g.DSeparated("A", "C", {}));
+  EXPECT_TRUE(g.DSeparated("A", "C", {"B"}));
+}
+
+TEST(DagTest, DSeparationCollider) {
+  CausalDag g;
+  g.AddEdge("A", "B");
+  g.AddEdge("C", "B");
+  // Collider blocks marginally, opens when conditioned on.
+  EXPECT_TRUE(g.DSeparated("A", "C", {}));
+  EXPECT_FALSE(g.DSeparated("A", "C", {"B"}));
+}
+
+TEST(DagTest, DSeparationColliderDescendant) {
+  CausalDag g;
+  g.AddEdge("A", "B");
+  g.AddEdge("C", "B");
+  g.AddEdge("B", "D");
+  // Conditioning on a collider's descendant also opens the path.
+  EXPECT_FALSE(g.DSeparated("A", "C", {"D"}));
+}
+
+TEST(DagTest, DSeparationLargerGraph) {
+  const CausalDag g = MakeSoDag();
+  // Country and Gender are marginally independent (no connecting trail
+  // except the collider at Salary).
+  EXPECT_TRUE(g.DSeparated("Country", "Gender", {}));
+  EXPECT_FALSE(g.DSeparated("Country", "Gender", {"Salary"}));
+  // Role and Age are dependent through Education.
+  EXPECT_FALSE(g.DSeparated("Role", "Age", {}));
+  EXPECT_TRUE(g.DSeparated("Role", "Age", {"Education"}));
+}
+
+TEST(DagTest, BackdoorSetIsParentsOfTreatment) {
+  const CausalDag g = MakeSoDag();
+  const auto z = g.BackdoorAdjustmentSet({"Education"}, "Salary");
+  ASSERT_EQ(z.size(), 1u);
+  EXPECT_TRUE(z.count("Age"));
+}
+
+TEST(DagTest, BackdoorSetMultiAttributeTreatment) {
+  const CausalDag g = MakeSoDag();
+  const auto z = g.BackdoorAdjustmentSet({"Role", "Education"}, "Salary");
+  // Parents(Role) = {Education}, Parents(Education) = {Age}; treatments
+  // themselves are removed.
+  ASSERT_EQ(z.size(), 1u);
+  EXPECT_TRUE(z.count("Age"));
+}
+
+TEST(DagTest, BackdoorSetRootTreatmentIsEmpty) {
+  const CausalDag g = MakeSoDag();
+  EXPECT_TRUE(g.BackdoorAdjustmentSet({"Country"}, "Salary").empty());
+}
+
+TEST(DagTest, CausalAncestors) {
+  const CausalDag g = MakeSoDag();
+  const auto anc = g.CausalAncestorsOf("Salary");
+  EXPECT_TRUE(anc.count("Role"));
+  EXPECT_TRUE(anc.count("Gender"));
+  EXPECT_FALSE(anc.count("Salary"));
+}
+
+TEST(DagTest, DensityAndDot) {
+  const CausalDag g = MakeSoDag();
+  EXPECT_NEAR(g.Density(), 7.0 / (6 * 5), 1e-12);
+  const std::string dot = g.ToDot("T");
+  EXPECT_NE(dot.find("digraph T"), std::string::npos);
+  EXPECT_NE(dot.find("\"Age\" -> \"Education\""), std::string::npos);
+}
+
+TEST(DagTest, EdgeDifference) {
+  CausalDag a, b;
+  a.AddEdge("X", "Y");
+  a.AddEdge("Y", "Z");
+  b.AddEdge("X", "Y");
+  b.AddEdge("Z", "Y");
+  EXPECT_EQ(a.EdgeDifference(b, /*ignore_direction=*/false), 2u);
+  EXPECT_EQ(a.EdgeDifference(b, /*ignore_direction=*/true), 0u);
+  EXPECT_EQ(a.EdgeDifference(a), 0u);
+}
+
+}  // namespace
+}  // namespace causumx

@@ -1,0 +1,107 @@
+// Tests for the DAG text/DOT interchange formats.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "causal/dag_io.h"
+
+namespace causumx {
+namespace {
+
+TEST(DagIoTest, ParsesEdgeList) {
+  const CausalDag dag = ParseDagText(
+      "# salary model\n"
+      "Age -> Education\n"
+      "Education -> Salary, Role\n"
+      "\n"
+      "Hobby\n");
+  EXPECT_EQ(dag.NumNodes(), 5u);
+  EXPECT_EQ(dag.NumEdges(), 3u);
+  EXPECT_TRUE(dag.HasEdge("Age", "Education"));
+  EXPECT_TRUE(dag.HasEdge("Education", "Role"));
+  EXPECT_TRUE(dag.HasNode("Hobby"));
+  EXPECT_TRUE(dag.Children("Hobby").empty());
+}
+
+TEST(DagIoTest, CommentsAndWhitespaceIgnored) {
+  const CausalDag dag = ParseDagText(
+      "  A -> B   # inline comment\n"
+      "   # full-line comment\n"
+      "  B  ->   C  \n");
+  EXPECT_EQ(dag.NumEdges(), 2u);
+  EXPECT_TRUE(dag.HasEdge("B", "C"));
+}
+
+TEST(DagIoTest, CycleRejectedWithLineNumber) {
+  try {
+    ParseDagText("A -> B\nB -> A\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(DagIoTest, MalformedLinesRejected) {
+  EXPECT_THROW(ParseDagText("-> B\n"), std::runtime_error);
+  EXPECT_THROW(ParseDagText("A -> \n"), std::runtime_error);
+}
+
+TEST(DagIoTest, RoundTripThroughText) {
+  CausalDag dag;
+  dag.AddEdge("X", "Y");
+  dag.AddEdge("X", "Z");
+  dag.AddEdge("Y", "Z");
+  dag.AddNode("Lonely");
+  const CausalDag back = ParseDagText(DagToText(dag));
+  EXPECT_EQ(back.NumNodes(), dag.NumNodes());
+  EXPECT_EQ(back.NumEdges(), dag.NumEdges());
+  EXPECT_EQ(back.EdgeDifference(dag), 0u);
+  EXPECT_TRUE(back.HasNode("Lonely"));
+}
+
+TEST(DagIoTest, ParsesOwnDotOutput) {
+  CausalDag dag;
+  dag.AddEdge("Age", "Salary");
+  dag.AddEdge("Role", "Salary");
+  dag.AddNode("Hobby");
+  const CausalDag back = ParseDotText(dag.ToDot("G"));
+  EXPECT_EQ(back.NumEdges(), 2u);
+  EXPECT_TRUE(back.HasEdge("Age", "Salary"));
+  EXPECT_TRUE(back.HasNode("Hobby"));
+}
+
+TEST(DagIoTest, DotHandlesSpacedNames) {
+  const CausalDag dag = ParseDotText(
+      "digraph G {\n"
+      "  \"Years Coding\";\n"
+      "  \"Years Coding\" -> \"Annual Salary\";\n"
+      "}\n");
+  EXPECT_TRUE(dag.HasEdge("Years Coding", "Annual Salary"));
+}
+
+TEST(DagIoTest, FileRoundTrip) {
+  CausalDag dag;
+  dag.AddEdge("A", "B");
+  const std::string path = "/tmp/causumx_dag_io_test.txt";
+  {
+    std::ofstream f(path);
+    f << DagToText(dag);
+  }
+  const CausalDag back = ReadDagFile(path);
+  EXPECT_TRUE(back.HasEdge("A", "B"));
+
+  // DOT files are sniffed by their header.
+  const std::string dot_path = "/tmp/causumx_dag_io_test.dot";
+  {
+    std::ofstream f(dot_path);
+    f << dag.ToDot("T");
+  }
+  const CausalDag dot_back = ReadDagFile(dot_path);
+  EXPECT_TRUE(dot_back.HasEdge("A", "B"));
+
+  EXPECT_THROW(ReadDagFile("/nonexistent/nope.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace causumx

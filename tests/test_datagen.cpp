@@ -1,0 +1,271 @@
+// Tests for the dataset replicas: paper-scale shapes, FD structure,
+// acyclic ground-truth DAGs, and planted-effect sanity (Table 3 and the
+// case-study preconditions).
+
+#include <gtest/gtest.h>
+
+#include "datagen/accidents.h"
+#include "datagen/adult.h"
+#include "datagen/cps.h"
+#include "datagen/german.h"
+#include "datagen/registry.h"
+#include "datagen/stackoverflow.h"
+#include "datagen/synthetic.h"
+#include "dataset/fd.h"
+#include "dataset/group_query.h"
+
+namespace causumx {
+namespace {
+
+TEST(DatagenTest, RegistryListsPaperDatasets) {
+  const auto names = RegisteredDatasetNames();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "German");
+  EXPECT_EQ(names[4], "Accidents");
+  EXPECT_THROW(MakeDatasetByName("nope"), std::out_of_range);
+}
+
+TEST(DatagenTest, RegistryScalesRowCounts) {
+  const GeneratedDataset tiny = MakeDatasetByName("Adult", 0.01);
+  EXPECT_NEAR(static_cast<double>(tiny.table.NumRows()), 325.0, 5.0);
+}
+
+TEST(DatagenTest, StackOverflowShapeMatchesPaper) {
+  StackOverflowOptions opt;
+  opt.num_rows = 5000;  // scaled for test speed
+  const GeneratedDataset ds = MakeStackOverflowDataset(opt);
+  EXPECT_EQ(ds.table.NumRows(), 5000u);
+  EXPECT_EQ(ds.table.NumColumns(), 20u);  // Table 3: 20 attributes
+  EXPECT_EQ(ds.table.column("Country").NumDistinct(), 20u);  // 20 countries
+  EXPECT_EQ(ds.table.column("Continent").NumDistinct(), 5u);  // 5 continents
+}
+
+TEST(DatagenTest, StackOverflowFdsHold) {
+  StackOverflowOptions opt;
+  opt.num_rows = 4000;
+  const GeneratedDataset ds = MakeStackOverflowDataset(opt);
+  for (const char* attr : {"Continent", "HDI", "Gini", "GDP"}) {
+    EXPECT_TRUE(HoldsFd(ds.table, {"Country"}, attr)) << attr;
+  }
+  EXPECT_FALSE(HoldsFd(ds.table, {"Country"}, "Age"));
+}
+
+TEST(DatagenTest, StackOverflowPlantedEffects) {
+  StackOverflowOptions opt;
+  opt.num_rows = 10000;
+  const GeneratedDataset ds = MakeStackOverflowDataset(opt);
+  const AggregateView view =
+      AggregateView::Evaluate(ds.table, ds.default_query);
+  EXPECT_EQ(view.NumGroups(), 20u);
+  // The US must out-earn India on average (paper Fig. 1 shape).
+  double us = 0, india = 0;
+  for (const auto& g : view.groups()) {
+    if (g.KeyString() == "United States") us = g.average;
+    if (g.KeyString() == "India") india = g.average;
+  }
+  EXPECT_GT(us, 2.0 * india);
+}
+
+TEST(DatagenTest, StackOverflowDagAcyclicAndGrounded) {
+  const GeneratedDataset ds = MakeStackOverflowDataset(
+      StackOverflowOptions{.num_rows = 100, .seed = 1});
+  EXPECT_NO_THROW(ds.dag.TopologicalOrder());
+  EXPECT_EQ(ds.dag.NumNodes(), ds.table.NumColumns());
+  EXPECT_TRUE(ds.dag.HasEdge("Role", "Salary"));
+  EXPECT_TRUE(ds.dag.HasEdge("Age", "Education"));
+}
+
+TEST(DatagenTest, AdultShapeAndFd) {
+  AdultOptions opt;
+  opt.num_rows = 3000;
+  const GeneratedDataset ds = MakeAdultDataset(opt);
+  EXPECT_EQ(ds.table.NumColumns(), 13u);  // Table 3: 13 attributes
+  EXPECT_TRUE(HoldsFd(ds.table, {"Occupation"}, "OccupationCategory"));
+  // Binary outcome.
+  for (const Value& v : ds.table.column("Income").DistinctValues()) {
+    const double d = v.AsDouble();
+    EXPECT_TRUE(d == 0.0 || d == 1.0);
+  }
+}
+
+TEST(DatagenTest, AdultMarriageEffectPlanted) {
+  AdultOptions opt;
+  opt.num_rows = 20000;
+  const GeneratedDataset ds = MakeAdultDataset(opt);
+  // Married high-earner rate far above never-married (Fig. 19 story).
+  const Column& marital = ds.table.column("MaritalStatus");
+  const Column& income = ds.table.column("Income");
+  double married_sum = 0, married_n = 0, single_sum = 0, single_n = 0;
+  for (size_t r = 0; r < ds.table.NumRows(); ++r) {
+    const std::string m = marital.GetValue(r).AsString();
+    if (m == "Married") {
+      married_sum += income.GetNumeric(r);
+      ++married_n;
+    } else if (m == "Never-married") {
+      single_sum += income.GetNumeric(r);
+      ++single_n;
+    }
+  }
+  EXPECT_GT(married_sum / married_n, 2.0 * (single_sum / single_n));
+}
+
+TEST(DatagenTest, GermanShape) {
+  const GeneratedDataset ds = MakeGermanDataset();
+  EXPECT_EQ(ds.table.NumRows(), 1000u);   // Table 3: 1000 tuples
+  EXPECT_EQ(ds.table.NumColumns(), 20u);  // Table 3: 20 attributes
+  EXPECT_EQ(ds.table.column("Purpose").NumDistinct(), 10u);
+  // No FDs from Purpose: every attribute varies within purposes.
+  const AttributePartition part =
+      PartitionAttributes(ds.table, {"Purpose"}, "RiskScore");
+  EXPECT_TRUE(part.grouping_attributes.empty());
+}
+
+TEST(DatagenTest, GermanPlantedEffects) {
+  GermanOptions opt;
+  opt.num_rows = 5000;  // oversample for stable means
+  const GeneratedDataset ds = MakeGermanDataset(opt);
+  const Column& checking = ds.table.column("CheckingAccount");
+  const Column& duration = ds.table.column("Duration");
+  const Column& risk = ds.table.column("RiskScore");
+  double rich_sum = 0, rich_n = 0, long_sum = 0, long_n = 0, all_sum = 0;
+  for (size_t r = 0; r < ds.table.NumRows(); ++r) {
+    const double y = risk.GetNumeric(r);
+    all_sum += y;
+    if (checking.GetValue(r).AsString() == "200+ DM") {
+      rich_sum += y;
+      ++rich_n;
+    }
+    if (duration.GetInt(r) > 48) {
+      long_sum += y;
+      ++long_n;
+    }
+  }
+  const double base = all_sum / static_cast<double>(ds.table.NumRows());
+  EXPECT_GT(rich_sum / rich_n, base + 0.1);   // checking 200+ raises risk
+  EXPECT_LT(long_sum / long_n, base - 0.15);  // long duration lowers it
+}
+
+TEST(DatagenTest, AccidentsShapeAndFds) {
+  AccidentsOptions opt;
+  opt.num_rows = 5000;
+  opt.num_cities = 32;
+  const GeneratedDataset ds = MakeAccidentsDataset(opt);
+  EXPECT_EQ(ds.table.NumColumns(), 41u);  // ~Table 3: 40 attributes + key
+  EXPECT_TRUE(HoldsFd(ds.table, {"City"}, "Region"));
+  EXPECT_TRUE(HoldsFd(ds.table, {"City"}, "State"));
+  // Severity in [1, 4].
+  const Column& sev = ds.table.column("Severity");
+  for (size_t r = 0; r < ds.table.NumRows(); ++r) {
+    EXPECT_GE(sev.GetNumeric(r), 1.0);
+    EXPECT_LE(sev.GetNumeric(r), 4.0);
+  }
+}
+
+TEST(DatagenTest, AccidentsCompactSchemaOption) {
+  AccidentsOptions opt;
+  opt.num_rows = 500;
+  opt.full_schema = false;
+  const GeneratedDataset ds = MakeAccidentsDataset(opt);
+  EXPECT_EQ(ds.table.NumColumns(), 19u);
+  EXPECT_NO_THROW(ds.dag.TopologicalOrder());
+}
+
+TEST(DatagenTest, AccidentsPlantedRegionalEffects) {
+  AccidentsOptions opt;
+  opt.num_rows = 40000;
+  opt.num_cities = 32;
+  const GeneratedDataset ds = MakeAccidentsDataset(opt);
+  const Column& region = ds.table.column("Region");
+  const Column& weather = ds.table.column("Weather");
+  const Column& sev = ds.table.column("Severity");
+  // Midwest snow accidents are more severe than midwest clear ones.
+  double snow_sum = 0, snow_n = 0, clear_sum = 0, clear_n = 0;
+  for (size_t r = 0; r < ds.table.NumRows(); ++r) {
+    if (region.GetValue(r).AsString() != "Midwest") continue;
+    const std::string w = weather.GetValue(r).AsString();
+    if (w == "Snow") {
+      snow_sum += sev.GetNumeric(r);
+      ++snow_n;
+    } else if (w == "Clear") {
+      clear_sum += sev.GetNumeric(r);
+      ++clear_n;
+    }
+  }
+  ASSERT_GT(snow_n, 100.0);
+  EXPECT_GT(snow_sum / snow_n, clear_sum / clear_n + 0.4);
+}
+
+TEST(DatagenTest, CpsShapeAndFd) {
+  CpsOptions opt;
+  opt.num_rows = 5000;
+  const GeneratedDataset ds = MakeCpsDataset(opt);
+  EXPECT_EQ(ds.table.NumColumns(), 10u);  // Table 3: 10 attributes
+  EXPECT_TRUE(HoldsFd(ds.table, {"State"}, "Division"));
+  EXPECT_NO_THROW(ds.dag.TopologicalOrder());
+}
+
+TEST(DatagenTest, SyntheticOutcomeEquation) {
+  SyntheticOptions opt;
+  opt.num_rows = 500;
+  opt.num_treatment_attrs = 4;
+  opt.noise_std = 0.0;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  // O = T1 - T2 + T3 - T4 exactly.
+  for (size_t r = 0; r < ds.table.NumRows(); ++r) {
+    const double expected = ds.table.column("T1").GetNumeric(r) -
+                            ds.table.column("T2").GetNumeric(r) +
+                            ds.table.column("T3").GetNumeric(r) -
+                            ds.table.column("T4").GetNumeric(r);
+    EXPECT_DOUBLE_EQ(ds.table.column("O").GetNumeric(r), expected);
+  }
+  // G unique per tuple.
+  EXPECT_EQ(ds.table.column("G").NumDistinct(), ds.table.NumRows());
+}
+
+TEST(DatagenTest, SyntheticGroupingBucketsAreFds) {
+  SyntheticOptions opt;
+  opt.num_rows = 300;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  for (const auto& g : ds.grouping_attribute_hint) {
+    EXPECT_TRUE(HoldsFd(ds.table, {"G"}, g)) << g;
+  }
+}
+
+TEST(DatagenTest, GeneratorsDeterministicPerSeed) {
+  const GeneratedDataset a =
+      MakeAdultDataset(AdultOptions{.num_rows = 500, .seed = 77});
+  const GeneratedDataset b =
+      MakeAdultDataset(AdultOptions{.num_rows = 500, .seed = 77});
+  for (size_t r = 0; r < 500; ++r) {
+    EXPECT_TRUE(a.table.column("Income").GetNumeric(r) ==
+                b.table.column("Income").GetNumeric(r));
+    EXPECT_EQ(a.table.column("Occupation").GetCode(r),
+              b.table.column("Occupation").GetCode(r));
+  }
+}
+
+// Table 3 sanity sweep across all registered datasets (scaled down).
+class DatasetSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetSweep, BasicInvariants) {
+  const GeneratedDataset ds = MakeDatasetByName(GetParam(), 0.02);
+  EXPECT_GT(ds.table.NumRows(), 0u);
+  EXPECT_GE(ds.table.NumColumns(), 5u);
+  EXPECT_NO_THROW(ds.dag.TopologicalOrder());
+  // Default query must evaluate to a non-empty view.
+  const AggregateView view =
+      AggregateView::Evaluate(ds.table, ds.default_query);
+  EXPECT_GT(view.NumGroups(), 0u);
+  // Every DAG node must reference a real column (no stale names).
+  for (const auto& n : ds.dag.nodes()) {
+    EXPECT_TRUE(ds.table.ColumnIndex(n).has_value()) << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSweep,
+                         ::testing::Values("German", "Adult", "SO",
+                                           "IMPUS-CPS", "Accidents",
+                                           "Synthetic"));
+
+}  // namespace
+}  // namespace causumx

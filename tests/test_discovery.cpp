@@ -1,0 +1,89 @@
+// Unit tests for the discovery front-end (PC/FCI/LiNGAM/No-DAG) used by
+// the DAG-sensitivity experiment (Section 6.6, Table 4).
+
+#include <gtest/gtest.h>
+
+#include "causal/discovery.h"
+#include "causal/fci.h"
+#include "datagen/german.h"
+#include "util/rng.h"
+
+namespace causumx {
+namespace {
+
+Table MakeSmallTable() {
+  Table t;
+  t.AddColumn("X", ColumnType::kDouble);
+  t.AddColumn("Z", ColumnType::kDouble);
+  t.AddColumn("Y", ColumnType::kDouble);
+  Rng rng(1);
+  for (size_t i = 0; i < 2000; ++i) {
+    const double x = rng.NextGaussian();
+    const double z = x + rng.NextGaussian();
+    const double y = z + rng.NextGaussian();
+    t.AddRow({Value(x), Value(z), Value(y)});
+  }
+  return t;
+}
+
+TEST(DiscoveryTest, NoDagShape) {
+  const Table t = MakeSmallTable();
+  const CausalDag dag = MakeNoDag(t, "Y");
+  EXPECT_EQ(dag.NumNodes(), 3u);
+  EXPECT_EQ(dag.NumEdges(), 2u);
+  EXPECT_TRUE(dag.HasEdge("X", "Y"));
+  EXPECT_TRUE(dag.HasEdge("Z", "Y"));
+  EXPECT_FALSE(dag.HasEdge("X", "Z"));
+}
+
+TEST(DiscoveryTest, AlgorithmNames) {
+  EXPECT_STREQ(DiscoveryAlgorithmName(DiscoveryAlgorithm::kPc), "PC");
+  EXPECT_STREQ(DiscoveryAlgorithmName(DiscoveryAlgorithm::kFci), "FCI");
+  EXPECT_STREQ(DiscoveryAlgorithmName(DiscoveryAlgorithm::kLingam),
+               "LiNGAM");
+  EXPECT_STREQ(DiscoveryAlgorithmName(DiscoveryAlgorithm::kNoDag),
+               "No-DAG");
+}
+
+TEST(DiscoveryTest, DispatchRunsEveryAlgorithm) {
+  const Table t = MakeSmallTable();
+  for (DiscoveryAlgorithm algo :
+       {DiscoveryAlgorithm::kPc, DiscoveryAlgorithm::kFci,
+        DiscoveryAlgorithm::kLingam, DiscoveryAlgorithm::kNoDag}) {
+    const CausalDag dag = DiscoverDag(t, algo, "Y");
+    EXPECT_EQ(dag.NumNodes(), 3u) << DiscoveryAlgorithmName(algo);
+    EXPECT_NO_THROW(dag.TopologicalOrder());
+  }
+}
+
+TEST(DiscoveryTest, FciNoDenserThanPc) {
+  // FCI's extra pruning pass can only remove edges relative to PC.
+  const Table t = MakeSmallTable();
+  const CausalDag pc = DiscoverDag(t, DiscoveryAlgorithm::kPc, "Y");
+  const FciResult fci = RunFci(t);
+  EXPECT_LE(fci.dag.NumEdges(), pc.NumEdges());
+  EXPECT_GE(fci.ci_tests_run, 1u);
+}
+
+TEST(DiscoveryTest, RunsOnRealisticDataset) {
+  GermanOptions opt;
+  opt.num_rows = 500;
+  const GeneratedDataset ds = MakeGermanDataset(opt);
+  DiscoveryOptions dopt;
+  dopt.max_cond_size = 1;  // keep the test fast
+  const CausalDag pc =
+      DiscoverDag(ds.table, DiscoveryAlgorithm::kPc, "RiskScore", dopt);
+  EXPECT_EQ(pc.NumNodes(), ds.table.NumColumns());
+  EXPECT_GT(pc.NumEdges(), 0u);
+  EXPECT_NO_THROW(pc.TopologicalOrder());
+}
+
+TEST(DiscoveryTest, DagStatisticsComparable) {
+  // Table 4 protocol sanity: density is edges / (V * (V-1)).
+  const Table t = MakeSmallTable();
+  const CausalDag dag = DiscoverDag(t, DiscoveryAlgorithm::kNoDag, "Y");
+  EXPECT_NEAR(dag.Density(), 2.0 / 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace causumx

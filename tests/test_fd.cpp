@@ -1,0 +1,103 @@
+// Unit tests for functional-dependency detection and the grouping /
+// treatment attribute partition (Section 4.1).
+
+#include <gtest/gtest.h>
+
+#include "dataset/fd.h"
+
+namespace causumx {
+namespace {
+
+Table MakeTable() {
+  Table t;
+  t.AddColumn("country", ColumnType::kCategorical);
+  t.AddColumn("continent", ColumnType::kCategorical);  // FD country ->
+  t.AddColumn("gdp", ColumnType::kCategorical);        // FD country ->
+  t.AddColumn("age", ColumnType::kInt64);              // no FD
+  t.AddColumn("salary", ColumnType::kDouble);
+  t.AddRow({Value("US"), Value("NA"), Value("High"), Value(int64_t{30}),
+            Value(1.0)});
+  t.AddRow({Value("US"), Value("NA"), Value("High"), Value(int64_t{40}),
+            Value(2.0)});
+  t.AddRow({Value("FR"), Value("EU"), Value("High"), Value(int64_t{35}),
+            Value(3.0)});
+  t.AddRow({Value("IN"), Value("AS"), Value("Low"), Value(int64_t{28}),
+            Value(4.0)});
+  // Second North-American country so that continent -/-> country.
+  t.AddRow({Value("CA"), Value("NA"), Value("High"), Value(int64_t{33}),
+            Value(5.0)});
+  return t;
+}
+
+TEST(FdTest, HoldsForDeterminedAttributes) {
+  const Table t = MakeTable();
+  EXPECT_TRUE(HoldsFd(t, {"country"}, "continent"));
+  EXPECT_TRUE(HoldsFd(t, {"country"}, "gdp"));
+}
+
+TEST(FdTest, FailsForVaryingAttributes) {
+  const Table t = MakeTable();
+  EXPECT_FALSE(HoldsFd(t, {"country"}, "age"));
+  EXPECT_FALSE(HoldsFd(t, {"continent"}, "country"));  // NA -> {US, CA}
+}
+
+TEST(FdTest, ContinentDoesNotDetermineGdp) {
+  Table t = MakeTable();
+  // Add a second EU country with Low gdp to break continent -> gdp.
+  t.AddRow({Value("PL"), Value("EU"), Value("Low"), Value(int64_t{30}),
+            Value(5.0)});
+  EXPECT_FALSE(HoldsFd(t, {"continent"}, "gdp"));
+  EXPECT_TRUE(HoldsFd(t, {"country"}, "gdp"));
+}
+
+TEST(FdTest, CompositeLhs) {
+  const Table t = MakeTable();
+  EXPECT_TRUE(HoldsFd(t, {"country", "age"}, "continent"));
+}
+
+TEST(FdTest, NullLhsRowsSkipped) {
+  Table t;
+  t.AddColumn("a", ColumnType::kCategorical);
+  t.AddColumn("b", ColumnType::kCategorical);
+  t.AddRow({Value("x"), Value("1")});
+  t.AddRow({Value(), Value("2")});
+  t.AddRow({Value(), Value("3")});
+  EXPECT_TRUE(HoldsFd(t, {"a"}, "b"));
+}
+
+TEST(FdTest, NullRhsCountsAsDistinctValue) {
+  Table t;
+  t.AddColumn("a", ColumnType::kCategorical);
+  t.AddColumn("b", ColumnType::kCategorical);
+  t.AddRow({Value("x"), Value("1")});
+  t.AddRow({Value("x"), Value()});
+  EXPECT_FALSE(HoldsFd(t, {"a"}, "b"));
+}
+
+TEST(FdTest, PartitionSplitsAttributes) {
+  const Table t = MakeTable();
+  const AttributePartition part =
+      PartitionAttributes(t, {"country"}, "salary");
+  ASSERT_EQ(part.grouping_attributes.size(), 2u);
+  EXPECT_EQ(part.grouping_attributes[0], "continent");
+  EXPECT_EQ(part.grouping_attributes[1], "gdp");
+  ASSERT_EQ(part.treatment_attributes.size(), 1u);
+  EXPECT_EQ(part.treatment_attributes[0], "age");
+}
+
+TEST(FdTest, PartitionExcludesGroupByAndOutcome) {
+  const Table t = MakeTable();
+  const AttributePartition part =
+      PartitionAttributes(t, {"country"}, "salary");
+  for (const auto& a : part.grouping_attributes) {
+    EXPECT_NE(a, "country");
+    EXPECT_NE(a, "salary");
+  }
+  for (const auto& a : part.treatment_attributes) {
+    EXPECT_NE(a, "country");
+    EXPECT_NE(a, "salary");
+  }
+}
+
+}  // namespace
+}  // namespace causumx

@@ -1,0 +1,106 @@
+// Unit tests for the group-by-average query engine (Section 4).
+
+#include <gtest/gtest.h>
+
+#include "dataset/group_query.h"
+
+namespace causumx {
+namespace {
+
+Table MakeTable() {
+  Table t;
+  t.AddColumn("country", ColumnType::kCategorical);
+  t.AddColumn("role", ColumnType::kCategorical);
+  t.AddColumn("salary", ColumnType::kDouble);
+  t.AddRow({Value("US"), Value("dev"), Value(100.0)});
+  t.AddRow({Value("US"), Value("qa"), Value(80.0)});
+  t.AddRow({Value("IN"), Value("dev"), Value(30.0)});
+  t.AddRow({Value("IN"), Value("dev"), Value(50.0)});
+  t.AddRow({Value("DE"), Value("dev"), Value()});      // null outcome
+  t.AddRow({Value(), Value("dev"), Value(70.0)});      // null key
+  return t;
+}
+
+GroupByAvgQuery MakeQuery() {
+  GroupByAvgQuery q;
+  q.group_by = {"country"};
+  q.avg_attribute = "salary";
+  return q;
+}
+
+TEST(GroupQueryTest, AveragesAndCounts) {
+  const Table t = MakeTable();
+  const AggregateView view = AggregateView::Evaluate(t, MakeQuery());
+  ASSERT_EQ(view.NumGroups(), 2u);  // DE dropped (null outcome only)
+  EXPECT_EQ(view.group(0).KeyString(), "US");
+  EXPECT_DOUBLE_EQ(view.group(0).average, 90.0);
+  EXPECT_EQ(view.group(0).count, 2u);
+  EXPECT_EQ(view.group(1).KeyString(), "IN");
+  EXPECT_DOUBLE_EQ(view.group(1).average, 40.0);
+}
+
+TEST(GroupQueryTest, NullKeyRowsExcluded) {
+  const Table t = MakeTable();
+  const AggregateView view = AggregateView::Evaluate(t, MakeQuery());
+  EXPECT_EQ(view.GroupOfRow(5), -1);
+}
+
+TEST(GroupQueryTest, NullOutcomeRowsExcluded) {
+  const Table t = MakeTable();
+  const AggregateView view = AggregateView::Evaluate(t, MakeQuery());
+  EXPECT_EQ(view.GroupOfRow(4), -1);
+}
+
+TEST(GroupQueryTest, RowGroupMapping) {
+  const Table t = MakeTable();
+  const AggregateView view = AggregateView::Evaluate(t, MakeQuery());
+  EXPECT_EQ(view.GroupOfRow(0), 0);
+  EXPECT_EQ(view.GroupOfRow(1), 0);
+  EXPECT_EQ(view.GroupOfRow(2), 1);
+  EXPECT_EQ(view.GroupOfRow(3), 1);
+  const auto active = view.ActiveRows();
+  EXPECT_EQ(active.size(), 4u);
+}
+
+TEST(GroupQueryTest, WherePushdown) {
+  const Table t = MakeTable();
+  GroupByAvgQuery q = MakeQuery();
+  q.where = Pattern({SimplePredicate("role", CompareOp::kEq, Value("dev"))});
+  const AggregateView view = AggregateView::Evaluate(t, q);
+  ASSERT_EQ(view.NumGroups(), 2u);
+  EXPECT_DOUBLE_EQ(view.group(0).average, 100.0);  // US: only the dev row
+  EXPECT_EQ(view.group(0).count, 1u);
+}
+
+TEST(GroupQueryTest, CompositeGroupBy) {
+  const Table t = MakeTable();
+  GroupByAvgQuery q;
+  q.group_by = {"country", "role"};
+  q.avg_attribute = "salary";
+  const AggregateView view = AggregateView::Evaluate(t, q);
+  ASSERT_EQ(view.NumGroups(), 3u);  // US|dev, US|qa, IN|dev
+  EXPECT_EQ(view.group(0).KeyString(), "US|dev");
+  EXPECT_EQ(view.group(2).KeyString(), "IN|dev");
+  EXPECT_DOUBLE_EQ(view.group(2).average, 40.0);
+}
+
+TEST(GroupQueryTest, ToSqlRendering) {
+  GroupByAvgQuery q = MakeQuery();
+  EXPECT_EQ(q.ToSql("T"),
+            "SELECT country, AVG(salary) FROM T GROUP BY country");
+  q.where = Pattern({SimplePredicate("role", CompareOp::kEq, Value("dev"))});
+  EXPECT_EQ(q.ToSql(),
+            "SELECT country, AVG(salary) FROM D WHERE role = dev "
+            "GROUP BY country");
+}
+
+TEST(GroupQueryTest, EmptyTableYieldsNoGroups) {
+  Table t;
+  t.AddColumn("country", ColumnType::kCategorical);
+  t.AddColumn("salary", ColumnType::kDouble);
+  const AggregateView view = AggregateView::Evaluate(t, MakeQuery());
+  EXPECT_EQ(view.NumGroups(), 0u);
+}
+
+}  // namespace
+}  // namespace causumx

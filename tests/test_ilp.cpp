@@ -1,0 +1,123 @@
+// Unit tests for the branch-and-bound binary ILP solver.
+
+#include <gtest/gtest.h>
+
+#include "lp/ilp.h"
+
+namespace causumx {
+namespace {
+
+TEST(IlpTest, BinaryKnapsack) {
+  // max 6a + 5b + 4c s.t. 3a + 2b + 2c <= 4 -> b + c = 9 beats a alone.
+  LinearProgram lp;
+  lp.objective = {6, 5, 4};
+  lp.upper_bounds = {1, 1, 1};
+  lp.AddRow({3, 2, 2}, ConstraintSense::kLe, 4);
+  const IlpSolution sol = SolveBinaryIlp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 9.0, 1e-6);
+  EXPECT_NEAR(sol.values[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol.values[1], 1.0, 1e-9);
+  EXPECT_NEAR(sol.values[2], 1.0, 1e-9);
+}
+
+TEST(IlpTest, FractionalLpIntegralIlpDiffer) {
+  // LP relaxation would take half of each; ILP must commit.
+  LinearProgram lp;
+  lp.objective = {1, 1};
+  lp.upper_bounds = {1, 1};
+  lp.AddRow({1, 1}, ConstraintSense::kLe, 1);
+  const IlpSolution sol = SolveBinaryIlp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 1.0, 1e-6);
+  EXPECT_NEAR(sol.values[0] + sol.values[1], 1.0, 1e-6);
+}
+
+TEST(IlpTest, InfeasibleReported) {
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.upper_bounds = {1};
+  lp.AddRow({1}, ConstraintSense::kGe, 2);  // impossible for binary x
+  const IlpSolution sol = SolveBinaryIlp(lp);
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+}
+
+TEST(IlpTest, EqualityConstraint) {
+  // Exactly two of three variables must be one; maximize weight.
+  LinearProgram lp;
+  lp.objective = {3, 2, 1};
+  lp.upper_bounds = {1, 1, 1};
+  lp.AddRow({1, 1, 1}, ConstraintSense::kEq, 2);
+  const IlpSolution sol = SolveBinaryIlp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 5.0, 1e-6);
+  EXPECT_NEAR(sol.values[2], 0.0, 1e-9);
+}
+
+TEST(IlpTest, MaxCoverExact) {
+  // Max-cover: 4 elements, sets {1,2}, {2,3}, {3,4}; k=2 must cover all 4.
+  // Variables: g1..g3 then t1..t4.
+  LinearProgram lp;
+  lp.objective = {0, 0, 0, 1, 1, 1, 1};
+  lp.upper_bounds.assign(7, 1.0);
+  lp.AddRow({1, 1, 1, 0, 0, 0, 0}, ConstraintSense::kLe, 2);
+  lp.AddRow({-1, 0, 0, 1, 0, 0, 0}, ConstraintSense::kLe, 0);
+  lp.AddRow({-1, -1, 0, 0, 1, 0, 0}, ConstraintSense::kLe, 0);
+  lp.AddRow({0, -1, -1, 0, 0, 1, 0}, ConstraintSense::kLe, 0);
+  lp.AddRow({0, 0, -1, 0, 0, 0, 1}, ConstraintSense::kLe, 0);
+  const IlpSolution sol = SolveBinaryIlp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 4.0, 1e-6);
+  EXPECT_NEAR(sol.values[0], 1.0, 1e-6);  // {1,2}
+  EXPECT_NEAR(sol.values[2], 1.0, 1e-6);  // {3,4}
+}
+
+TEST(IlpTest, BinaryPrefixWithContinuousSuffix) {
+  // First var binary, second continuous in [0, 2.5]:
+  // max 2a + b s.t. a + b <= 3 -> a=1, b=2.
+  LinearProgram lp;
+  lp.objective = {2, 1};
+  lp.upper_bounds = {1, 2.5};
+  lp.AddRow({1, 1}, ConstraintSense::kLe, 3);
+  const IlpSolution sol = SolveBinaryIlp(lp, 1000, /*num_binary_vars=*/1);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[0], 1.0, 1e-6);
+  EXPECT_NEAR(sol.values[1], 2.0, 1e-6);
+  EXPECT_NEAR(sol.objective_value, 4.0, 1e-6);
+}
+
+TEST(IlpTest, MatchesBruteForceOnRandomInstances) {
+  // Small random set-packing instances: B&B must equal exhaustive search.
+  for (int seed = 0; seed < 5; ++seed) {
+    const size_t n = 6;
+    std::vector<double> weights(n);
+    std::vector<double> costs(n);
+    for (size_t j = 0; j < n; ++j) {
+      weights[j] = 1.0 + ((seed * 7 + j * 13) % 10);
+      costs[j] = 1.0 + ((seed * 5 + j * 11) % 4);
+    }
+    const double budget = 6.0;
+    LinearProgram lp;
+    lp.objective = weights;
+    lp.upper_bounds.assign(n, 1.0);
+    lp.AddRow(costs, ConstraintSense::kLe, budget);
+    const IlpSolution sol = SolveBinaryIlp(lp);
+    ASSERT_EQ(sol.status, LpStatus::kOptimal);
+
+    double best = 0;
+    for (unsigned mask = 0; mask < (1u << n); ++mask) {
+      double w = 0, c = 0;
+      for (size_t j = 0; j < n; ++j) {
+        if (mask & (1u << j)) {
+          w += weights[j];
+          c += costs[j];
+        }
+      }
+      if (c <= budget) best = std::max(best, w);
+    }
+    EXPECT_NEAR(sol.objective_value, best, 1e-6) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace causumx

@@ -1,0 +1,96 @@
+// Unit tests for the Fisher-z conditional-independence tester.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "causal/independence.h"
+#include "util/rng.h"
+
+namespace causumx {
+namespace {
+
+// X -> Z -> Y chain: X and Y dependent marginally, independent given Z.
+Table MakeChainTable(size_t n, uint64_t seed) {
+  Table t;
+  t.AddColumn("X", ColumnType::kDouble);
+  t.AddColumn("Z", ColumnType::kDouble);
+  t.AddColumn("Y", ColumnType::kDouble);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    const double z = 2.0 * x + rng.NextGaussian();
+    const double y = 1.5 * z + rng.NextGaussian();
+    t.AddRow({Value(x), Value(z), Value(y)});
+  }
+  return t;
+}
+
+TEST(IndependenceTest, MarginalDependenceDetected) {
+  const Table t = MakeChainTable(3000, 1);
+  FisherZTest test(t);
+  EXPECT_FALSE(test.Independent("X", "Y", {}));
+  EXPECT_LT(test.PValue("X", "Y", {}), 1e-6);
+}
+
+TEST(IndependenceTest, ConditionalIndependenceDetected) {
+  const Table t = MakeChainTable(3000, 2);
+  FisherZTest test(t);
+  EXPECT_TRUE(test.Independent("X", "Y", {"Z"}));
+  EXPECT_GT(test.PValue("X", "Y", {"Z"}), 0.01);
+}
+
+TEST(IndependenceTest, TrulyIndependentVariables) {
+  Table t;
+  t.AddColumn("A", ColumnType::kDouble);
+  t.AddColumn("B", ColumnType::kDouble);
+  Rng rng(3);
+  for (size_t i = 0; i < 3000; ++i) {
+    t.AddRow({Value(rng.NextGaussian()), Value(rng.NextGaussian())});
+  }
+  FisherZTest test(t);
+  EXPECT_TRUE(test.Independent("A", "B", {}));
+}
+
+TEST(IndependenceTest, PartialCorrelationSigns) {
+  const Table t = MakeChainTable(3000, 4);
+  FisherZTest test(t);
+  EXPECT_GT(test.PartialCorrelation("X", "Z", {}), 0.8);
+  EXPECT_GT(test.PartialCorrelation("X", "Y", {}), 0.5);
+  EXPECT_LT(std::fabs(test.PartialCorrelation("X", "Y", {"Z"})), 0.1);
+}
+
+TEST(IndependenceTest, ColliderOpensOnConditioning) {
+  // X -> Z <- Y collider: X,Y independent, dependent given Z.
+  Table t;
+  t.AddColumn("X", ColumnType::kDouble);
+  t.AddColumn("Y", ColumnType::kDouble);
+  t.AddColumn("Z", ColumnType::kDouble);
+  Rng rng(5);
+  for (size_t i = 0; i < 5000; ++i) {
+    const double x = rng.NextGaussian();
+    const double y = rng.NextGaussian();
+    const double z = x + y + 0.3 * rng.NextGaussian();
+    t.AddRow({Value(x), Value(y), Value(z)});
+  }
+  FisherZTest test(t);
+  EXPECT_TRUE(test.Independent("X", "Y", {}));
+  EXPECT_FALSE(test.Independent("X", "Y", {"Z"}));
+}
+
+TEST(IndependenceTest, RowCapKeepsTestUsable) {
+  const Table t = MakeChainTable(10000, 6);
+  FisherZTest capped(t, /*max_rows=*/1000);
+  EXPECT_LE(capped.sample_size(), 1001u);
+  EXPECT_FALSE(capped.Independent("X", "Y", {}));
+  EXPECT_TRUE(capped.Independent("X", "Y", {"Z"}));
+}
+
+TEST(IndependenceTest, UnknownVariableThrows) {
+  const Table t = MakeChainTable(100, 7);
+  FisherZTest test(t);
+  EXPECT_THROW(test.PValue("X", "Nope", {}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace causumx

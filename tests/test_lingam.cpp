@@ -1,0 +1,103 @@
+// Unit tests for DirectLiNGAM.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "causal/lingam.h"
+#include "util/rng.h"
+
+namespace causumx {
+namespace {
+
+// Uniform noise (non-Gaussian) is the LiNGAM identifiability requirement.
+double UniformNoise(Rng* rng) { return rng->NextDouble() * 2.0 - 1.0; }
+
+TEST(LingamTest, RecoversTwoVariableDirection) {
+  Table t;
+  t.AddColumn("X", ColumnType::kDouble);
+  t.AddColumn("Y", ColumnType::kDouble);
+  Rng rng(1);
+  for (size_t i = 0; i < 5000; ++i) {
+    const double x = UniformNoise(&rng);
+    const double y = 1.2 * x + 0.5 * UniformNoise(&rng);
+    t.AddRow({Value(x), Value(y)});
+  }
+  const LingamResult res = RunLingam(t);
+  ASSERT_EQ(res.causal_order.size(), 2u);
+  EXPECT_EQ(res.causal_order[0], "X");
+  EXPECT_TRUE(res.dag.HasEdge("X", "Y"));
+  EXPECT_FALSE(res.dag.HasEdge("Y", "X"));
+}
+
+TEST(LingamTest, RecoversChainOrder) {
+  Table t;
+  t.AddColumn("A", ColumnType::kDouble);
+  t.AddColumn("B", ColumnType::kDouble);
+  t.AddColumn("C", ColumnType::kDouble);
+  Rng rng(2);
+  for (size_t i = 0; i < 6000; ++i) {
+    const double a = UniformNoise(&rng);
+    const double b = 1.1 * a + 0.4 * UniformNoise(&rng);
+    const double c = 1.1 * b + 0.4 * UniformNoise(&rng);
+    t.AddRow({Value(a), Value(b), Value(c)});
+  }
+  const LingamResult res = RunLingam(t);
+  auto pos = [&res](const std::string& n) {
+    return std::find(res.causal_order.begin(), res.causal_order.end(), n) -
+           res.causal_order.begin();
+  };
+  EXPECT_LT(pos("A"), pos("B"));
+  EXPECT_LT(pos("B"), pos("C"));
+  EXPECT_TRUE(res.dag.HasEdge("A", "B"));
+  EXPECT_TRUE(res.dag.HasEdge("B", "C"));
+}
+
+TEST(LingamTest, PruningDropsWeakEdges) {
+  Table t;
+  t.AddColumn("A", ColumnType::kDouble);
+  t.AddColumn("B", ColumnType::kDouble);
+  Rng rng(3);
+  for (size_t i = 0; i < 4000; ++i) {
+    const double a = UniformNoise(&rng);
+    const double b = UniformNoise(&rng);  // independent of A
+    t.AddRow({Value(a), Value(b)});
+  }
+  const LingamResult res = RunLingam(t, /*prune_threshold=*/0.1);
+  EXPECT_EQ(res.dag.NumEdges(), 0u);
+}
+
+TEST(LingamTest, OutputIsAcyclic) {
+  Table t;
+  t.AddColumn("A", ColumnType::kDouble);
+  t.AddColumn("B", ColumnType::kDouble);
+  t.AddColumn("C", ColumnType::kDouble);
+  t.AddColumn("D", ColumnType::kDouble);
+  Rng rng(4);
+  for (size_t i = 0; i < 3000; ++i) {
+    const double a = UniformNoise(&rng);
+    const double b = a + 0.5 * UniformNoise(&rng);
+    const double c = a - b + 0.5 * UniformNoise(&rng);
+    const double d = c + 0.5 * UniformNoise(&rng);
+    t.AddRow({Value(a), Value(b), Value(c), Value(d)});
+  }
+  const LingamResult res = RunLingam(t);
+  EXPECT_NO_THROW(res.dag.TopologicalOrder());
+  EXPECT_EQ(res.causal_order.size(), 4u);
+}
+
+TEST(LingamTest, NegentropyPositiveForUniform) {
+  Rng rng(5);
+  std::vector<double> uniform(20000), gauss(20000);
+  for (size_t i = 0; i < uniform.size(); ++i) {
+    uniform[i] = (rng.NextDouble() * 2 - 1) * std::sqrt(3.0);  // unit var
+    gauss[i] = rng.NextGaussian();
+  }
+  // Uniform is distinctly non-Gaussian; Gaussian negentropy ~ 0.
+  EXPECT_GT(ApproxNegentropy(uniform), 0.02);
+  EXPECT_LT(ApproxNegentropy(gauss), 0.02);
+}
+
+}  // namespace
+}  // namespace causumx

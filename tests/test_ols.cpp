@@ -1,0 +1,152 @@
+// Unit tests for the OLS solver underpinning CATE estimation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "causal/ols.h"
+#include "util/rng.h"
+
+namespace causumx {
+namespace {
+
+TEST(OlsTest, ExactLineFit) {
+  // y = 3 + 2x, no noise: coefficients recovered exactly.
+  DesignMatrix x(5, 2);
+  std::vector<double> y(5);
+  for (size_t i = 0; i < 5; ++i) {
+    x.At(i, 0) = 1.0;
+    x.At(i, 1) = static_cast<double>(i);
+    y[i] = 3.0 + 2.0 * static_cast<double>(i);
+  }
+  const OlsResult fit = FitOls(x, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.residual_variance, 0.0, 1e-12);
+}
+
+TEST(OlsTest, NoisyFitRecoversWithinError) {
+  Rng rng(5);
+  const size_t n = 5000;
+  DesignMatrix x(n, 3);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double a = rng.NextGaussian();
+    const double b = rng.NextGaussian();
+    x.At(i, 0) = 1.0;
+    x.At(i, 1) = a;
+    x.At(i, 2) = b;
+    y[i] = 1.0 + 4.0 * a - 2.5 * b + rng.NextGaussian(0, 0.5);
+  }
+  const OlsResult fit = FitOls(x, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 1.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[1], 4.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[2], -2.5, 0.05);
+  EXPECT_NEAR(fit.residual_variance, 0.25, 0.02);
+}
+
+TEST(OlsTest, StandardErrorsScaleWithNoise) {
+  Rng rng(7);
+  const size_t n = 2000;
+  DesignMatrix x(n, 2);
+  std::vector<double> y_low(n), y_high(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double a = rng.NextGaussian();
+    x.At(i, 0) = 1.0;
+    x.At(i, 1) = a;
+    const double noise = rng.NextGaussian();
+    y_low[i] = 2.0 * a + 0.1 * noise;
+    y_high[i] = 2.0 * a + 2.0 * noise;
+  }
+  const OlsResult low = FitOls(x, y_low);
+  const OlsResult high = FitOls(x, y_high);
+  ASSERT_TRUE(low.ok && high.ok);
+  EXPECT_LT(low.std_errors[1] * 5, high.std_errors[1]);
+}
+
+TEST(OlsTest, PValueSignificantForRealEffect) {
+  Rng rng(9);
+  const size_t n = 500;
+  DesignMatrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = (i % 2 == 0) ? 1.0 : 0.0;
+    x.At(i, 0) = 1.0;
+    x.At(i, 1) = t;
+    y[i] = 5.0 * t + rng.NextGaussian();
+  }
+  const OlsResult fit = FitOls(x, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_LT(fit.PValue(1), 1e-10);
+  EXPECT_GT(std::fabs(fit.TStat(1)), 10.0);
+}
+
+TEST(OlsTest, PValueLargeForNullEffect) {
+  Rng rng(11);
+  const size_t n = 500;
+  DesignMatrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = 1.0;
+    x.At(i, 1) = (i % 2 == 0) ? 1.0 : 0.0;
+    y[i] = rng.NextGaussian();  // no dependence on x1
+  }
+  const OlsResult fit = FitOls(x, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_GT(fit.PValue(1), 0.01);
+}
+
+TEST(OlsTest, UnderdeterminedFails) {
+  DesignMatrix x(2, 3);
+  std::vector<double> y = {1.0, 2.0};
+  EXPECT_FALSE(FitOls(x, y).ok);
+}
+
+TEST(OlsTest, CollinearDesignSurvivesViaJitter) {
+  // Second and third columns identical: rank-deficient normal equations.
+  Rng rng(13);
+  const size_t n = 100;
+  DesignMatrix x(n, 3);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double a = rng.NextGaussian();
+    x.At(i, 0) = 1.0;
+    x.At(i, 1) = a;
+    x.At(i, 2) = a;
+    y[i] = a + rng.NextGaussian(0, 0.1);
+  }
+  const OlsResult fit = FitOls(x, y);
+  // Either the jitter path solves it (preferred) or it reports failure —
+  // it must not produce NaNs.
+  if (fit.ok) {
+    for (double c : fit.coefficients) EXPECT_FALSE(std::isnan(c));
+    // The collinear pair should split the unit effect between them.
+    EXPECT_NEAR(fit.coefficients[1] + fit.coefficients[2], 1.0, 0.1);
+  }
+}
+
+TEST(OlsTest, SolveSpdIdentity) {
+  std::vector<std::vector<double>> a = {{1, 0}, {0, 1}};
+  std::vector<double> b = {3.0, -4.0};
+  ASSERT_TRUE(SolveSpd(&a, &b));
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], -4.0, 1e-12);
+}
+
+TEST(OlsTest, SolveSpdKnownSystem) {
+  // A = [[4, 2], [2, 3]], b = [10, 8] -> x = [1.75, 1.5].
+  std::vector<std::vector<double>> a = {{4, 2}, {2, 3}};
+  std::vector<double> b = {10.0, 8.0};
+  ASSERT_TRUE(SolveSpd(&a, &b));
+  EXPECT_NEAR(b[0], 1.75, 1e-9);
+  EXPECT_NEAR(b[1], 1.5, 1e-9);
+  // `a` now holds the inverse of the original matrix.
+  EXPECT_NEAR(a[0][0], 0.375, 1e-9);
+  EXPECT_NEAR(a[0][1], -0.25, 1e-9);
+  EXPECT_NEAR(a[1][1], 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace causumx

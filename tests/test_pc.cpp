@@ -1,0 +1,128 @@
+// Unit tests for the PC algorithm and the PDAG machinery.
+
+#include <gtest/gtest.h>
+
+#include "causal/pc.h"
+#include "util/rng.h"
+
+namespace causumx {
+namespace {
+
+TEST(PdagBuilderTest, AdjacencyAndOrientation) {
+  PdagBuilder pdag({"A", "B", "C"});
+  pdag.AddUndirected("A", "B");
+  EXPECT_TRUE(pdag.Adjacent("A", "B"));
+  EXPECT_TRUE(pdag.IsUndirected("A", "B"));
+  pdag.Orient("A", "B");
+  EXPECT_TRUE(pdag.IsOriented("A", "B"));
+  EXPECT_FALSE(pdag.IsOriented("B", "A"));
+  EXPECT_TRUE(pdag.Adjacent("A", "B"));
+  // Orienting the reverse of an oriented edge is a no-op.
+  pdag.Orient("B", "A");
+  EXPECT_TRUE(pdag.IsOriented("A", "B"));
+}
+
+TEST(PdagBuilderTest, MeekRule1Propagates) {
+  // C -> A, A - B, C not adjacent to B  =>  A -> B.
+  PdagBuilder pdag({"A", "B", "C"});
+  pdag.AddUndirected("C", "A");
+  pdag.Orient("C", "A");
+  pdag.AddUndirected("A", "B");
+  pdag.ApplyMeekRules();
+  EXPECT_TRUE(pdag.IsOriented("A", "B"));
+}
+
+TEST(PdagBuilderTest, ToDagBreaksTies) {
+  PdagBuilder pdag({"A", "B"});
+  pdag.AddUndirected("A", "B");
+  const CausalDag dag = pdag.ToDag({"A", "B"});
+  EXPECT_TRUE(dag.HasEdge("A", "B"));
+  EXPECT_FALSE(dag.HasEdge("B", "A"));
+}
+
+// Chain X -> Z -> Y: PC must drop the X-Y edge.
+TEST(PcTest, ChainSkeletonRecovered) {
+  Table t;
+  t.AddColumn("X", ColumnType::kDouble);
+  t.AddColumn("Z", ColumnType::kDouble);
+  t.AddColumn("Y", ColumnType::kDouble);
+  Rng rng(1);
+  for (size_t i = 0; i < 4000; ++i) {
+    const double x = rng.NextGaussian();
+    const double z = 1.5 * x + rng.NextGaussian();
+    const double y = 1.5 * z + rng.NextGaussian();
+    t.AddRow({Value(x), Value(z), Value(y)});
+  }
+  // Stricter alpha at n=4000, as standard for PC on large samples (the
+  // default 0.05 admits ~5% false edge retentions by construction).
+  const PcResult pc = RunPc(t, /*alpha=*/0.01);
+  EXPECT_GT(pc.ci_tests_run, 0u);
+  // Skeleton: X-Z and Z-Y adjacent, X-Y not.
+  const bool xz = pc.dag.HasEdge("X", "Z") || pc.dag.HasEdge("Z", "X");
+  const bool zy = pc.dag.HasEdge("Z", "Y") || pc.dag.HasEdge("Y", "Z");
+  const bool xy = pc.dag.HasEdge("X", "Y") || pc.dag.HasEdge("Y", "X");
+  EXPECT_TRUE(xz);
+  EXPECT_TRUE(zy);
+  EXPECT_FALSE(xy);
+  // Separating set of (X, Y) must be {Z}.
+  auto it = pc.sepsets.find({"X", "Y"});
+  ASSERT_NE(it, pc.sepsets.end());
+  EXPECT_TRUE(it->second.count("Z"));
+}
+
+// Collider X -> Z <- Y: PC must orient the v-structure.
+TEST(PcTest, ColliderOriented) {
+  Table t;
+  t.AddColumn("X", ColumnType::kDouble);
+  t.AddColumn("Y", ColumnType::kDouble);
+  t.AddColumn("Z", ColumnType::kDouble);
+  Rng rng(2);
+  for (size_t i = 0; i < 6000; ++i) {
+    const double x = rng.NextGaussian();
+    const double y = rng.NextGaussian();
+    const double z = x + y + 0.5 * rng.NextGaussian();
+    t.AddRow({Value(x), Value(y), Value(z)});
+  }
+  const PcResult pc = RunPc(t);
+  EXPECT_TRUE(pc.dag.HasEdge("X", "Z"));
+  EXPECT_TRUE(pc.dag.HasEdge("Y", "Z"));
+  EXPECT_FALSE(pc.dag.HasEdge("Z", "X"));
+  EXPECT_FALSE(pc.dag.HasEdge("Z", "Y"));
+}
+
+TEST(PcTest, IndependentVariablesYieldSparseGraph) {
+  Table t;
+  t.AddColumn("A", ColumnType::kDouble);
+  t.AddColumn("B", ColumnType::kDouble);
+  t.AddColumn("C", ColumnType::kDouble);
+  Rng rng(3);
+  for (size_t i = 0; i < 3000; ++i) {
+    t.AddRow({Value(rng.NextGaussian()), Value(rng.NextGaussian()),
+              Value(rng.NextGaussian())});
+  }
+  const PcResult pc = RunPc(t);
+  EXPECT_LE(pc.dag.NumEdges(), 1u);  // allow one false positive at 5%
+}
+
+TEST(PcTest, OutputIsAlwaysAcyclic) {
+  // Any output must topo-sort without throwing.
+  Table t;
+  t.AddColumn("A", ColumnType::kDouble);
+  t.AddColumn("B", ColumnType::kDouble);
+  t.AddColumn("C", ColumnType::kDouble);
+  t.AddColumn("D", ColumnType::kDouble);
+  Rng rng(4);
+  for (size_t i = 0; i < 2000; ++i) {
+    const double a = rng.NextGaussian();
+    const double b = a + rng.NextGaussian();
+    const double c = a + b + rng.NextGaussian();
+    const double d = c + rng.NextGaussian();
+    t.AddRow({Value(a), Value(b), Value(c), Value(d)});
+  }
+  const PcResult pc = RunPc(t);
+  EXPECT_NO_THROW(pc.dag.TopologicalOrder());
+  EXPECT_EQ(pc.dag.NumNodes(), 4u);
+}
+
+}  // namespace
+}  // namespace causumx

@@ -1,0 +1,139 @@
+// Unit tests for predicates and conjunctive patterns (Definition 4.1).
+
+#include <gtest/gtest.h>
+
+#include "dataset/pattern.h"
+#include "dataset/predicate.h"
+
+namespace causumx {
+namespace {
+
+Table MakeTable() {
+  Table t;
+  t.AddColumn("role", ColumnType::kCategorical);
+  t.AddColumn("age", ColumnType::kInt64);
+  t.AddColumn("pay", ColumnType::kDouble);
+  t.AddRow({Value("dev"), Value(int64_t{30}), Value(100.0)});
+  t.AddRow({Value("qa"), Value(int64_t{45}), Value(80.0)});
+  t.AddRow({Value("dev"), Value(int64_t{52}), Value(120.0)});
+  t.AddRow({Value("mgr"), Value(), Value(150.0)});
+  return t;
+}
+
+TEST(PredicateTest, EqualityOnCategorical) {
+  const Table t = MakeTable();
+  SimplePredicate p("role", CompareOp::kEq, Value("dev"));
+  EXPECT_TRUE(p.Matches(t, 0));
+  EXPECT_FALSE(p.Matches(t, 1));
+  EXPECT_TRUE(p.Matches(t, 2));
+}
+
+TEST(PredicateTest, OrderedOpsOnNumeric) {
+  const Table t = MakeTable();
+  EXPECT_TRUE(SimplePredicate("age", CompareOp::kLt, Value(int64_t{40}))
+                  .Matches(t, 0));
+  EXPECT_FALSE(SimplePredicate("age", CompareOp::kLt, Value(int64_t{40}))
+                   .Matches(t, 1));
+  EXPECT_TRUE(SimplePredicate("age", CompareOp::kGe, Value(int64_t{45}))
+                  .Matches(t, 1));
+  EXPECT_TRUE(SimplePredicate("pay", CompareOp::kLe, Value(100.0))
+                  .Matches(t, 0));
+  EXPECT_TRUE(SimplePredicate("pay", CompareOp::kGt, Value(100.0))
+                  .Matches(t, 2));
+}
+
+TEST(PredicateTest, NullNeverMatches) {
+  const Table t = MakeTable();
+  SimplePredicate p("age", CompareOp::kGe, Value(int64_t{0}));
+  EXPECT_FALSE(p.Matches(t, 3));
+}
+
+TEST(PredicateTest, ToStringRendersOperator) {
+  SimplePredicate p("age", CompareOp::kLe, Value(int64_t{35}));
+  EXPECT_EQ(p.ToString(), "age <= 35");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kGe), ">=");
+}
+
+TEST(PatternTest, EmptyPatternMatchesAll) {
+  const Table t = MakeTable();
+  Pattern p;
+  EXPECT_TRUE(p.IsEmpty());
+  EXPECT_EQ(p.ToString(), "TRUE");
+  EXPECT_EQ(p.Evaluate(t).Count(), t.NumRows());
+}
+
+TEST(PatternTest, ConjunctionSemantics) {
+  const Table t = MakeTable();
+  Pattern p({SimplePredicate("role", CompareOp::kEq, Value("dev")),
+             SimplePredicate("age", CompareOp::kGt, Value(int64_t{40}))});
+  const Bitset rows = p.Evaluate(t);
+  EXPECT_EQ(rows.Count(), 1u);
+  EXPECT_TRUE(rows.Test(2));
+}
+
+TEST(PatternTest, CanonicalizationMakesOrderIrrelevant) {
+  SimplePredicate a("role", CompareOp::kEq, Value("dev"));
+  SimplePredicate b("age", CompareOp::kLt, Value(int64_t{40}));
+  Pattern p1({a, b});
+  Pattern p2({b, a});
+  EXPECT_TRUE(p1 == p2);
+  EXPECT_EQ(p1.Hash(), p2.Hash());
+  EXPECT_EQ(p1.ToString(), p2.ToString());
+}
+
+TEST(PatternTest, DuplicatePredicatesCollapse) {
+  SimplePredicate a("role", CompareOp::kEq, Value("dev"));
+  Pattern p({a, a});
+  EXPECT_EQ(p.Size(), 1u);
+}
+
+TEST(PatternTest, WithAddsPredicate) {
+  Pattern base({SimplePredicate("role", CompareOp::kEq, Value("dev"))});
+  Pattern extended =
+      base.With(SimplePredicate("age", CompareOp::kLt, Value(int64_t{40})));
+  EXPECT_EQ(extended.Size(), 2u);
+  EXPECT_EQ(base.Size(), 1u);  // immutable
+  EXPECT_TRUE(extended.UsesAttribute("age"));
+  EXPECT_FALSE(base.UsesAttribute("age"));
+}
+
+TEST(PatternTest, RangePatternOnOneAttribute) {
+  const Table t = MakeTable();
+  Pattern range({SimplePredicate("age", CompareOp::kGt, Value(int64_t{40})),
+                 SimplePredicate("age", CompareOp::kLt, Value(int64_t{50}))});
+  const Bitset rows = range.Evaluate(t);
+  EXPECT_EQ(rows.Count(), 1u);
+  EXPECT_TRUE(rows.Test(1));  // age 45
+}
+
+TEST(PatternTest, AttributesDeduplicated) {
+  Pattern p({SimplePredicate("age", CompareOp::kGt, Value(int64_t{1})),
+             SimplePredicate("age", CompareOp::kLt, Value(int64_t{9})),
+             SimplePredicate("role", CompareOp::kEq, Value("qa"))});
+  const auto attrs = p.Attributes();
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0], "age");
+  EXPECT_EQ(attrs[1], "role");
+}
+
+TEST(PatternTest, EvaluateOnRestrictsToMask) {
+  const Table t = MakeTable();
+  Bitset mask(t.NumRows());
+  mask.Set(0);
+  mask.Set(1);
+  Pattern p({SimplePredicate("role", CompareOp::kEq, Value("dev"))});
+  const Bitset rows = p.EvaluateOn(t, mask);
+  EXPECT_EQ(rows.Count(), 1u);
+  EXPECT_TRUE(rows.Test(0));
+}
+
+TEST(PatternTest, HashDiffersForDifferentPatterns) {
+  Pattern p1({SimplePredicate("a", CompareOp::kEq, Value("x"))});
+  Pattern p2({SimplePredicate("a", CompareOp::kEq, Value("y"))});
+  Pattern p3({SimplePredicate("a", CompareOp::kLt, Value("x"))});
+  EXPECT_NE(p1.Hash(), p2.Hash());
+  EXPECT_NE(p1.Hash(), p3.Hash());
+}
+
+}  // namespace
+}  // namespace causumx

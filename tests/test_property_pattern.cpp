@@ -1,0 +1,124 @@
+// Property-based tests for the pattern algebra: on randomly generated
+// tables and random conjunctive patterns, batched evaluation must agree
+// with row-at-a-time semantics, masks must compose, and adding a
+// predicate must only shrink the matching set.
+
+#include <gtest/gtest.h>
+
+#include "dataset/pattern.h"
+#include "util/rng.h"
+
+namespace causumx {
+namespace {
+
+struct RandomWorld {
+  Table table;
+  std::vector<SimplePredicate> atoms;
+};
+
+RandomWorld MakeWorld(uint64_t seed) {
+  RandomWorld w;
+  Rng rng(seed);
+  w.table.AddColumn("c1", ColumnType::kCategorical);
+  w.table.AddColumn("c2", ColumnType::kCategorical);
+  w.table.AddColumn("i1", ColumnType::kInt64);
+  w.table.AddColumn("d1", ColumnType::kDouble);
+  const char* c1_vals[] = {"a", "b", "c"};
+  const char* c2_vals[] = {"x", "y"};
+  const size_t n = 200 + rng.NextBounded(200);
+  for (size_t r = 0; r < n; ++r) {
+    // ~5% nulls in each column.
+    w.table.AddRow({
+        rng.NextBool(0.05) ? Value() : Value(c1_vals[rng.NextBounded(3)]),
+        rng.NextBool(0.05) ? Value() : Value(c2_vals[rng.NextBounded(2)]),
+        rng.NextBool(0.05) ? Value() : Value(rng.NextInt(0, 9)),
+        rng.NextBool(0.05) ? Value() : Value(rng.NextGaussian()),
+    });
+  }
+  w.atoms = {
+      SimplePredicate("c1", CompareOp::kEq, Value("a")),
+      SimplePredicate("c1", CompareOp::kEq, Value("b")),
+      SimplePredicate("c2", CompareOp::kEq, Value("x")),
+      SimplePredicate("i1", CompareOp::kLt, Value(int64_t{5})),
+      SimplePredicate("i1", CompareOp::kGe, Value(int64_t{3})),
+      SimplePredicate("d1", CompareOp::kGt, Value(0.0)),
+      SimplePredicate("d1", CompareOp::kLe, Value(1.0)),
+  };
+  return w;
+}
+
+Pattern RandomPattern(const RandomWorld& w, Rng* rng, size_t max_size) {
+  std::vector<SimplePredicate> preds;
+  const size_t size = 1 + rng->NextBounded(max_size);
+  for (size_t i = 0; i < size; ++i) {
+    preds.push_back(w.atoms[rng->NextBounded(w.atoms.size())]);
+  }
+  return Pattern(std::move(preds));
+}
+
+class PatternPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PatternPropertyTest, BatchedEvaluationMatchesRowWise) {
+  const RandomWorld w = MakeWorld(GetParam());
+  Rng rng(GetParam() * 31 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Pattern p = RandomPattern(w, &rng, 3);
+    const Bitset batched = p.Evaluate(w.table);
+    for (size_t r = 0; r < w.table.NumRows(); ++r) {
+      ASSERT_EQ(batched.Test(r), p.Matches(w.table, r))
+          << p.ToString() << " row " << r;
+    }
+  }
+}
+
+TEST_P(PatternPropertyTest, AddingPredicateShrinksMatches) {
+  const RandomWorld w = MakeWorld(GetParam());
+  Rng rng(GetParam() * 37 + 2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Pattern base = RandomPattern(w, &rng, 2);
+    const Pattern extended =
+        base.With(w.atoms[rng.NextBounded(w.atoms.size())]);
+    const Bitset base_rows = base.Evaluate(w.table);
+    const Bitset ext_rows = extended.Evaluate(w.table);
+    EXPECT_TRUE(ext_rows.IsSubsetOf(base_rows))
+        << base.ToString() << " vs " << extended.ToString();
+  }
+}
+
+TEST_P(PatternPropertyTest, MaskedEvaluationIsIntersection) {
+  const RandomWorld w = MakeWorld(GetParam());
+  Rng rng(GetParam() * 41 + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Pattern p = RandomPattern(w, &rng, 3);
+    Bitset mask(w.table.NumRows());
+    for (size_t r = 0; r < w.table.NumRows(); ++r) {
+      if (rng.NextBool(0.5)) mask.Set(r);
+    }
+    const Bitset masked = p.EvaluateOn(w.table, mask);
+    const Bitset expected = p.Evaluate(w.table) & mask;
+    EXPECT_TRUE(masked == expected);
+  }
+}
+
+TEST_P(PatternPropertyTest, HashEqualityConsistency) {
+  const RandomWorld w = MakeWorld(GetParam());
+  Rng rng(GetParam() * 43 + 4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Pattern a = RandomPattern(w, &rng, 3);
+    const Pattern b = RandomPattern(w, &rng, 3);
+    if (a == b) {
+      EXPECT_EQ(a.Hash(), b.Hash());
+      EXPECT_EQ(a.ToString(), b.ToString());
+    }
+    // Same predicates in a different order must hash identically.
+    std::vector<SimplePredicate> reversed(a.predicates().rbegin(),
+                                          a.predicates().rend());
+    EXPECT_EQ(Pattern(reversed).Hash(), a.Hash());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace causumx

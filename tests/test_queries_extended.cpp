@@ -1,0 +1,128 @@
+// End-to-end coverage of the query surface the paper defines but its
+// experiments exercise lightly: WHERE predicates (phi) and composite
+// group-by keys, plus the renderer's CI/top-k additions.
+
+#include <gtest/gtest.h>
+
+#include "core/causumx.h"
+#include "core/exploration.h"
+#include "core/renderer.h"
+#include "util/rng.h"
+
+namespace causumx {
+namespace {
+
+// Two regions x two segments; treatment effect exists only for rows
+// passing the WHERE filter (status = active).
+Table MakeTable(size_t n, uint64_t seed) {
+  Table t;
+  t.AddColumn("region", ColumnType::kCategorical);
+  t.AddColumn("segment", ColumnType::kCategorical);
+  t.AddColumn("status", ColumnType::kCategorical);
+  t.AddColumn("promo", ColumnType::kCategorical);
+  t.AddColumn("revenue", ColumnType::kDouble);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const bool east = rng.NextBool(0.5);
+    const bool premium = rng.NextBool(0.5);
+    const bool active = rng.NextBool(0.7);
+    const bool promo = rng.NextBool(0.5);
+    double revenue = 100.0 + (premium ? 40.0 : 0.0) + rng.NextGaussian(0, 5);
+    if (active && promo) revenue += 25.0;   // effect only when active
+    if (!active) revenue *= 0.2;            // inactive rows are noise
+    t.AddRow({Value(east ? "east" : "west"),
+              Value(premium ? "premium" : "basic"),
+              Value(active ? "active" : "inactive"),
+              Value(promo ? "yes" : "no"), Value(revenue)});
+  }
+  return t;
+}
+
+CausalDag MakeDag() {
+  CausalDag g;
+  g.AddEdge("promo", "revenue");
+  g.AddEdge("segment", "revenue");
+  g.AddEdge("status", "revenue");
+  return g;
+}
+
+TEST(ExtendedQueryTest, WherePredicateScopesTheAnalysis) {
+  const Table t = MakeTable(6000, 1);
+  GroupByAvgQuery q;
+  q.group_by = {"region"};
+  q.avg_attribute = "revenue";
+  q.where = Pattern(
+      {SimplePredicate("status", CompareOp::kEq, Value("active"))});
+
+  const AggregateView view = AggregateView::Evaluate(t, q);
+  ASSERT_EQ(view.NumGroups(), 2u);
+  // Only active rows contribute.
+  for (const auto& g : view.groups()) {
+    EXPECT_GT(g.average, 80.0);
+  }
+
+  CauSumXConfig config;
+  config.k = 2;
+  config.theta = 1.0;
+  const CauSumXResult r = RunCauSumX(t, q, MakeDag(), config);
+  ASSERT_FALSE(r.summary.explanations.empty());
+  // Note: per the paper, WHERE reduces the view; treatment effects are
+  // still estimated on the full relation's subpopulations selected by
+  // grouping patterns. The promo effect is detectable among the actives.
+  bool promo_found = false;
+  for (const auto& e : r.summary.explanations) {
+    if (e.positive && e.positive->pattern.UsesAttribute("promo")) {
+      promo_found = true;
+    }
+  }
+  EXPECT_TRUE(promo_found);
+}
+
+TEST(ExtendedQueryTest, CompositeGroupByEndToEnd) {
+  const Table t = MakeTable(6000, 2);
+  GroupByAvgQuery q;
+  q.group_by = {"region", "segment"};
+  q.avg_attribute = "revenue";
+  const AggregateView view = AggregateView::Evaluate(t, q);
+  EXPECT_EQ(view.NumGroups(), 4u);
+
+  CauSumXConfig config;
+  config.k = 4;
+  config.theta = 0.5;
+  const CauSumXResult r = RunCauSumX(t, q, MakeDag(), config);
+  EXPECT_GT(r.summary.num_groups, 0u);
+  // Per-group fallback patterns only exist for single group-by keys; the
+  // run must still work through mined patterns or report empty cleanly.
+  for (const auto& e : r.summary.explanations) {
+    EXPECT_GT(e.Weight(), 0.0);
+  }
+}
+
+TEST(ExtendedQueryTest, RenderEffectWithCiFormat) {
+  EffectEstimate e;
+  e.valid = true;
+  e.cate = 36000;
+  e.std_error = 2000;
+  e.p_value = 0.0004;
+  const std::string text = RenderEffectWithCi(e);
+  EXPECT_NE(text.find("36K"), std::string::npos);
+  EXPECT_NE(text.find("p < 1e-3"), std::string::npos);
+  EXPECT_NE(text.find("["), std::string::npos);
+}
+
+TEST(ExtendedQueryTest, RenderTreatmentListNumbered) {
+  const Table t = MakeTable(4000, 3);
+  GroupByAvgQuery q;
+  q.group_by = {"region"};
+  q.avg_attribute = "revenue";
+  ExplorationSession session(t, q, MakeDag(), {});
+  const auto top =
+      session.TopTreatments(Pattern(), TreatmentSign::kPositive, 3);
+  ASSERT_FALSE(top.empty());
+  const std::string text = RenderTreatmentList(top, RenderStyle{});
+  EXPECT_NE(text.find(" 1. "), std::string::npos);
+  EXPECT_NE(text.find("effect"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace causumx

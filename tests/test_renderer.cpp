@@ -1,0 +1,126 @@
+// Unit tests for the natural-language explanation renderer.
+
+#include <gtest/gtest.h>
+
+#include "core/renderer.h"
+
+namespace causumx {
+namespace {
+
+RenderStyle MakeStyle() {
+  RenderStyle style;
+  style.subject_noun = "individuals";
+  style.outcome_noun = "annual income";
+  style.group_noun = "countries";
+  style.predicate_phrases = {
+      {"Age < 35", "being under 35"},
+      {"Student = Yes", "being a student"},
+  };
+  return style;
+}
+
+TEST(RendererTest, PValueFormatting) {
+  EXPECT_EQ(RenderPValue(0.0005), "p < 1e-3");
+  EXPECT_EQ(RenderPValue(0.00009), "p < 1e-4");
+  EXPECT_EQ(RenderPValue(0.04), "p = 0.04");
+  EXPECT_EQ(RenderPValue(0.0), "p < 1e-16");
+}
+
+TEST(RendererTest, PredicatePhraseOverride) {
+  const RenderStyle style = MakeStyle();
+  SimplePredicate p("Age", CompareOp::kLt, Value(int64_t{35}));
+  EXPECT_EQ(RenderPredicate(p, style), "being under 35");
+}
+
+TEST(RendererTest, PredicateGenericFallbacks) {
+  const RenderStyle style = MakeStyle();
+  EXPECT_EQ(RenderPredicate(
+                SimplePredicate("Age", CompareOp::kGt, Value(int64_t{55})),
+                style),
+            "Age above 55");
+  EXPECT_EQ(RenderPredicate(
+                SimplePredicate("Role", CompareOp::kEq, Value("QA")), style),
+            "Role = QA");
+  EXPECT_EQ(RenderPredicate(
+                SimplePredicate("Pay", CompareOp::kGe, Value(100.0)), style),
+            "Pay at least 100");
+  EXPECT_EQ(RenderPredicate(
+                SimplePredicate("Pay", CompareOp::kLe, Value(100.0)), style),
+            "Pay at most 100");
+}
+
+TEST(RendererTest, PatternConjunctionWording) {
+  const RenderStyle style = MakeStyle();
+  Pattern p({SimplePredicate("Age", CompareOp::kLt, Value(int64_t{35})),
+             SimplePredicate("Student", CompareOp::kEq, Value("Yes"))});
+  EXPECT_EQ(RenderPattern(p, style), "being under 35 and being a student");
+  EXPECT_EQ(RenderPattern(Pattern(), style), "all individuals");
+}
+
+TEST(RendererTest, ExplanationSentenceContainsAllParts) {
+  const RenderStyle style = MakeStyle();
+  Explanation exp;
+  exp.grouping_pattern =
+      Pattern({SimplePredicate("Continent", CompareOp::kEq, Value("Europe"))});
+  exp.group_coverage = Bitset(10);
+  exp.group_coverage.Set(0);
+  exp.group_coverage.Set(1);
+  TreatmentSide pos;
+  pos.pattern =
+      Pattern({SimplePredicate("Age", CompareOp::kLt, Value(int64_t{35}))});
+  pos.effect.valid = true;
+  pos.effect.cate = 36000;
+  pos.effect.p_value = 0.0004;
+  exp.positive = pos;
+  TreatmentSide neg;
+  neg.pattern =
+      Pattern({SimplePredicate("Student", CompareOp::kEq, Value("Yes"))});
+  neg.effect.valid = true;
+  neg.effect.cate = -39000;
+  neg.effect.p_value = 0.0002;
+  exp.negative = neg;
+
+  const std::string text = RenderExplanation(exp, style);
+  EXPECT_NE(text.find("Continent = Europe"), std::string::npos);
+  EXPECT_NE(text.find("being under 35"), std::string::npos);
+  EXPECT_NE(text.find("being a student"), std::string::npos);
+  EXPECT_NE(text.find("36K"), std::string::npos);
+  EXPECT_NE(text.find("-39K"), std::string::npos);
+  EXPECT_NE(text.find("p < 1e-3"), std::string::npos);
+  EXPECT_NE(text.find("2 countries"), std::string::npos);
+}
+
+TEST(RendererTest, SummaryListsAllExplanations) {
+  const RenderStyle style = MakeStyle();
+  ExplanationSummary summary;
+  summary.num_groups = 5;
+  summary.covered_groups = 4;
+  summary.total_explainability = 100.0;
+  for (int i = 0; i < 2; ++i) {
+    Explanation exp;
+    exp.grouping_pattern = Pattern(
+        {SimplePredicate("G", CompareOp::kEq, Value(std::to_string(i)))});
+    exp.group_coverage = Bitset(5);
+    exp.group_coverage.Set(i);
+    TreatmentSide pos;
+    pos.pattern =
+        Pattern({SimplePredicate("T", CompareOp::kEq, Value("x"))});
+    pos.effect.valid = true;
+    pos.effect.cate = 1.0;
+    pos.effect.p_value = 0.01;
+    exp.positive = pos;
+    summary.explanations.push_back(std::move(exp));
+  }
+  const std::string text = RenderSummary(summary, style);
+  EXPECT_NE(text.find("G = 0"), std::string::npos);
+  EXPECT_NE(text.find("G = 1"), std::string::npos);
+  EXPECT_NE(text.find("covers 4/5 countries"), std::string::npos);
+}
+
+TEST(RendererTest, EmptySummaryMessage) {
+  const std::string text = RenderSummary({}, MakeStyle());
+  EXPECT_NE(text.find("No statistically significant"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace causumx

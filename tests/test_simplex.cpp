@@ -1,0 +1,147 @@
+// Unit tests for the two-phase simplex LP solver.
+
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+
+namespace causumx {
+namespace {
+
+TEST(SimplexTest, SimpleTwoVariableLp) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> x=4, y=0, obj 12.
+  LinearProgram lp;
+  lp.objective = {3, 2};
+  lp.upper_bounds = {LinearProgram::kInf, LinearProgram::kInf};
+  lp.AddRow({1, 1}, ConstraintSense::kLe, 4);
+  lp.AddRow({1, 3}, ConstraintSense::kLe, 6);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 12.0, 1e-6);
+  EXPECT_NEAR(sol.values[0], 4.0, 1e-6);
+  EXPECT_NEAR(sol.values[1], 0.0, 1e-6);
+}
+
+TEST(SimplexTest, InteriorOptimum) {
+  // max x + y s.t. 2x + y <= 4, x + 2y <= 4 -> x=y=4/3, obj 8/3.
+  LinearProgram lp;
+  lp.objective = {1, 1};
+  lp.upper_bounds = {LinearProgram::kInf, LinearProgram::kInf};
+  lp.AddRow({2, 1}, ConstraintSense::kLe, 4);
+  lp.AddRow({1, 2}, ConstraintSense::kLe, 4);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 8.0 / 3.0, 1e-6);
+  EXPECT_NEAR(sol.values[0], 4.0 / 3.0, 1e-6);
+  EXPECT_NEAR(sol.values[1], 4.0 / 3.0, 1e-6);
+}
+
+TEST(SimplexTest, GeConstraintsNeedPhase1) {
+  // max -x s.t. x >= 3 -> x = 3, obj -3.
+  LinearProgram lp;
+  lp.objective = {-1};
+  lp.upper_bounds = {LinearProgram::kInf};
+  lp.AddRow({1}, ConstraintSense::kGe, 3);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[0], 3.0, 1e-6);
+  EXPECT_NEAR(sol.objective_value, -3.0, 1e-6);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x + 2y s.t. x + y = 5, y <= 3 -> y=3, x=2, obj 8.
+  LinearProgram lp;
+  lp.objective = {1, 2};
+  lp.upper_bounds = {LinearProgram::kInf, 3.0};
+  lp.AddRow({1, 1}, ConstraintSense::kEq, 5);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[0], 2.0, 1e-6);
+  EXPECT_NEAR(sol.values[1], 3.0, 1e-6);
+  EXPECT_NEAR(sol.objective_value, 8.0, 1e-6);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= 1 and x >= 2 simultaneously.
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.upper_bounds = {LinearProgram::kInf};
+  lp.AddRow({1}, ConstraintSense::kLe, 1);
+  lp.AddRow({1}, ConstraintSense::kGe, 2);
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.upper_bounds = {LinearProgram::kInf};
+  lp.AddRow({-1}, ConstraintSense::kLe, 0);  // x >= 0 only
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, UpperBoundsRespected) {
+  LinearProgram lp;
+  lp.objective = {1, 1};
+  lp.upper_bounds = {0.5, 0.25};
+  lp.AddRow({1, 1}, ConstraintSense::kLe, 10);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[0], 0.5, 1e-6);
+  EXPECT_NEAR(sol.values[1], 0.25, 1e-6);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // -x <= -2  <=>  x >= 2.
+  LinearProgram lp;
+  lp.objective = {-1};
+  lp.upper_bounds = {LinearProgram::kInf};
+  lp.AddRow({-1}, ConstraintSense::kLe, -2);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[0], 2.0, 1e-6);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex (degeneracy);
+  // Bland's rule must still terminate at the optimum.
+  LinearProgram lp;
+  lp.objective = {1, 1};
+  lp.upper_bounds = {LinearProgram::kInf, LinearProgram::kInf};
+  lp.AddRow({1, 0}, ConstraintSense::kLe, 1);
+  lp.AddRow({1, 0}, ConstraintSense::kLe, 1);
+  lp.AddRow({0, 1}, ConstraintSense::kLe, 1);
+  lp.AddRow({1, 1}, ConstraintSense::kLe, 2);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective_value, 2.0, 1e-6);
+}
+
+TEST(SimplexTest, RowArityMismatchThrows) {
+  LinearProgram lp;
+  lp.objective = {1, 2};
+  EXPECT_THROW(lp.AddRow({1}, ConstraintSense::kLe, 1),
+               std::invalid_argument);
+}
+
+TEST(SimplexTest, MaxKCoverRelaxationShape) {
+  // The Fig. 5 LP on a tiny instance: 3 patterns, 4 groups, k=1,
+  // theta=0.5. Pattern coverages: {1,2}, {3}, {1,2,3,4} with weights
+  // 5, 4, 3. LP should put most mass on the full-coverage pattern or mix.
+  LinearProgram lp;
+  lp.objective = {5, 4, 3, 0, 0, 0, 0};
+  lp.upper_bounds.assign(7, 1.0);
+  lp.AddRow({1, 1, 1, 0, 0, 0, 0}, ConstraintSense::kLe, 1);        // size
+  lp.AddRow({-1, 0, -1, 1, 0, 0, 0}, ConstraintSense::kLe, 0);      // t1
+  lp.AddRow({-1, 0, -1, 0, 1, 0, 0}, ConstraintSense::kLe, 0);      // t2
+  lp.AddRow({0, -1, -1, 0, 0, 1, 0}, ConstraintSense::kLe, 0);      // t3
+  lp.AddRow({0, 0, -1, 0, 0, 0, 1}, ConstraintSense::kLe, 0);       // t4
+  lp.AddRow({0, 0, 0, 1, 1, 1, 1}, ConstraintSense::kGe, 2);        // cover
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  // Feasibility of rounding requires fractional mass on covering patterns.
+  EXPECT_GT(sol.objective_value, 3.0 - 1e-6);
+  double g_total = sol.values[0] + sol.values[1] + sol.values[2];
+  EXPECT_LE(g_total, 1.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace causumx

@@ -1,0 +1,107 @@
+// Unit tests for the statistics primitives, including reference values
+// for the distribution functions used by CI tests and CATE p-values.
+
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace causumx {
+namespace {
+
+TEST(StatsTest, MeanVarianceBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  EXPECT_NEAR(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev({1, 1, 1}), 0.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonCorrelationKnownValues) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 1, 1}, {2, 4, 6}), 0.0, 1e-12);
+  // Hand-computed example.
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4, 5}, {2, 1, 4, 3, 5}), 0.8,
+              1e-12);
+}
+
+TEST(StatsTest, NormalCdfReference) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-10);
+}
+
+TEST(StatsTest, NormalQuantileInvertsCdf) {
+  for (double p : {0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-8) << "p=" << p;
+  }
+  EXPECT_THROW(NormalQuantile(0.0), std::invalid_argument);
+  EXPECT_THROW(NormalQuantile(1.0), std::invalid_argument);
+}
+
+TEST(StatsTest, IncompleteBetaReference) {
+  // I_x(a, b) reference values (scipy.special.betainc).
+  EXPECT_NEAR(IncompleteBeta(2, 3, 0.5), 0.6875, 1e-9);
+  // Closed form: I_x(1/2, 1/2) = (2/pi) * asin(sqrt(x)).
+  EXPECT_NEAR(IncompleteBeta(0.5, 0.5, 0.3),
+              2.0 / M_PI * std::asin(std::sqrt(0.3)), 1e-8);
+  EXPECT_DOUBLE_EQ(IncompleteBeta(1, 1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(IncompleteBeta(1, 1, 1.0), 1.0);
+  EXPECT_NEAR(IncompleteBeta(1, 1, 0.42), 0.42, 1e-10);  // uniform case
+}
+
+TEST(StatsTest, StudentTCdfReference) {
+  // scipy.stats.t.cdf reference values.
+  EXPECT_NEAR(StudentTCdf(0.0, 10), 0.5, 1e-12);
+  EXPECT_NEAR(StudentTCdf(1.0, 10), 0.8295534338489701, 1e-8);
+  EXPECT_NEAR(StudentTCdf(-2.0, 5), 0.05096973941492917, 1e-8);
+  // 2.228 is the textbook 97.5% critical value for t(10).
+  EXPECT_NEAR(StudentTCdf(2.228, 10), 0.975, 1e-4);
+}
+
+TEST(StatsTest, TwoSidedPValues) {
+  // t = 1.96 with huge df approaches the normal two-sided 0.05.
+  EXPECT_NEAR(TwoSidedPValueT(1.959963984540054, 1e6), 0.05, 1e-4);
+  EXPECT_NEAR(TwoSidedPValueZ(1.959963984540054), 0.05, 1e-9);
+  EXPECT_DOUBLE_EQ(TwoSidedPValueT(0.0, 10), 1.0);
+  EXPECT_LT(TwoSidedPValueT(10.0, 30), 1e-9);
+}
+
+TEST(StatsTest, KendallTauPerfectAgreement) {
+  EXPECT_NEAR(KendallTau({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0, 1e-12);
+  EXPECT_NEAR(KendallTau({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0, 1e-12);
+}
+
+TEST(StatsTest, KendallTauKnownValue) {
+  // One discordant pair among six: tau = (5 - 1) / 6.
+  EXPECT_NEAR(KendallTau({1, 2, 3, 4}, {1, 2, 4, 3}), 4.0 / 6.0, 1e-12);
+}
+
+TEST(StatsTest, KendallTauHandlesTies) {
+  const double tau = KendallTau({1, 2, 2, 3}, {1, 2, 3, 4});
+  EXPECT_GT(tau, 0.7);
+  EXPECT_LE(tau, 1.0);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  RunningStats rs;
+  const std::vector<double> data = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : data) rs.Add(x);
+  EXPECT_EQ(rs.Count(), data.size());
+  EXPECT_NEAR(rs.Mean(), Mean(data), 1e-12);
+  EXPECT_NEAR(rs.Variance(), Variance(data), 1e-12);
+  EXPECT_NEAR(rs.StdDev(), StdDev(data), 1e-12);
+}
+
+TEST(StatsTest, LogGammaMatchesFactorials) {
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+}  // namespace
+}  // namespace causumx

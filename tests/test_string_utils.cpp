@@ -1,0 +1,68 @@
+// Unit tests for string helpers.
+
+#include "util/string_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace causumx {
+namespace {
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtilsTest, SplitSingleToken) {
+  const auto parts = Split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(StringUtilsTest, SplitEmptyString) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringUtilsTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilsTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtilsTest, ToLowerAscii) {
+  EXPECT_EQ(ToLower("HeLLo 123"), "hello 123");
+}
+
+TEST(StringUtilsTest, FormatDoubleCompact) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(0.125, 3), "0.125");
+}
+
+TEST(StringUtilsTest, HumanMagnitude) {
+  EXPECT_EQ(HumanMagnitude(36000), "36K");
+  EXPECT_EQ(HumanMagnitude(-39000), "-39K");
+  EXPECT_EQ(HumanMagnitude(1200000), "1.2M");
+  EXPECT_EQ(HumanMagnitude(0.55), "0.55");
+  EXPECT_EQ(HumanMagnitude(42), "42");
+}
+
+TEST(StringUtilsTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace causumx

@@ -1,0 +1,137 @@
+// Unit tests for Table and CSV I/O.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dataset/csv.h"
+#include "dataset/table.h"
+
+namespace causumx {
+namespace {
+
+Table MakeSample() {
+  Table t;
+  t.AddColumn("name", ColumnType::kCategorical);
+  t.AddColumn("age", ColumnType::kInt64);
+  t.AddColumn("score", ColumnType::kDouble);
+  t.AddRow({Value("alice"), Value(int64_t{30}), Value(9.5)});
+  t.AddRow({Value("bob"), Value(int64_t{25}), Value(7.0)});
+  t.AddRow({Value("carol"), Value(), Value(8.25)});
+  return t;
+}
+
+TEST(TableTest, SchemaAndRows) {
+  const Table t = MakeSample();
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.NumColumns(), 3u);
+  EXPECT_EQ(t.ColumnNames()[1], "age");
+  EXPECT_TRUE(t.ColumnIndex("score").has_value());
+  EXPECT_FALSE(t.ColumnIndex("missing").has_value());
+  EXPECT_THROW(t.column("missing"), std::out_of_range);
+}
+
+TEST(TableTest, DuplicateColumnThrows) {
+  Table t;
+  t.AddColumn("a", ColumnType::kInt64);
+  EXPECT_THROW(t.AddColumn("a", ColumnType::kDouble), std::logic_error);
+}
+
+TEST(TableTest, AddColumnAfterRowsThrows) {
+  Table t = MakeSample();
+  EXPECT_THROW(t.AddColumn("x", ColumnType::kInt64), std::logic_error);
+}
+
+TEST(TableTest, RowArityMismatchThrows) {
+  Table t;
+  t.AddColumn("a", ColumnType::kInt64);
+  EXPECT_THROW(t.AddRow({Value(int64_t{1}), Value(int64_t{2})}),
+               std::logic_error);
+}
+
+TEST(TableTest, SelectRowsPreservesValuesAndNulls) {
+  const Table t = MakeSample();
+  const Table s = t.SelectRows({2, 0});
+  EXPECT_EQ(s.NumRows(), 2u);
+  EXPECT_EQ(s.column("name").GetValue(0).AsString(), "carol");
+  EXPECT_TRUE(s.column("age").IsNull(0));
+  EXPECT_EQ(s.column("age").GetInt(1), 30);
+}
+
+TEST(TableTest, SelectColumnsReorders) {
+  const Table t = MakeSample();
+  const Table s = t.SelectColumns({"score", "name"});
+  EXPECT_EQ(s.NumColumns(), 2u);
+  EXPECT_EQ(s.ColumnNames()[0], "score");
+  EXPECT_EQ(s.NumRows(), 3u);
+  EXPECT_THROW(t.SelectColumns({"nope"}), std::out_of_range);
+}
+
+TEST(CsvTest, ParsesTypedColumns) {
+  std::istringstream in(
+      "name,age,score\n"
+      "alice,30,9.5\n"
+      "bob,25,7\n");
+  const Table t = ReadCsv(in);
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.column("name").type(), ColumnType::kCategorical);
+  EXPECT_EQ(t.column("age").type(), ColumnType::kInt64);
+  EXPECT_EQ(t.column("score").type(), ColumnType::kDouble);
+  EXPECT_EQ(t.column("age").GetInt(1), 25);
+}
+
+TEST(CsvTest, NullTokensBecomeNulls) {
+  std::istringstream in(
+      "a,b\n"
+      "1,x\n"
+      ",NA\n");
+  const Table t = ReadCsv(in);
+  EXPECT_TRUE(t.column("a").IsNull(1));
+  EXPECT_TRUE(t.column("b").IsNull(1));
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimiters) {
+  std::istringstream in(
+      "a,b\n"
+      "\"x,y\",\"say \"\"hi\"\"\"\n");
+  const Table t = ReadCsv(in);
+  EXPECT_EQ(t.column("a").GetValue(0).AsString(), "x,y");
+  EXPECT_EQ(t.column("b").GetValue(0).AsString(), "say \"hi\"");
+}
+
+TEST(CsvTest, RaggedRowThrows) {
+  std::istringstream in(
+      "a,b\n"
+      "1\n");
+  EXPECT_THROW(ReadCsv(in), std::runtime_error);
+}
+
+TEST(CsvTest, EmptyInputThrows) {
+  std::istringstream in("");
+  EXPECT_THROW(ReadCsv(in), std::runtime_error);
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  const Table t = MakeSample();
+  std::ostringstream out;
+  WriteCsv(t, out);
+  std::istringstream in(out.str());
+  const Table back = ReadCsv(in);
+  EXPECT_EQ(back.NumRows(), t.NumRows());
+  EXPECT_EQ(back.column("name").GetValue(0).AsString(), "alice");
+  EXPECT_EQ(back.column("age").GetInt(1), 25);
+  EXPECT_TRUE(back.column("age").IsNull(2));
+  EXPECT_DOUBLE_EQ(back.column("score").GetDouble(2), 8.25);
+}
+
+TEST(CsvTest, MixedNumericColumnFallsBackToCategorical) {
+  std::istringstream in(
+      "a\n"
+      "1\n"
+      "x\n");
+  const Table t = ReadCsv(in);
+  EXPECT_EQ(t.column("a").type(), ColumnType::kCategorical);
+}
+
+}  // namespace
+}  // namespace causumx

@@ -1,0 +1,78 @@
+// Unit tests for the worker pool used by treatment-pattern mining.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace causumx {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto fut = pool.Submit([&] { counter.fetch_add(1); });
+  fut.get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "should not run"; });
+}
+
+TEST(ThreadPoolTest, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> runs{0};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    runs.fetch_add(1);
+  });
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.NumThreads(), 1u);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(10, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ManyTasksAccumulateCorrectly) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(10000, [&](size_t i) {
+    sum.fetch_add(static_cast<int64_t>(i));
+  });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, SequentialSubmitsOrdered) {
+  // Futures resolve independently; results must all arrive.
+  ThreadPool pool(3);
+  std::vector<std::future<void>> futs;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    futs.push_back(pool.Submit([&] { done.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(done.load(), 50);
+}
+
+}  // namespace
+}  // namespace causumx

@@ -1,0 +1,236 @@
+// causumx — command-line front end for the library.
+//
+// Runs the full pipeline on any CSV:
+//
+//   causumx --csv data.csv --group-by Country --avg Salary \
+//           [--dag graph.txt | --discover pc|fci|lingam|nodag] \
+//           [--k 5] [--theta 0.75] [--support 0.1] [--alpha 0.05] \
+//           [--where "Attr=value"] [--json] [--top-treatments N]
+//
+// Without --dag/--discover, the No-DAG strawman is used (and a warning
+// printed): supply domain knowledge for trustworthy effects.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "causal/dag_io.h"
+#include "causal/discovery.h"
+#include "core/exploration.h"
+#include "core/json_export.h"
+#include "core/renderer.h"
+#include "dataset/csv.h"
+#include "util/string_utils.h"
+
+using namespace causumx;
+
+namespace {
+
+struct CliOptions {
+  std::string csv_path;
+  std::vector<std::string> group_by;
+  std::string avg_attribute;
+  std::string dag_path;
+  std::string discover;
+  size_t k = 5;
+  double theta = 0.75;
+  double support = 0.1;
+  double alpha = 0.05;
+  std::string where;
+  bool json = false;
+  size_t top_treatments = 0;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: causumx --csv FILE --group-by A[,B] --avg Y\n"
+               "               [--dag FILE | --discover pc|fci|lingam|nodag]\n"
+               "               [--k N] [--theta F] [--support F] [--alpha F]\n"
+               "               [--where \"Attr=value\"] [--json]\n"
+               "               [--top-treatments N]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--csv") {
+      const char* v = next();
+      if (!v) return false;
+      opt->csv_path = v;
+    } else if (arg == "--group-by") {
+      const char* v = next();
+      if (!v) return false;
+      for (auto& part : Split(v, ',')) {
+        opt->group_by.push_back(Trim(part));
+      }
+    } else if (arg == "--avg") {
+      const char* v = next();
+      if (!v) return false;
+      opt->avg_attribute = v;
+    } else if (arg == "--dag") {
+      const char* v = next();
+      if (!v) return false;
+      opt->dag_path = v;
+    } else if (arg == "--discover") {
+      const char* v = next();
+      if (!v) return false;
+      opt->discover = ToLower(v);
+    } else if (arg == "--k") {
+      const char* v = next();
+      if (!v) return false;
+      opt->k = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--theta") {
+      const char* v = next();
+      if (!v) return false;
+      opt->theta = std::atof(v);
+    } else if (arg == "--support") {
+      const char* v = next();
+      if (!v) return false;
+      opt->support = std::atof(v);
+    } else if (arg == "--alpha") {
+      const char* v = next();
+      if (!v) return false;
+      opt->alpha = std::atof(v);
+    } else if (arg == "--where") {
+      const char* v = next();
+      if (!v) return false;
+      opt->where = v;
+    } else if (arg == "--json") {
+      opt->json = true;
+    } else if (arg == "--top-treatments") {
+      const char* v = next();
+      if (!v) return false;
+      opt->top_treatments = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opt->csv_path.empty() || opt->group_by.empty() ||
+      opt->avg_attribute.empty()) {
+    PrintUsage();
+    return false;
+  }
+  return true;
+}
+
+// Parses "Attr=value" / "Attr<value" / "Attr>=value" into a predicate.
+SimplePredicate ParseWherePredicate(const std::string& expr,
+                                    const Table& table) {
+  static const std::pair<const char*, CompareOp> kOps[] = {
+      {">=", CompareOp::kGe}, {"<=", CompareOp::kLe}, {"=", CompareOp::kEq},
+      {"<", CompareOp::kLt},  {">", CompareOp::kGt},
+  };
+  for (const auto& [symbol, op] : kOps) {
+    const size_t pos = expr.find(symbol);
+    if (pos == std::string::npos) continue;
+    const std::string attr = Trim(expr.substr(0, pos));
+    const std::string value = Trim(expr.substr(pos + std::strlen(symbol)));
+    auto idx = table.ColumnIndex(attr);
+    if (!idx) throw std::runtime_error("--where: unknown attribute " + attr);
+    if (table.column(*idx).type() == ColumnType::kCategorical) {
+      return SimplePredicate(attr, op, Value(value));
+    }
+    return SimplePredicate(attr, op, Value(std::stod(value)));
+  }
+  throw std::runtime_error("--where: no operator found in '" + expr + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  if (!ParseArgs(argc, argv, &opt)) return 2;
+
+  try {
+    const Table table = ReadCsvFile(opt.csv_path);
+    std::fprintf(stderr, "loaded %zu rows x %zu columns from %s\n",
+                 table.NumRows(), table.NumColumns(), opt.csv_path.c_str());
+
+    GroupByAvgQuery query;
+    query.group_by = opt.group_by;
+    query.avg_attribute = opt.avg_attribute;
+    if (!opt.where.empty()) {
+      query.where = Pattern({ParseWherePredicate(opt.where, table)});
+    }
+
+    CausalDag dag;
+    if (!opt.dag_path.empty()) {
+      dag = ReadDagFile(opt.dag_path);
+      std::fprintf(stderr, "dag: %zu nodes, %zu edges from %s\n",
+                   dag.NumNodes(), dag.NumEdges(), opt.dag_path.c_str());
+    } else if (!opt.discover.empty()) {
+      const std::map<std::string, DiscoveryAlgorithm> algos = {
+          {"pc", DiscoveryAlgorithm::kPc},
+          {"fci", DiscoveryAlgorithm::kFci},
+          {"lingam", DiscoveryAlgorithm::kLingam},
+          {"nodag", DiscoveryAlgorithm::kNoDag},
+      };
+      auto it = algos.find(opt.discover);
+      if (it == algos.end()) {
+        std::fprintf(stderr, "unknown --discover algorithm: %s\n",
+                     opt.discover.c_str());
+        return 2;
+      }
+      dag = DiscoverDag(table, it->second, opt.avg_attribute);
+      std::fprintf(stderr, "dag: discovered by %s — %zu edges\n",
+                   opt.discover.c_str(), dag.NumEdges());
+    } else {
+      dag = MakeNoDag(table, opt.avg_attribute);
+      std::fprintf(stderr,
+                   "warning: no --dag/--discover given; using the No-DAG "
+                   "strawman (all attributes -> outcome). Effects are\n"
+                   "unadjusted for confounding — supply a DAG for "
+                   "trustworthy estimates.\n");
+    }
+
+    CauSumXConfig config;
+    config.k = opt.k;
+    config.theta = opt.theta;
+    config.apriori_support = opt.support;
+    config.treatment.alpha = opt.alpha;
+
+    ExplorationSession session(table, query, dag, config);
+    const ExplanationSummary summary = session.Solve();
+
+    if (opt.json) {
+      std::cout << SummaryToJson(summary, &query) << "\n";
+    } else {
+      RenderStyle style;
+      style.outcome_noun = opt.avg_attribute;
+      std::cout << "\n" << query.ToSql(opt.csv_path) << "\n\n"
+                << RenderSummary(summary, style);
+      if (opt.top_treatments > 0) {
+        std::cout << "\nTop treatments over the full relation:\n";
+        std::cout << "positive:\n"
+                  << RenderTreatmentList(
+                         session.TopTreatments(Pattern(),
+                                               TreatmentSign::kPositive,
+                                               opt.top_treatments),
+                         style);
+        std::cout << "negative:\n"
+                  << RenderTreatmentList(
+                         session.TopTreatments(Pattern(),
+                                               TreatmentSign::kNegative,
+                                               opt.top_treatments),
+                         style);
+      }
+    }
+    return summary.explanations.empty() ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
