@@ -7,6 +7,7 @@
 
 #include "causal/estimator.h"
 #include "datagen/stackoverflow.h"
+#include "engine/eval_engine.h"
 #include "lp/rounding.h"
 #include "mining/apriori.h"
 #include "util/rng.h"
@@ -37,6 +38,26 @@ void BM_PatternEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_PatternEvaluate);
 
+// Same pattern through the shared engine: after the first iteration the
+// two atom bitsets are cached, so evaluation is a word-wise AND.
+void BM_EnginePatternEvaluate(benchmark::State& state) {
+  const GeneratedDataset& ds = SoDataset();
+  EvalEngine engine(ds.table);
+  const Pattern p({SimplePredicate("Education", CompareOp::kEq,
+                                   Value("Masters degree")),
+                   SimplePredicate("Age", CompareOp::kLt,
+                                   Value(int64_t{35}))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Evaluate(p));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ds.table.NumRows()));
+}
+BENCHMARK(BM_EnginePatternEvaluate);
+
+// Note: EffectEstimator now memoizes per (treatment, outcome,
+// subpopulation), so steady state here measures a memo hit. Compare
+// against BM_CateEstimationUncached for the full-regression cost.
 void BM_CateEstimation(benchmark::State& state) {
   const GeneratedDataset& ds = SoDataset();
   EffectEstimator est(ds.table, ds.dag, {});
@@ -49,6 +70,24 @@ void BM_CateEstimation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CateEstimation);
+
+// The memo-free estimation cost: an engine with caches bypassed
+// recomputes the regression on every call (what every EstimateCate used
+// to cost before the engine existed).
+void BM_CateEstimationUncached(benchmark::State& state) {
+  const GeneratedDataset& ds = SoDataset();
+  auto engine = std::make_shared<EvalEngine>(ds.table,
+                                             /*cache_enabled=*/false);
+  EffectEstimator est(engine, ds.dag, {});
+  const Pattern treatment({SimplePredicate("Education", CompareOp::kEq,
+                                           Value("Masters degree"))});
+  Bitset all(ds.table.NumRows());
+  all.SetAll();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.EstimateCate(treatment, "Salary", all));
+  }
+}
+BENCHMARK(BM_CateEstimationUncached);
 
 void BM_AprioriMining(benchmark::State& state) {
   const GeneratedDataset& ds = SoDataset();

@@ -56,7 +56,14 @@ std::vector<Pattern> EnumerateEqualityPatterns(
 BruteForceResult RunBruteForce(const Table& table,
                                const GroupByAvgQuery& query,
                                const CausalDag& dag,
-                               const BruteForceConfig& config) {
+                               const BruteForceConfig& config,
+                               std::shared_ptr<EvalEngine> engine,
+                               std::shared_ptr<EstimatorContext> estimator_ctx) {
+  if (engine == nullptr) engine = std::make_shared<EvalEngine>(table);
+  if (estimator_ctx == nullptr) {
+    estimator_ctx =
+        std::make_shared<EstimatorContext>(engine, dag, config.estimator);
+  }
   BruteForceResult result;
   const AggregateView view = AggregateView::Evaluate(table, query);
   const size_t m = view.NumGroups();
@@ -85,7 +92,7 @@ BruteForceResult RunBruteForce(const Table& table,
   std::unordered_map<uint64_t, size_t> by_coverage;
   for (auto& p : gpatterns) {
     ++result.grouping_patterns_enumerated;
-    Bitset rows = p.Evaluate(table);
+    Bitset rows = engine->Evaluate(p);
     Bitset coverage(m);
     for (size_t g = 0; g < m; ++g) {
       const auto& grp = view.group(g);
@@ -143,7 +150,7 @@ BruteForceResult RunBruteForce(const Table& table,
   result.treatment_patterns_enumerated = tpatterns.size();
 
   // --- Evaluate every (grouping, treatment) CATE. --------------------------
-  EffectEstimator estimator(table, dag, config.estimator);
+  EffectEstimator estimator(estimator_ctx);
   std::vector<Explanation> candidates(grouping.size());
   std::atomic<size_t> evals{0};
   std::atomic<bool> capped{false};
@@ -214,6 +221,8 @@ BruteForceResult RunBruteForce(const Table& table,
   result.summary.covered_groups = covered.Count();
   result.summary.coverage_satisfied =
       result.summary.covered_groups >= problem.RequiredCoverage();
+  result.cache_stats.eval = engine->Stats();
+  result.cache_stats.estimator = estimator.cache_stats();
   return result;
 }
 

@@ -37,13 +37,22 @@ struct BruteForceResult {
   size_t treatment_patterns_enumerated = 0;
   size_t cate_evaluations = 0;
   bool hit_evaluation_cap = false;
+  EngineCacheStats cache_stats;
 };
 
 /// Runs the exhaustive baseline.
-BruteForceResult RunBruteForce(const Table& table,
-                               const GroupByAvgQuery& query,
-                               const CausalDag& dag,
-                               const BruteForceConfig& config = {});
+///
+/// When `engine` is non-null (must be bound to `table`), predicate
+/// bitsets are shared with whatever else uses the engine — e.g. a
+/// CauSumX run on the same table. Pass that run's `estimator_ctx`
+/// (which must be bound to the same engine; its options then supersede
+/// config.estimator) to also share its CATE memo, so head-to-head
+/// comparisons measure the algorithms, not redundant evaluation.
+BruteForceResult RunBruteForce(
+    const Table& table, const GroupByAvgQuery& query, const CausalDag& dag,
+    const BruteForceConfig& config = {},
+    std::shared_ptr<EvalEngine> engine = nullptr,
+    std::shared_ptr<EstimatorContext> estimator_ctx = nullptr);
 
 }  // namespace causumx
 

@@ -35,7 +35,7 @@ BinnedOutcome BinOutcomeAtMean(const Table& table,
 std::vector<CandidateRule> MineCandidateRules(
     const Table& table, const BinnedOutcome& outcome,
     const std::vector<std::string>& attributes,
-    const RuleMiningOptions& opt) {
+    const RuleMiningOptions& opt, EvalEngine* engine) {
   std::vector<std::string> attrs = attributes;
   if (attrs.empty()) attrs = table.ColumnNames();
 
@@ -44,7 +44,7 @@ std::vector<CandidateRule> MineCandidateRules(
   ap.max_length = opt.max_length;
   ap.max_values_per_attribute = opt.max_values_per_attribute;
   const std::vector<FrequentPattern> frequent =
-      MineFrequentPatterns(table, attrs, ap);
+      MineFrequentPatterns(table, attrs, ap, engine);
 
   const double base_rate =
       outcome.valid.Count() == 0

@@ -15,6 +15,7 @@
 
 #include "dataset/pattern.h"
 #include "dataset/table.h"
+#include "engine/eval_engine.h"
 #include "util/bitset.h"
 
 namespace causumx {
@@ -53,11 +54,14 @@ struct RuleMiningOptions {
 };
 
 /// Mines candidate rules over `attributes` (all except the outcome when
-/// empty) and annotates them with outcome statistics.
+/// empty) and annotates them with outcome statistics. When `engine` is
+/// non-null, the Apriori item bitsets come from its shared predicate
+/// cache (so IDS/FRL/Explanation-Table comparisons against CauSumX on
+/// the same table don't re-evaluate the same equality predicates).
 std::vector<CandidateRule> MineCandidateRules(
     const Table& table, const BinnedOutcome& outcome,
     const std::vector<std::string>& attributes,
-    const RuleMiningOptions& options = {});
+    const RuleMiningOptions& options = {}, EvalEngine* engine = nullptr);
 
 }  // namespace causumx
 

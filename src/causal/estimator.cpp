@@ -1,10 +1,5 @@
 #include "causal/estimator.h"
 
-#include <algorithm>
-#include <cmath>
-#include <map>
-#include <unordered_map>
-
 #include "util/stats.h"
 
 namespace causumx {
@@ -20,240 +15,44 @@ std::pair<double, double> EffectEstimate::ConfidenceInterval(
 
 EffectEstimator::EffectEstimator(const Table& table, const CausalDag& dag,
                                  EstimatorOptions options)
-    : table_(table), dag_(dag), options_(options) {}
+    : ctx_(std::make_shared<EstimatorContext>(
+          std::make_shared<EvalEngine>(table), dag, options)) {}
+
+EffectEstimator::EffectEstimator(std::shared_ptr<EvalEngine> engine,
+                                 const CausalDag& dag,
+                                 EstimatorOptions options)
+    : ctx_(std::make_shared<EstimatorContext>(std::move(engine), dag,
+                                              options)) {}
 
 std::set<std::string> EffectEstimator::AdjustmentSet(
     const Pattern& treatment, const std::string& outcome) const {
-  return dag_.BackdoorAdjustmentSet(treatment.Attributes(), outcome);
+  return ctx_->AdjustmentSet(treatment, outcome);
 }
 
 EffectEstimate EffectEstimator::EstimateCate(
     const Pattern& treatment, const std::string& outcome,
     const Pattern& subpopulation) const {
-  Bitset mask = subpopulation.IsEmpty() ? Bitset(table_.NumRows())
-                                        : subpopulation.Evaluate(table_);
-  if (subpopulation.IsEmpty()) mask.SetAll();
-  return EstimateCate(treatment, outcome, mask);
+  Bitset mask;
+  if (subpopulation.IsEmpty()) {
+    mask = Bitset(table().NumRows());
+    mask.SetAll();
+  } else {
+    mask = ctx_->engine()->Evaluate(subpopulation);
+  }
+  return ctx_->EstimateCate(treatment, outcome, mask);
 }
 
-EffectEstimate EffectEstimator::EstimateAte(const Pattern& treatment,
-                                            const std::string& outcome) const {
-  Bitset all(table_.NumRows());
+EffectEstimate EffectEstimator::EstimateAte(
+    const Pattern& treatment, const std::string& outcome) const {
+  Bitset all(table().NumRows());
   all.SetAll();
-  return EstimateCate(treatment, outcome, all);
+  return ctx_->EstimateCate(treatment, outcome, all);
 }
 
-EffectEstimate EffectEstimator::EstimateCate(const Pattern& treatment,
-                                             const std::string& outcome,
-                                             const Bitset& subpopulation) const {
-  EffectEstimate est;
-  if (treatment.IsEmpty()) return est;
-
-  const Column& y_col = table_.column(outcome);
-
-  // Candidate rows: subpopulation with non-null outcome.
-  std::vector<size_t> rows;
-  rows.reserve(subpopulation.Count());
-  for (size_t r : subpopulation.ToIndices()) {
-    if (!y_col.IsNull(r)) rows.push_back(r);
-  }
-
-  // Optimization (d): sample large subpopulations for CATE estimation.
-  if (options_.sample_cap > 0 && rows.size() > options_.sample_cap) {
-    Rng rng(options_.sample_seed ^ treatment.Hash());
-    std::vector<size_t> chosen = rng.SampleIndices(rows.size(),
-                                                   options_.sample_cap);
-    std::vector<size_t> sampled;
-    sampled.reserve(chosen.size());
-    for (size_t i : chosen) sampled.push_back(rows[i]);
-    std::sort(sampled.begin(), sampled.end());
-    rows = std::move(sampled);
-  }
-  if (rows.size() < 2 * options_.min_group_size) return est;
-
-  // Treatment indicator.
-  std::vector<uint8_t> treated(rows.size(), 0);
-  size_t n_treated = 0;
-  for (size_t i = 0; i < rows.size(); ++i) {
-    treated[i] = treatment.Matches(table_, rows[i]) ? 1 : 0;
-    n_treated += treated[i];
-  }
-  const size_t n_control = rows.size() - n_treated;
-  est.n_treated = n_treated;
-  est.n_control = n_control;
-  // Overlap (Eq. 4): both groups must be represented.
-  if (n_treated < options_.min_group_size ||
-      n_control < options_.min_group_size) {
-    return est;
-  }
-
-  // Backdoor adjustment set Z from the DAG: parents of treatment attrs.
-  const std::set<std::string> adjustment =
-      AdjustmentSet(treatment, outcome);
-
-  // Assemble design matrix columns: intercept, T, then confounders.
-  // Numeric confounders enter directly; categorical ones are one-hot
-  // encoded with the most frequent level dropped as baseline.
-  struct Encoded {
-    const Column* col;
-    bool categorical;
-    std::vector<int32_t> kept_codes;  // categorical: levels with own column
-  };
-  std::vector<Encoded> confounders;
-  size_t extra_cols = 0;
-  for (const auto& name : adjustment) {
-    auto idx = table_.ColumnIndex(name);
-    if (!idx) continue;  // DAG node without a data column (latent): skip.
-    const Column& c = table_.column(*idx);
-    Encoded enc;
-    enc.col = &c;
-    enc.categorical = (c.type() == ColumnType::kCategorical);
-    if (enc.categorical) {
-      // Count level frequencies within the estimation rows.
-      std::unordered_map<int32_t, size_t> freq;
-      for (size_t r : rows) {
-        if (!c.IsNull(r)) ++freq[c.GetCode(r)];
-      }
-      if (freq.size() < 2) continue;  // constant -> no information
-      std::vector<std::pair<int32_t, size_t>> levels(freq.begin(), freq.end());
-      std::sort(levels.begin(), levels.end(),
-                [](const auto& a, const auto& b) { return a.second > b.second; });
-      // Drop the most frequent level (baseline) and merge the long tail.
-      const size_t keep = std::min(options_.max_onehot_levels,
-                                   levels.size() - 1);
-      for (size_t l = 1; l <= keep; ++l) {
-        enc.kept_codes.push_back(levels[l].first);
-      }
-      extra_cols += enc.kept_codes.size();
-    } else {
-      ++extra_cols;
-    }
-    confounders.push_back(std::move(enc));
-  }
-
-  const size_t p = 2 + extra_cols;  // intercept + T + confounders
-  if (rows.size() <= p + 1) return est;
-
-  // Fills row i of a design whose first column is the intercept and whose
-  // confounder block starts at `offset`.
-  auto fill_confounders = [&](DesignMatrix* x, size_t i, size_t r,
-                              size_t offset) {
-    size_t col = offset;
-    for (const auto& enc : confounders) {
-      if (enc.categorical) {
-        const int32_t code = enc.col->IsNull(r) ? Column::kNullCode
-                                                : enc.col->GetCode(r);
-        for (int32_t kept : enc.kept_codes) {
-          x->At(i, col++) = (code == kept) ? 1.0 : 0.0;
-        }
-      } else {
-        const double v = enc.col->GetNumeric(r);
-        x->At(i, col++) = std::isnan(v) ? 0.0 : v;
-      }
-    }
-  };
-
-  std::vector<double> y(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) y[i] = y_col.GetNumeric(rows[i]);
-
-  if (options_.method == EstimationMethod::kRegressionAdjustment) {
-    DesignMatrix x(rows.size(), p);
-    for (size_t i = 0; i < rows.size(); ++i) {
-      x.At(i, 0) = 1.0;
-      x.At(i, 1) = treated[i];
-      fill_confounders(&x, i, rows[i], 2);
-    }
-    const OlsResult fit = FitOls(x, y);
-    if (!fit.ok) return est;
-    est.valid = true;
-    est.cate = fit.coefficients[1];
-    est.std_error = fit.std_errors[1];
-    est.p_value = fit.PValue(1);
-    est.n_used = rows.size();
-    return est;
-  }
-
-  // --- Inverse propensity weighting ---------------------------------------
-  // Propensity model: logistic regression T ~ 1 + Z fit by a few IRLS
-  // (Newton) steps; the Hajek estimator with clipped weights gives the
-  // effect, and its influence function the standard error.
-  const size_t q = 1 + extra_cols;  // intercept + confounders
-  DesignMatrix z(rows.size(), q);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    z.At(i, 0) = 1.0;
-    fill_confounders(&z, i, rows[i], 1);
-  }
-  std::vector<double> beta(q, 0.0);
-  for (int iter = 0; iter < 8; ++iter) {
-    // Newton step: beta += (Z^T W Z)^-1 Z^T (T - mu), W = mu(1-mu).
-    std::vector<std::vector<double>> ztwz(q, std::vector<double>(q, 0.0));
-    std::vector<double> grad(q, 0.0);
-    for (size_t i = 0; i < rows.size(); ++i) {
-      double eta = 0.0;
-      for (size_t j = 0; j < q; ++j) eta += z.At(i, j) * beta[j];
-      const double mu = 1.0 / (1.0 + std::exp(-eta));
-      const double w = std::max(1e-6, mu * (1.0 - mu));
-      const double resid = static_cast<double>(treated[i]) - mu;
-      for (size_t a = 0; a < q; ++a) {
-        grad[a] += z.At(i, a) * resid;
-        for (size_t b = a; b < q; ++b) {
-          ztwz[a][b] += w * z.At(i, a) * z.At(i, b);
-        }
-      }
-    }
-    for (size_t a = 0; a < q; ++a) {
-      for (size_t b = 0; b < a; ++b) ztwz[a][b] = ztwz[b][a];
-    }
-    std::vector<double> step = grad;
-    if (!SolveSpd(&ztwz, &step)) break;
-    double max_step = 0.0;
-    for (size_t j = 0; j < q; ++j) {
-      beta[j] += step[j];
-      max_step = std::max(max_step, std::fabs(step[j]));
-    }
-    if (max_step < 1e-8) break;
-  }
-
-  const double clip = std::clamp(options_.propensity_clip, 1e-6, 0.49);
-  double sw1 = 0, sw0 = 0, sy1 = 0, sy0 = 0;
-  std::vector<double> prop(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    double eta = 0.0;
-    for (size_t j = 0; j < q; ++j) eta += z.At(i, j) * beta[j];
-    double e = 1.0 / (1.0 + std::exp(-eta));
-    e = std::clamp(e, clip, 1.0 - clip);
-    prop[i] = e;
-    if (treated[i]) {
-      const double w = 1.0 / e;
-      sw1 += w;
-      sy1 += w * y[i];
-    } else {
-      const double w = 1.0 / (1.0 - e);
-      sw0 += w;
-      sy0 += w * y[i];
-    }
-  }
-  if (sw1 <= 0 || sw0 <= 0) return est;
-  const double mu1 = sy1 / sw1;
-  const double mu0 = sy0 / sw0;
-
-  // Influence-function variance of the Hajek ATE.
-  const double n = static_cast<double>(rows.size());
-  double var_sum = 0.0;
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const double e = prop[i];
-    const double psi =
-        treated[i] ? (y[i] - mu1) / e : -(y[i] - mu0) / (1.0 - e);
-    var_sum += psi * psi;
-  }
-  est.valid = true;
-  est.cate = mu1 - mu0;
-  est.std_error = std::sqrt(var_sum) / n;
-  est.p_value = est.std_error > 0
-                    ? TwoSidedPValueZ(est.cate / est.std_error)
-                    : 1.0;
-  est.n_used = rows.size();
-  return est;
+EffectEstimate EffectEstimator::EstimateCate(
+    const Pattern& treatment, const std::string& outcome,
+    const Bitset& subpopulation) const {
+  return ctx_->EstimateCate(treatment, outcome, subpopulation);
 }
 
 }  // namespace causumx

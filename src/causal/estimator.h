@@ -8,83 +8,52 @@
 // inside the subpopulation, where Z is the backdoor adjustment set derived
 // from the DAG (parents of the treatment attributes). The coefficient on T
 // is the (C)ATE; its t-test provides the p-value the explanation reports.
+//
+// EffectEstimator is a thin facade over an engine-bound EstimatorContext
+// (causal/estimator_context.h): treatment indicators come from the
+// EvalEngine's cached predicate bitsets, outcome/confounder reads from
+// its cached numeric column views, and finished estimates are memoized
+// per (treatment, outcome, subpopulation). Copies of an estimator share
+// one context, so every copy populates the same caches.
 
 #ifndef CAUSUMX_CAUSAL_ESTIMATOR_H_
 #define CAUSUMX_CAUSAL_ESTIMATOR_H_
 
-#include <optional>
-#include <utility>
+#include <memory>
 #include <set>
 #include <string>
-#include <vector>
 
 #include "causal/dag.h"
-#include "causal/ols.h"
+#include "causal/estimator_context.h"
+#include "causal/estimator_types.h"
 #include "dataset/pattern.h"
 #include "dataset/table.h"
+#include "engine/eval_engine.h"
 #include "util/bitset.h"
-#include "util/rng.h"
 
 namespace causumx {
 
-/// How the confounder adjustment is performed.
-///
-/// kRegressionAdjustment is the paper's estimator (DoWhy linear
-/// regression). kIpw is inverse-propensity weighting (Section 7 mentions
-/// propensity methods for richer treatment handling): a logistic
-/// propensity model over the backdoor set reweights the difference in
-/// means; robust to outcome-model misspecification, noisier under weak
-/// overlap.
-enum class EstimationMethod { kRegressionAdjustment, kIpw };
-
-/// Tuning knobs for effect estimation.
-struct EstimatorOptions {
-  /// Minimum treated and minimum control units required (overlap, Eq. 4).
-  size_t min_group_size = 10;
-  /// When the subpopulation exceeds this, estimate on a uniform random
-  /// sample of this size (optimization (d), Section 5.2). 0 = never sample.
-  size_t sample_cap = 1'000'000;
-  /// Seed for the sampling RNG (deterministic across runs).
-  uint64_t sample_seed = 17;
-  /// Cap on one-hot levels per categorical confounder; rarest levels merge
-  /// into the dropped baseline. Keeps designs tractable on wide domains.
-  size_t max_onehot_levels = 24;
-  /// Adjustment strategy (see EstimationMethod).
-  EstimationMethod method = EstimationMethod::kRegressionAdjustment;
-  /// IPW only: propensities are clipped into [clip, 1-clip] to bound the
-  /// weights (standard practice).
-  double propensity_clip = 0.02;
-};
-
-/// A CATE estimate.
-struct EffectEstimate {
-  bool valid = false;       ///< false when overlap/df checks failed.
-  double cate = 0.0;        ///< estimated conditional average treatment effect.
-  double std_error = 0.0;   ///< standard error of the CATE.
-  double p_value = 1.0;     ///< two-sided t-test p-value.
-  size_t n_treated = 0;     ///< treated units in the (sampled) population.
-  size_t n_control = 0;     ///< control units in the (sampled) population.
-  size_t n_used = 0;        ///< rows entering the regression.
-
-  /// True when valid and p_value <= alpha.
-  bool Significant(double alpha = 0.05) const {
-    return valid && p_value <= alpha;
-  }
-
-  /// Two-sided confidence interval at the given level (default 95%):
-  /// cate +- z * std_error. Returns {cate, cate} when invalid.
-  std::pair<double, double> ConfidenceInterval(double level = 0.95) const;
-};
-
 /// Effect estimator bound to one table + DAG.
 ///
-/// Thread-safe for concurrent EstimateCate calls (it holds no mutable
-/// state besides option-derived constants; each call creates its own RNG
-/// seeded deterministically from the option seed and the pattern hash).
+/// Thread-safe for concurrent EstimateCate calls (the underlying caches
+/// are internally synchronized; each call's sampling RNG is seeded
+/// deterministically from the option seed and the pattern hash).
 class EffectEstimator {
  public:
+  /// Creates a private engine over `table` (caches enabled). The table
+  /// must outlive the estimator.
   EffectEstimator(const Table& table, const CausalDag& dag,
                   EstimatorOptions options = {});
+
+  /// Binds to a shared engine so predicate bitsets (and the cache-bypass
+  /// flag) are shared with the miners and baselines using it.
+  EffectEstimator(std::shared_ptr<EvalEngine> engine, const CausalDag& dag,
+                  EstimatorOptions options = {});
+
+  /// Wraps an existing context: this estimator and every other holder of
+  /// the context share one CATE memo.
+  explicit EffectEstimator(std::shared_ptr<EstimatorContext> context)
+      : ctx_(std::move(context)) {}
 
   /// CATE of the binary treatment defined by `treatment` on `outcome`
   /// within the subpopulation rows where `subpopulation` is set (pass a
@@ -106,14 +75,19 @@ class EffectEstimator {
   std::set<std::string> AdjustmentSet(const Pattern& treatment,
                                       const std::string& outcome) const;
 
-  const Table& table() const { return table_; }
-  const CausalDag& dag() const { return dag_; }
-  const EstimatorOptions& options() const { return options_; }
+  const Table& table() const { return ctx_->table(); }
+  const CausalDag& dag() const { return ctx_->dag(); }
+  const EstimatorOptions& options() const { return ctx_->options(); }
+  const std::shared_ptr<EvalEngine>& engine() const {
+    return ctx_->engine();
+  }
+  const std::shared_ptr<EstimatorContext>& context() const { return ctx_; }
+
+  /// Memoization counters of the shared context.
+  EstimatorCacheStats cache_stats() const { return ctx_->Stats(); }
 
  private:
-  const Table& table_;  // not owned; must outlive the estimator.
-  CausalDag dag_;       // owned copy (DAGs are tiny; avoids lifetime traps).
-  EstimatorOptions options_;
+  std::shared_ptr<EstimatorContext> ctx_;
 };
 
 }  // namespace causumx

@@ -1,0 +1,291 @@
+#include "causal/estimator_context.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "causal/ols.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace causumx {
+
+EstimatorContext::EstimatorContext(std::shared_ptr<EvalEngine> engine,
+                                   const CausalDag& dag,
+                                   EstimatorOptions options)
+    : engine_(std::move(engine)), dag_(dag), options_(options) {}
+
+std::set<std::string> EstimatorContext::AdjustmentSet(
+    const Pattern& treatment, const std::string& outcome) const {
+  return dag_.BackdoorAdjustmentSet(treatment.Attributes(), outcome);
+}
+
+EffectEstimate EstimatorContext::EstimateCate(const Pattern& treatment,
+                                              const std::string& outcome,
+                                              const Bitset& subpopulation) {
+  if (treatment.IsEmpty()) return EffectEstimate{};
+  if (!engine_->cache_enabled()) {
+    n_misses_.fetch_add(1, std::memory_order_relaxed);
+    return ComputeCate(treatment, outcome, subpopulation);
+  }
+  const MemoKey key{treatment.Hash(), subpopulation.Hash(),
+                    subpopulation.Count(), outcome};
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      n_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Computed outside the lock: concurrent misses on the same key may
+  // duplicate work once, but never block each other on the OLS solve.
+  const EffectEstimate est = ComputeCate(treatment, outcome, subpopulation);
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    memo_.emplace(key, est);
+  }
+  n_misses_.fetch_add(1, std::memory_order_relaxed);
+  return est;
+}
+
+EffectEstimate EstimatorContext::ComputeCate(const Pattern& treatment,
+                                             const std::string& outcome,
+                                             const Bitset& subpopulation) {
+  EffectEstimate est;
+  const Table& table = engine_->table();
+  const auto y_idx = table.ColumnIndex(outcome);
+  if (!y_idx) return est;
+  const NumericColumnView& y_view = engine_->Numeric(*y_idx);
+
+  // Candidate rows: subpopulation with non-null outcome.
+  std::vector<size_t> rows;
+  rows.reserve(subpopulation.Count());
+  for (size_t r : subpopulation.ToIndices()) {
+    if (y_view.valid.Test(r)) rows.push_back(r);
+  }
+
+  // Optimization (d): sample large subpopulations for CATE estimation.
+  if (options_.sample_cap > 0 && rows.size() > options_.sample_cap) {
+    Rng rng(options_.sample_seed ^ treatment.Hash());
+    std::vector<size_t> chosen =
+        rng.SampleIndices(rows.size(), options_.sample_cap);
+    std::vector<size_t> sampled;
+    sampled.reserve(chosen.size());
+    for (size_t i : chosen) sampled.push_back(rows[i]);
+    std::sort(sampled.begin(), sampled.end());
+    rows = std::move(sampled);
+  }
+  if (rows.size() < 2 * options_.min_group_size) return est;
+
+  // Treatment indicator from the engine's cached bitsets (bit-identical
+  // to row-at-a-time Matches; see the engine property tests).
+  const Bitset treated_bits = engine_->EvaluateOn(treatment, subpopulation);
+  std::vector<uint8_t> treated(rows.size(), 0);
+  size_t n_treated = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    treated[i] = treated_bits.Test(rows[i]) ? 1 : 0;
+    n_treated += treated[i];
+  }
+  const size_t n_control = rows.size() - n_treated;
+  est.n_treated = n_treated;
+  est.n_control = n_control;
+  // Overlap (Eq. 4): both groups must be represented.
+  if (n_treated < options_.min_group_size ||
+      n_control < options_.min_group_size) {
+    return est;
+  }
+
+  // Backdoor adjustment set Z from the DAG: parents of treatment attrs.
+  const std::set<std::string> adjustment = AdjustmentSet(treatment, outcome);
+
+  // Assemble design matrix columns: intercept, T, then confounders.
+  // Numeric confounders enter via the cached column views; categorical
+  // ones are one-hot encoded with the most frequent level dropped as
+  // baseline (dense code counting; ties break by dictionary code so the
+  // encoding is deterministic).
+  struct Encoded {
+    const Column* col;
+    const NumericColumnView* view;
+    bool categorical;
+    std::vector<int32_t> kept_codes;  // categorical: levels with own column
+  };
+  std::vector<Encoded> confounders;
+  size_t extra_cols = 0;
+  for (const auto& name : adjustment) {
+    auto idx = table.ColumnIndex(name);
+    if (!idx) continue;  // DAG node without a data column (latent): skip.
+    const Column& c = table.column(*idx);
+    Encoded enc;
+    enc.col = &c;
+    enc.view = nullptr;
+    enc.categorical = (c.type() == ColumnType::kCategorical);
+    if (enc.categorical) {
+      // Count level frequencies within the estimation rows (dense array
+      // over the dictionary instead of a hash map).
+      std::vector<size_t> freq(c.dictionary().size(), 0);
+      size_t distinct = 0;
+      for (size_t r : rows) {
+        const int32_t code = c.GetCode(r);
+        if (code == Column::kNullCode) continue;
+        if (freq[code]++ == 0) ++distinct;
+      }
+      if (distinct < 2) continue;  // constant -> no information
+      std::vector<std::pair<int32_t, size_t>> levels;
+      levels.reserve(distinct);
+      for (size_t code = 0; code < freq.size(); ++code) {
+        if (freq[code] > 0) {
+          levels.emplace_back(static_cast<int32_t>(code), freq[code]);
+        }
+      }
+      std::sort(levels.begin(), levels.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      // Drop the most frequent level (baseline) and merge the long tail.
+      const size_t keep =
+          std::min(options_.max_onehot_levels, levels.size() - 1);
+      for (size_t l = 1; l <= keep; ++l) {
+        enc.kept_codes.push_back(levels[l].first);
+      }
+      extra_cols += enc.kept_codes.size();
+    } else {
+      enc.view = &engine_->Numeric(*idx);
+      ++extra_cols;
+    }
+    confounders.push_back(std::move(enc));
+  }
+
+  const size_t p = 2 + extra_cols;  // intercept + T + confounders
+  if (rows.size() <= p + 1) return est;
+
+  // Fills row i of a design whose first column is the intercept and whose
+  // confounder block starts at `offset`.
+  auto fill_confounders = [&](DesignMatrix* x, size_t i, size_t r,
+                              size_t offset) {
+    size_t col = offset;
+    for (const auto& enc : confounders) {
+      if (enc.categorical) {
+        const int32_t code = enc.col->GetCode(r);
+        for (int32_t kept : enc.kept_codes) {
+          x->At(i, col++) = (code == kept) ? 1.0 : 0.0;
+        }
+      } else {
+        const double v = enc.view->values[r];
+        x->At(i, col++) = std::isnan(v) ? 0.0 : v;
+      }
+    }
+  };
+
+  std::vector<double> y(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) y[i] = y_view.values[rows[i]];
+
+  if (options_.method == EstimationMethod::kRegressionAdjustment) {
+    DesignMatrix x(rows.size(), p);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      x.At(i, 0) = 1.0;
+      x.At(i, 1) = treated[i];
+      fill_confounders(&x, i, rows[i], 2);
+    }
+    const OlsResult fit = FitOls(x, y);
+    if (!fit.ok) return est;
+    est.valid = true;
+    est.cate = fit.coefficients[1];
+    est.std_error = fit.std_errors[1];
+    est.p_value = fit.PValue(1);
+    est.n_used = rows.size();
+    return est;
+  }
+
+  // --- Inverse propensity weighting ---------------------------------------
+  // Propensity model: logistic regression T ~ 1 + Z fit by a few IRLS
+  // (Newton) steps; the Hajek estimator with clipped weights gives the
+  // effect, and its influence function the standard error.
+  const size_t q = 1 + extra_cols;  // intercept + confounders
+  DesignMatrix z(rows.size(), q);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    z.At(i, 0) = 1.0;
+    fill_confounders(&z, i, rows[i], 1);
+  }
+  std::vector<double> beta(q, 0.0);
+  for (int iter = 0; iter < 8; ++iter) {
+    // Newton step: beta += (Z^T W Z)^-1 Z^T (T - mu), W = mu(1-mu).
+    std::vector<std::vector<double>> ztwz(q, std::vector<double>(q, 0.0));
+    std::vector<double> grad(q, 0.0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      double eta = 0.0;
+      for (size_t j = 0; j < q; ++j) eta += z.At(i, j) * beta[j];
+      const double mu = 1.0 / (1.0 + std::exp(-eta));
+      const double w = std::max(1e-6, mu * (1.0 - mu));
+      const double resid = static_cast<double>(treated[i]) - mu;
+      for (size_t a = 0; a < q; ++a) {
+        grad[a] += z.At(i, a) * resid;
+        for (size_t b = a; b < q; ++b) {
+          ztwz[a][b] += w * z.At(i, a) * z.At(i, b);
+        }
+      }
+    }
+    for (size_t a = 0; a < q; ++a) {
+      for (size_t b = 0; b < a; ++b) ztwz[a][b] = ztwz[b][a];
+    }
+    std::vector<double> step = grad;
+    if (!SolveSpd(&ztwz, &step)) break;
+    double max_step = 0.0;
+    for (size_t j = 0; j < q; ++j) {
+      beta[j] += step[j];
+      max_step = std::max(max_step, std::fabs(step[j]));
+    }
+    if (max_step < 1e-8) break;
+  }
+
+  const double clip = std::clamp(options_.propensity_clip, 1e-6, 0.49);
+  double sw1 = 0, sw0 = 0, sy1 = 0, sy0 = 0;
+  std::vector<double> prop(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    double eta = 0.0;
+    for (size_t j = 0; j < q; ++j) eta += z.At(i, j) * beta[j];
+    double e = 1.0 / (1.0 + std::exp(-eta));
+    e = std::clamp(e, clip, 1.0 - clip);
+    prop[i] = e;
+    if (treated[i]) {
+      const double w = 1.0 / e;
+      sw1 += w;
+      sy1 += w * y[i];
+    } else {
+      const double w = 1.0 / (1.0 - e);
+      sw0 += w;
+      sy0 += w * y[i];
+    }
+  }
+  if (sw1 <= 0 || sw0 <= 0) return est;
+  const double mu1 = sy1 / sw1;
+  const double mu0 = sy0 / sw0;
+
+  // Influence-function variance of the Hajek ATE.
+  const double n = static_cast<double>(rows.size());
+  double var_sum = 0.0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double e = prop[i];
+    const double psi =
+        treated[i] ? (y[i] - mu1) / e : -(y[i] - mu0) / (1.0 - e);
+    var_sum += psi * psi;
+  }
+  est.valid = true;
+  est.cate = mu1 - mu0;
+  est.std_error = std::sqrt(var_sum) / n;
+  est.p_value = est.std_error > 0
+                    ? TwoSidedPValueZ(est.cate / est.std_error)
+                    : 1.0;
+  est.n_used = rows.size();
+  return est;
+}
+
+EstimatorCacheStats EstimatorContext::Stats() const {
+  EstimatorCacheStats s;
+  s.memo_hits = n_hits_.load(std::memory_order_relaxed);
+  s.memo_misses = n_misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace causumx

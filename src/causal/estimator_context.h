@@ -1,0 +1,107 @@
+// Engine-bound effect-estimation context.
+//
+// Holds everything EstimateCate needs that is shareable across calls:
+// the EvalEngine (interned predicate bitsets, cached numeric column
+// views), the causal DAG, the estimator options, and a memo table
+// mapping (treatment, outcome, subpopulation) to the finished
+// EffectEstimate. The lattice walk of Algorithm 2 re-estimates the same
+// triples many times — the incumbent's final re-estimate, every atom
+// shared between the positive and negative walks, and duplicate
+// children pruned across grouping patterns all become memo hits.
+//
+// Thread-safe for concurrent EstimateCate calls; contexts are shared by
+// shared_ptr between EffectEstimator facades, exploration sessions, and
+// baselines so they all populate one cache.
+
+#ifndef CAUSUMX_CAUSAL_ESTIMATOR_CONTEXT_H_
+#define CAUSUMX_CAUSAL_ESTIMATOR_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "causal/dag.h"
+#include "causal/estimator_types.h"
+#include "dataset/pattern.h"
+#include "engine/eval_engine.h"
+#include "util/bitset.h"
+
+namespace causumx {
+
+/// Cumulative memoization counters of one context.
+struct EstimatorCacheStats {
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+};
+
+class EstimatorContext {
+ public:
+  /// Binds to a shared engine. The engine's cache_enabled flag also
+  /// gates the CATE memo (bypass mode recomputes every estimate).
+  EstimatorContext(std::shared_ptr<EvalEngine> engine, const CausalDag& dag,
+                   EstimatorOptions options);
+
+  EstimatorContext(const EstimatorContext&) = delete;
+  EstimatorContext& operator=(const EstimatorContext&) = delete;
+
+  /// Memoized CATE of `treatment` on `outcome` within `subpopulation`.
+  EffectEstimate EstimateCate(const Pattern& treatment,
+                              const std::string& outcome,
+                              const Bitset& subpopulation);
+
+  /// Backdoor adjustment set the estimator would use for this treatment.
+  std::set<std::string> AdjustmentSet(const Pattern& treatment,
+                                      const std::string& outcome) const;
+
+  const Table& table() const { return engine_->table(); }
+  const CausalDag& dag() const { return dag_; }
+  const EstimatorOptions& options() const { return options_; }
+  const std::shared_ptr<EvalEngine>& engine() const { return engine_; }
+
+  EstimatorCacheStats Stats() const;
+
+ private:
+  struct MemoKey {
+    uint64_t treatment_hash;
+    uint64_t subpop_hash;
+    uint64_t subpop_count;
+    std::string outcome;
+
+    bool operator==(const MemoKey& other) const {
+      return treatment_hash == other.treatment_hash &&
+             subpop_hash == other.subpop_hash &&
+             subpop_count == other.subpop_count && outcome == other.outcome;
+    }
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey& k) const {
+      uint64_t h = k.treatment_hash * 0x9E3779B97F4A7C15ULL;
+      h ^= k.subpop_hash + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      h ^= k.subpop_count + (h << 6) + (h >> 2);
+      h ^= std::hash<std::string>{}(k.outcome) + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// The actual estimation (regression adjustment or IPW), uncached.
+  EffectEstimate ComputeCate(const Pattern& treatment,
+                             const std::string& outcome,
+                             const Bitset& subpopulation);
+
+  std::shared_ptr<EvalEngine> engine_;
+  CausalDag dag_;  // owned copy (DAGs are tiny; avoids lifetime traps).
+  EstimatorOptions options_;
+
+  std::mutex memo_mu_;
+  std::unordered_map<MemoKey, EffectEstimate, MemoKeyHash> memo_;
+  std::atomic<uint64_t> n_hits_{0};
+  std::atomic<uint64_t> n_misses_{0};
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_CAUSAL_ESTIMATOR_CONTEXT_H_

@@ -12,6 +12,21 @@ CandidateMiningResult MineExplanationCandidates(const Table& table,
                                                 const GroupByAvgQuery& query,
                                                 const CausalDag& dag,
                                                 const CauSumXConfig& config) {
+  return MineExplanationCandidates(table, query, dag, config, nullptr);
+}
+
+CandidateMiningResult MineExplanationCandidates(
+    const Table& table, const GroupByAvgQuery& query, const CausalDag& dag,
+    const CauSumXConfig& config, std::shared_ptr<EvalEngine> engine,
+    std::shared_ptr<EstimatorContext> estimator_ctx) {
+  if (engine == nullptr) {
+    engine =
+        std::make_shared<EvalEngine>(table, !config.disable_eval_cache);
+  }
+  if (estimator_ctx == nullptr) {
+    estimator_ctx = std::make_shared<EstimatorContext>(engine, dag,
+                                                       config.estimator);
+  }
   CandidateMiningResult result;
   Timer timer;
 
@@ -48,16 +63,19 @@ CandidateMiningResult MineExplanationCandidates(const Table& table,
 
   // ---- Phase 1: grouping patterns (Section 5.1). --------------------------
   timer.Reset();
+  // config.apriori_support is the master support knob: propagate it here
+  // so mutating it after construction cannot silently diverge from
+  // grouping.apriori.min_support (set once in the ctor).
   GroupingMinerOptions gopt = config.grouping;
   gopt.apriori.min_support = config.apriori_support;
   std::vector<GroupingPattern> grouping = MineGroupingPatterns(
-      table, view, result.partition.grouping_attributes, gopt);
+      table, view, result.partition.grouping_attributes, gopt, engine.get());
   result.num_grouping_candidates = grouping.size();
   result.timings.Add("grouping", timer.Seconds());
 
   // ---- Phase 2: treatment patterns (Section 5.2, Algorithm 2). ------------
   timer.Reset();
-  EffectEstimator estimator(table, dag, config.estimator);
+  EffectEstimator estimator(estimator_ctx);
   const std::vector<std::string>& treatment_attrs =
       config.treatment_attribute_allowlist.empty()
           ? result.partition.treatment_attributes
@@ -96,6 +114,8 @@ CandidateMiningResult MineExplanationCandidates(const Table& table,
     if (c.Weight() > 0.0) result.candidates.push_back(std::move(c));
   }
   result.timings.Add("treatment", timer.Seconds());
+  result.cache_stats.eval = engine->Stats();
+  result.cache_stats.estimator = estimator.cache_stats();
   return result;
 }
 
@@ -165,6 +185,7 @@ CauSumXResult RunCauSumX(const Table& table, const GroupByAvgQuery& query,
   result.num_candidates_with_treatment = mined.candidates.size();
   result.treatment_patterns_evaluated = mined.treatment_patterns_evaluated;
   result.timings = mined.timings;
+  result.cache_stats = mined.cache_stats;
   if (result.view.NumGroups() == 0) return result;
 
   result.summary = SelectExplanations(mined.candidates,

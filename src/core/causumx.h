@@ -11,6 +11,7 @@
 #ifndef CAUSUMX_CORE_CAUSUMX_H_
 #define CAUSUMX_CORE_CAUSUMX_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "dataset/fd.h"
 #include "dataset/group_query.h"
 #include "dataset/table.h"
+#include "engine/eval_engine.h"
 #include "mining/grouping_miner.h"
 #include "mining/treatment_miner.h"
 #include "util/timer.h"
@@ -51,8 +53,20 @@ struct CauSumXConfig {
   /// mandatory when the group-by key is unique per tuple, where the FD
   /// test is vacuous.
   std::vector<std::string> grouping_attribute_allowlist;
+  /// Bypass the evaluation engine's predicate-bitset cache and the
+  /// estimator's CATE memo (verification/benchmark mode). Results are
+  /// bit-identical either way; only the work done differs.
+  bool disable_eval_cache = false;
 
   CauSumXConfig() { grouping.apriori.min_support = apriori_support; }
+};
+
+/// Cache counters of one run's shared evaluation engine + estimator
+/// context (cumulative when an engine is reused across runs, as in
+/// ExplorationSession).
+struct EngineCacheStats {
+  EvalEngineStats eval;
+  EstimatorCacheStats estimator;
 };
 
 /// Instrumented result (phase timings feed Fig. 14/20).
@@ -64,6 +78,7 @@ struct CauSumXResult {
   size_t num_candidates_with_treatment = 0;
   size_t treatment_patterns_evaluated = 0;
   PhaseTimer timings;  ///< phases: "grouping", "treatment", "selection".
+  EngineCacheStats cache_stats;
 };
 
 /// Output of phases 1 + 2 (mining), reusable across phase-3 parameter
@@ -77,14 +92,26 @@ struct CandidateMiningResult {
   size_t num_grouping_candidates = 0;
   size_t treatment_patterns_evaluated = 0;
   PhaseTimer timings;  ///< phases "grouping" and "treatment".
+  EngineCacheStats cache_stats;
 };
 
 /// Phases 1 + 2 of Algorithm 1: mine grouping patterns and their top
 /// treatments. Phase-3 parameters (k, theta, solver) are ignored here.
+/// Creates a run-private EvalEngine (honoring config.disable_eval_cache).
 CandidateMiningResult MineExplanationCandidates(const Table& table,
                                                 const GroupByAvgQuery& query,
                                                 const CausalDag& dag,
                                                 const CauSumXConfig& config);
+
+/// As above but over a caller-provided engine (must be bound to `table`),
+/// so repeated runs — exploration sessions, baseline comparisons — share
+/// one predicate-bitset cache. Pass nullptr to create a private engine.
+/// `estimator_ctx` (optional, must be bound to the same engine) likewise
+/// shares a CATE memo with the caller.
+CandidateMiningResult MineExplanationCandidates(
+    const Table& table, const GroupByAvgQuery& query, const CausalDag& dag,
+    const CauSumXConfig& config, std::shared_ptr<EvalEngine> engine,
+    std::shared_ptr<EstimatorContext> estimator_ctx = nullptr);
 
 /// Phase 3 of Algorithm 1: select <= k candidates covering >= theta * m
 /// groups, maximizing total explainability. `timings` (optional) gains a

@@ -8,11 +8,15 @@ ExplorationSession::ExplorationSession(const Table& table,
     : table_(table),
       query_(std::move(query)),
       dag_(std::move(dag)),
-      config_(std::move(config)) {}
+      config_(std::move(config)),
+      engine_(std::make_shared<EvalEngine>(table_,
+                                           !config_.disable_eval_cache)),
+      estimator_(engine_, dag_, config_.estimator) {}
 
 void ExplorationSession::EnsureMined() {
   if (!mined_) {
-    mined_ = MineExplanationCandidates(table_, query_, dag_, config_);
+    mined_ = MineExplanationCandidates(table_, query_, dag_, config_,
+                                       engine_, estimator_.context());
   }
 }
 
@@ -34,16 +38,19 @@ ExplanationSummary ExplorationSession::Solve() {
 std::vector<ScoredTreatment> ExplorationSession::TopTreatments(
     const Pattern& grouping_pattern, TreatmentSign sign, size_t k) {
   EnsureMined();
-  Bitset rows = grouping_pattern.IsEmpty() ? Bitset(table_.NumRows())
-                                           : grouping_pattern.Evaluate(table_);
-  if (grouping_pattern.IsEmpty()) rows.SetAll();
+  Bitset rows;
+  if (grouping_pattern.IsEmpty()) {
+    rows = Bitset(table_.NumRows());
+    rows.SetAll();
+  } else {
+    rows = engine_->Evaluate(grouping_pattern);
+  }
 
-  EffectEstimator estimator(table_, dag_, config_.estimator);
   const std::vector<std::string>& treatment_attrs =
       config_.treatment_attribute_allowlist.empty()
           ? mined_->partition.treatment_attributes
           : config_.treatment_attribute_allowlist;
-  return MineTopKTreatments(estimator, rows, query_.avg_attribute,
+  return MineTopKTreatments(estimator_, rows, query_.avg_attribute,
                             treatment_attrs, sign, k, config_.treatment);
 }
 
@@ -60,6 +67,13 @@ const std::vector<Explanation>& ExplorationSession::Candidates() {
 const CandidateMiningResult& ExplorationSession::MiningResult() {
   EnsureMined();
   return *mined_;
+}
+
+EngineCacheStats ExplorationSession::CacheStats() const {
+  EngineCacheStats stats;
+  stats.eval = engine_->Stats();
+  stats.estimator = estimator_.cache_stats();
+  return stats;
 }
 
 }  // namespace causumx

@@ -11,10 +11,12 @@
 #ifndef CAUSUMX_CORE_EXPLORATION_H_
 #define CAUSUMX_CORE_EXPLORATION_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/causumx.h"
+#include "engine/eval_engine.h"
 #include "mining/treatment_miner.h"
 
 namespace causumx {
@@ -55,6 +57,14 @@ class ExplorationSession {
   /// Mining statistics; valid after the first Solve/View/Candidates call.
   const CandidateMiningResult& MiningResult();
 
+  /// The session's shared evaluation engine: one predicate-bitset cache
+  /// and one CATE memo serve mining, every re-Solve, and every
+  /// TopTreatments drill-down.
+  const std::shared_ptr<EvalEngine>& engine() const { return engine_; }
+
+  /// Cumulative cache counters of the session (mining + drill-downs).
+  EngineCacheStats CacheStats() const;
+
  private:
   void EnsureMined();
 
@@ -62,6 +72,8 @@ class ExplorationSession {
   GroupByAvgQuery query_;
   CausalDag dag_;
   CauSumXConfig config_;
+  std::shared_ptr<EvalEngine> engine_;
+  EffectEstimator estimator_;  // bound to engine_; shared memo.
   std::optional<CandidateMiningResult> mined_;
 };
 

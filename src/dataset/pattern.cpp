@@ -52,6 +52,12 @@ Bitset Pattern::Evaluate(const Table& table) const {
       const std::string rhs =
           p.value.is_string() ? p.value.AsString() : p.value.ToString();
       const int32_t code = col.CodeOf(rhs);
+      if (code == Column::kNullCode) {
+        // Constant absent from the dictionary: no row matches. (Without
+        // this guard, null cells — whose code is also kNullCode — would
+        // pass the inequality test below and diverge from Matches().)
+        return Bitset(table.NumRows());
+      }
       for (size_t r = 0; r < table.NumRows(); ++r) {
         if (out.Test(r) && col.GetCode(r) != code) out.Clear(r);
       }

@@ -1,0 +1,140 @@
+#include "engine/eval_engine.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace causumx {
+
+namespace {
+
+// Structural key of an atomic predicate. '\0' separators keep
+// ("AB", "=", "c") and ("A", "=", "Bc") distinct. Numeric constants are
+// encoded exactly (doubles by bit pattern) — Value::ToString rounds to 6
+// significant digits, which would conflate distinct thresholds and make
+// the cached path serve the wrong bitset.
+std::string PredicateKey(const SimplePredicate& p) {
+  std::string key = p.attribute;
+  key.push_back('\0');
+  key.push_back(static_cast<char>('0' + static_cast<int>(p.op)));
+  key.push_back('\0');
+  const Value& v = p.value;
+  if (v.is_double()) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "d%016llx",
+                  (unsigned long long)std::bit_cast<uint64_t>(v.AsDouble()));
+    key += buf;
+  } else if (v.is_int()) {
+    key.push_back('i');
+    key += std::to_string(v.AsInt());
+  } else if (v.is_string()) {
+    key.push_back('s');
+    key += v.AsString();
+  } else {
+    key.push_back('n');
+  }
+  return key;
+}
+
+}  // namespace
+
+EvalEngine::EvalEngine(const Table& table, bool cache_enabled)
+    : table_(table), cache_enabled_(cache_enabled) {
+  for (size_t c = 0; c < table_.NumColumns(); ++c) {
+    column_slots_.emplace_back();
+  }
+}
+
+PredicateId EvalEngine::Intern(const SimplePredicate& pred) {
+  const std::string key = PredicateKey(pred);
+  {
+    std::shared_lock lock(intern_mu_);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(intern_mu_);
+  auto [it, inserted] =
+      ids_.emplace(key, static_cast<PredicateId>(slots_.size()));
+  if (inserted) {
+    slots_.emplace_back();
+    slots_.back().pred = pred;
+    n_interned_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
+const Bitset& EvalEngine::PredicateBits(PredicateId id) {
+  PredicateSlot* slot;
+  {
+    std::shared_lock lock(intern_mu_);
+    slot = &slots_[id];
+  }
+  bool built = false;
+  std::call_once(slot->once, [&] {
+    // The single-atom reference evaluation guarantees agreement with
+    // Pattern::Evaluate (and, via the property tests, with Matches).
+    slot->bits = Pattern({slot->pred}).Evaluate(table_);
+    built = true;
+    n_materialized_.fetch_add(1, std::memory_order_relaxed);
+  });
+  if (!built) n_bitset_hits_.fetch_add(1, std::memory_order_relaxed);
+  return slot->bits;
+}
+
+Bitset EvalEngine::Evaluate(const Pattern& pattern) {
+  if (!cache_enabled_) {
+    n_bypass_evals_.fetch_add(1, std::memory_order_relaxed);
+    return pattern.Evaluate(table_);
+  }
+  n_pattern_evals_.fetch_add(1, std::memory_order_relaxed);
+  Bitset out(table_.NumRows());
+  out.SetAll();
+  for (const auto& p : pattern.predicates()) {
+    out &= PredicateBits(Intern(p));
+  }
+  return out;
+}
+
+Bitset EvalEngine::EvaluateOn(const Pattern& pattern, const Bitset& mask) {
+  Bitset out = Evaluate(pattern);
+  out &= mask;
+  return out;
+}
+
+const NumericColumnView& EvalEngine::Numeric(size_t col) {
+  ColumnSlot& slot = column_slots_[col];
+  std::call_once(slot.once, [&] {
+    const Column& c = table_.column(col);
+    const size_t n = table_.NumRows();
+    slot.view.values.resize(n);
+    slot.view.valid = Bitset(n);
+    for (size_t r = 0; r < n; ++r) {
+      if (c.IsNull(r)) {
+        slot.view.values[r] = std::nan("");
+      } else {
+        slot.view.values[r] = c.GetNumeric(r);
+        slot.view.valid.Set(r);
+      }
+    }
+    n_views_built_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return slot.view;
+}
+
+size_t EvalEngine::NumInterned() const {
+  std::shared_lock lock(intern_mu_);
+  return slots_.size();
+}
+
+EvalEngineStats EvalEngine::Stats() const {
+  EvalEngineStats s;
+  s.predicates_interned = n_interned_.load(std::memory_order_relaxed);
+  s.bitsets_materialized = n_materialized_.load(std::memory_order_relaxed);
+  s.bitset_hits = n_bitset_hits_.load(std::memory_order_relaxed);
+  s.pattern_evals = n_pattern_evals_.load(std::memory_order_relaxed);
+  s.bypass_evals = n_bypass_evals_.load(std::memory_order_relaxed);
+  s.column_views_built = n_views_built_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace causumx

@@ -1,0 +1,128 @@
+// Shared evaluation engine: interned atomic predicates with lazily
+// materialized, cached row bitsets, plus cached numeric column views.
+//
+// One EvalEngine instance is bound to one Table and shared by every
+// component that evaluates patterns against it — the grouping/treatment
+// miners, the effect estimator, the baselines, and interactive
+// exploration sessions. Each atomic SimplePredicate is interned into a
+// dense id; its matching-row Bitset is computed once per table
+// (thread-safe — the phase-2 thread pool hits the cache concurrently)
+// and conjunctive Patterns evaluate as ANDs of cached bitsets instead of
+// row-at-a-time Value comparisons. The lattice structure of treatment
+// mining makes this pay off: every level-(d+1) pattern reuses the d+1
+// atom bitsets its ancestors already materialized.
+//
+// A cache-bypass mode (cache_enabled = false) routes Evaluate through
+// the reference Pattern::Evaluate path so tests can verify the cached
+// path bit-for-bit and benchmarks can quantify the caches.
+
+#ifndef CAUSUMX_ENGINE_EVAL_ENGINE_H_
+#define CAUSUMX_ENGINE_EVAL_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/pattern.h"
+#include "dataset/predicate.h"
+#include "dataset/table.h"
+#include "util/bitset.h"
+
+namespace causumx {
+
+/// Dense id of an interned atomic predicate (valid for one engine).
+using PredicateId = uint32_t;
+
+/// Cumulative cache counters. `bitset_hits` counts atom lookups served
+/// from an already-materialized bitset; `pattern_evals` / `bypass_evals`
+/// split Evaluate/EvaluateOn calls by path.
+struct EvalEngineStats {
+  uint64_t predicates_interned = 0;
+  uint64_t bitsets_materialized = 0;
+  uint64_t bitset_hits = 0;
+  uint64_t pattern_evals = 0;
+  uint64_t bypass_evals = 0;
+  uint64_t column_views_built = 0;
+};
+
+/// Cached numeric view of one column: GetNumeric for every row (NaN on
+/// null) plus the non-null mask, as flat arrays for hot loops.
+struct NumericColumnView {
+  std::vector<double> values;
+  Bitset valid;
+};
+
+/// Pattern-evaluation engine bound to one table.
+///
+/// Thread-safe: Intern/PredicateBits/Evaluate/EvaluateOn/Numeric may be
+/// called concurrently; each predicate bitset and column view is
+/// materialized exactly once. The table must outlive the engine.
+class EvalEngine {
+ public:
+  explicit EvalEngine(const Table& table, bool cache_enabled = true);
+
+  EvalEngine(const EvalEngine&) = delete;
+  EvalEngine& operator=(const EvalEngine&) = delete;
+
+  const Table& table() const { return table_; }
+  bool cache_enabled() const { return cache_enabled_; }
+
+  /// Interns an atomic predicate, returning its dense id. Idempotent:
+  /// structurally equal predicates intern to the same id.
+  PredicateId Intern(const SimplePredicate& pred);
+
+  /// The matching-row bitset of an interned predicate, materialized on
+  /// first use (agrees bit-for-bit with Pattern::Evaluate / Matches).
+  const Bitset& PredicateBits(PredicateId id);
+
+  /// Batched pattern evaluation. Cached path: AND of cached atom
+  /// bitsets. Bypass path: Pattern::Evaluate. Bit-identical either way.
+  Bitset Evaluate(const Pattern& pattern);
+
+  /// Evaluate restricted to rows where `mask` is set.
+  Bitset EvaluateOn(const Pattern& pattern, const Bitset& mask);
+
+  /// Cached numeric view of column `col` (by index), built on first use.
+  const NumericColumnView& Numeric(size_t col);
+
+  /// Number of distinct predicates interned so far.
+  size_t NumInterned() const;
+
+  /// Snapshot of the cache counters.
+  EvalEngineStats Stats() const;
+
+ private:
+  struct PredicateSlot {
+    SimplePredicate pred;
+    std::once_flag once;
+    Bitset bits;
+  };
+  struct ColumnSlot {
+    std::once_flag once;
+    NumericColumnView view;
+  };
+
+  const Table& table_;  // not owned; must outlive the engine.
+  const bool cache_enabled_;
+
+  mutable std::shared_mutex intern_mu_;
+  std::unordered_map<std::string, PredicateId> ids_;
+  std::deque<PredicateSlot> slots_;  // deque: stable refs while growing.
+  std::deque<ColumnSlot> column_slots_;
+
+  std::atomic<uint64_t> n_interned_{0};
+  std::atomic<uint64_t> n_materialized_{0};
+  std::atomic<uint64_t> n_bitset_hits_{0};
+  std::atomic<uint64_t> n_pattern_evals_{0};
+  std::atomic<uint64_t> n_bypass_evals_{0};
+  std::atomic<uint64_t> n_views_built_{0};
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_ENGINE_EVAL_ENGINE_H_

@@ -33,11 +33,13 @@ struct Itemset {
 
 std::vector<FrequentPattern> MineFrequentPatterns(
     const Table& table, const std::vector<std::string>& attributes,
-    const AprioriOptions& opt) {
+    const AprioriOptions& opt, EvalEngine* engine) {
   const size_t n = table.NumRows();
   const size_t min_count = static_cast<size_t>(opt.min_support * n);
 
-  // Level 1: single items with support counting.
+  // Level 1: single items with support counting. With an engine, item
+  // bitsets come from the shared predicate cache (materialized once per
+  // table and reused by every other engine client).
   std::vector<Itemset> level;
   for (const auto& attr_name : attributes) {
     auto idx = table.ColumnIndex(attr_name);
@@ -47,7 +49,10 @@ std::vector<FrequentPattern> MineFrequentPatterns(
     for (const Value& v : col.DistinctValues()) {
       Item item{*idx, v, v.ToString()};
       Bitset rows(n);
-      if (col.type() == ColumnType::kCategorical) {
+      if (engine != nullptr) {
+        rows = engine->Evaluate(
+            Pattern({SimplePredicate(attr_name, CompareOp::kEq, v)}));
+      } else if (col.type() == ColumnType::kCategorical) {
         const int32_t code = col.CodeOf(v.AsString());
         for (size_t r = 0; r < n; ++r) {
           if (col.GetCode(r) == code) rows.Set(r);

@@ -12,6 +12,7 @@
 
 #include "dataset/pattern.h"
 #include "dataset/table.h"
+#include "engine/eval_engine.h"
 #include "util/bitset.h"
 
 namespace causumx {
@@ -39,9 +40,13 @@ struct AprioriOptions {
 /// Only `=` items are generated (grouping patterns are equality patterns
 /// over FD-determined attributes; treatment mining handles ordered
 /// predicates separately).
+///
+/// When `engine` is non-null, level-1 item bitsets are served from (and
+/// interned into) its shared predicate cache, so grouping mining, the
+/// rule-mining baselines, and treatment estimation all reuse one copy.
 std::vector<FrequentPattern> MineFrequentPatterns(
     const Table& table, const std::vector<std::string>& attributes,
-    const AprioriOptions& options = {});
+    const AprioriOptions& options = {}, EvalEngine* engine = nullptr);
 
 }  // namespace causumx
 

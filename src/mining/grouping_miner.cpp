@@ -32,12 +32,12 @@ Bitset ComputeGroupCoverage(const AggregateView& view, const Bitset& rows) {
 std::vector<GroupingPattern> MineGroupingPatterns(
     const Table& table, const AggregateView& view,
     const std::vector<std::string>& grouping_attributes,
-    const GroupingMinerOptions& opt) {
+    const GroupingMinerOptions& opt, EvalEngine* engine) {
   std::vector<GroupingPattern> candidates;
 
   // Frequent patterns over the FD attributes.
   const std::vector<FrequentPattern> frequent =
-      MineFrequentPatterns(table, grouping_attributes, opt.apriori);
+      MineFrequentPatterns(table, grouping_attributes, opt.apriori, engine);
   candidates.reserve(frequent.size());
   for (const auto& fp : frequent) {
     GroupingPattern gp;

@@ -41,11 +41,12 @@ struct GroupingMinerOptions {
 ///
 /// `grouping_attributes` must all satisfy A_gb -> W (use
 /// PartitionAttributes). Coverage follows Definition 4.4: a pattern covers
-/// group s iff every tuple of s satisfies it.
+/// group s iff every tuple of s satisfies it. When `engine` is non-null,
+/// item bitsets are served from its shared predicate cache.
 std::vector<GroupingPattern> MineGroupingPatterns(
     const Table& table, const AggregateView& view,
     const std::vector<std::string>& grouping_attributes,
-    const GroupingMinerOptions& options = {});
+    const GroupingMinerOptions& options = {}, EvalEngine* engine = nullptr);
 
 }  // namespace causumx
 

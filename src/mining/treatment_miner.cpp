@@ -107,13 +107,14 @@ std::vector<ScoredTreatment> MineTopKTreatments(
             [](const ScoredTreatment& a, const ScoredTreatment& b) {
               return std::fabs(a.effect.cate) > std::fabs(b.effect.cate);
             });
-  // Drop patterns whose treated set duplicates a stronger pattern's.
+  // Drop patterns whose treated set duplicates a stronger pattern's
+  // (treated sets come from the engine's cached bitsets).
   std::vector<ScoredTreatment> out;
   std::unordered_set<uint64_t> seen_rows;
-  const Table& table = estimator.table();
+  EvalEngine& engine = *estimator.engine();
   for (auto& st : survivors) {
     if (out.size() >= k) break;
-    const uint64_t h = st.pattern.EvaluateOn(table, subpopulation).Hash();
+    const uint64_t h = engine.EvaluateOn(st.pattern, subpopulation).Hash();
     if (!seen_rows.insert(h).second) continue;
     out.push_back(std::move(st));
   }
@@ -143,11 +144,15 @@ std::optional<ScoredTreatment> RunLatticeWalk(
     }
   }
 
-  // Near-zero threshold scaled by the outcome spread in the subpopulation.
-  const Column& y_col = table.column(outcome);
+  // Near-zero threshold scaled by the outcome spread in the subpopulation
+  // (outcome reads go through the engine's cached numeric view).
+  EvalEngine& engine = *estimator.engine();
+  table.column(outcome);  // throws on an unknown outcome attribute
+  const NumericColumnView& y_view =
+      engine.Numeric(*table.ColumnIndex(outcome));
   RunningStats y_stats;
   for (size_t r : subpopulation.ToIndices()) {
-    if (!y_col.IsNull(r)) y_stats.Add(y_col.GetNumeric(r));
+    if (y_view.valid.Test(r)) y_stats.Add(y_view.values[r]);
   }
   const double near_zero = opt.near_zero_fraction * y_stats.StdDev();
   const size_t subpop_size = y_stats.Count();
@@ -159,9 +164,21 @@ std::optional<ScoredTreatment> RunLatticeWalk(
   auto evaluate = [&](const Pattern& p) -> Node {
     Node node;
     node.pattern = p;
+    if (stats) ++stats->patterns_evaluated;
+    // Cheap overlap reject before the full estimate: a lattice child's
+    // treated set is its parent's set AND one cached atom bitset, so the
+    // raw treated count costs a few word-wise ANDs. The raw count upper
+    // bounds est.n_treated (which is further shrunk by the null-outcome
+    // filter and sampling), so every pattern skipped here would have
+    // been rejected by the est.n_treated check below anyway. In bypass
+    // mode the pre-check would be a full table scan, not a cache hit, so
+    // it is skipped there (same results, pre-engine work profile).
+    if (engine.cache_enabled() &&
+        engine.EvaluateOn(p, subpopulation).Count() < min_treated) {
+      return node;
+    }
     const EffectEstimate est =
         estimator.EstimateCate(p, outcome, subpopulation);
-    if (stats) ++stats->patterns_evaluated;
     if (!est.valid || est.n_treated < min_treated) return node;
     node.cate = est.cate;
     node.p_value = est.p_value;

@@ -199,6 +199,91 @@ TEST(CauSumXTest, EmptyViewHandled) {
   EXPECT_TRUE(result.summary.explanations.empty());
 }
 
+// The engine caches are an optimization, not a semantics change: a run
+// with the predicate-bitset cache + CATE memo enabled must produce
+// bitwise-identical explanations to a cache-bypass run.
+TEST(CauSumXTest, CachedAndBypassRunsAreBitIdentical) {
+  SyntheticOptions opt;
+  opt.num_rows = 1500;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  CauSumXConfig config = SyntheticConfig(ds);
+  config.num_threads = 2;
+
+  config.disable_eval_cache = false;
+  const auto cached = RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+  config.disable_eval_cache = true;
+  const auto bypass = RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+
+  ASSERT_EQ(cached.summary.explanations.size(),
+            bypass.summary.explanations.size());
+  ASSERT_FALSE(cached.summary.explanations.empty());
+  EXPECT_EQ(cached.summary.total_explainability,
+            bypass.summary.total_explainability);
+  EXPECT_EQ(cached.treatment_patterns_evaluated,
+            bypass.treatment_patterns_evaluated);
+  for (size_t i = 0; i < cached.summary.explanations.size(); ++i) {
+    const Explanation& a = cached.summary.explanations[i];
+    const Explanation& b = bypass.summary.explanations[i];
+    EXPECT_EQ(a.grouping_pattern.ToString(), b.grouping_pattern.ToString());
+    ASSERT_EQ(a.positive.has_value(), b.positive.has_value());
+    if (a.positive) {
+      EXPECT_EQ(a.positive->pattern.ToString(), b.positive->pattern.ToString());
+      EXPECT_EQ(a.positive->effect.cate, b.positive->effect.cate);
+      EXPECT_EQ(a.positive->effect.p_value, b.positive->effect.p_value);
+    }
+    ASSERT_EQ(a.negative.has_value(), b.negative.has_value());
+    if (a.negative) {
+      EXPECT_EQ(a.negative->pattern.ToString(), b.negative->pattern.ToString());
+      EXPECT_EQ(a.negative->effect.cate, b.negative->effect.cate);
+      EXPECT_EQ(a.negative->effect.p_value, b.negative->effect.p_value);
+    }
+  }
+  // The cached run exercised the caches; the bypass run did not.
+  EXPECT_GT(cached.cache_stats.eval.bitsets_materialized, 0u);
+  EXPECT_GT(cached.cache_stats.estimator.memo_hits, 0u);
+  EXPECT_EQ(bypass.cache_stats.eval.bitsets_materialized, 0u);
+  EXPECT_EQ(bypass.cache_stats.estimator.memo_hits, 0u);
+}
+
+TEST(CauSumXTest, CacheStatsReported) {
+  SyntheticOptions opt;
+  opt.num_rows = 1000;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  const auto result =
+      RunCauSumX(ds.table, ds.default_query, ds.dag, SyntheticConfig(ds));
+  const EngineCacheStats& stats = result.cache_stats;
+  EXPECT_GT(stats.eval.predicates_interned, 0u);
+  EXPECT_GT(stats.eval.bitsets_materialized, 0u);
+  // Each atom's bitset is looked up far more often than it is built.
+  EXPECT_GT(stats.eval.bitset_hits, stats.eval.bitsets_materialized);
+  // With both signs mined, the negative walk's level-1 estimates are all
+  // memo hits from the positive walk.
+  EXPECT_GT(stats.estimator.memo_hits, 0u);
+  EXPECT_GT(stats.estimator.memo_misses, 0u);
+}
+
+// Regression test for the config footgun: mutating apriori_support after
+// construction must reach the grouping miner (the ctor also copies it
+// into grouping.apriori.min_support; RunCauSumX re-propagates).
+TEST(CauSumXTest, AprioriSupportMutationPropagates) {
+  SyntheticOptions opt;
+  opt.num_rows = 1500;
+  const GeneratedDataset ds = MakeSyntheticDataset(opt);
+  CauSumXConfig config = SyntheticConfig(ds);
+
+  config.apriori_support = 0.001;  // mutate after construction
+  const auto loose = MineExplanationCandidates(ds.table, ds.default_query,
+                                               ds.dag, config);
+  config.apriori_support = 0.99;
+  const auto strict = MineExplanationCandidates(ds.table, ds.default_query,
+                                                ds.dag, config);
+  ASSERT_GT(loose.num_grouping_candidates, 0u);
+  // At 99% support, only near-universal patterns survive; if the mutated
+  // value were ignored (stale ctor copy = 0.1), both runs would mine the
+  // same candidate set.
+  EXPECT_LT(strict.num_grouping_candidates, loose.num_grouping_candidates);
+}
+
 // Parameterized sweep over k: explainability is monotone non-decreasing
 // in the budget (the Fig. 9(a) phenomenon).
 class CauSumXVaryK : public ::testing::TestWithParam<size_t> {};

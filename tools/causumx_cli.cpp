@@ -5,7 +5,13 @@
 //   causumx --csv data.csv --group-by Country --avg Salary \
 //           [--dag graph.txt | --discover pc|fci|lingam|nodag] \
 //           [--k 5] [--theta 0.75] [--support 0.1] [--alpha 0.05] \
-//           [--where "Attr=value"] [--json] [--top-treatments N]
+//           [--where "Attr=value"] [--json] [--top-treatments N] \
+//           [--stats] [--no-cache]
+//
+// --stats prints the evaluation-engine cache counters (interned
+// predicates, materialized bitsets, estimator memo hits/misses) after
+// the summary; --no-cache runs with the caches bypassed (debugging /
+// benchmarking the uncached path).
 //
 // Without --dag/--discover, the No-DAG strawman is used (and a warning
 // printed): supply domain knowledge for trustworthy effects.
@@ -41,6 +47,8 @@ struct CliOptions {
   std::string where;
   bool json = false;
   size_t top_treatments = 0;
+  bool stats = false;
+  bool no_cache = false;
 };
 
 void PrintUsage() {
@@ -49,7 +57,7 @@ void PrintUsage() {
                "               [--dag FILE | --discover pc|fci|lingam|nodag]\n"
                "               [--k N] [--theta F] [--support F] [--alpha F]\n"
                "               [--where \"Attr=value\"] [--json]\n"
-               "               [--top-treatments N]\n");
+               "               [--top-treatments N] [--stats] [--no-cache]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opt) {
@@ -106,6 +114,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->where = v;
     } else if (arg == "--json") {
       opt->json = true;
+    } else if (arg == "--stats") {
+      opt->stats = true;
+    } else if (arg == "--no-cache") {
+      opt->no_cache = true;
     } else if (arg == "--top-treatments") {
       const char* v = next();
       if (!v) return false;
@@ -201,6 +213,7 @@ int main(int argc, char** argv) {
     config.theta = opt.theta;
     config.apriori_support = opt.support;
     config.treatment.alpha = opt.alpha;
+    config.disable_eval_cache = opt.no_cache;
 
     ExplorationSession session(table, query, dag, config);
     const ExplanationSummary summary = session.Solve();
@@ -227,6 +240,28 @@ int main(int argc, char** argv) {
                                                opt.top_treatments),
                          style);
       }
+    }
+    if (opt.stats) {
+      const EngineCacheStats stats = session.CacheStats();
+      const PhaseTimer& timings = session.MiningResult().timings;
+      std::printf("\nengine cache stats%s:\n",
+                  opt.no_cache ? " (cache bypassed)" : "");
+      std::printf("  atomic predicates interned   %llu\n",
+                  (unsigned long long)stats.eval.predicates_interned);
+      std::printf("  predicate bitsets built      %llu (served %llu hits)\n",
+                  (unsigned long long)stats.eval.bitsets_materialized,
+                  (unsigned long long)stats.eval.bitset_hits);
+      std::printf("  pattern evals cached/bypass  %llu / %llu\n",
+                  (unsigned long long)stats.eval.pattern_evals,
+                  (unsigned long long)stats.eval.bypass_evals);
+      std::printf("  numeric column views built   %llu\n",
+                  (unsigned long long)stats.eval.column_views_built);
+      std::printf("  estimator memo hits/misses   %llu / %llu\n",
+                  (unsigned long long)stats.estimator.memo_hits,
+                  (unsigned long long)stats.estimator.memo_misses);
+      std::printf("  phase timings                grouping %.3fs, "
+                  "treatment %.3fs\n",
+                  timings.Get("grouping"), timings.Get("treatment"));
     }
     return summary.explanations.empty() ? 1 : 0;
   } catch (const std::exception& e) {
