@@ -28,14 +28,22 @@ EffectEstimate EstimatorContext::EstimateCate(const Pattern& treatment,
     n_misses_.fetch_add(1, std::memory_order_relaxed);
     return ComputeCate(treatment, outcome, subpopulation);
   }
-  const MemoKey key{treatment.Hash(), subpopulation.Hash(),
-                    subpopulation.Count(), outcome};
+  MemoKey key;
+  key.treatment.reserve(treatment.predicates().size());
+  for (const auto& p : treatment.predicates()) {
+    key.treatment.push_back(engine_->Intern(p));
+  }
+  std::sort(key.treatment.begin(), key.treatment.end());
+  key.outcome = outcome;
+  const uint64_t subpop_hash = subpopulation.Hash();  // O(rows), unlocked
   {
     std::lock_guard<std::mutex> lock(memo_mu_);
+    key.subpop_id = InternSubpopLocked(subpop_hash, subpopulation);
     auto it = memo_.find(key);
     if (it != memo_.end()) {
       n_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.est;
     }
   }
   // Computed outside the lock: concurrent misses on the same key may
@@ -43,10 +51,65 @@ EffectEstimate EstimatorContext::EstimateCate(const Pattern& treatment,
   const EffectEstimate est = ComputeCate(treatment, outcome, subpopulation);
   {
     std::lock_guard<std::mutex> lock(memo_mu_);
-    memo_.emplace(key, est);
+    auto it = memo_.find(key);
+    if (it == memo_.end()) {
+      lru_.push_front(key);
+      MemoEntry entry{est, lru_.begin(), EntryBytes(key)};
+      memo_bytes_ += entry.bytes;
+      memo_.emplace(std::move(key), std::move(entry));
+    }
   }
   n_misses_.fetch_add(1, std::memory_order_relaxed);
   return est;
+}
+
+size_t EstimatorContext::EntryBytes(const MemoKey& key) {
+  // Approximate footprint: key + estimate payload, the LRU list node, and
+  // a flat allowance for the hash-map node/bucket overhead. The key is
+  // stored twice (map node + LRU list node).
+  return 2 * (sizeof(MemoKey) + key.outcome.size() +
+              key.treatment.size() * sizeof(PredicateId)) +
+         sizeof(MemoEntry) + 3 * sizeof(void*) + 64;
+}
+
+uint32_t EstimatorContext::InternSubpopLocked(uint64_t hash,
+                                              const Bitset& subpopulation) {
+  auto& bucket = subpop_ids_[hash];
+  for (const auto& [bits, id] : bucket) {
+    if (bits == subpopulation) return id;
+  }
+  const uint32_t id = next_subpop_id_++;
+  bucket.emplace_back(subpopulation, id);
+  subpop_bytes_ += sizeof(std::pair<Bitset, uint32_t>) +
+                   ((subpopulation.size() + 63) / 64) * sizeof(uint64_t) + 32;
+  return id;
+}
+
+size_t EstimatorContext::CacheBytes() const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  return memo_bytes_ + subpop_bytes_;
+}
+
+size_t EstimatorContext::EvictLru(size_t bytes_to_free) {
+  if (bytes_to_free == 0) return 0;
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  size_t freed = 0;
+  while (freed < bytes_to_free && !lru_.empty()) {
+    auto it = memo_.find(lru_.back());
+    freed += it->second.bytes;
+    memo_bytes_ -= it->second.bytes;
+    memo_.erase(it);
+    lru_.pop_back();
+    n_evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Once no memo entry references a subpopulation id, the intern table's
+  // retained bitset copies are pure overhead — drop them too.
+  if (memo_.empty() && subpop_bytes_ > 0) {
+    freed += subpop_bytes_;
+    subpop_bytes_ = 0;
+    subpop_ids_.clear();
+  }
+  return freed;
 }
 
 EffectEstimate EstimatorContext::ComputeCate(const Pattern& treatment,
@@ -285,6 +348,10 @@ EstimatorCacheStats EstimatorContext::Stats() const {
   EstimatorCacheStats s;
   s.memo_hits = n_hits_.load(std::memory_order_relaxed);
   s.memo_misses = n_misses_.load(std::memory_order_relaxed);
+  s.memo_evicted = n_evicted_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  s.memo_entries = memo_.size();
+  s.memo_bytes = memo_bytes_;
   return s;
 }
 

@@ -18,11 +18,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "causal/dag.h"
 #include "causal/estimator_types.h"
@@ -32,10 +35,14 @@
 
 namespace causumx {
 
-/// Cumulative memoization counters of one context.
+/// Cumulative memoization counters of one context. `memo_entries` /
+/// `memo_bytes` are current (not cumulative) accounted sizes.
 struct EstimatorCacheStats {
   uint64_t memo_hits = 0;
   uint64_t memo_misses = 0;
+  uint64_t memo_evicted = 0;
+  size_t memo_entries = 0;
+  size_t memo_bytes = 0;
 };
 
 class EstimatorContext {
@@ -62,30 +69,60 @@ class EstimatorContext {
   const EstimatorOptions& options() const { return options_; }
   const std::shared_ptr<EvalEngine>& engine() const { return engine_; }
 
+  /// Accounted bytes of the CATE memo (the evictable cache).
+  size_t CacheBytes() const;
+
+  /// Evicts least-recently-used memo entries until at least
+  /// `bytes_to_free` accounted bytes are released (or the memo is empty).
+  /// Returns the bytes actually freed. Evicted estimates recompute on the
+  /// next request, bit-identically.
+  size_t EvictLru(size_t bytes_to_free);
+
   EstimatorCacheStats Stats() const;
 
  private:
+  // Exact memo key: the treatment as its sorted engine-interned predicate
+  // ids (interning encodes numeric constants exactly, unlike
+  // Value::ToString's 6-digit rounding) and the subpopulation as a dense
+  // id assigned by exact bit-content comparison. Hash-only keys would let
+  // a 64-bit collision silently return the wrong cached estimate — the
+  // same bug class the top-k treated-set dedup guards against — and a
+  // long-lived service memo sees enough entries to care.
   struct MemoKey {
-    uint64_t treatment_hash;
-    uint64_t subpop_hash;
-    uint64_t subpop_count;
+    std::vector<PredicateId> treatment;  // sorted, interned: exact
     std::string outcome;
+    uint32_t subpop_id;
 
     bool operator==(const MemoKey& other) const {
-      return treatment_hash == other.treatment_hash &&
-             subpop_hash == other.subpop_hash &&
-             subpop_count == other.subpop_count && outcome == other.outcome;
+      return subpop_id == other.subpop_id && treatment == other.treatment &&
+             outcome == other.outcome;
     }
   };
   struct MemoKeyHash {
     size_t operator()(const MemoKey& k) const {
-      uint64_t h = k.treatment_hash * 0x9E3779B97F4A7C15ULL;
-      h ^= k.subpop_hash + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-      h ^= k.subpop_count + (h << 6) + (h >> 2);
+      uint64_t h = 0xcbf29ce484222325ULL;
+      for (PredicateId id : k.treatment) {
+        h = (h ^ id) * 0x100000001B3ULL;
+      }
+      h = (h ^ k.subpop_id) * 0x100000001B3ULL;
       h ^= std::hash<std::string>{}(k.outcome) + (h << 6) + (h >> 2);
       return static_cast<size_t>(h);
     }
   };
+
+  struct MemoEntry {
+    EffectEstimate est;
+    std::list<MemoKey>::iterator lru_it;  // position in lru_
+    size_t bytes = 0;
+  };
+
+  static size_t EntryBytes(const MemoKey& key);
+
+  /// Dense id of a subpopulation by exact bit content (a copy of each
+  /// distinct bitset is kept; distinct subpopulations are few — one per
+  /// grouping pattern). `hash` is the bitset's precomputed Hash() so the
+  /// O(rows) hashing happens outside the lock. Requires memo_mu_.
+  uint32_t InternSubpopLocked(uint64_t hash, const Bitset& subpopulation);
 
   /// The actual estimation (regression adjustment or IPW), uncached.
   EffectEstimate ComputeCate(const Pattern& treatment,
@@ -96,10 +133,22 @@ class EstimatorContext {
   CausalDag dag_;  // owned copy (DAGs are tiny; avoids lifetime traps).
   EstimatorOptions options_;
 
-  std::mutex memo_mu_;
-  std::unordered_map<MemoKey, EffectEstimate, MemoKeyHash> memo_;
+  mutable std::mutex memo_mu_;
+  std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> memo_;
+  std::list<MemoKey> lru_;  // front = most recently used
+  size_t memo_bytes_ = 0;   // guarded by memo_mu_
+  /// Subpopulation intern table: Bitset::Hash bucket -> (bits, id), with
+  /// exact comparison on bucket hits. Its retained bitset copies are
+  /// byte-accounted (subpop_bytes_) so the memory budget sees them, and
+  /// the table is dropped wholesale whenever eviction empties the memo
+  /// (no memo entry references an id then). Guarded by memo_mu_.
+  std::unordered_map<uint64_t, std::vector<std::pair<Bitset, uint32_t>>>
+      subpop_ids_;
+  uint32_t next_subpop_id_ = 0;
+  size_t subpop_bytes_ = 0;  // guarded by memo_mu_
   std::atomic<uint64_t> n_hits_{0};
   std::atomic<uint64_t> n_misses_{0};
+  std::atomic<uint64_t> n_evicted_{0};
 };
 
 }  // namespace causumx

@@ -18,7 +18,7 @@ CandidateMiningResult MineExplanationCandidates(const Table& table,
 CandidateMiningResult MineExplanationCandidates(
     const Table& table, const GroupByAvgQuery& query, const CausalDag& dag,
     const CauSumXConfig& config, std::shared_ptr<EvalEngine> engine,
-    std::shared_ptr<EstimatorContext> estimator_ctx) {
+    std::shared_ptr<EstimatorContext> estimator_ctx, ThreadPool* pool) {
   if (engine == nullptr) {
     engine =
         std::make_shared<EvalEngine>(table, !config.disable_eval_cache);
@@ -83,9 +83,7 @@ CandidateMiningResult MineExplanationCandidates(
 
   std::vector<Explanation> candidates(grouping.size());
   std::atomic<size_t> evaluated{0};
-  ThreadPool pool(config.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                          : config.num_threads);
-  pool.ParallelFor(grouping.size(), [&](size_t gi) {
+  const auto mine_one = [&](size_t gi) {
     const GroupingPattern& gp = grouping[gi];
     Explanation exp;
     exp.grouping_pattern = gp.pattern;
@@ -104,7 +102,20 @@ CandidateMiningResult MineExplanationCandidates(
     }
     evaluated.fetch_add(stats.patterns_evaluated);
     candidates[gi] = std::move(exp);
-  });
+  };
+  const size_t num_threads = config.num_threads == 0
+                                 ? ThreadPool::DefaultThreads()
+                                 : config.num_threads;
+  if (pool != nullptr) {
+    pool->ParallelFor(grouping.size(), mine_one);
+  } else if (num_threads <= 1 || grouping.size() <= 1) {
+    // Serial: don't spin up a one-worker pool whose worker would idle
+    // while ParallelFor runs inline anyway.
+    for (size_t gi = 0; gi < grouping.size(); ++gi) mine_one(gi);
+  } else {
+    ThreadPool private_pool(num_threads);
+    private_pool.ParallelFor(grouping.size(), mine_one);
+  }
   result.treatment_patterns_evaluated = evaluated.load();
 
   // Drop grouping patterns for which no treatment was found (no causal

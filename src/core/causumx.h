@@ -28,6 +28,8 @@
 
 namespace causumx {
 
+class ThreadPool;
+
 /// Which solver phase 3 uses (the ablation of Section 6.4).
 enum class FinalStepSolver { kLpRounding, kGreedy, kExact };
 
@@ -107,11 +109,15 @@ CandidateMiningResult MineExplanationCandidates(const Table& table,
 /// so repeated runs — exploration sessions, baseline comparisons — share
 /// one predicate-bitset cache. Pass nullptr to create a private engine.
 /// `estimator_ctx` (optional, must be bound to the same engine) likewise
-/// shares a CATE memo with the caller.
+/// shares a CATE memo with the caller. `pool` (optional) runs phase 2 on
+/// a caller-owned thread pool — the ExplanationService lends its worker
+/// pool so per-query thread spawning disappears from the warm path;
+/// when null, a private pool of config.num_threads is created.
 CandidateMiningResult MineExplanationCandidates(
     const Table& table, const GroupByAvgQuery& query, const CausalDag& dag,
     const CauSumXConfig& config, std::shared_ptr<EvalEngine> engine,
-    std::shared_ptr<EstimatorContext> estimator_ctx = nullptr);
+    std::shared_ptr<EstimatorContext> estimator_ctx = nullptr,
+    ThreadPool* pool = nullptr);
 
 /// Phase 3 of Algorithm 1: select <= k candidates covering >= theta * m
 /// groups, maximizing total explainability. `timings` (optional) gains a

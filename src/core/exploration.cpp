@@ -2,20 +2,33 @@
 
 namespace causumx {
 
-ExplorationSession::ExplorationSession(const Table& table,
-                                       GroupByAvgQuery query, CausalDag dag,
-                                       CauSumXConfig config)
-    : table_(table),
+ExplorationSession::ExplorationSession(
+    std::shared_ptr<const Table> table, GroupByAvgQuery query, CausalDag dag,
+    CauSumXConfig config, std::shared_ptr<EvalEngine> engine,
+    std::shared_ptr<EstimatorContext> context)
+    : table_(std::move(table)),
       query_(std::move(query)),
       dag_(std::move(dag)),
       config_(std::move(config)),
-      engine_(std::make_shared<EvalEngine>(table_,
-                                           !config_.disable_eval_cache)),
-      estimator_(engine_, dag_, config_.estimator) {}
+      engine_(engine != nullptr
+                  ? std::move(engine)
+                  : std::make_shared<EvalEngine>(
+                        table_, !config_.disable_eval_cache)),
+      estimator_(context != nullptr
+                     ? EffectEstimator(std::move(context))
+                     : EffectEstimator(engine_, dag_, config_.estimator)) {}
+
+ExplorationSession::ExplorationSession(const Table& table,
+                                       GroupByAvgQuery query, CausalDag dag,
+                                       CauSumXConfig config)
+    : ExplorationSession(
+          std::shared_ptr<const Table>(std::shared_ptr<const Table>(),
+                                       &table),
+          std::move(query), std::move(dag), std::move(config)) {}
 
 void ExplorationSession::EnsureMined() {
   if (!mined_) {
-    mined_ = MineExplanationCandidates(table_, query_, dag_, config_,
+    mined_ = MineExplanationCandidates(*table_, query_, dag_, config_,
                                        engine_, estimator_.context());
   }
 }
@@ -40,7 +53,7 @@ std::vector<ScoredTreatment> ExplorationSession::TopTreatments(
   EnsureMined();
   Bitset rows;
   if (grouping_pattern.IsEmpty()) {
-    rows = Bitset(table_.NumRows());
+    rows = Bitset(table_->NumRows());
     rows.SetAll();
   } else {
     rows = engine_->Evaluate(grouping_pattern);

@@ -23,7 +23,8 @@ namespace causumx {
 
 /// A mined-once, query-many session over one (table, query, DAG) triple.
 ///
-/// The table must outlive the session. Not thread-safe for concurrent
+/// The session shares ownership of the table, so it stays valid no matter
+/// what the caller does with their handle. Not thread-safe for concurrent
 /// Solve calls with interleaved mining (mining happens once, lazily, on
 /// first use).
 class ExplorationSession {
@@ -31,8 +32,26 @@ class ExplorationSession {
   /// `config` supplies the mining parameters (support threshold,
   /// treatment options, estimator options, attribute allowlists); its
   /// k / theta / solver act only as defaults for Solve().
+  ///
+  /// `engine` / `context` (optional) let the session borrow warm caches —
+  /// typically from an ExplanationService table entry — instead of
+  /// constructing its own; both must be bound to `table` (and `context`
+  /// to `engine`).
+  ExplorationSession(std::shared_ptr<const Table> table,
+                     GroupByAvgQuery query, CausalDag dag,
+                     CauSumXConfig config = {},
+                     std::shared_ptr<EvalEngine> engine = nullptr,
+                     std::shared_ptr<EstimatorContext> context = nullptr);
+
+  /// Convenience binding to a caller-owned table (non-owning; the caller
+  /// guarantees the table outlives the session).
   ExplorationSession(const Table& table, GroupByAvgQuery query,
                      CausalDag dag, CauSumXConfig config = {});
+
+  /// Deleted: a temporary table would be destroyed before the first
+  /// Solve. Move the table into a shared_ptr and use that overload.
+  ExplorationSession(Table&& table, GroupByAvgQuery query, CausalDag dag,
+                     CauSumXConfig config = {}) = delete;
 
   /// Re-solves the selection problem for new size / coverage parameters.
   /// Mining runs on the first call and is reused afterwards.
@@ -68,7 +87,7 @@ class ExplorationSession {
  private:
   void EnsureMined();
 
-  const Table& table_;
+  std::shared_ptr<const Table> table_;
   GroupByAvgQuery query_;
   CausalDag dag_;
   CauSumXConfig config_;

@@ -27,7 +27,7 @@ void Column::AppendInt(int64_t v) {
     throw std::logic_error("AppendInt on non-int column " + name_);
   }
   ints_.push_back(v);
-  distinct_dirty_ = true;
+  cached_distinct_.store(-1, std::memory_order_relaxed);
 }
 
 void Column::AppendDouble(double v) {
@@ -35,7 +35,7 @@ void Column::AppendDouble(double v) {
     throw std::logic_error("AppendDouble on non-double column " + name_);
   }
   doubles_.push_back(v);
-  distinct_dirty_ = true;
+  cached_distinct_.store(-1, std::memory_order_relaxed);
 }
 
 void Column::AppendCategorical(const std::string& v) {
@@ -53,7 +53,7 @@ void Column::AppendCategorical(const std::string& v) {
     code = it->second;
   }
   codes_.push_back(code);
-  distinct_dirty_ = true;
+  cached_distinct_.store(-1, std::memory_order_relaxed);
 }
 
 void Column::AppendNull() {
@@ -68,7 +68,7 @@ void Column::AppendNull() {
       codes_.push_back(kNullCode);
       break;
   }
-  distinct_dirty_ = true;
+  cached_distinct_.store(-1, std::memory_order_relaxed);
 }
 
 void Column::AppendValue(const Value& v) {
@@ -133,17 +133,22 @@ int32_t Column::CodeOf(const std::string& s) const {
 }
 
 size_t Column::NumDistinct() const {
-  if (!distinct_dirty_) return cached_distinct_;
+  const int64_t cached = cached_distinct_.load(std::memory_order_relaxed);
+  if (cached >= 0) return static_cast<size_t>(cached);
+  // Concurrent first calls may each compute the (identical) count; the
+  // last store wins. No data is published through the atomic, so
+  // relaxed ordering suffices.
+  size_t n = 0;
   switch (type_) {
     case ColumnType::kCategorical:
-      cached_distinct_ = dict_.size();
+      n = dict_.size();
       break;
     case ColumnType::kInt64: {
       std::set<int64_t> s;
       for (int64_t v : ints_) {
         if (v != kNullInt) s.insert(v);
       }
-      cached_distinct_ = s.size();
+      n = s.size();
       break;
     }
     case ColumnType::kDouble: {
@@ -151,12 +156,12 @@ size_t Column::NumDistinct() const {
       for (double v : doubles_) {
         if (!std::isnan(v)) s.insert(v);
       }
-      cached_distinct_ = s.size();
+      n = s.size();
       break;
     }
   }
-  distinct_dirty_ = false;
-  return cached_distinct_;
+  cached_distinct_.store(static_cast<int64_t>(n), std::memory_order_relaxed);
+  return n;
 }
 
 std::vector<Value> Column::DistinctValues() const {

@@ -7,6 +7,7 @@
 #ifndef CAUSUMX_DATASET_COLUMN_H_
 #define CAUSUMX_DATASET_COLUMN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -74,8 +75,10 @@ class Column {
   std::vector<std::string> dict_;
   std::unordered_map<std::string, int32_t> dict_index_;
 
-  mutable size_t cached_distinct_ = 0;
-  mutable bool distinct_dirty_ = true;
+  /// Lazily computed distinct count; -1 = stale. Atomic so concurrent
+  /// readers (phase-2 mining workers, service queries) may race only
+  /// into recomputing the same idempotent value.
+  mutable std::atomic<int64_t> cached_distinct_{-1};
 };
 
 }  // namespace causumx

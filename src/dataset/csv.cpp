@@ -35,11 +35,14 @@ bool ParseDouble(const std::string& s, double* out) {
   }
 }
 
-// Splits a CSV line honoring double-quote escaping.
+// Splits a CSV record honoring double-quote escaping. Per RFC 4180 a
+// quote opens a quoted field only at the start of the field; a stray
+// quote mid-field (`5" nails`) is literal content.
 std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
   std::vector<std::string> fields;
   std::string cur;
   bool in_quotes = false;
+  bool at_field_start = true;
   for (size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
     if (in_quotes) {
@@ -53,30 +56,82 @@ std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
       } else {
         cur.push_back(c);
       }
-    } else if (c == '"') {
+    } else if (c == '"' && at_field_start) {
       in_quotes = true;
+      at_field_start = false;
     } else if (c == delim) {
       fields.push_back(cur);
       cur.clear();
+      at_field_start = true;
     } else if (c != '\r') {
       cur.push_back(c);
+      at_field_start = false;
     }
   }
   fields.push_back(cur);
   return fields;
 }
 
+// Advances the RFC 4180 quote/field state across one physical line
+// (mirroring SplitCsvLine's semantics): only a quote at the start of a
+// field opens a quoted field — a stray quote mid-field (`5" nails,3`)
+// is literal — and "" escape pairs keep the field open. A quote that
+// ends the line inside a quoted field closes it, matching the joined
+// record where the next character is the restored '\n'.
+void AdvanceQuoteState(const std::string& line, char delim, bool* in_quotes,
+                       bool* at_field_start) {
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (*in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          ++i;
+        } else {
+          *in_quotes = false;
+        }
+      }
+    } else if (c == '"' && *at_field_start) {
+      *in_quotes = true;
+      *at_field_start = false;
+    } else if (c == delim) {
+      *at_field_start = true;
+    } else {
+      *at_field_start = false;
+    }
+  }
+}
+
+// A record may span physical lines: while it ends inside an open quoted
+// field, the embedded newline getline consumed is restored and the next
+// line appended. The state advances incrementally per appended line, so
+// an L-line record costs O(L), not O(L^2).
+bool ReadCsvRecord(std::istream& in, std::string* record, char delim) {
+  if (!std::getline(in, *record)) return false;
+  bool in_quotes = false;
+  bool at_field_start = true;
+  AdvanceQuoteState(*record, delim, &in_quotes, &at_field_start);
+  while (in_quotes) {
+    std::string next;
+    if (!std::getline(in, next)) break;  // unterminated quote at EOF
+    record->push_back('\n');
+    *record += next;
+    at_field_start = false;  // the joined newline was quoted content
+    AdvanceQuoteState(next, delim, &in_quotes, &at_field_start);
+  }
+  return true;
+}
+
 }  // namespace
 
 Table ReadCsv(std::istream& in, const CsvOptions& opt) {
   std::string line;
-  if (!std::getline(in, line)) {
+  if (!ReadCsvRecord(in, &line, opt.delimiter)) {
     throw std::runtime_error("csv: empty input");
   }
   const std::vector<std::string> header = SplitCsvLine(line, opt.delimiter);
 
   std::vector<std::vector<std::string>> rows;
-  while (std::getline(in, line)) {
+  while (ReadCsvRecord(in, &line, opt.delimiter)) {
     if (line.empty()) continue;
     auto fields = SplitCsvLine(line, opt.delimiter);
     if (fields.size() != header.size()) {
@@ -109,6 +164,27 @@ Table ReadCsv(std::istream& in, const CsvOptions& opt) {
         types[c] = ColumnType::kInt64;
       } else if (any_value && all_num) {
         types[c] = ColumnType::kDouble;
+      }
+    }
+    // The probe prefix can lie: a column typed numeric from the first
+    // `type_inference_rows` rows may hold unparsable cells further down,
+    // which would otherwise be silently nulled out. Validate the rest of
+    // each numeric column and demote on mismatch (kInt64 -> kDouble when
+    // still numeric, else kCategorical) so no value is dropped.
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (types[c] == ColumnType::kCategorical) continue;
+      for (size_t r = probe; r < rows.size(); ++r) {
+        const std::string& s = rows[r][c];
+        if (IsNullToken(s, opt)) continue;
+        int64_t iv;
+        double dv;
+        if (types[c] == ColumnType::kInt64 && !ParseInt(s, &iv)) {
+          types[c] = ColumnType::kDouble;
+        }
+        if (types[c] == ColumnType::kDouble && !ParseDouble(s, &dv)) {
+          types[c] = ColumnType::kCategorical;
+          break;
+        }
       }
     }
   }
@@ -165,7 +241,9 @@ namespace {
 
 std::string EscapeCsv(const std::string& s, char delim) {
   if (s.find(delim) == std::string::npos &&
-      s.find('"') == std::string::npos && s.find('\n') == std::string::npos) {
+      s.find('"') == std::string::npos &&
+      s.find('\n') == std::string::npos &&
+      s.find('\r') == std::string::npos) {
     return s;
   }
   std::string out = "\"";

@@ -1,8 +1,10 @@
 #include "engine/eval_engine.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 namespace causumx {
 
@@ -39,10 +41,23 @@ std::string PredicateKey(const SimplePredicate& p) {
 }  // namespace
 
 EvalEngine::EvalEngine(const Table& table, bool cache_enabled)
-    : table_(table), cache_enabled_(cache_enabled) {
+    : keepalive_(nullptr), table_(table), cache_enabled_(cache_enabled) {
   for (size_t c = 0; c < table_.NumColumns(); ++c) {
     column_slots_.emplace_back();
   }
+}
+
+EvalEngine::EvalEngine(std::shared_ptr<const Table> table, bool cache_enabled)
+    : keepalive_(std::move(table)),
+      table_(*keepalive_),
+      cache_enabled_(cache_enabled) {
+  for (size_t c = 0; c < table_.NumColumns(); ++c) {
+    column_slots_.emplace_back();
+  }
+}
+
+size_t EvalEngine::BitsetBytes(const Bitset& bits) {
+  return sizeof(Bitset) + ((bits.size() + 63) / 64) * sizeof(uint64_t);
 }
 
 PredicateId EvalEngine::Intern(const SimplePredicate& pred) {
@@ -63,21 +78,26 @@ PredicateId EvalEngine::Intern(const SimplePredicate& pred) {
   return it->second;
 }
 
-const Bitset& EvalEngine::PredicateBits(PredicateId id) {
+std::shared_ptr<const Bitset> EvalEngine::PredicateBits(PredicateId id) {
   PredicateSlot* slot;
   {
     std::shared_lock lock(intern_mu_);
     slot = &slots_[id];
   }
-  bool built = false;
-  std::call_once(slot->once, [&] {
+  slot->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(slot->mu);
+  if (slot->bits == nullptr) {
     // The single-atom reference evaluation guarantees agreement with
     // Pattern::Evaluate (and, via the property tests, with Matches).
-    slot->bits = Pattern({slot->pred}).Evaluate(table_);
-    built = true;
+    slot->bits =
+        std::make_shared<const Bitset>(Pattern({slot->pred}).Evaluate(table_));
     n_materialized_.fetch_add(1, std::memory_order_relaxed);
-  });
-  if (!built) n_bitset_hits_.fetch_add(1, std::memory_order_relaxed);
+    bitset_bytes_.fetch_add(BitsetBytes(*slot->bits),
+                            std::memory_order_relaxed);
+  } else {
+    n_bitset_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
   return slot->bits;
 }
 
@@ -90,7 +110,7 @@ Bitset EvalEngine::Evaluate(const Pattern& pattern) {
   Bitset out(table_.NumRows());
   out.SetAll();
   for (const auto& p : pattern.predicates()) {
-    out &= PredicateBits(Intern(p));
+    out &= *PredicateBits(Intern(p));
   }
   return out;
 }
@@ -117,6 +137,8 @@ const NumericColumnView& EvalEngine::Numeric(size_t col) {
       }
     }
     n_views_built_.fetch_add(1, std::memory_order_relaxed);
+    view_bytes_.fetch_add(n * sizeof(double) + BitsetBytes(slot.view.valid),
+                          std::memory_order_relaxed);
   });
   return slot.view;
 }
@@ -126,14 +148,56 @@ size_t EvalEngine::NumInterned() const {
   return slots_.size();
 }
 
+size_t EvalEngine::CacheBytes() const {
+  return bitset_bytes_.load(std::memory_order_relaxed);
+}
+
+size_t EvalEngine::EvictLru(size_t bytes_to_free) {
+  if (bytes_to_free == 0) return 0;
+  // Snapshot (stamp, id) pairs oldest-first. A reader racing with the
+  // scan may re-stamp or rebuild a slot; that only makes eviction
+  // slightly less than perfectly LRU, never incorrect — readers hold the
+  // bits by shared_ptr and evicted entries rebuild on demand.
+  std::vector<std::pair<uint64_t, PredicateId>> order;
+  {
+    std::shared_lock lock(intern_mu_);
+    order.reserve(slots_.size());
+    for (PredicateId id = 0; id < slots_.size(); ++id) {
+      order.emplace_back(slots_[id].last_used.load(std::memory_order_relaxed),
+                         id);
+    }
+  }
+  std::sort(order.begin(), order.end());
+  size_t freed = 0;
+  for (const auto& [stamp, id] : order) {
+    if (freed >= bytes_to_free) break;
+    PredicateSlot* slot;
+    {
+      std::shared_lock lock(intern_mu_);
+      slot = &slots_[id];
+    }
+    std::lock_guard<std::mutex> lk(slot->mu);
+    if (slot->bits != nullptr) {
+      freed += BitsetBytes(*slot->bits);
+      slot->bits.reset();
+      n_evicted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  bitset_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+  return freed;
+}
+
 EvalEngineStats EvalEngine::Stats() const {
   EvalEngineStats s;
   s.predicates_interned = n_interned_.load(std::memory_order_relaxed);
   s.bitsets_materialized = n_materialized_.load(std::memory_order_relaxed);
   s.bitset_hits = n_bitset_hits_.load(std::memory_order_relaxed);
+  s.bitsets_evicted = n_evicted_.load(std::memory_order_relaxed);
   s.pattern_evals = n_pattern_evals_.load(std::memory_order_relaxed);
   s.bypass_evals = n_bypass_evals_.load(std::memory_order_relaxed);
   s.column_views_built = n_views_built_.load(std::memory_order_relaxed);
+  s.bitset_bytes = bitset_bytes_.load(std::memory_order_relaxed);
+  s.view_bytes = view_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -12,6 +12,12 @@
 // mining makes this pay off: every level-(d+1) pattern reuses the d+1
 // atom bitsets its ancestors already materialized.
 //
+// Cached bitsets are byte-accounted and individually evictable
+// (EvictLru), so a long-lived engine — e.g. one owned by an
+// ExplanationService table entry serving many queries — can be kept
+// under a memory budget. Eviction only discards cached work: an evicted
+// bitset is rematerialized on next use, bit-identically.
+//
 // A cache-bypass mode (cache_enabled = false) routes Evaluate through
 // the reference Pattern::Evaluate path so tests can verify the cached
 // path bit-for-bit and benchmarks can quantify the caches.
@@ -22,6 +28,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -40,14 +47,18 @@ using PredicateId = uint32_t;
 
 /// Cumulative cache counters. `bitset_hits` counts atom lookups served
 /// from an already-materialized bitset; `pattern_evals` / `bypass_evals`
-/// split Evaluate/EvaluateOn calls by path.
+/// split Evaluate/EvaluateOn calls by path. `bitset_bytes` / `view_bytes`
+/// are current (not cumulative) accounted sizes.
 struct EvalEngineStats {
   uint64_t predicates_interned = 0;
   uint64_t bitsets_materialized = 0;
   uint64_t bitset_hits = 0;
+  uint64_t bitsets_evicted = 0;
   uint64_t pattern_evals = 0;
   uint64_t bypass_evals = 0;
   uint64_t column_views_built = 0;
+  size_t bitset_bytes = 0;
+  size_t view_bytes = 0;
 };
 
 /// Cached numeric view of one column: GetNumeric for every row (NaN on
@@ -59,12 +70,19 @@ struct NumericColumnView {
 
 /// Pattern-evaluation engine bound to one table.
 ///
-/// Thread-safe: Intern/PredicateBits/Evaluate/EvaluateOn/Numeric may be
-/// called concurrently; each predicate bitset and column view is
-/// materialized exactly once. The table must outlive the engine.
+/// Thread-safe: Intern/PredicateBits/Evaluate/EvaluateOn/Numeric/EvictLru
+/// may be called concurrently; each predicate bitset and column view is
+/// materialized at most once between evictions. The table must outlive
+/// the engine (use the shared_ptr constructor to guarantee it).
 class EvalEngine {
  public:
   explicit EvalEngine(const Table& table, bool cache_enabled = true);
+
+  /// Shared-ownership binding: the engine keeps the table alive, so
+  /// registry-style owners (ExplanationService, ExplorationSession) can
+  /// hand out the engine without lifetime coupling to the table holder.
+  explicit EvalEngine(std::shared_ptr<const Table> table,
+                      bool cache_enabled = true);
 
   EvalEngine(const EvalEngine&) = delete;
   EvalEngine& operator=(const EvalEngine&) = delete;
@@ -78,7 +96,9 @@ class EvalEngine {
 
   /// The matching-row bitset of an interned predicate, materialized on
   /// first use (agrees bit-for-bit with Pattern::Evaluate / Matches).
-  const Bitset& PredicateBits(PredicateId id);
+  /// Returned by shared_ptr so a concurrent EvictLru can never pull the
+  /// bits out from under a reader; an evicted entry rebuilds on next use.
+  std::shared_ptr<const Bitset> PredicateBits(PredicateId id);
 
   /// Batched pattern evaluation. Cached path: AND of cached atom
   /// bitsets. Bypass path: Pattern::Evaluate. Bit-identical either way.
@@ -93,20 +113,35 @@ class EvalEngine {
   /// Number of distinct predicates interned so far.
   size_t NumInterned() const;
 
+  /// Accounted bytes of currently materialized predicate bitsets (the
+  /// evictable portion of the cache; numeric views are bounded by the
+  /// table footprint and not evicted).
+  size_t CacheBytes() const;
+
+  /// Evicts least-recently-used predicate bitsets until at least
+  /// `bytes_to_free` accounted bytes are released (or nothing is left to
+  /// evict). Returns the bytes actually freed. Safe to call concurrently
+  /// with evaluation; evicted bitsets rebuild on demand.
+  size_t EvictLru(size_t bytes_to_free);
+
   /// Snapshot of the cache counters.
   EvalEngineStats Stats() const;
 
  private:
   struct PredicateSlot {
     SimplePredicate pred;
-    std::once_flag once;
-    Bitset bits;
+    std::mutex mu;                       // guards `bits` build/evict
+    std::shared_ptr<const Bitset> bits;  // null until materialized/evicted
+    std::atomic<uint64_t> last_used{0};
   };
   struct ColumnSlot {
     std::once_flag once;
     NumericColumnView view;
   };
 
+  static size_t BitsetBytes(const Bitset& bits);
+
+  const std::shared_ptr<const Table> keepalive_;  // may be null (ref ctor)
   const Table& table_;  // not owned; must outlive the engine.
   const bool cache_enabled_;
 
@@ -115,12 +150,16 @@ class EvalEngine {
   std::deque<PredicateSlot> slots_;  // deque: stable refs while growing.
   std::deque<ColumnSlot> column_slots_;
 
+  std::atomic<uint64_t> clock_{0};  // LRU stamp source
   std::atomic<uint64_t> n_interned_{0};
   std::atomic<uint64_t> n_materialized_{0};
   std::atomic<uint64_t> n_bitset_hits_{0};
+  std::atomic<uint64_t> n_evicted_{0};
   std::atomic<uint64_t> n_pattern_evals_{0};
   std::atomic<uint64_t> n_bypass_evals_{0};
   std::atomic<uint64_t> n_views_built_{0};
+  std::atomic<size_t> bitset_bytes_{0};
+  std::atomic<size_t> view_bytes_{0};
 };
 
 }  // namespace causumx

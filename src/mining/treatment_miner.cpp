@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 #include <unordered_set>
+#include <utility>
 
 #include "util/stats.h"
 
@@ -95,6 +96,16 @@ std::optional<ScoredTreatment> MineTopTreatmentWithStats(
                         treatment_attributes, sign, opt, stats, nullptr);
 }
 
+bool InsertUniqueTreatedSet(TreatedSetDedup* seen, uint64_t hash,
+                            Bitset bits) {
+  std::vector<Bitset>& bucket = (*seen)[hash];
+  for (const Bitset& b : bucket) {
+    if (b == bits) return false;
+  }
+  bucket.push_back(std::move(bits));
+  return true;
+}
+
 std::vector<ScoredTreatment> MineTopKTreatments(
     const EffectEstimator& estimator, const Bitset& subpopulation,
     const std::string& outcome,
@@ -110,12 +121,13 @@ std::vector<ScoredTreatment> MineTopKTreatments(
   // Drop patterns whose treated set duplicates a stronger pattern's
   // (treated sets come from the engine's cached bitsets).
   std::vector<ScoredTreatment> out;
-  std::unordered_set<uint64_t> seen_rows;
+  TreatedSetDedup seen_rows;
   EvalEngine& engine = *estimator.engine();
   for (auto& st : survivors) {
     if (out.size() >= k) break;
-    const uint64_t h = engine.EvaluateOn(st.pattern, subpopulation).Hash();
-    if (!seen_rows.insert(h).second) continue;
+    Bitset rows = engine.EvaluateOn(st.pattern, subpopulation);
+    const uint64_t h = rows.Hash();
+    if (!InsertUniqueTreatedSet(&seen_rows, h, std::move(rows))) continue;
     out.push_back(std::move(st));
   }
   return out;

@@ -19,8 +19,10 @@
 #ifndef CAUSUMX_MINING_TREATMENT_MINER_H_
 #define CAUSUMX_MINING_TREATMENT_MINER_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "causal/estimator.h"
@@ -104,6 +106,17 @@ std::vector<ScoredTreatment> MineTopKTreatments(
     const std::string& outcome,
     const std::vector<std::string>& treatment_attributes, TreatmentSign sign,
     size_t k, const TreatmentMinerOptions& options = {});
+
+/// Treated-set dedup map: Bitset::Hash bucket -> the distinct bitsets
+/// seen under that hash.
+using TreatedSetDedup = std::unordered_map<uint64_t, std::vector<Bitset>>;
+
+/// Records `bits` under `hash` unless an equal bitset is already present
+/// in that bucket; returns true when it was new. Comparing actual bit
+/// content on a bucket hit keeps a 64-bit hash collision from conflating
+/// two distinct treated sets. Exposed for the top-k dedup and its tests.
+bool InsertUniqueTreatedSet(TreatedSetDedup* seen, uint64_t hash,
+                            Bitset bits);
 
 }  // namespace causumx
 

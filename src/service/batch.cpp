@@ -1,0 +1,212 @@
+#include "service/batch.h"
+
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "causal/dag_io.h"
+#include "causal/discovery.h"
+#include "core/json_export.h"
+#include "util/json.h"
+#include "util/string_utils.h"
+#include "util/timer.h"
+
+namespace causumx {
+
+SimplePredicate ParseWherePredicate(const std::string& expr,
+                                    const Table& table) {
+  static const std::pair<const char*, CompareOp> kOps[] = {
+      {">=", CompareOp::kGe}, {"<=", CompareOp::kLe}, {"=", CompareOp::kEq},
+      {"<", CompareOp::kLt},  {">", CompareOp::kGt},
+  };
+  for (const auto& [symbol, op] : kOps) {
+    const size_t pos = expr.find(symbol);
+    if (pos == std::string::npos) continue;
+    const std::string attr = Trim(expr.substr(0, pos));
+    const std::string value = Trim(expr.substr(pos + std::strlen(symbol)));
+    auto idx = table.ColumnIndex(attr);
+    if (!idx) throw std::runtime_error("where: unknown attribute " + attr);
+    if (table.column(*idx).type() == ColumnType::kCategorical) {
+      return SimplePredicate(attr, op, Value(value));
+    }
+    return SimplePredicate(attr, op, Value(std::stod(value)));
+  }
+  throw std::runtime_error("where: no operator found in '" + expr + "'");
+}
+
+namespace {
+
+struct BatchResult {
+  bool ok = false;
+  std::string json_line;
+};
+
+std::vector<std::string> ParseGroupBy(const JsonValue& request) {
+  const JsonValue* gb = request.Find("group_by");
+  if (gb == nullptr) {
+    throw std::runtime_error("request is missing \"group_by\"");
+  }
+  std::vector<std::string> out;
+  if (gb->kind() == JsonValue::Kind::kArray) {
+    for (const auto& v : gb->AsArray()) out.push_back(v.AsString());
+  } else {
+    for (auto& part : Split(gb->AsString(), ',')) {
+      out.push_back(Trim(part));
+    }
+  }
+  if (out.empty()) throw std::runtime_error("\"group_by\" is empty");
+  return out;
+}
+
+CausalDag ResolveDag(const JsonValue& request, const Table& table,
+                     const std::string& outcome) {
+  const std::string dag_path = request.GetString("dag");
+  if (!dag_path.empty()) return ReadDagFile(dag_path);
+  const std::string discover = ToLower(request.GetString("discover"));
+  if (discover.empty() || discover == "nodag") {
+    return MakeNoDag(table, outcome);
+  }
+  if (discover == "pc") {
+    return DiscoverDag(table, DiscoveryAlgorithm::kPc, outcome);
+  }
+  if (discover == "fci") {
+    return DiscoverDag(table, DiscoveryAlgorithm::kFci, outcome);
+  }
+  if (discover == "lingam") {
+    return DiscoverDag(table, DiscoveryAlgorithm::kLingam, outcome);
+  }
+  throw std::runtime_error("unknown \"discover\" algorithm: " + discover);
+}
+
+BatchResult ExecuteRequest(ExplanationService& service,
+                           const std::string& line, size_t line_number,
+                           const BatchOptions& options) {
+  BatchResult result;
+  std::string id = StrFormat("%zu", line_number);
+  try {
+    const JsonValue request = JsonValue::Parse(line);
+    id = request.GetString("id", id);
+
+    std::string table_name = request.GetString("table");
+    const std::string csv_path = request.GetString("csv");
+    if (table_name.empty()) {
+      table_name = csv_path.empty() ? options.default_table : csv_path;
+    }
+    std::shared_ptr<const Table> table;
+    if (!csv_path.empty()) {
+      // Race-free: concurrent requests naming the same CSV share the
+      // first registration instead of clobbering each other's caches.
+      table = service.EnsureCsv(table_name, csv_path);
+    } else if (service.HasTable(table_name)) {
+      table = service.GetTable(table_name);
+    } else {
+      throw std::runtime_error("unknown table '" + table_name +
+                               "' and no \"csv\" to load");
+    }
+
+    GroupByAvgQuery query;
+    query.group_by = ParseGroupBy(request);
+    query.avg_attribute = request.GetString("avg");
+    if (query.avg_attribute.empty()) {
+      throw std::runtime_error("request is missing \"avg\"");
+    }
+    const std::string where = request.GetString("where");
+    if (!where.empty()) {
+      query.where = Pattern({ParseWherePredicate(where, *table)});
+    }
+
+    const CausalDag dag = ResolveDag(request, *table, query.avg_attribute);
+
+    CauSumXConfig config;
+    config.k = static_cast<size_t>(request.GetNumber("k", 5));
+    config.theta = request.GetNumber("theta", 0.75);
+    config.apriori_support = request.GetNumber("support", 0.1);
+    config.treatment.alpha = request.GetNumber("alpha", 0.05);
+    config.num_threads = static_cast<size_t>(request.GetNumber(
+        "num_threads",
+        static_cast<double>(options.default_query_threads)));
+
+    Timer timer;
+    const CauSumXResult run = service.Explain(table_name, query, dag, config);
+    const double elapsed_ms = timer.Seconds() * 1000.0;
+
+    std::ostringstream oss;
+    oss << "{\"id\":\"" << JsonEscape(id) << "\",\"table\":\""
+        << JsonEscape(table_name) << "\",\"ok\":true,\"elapsed_ms\":"
+        << FormatDouble(elapsed_ms, 3)
+        << ",\"summary\":" << SummaryToJson(run.summary, &query);
+    if (options.emit_cache_stats) {
+      const EvalEngineStats& e = run.cache_stats.eval;
+      const EstimatorCacheStats& m = run.cache_stats.estimator;
+      oss << ",\"cache\":{\"bitset_hits\":" << e.bitset_hits
+          << ",\"bitsets_materialized\":" << e.bitsets_materialized
+          << ",\"bitset_bytes\":" << e.bitset_bytes
+          << ",\"memo_hits\":" << m.memo_hits
+          << ",\"memo_misses\":" << m.memo_misses
+          << ",\"memo_bytes\":" << m.memo_bytes << "}";
+    }
+    oss << "}";
+    result.ok = true;
+    result.json_line = oss.str();
+  } catch (const std::exception& e) {
+    result.json_line = StrFormat("{\"id\":\"%s\",\"ok\":false,\"error\":\"%s\"}",
+                                 JsonEscape(id).c_str(),
+                                 JsonEscape(e.what()).c_str());
+  }
+  return result;
+}
+
+}  // namespace
+
+BatchSummary RunBatch(ExplanationService& service, std::istream& in,
+                      std::ostream& out, const BatchOptions& options) {
+  // Collect the lines first, then fan out: requests run concurrently on
+  // callers of the service pool via std::async-free futures, and results
+  // stream back in input order.
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    lines.push_back(line);
+  }
+
+  std::vector<std::future<BatchResult>> futures;
+  futures.reserve(lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    auto task = std::make_shared<std::packaged_task<BatchResult()>>(
+        [&service, &options, text = lines[i], i] {
+          return ExecuteRequest(service, text, i + 1, options);
+        });
+    futures.push_back(task->get_future());
+    service.pool().Submit([task] { (*task)(); });
+  }
+
+  BatchSummary summary;
+  summary.requests = lines.size();
+  for (auto& f : futures) {
+    BatchResult r = f.get();
+    out << r.json_line << "\n";
+    out.flush();
+    if (r.ok) {
+      ++summary.succeeded;
+    } else {
+      ++summary.failed;
+    }
+  }
+  return summary;
+}
+
+BatchSummary RunBatchFile(ExplanationService& service,
+                          const std::string& path, std::ostream& out,
+                          const BatchOptions& options) {
+  if (path == "-") return RunBatch(service, std::cin, out, options);
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("batch: cannot open " + path);
+  return RunBatch(service, f, out, options);
+}
+
+}  // namespace causumx

@@ -1,0 +1,68 @@
+// JSONL batch execution over an ExplanationService.
+//
+// Each input line is one JSON request object; each output line is one
+// JSON result object (input order preserved; requests execute
+// concurrently on the service pool). Request fields:
+//
+//   {"id": "q1",                     // echoed back (default: line number)
+//    "table": "sales",               // registry name (default: options)
+//    "csv": "path/to.csv",           // load + register if table absent
+//    "group_by": ["Country"],        // or a "A,B" comma string
+//    "avg": "Salary",
+//    "where": "Role=Engineer",       // optional filter predicate
+//    "dag": "graph.txt",             // or "discover": "pc|fci|lingam|nodag"
+//    "k": 5, "theta": 0.75, "support": 0.1, "alpha": 0.05,
+//    "num_threads": 1}               // per-query mining threads
+//
+// Result lines: {"id", "table", "ok", "elapsed_ms", "summary"} on
+// success, {"id", "ok": false, "error"} on failure. A malformed line
+// fails that request only; the batch keeps going.
+
+#ifndef CAUSUMX_SERVICE_BATCH_H_
+#define CAUSUMX_SERVICE_BATCH_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "dataset/predicate.h"
+#include "dataset/table.h"
+#include "service/explanation_service.h"
+
+namespace causumx {
+
+/// Parses "Attr=value" / "Attr<value" / "Attr>=value" into a predicate
+/// against the table's schema (categorical columns compare as strings,
+/// numeric ones as doubles). Throws std::runtime_error on an unknown
+/// attribute or missing operator.
+SimplePredicate ParseWherePredicate(const std::string& expr,
+                                    const Table& table);
+
+struct BatchOptions {
+  /// Table used by requests that name neither "table" nor "csv".
+  std::string default_table = "default";
+  /// Per-query mining threads when a request doesn't say (1 keeps the
+  /// pool-level concurrency as the parallelism source).
+  size_t default_query_threads = 1;
+  /// Echo engine/estimator cache counters into each result line.
+  bool emit_cache_stats = false;
+};
+
+struct BatchSummary {
+  size_t requests = 0;
+  size_t succeeded = 0;
+  size_t failed = 0;
+};
+
+/// Executes every JSONL request from `in` against the service, streaming
+/// one JSON result line per request to `out` in input order.
+BatchSummary RunBatch(ExplanationService& service, std::istream& in,
+                      std::ostream& out, const BatchOptions& options = {});
+
+/// As RunBatch over a file path ("-" = stdin).
+BatchSummary RunBatchFile(ExplanationService& service,
+                          const std::string& path, std::ostream& out,
+                          const BatchOptions& options = {});
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_SERVICE_BATCH_H_

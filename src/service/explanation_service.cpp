@@ -1,0 +1,309 @@
+#include "service/explanation_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/string_utils.h"
+
+namespace causumx {
+
+namespace {
+
+// Canonical fingerprint of a context key: the DAG structure (sorted
+// nodes and edges) plus every estimator knob. Structurally equal pairs
+// share one EstimatorContext — and hence one CATE memo.
+std::string ContextKey(const CausalDag& dag, const EstimatorOptions& opt) {
+  std::vector<std::string> nodes = dag.nodes();
+  std::sort(nodes.begin(), nodes.end());
+  std::string key;
+  for (const auto& n : nodes) {
+    key += n;
+    key.push_back('>');
+    std::vector<std::string> children = dag.Children(n);
+    std::sort(children.begin(), children.end());
+    for (const auto& c : children) {
+      key += c;
+      key.push_back(',');
+    }
+    key.push_back(';');
+  }
+  key += StrFormat("|g%zu|s%zu|e%llu|h%zu|m%d|c%.17g", opt.min_group_size,
+                   opt.sample_cap, (unsigned long long)opt.sample_seed,
+                   opt.max_onehot_levels, static_cast<int>(opt.method),
+                   opt.propensity_clip);
+  return key;
+}
+
+}  // namespace
+
+ExplanationService::ExplanationService(ServiceOptions options)
+    : options_(options),
+      pool_(std::make_unique<ThreadPool>(
+          options.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                   : options.num_threads)) {}
+
+std::shared_ptr<const Table> ExplanationService::RegisterTable(
+    const std::string& name, std::shared_ptr<const Table> table) {
+  TableEntry entry;
+  entry.table = std::move(table);
+  entry.engine =
+      std::make_shared<EvalEngine>(entry.table, options_.cache_enabled);
+  std::shared_ptr<const Table> handle = entry.table;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tables_[name] = std::move(entry);
+  }
+  n_tables_.fetch_add(1, std::memory_order_relaxed);
+  return handle;
+}
+
+std::shared_ptr<const Table> ExplanationService::RegisterTable(
+    const std::string& name, Table table) {
+  return RegisterTable(name,
+                       std::make_shared<const Table>(std::move(table)));
+}
+
+std::shared_ptr<const Table> ExplanationService::LoadCsv(
+    const std::string& name, const std::string& path,
+    const CsvOptions& csv_options) {
+  return RegisterTable(name, ReadCsvFile(path, csv_options));
+}
+
+std::shared_ptr<const Table> ExplanationService::EnsureCsv(
+    const std::string& name, const std::string& path,
+    const CsvOptions& csv_options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it != tables_.end()) return it->second.table;
+  }
+  // Parse outside the lock; concurrent callers may each parse, but only
+  // the first registration sticks (never replace a live entry here).
+  TableEntry entry;
+  entry.table =
+      std::make_shared<const Table>(ReadCsvFile(path, csv_options));
+  entry.engine =
+      std::make_shared<EvalEngine>(entry.table, options_.cache_enabled);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it != tables_.end()) return it->second.table;
+    tables_[name] = entry;
+  }
+  n_tables_.fetch_add(1, std::memory_order_relaxed);
+  return entry.table;
+}
+
+bool ExplanationService::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(name) > 0;
+}
+
+void ExplanationService::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.erase(name);
+}
+
+std::vector<std::string> ExplanationService::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  return names;
+}
+
+ExplanationService::TableEntry ExplanationService::Snapshot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::out_of_range("explanation service: unknown table '" + name +
+                            "'");
+  }
+  return it->second;
+}
+
+std::shared_ptr<const Table> ExplanationService::GetTable(
+    const std::string& name) const {
+  return Snapshot(name).table;
+}
+
+std::shared_ptr<EvalEngine> ExplanationService::Engine(
+    const std::string& name) const {
+  return Snapshot(name).engine;
+}
+
+ExplanationService::Resolved ExplanationService::Resolve(
+    const std::string& name, const CausalDag& dag,
+    const EstimatorOptions& options) {
+  const std::string key = ContextKey(dag, options);  // built outside the lock
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::out_of_range("explanation service: unknown table '" + name +
+                            "'");
+  }
+  auto& ctx = it->second.contexts[key];
+  if (ctx == nullptr) {
+    ctx = std::make_shared<EstimatorContext>(it->second.engine, dag, options);
+  }
+  return Resolved{it->second.table, it->second.engine, ctx};
+}
+
+std::shared_ptr<EstimatorContext> ExplanationService::Context(
+    const std::string& name, const CausalDag& dag,
+    const EstimatorOptions& options) {
+  return Resolve(name, dag, options).context;
+}
+
+CauSumXResult ExplanationService::Explain(const std::string& table_name,
+                                          const GroupByAvgQuery& query,
+                                          const CausalDag& dag,
+                                          const CauSumXConfig& config) {
+  Resolved entry = Resolve(table_name, dag, config.estimator);
+  // A bypass request cannot run through the shared cached engine; give it
+  // a private bypass engine instead (same results, no cache reuse).
+  std::shared_ptr<EvalEngine> engine = entry.engine;
+  std::shared_ptr<EstimatorContext> ctx = entry.context;
+  if (config.disable_eval_cache && engine->cache_enabled()) {
+    engine = std::make_shared<EvalEngine>(entry.table, false);
+    ctx = std::make_shared<EstimatorContext>(engine, dag, config.estimator);
+  }
+
+  CauSumXResult result;
+  // With the default thread count the query mines on the service pool
+  // (no per-query thread spawning; nested ParallelFor is deadlock-safe
+  // because callers participate). An explicit num_threads still gets a
+  // private pool of that size.
+  ThreadPool* mining_pool = config.num_threads == 0 ? pool_.get() : nullptr;
+  CandidateMiningResult mined = MineExplanationCandidates(
+      *entry.table, query, dag, config, engine, ctx, mining_pool);
+  result.view = std::move(mined.view);
+  result.partition = std::move(mined.partition);
+  result.num_grouping_candidates = mined.num_grouping_candidates;
+  result.num_candidates_with_treatment = mined.candidates.size();
+  result.treatment_patterns_evaluated = mined.treatment_patterns_evaluated;
+  result.timings = mined.timings;
+  result.cache_stats = mined.cache_stats;
+  if (result.view.NumGroups() > 0) {
+    result.summary = SelectExplanations(
+        mined.candidates, result.view.NumGroups(), config, &result.timings);
+  }
+  n_queries_.fetch_add(1, std::memory_order_relaxed);
+  EnforceBudget();
+  return result;
+}
+
+std::future<CauSumXResult> ExplanationService::ExplainAsync(
+    const std::string& table_name, GroupByAvgQuery query, CausalDag dag,
+    CauSumXConfig config) {
+  auto task = std::make_shared<std::packaged_task<CauSumXResult()>>(
+      [this, table_name, query = std::move(query), dag = std::move(dag),
+       config = std::move(config)] {
+        return Explain(table_name, query, dag, config);
+      });
+  std::future<CauSumXResult> future = task->get_future();
+  pool_->Submit([task] { (*task)(); });
+  return future;
+}
+
+ExplorationSession ExplanationService::OpenSession(
+    const std::string& table_name, GroupByAvgQuery query, CausalDag dag,
+    CauSumXConfig config) {
+  Resolved entry = Resolve(table_name, dag, config.estimator);
+  return ExplorationSession(std::move(entry.table), std::move(query),
+                            std::move(dag), std::move(config),
+                            std::move(entry.engine),
+                            std::move(entry.context));
+}
+
+size_t ExplanationService::CacheBytes() const {
+  std::vector<TableEntry> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(tables_.size());
+    for (const auto& [name, entry] : tables_) entries.push_back(entry);
+  }
+  size_t total = 0;
+  for (const auto& entry : entries) {
+    total += entry.engine->CacheBytes();
+    for (const auto& [key, ctx] : entry.contexts) {
+      total += ctx->CacheBytes();
+    }
+  }
+  return total;
+}
+
+size_t ExplanationService::EnforceBudget() {
+  if (options_.memory_budget_bytes == 0) return 0;
+  // Work on a snapshot: eviction never needs the registry lock, so it can
+  // run while other threads query. Races just mean a cache refills after
+  // eviction; the next enforcement pass catches it.
+  std::vector<std::shared_ptr<EvalEngine>> engines;
+  std::vector<std::shared_ptr<EstimatorContext>> contexts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, entry] : tables_) {
+      engines.push_back(entry.engine);
+      for (const auto& [key, ctx] : entry.contexts) {
+        contexts.push_back(ctx);
+      }
+    }
+  }
+  auto total = [&] {
+    size_t t = 0;
+    for (const auto& e : engines) t += e->CacheBytes();
+    for (const auto& c : contexts) t += c->CacheBytes();
+    return t;
+  };
+  size_t freed_total = 0;
+  size_t current = total();
+  while (current > options_.memory_budget_bytes) {
+    // Evict from the single largest consumer; repeat until under budget
+    // or nothing is left to evict.
+    size_t largest_bytes = 0;
+    std::shared_ptr<EvalEngine> largest_engine;
+    std::shared_ptr<EstimatorContext> largest_ctx;
+    for (const auto& e : engines) {
+      const size_t b = e->CacheBytes();
+      if (b > largest_bytes) {
+        largest_bytes = b;
+        largest_engine = e;
+        largest_ctx = nullptr;
+      }
+    }
+    for (const auto& c : contexts) {
+      const size_t b = c->CacheBytes();
+      if (b > largest_bytes) {
+        largest_bytes = b;
+        largest_ctx = c;
+        largest_engine = nullptr;
+      }
+    }
+    if (largest_bytes == 0) break;
+    const size_t need = current - options_.memory_budget_bytes;
+    const size_t freed =
+        largest_engine != nullptr
+            ? largest_engine->EvictLru(std::min(need, largest_bytes))
+            : largest_ctx->EvictLru(std::min(need, largest_bytes));
+    if (freed == 0) break;
+    freed_total += freed;
+    current = total();
+  }
+  if (freed_total > 0) {
+    n_enforcements_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return freed_total;
+}
+
+ServiceStats ExplanationService::Stats() const {
+  ServiceStats s;
+  s.queries_executed = n_queries_.load(std::memory_order_relaxed);
+  s.tables_registered = n_tables_.load(std::memory_order_relaxed);
+  s.budget_enforcements = n_enforcements_.load(std::memory_order_relaxed);
+  s.cache_bytes = CacheBytes();
+  return s;
+}
+
+}  // namespace causumx

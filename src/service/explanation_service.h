@@ -1,0 +1,185 @@
+// Multi-query explanation service with cross-query cache reuse.
+//
+// RunCauSumX builds its EvalEngine and EstimatorContext from scratch per
+// call, so the interned-predicate bitsets and memoized CATEs die with
+// each query. ExplanationService owns a registry of loaded tables — each
+// with one long-lived shared EvalEngine and one EstimatorContext per
+// (DAG, estimator-options) pair — so repeated and overlapping queries
+// against the same table are served warm: the second identical query
+// costs memo lookups instead of OLS solves (see bench_service).
+//
+// Queries execute concurrently over an internal ThreadPool
+// (ExplainAsync / many callers sharing one service); all caches are
+// internally synchronized. A configurable memory budget bounds the
+// evictable caches (predicate bitsets + CATE memos) across all tables:
+// after every query the service evicts least-recently-used entries from
+// the largest consumers until the accounted bytes fit. Eviction only
+// discards cached work — results stay bit-identical.
+
+#ifndef CAUSUMX_SERVICE_EXPLANATION_SERVICE_H_
+#define CAUSUMX_SERVICE_EXPLANATION_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "causal/estimator_context.h"
+#include "core/causumx.h"
+#include "core/exploration.h"
+#include "dataset/csv.h"
+#include "dataset/table.h"
+#include "engine/eval_engine.h"
+#include "util/thread_pool.h"
+
+namespace causumx {
+
+/// Service-wide configuration.
+struct ServiceOptions {
+  /// Upper bound on the evictable cache bytes (predicate bitsets + CATE
+  /// memo entries) summed over every registered table. 0 = unlimited.
+  size_t memory_budget_bytes = 0;
+  /// Worker threads for ExplainAsync / batch execution (0 = hardware).
+  size_t num_threads = 0;
+  /// When false, every table's engine runs in cache-bypass mode
+  /// (debugging; results are bit-identical, just slower).
+  bool cache_enabled = true;
+};
+
+/// Cumulative service counters plus a point-in-time cache snapshot.
+struct ServiceStats {
+  uint64_t queries_executed = 0;
+  uint64_t tables_registered = 0;
+  uint64_t budget_enforcements = 0;  ///< enforcement passes that evicted
+  size_t cache_bytes = 0;            ///< current accounted evictable bytes
+};
+
+/// A shared, thread-safe registry of tables with warm evaluation caches.
+///
+/// Thread-safe: registration, Explain/ExplainAsync, and budget
+/// enforcement may be called concurrently from any thread.
+class ExplanationService {
+ public:
+  explicit ExplanationService(ServiceOptions options = {});
+
+  ExplanationService(const ExplanationService&) = delete;
+  ExplanationService& operator=(const ExplanationService&) = delete;
+
+  // ---- table registry ------------------------------------------------------
+
+  /// Registers (or replaces) a table under `name`; returns the stored
+  /// handle. Replacing drops the previous entry's caches.
+  std::shared_ptr<const Table> RegisterTable(
+      const std::string& name, std::shared_ptr<const Table> table);
+
+  /// Convenience: takes ownership of a table by value.
+  std::shared_ptr<const Table> RegisterTable(const std::string& name,
+                                             Table table);
+
+  /// Reads a CSV file and registers it under `name`.
+  std::shared_ptr<const Table> LoadCsv(const std::string& name,
+                                       const std::string& path,
+                                       const CsvOptions& csv_options = {});
+
+  /// As LoadCsv, but a no-op returning the existing table when `name` is
+  /// already registered — including when a concurrent call registered it
+  /// while this one was parsing (first registration wins; the parse is
+  /// discarded). Batch requests use this so N requests naming the same
+  /// CSV never clobber each other's warm caches.
+  std::shared_ptr<const Table> EnsureCsv(const std::string& name,
+                                         const std::string& path,
+                                         const CsvOptions& csv_options = {});
+
+  bool HasTable(const std::string& name) const;
+  void DropTable(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+  /// Registered table by name; throws std::out_of_range on an unknown one.
+  std::shared_ptr<const Table> GetTable(const std::string& name) const;
+
+  /// The table's long-lived shared evaluation engine.
+  std::shared_ptr<EvalEngine> Engine(const std::string& name) const;
+
+  /// The table's estimator context for this (DAG, options) pair, created
+  /// on first use and shared by every later query with the same pair.
+  std::shared_ptr<EstimatorContext> Context(const std::string& name,
+                                            const CausalDag& dag,
+                                            const EstimatorOptions& options);
+
+  // ---- query execution -----------------------------------------------------
+
+  /// Runs CauSumX over a registered table through the table's shared
+  /// caches, then enforces the memory budget. Equivalent to RunCauSumX
+  /// (bit-identical results), but repeat queries are served warm.
+  CauSumXResult Explain(const std::string& table_name,
+                        const GroupByAvgQuery& query, const CausalDag& dag,
+                        const CauSumXConfig& config = {});
+
+  /// As Explain, executed on the service pool.
+  std::future<CauSumXResult> ExplainAsync(const std::string& table_name,
+                                          GroupByAvgQuery query,
+                                          CausalDag dag,
+                                          CauSumXConfig config = {});
+
+  /// An exploration session borrowing this service's warm engine and
+  /// estimator context for the table (instead of constructing its own).
+  ExplorationSession OpenSession(const std::string& table_name,
+                                 GroupByAvgQuery query, CausalDag dag,
+                                 CauSumXConfig config = {});
+
+  // ---- memory budget -------------------------------------------------------
+
+  /// Current accounted evictable cache bytes across all tables.
+  size_t CacheBytes() const;
+
+  /// Evicts LRU cache entries (largest consumer first) until the
+  /// accounted bytes fit the budget; no-op when unlimited or already
+  /// under. Returns the bytes freed. Called automatically after every
+  /// Explain.
+  size_t EnforceBudget();
+
+  ServiceStats Stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+  /// The service worker pool (ExplainAsync tasks; batch execution).
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  struct TableEntry {
+    std::shared_ptr<const Table> table;
+    std::shared_ptr<EvalEngine> engine;
+    /// Keyed by a canonical (DAG structure, estimator options) fingerprint.
+    std::map<std::string, std::shared_ptr<EstimatorContext>> contexts;
+  };
+
+  /// A mutually consistent (table, engine, context) triple for one query,
+  /// captured under one registry lock so a concurrent re-registration of
+  /// the name cannot hand back a context bound to a different generation
+  /// of the table than the one being mined.
+  struct Resolved {
+    std::shared_ptr<const Table> table;
+    std::shared_ptr<EvalEngine> engine;
+    std::shared_ptr<EstimatorContext> context;
+  };
+  Resolved Resolve(const std::string& name, const CausalDag& dag,
+                   const EstimatorOptions& options);
+
+  /// Resolves the entry or throws std::out_of_range. Caller holds no lock.
+  TableEntry Snapshot(const std::string& name) const;
+
+  ServiceOptions options_;
+  mutable std::mutex mu_;  // guards tables_
+  std::map<std::string, TableEntry> tables_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<uint64_t> n_queries_{0};
+  std::atomic<uint64_t> n_tables_{0};
+  std::atomic<uint64_t> n_enforcements_{0};
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_SERVICE_EXPLANATION_SERVICE_H_

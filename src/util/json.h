@@ -1,0 +1,57 @@
+// Minimal JSON value + recursive-descent parser, for machine-readable
+// inputs (the service's JSONL batch requests). Writer-side serialization
+// lives in core/json_export; this is the read side. Supports the full
+// JSON grammar (objects, arrays, strings with \uXXXX escapes, numbers,
+// bools, null); numbers are held as doubles.
+
+#ifndef CAUSUMX_UTIL_JSON_H_
+#define CAUSUMX_UTIL_JSON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace causumx {
+
+/// A parsed JSON value (tagged union).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete JSON document; throws std::runtime_error (with a
+  /// byte offset) on malformed input or trailing garbage.
+  static JsonValue Parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; each throws std::runtime_error on a kind mismatch.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::map<std::string, JsonValue>& AsObject() const;
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience lookups with defaults (throw on present-but-wrong-kind).
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  double GetNumber(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_UTIL_JSON_H_

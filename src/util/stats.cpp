@@ -85,7 +85,16 @@ double NormalQuantile(double p) {
          (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
 }
 
-double LogGamma(double x) { return std::lgamma(x); }
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // std::lgamma writes the global `signgam` (a data race under
+  // concurrent estimation); the re-entrant variant does not.
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 namespace {
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <memory>
 
 namespace causumx {
 
@@ -41,18 +43,50 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<size_t> next{0};
-  std::vector<std::future<void>> futs;
-  const size_t shards = std::min(n, workers_.size());
-  futs.reserve(shards);
-  for (size_t s = 0; s < shards; ++s) {
-    futs.push_back(Submit([&] {
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+  // Caller-participating dynamic scheduling. The calling thread drains
+  // indices alongside the helper shards, and completion is tracked by a
+  // per-index counter rather than by waiting on the helpers' futures.
+  // That makes nested use safe: when ParallelFor runs on a pool worker
+  // (a service query parallelizing its mining on the same pool), queued
+  // helpers may never get a thread — the caller still finishes every
+  // index itself, and helpers that start late find no work and exit.
+  // State lives on the heap so a late-starting helper can safely probe
+  // `next` after the call returned.
+  struct ForState {
+    explicit ForState(size_t total) : n(total) {}
+    const size_t n;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr first_error;  // guarded by mu
+  };
+  auto state = std::make_shared<ForState>(n);
+  auto drain = [&fn, state] {
+    // Claiming i < n proves the caller is still inside ParallelFor (it
+    // waits for done == n), so touching `fn` is safe here.
+    for (size_t i = state->next.fetch_add(1); i < state->n;
+         i = state->next.fetch_add(1)) {
+      try {
         fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->first_error) state->first_error = std::current_exception();
       }
-    }));
+      if (state->done.fetch_add(1) + 1 == state->n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+  const size_t helpers = std::min(n - 1, workers_.size());
+  for (size_t s = 0; s < helpers; ++s) {
+    Submit(drain);
   }
-  for (auto& f : futs) f.get();
+  drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == state->n; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 void ThreadPool::WorkerLoop() {

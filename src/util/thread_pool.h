@@ -32,7 +32,10 @@ class ThreadPool {
   std::future<void> Submit(std::function<void()> task);
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all
-  /// complete. Exceptions in tasks propagate from this call (first one).
+  /// complete. The calling thread participates, so nested calls from a
+  /// pool worker (service queries parallelizing on the shared pool)
+  /// cannot deadlock even when every worker is busy. Exceptions in tasks
+  /// propagate from this call (first one).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t NumThreads() const { return workers_.size(); }

@@ -114,12 +114,61 @@ TEST(EvalEngineTest, BitsetMaterializedOnceAndCounted) {
   const RandomWorld w = MakeWorld(11);
   EvalEngine engine(w.table);
   const PredicateId id = engine.Intern(w.atoms[0]);
-  const Bitset& first = engine.PredicateBits(id);
-  const Bitset& again = engine.PredicateBits(id);
-  EXPECT_EQ(&first, &again);  // same cached object
+  const std::shared_ptr<const Bitset> first = engine.PredicateBits(id);
+  const std::shared_ptr<const Bitset> again = engine.PredicateBits(id);
+  EXPECT_EQ(first.get(), again.get());  // same cached object
   const EvalEngineStats stats = engine.Stats();
   EXPECT_EQ(stats.bitsets_materialized, 1u);
   EXPECT_EQ(stats.bitset_hits, 1u);
+  EXPECT_GT(stats.bitset_bytes, 0u);
+  EXPECT_EQ(stats.bitset_bytes, engine.CacheBytes());
+}
+
+TEST(EvalEngineTest, EvictLruFreesBytesAndRebuildsIdentically) {
+  const RandomWorld w = MakeWorld(21);
+  EvalEngine engine(w.table);
+  std::vector<Bitset> before;
+  for (const auto& atom : w.atoms) {
+    before.push_back(engine.Evaluate(Pattern({atom})));
+  }
+  const size_t bytes = engine.CacheBytes();
+  ASSERT_GT(bytes, 0u);
+
+  // Partial eviction frees at least what was asked.
+  const size_t freed = engine.EvictLru(bytes / 2);
+  EXPECT_GE(freed, bytes / 2);
+  EXPECT_EQ(engine.CacheBytes(), bytes - freed);
+  EXPECT_GT(engine.Stats().bitsets_evicted, 0u);
+
+  // Full eviction empties the accounted cache.
+  engine.EvictLru(engine.CacheBytes());
+  EXPECT_EQ(engine.CacheBytes(), 0u);
+
+  // Rebuilt bitsets are bit-identical to the pre-eviction ones.
+  for (size_t i = 0; i < w.atoms.size(); ++i) {
+    EXPECT_TRUE(engine.Evaluate(Pattern({w.atoms[i]})) == before[i]);
+  }
+  EXPECT_EQ(engine.CacheBytes(), bytes);
+}
+
+TEST(EvalEngineTest, EvictionPrefersLeastRecentlyUsed) {
+  const RandomWorld w = MakeWorld(23);
+  EvalEngine engine(w.table);
+  const PredicateId cold = engine.Intern(w.atoms[0]);
+  const PredicateId hot = engine.Intern(w.atoms[1]);
+  engine.PredicateBits(cold);
+  engine.PredicateBits(hot);  // most recently used
+  // Free one bitset's worth: the cold one must go first.
+  engine.EvictLru(1);
+  const uint64_t evicted_before = engine.Stats().bitsets_evicted;
+  EXPECT_EQ(evicted_before, 1u);
+  // Touching `hot` now must be a hit (it survived), `cold` a rebuild.
+  const EvalEngineStats s0 = engine.Stats();
+  engine.PredicateBits(hot);
+  EXPECT_EQ(engine.Stats().bitset_hits, s0.bitset_hits + 1);
+  engine.PredicateBits(cold);
+  EXPECT_EQ(engine.Stats().bitsets_materialized,
+            s0.bitsets_materialized + 1);
 }
 
 // The satellite property: Matches (row-at-a-time), Evaluate,

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <type_traits>
 
 #include "core/exploration.h"
 #include "core/json_export.h"
@@ -95,6 +97,34 @@ TEST(ExplorationTest, TopTreatmentsRankedAndDeduped) {
       EXPECT_FALSE(top[i].pattern == top[j].pattern);
     }
   }
+}
+
+TEST(ExplorationTest, SessionSharesTableOwnership) {
+  // Regression: the session used to hold `const Table&`, so a table that
+  // went away before the first Solve left a dangling reference. With
+  // shared ownership, the session stays valid after the caller's handle
+  // is gone.
+  GeneratedDataset ds = MakeData();
+  const CauSumXConfig config = MakeConfig(ds);
+  const CauSumXResult direct =
+      RunCauSumX(ds.table, ds.default_query, ds.dag, config);
+
+  auto session = [&] {
+    auto table = std::make_shared<const Table>(std::move(ds.table));
+    ExplorationSession s(table, ds.default_query, ds.dag, config);
+    // `table` (the only external handle) dies here.
+    return s;
+  }();
+  const ExplanationSummary summary = session.Solve();
+  EXPECT_DOUBLE_EQ(summary.total_explainability,
+                   direct.summary.total_explainability);
+  EXPECT_EQ(summary.covered_groups, direct.summary.covered_groups);
+
+  // Passing a temporary table does not compile (deleted overload) —
+  // the original footgun is now a compile-time error.
+  static_assert(!std::is_constructible_v<ExplorationSession, Table&&,
+                                         GroupByAvgQuery, CausalDag>,
+                "temporary tables must be rejected");
 }
 
 TEST(ExplorationTest, TopTreatmentsEmptyGroupingMeansWholeTable) {

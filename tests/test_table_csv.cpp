@@ -133,5 +133,89 @@ TEST(CsvTest, MixedNumericColumnFallsBackToCategorical) {
   EXPECT_EQ(t.column("a").type(), ColumnType::kCategorical);
 }
 
+TEST(CsvTest, QuotedFieldWithEmbeddedNewline) {
+  // The quoted field spans three physical lines (including a blank one);
+  // the reader must stitch them into one record, not raise an arity
+  // error.
+  std::istringstream in(
+      "a,b\n"
+      "\"line1\nline2\n\nline4\",2\n"
+      "plain,3\n");
+  const Table t = ReadCsv(in);
+  ASSERT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.column("a").GetValue(0).AsString(), "line1\nline2\n\nline4");
+  EXPECT_EQ(t.column("b").GetInt(0), 2);
+  EXPECT_EQ(t.column("a").GetValue(1).AsString(), "plain");
+}
+
+TEST(CsvTest, RoundTripPreservesNewlinesAndCarriageReturns) {
+  Table t;
+  t.AddColumn("text", ColumnType::kCategorical);
+  t.AddColumn("n", ColumnType::kInt64);
+  t.AddRow({Value("multi\nline"), Value(int64_t{1})});
+  t.AddRow({Value("carriage\rreturn"), Value(int64_t{2})});
+  t.AddRow({Value("both\r\nkinds"), Value(int64_t{3})});
+
+  std::ostringstream out;
+  WriteCsv(t, out);
+  std::istringstream in(out.str());
+  const Table back = ReadCsv(in);
+  ASSERT_EQ(back.NumRows(), 3u);
+  EXPECT_EQ(back.column("text").GetValue(0).AsString(), "multi\nline");
+  EXPECT_EQ(back.column("text").GetValue(1).AsString(), "carriage\rreturn");
+  EXPECT_EQ(back.column("text").GetValue(2).AsString(), "both\r\nkinds");
+  EXPECT_EQ(back.column("n").GetInt(2), 3);
+}
+
+TEST(CsvTest, LateNonNumericCellDemotesInferredTypeWithoutDataLoss) {
+  // The probe prefix sees only integers, but a later cell is
+  // non-numeric: the column must come back categorical with every value
+  // intact instead of silently nulling the stragglers.
+  CsvOptions opt;
+  opt.type_inference_rows = 2;
+  std::istringstream in(
+      "a,b\n"
+      "1,1.5\n"
+      "2,2.5\n"
+      "oops,3.5\n"
+      "4,not-a-number\n");
+  const Table t = ReadCsv(in, opt);
+  EXPECT_EQ(t.column("a").type(), ColumnType::kCategorical);
+  EXPECT_EQ(t.column("b").type(), ColumnType::kCategorical);
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    EXPECT_FALSE(t.column("a").IsNull(r)) << "row " << r;
+    EXPECT_FALSE(t.column("b").IsNull(r)) << "row " << r;
+  }
+  EXPECT_EQ(t.column("a").GetValue(2).AsString(), "oops");
+  EXPECT_EQ(t.column("b").GetValue(3).AsString(), "not-a-number");
+}
+
+TEST(CsvTest, BareQuoteInUnquotedFieldDoesNotSwallowLines) {
+  // A stray quote mid-field is literal (RFC 4180): the record must end
+  // at the newline instead of absorbing the rest of the file.
+  std::istringstream in(
+      "item,qty\n"
+      "5\" nails,3\n"
+      "hammer,1\n");
+  const Table t = ReadCsv(in);
+  ASSERT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.column("item").GetValue(0).AsString(), "5\" nails");
+  EXPECT_EQ(t.column("item").GetValue(1).AsString(), "hammer");
+  EXPECT_EQ(t.column("qty").GetInt(1), 1);
+}
+
+TEST(CsvTest, LateFractionalCellDemotesIntToDouble) {
+  CsvOptions opt;
+  opt.type_inference_rows = 2;
+  std::istringstream in(
+      "a\n"
+      "1\n"
+      "2\n"
+      "2.5\n");
+  const Table t = ReadCsv(in, opt);
+  EXPECT_EQ(t.column("a").type(), ColumnType::kDouble);
+  EXPECT_DOUBLE_EQ(t.column("a").GetDouble(2), 2.5);
+}
+
 }  // namespace
 }  // namespace causumx

@@ -211,5 +211,28 @@ TEST(TreatmentMinerTest, MaxDepthOneStopsAtAtoms) {
   EXPECT_TRUE(result->pattern.UsesAttribute("A"));
 }
 
+TEST(TreatmentMinerTest, TreatedSetDedupSurvivesHashCollisions) {
+  // Two distinct treated sets forced into the same hash bucket: the
+  // top-k dedup must keep both (comparing bit content), and only reject
+  // a genuinely identical set.
+  Bitset a(64);
+  a.Set(1);
+  a.Set(7);
+  Bitset b(64);
+  b.Set(2);
+  b.Set(9);
+  Bitset a_again(64);
+  a_again.Set(1);
+  a_again.Set(7);
+
+  const uint64_t collided_hash = 42;  // simulate a 64-bit Hash() collision
+  TreatedSetDedup seen;
+  EXPECT_TRUE(InsertUniqueTreatedSet(&seen, collided_hash, a));
+  EXPECT_TRUE(InsertUniqueTreatedSet(&seen, collided_hash, b));
+  EXPECT_FALSE(InsertUniqueTreatedSet(&seen, collided_hash, a_again));
+  // Distinct hashes never interfere.
+  EXPECT_TRUE(InsertUniqueTreatedSet(&seen, 43, a_again));
+}
+
 }  // namespace
 }  // namespace causumx

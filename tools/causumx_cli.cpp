@@ -8,6 +8,17 @@
 //           [--where "Attr=value"] [--json] [--top-treatments N] \
 //           [--stats] [--no-cache]
 //
+// Batch mode serves many queries through one ExplanationService, so
+// repeated queries share the warm predicate-bitset and CATE caches:
+//
+//   causumx --batch queries.jsonl [--csv data.csv] \
+//           [--budget-mb N] [--threads N] [--stats]
+//
+// Each line of queries.jsonl is one JSON request (see service/batch.h);
+// results stream to stdout as JSONL in input order. --csv registers the
+// file as the "default" table; requests may also name their own "csv".
+// --budget-mb bounds the evictable cache bytes via LRU eviction.
+//
 // --stats prints the evaluation-engine cache counters (interned
 // predicates, materialized bitsets, estimator memo hits/misses) after
 // the summary; --no-cache runs with the caches bypassed (debugging /
@@ -17,9 +28,9 @@
 // printed): supply domain knowledge for trustworthy effects.
 
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "causal/dag_io.h"
@@ -28,6 +39,8 @@
 #include "core/json_export.h"
 #include "core/renderer.h"
 #include "dataset/csv.h"
+#include "service/batch.h"
+#include "service/explanation_service.h"
 #include "util/string_utils.h"
 
 using namespace causumx;
@@ -49,6 +62,9 @@ struct CliOptions {
   size_t top_treatments = 0;
   bool stats = false;
   bool no_cache = false;
+  std::string batch_path;
+  size_t budget_mb = 0;
+  size_t threads = 0;
 };
 
 void PrintUsage() {
@@ -57,7 +73,9 @@ void PrintUsage() {
                "               [--dag FILE | --discover pc|fci|lingam|nodag]\n"
                "               [--k N] [--theta F] [--support F] [--alpha F]\n"
                "               [--where \"Attr=value\"] [--json]\n"
-               "               [--top-treatments N] [--stats] [--no-cache]\n");
+               "               [--top-treatments N] [--stats] [--no-cache]\n"
+               "   or: causumx --batch FILE.jsonl [--csv FILE]\n"
+               "               [--budget-mb N] [--threads N] [--stats]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opt) {
@@ -122,6 +140,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       const char* v = next();
       if (!v) return false;
       opt->top_treatments = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (!v) return false;
+      opt->batch_path = v;
+    } else if (arg == "--budget-mb") {
+      const char* v = next();
+      if (!v) return false;
+      opt->budget_mb = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      opt->threads = static_cast<size_t>(std::atoi(v));
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return false;
@@ -130,6 +160,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       return false;
     }
   }
+  if (!opt->batch_path.empty()) return true;
   if (opt->csv_path.empty() || opt->group_by.empty() ||
       opt->avg_attribute.empty()) {
     PrintUsage();
@@ -138,26 +169,31 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
   return true;
 }
 
-// Parses "Attr=value" / "Attr<value" / "Attr>=value" into a predicate.
-SimplePredicate ParseWherePredicate(const std::string& expr,
-                                    const Table& table) {
-  static const std::pair<const char*, CompareOp> kOps[] = {
-      {">=", CompareOp::kGe}, {"<=", CompareOp::kLe}, {"=", CompareOp::kEq},
-      {"<", CompareOp::kLt},  {">", CompareOp::kGt},
-  };
-  for (const auto& [symbol, op] : kOps) {
-    const size_t pos = expr.find(symbol);
-    if (pos == std::string::npos) continue;
-    const std::string attr = Trim(expr.substr(0, pos));
-    const std::string value = Trim(expr.substr(pos + std::strlen(symbol)));
-    auto idx = table.ColumnIndex(attr);
-    if (!idx) throw std::runtime_error("--where: unknown attribute " + attr);
-    if (table.column(*idx).type() == ColumnType::kCategorical) {
-      return SimplePredicate(attr, op, Value(value));
-    }
-    return SimplePredicate(attr, op, Value(std::stod(value)));
+int RunBatchMode(const CliOptions& opt) {
+  ServiceOptions service_options;
+  service_options.memory_budget_bytes = opt.budget_mb * (1 << 20);
+  service_options.num_threads = opt.threads;
+  service_options.cache_enabled = !opt.no_cache;
+  ExplanationService service(service_options);
+  if (!opt.csv_path.empty()) {
+    service.LoadCsv("default", opt.csv_path);
+    const auto table = service.GetTable("default");
+    std::fprintf(stderr, "loaded %zu rows x %zu columns from %s\n",
+                 table->NumRows(), table->NumColumns(),
+                 opt.csv_path.c_str());
   }
-  throw std::runtime_error("--where: no operator found in '" + expr + "'");
+  BatchOptions batch_options;
+  batch_options.emit_cache_stats = opt.stats;
+  const BatchSummary summary =
+      RunBatchFile(service, opt.batch_path, std::cout, batch_options);
+  std::fprintf(stderr, "batch: %zu requests, %zu ok, %zu failed",
+               summary.requests, summary.succeeded, summary.failed);
+  if (service.options().memory_budget_bytes > 0) {
+    std::fprintf(stderr, ", cache %zu / %zu bytes", service.CacheBytes(),
+                 service.options().memory_budget_bytes);
+  }
+  std::fprintf(stderr, "\n");
+  return summary.failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -167,15 +203,18 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &opt)) return 2;
 
   try {
-    const Table table = ReadCsvFile(opt.csv_path);
+    if (!opt.batch_path.empty()) return RunBatchMode(opt);
+
+    const auto table =
+        std::make_shared<const Table>(ReadCsvFile(opt.csv_path));
     std::fprintf(stderr, "loaded %zu rows x %zu columns from %s\n",
-                 table.NumRows(), table.NumColumns(), opt.csv_path.c_str());
+                 table->NumRows(), table->NumColumns(), opt.csv_path.c_str());
 
     GroupByAvgQuery query;
     query.group_by = opt.group_by;
     query.avg_attribute = opt.avg_attribute;
     if (!opt.where.empty()) {
-      query.where = Pattern({ParseWherePredicate(opt.where, table)});
+      query.where = Pattern({ParseWherePredicate(opt.where, *table)});
     }
 
     CausalDag dag;
@@ -196,11 +235,11 @@ int main(int argc, char** argv) {
                      opt.discover.c_str());
         return 2;
       }
-      dag = DiscoverDag(table, it->second, opt.avg_attribute);
+      dag = DiscoverDag(*table, it->second, opt.avg_attribute);
       std::fprintf(stderr, "dag: discovered by %s — %zu edges\n",
                    opt.discover.c_str(), dag.NumEdges());
     } else {
-      dag = MakeNoDag(table, opt.avg_attribute);
+      dag = MakeNoDag(*table, opt.avg_attribute);
       std::fprintf(stderr,
                    "warning: no --dag/--discover given; using the No-DAG "
                    "strawman (all attributes -> outcome). Effects are\n"
@@ -256,6 +295,8 @@ int main(int argc, char** argv) {
                   (unsigned long long)stats.eval.bypass_evals);
       std::printf("  numeric column views built   %llu\n",
                   (unsigned long long)stats.eval.column_views_built);
+      std::printf("  cache bytes (bitsets/views)  %zu / %zu\n",
+                  stats.eval.bitset_bytes, stats.eval.view_bytes);
       std::printf("  estimator memo hits/misses   %llu / %llu\n",
                   (unsigned long long)stats.estimator.memo_hits,
                   (unsigned long long)stats.estimator.memo_misses);
