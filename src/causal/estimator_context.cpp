@@ -15,6 +15,58 @@ EstimatorContext::EstimatorContext(std::shared_ptr<EvalEngine> engine,
                                    EstimatorOptions options)
     : engine_(std::move(engine)), dag_(dag), options_(options) {}
 
+EstimatorContext::EstimatorContext(std::shared_ptr<EvalEngine> engine,
+                                   const EstimatorContext& base)
+    : engine_(std::move(engine)), dag_(base.dag_), options_(base.options_) {
+  const size_t new_rows = engine_->table().NumRows();
+  // Memo keys are only meaningful for predicate ids the new engine
+  // inherited. The engine's intern table was snapshotted (in the
+  // delta-extension ctor) before this memo is, so a query racing the
+  // append may have interned further predicates into the base engine and
+  // memoized under ids >= `known` — ids the new engine will hand out to
+  // whatever predicates arrive first. Carrying such an entry could
+  // silently serve one treatment's CATE for another; drop them instead.
+  const size_t known = engine_->NumInterned();
+  // Snapshot phase: base.memo_mu_ is held only to copy the raw state —
+  // queries still running on the pre-append snapshot contend with the
+  // copy, not with the O(subpops x rows) zero-extension below (the same
+  // lock-minimizing split the EvalEngine delta ctor uses).
+  std::vector<std::pair<Bitset, uint32_t>> subpops;
+  std::vector<std::pair<MemoKey, MemoEntry>> entries;  // LRU, oldest first
+  {
+    std::lock_guard<std::mutex> lock(base.memo_mu_);
+    next_subpop_id_ = base.next_subpop_id_;
+    for (const auto& [hash, bucket] : base.subpop_ids_) {
+      for (const auto& [bits, id] : bucket) subpops.emplace_back(bits, id);
+    }
+    entries.reserve(base.memo_.size());
+    for (auto it = base.lru_.rbegin(); it != base.lru_.rend(); ++it) {
+      entries.emplace_back(*it, base.memo_.find(*it)->second);
+    }
+  }
+  // Zero-extend each interned subpopulation to the new universe and
+  // re-bucket it under its new hash (Hash() covers the appended zero
+  // words and the size). Ids are preserved — the carried memo keys
+  // reference them.
+  for (auto& [bits, id] : subpops) {
+    bits.Resize(new_rows);
+    const uint64_t h = bits.Hash();
+    subpop_bytes_ += SubpopEntryBytes(bits.size());
+    subpop_ids_[h].emplace_back(std::move(bits), id);
+  }
+  // Carry the memo, preserving LRU order (`entries` runs least to most
+  // recent; each push_front leaves the most recent at the front). Keys
+  // are sorted, so the back is the maximum predicate id.
+  for (auto& [key, src] : entries) {
+    if (!key.treatment.empty() && key.treatment.back() >= known) continue;
+    lru_.push_front(key);
+    MemoEntry entry{std::move(src.est), lru_.begin(), src.bytes};
+    memo_bytes_ += entry.bytes;
+    memo_.emplace(std::move(key), std::move(entry));
+  }
+  n_migrated_.store(memo_.size(), std::memory_order_relaxed);
+}
+
 std::set<std::string> EstimatorContext::AdjustmentSet(
     const Pattern& treatment, const std::string& outcome) const {
   return dag_.BackdoorAdjustmentSet(treatment.Attributes(), outcome);
@@ -72,6 +124,11 @@ size_t EstimatorContext::EntryBytes(const MemoKey& key) {
          sizeof(MemoEntry) + 3 * sizeof(void*) + 64;
 }
 
+size_t EstimatorContext::SubpopEntryBytes(size_t bitset_size) {
+  return sizeof(std::pair<Bitset, uint32_t>) +
+         ((bitset_size + 63) / 64) * sizeof(uint64_t) + 32;
+}
+
 uint32_t EstimatorContext::InternSubpopLocked(uint64_t hash,
                                               const Bitset& subpopulation) {
   auto& bucket = subpop_ids_[hash];
@@ -80,8 +137,7 @@ uint32_t EstimatorContext::InternSubpopLocked(uint64_t hash,
   }
   const uint32_t id = next_subpop_id_++;
   bucket.emplace_back(subpopulation, id);
-  subpop_bytes_ += sizeof(std::pair<Bitset, uint32_t>) +
-                   ((subpopulation.size() + 63) / 64) * sizeof(uint64_t) + 32;
+  subpop_bytes_ += SubpopEntryBytes(subpopulation.size());
   return id;
 }
 
@@ -349,6 +405,7 @@ EstimatorCacheStats EstimatorContext::Stats() const {
   s.memo_hits = n_hits_.load(std::memory_order_relaxed);
   s.memo_misses = n_misses_.load(std::memory_order_relaxed);
   s.memo_evicted = n_evicted_.load(std::memory_order_relaxed);
+  s.memo_migrated = n_migrated_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(memo_mu_);
   s.memo_entries = memo_.size();
   s.memo_bytes = memo_bytes_;

@@ -41,6 +41,7 @@ struct EstimatorCacheStats {
   uint64_t memo_hits = 0;
   uint64_t memo_misses = 0;
   uint64_t memo_evicted = 0;
+  uint64_t memo_migrated = 0;  ///< entries carried across an append
   size_t memo_entries = 0;
   size_t memo_bytes = 0;
 };
@@ -51,6 +52,20 @@ class EstimatorContext {
   /// gates the CATE memo (bypass mode recomputes every estimate).
   EstimatorContext(std::shared_ptr<EvalEngine> engine, const CausalDag& dag,
                    EstimatorOptions options);
+
+  /// Streaming-append migration: binds to `engine` (which must be a
+  /// delta-extension of `base`'s engine, so interned predicate ids are
+  /// preserved) and carries the CATE memo over with `base`'s DAG and
+  /// options. Each interned subpopulation bitset is zero-extended to the
+  /// new row count; invalidation is thereby per-epoch and exact — a
+  /// post-append query whose subpopulation gained no delta row produces
+  /// the zero-extended bit pattern and hits the carried memo (the same
+  /// rows yield the same estimate bit-for-bit), while a subpopulation
+  /// that actually grew interns a fresh id and recomputes; its stale
+  /// predecessor ages out through the LRU. Safe while `base` serves
+  /// concurrent queries.
+  EstimatorContext(std::shared_ptr<EvalEngine> engine,
+                   const EstimatorContext& base);
 
   EstimatorContext(const EstimatorContext&) = delete;
   EstimatorContext& operator=(const EstimatorContext&) = delete;
@@ -118,6 +133,12 @@ class EstimatorContext {
 
   static size_t EntryBytes(const MemoKey& key);
 
+  /// Accounted bytes of one subpop intern entry over a `bitset_size`-bit
+  /// universe (used by both InternSubpopLocked and the append-migration
+  /// ctor; EvictLru credits subpop_bytes_ wholesale, so the two must
+  /// agree).
+  static size_t SubpopEntryBytes(size_t bitset_size);
+
   /// Dense id of a subpopulation by exact bit content (a copy of each
   /// distinct bitset is kept; distinct subpopulations are few — one per
   /// grouping pattern). `hash` is the bitset's precomputed Hash() so the
@@ -149,6 +170,7 @@ class EstimatorContext {
   std::atomic<uint64_t> n_hits_{0};
   std::atomic<uint64_t> n_misses_{0};
   std::atomic<uint64_t> n_evicted_{0};
+  std::atomic<uint64_t> n_migrated_{0};
 };
 
 }  // namespace causumx

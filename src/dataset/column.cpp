@@ -10,6 +10,17 @@ namespace causumx {
 Column::Column(std::string name, ColumnType type)
     : name_(std::move(name)), type_(type) {}
 
+Column::Column(const Column& other)
+    : name_(other.name_),
+      type_(other.type_),
+      ints_(other.ints_),
+      doubles_(other.doubles_),
+      codes_(other.codes_),
+      dict_(other.dict_),
+      dict_index_(other.dict_index_),
+      cached_distinct_(
+          other.cached_distinct_.load(std::memory_order_relaxed)) {}
+
 size_t Column::size() const {
   switch (type_) {
     case ColumnType::kInt64:

@@ -26,6 +26,11 @@ class Column {
 
   Column(std::string name, ColumnType type);
 
+  /// Deep copy (the atomic distinct-count cache carries its value over).
+  /// Used by Table::Clone for copy-on-write append snapshots.
+  Column(const Column& other);
+  Column& operator=(const Column&) = delete;
+
   const std::string& name() const { return name_; }
   ColumnType type() const { return type_; }
   size_t size() const;

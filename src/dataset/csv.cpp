@@ -237,6 +237,94 @@ Table ReadCsvFile(const std::string& path, const CsvOptions& opt) {
   return ReadCsv(f, opt);
 }
 
+std::vector<std::vector<Value>> ReadCsvDelta(const Table& schema,
+                                             std::istream& in,
+                                             const CsvOptions& opt) {
+  std::string line;
+  if (!ReadCsvRecord(in, &line, opt.delimiter)) {
+    throw std::runtime_error("csv delta: empty input");
+  }
+  const std::vector<std::string> header = SplitCsvLine(line, opt.delimiter);
+  if (header.size() != schema.NumColumns()) {
+    throw std::runtime_error(StrFormat(
+        "csv delta: header has %zu columns, table has %zu", header.size(),
+        schema.NumColumns()));
+  }
+  // Map each header field to its schema column (any order, each exactly
+  // once) so deltas exported by other tools line up by name.
+  std::vector<size_t> target(header.size());
+  std::vector<bool> seen(schema.NumColumns(), false);
+  for (size_t c = 0; c < header.size(); ++c) {
+    const std::string name = Trim(header[c]);
+    const auto idx = schema.ColumnIndex(name);
+    if (!idx) {
+      throw std::runtime_error("csv delta: unknown column '" + name + "'");
+    }
+    if (seen[*idx]) {
+      throw std::runtime_error("csv delta: duplicate column '" + name + "'");
+    }
+    seen[*idx] = true;
+    target[c] = *idx;
+  }
+
+  std::vector<std::vector<Value>> rows;
+  size_t line_number = 1;
+  while (ReadCsvRecord(in, &line, opt.delimiter)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = SplitCsvLine(line, opt.delimiter);
+    if (fields.size() != header.size()) {
+      throw std::runtime_error(StrFormat(
+          "csv delta: row %zu has %zu fields, expected %zu", line_number,
+          fields.size(), header.size()));
+    }
+    std::vector<Value> row(schema.NumColumns());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      const std::string& s = fields[c];
+      const size_t t = target[c];
+      if (IsNullToken(s, opt)) {
+        row[t] = Value();
+        continue;
+      }
+      switch (schema.column(t).type()) {
+        case ColumnType::kInt64: {
+          int64_t iv;
+          if (!ParseInt(s, &iv)) {
+            throw std::runtime_error(StrFormat(
+                "csv delta: row %zu column '%s': '%s' is not an integer",
+                line_number, schema.column(t).name().c_str(), s.c_str()));
+          }
+          row[t] = Value(iv);
+          break;
+        }
+        case ColumnType::kDouble: {
+          double dv;
+          if (!ParseDouble(s, &dv)) {
+            throw std::runtime_error(StrFormat(
+                "csv delta: row %zu column '%s': '%s' is not numeric",
+                line_number, schema.column(t).name().c_str(), s.c_str()));
+          }
+          row[t] = Value(dv);
+          break;
+        }
+        case ColumnType::kCategorical:
+          row[t] = Value(s);
+          break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<std::vector<Value>> ReadCsvDeltaFile(const Table& schema,
+                                                 const std::string& path,
+                                                 const CsvOptions& opt) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("csv: cannot open " + path);
+  return ReadCsvDelta(schema, f, opt);
+}
+
 namespace {
 
 std::string EscapeCsv(const std::string& s, char delim) {

@@ -33,6 +33,22 @@ Table ReadCsv(std::istream& in, const CsvOptions& options = {});
 /// Reads a CSV file from disk. Throws on I/O failure.
 Table ReadCsvFile(const std::string& path, const CsvOptions& options = {});
 
+/// Parses delta rows against an existing table's schema (the streaming
+/// append path). The header must name exactly the table's columns, in
+/// any order; cells parse with the schema's declared types — no type
+/// inference — and an unparsable numeric cell throws instead of being
+/// silently nulled (the base schema is fixed, so the reader cannot
+/// demote a column the way ReadCsv does). Returns rows in schema order,
+/// ready for Table::AppendRows.
+std::vector<std::vector<Value>> ReadCsvDelta(const Table& schema,
+                                             std::istream& in,
+                                             const CsvOptions& options = {});
+
+/// As ReadCsvDelta over a file path. Throws on I/O failure.
+std::vector<std::vector<Value>> ReadCsvDeltaFile(
+    const Table& schema, const std::string& path,
+    const CsvOptions& options = {});
+
 /// Writes a table as CSV (header + rows).
 void WriteCsv(const Table& table, std::ostream& out, char delimiter = ',');
 

@@ -1,9 +1,13 @@
 #include "dataset/group_query.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <unordered_map>
 
+#include "util/stats.h"
 #include "util/string_utils.h"
 
 namespace causumx {
@@ -21,10 +25,41 @@ std::string GroupResult::KeyString() const {
   std::string out;
   for (size_t i = 0; i < key.size(); ++i) {
     if (i) out += "|";
-    out += key[i].ToString();
+    // Group identity is exact (dictionary codes / numeric bit patterns),
+    // so the label must be too: doubles render with round-trip precision
+    // — Value::ToString's 6-significant-digit form would give two
+    // distinct groups (e.g. 1.0000001 vs 1.0000002) the same label.
+    if (key[i].is_double()) {
+      out += FormatDouble(key[i].AsDouble(), 17);
+    } else {
+      out += key[i].ToString();
+    }
   }
   return out;
 }
+
+namespace {
+
+// Exact 64-bit encoding of one group-by cell (caller has excluded nulls):
+// categorical cells key by dictionary code, integers by value, doubles by
+// bit pattern (with -0.0 collapsed into +0.0 so the two zeros group
+// together, as numeric equality says they should).
+uint64_t CellCode(const Column& col, size_t r) {
+  switch (col.type()) {
+    case ColumnType::kCategorical:
+      return static_cast<uint64_t>(static_cast<uint32_t>(col.GetCode(r)));
+    case ColumnType::kInt64:
+      return static_cast<uint64_t>(col.GetInt(r));
+    case ColumnType::kDouble: {
+      double d = col.GetDouble(r);
+      if (d == 0.0) d = 0.0;
+      return std::bit_cast<uint64_t>(d);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 AggregateView AggregateView::Evaluate(const Table& table,
                                       const GroupByAvgQuery& query) {
@@ -42,10 +77,82 @@ AggregateView AggregateView::Evaluate(const Table& table,
   const Bitset where_mask =
       query.where.IsEmpty() ? Bitset() : query.where.Evaluate(table);
 
-  // Key rows by the concatenation of group-by cell renderings. Using a map
-  // keyed on strings keeps composite keys simple; group order follows first
-  // appearance for stable output.
+  // Rows key by their exact composite cell codes: an FNV-1a hash picks the
+  // bucket and a bucket hit compares the full composite against the
+  // group's stored key, so a 64-bit hash collision can never merge two
+  // distinct groups. Group ids follow first appearance for stable output.
+  const size_t kc = key_cols.size();
+  std::vector<uint64_t> group_keys;  // kc words per group, by group id
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  std::vector<uint64_t> scratch(kc);
+  std::vector<KahanSum> sums;
+
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    if (!query.where.IsEmpty() && !where_mask.Test(r)) continue;
+    if (avg_col.IsNull(r)) continue;
+    bool null_key = false;
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t k = 0; k < kc; ++k) {
+      if (key_cols[k]->IsNull(r)) {
+        null_key = true;
+        break;
+      }
+      scratch[k] = CellCode(*key_cols[k], r);
+      h = (h ^ scratch[k]) * 0x100000001b3ULL;
+    }
+    if (null_key) continue;
+
+    std::vector<uint32_t>& bucket = buckets[h];
+    size_t gid = view.groups_.size();
+    for (uint32_t g : bucket) {
+      if (std::equal(scratch.begin(), scratch.end(),
+                     group_keys.begin() + static_cast<size_t>(g) * kc)) {
+        gid = g;
+        break;
+      }
+    }
+    if (gid == view.groups_.size()) {
+      bucket.push_back(static_cast<uint32_t>(gid));
+      group_keys.insert(group_keys.end(), scratch.begin(), scratch.end());
+      GroupResult g;
+      g.key.reserve(kc);
+      for (const Column* c : key_cols) g.key.push_back(c->GetValue(r));
+      view.groups_.push_back(std::move(g));
+      sums.emplace_back();
+    }
+    GroupResult& g = view.groups_[gid];
+    sums[gid].Add(avg_col.GetNumeric(r));
+    g.count += 1;
+    g.rows.push_back(r);
+    view.row_group_[r] = static_cast<int32_t>(gid);
+  }
+  for (size_t i = 0; i < view.groups_.size(); ++i) {
+    GroupResult& g = view.groups_[i];
+    if (g.count > 0) g.average = sums[i].Sum() / static_cast<double>(g.count);
+  }
+  return view;
+}
+
+AggregateView AggregateView::EvaluateReference(const Table& table,
+                                               const GroupByAvgQuery& query) {
+  AggregateView view;
+  view.query_ = query;
+  view.row_group_.assign(table.NumRows(), -1);
+
+  std::vector<const Column*> key_cols;
+  key_cols.reserve(query.group_by.size());
+  for (const auto& name : query.group_by) {
+    key_cols.push_back(&table.column(name));
+  }
+  const Column& avg_col = table.column(query.avg_attribute);
+
+  const Bitset where_mask =
+      query.where.IsEmpty() ? Bitset() : query.where.Evaluate(table);
+
+  // Key rows by the concatenation of group-by cell renderings; group order
+  // follows first appearance, matching the production path.
   std::map<std::string, size_t> key_to_group;
+  std::vector<KahanSum> sums;
   for (size_t r = 0; r < table.NumRows(); ++r) {
     if (!query.where.IsEmpty() && !where_mask.Test(r)) continue;
     if (avg_col.IsNull(r)) continue;
@@ -68,15 +175,17 @@ AggregateView AggregateView::Evaluate(const Table& table,
       g.key.reserve(key_cols.size());
       for (const Column* c : key_cols) g.key.push_back(c->GetValue(r));
       view.groups_.push_back(std::move(g));
+      sums.emplace_back();
     }
     GroupResult& g = view.groups_[it->second];
-    g.average += avg_col.GetNumeric(r);
+    sums[it->second].Add(avg_col.GetNumeric(r));
     g.count += 1;
     g.rows.push_back(r);
     view.row_group_[r] = static_cast<int32_t>(it->second);
   }
-  for (auto& g : view.groups_) {
-    if (g.count > 0) g.average /= static_cast<double>(g.count);
+  for (size_t i = 0; i < view.groups_.size(); ++i) {
+    GroupResult& g = view.groups_[i];
+    if (g.count > 0) g.average = sums[i].Sum() / static_cast<double>(g.count);
   }
   return view;
 }

@@ -40,8 +40,20 @@ class AggregateView {
 
   /// Evaluates the query. Rows failing WHERE or with a null in any group-by
   /// or AVG attribute are excluded. Groups are ordered by first appearance.
+  /// Averages use compensated (Kahan) summation, so large groups with
+  /// large-offset values keep full precision. Group keys compare by exact
+  /// dictionary code / numeric bit pattern (no per-row string rendering).
   static AggregateView Evaluate(const Table& table,
                                 const GroupByAvgQuery& query);
+
+  /// Reference evaluation keyed by rendered key strings (the
+  /// pre-dictionary-code path), kept as the oracle the fast path is
+  /// tested bit-identical against. Same compensated summation. Note the
+  /// one intended divergence: string keys round doubles to 6 significant
+  /// digits (conflating near-equal keys) and can alias across composite
+  /// fields; the production path is exact.
+  static AggregateView EvaluateReference(const Table& table,
+                                         const GroupByAvgQuery& query);
 
   const GroupByAvgQuery& query() const { return query_; }
   size_t NumGroups() const { return groups_.size(); }

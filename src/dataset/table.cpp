@@ -1,5 +1,6 @@
 #include "dataset/table.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace causumx {
@@ -25,6 +26,69 @@ void Table::AddRow(const std::vector<Value>& values) {
     columns_[i]->AppendValue(values[i]);
   }
   ++num_rows_;
+}
+
+void Table::AppendRows(const std::vector<std::vector<Value>>& rows) {
+  // Validate the whole batch before touching any column so a bad row
+  // cannot leave the table half-appended.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != columns_.size()) {
+      throw std::invalid_argument(
+          "AppendRows: row " + std::to_string(i) + " has " +
+          std::to_string(rows[i].size()) + " values, expected " +
+          std::to_string(columns_.size()));
+    }
+    for (size_t c = 0; c < rows[i].size(); ++c) {
+      const Value& v = rows[i][c];
+      if (v.is_null()) continue;
+      if (columns_[c]->type() != ColumnType::kCategorical && v.is_string()) {
+        throw std::invalid_argument(
+            "AppendRows: row " + std::to_string(i) + " column '" +
+            columns_[c]->name() + "': string value in a " +
+            ColumnTypeName(columns_[c]->type()) + " column");
+      }
+    }
+  }
+  for (auto& c : columns_) c->Reserve(num_rows_ + rows.size());
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      columns_[c]->AppendValue(row[c]);
+    }
+    ++num_rows_;
+  }
+  ++version_;
+}
+
+Table Table::Clone() const {
+  Table out;
+  out.columns_.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    out.columns_.push_back(std::make_unique<Column>(*c));
+  }
+  out.index_ = index_;
+  out.num_rows_ = num_rows_;
+  out.version_ = version_;
+  return out;
+}
+
+Table Table::Head(size_t n) const {
+  std::vector<size_t> rows(std::min(n, num_rows_));
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return SelectRows(rows);
+}
+
+std::vector<std::vector<Value>> Table::MaterializeRows(size_t begin,
+                                                       size_t end) const {
+  end = std::min(end, num_rows_);
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(end > begin ? end - begin : 0);
+  for (size_t r = begin; r < end; ++r) {
+    std::vector<Value> row;
+    row.reserve(columns_.size());
+    for (const auto& c : columns_) row.push_back(c->GetValue(r));
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 std::optional<size_t> Table::ColumnIndex(const std::string& name) const {

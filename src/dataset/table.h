@@ -31,6 +31,36 @@ class Table {
   /// Appends one row; `values` must match the schema arity and order.
   void AddRow(const std::vector<Value>& values);
 
+  /// Appends a batch of rows atomically: every row is validated first
+  /// (arity, and no string value in a numeric column — numeric values
+  /// cross-coerce and nulls are accepted anywhere, as in AddRow), so a
+  /// bad row leaves the table untouched. Categorical cells grow the
+  /// dictionary as needed. Bumps the table version once per batch.
+  /// Throws std::invalid_argument naming the offending row/column.
+  void AppendRows(const std::vector<std::vector<Value>>& rows);
+
+  /// Monotone data version: 0 at construction, +1 per AppendRows batch.
+  /// Snapshot consumers (EvalEngine delta extension, the service's
+  /// copy-on-write registry) use it to tell table generations apart;
+  /// row-at-a-time AddRow is the bulk-construction path and does not
+  /// version.
+  uint64_t version() const { return version_; }
+
+  /// Deep copy (schema, rows, dictionaries, version). The copy-on-write
+  /// append path clones the current snapshot, appends to the clone, and
+  /// swaps it in so in-flight readers of the original are undisturbed.
+  Table Clone() const;
+
+  /// The first min(n, NumRows()) rows as a new table (fresh version 0).
+  /// Streaming tests/benches use this to split a dataset into a base
+  /// prefix plus append deltas.
+  Table Head(size_t n) const;
+
+  /// Materializes rows [begin, end) as AppendRows-ready value rows
+  /// (categoricals decode to strings, nulls to null Values).
+  std::vector<std::vector<Value>> MaterializeRows(size_t begin,
+                                                  size_t end) const;
+
   size_t NumRows() const { return num_rows_; }
   size_t NumColumns() const { return columns_.size(); }
 
@@ -58,6 +88,7 @@ class Table {
   std::vector<std::unique_ptr<Column>> columns_;
   std::unordered_map<std::string, size_t> index_;
   size_t num_rows_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace causumx

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <utility>
 
 namespace causumx {
@@ -53,6 +54,99 @@ EvalEngine::EvalEngine(std::shared_ptr<const Table> table, bool cache_enabled)
       cache_enabled_(cache_enabled) {
   for (size_t c = 0; c < table_.NumColumns(); ++c) {
     column_slots_.emplace_back();
+  }
+}
+
+EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
+                       const EvalEngine& base)
+    : keepalive_(std::move(table)),
+      table_(*keepalive_),
+      cache_enabled_(base.cache_enabled_) {
+  const size_t old_rows = base.table_.NumRows();
+  const size_t new_rows = table_.NumRows();
+  if (new_rows < old_rows ||
+      table_.NumColumns() != base.table_.NumColumns()) {
+    throw std::invalid_argument(
+        "EvalEngine delta extension: table does not extend the base table");
+  }
+
+  // Inherit the intern table (ids must survive so EstimatorContext memo
+  // keys stay valid across the append) and carry over every materialized
+  // bitset, extended by evaluating only the delta rows. The base may be
+  // serving queries concurrently, so the snapshot phase under its shared
+  // intern lock only copies pointers — the O(predicates x delta) bitset
+  // re-evaluation happens after the lock is released, so a query that
+  // needs to intern a new predicate into the base never waits on the
+  // append. This engine is still private to the constructor, so its own
+  // members need no locks.
+  struct SlotSnapshot {
+    SimplePredicate pred;
+    std::shared_ptr<const Bitset> bits;  // null when evicted/unbuilt
+    uint64_t last_used;
+  };
+  std::vector<SlotSnapshot> snapshot;
+  {
+    std::shared_lock base_lock(base.intern_mu_);
+    ids_ = base.ids_;
+    clock_.store(base.clock_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    snapshot.reserve(base.slots_.size());
+    for (size_t id = 0; id < base.slots_.size(); ++id) {
+      const PredicateSlot& src = base.slots_[id];
+      SlotSnapshot snap;
+      snap.pred = src.pred;
+      snap.last_used = src.last_used.load(std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(src.mu);
+        snap.bits = src.bits;
+      }
+      snapshot.push_back(std::move(snap));
+    }
+  }
+  for (SlotSnapshot& snap : snapshot) {
+    slots_.emplace_back();
+    PredicateSlot& dst = slots_.back();
+    dst.pred = std::move(snap.pred);
+    dst.last_used.store(snap.last_used, std::memory_order_relaxed);
+    if (snap.bits == nullptr) continue;  // evicted: rebuilds on demand
+    Bitset ext = *snap.bits;
+    ext.Resize(new_rows);
+    // Row-at-a-time Matches agrees bit-for-bit with Pattern::Evaluate
+    // (see the engine property tests), including the absent-dictionary-
+    // constant case: old rows keep their old codes, so a constant that
+    // only entered the dictionary with the delta still matches no old row.
+    for (size_t r = old_rows; r < new_rows; ++r) {
+      if (dst.pred.Matches(table_, r)) ext.Set(r);
+    }
+    bitset_bytes_.fetch_add(BitsetBytes(ext), std::memory_order_relaxed);
+    dst.bits = std::make_shared<const Bitset>(std::move(ext));
+    n_extended_.fetch_add(1, std::memory_order_relaxed);
+  }
+  n_interned_.store(slots_.size(), std::memory_order_relaxed);
+
+  for (size_t c = 0; c < table_.NumColumns(); ++c) {
+    column_slots_.emplace_back();
+    ColumnSlot& dst = column_slots_.back();
+    const ColumnSlot& src = base.column_slots_[c];
+    if (!src.ready.load(std::memory_order_acquire)) continue;
+    const Column& col = table_.column(c);
+    dst.view.values = src.view.values;
+    dst.view.valid = src.view.valid;
+    dst.view.values.resize(new_rows);
+    dst.view.valid.Resize(new_rows);
+    for (size_t r = old_rows; r < new_rows; ++r) {
+      if (col.IsNull(r)) {
+        dst.view.values[r] = std::nan("");
+      } else {
+        dst.view.values[r] = col.GetNumeric(r);
+        dst.view.valid.Set(r);
+      }
+    }
+    view_bytes_.fetch_add(
+        new_rows * sizeof(double) + BitsetBytes(dst.view.valid),
+        std::memory_order_relaxed);
+    n_views_extended_.fetch_add(1, std::memory_order_relaxed);
+    dst.ready.store(true, std::memory_order_release);
   }
 }
 
@@ -123,24 +217,45 @@ Bitset EvalEngine::EvaluateOn(const Pattern& pattern, const Bitset& mask) {
 
 const NumericColumnView& EvalEngine::Numeric(size_t col) {
   ColumnSlot& slot = column_slots_[col];
-  std::call_once(slot.once, [&] {
-    const Column& c = table_.column(col);
-    const size_t n = table_.NumRows();
-    slot.view.values.resize(n);
-    slot.view.valid = Bitset(n);
-    for (size_t r = 0; r < n; ++r) {
-      if (c.IsNull(r)) {
-        slot.view.values[r] = std::nan("");
-      } else {
-        slot.view.values[r] = c.GetNumeric(r);
-        slot.view.valid.Set(r);
-      }
+  if (slot.ready.load(std::memory_order_acquire)) return slot.view;
+  std::lock_guard<std::mutex> lk(slot.mu);
+  if (slot.ready.load(std::memory_order_relaxed)) return slot.view;
+  const Column& c = table_.column(col);
+  const size_t n = table_.NumRows();
+  slot.view.values.resize(n);
+  slot.view.valid = Bitset(n);
+  for (size_t r = 0; r < n; ++r) {
+    if (c.IsNull(r)) {
+      slot.view.values[r] = std::nan("");
+    } else {
+      slot.view.values[r] = c.GetNumeric(r);
+      slot.view.valid.Set(r);
     }
-    n_views_built_.fetch_add(1, std::memory_order_relaxed);
-    view_bytes_.fetch_add(n * sizeof(double) + BitsetBytes(slot.view.valid),
-                          std::memory_order_relaxed);
-  });
+  }
+  n_views_built_.fetch_add(1, std::memory_order_relaxed);
+  view_bytes_.fetch_add(n * sizeof(double) + BitsetBytes(slot.view.valid),
+                        std::memory_order_relaxed);
+  slot.ready.store(true, std::memory_order_release);
   return slot.view;
+}
+
+std::shared_ptr<const std::vector<Value>> EvalEngine::DistinctValues(
+    size_t col) {
+  if (!cache_enabled_) {
+    return std::make_shared<const std::vector<Value>>(
+        table_.column(col).DistinctValues());
+  }
+  ColumnSlot& slot = column_slots_[col];
+  if (slot.distinct_ready.load(std::memory_order_acquire)) {
+    return slot.distinct;
+  }
+  std::lock_guard<std::mutex> lk(slot.distinct_mu);
+  if (!slot.distinct_ready.load(std::memory_order_relaxed)) {
+    slot.distinct = std::make_shared<const std::vector<Value>>(
+        table_.column(col).DistinctValues());
+    slot.distinct_ready.store(true, std::memory_order_release);
+  }
+  return slot.distinct;
 }
 
 size_t EvalEngine::NumInterned() const {
@@ -193,9 +308,12 @@ EvalEngineStats EvalEngine::Stats() const {
   s.bitsets_materialized = n_materialized_.load(std::memory_order_relaxed);
   s.bitset_hits = n_bitset_hits_.load(std::memory_order_relaxed);
   s.bitsets_evicted = n_evicted_.load(std::memory_order_relaxed);
+  s.bitsets_extended = n_extended_.load(std::memory_order_relaxed);
   s.pattern_evals = n_pattern_evals_.load(std::memory_order_relaxed);
   s.bypass_evals = n_bypass_evals_.load(std::memory_order_relaxed);
   s.column_views_built = n_views_built_.load(std::memory_order_relaxed);
+  s.column_views_extended =
+      n_views_extended_.load(std::memory_order_relaxed);
   s.bitset_bytes = bitset_bytes_.load(std::memory_order_relaxed);
   s.view_bytes = view_bytes_.load(std::memory_order_relaxed);
   return s;

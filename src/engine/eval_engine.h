@@ -54,9 +54,11 @@ struct EvalEngineStats {
   uint64_t bitsets_materialized = 0;
   uint64_t bitset_hits = 0;
   uint64_t bitsets_evicted = 0;
+  uint64_t bitsets_extended = 0;  ///< inherited via delta extension
   uint64_t pattern_evals = 0;
   uint64_t bypass_evals = 0;
   uint64_t column_views_built = 0;
+  uint64_t column_views_extended = 0;  ///< inherited via delta extension
   size_t bitset_bytes = 0;
   size_t view_bytes = 0;
 };
@@ -84,6 +86,18 @@ class EvalEngine {
   explicit EvalEngine(std::shared_ptr<const Table> table,
                       bool cache_enabled = true);
 
+  /// Delta-aware rebinding for the streaming append path: a new engine
+  /// over `table`, which must be `base`'s table extended by appended rows
+  /// (same schema; rows [0, base rows) bit-identical). Every interned
+  /// predicate keeps its id, and each cached bitset / numeric column view
+  /// is carried over and extended by evaluating only the delta rows —
+  /// O(delta) per cache entry instead of a full-table rebuild. Evicted
+  /// entries stay evicted (they rematerialize over the full table on next
+  /// use). Safe while `base` is serving concurrent queries; `base` itself
+  /// is never modified. Throws std::invalid_argument when `table` does
+  /// not extend the base table.
+  EvalEngine(std::shared_ptr<const Table> table, const EvalEngine& base);
+
   EvalEngine(const EvalEngine&) = delete;
   EvalEngine& operator=(const EvalEngine&) = delete;
 
@@ -110,6 +124,14 @@ class EvalEngine {
   /// Cached numeric view of column `col` (by index), built on first use.
   const NumericColumnView& Numeric(size_t col);
 
+  /// Cached distinct non-null values of column `col`, ascending (the
+  /// atom generator calls this once per lattice walk; uncached it is an
+  /// O(rows) set-build each time). Built on first use; in bypass mode it
+  /// recomputes per call (identical values, uncached work profile).
+  /// Callers gate on Column::NumDistinct first, so cached vectors stay
+  /// small in practice.
+  std::shared_ptr<const std::vector<Value>> DistinctValues(size_t col);
+
   /// Number of distinct predicates interned so far.
   size_t NumInterned() const;
 
@@ -130,13 +152,21 @@ class EvalEngine {
  private:
   struct PredicateSlot {
     SimplePredicate pred;
-    std::mutex mu;                       // guards `bits` build/evict
+    mutable std::mutex mu;               // guards `bits` build/evict
     std::shared_ptr<const Bitset> bits;  // null until materialized/evicted
     std::atomic<uint64_t> last_used{0};
   };
+  /// Double-checked build: `ready` (acquire/release) publishes `view`
+  /// after it is built under `mu` — or seeded by the delta-extension
+  /// constructor. (A once_flag cannot express "already built": the
+  /// extension ctor pre-fills inherited views.)
   struct ColumnSlot {
-    std::once_flag once;
+    std::mutex mu;
+    std::atomic<bool> ready{false};
     NumericColumnView view;
+    std::mutex distinct_mu;
+    std::atomic<bool> distinct_ready{false};
+    std::shared_ptr<const std::vector<Value>> distinct;
   };
 
   static size_t BitsetBytes(const Bitset& bits);
@@ -155,9 +185,11 @@ class EvalEngine {
   std::atomic<uint64_t> n_materialized_{0};
   std::atomic<uint64_t> n_bitset_hits_{0};
   std::atomic<uint64_t> n_evicted_{0};
+  std::atomic<uint64_t> n_extended_{0};
   std::atomic<uint64_t> n_pattern_evals_{0};
   std::atomic<uint64_t> n_bypass_evals_{0};
   std::atomic<uint64_t> n_views_built_{0};
+  std::atomic<uint64_t> n_views_extended_{0};
   std::atomic<size_t> bitset_bytes_{0};
   std::atomic<size_t> view_bytes_{0};
 };

@@ -203,15 +203,18 @@ SelectionResult SolveGreedy(const SelectionProblem& p, double gain_bonus) {
   SelectionResult result;
   Bitset covered(p.num_groups);
   std::set<size_t> chosen;
-  std::set<uint64_t> used_coverages;  // incomparability constraint
+  // Incomparability constraint: never take two candidates with the same
+  // coverage. The dedup compares bit content on a hash-bucket hit — a
+  // hash-only check would let a 64-bit collision silently skip a distinct
+  // candidate and degrade the selection.
+  BitsetDedup used_coverages;
 
   for (size_t step = 0; step < p.k; ++step) {
     size_t best_j = p.candidates.size();
     double best_score = -1e300;
     for (size_t j = 0; j < p.candidates.size(); ++j) {
       if (chosen.count(j)) continue;
-      const uint64_t cov_hash = p.candidates[j].coverage.Hash();
-      if (used_coverages.count(cov_hash)) continue;
+      if (used_coverages.Contains(p.candidates[j].coverage)) continue;
       const Bitset merged = covered | p.candidates[j].coverage;
       const double gain =
           static_cast<double>(merged.Count() - covered.Count());
@@ -223,7 +226,7 @@ SelectionResult SolveGreedy(const SelectionProblem& p, double gain_bonus) {
     }
     if (best_j == p.candidates.size()) break;
     chosen.insert(best_j);
-    used_coverages.insert(p.candidates[best_j].coverage.Hash());
+    used_coverages.Insert(p.candidates[best_j].coverage);
     covered |= p.candidates[best_j].coverage;
   }
   result = Evaluate(p, {chosen.begin(), chosen.end()});

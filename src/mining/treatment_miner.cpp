@@ -10,6 +10,45 @@
 
 namespace causumx {
 
+namespace {
+
+void EqualityAtoms(const std::string& name, const std::vector<Value>& values,
+                   std::vector<SimplePredicate>* atoms) {
+  for (const Value& v : values) {
+    atoms->emplace_back(name, CompareOp::kEq, v);
+  }
+}
+
+// Quantile thresholds A < q and A >= q over the sorted non-null values.
+void QuantileAtoms(const std::string& name, std::vector<double> vals,
+                   const TreatmentMinerOptions& opt,
+                   std::vector<SimplePredicate>* atoms) {
+  if (vals.size() < 4) return;
+  std::sort(vals.begin(), vals.end());
+  std::set<double> cuts;
+  for (size_t b = 1; b <= opt.numeric_bins; ++b) {
+    const double q =
+        static_cast<double>(b) / static_cast<double>(opt.numeric_bins + 1);
+    cuts.insert(vals[static_cast<size_t>(q * (vals.size() - 1))]);
+  }
+  for (double c : cuts) {
+    atoms->emplace_back(name, CompareOp::kLt, Value(c));
+    atoms->emplace_back(name, CompareOp::kGe, Value(c));
+  }
+}
+
+// True when the column's atoms are equality items (else quantiles).
+// `distinct` is the column's cached distinct count.
+bool UseEqualityAtoms(const Column& col, size_t distinct,
+                      const TreatmentMinerOptions& opt) {
+  const bool small_domain = distinct <= opt.max_values_per_attribute;
+  if (col.type() == ColumnType::kCategorical) return small_domain;
+  return small_domain &&
+         distinct <= std::max<size_t>(opt.numeric_bins * 2, 8);
+}
+
+}  // namespace
+
 std::vector<SimplePredicate> GenerateAtomicTreatments(
     const Table& table, const std::vector<std::string>& attributes,
     const TreatmentMinerOptions& opt) {
@@ -21,37 +60,44 @@ std::vector<SimplePredicate> GenerateAtomicTreatments(
     const size_t distinct = col.NumDistinct();
     if (distinct < 2) continue;
 
-    const bool small_domain = distinct <= opt.max_values_per_attribute;
-    if (col.type() == ColumnType::kCategorical) {
-      if (!small_domain) continue;
-      for (const Value& v : col.DistinctValues()) {
-        atoms.emplace_back(name, CompareOp::kEq, v);
-      }
-    } else if (small_domain &&
-               distinct <= std::max<size_t>(opt.numeric_bins * 2, 8)) {
-      // Small numeric domains (e.g. 1..5 Likert attributes): equality atoms.
-      for (const Value& v : col.DistinctValues()) {
-        atoms.emplace_back(name, CompareOp::kEq, v);
-      }
-    } else {
-      // Wide numeric domains: quantile thresholds A < q and A >= q.
+    if (UseEqualityAtoms(col, distinct, opt)) {
+      EqualityAtoms(name, col.DistinctValues(), &atoms);
+    } else if (col.type() != ColumnType::kCategorical) {
       std::vector<double> vals;
       vals.reserve(table.NumRows());
       for (size_t r = 0; r < table.NumRows(); ++r) {
         if (!col.IsNull(r)) vals.push_back(col.GetNumeric(r));
       }
-      if (vals.size() < 4) continue;
-      std::sort(vals.begin(), vals.end());
-      std::set<double> cuts;
-      for (size_t b = 1; b <= opt.numeric_bins; ++b) {
-        const double q =
-            static_cast<double>(b) / static_cast<double>(opt.numeric_bins + 1);
-        cuts.insert(vals[static_cast<size_t>(q * (vals.size() - 1))]);
+      QuantileAtoms(name, std::move(vals), opt, &atoms);
+    }
+  }
+  return atoms;
+}
+
+std::vector<SimplePredicate> GenerateAtomicTreatments(
+    EvalEngine& engine, const std::vector<std::string>& attributes,
+    const TreatmentMinerOptions& opt) {
+  const Table& table = engine.table();
+  std::vector<SimplePredicate> atoms;
+  for (const auto& name : attributes) {
+    auto idx = table.ColumnIndex(name);
+    if (!idx) continue;
+    const Column& col = table.column(*idx);
+    const size_t distinct = col.NumDistinct();
+    if (distinct < 2) continue;
+
+    if (UseEqualityAtoms(col, distinct, opt)) {
+      EqualityAtoms(name, *engine.DistinctValues(*idx), &atoms);
+    } else if (col.type() != ColumnType::kCategorical) {
+      // The cached numeric view lists values in row order, exactly as the
+      // table scan does — identical quantile cuts.
+      const NumericColumnView& view = engine.Numeric(*idx);
+      std::vector<double> vals;
+      vals.reserve(view.values.size());
+      for (size_t r = 0; r < view.values.size(); ++r) {
+        if (view.valid.Test(r)) vals.push_back(view.values[r]);
       }
-      for (double c : cuts) {
-        atoms.emplace_back(name, CompareOp::kLt, Value(c));
-        atoms.emplace_back(name, CompareOp::kGe, Value(c));
-      }
+      QuantileAtoms(name, std::move(vals), opt, &atoms);
     }
   }
   return atoms;
@@ -98,12 +144,7 @@ std::optional<ScoredTreatment> MineTopTreatmentWithStats(
 
 bool InsertUniqueTreatedSet(TreatedSetDedup* seen, uint64_t hash,
                             Bitset bits) {
-  std::vector<Bitset>& bucket = (*seen)[hash];
-  for (const Bitset& b : bucket) {
-    if (b == bits) return false;
-  }
-  bucket.push_back(std::move(bits));
-  return true;
+  return seen->Insert(hash, std::move(bits));
 }
 
 std::vector<ScoredTreatment> MineTopKTreatments(
@@ -204,9 +245,10 @@ std::optional<ScoredTreatment> RunLatticeWalk(
     }
   };
 
-  // Level 1: atomic predicates (GenChildren in the paper's pseudocode).
+  // Level 1: atomic predicates (GenChildren in the paper's pseudocode),
+  // served from the engine's cached distinct/numeric views.
   const std::vector<SimplePredicate> atoms =
-      GenerateAtomicTreatments(table, causal_attrs, opt);
+      GenerateAtomicTreatments(engine, causal_attrs, opt);
   std::vector<Node> level;
   level.reserve(atoms.size());
   std::optional<Node> best;

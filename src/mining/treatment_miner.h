@@ -67,6 +67,15 @@ struct TreatmentMinerOptions {
   double min_treated_fraction = 0.01;
 };
 
+/// As GenerateAtomicTreatments below, but served from the engine's
+/// cached distinct-value and numeric views: the lattice walk calls this
+/// once per (grouping pattern, sign), and the uncached variant re-scans
+/// every treatment column each time — a measurable fraction of a fully
+/// warm query. Identical atoms either way.
+std::vector<SimplePredicate> GenerateAtomicTreatments(
+    EvalEngine& engine, const std::vector<std::string>& attributes,
+    const TreatmentMinerOptions& options);
+
 /// Generates all atomic treatment predicates for the given attributes
 /// (equality items for categorical/small-int, quantile thresholds for
 /// numeric). Exposed for tests and the Brute-Force baseline.
@@ -107,9 +116,11 @@ std::vector<ScoredTreatment> MineTopKTreatments(
     const std::vector<std::string>& treatment_attributes, TreatmentSign sign,
     size_t k, const TreatmentMinerOptions& options = {});
 
-/// Treated-set dedup map: Bitset::Hash bucket -> the distinct bitsets
-/// seen under that hash.
-using TreatedSetDedup = std::unordered_map<uint64_t, std::vector<Bitset>>;
+/// Treated-set dedup: the generic collision-safe BitsetDedup
+/// (util/bitset.h), shared with the greedy solver's incomparability
+/// constraint. Kept under the domain alias for the top-k dedup and its
+/// tests.
+using TreatedSetDedup = BitsetDedup;
 
 /// Records `bits` under `hash` unless an equal bitset is already present
 /// in that bucket; returns true when it was new. Comparing actual bit

@@ -1,5 +1,6 @@
 #include "service/batch.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -11,6 +12,7 @@
 #include "causal/dag_io.h"
 #include "causal/discovery.h"
 #include "core/json_export.h"
+#include "dataset/csv.h"
 #include "util/json.h"
 #include "util/string_utils.h"
 #include "util/timer.h"
@@ -82,14 +84,112 @@ CausalDag ResolveDag(const JsonValue& request, const Table& table,
   throw std::runtime_error("unknown \"discover\" algorithm: " + discover);
 }
 
+// Coerces a JSON array-of-arrays into schema-ordered append rows:
+// numbers into numeric columns, strings into categorical ones, null
+// anywhere. Type mismatches throw (Table::AppendRows re-validates).
+std::vector<std::vector<Value>> ParseJsonRows(const JsonValue& rows_json,
+                                              const Table& schema) {
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(rows_json.AsArray().size());
+  for (const JsonValue& row_json : rows_json.AsArray()) {
+    const std::vector<JsonValue>& cells = row_json.AsArray();
+    if (cells.size() != schema.NumColumns()) {
+      throw std::runtime_error(StrFormat(
+          "append row %zu has %zu cells, table has %zu columns",
+          rows.size() + 1, cells.size(), schema.NumColumns()));
+    }
+    std::vector<Value> row(cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      const JsonValue& cell = cells[c];
+      if (cell.is_null()) continue;
+      switch (schema.column(c).type()) {
+        case ColumnType::kInt64: {
+          // Match the CSV delta path's strictness: reject fractional
+          // values instead of truncating, and bound to the +-2^53 range
+          // where doubles hold integers exactly (JSON numbers arrive as
+          // double, so anything larger has already lost digits; the cast
+          // is also UB past int64 range).
+          const double d = cell.AsNumber();
+          if (d != std::floor(d) || d < -9007199254740992.0 ||
+              d > 9007199254740992.0) {
+            throw std::runtime_error(StrFormat(
+                "append row %zu column '%s': %g is not an exactly "
+                "representable integer",
+                rows.size() + 1, schema.column(c).name().c_str(), d));
+          }
+          row[c] = Value(static_cast<int64_t>(d));
+          break;
+        }
+        case ColumnType::kDouble:
+          row[c] = Value(cell.AsNumber());
+          break;
+        case ColumnType::kCategorical:
+          row[c] = Value(cell.AsString());
+          break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+BatchResult ExecuteAppend(ExplanationService& service,
+                          const JsonValue& request, const std::string& id,
+                          const BatchOptions& options) {
+  BatchResult result;
+  std::string table_name = request.GetString("table");
+  if (table_name.empty()) table_name = options.default_table;
+
+  const std::string csv_path = request.GetString("csv");
+  const JsonValue* rows_json = request.Find("rows");
+
+  Timer timer;
+  std::shared_ptr<const Table> grown;
+  size_t rows_appended = 0;
+  if (!csv_path.empty()) {
+    grown = service.AppendCsv(table_name, csv_path, {}, &rows_appended);
+  } else if (rows_json != nullptr) {
+    const std::shared_ptr<const Table> schema =
+        service.GetTable(table_name);
+    const auto rows = ParseJsonRows(*rows_json, *schema);
+    rows_appended = rows.size();
+    // Pin to the schema the cells were coerced against (same race as the
+    // CSV path: a concurrent re-registration must not get stale-typed
+    // rows).
+    grown = service.Append(table_name, rows, schema.get());
+  } else {
+    throw std::runtime_error("append needs \"csv\" or \"rows\"");
+  }
+  result.ok = true;
+  result.json_line = StrFormat(
+      "{\"id\":\"%s\",\"table\":\"%s\",\"ok\":true,\"op\":\"append\","
+      "\"rows_appended\":%zu,\"rows_total\":%zu,\"version\":%llu,"
+      "\"elapsed_ms\":%s}",
+      JsonEscape(id).c_str(), JsonEscape(table_name).c_str(), rows_appended,
+      grown->NumRows(), (unsigned long long)grown->version(),
+      FormatDouble(timer.Seconds() * 1000.0, 3).c_str());
+  return result;
+}
+
+// `parsed` carries the line's pre-parsed JSON when RunBatch already has
+// it (it peeks at every line for the append barrier); null re-parses —
+// and surfaces the parse error — here.
 BatchResult ExecuteRequest(ExplanationService& service,
-                           const std::string& line, size_t line_number,
-                           const BatchOptions& options) {
+                           const std::string& line,
+                           std::shared_ptr<const JsonValue> parsed,
+                           size_t line_number, const BatchOptions& options) {
   BatchResult result;
   std::string id = StrFormat("%zu", line_number);
   try {
-    const JsonValue request = JsonValue::Parse(line);
+    if (parsed == nullptr) {
+      parsed = std::make_shared<const JsonValue>(JsonValue::Parse(line));
+    }
+    const JsonValue& request = *parsed;
     id = request.GetString("id", id);
+
+    const std::string op = request.GetString("op", "query");
+    if (op == "append") return ExecuteAppend(service, request, id, options);
+    if (op != "query") throw std::runtime_error("unknown op \"" + op + "\"");
 
     std::string table_name = request.GetString("table");
     const std::string csv_path = request.GetString("csv");
@@ -166,7 +266,10 @@ BatchSummary RunBatch(ExplanationService& service, std::istream& in,
                       std::ostream& out, const BatchOptions& options) {
   // Collect the lines first, then fan out: requests run concurrently on
   // callers of the service pool via std::async-free futures, and results
-  // stream back in input order.
+  // stream back in input order. Append ops are barriers: all earlier
+  // requests drain before the append lands (they query the pre-append
+  // snapshot), and later requests see the grown table — the file reads
+  // top-to-bottom like a stream of events.
   std::vector<std::string> lines;
   std::string line;
   while (std::getline(in, line)) {
@@ -174,21 +277,11 @@ BatchSummary RunBatch(ExplanationService& service, std::istream& in,
     lines.push_back(line);
   }
 
-  std::vector<std::future<BatchResult>> futures;
-  futures.reserve(lines.size());
-  for (size_t i = 0; i < lines.size(); ++i) {
-    auto task = std::make_shared<std::packaged_task<BatchResult()>>(
-        [&service, &options, text = lines[i], i] {
-          return ExecuteRequest(service, text, i + 1, options);
-        });
-    futures.push_back(task->get_future());
-    service.pool().Submit([task] { (*task)(); });
-  }
-
   BatchSummary summary;
   summary.requests = lines.size();
-  for (auto& f : futures) {
-    BatchResult r = f.get();
+
+  std::vector<std::future<BatchResult>> pending;
+  auto emit = [&](BatchResult r) {
     out << r.json_line << "\n";
     out.flush();
     if (r.ok) {
@@ -196,7 +289,37 @@ BatchSummary RunBatch(ExplanationService& service, std::istream& in,
     } else {
       ++summary.failed;
     }
+  };
+  auto drain = [&] {
+    for (auto& f : pending) emit(f.get());
+    pending.clear();
+  };
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    // Parse once, up front: the barrier check needs the op field, and the
+    // executor reuses the parsed value. A malformed line is not a
+    // barrier; it fails inside ExecuteRequest like any other bad request.
+    std::shared_ptr<const JsonValue> parsed;
+    bool is_append = false;
+    try {
+      parsed = std::make_shared<const JsonValue>(JsonValue::Parse(lines[i]));
+      is_append = parsed->GetString("op") == "append";
+    } catch (...) {
+      // Unparsable line or non-string "op": ExecuteRequest reports it.
+    }
+    if (is_append) {
+      drain();
+      emit(ExecuteRequest(service, lines[i], parsed, i + 1, options));
+      continue;
+    }
+    auto task = std::make_shared<std::packaged_task<BatchResult()>>(
+        [&service, &options, text = lines[i], parsed, i] {
+          return ExecuteRequest(service, text, parsed, i + 1, options);
+        });
+    pending.push_back(task->get_future());
+    service.pool().Submit([task] { (*task)(); });
   }
+  drain();
   return summary;
 }
 

@@ -14,9 +14,21 @@
 //    "k": 5, "theta": 0.75, "support": 0.1, "alpha": 0.05,
 //    "num_threads": 1}               // per-query mining threads
 //
+// Streaming ingestion rides the same file via an "op" field:
+//
+//   {"op": "append", "table": "sales", "csv": "delta.csv"}
+//   {"op": "append", "table": "sales",
+//    "rows": [["US", 12, 3.5], [null, 7, 1.0]]}   // schema order
+//
+// appends delta rows to a registered table (cells coerce to the column
+// types; null is null). An append line is a barrier: every earlier
+// request finishes before it lands, and every later request sees the
+// grown table — so "query, append, re-query" reads top-to-bottom.
+//
 // Result lines: {"id", "table", "ok", "elapsed_ms", "summary"} on
-// success, {"id", "ok": false, "error"} on failure. A malformed line
-// fails that request only; the batch keeps going.
+// success ({"rows_appended", "rows_total", "version"} for appends),
+// {"id", "ok": false, "error"} on failure. A malformed line fails that
+// request only; the batch keeps going.
 
 #ifndef CAUSUMX_SERVICE_BATCH_H_
 #define CAUSUMX_SERVICE_BATCH_H_

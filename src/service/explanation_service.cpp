@@ -157,6 +157,78 @@ std::shared_ptr<EstimatorContext> ExplanationService::Context(
   return Resolve(name, dag, options).context;
 }
 
+std::shared_ptr<const Table> ExplanationService::Append(
+    const std::string& name, const std::vector<std::vector<Value>>& rows) {
+  return Append(name, rows, nullptr);
+}
+
+std::shared_ptr<const Table> ExplanationService::Append(
+    const std::string& name, const std::vector<std::vector<Value>>& rows,
+    const Table* expected_base) {
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  return AppendLocked(name, rows, expected_base);
+}
+
+std::shared_ptr<const Table> ExplanationService::AppendLocked(
+    const std::string& name, const std::vector<std::vector<Value>>& rows,
+    const Table* expected_base) {
+  const TableEntry base = Snapshot(name);
+  if (expected_base != nullptr && base.table.get() != expected_base) {
+    throw std::runtime_error("explanation service: table '" + name +
+                             "' changed during append");
+  }
+
+  // Copy-on-write: clone the snapshot and append to the clone, so every
+  // in-flight query keeps reading a consistent base. All the expensive
+  // work — the clone, the delta evaluation extending each cached bitset,
+  // the memo migration — happens outside mu_, concurrently with queries.
+  auto grown = std::make_shared<Table>(base.table->Clone());
+  grown->AppendRows(rows);
+  std::shared_ptr<const Table> new_table = std::move(grown);
+
+  TableEntry entry;
+  entry.table = new_table;
+  entry.engine = std::make_shared<EvalEngine>(new_table, *base.engine);
+  for (const auto& [key, ctx] : base.contexts) {
+    entry.contexts[key] =
+        std::make_shared<EstimatorContext>(entry.engine, *ctx);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end() || it->second.table != base.table) {
+      // RegisterTable/DropTable replaced the entry mid-append. Installing
+      // would silently clobber the newer registration, so refuse.
+      throw std::runtime_error("explanation service: table '" + name +
+                               "' changed during append");
+    }
+    it->second = std::move(entry);
+  }
+  n_appends_.fetch_add(1, std::memory_order_relaxed);
+  n_rows_appended_.fetch_add(rows.size(), std::memory_order_relaxed);
+  EnforceBudget();
+  return new_table;
+}
+
+std::shared_ptr<const Table> ExplanationService::AppendCsv(
+    const std::string& name, const std::string& path,
+    const CsvOptions& csv_options, size_t* rows_appended) {
+  // Snapshot and parse inside the append lock: the delta is validated
+  // against this snapshot's schema and pinned to it, and a concurrent
+  // append (which cannot change the schema) serializes behind us instead
+  // of tripping the pinned-snapshot check.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  const std::shared_ptr<const Table> schema = Snapshot(name).table;
+  const auto rows = ReadCsvDeltaFile(*schema, path, csv_options);
+  if (rows_appended != nullptr) *rows_appended = rows.size();
+  return AppendLocked(name, rows, schema.get());
+}
+
+uint64_t ExplanationService::TableVersion(const std::string& name) const {
+  return Snapshot(name).table->version();
+}
+
 CauSumXResult ExplanationService::Explain(const std::string& table_name,
                                           const GroupByAvgQuery& query,
                                           const CausalDag& dag,
@@ -301,6 +373,8 @@ ServiceStats ExplanationService::Stats() const {
   ServiceStats s;
   s.queries_executed = n_queries_.load(std::memory_order_relaxed);
   s.tables_registered = n_tables_.load(std::memory_order_relaxed);
+  s.appends_executed = n_appends_.load(std::memory_order_relaxed);
+  s.rows_appended = n_rows_appended_.load(std::memory_order_relaxed);
   s.budget_enforcements = n_enforcements_.load(std::memory_order_relaxed);
   s.cache_bytes = CacheBytes();
   return s;

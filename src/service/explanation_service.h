@@ -54,6 +54,8 @@ struct ServiceOptions {
 struct ServiceStats {
   uint64_t queries_executed = 0;
   uint64_t tables_registered = 0;
+  uint64_t appends_executed = 0;     ///< Append/AppendCsv batches landed
+  uint64_t rows_appended = 0;        ///< total rows across those batches
   uint64_t budget_enforcements = 0;  ///< enforcement passes that evicted
   size_t cache_bytes = 0;            ///< current accounted evictable bytes
 };
@@ -109,6 +111,49 @@ class ExplanationService {
   std::shared_ptr<EstimatorContext> Context(const std::string& name,
                                             const CausalDag& dag,
                                             const EstimatorOptions& options);
+
+  // ---- streaming ingestion -------------------------------------------------
+
+  /// Appends `rows` to a registered table under copy-on-write snapshot
+  /// semantics: the current snapshot is cloned, the delta appended to the
+  /// clone (bumping the table version), and a new registry entry
+  /// installed whose EvalEngine extends every cached predicate bitset by
+  /// evaluating only the delta rows and whose EstimatorContexts carry
+  /// their CATE memos across (entries whose subpopulation gained delta
+  /// rows re-intern and recompute; the rest stay warm hits). In-flight
+  /// queries keep the snapshot they resolved — they see a consistent
+  /// version while the append lands; queries starting afterwards see the
+  /// new one. Appends serialize against each other; results are
+  /// bit-identical to registering the fully rebuilt table from scratch.
+  /// Returns the new snapshot. Throws std::out_of_range on an unknown
+  /// table and std::runtime_error if the entry was concurrently replaced
+  /// by RegisterTable/DropTable while the append was in progress.
+  std::shared_ptr<const Table> Append(
+      const std::string& name, const std::vector<std::vector<Value>>& rows);
+
+  /// As Append, but lands only if the registered table is still the
+  /// exact snapshot `expected_base` (else throws std::runtime_error).
+  /// Callers that validated/coerced `rows` against a schema read earlier
+  /// pass that snapshot here, so a concurrent RegisterTable swapping in
+  /// a different schema cannot receive stale-typed rows. `nullptr`
+  /// appends to whatever snapshot is current.
+  std::shared_ptr<const Table> Append(
+      const std::string& name, const std::vector<std::vector<Value>>& rows,
+      const Table* expected_base);
+
+  /// As Append, with the delta read from a CSV file whose header and
+  /// cell types are checked against the registered table's schema. The
+  /// snapshot is taken and the file parsed *inside* the append lock, so
+  /// concurrent AppendCsv calls serialize like any other appends instead
+  /// of one failing the pinned-snapshot check. `rows_appended` (optional)
+  /// receives the delta row count.
+  std::shared_ptr<const Table> AppendCsv(const std::string& name,
+                                         const std::string& path,
+                                         const CsvOptions& csv_options = {},
+                                         size_t* rows_appended = nullptr);
+
+  /// Monotone data version of the table's current snapshot.
+  uint64_t TableVersion(const std::string& name) const;
 
   // ---- query execution -----------------------------------------------------
 
@@ -171,12 +216,25 @@ class ExplanationService {
   /// Resolves the entry or throws std::out_of_range. Caller holds no lock.
   TableEntry Snapshot(const std::string& name) const;
 
+  /// Append body; caller holds append_mu_ (but not mu_). See Append for
+  /// the expected_base contract.
+  std::shared_ptr<const Table> AppendLocked(
+      const std::string& name, const std::vector<std::vector<Value>>& rows,
+      const Table* expected_base);
+
   ServiceOptions options_;
   mutable std::mutex mu_;  // guards tables_
+  /// Serializes Append/AppendCsv calls (an append clones + extends
+  /// outside mu_, so two concurrent appends to one table would otherwise
+  /// both extend the same base and one delta would be lost). Queries
+  /// never take this lock.
+  std::mutex append_mu_;
   std::map<std::string, TableEntry> tables_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<uint64_t> n_queries_{0};
   std::atomic<uint64_t> n_tables_{0};
+  std::atomic<uint64_t> n_appends_{0};
+  std::atomic<uint64_t> n_rows_appended_{0};
   std::atomic<uint64_t> n_enforcements_{0};
 };
 

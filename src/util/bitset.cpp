@@ -96,4 +96,38 @@ void Bitset::SetAll() {
   }
 }
 
+void Bitset::Resize(size_t new_size) {
+  words_.resize((new_size + 63) / 64, 0);
+  size_ = new_size;
+  // Clear padding bits past the (possibly smaller) new size so word-wise
+  // equality and Hash() stay canonical.
+  const size_t rem = size_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << rem) - 1;
+  }
+}
+
+bool BitsetDedup::Contains(const Bitset& bits) const {
+  auto it = buckets_.find(bits.Hash());
+  if (it == buckets_.end()) return false;
+  for (const Bitset& b : it->second) {
+    if (b == bits) return true;
+  }
+  return false;
+}
+
+bool BitsetDedup::Insert(Bitset bits) {
+  const uint64_t h = bits.Hash();
+  return Insert(h, std::move(bits));
+}
+
+bool BitsetDedup::Insert(uint64_t hash, Bitset bits) {
+  std::vector<Bitset>& bucket = buckets_[hash];
+  for (const Bitset& b : bucket) {
+    if (b == bits) return false;
+  }
+  bucket.push_back(std::move(bits));
+  return true;
+}
+
 }  // namespace causumx

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 namespace causumx {
@@ -51,9 +52,33 @@ class Bitset {
   /// Sets every bit in the universe.
   void SetAll();
 
+  /// Changes the universe to [0, new_size). Growing appends clear bits
+  /// (existing bits keep their positions — the append-only streaming path
+  /// relies on this); shrinking drops bits past the new size.
+  void Resize(size_t new_size);
+
  private:
   size_t size_ = 0;
   std::vector<uint64_t> words_;
+};
+
+/// Dedup set of bitsets bucketed by Hash() with exact content comparison
+/// on bucket hits, so a 64-bit hash collision can never conflate two
+/// distinct bitsets. Shared by the top-k treated-set dedup and the greedy
+/// solver's incomparability constraint.
+class BitsetDedup {
+ public:
+  /// True iff an equal bitset was already inserted.
+  bool Contains(const Bitset& bits) const;
+
+  /// Inserts `bits` unless an equal bitset is present; returns true when
+  /// it was new. The overload taking `hash` lets callers reuse (or, in
+  /// tests, forge) a precomputed Hash() value.
+  bool Insert(Bitset bits);
+  bool Insert(uint64_t hash, Bitset bits);
+
+ private:
+  std::unordered_map<uint64_t, std::vector<Bitset>> buckets_;
 };
 
 }  // namespace causumx

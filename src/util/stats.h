@@ -54,6 +54,26 @@ double KendallTau(const std::vector<double>& x, const std::vector<double>& y);
 /// Natural logarithm of the gamma function (Lanczos approximation).
 double LogGamma(double x);
 
+/// Kahan (compensated) summation accumulator: the running compensation
+/// term recovers the low-order bits a naive += discards, keeping group
+/// averages exact to ~1 ulp even when many large-offset values are summed
+/// (naive summation loses up to n*ulp(sum) — catastrophic for 1e8-offset
+/// outcomes averaged over millions of rows).
+class KahanSum {
+ public:
+  void Add(double x) {
+    const double y = x - c_;
+    const double t = sum_ + y;
+    c_ = (t - sum_) - y;
+    sum_ = t;
+  }
+  double Sum() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double c_ = 0.0;
+};
+
 /// Welford-style streaming accumulator for mean/variance.
 class RunningStats {
  public:

@@ -116,5 +116,62 @@ TEST(BitsetTest, InPlaceOps) {
   EXPECT_TRUE(a.Test(2));
 }
 
+TEST(BitsetTest, ResizeGrowPreservesBitsAndAppendsZeros) {
+  Bitset b(10);
+  b.Set(0);
+  b.Set(9);
+  b.Resize(200);
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_EQ(b.Count(), 2u);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(9));
+  EXPECT_FALSE(b.Test(10));
+  EXPECT_FALSE(b.Test(199));
+  // The zero-extension must be canonical: equal to a bitset built at the
+  // larger size directly (word-wise equality and Hash agree).
+  Bitset direct(200);
+  direct.Set(0);
+  direct.Set(9);
+  EXPECT_TRUE(b == direct);
+  EXPECT_EQ(b.Hash(), direct.Hash());
+}
+
+TEST(BitsetTest, ResizeShrinkDropsAndClearsPadding) {
+  Bitset b(100);
+  b.SetAll();
+  b.Resize(70);
+  EXPECT_EQ(b.size(), 70u);
+  EXPECT_EQ(b.Count(), 70u);
+  Bitset direct(70);
+  direct.SetAll();
+  EXPECT_TRUE(b == direct);
+  EXPECT_EQ(b.Hash(), direct.Hash());
+}
+
+TEST(BitsetDedupTest, ExactComparisonOnForgedCollision) {
+  Bitset a(64), b(64);
+  a.Set(1);
+  b.Set(2);
+  BitsetDedup seen;
+  const uint64_t collided = 42;  // simulate a 64-bit Hash() collision
+  EXPECT_TRUE(seen.Insert(collided, a));
+  EXPECT_TRUE(seen.Insert(collided, b));   // distinct content survives
+  EXPECT_FALSE(seen.Insert(collided, a));  // true duplicate rejected
+}
+
+TEST(BitsetDedupTest, ContainsUsesContentHash) {
+  Bitset a(64), b(64);
+  a.Set(1);
+  b.Set(2);
+  BitsetDedup seen;
+  EXPECT_FALSE(seen.Contains(a));
+  EXPECT_TRUE(seen.Insert(a));
+  EXPECT_TRUE(seen.Contains(a));
+  EXPECT_FALSE(seen.Contains(b));
+  EXPECT_FALSE(seen.Insert(a));
+  EXPECT_TRUE(seen.Insert(b));
+  EXPECT_TRUE(seen.Contains(b));
+}
+
 }  // namespace
 }  // namespace causumx

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "dataset/group_query.h"
+#include "util/rng.h"
 
 namespace causumx {
 namespace {
@@ -100,6 +103,93 @@ TEST(GroupQueryTest, EmptyTableYieldsNoGroups) {
   t.AddColumn("salary", ColumnType::kDouble);
   const AggregateView view = AggregateView::Evaluate(t, MakeQuery());
   EXPECT_EQ(view.NumGroups(), 0u);
+}
+
+TEST(GroupQueryTest, CompensatedAverageSurvivesLargeOffsets) {
+  // Regression for the naive += accumulation: 100k salaries near 1e8 in
+  // one group. The exact average is 1e8 + mean(0.1 * (i % 7)); naive
+  // summation drifts by many ulps once the partial sum passes 1e13,
+  // while the compensated path stays within ~1 ulp of the average.
+  Table t;
+  t.AddColumn("country", ColumnType::kCategorical);
+  t.AddColumn("salary", ColumnType::kDouble);
+  const size_t n = 100000;  // multiple of 7 not required; compute exactly
+  long double exact = 0.0L;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = 1e8 + 0.1 * static_cast<double>(i % 7);
+    exact += static_cast<long double>(v);
+    t.AddRow({Value("US"), Value(v)});
+  }
+  const double expected = static_cast<double>(exact / n);
+
+  const AggregateView view = AggregateView::Evaluate(t, MakeQuery());
+  ASSERT_EQ(view.NumGroups(), 1u);
+  EXPECT_NEAR(view.group(0).average, expected, 1e-7);
+}
+
+// The dictionary-code fast path must agree bit-for-bit with the
+// string-keyed reference path — group order, keys, counts, member rows,
+// row mapping, and (since both use compensated summation) the averages.
+void ExpectViewsIdentical(const AggregateView& fast,
+                          const AggregateView& ref) {
+  ASSERT_EQ(fast.NumGroups(), ref.NumGroups());
+  for (size_t g = 0; g < fast.NumGroups(); ++g) {
+    EXPECT_EQ(fast.group(g).KeyString(), ref.group(g).KeyString()) << g;
+    EXPECT_EQ(fast.group(g).count, ref.group(g).count) << g;
+    EXPECT_EQ(fast.group(g).rows, ref.group(g).rows) << g;
+    // Bit-identical, not just close.
+    EXPECT_EQ(fast.group(g).average, ref.group(g).average) << g;
+  }
+  for (size_t r = 0; r < fast.ActiveRows().size(); ++r) {
+    EXPECT_EQ(fast.ActiveRows()[r], ref.ActiveRows()[r]);
+  }
+}
+
+TEST(GroupQueryTest, FastPathMatchesReferenceOnFixtures) {
+  const Table t = MakeTable();
+  for (const auto& group_by :
+       {std::vector<std::string>{"country"},
+        std::vector<std::string>{"country", "role"}}) {
+    GroupByAvgQuery q;
+    q.group_by = group_by;
+    q.avg_attribute = "salary";
+    ExpectViewsIdentical(AggregateView::Evaluate(t, q),
+                         AggregateView::EvaluateReference(t, q));
+    q.where =
+        Pattern({SimplePredicate("role", CompareOp::kEq, Value("dev"))});
+    ExpectViewsIdentical(AggregateView::Evaluate(t, q),
+                         AggregateView::EvaluateReference(t, q));
+  }
+}
+
+TEST(GroupQueryTest, FastPathMatchesReferenceOnRandomTables) {
+  // Property sweep over random tables: categorical and integer composite
+  // keys (the exact-key types), ~5% nulls everywhere, outcome with
+  // large-offset values so the summation paths are exercised too.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    Table t;
+    t.AddColumn("c", ColumnType::kCategorical);
+    t.AddColumn("i", ColumnType::kInt64);
+    t.AddColumn("y", ColumnType::kDouble);
+    const char* cats[] = {"a", "b", "c", "d"};
+    const size_t n = 500 + rng.NextBounded(500);
+    for (size_t r = 0; r < n; ++r) {
+      t.AddRow({rng.NextBool(0.05) ? Value() : Value(cats[rng.NextBounded(4)]),
+                rng.NextBool(0.05) ? Value() : Value(rng.NextInt(-3, 3)),
+                rng.NextBool(0.05) ? Value()
+                                   : Value(1e8 + rng.NextGaussian())});
+    }
+    for (const auto& group_by :
+         {std::vector<std::string>{"c"}, std::vector<std::string>{"i"},
+          std::vector<std::string>{"c", "i"}}) {
+      GroupByAvgQuery q;
+      q.group_by = group_by;
+      q.avg_attribute = "y";
+      ExpectViewsIdentical(AggregateView::Evaluate(t, q),
+                           AggregateView::EvaluateReference(t, q));
+    }
+  }
 }
 
 }  // namespace

@@ -157,6 +157,126 @@ TEST(RoundingTest, IncomparabilityViaGreedyDedup) {
   EXPECT_NEAR(r.total_weight, 8.0, 1e-9);  // 5 + 3, not 5 + 4
 }
 
+TEST(RoundingTest, GreedyDedupSurvivesHashCollisions) {
+  // Two DISTINCT coverages engineered to share one Bitset::Hash() value:
+  // the greedy incomparability dedup must compare bit content on the
+  // bucket hit and keep both candidates. (Hash-only dedup silently
+  // skipped the second candidate — the MineTopKTreatments bug class.)
+  //
+  // Construction mirrors the FNV-1a fold in Bitset::Hash over a two-word
+  // (128-group) universe: with word1' = word1 ^ delta, choosing
+  // word2' = A' ^ A ^ word2 (A = (h0 ^ word1) * prime, A' likewise for
+  // word1') makes the folded state — and hence the final hash — equal.
+  constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+  constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+  const uint64_t w1 = 0x3, w2 = 0x5;  // groups {0,1} and {64,66}
+  const uint64_t w1p = 0xC;           // groups {2,3}
+  const uint64_t a = (kFnvOffset ^ w1) * kFnvPrime;
+  const uint64_t ap = (kFnvOffset ^ w1p) * kFnvPrime;
+  const uint64_t w2p = ap ^ a ^ w2;
+
+  auto from_words = [](uint64_t lo, uint64_t hi) {
+    Bitset b(128);
+    for (int i = 0; i < 64; ++i) {
+      if ((lo >> i) & 1) b.Set(i);
+      if ((hi >> i) & 1) b.Set(64 + i);
+    }
+    return b;
+  };
+  const Bitset cov_a = from_words(w1, w2);
+  const Bitset cov_b = from_words(w1p, w2p);
+  ASSERT_EQ(cov_a.Hash(), cov_b.Hash());  // genuine 64-bit collision
+  ASSERT_FALSE(cov_a == cov_b);
+
+  SelectionProblem p;
+  p.num_groups = 128;
+  p.k = 2;
+  p.theta = 0.0;
+  p.candidates = {{10.0, cov_a}, {9.0, cov_b}};
+  const SelectionResult r = SolveGreedy(p);
+  ASSERT_EQ(r.selected.size(), 2u) << "distinct coverage skipped on a "
+                                      "hash collision";
+  EXPECT_NEAR(r.total_weight, 19.0, 1e-9);
+
+  // A genuinely identical coverage is still rejected (the
+  // incomparability constraint the dedup exists for).
+  p.candidates.push_back({8.0, cov_a});
+  p.k = 3;
+  const SelectionResult r2 = SolveGreedy(p);
+  EXPECT_EQ(r2.selected, (std::vector<size_t>{0, 1}));
+}
+
+TEST(RoundingTest, ThetaZeroIsFeasibleForAllSolvers) {
+  // Degenerate coverage demand: theta = 0 requires no groups, so any
+  // selection — including one driven purely by weight — is feasible.
+  SelectionProblem p = MakeProblem();
+  p.theta = 0.0;
+  ASSERT_EQ(p.RequiredCoverage(), 0u);
+  const SelectionResult exact = SolveExact(p);
+  const SelectionResult rounded = SolveByLpRounding(p, 32, 5);
+  const SelectionResult greedy = SolveGreedy(p);
+  for (const SelectionResult* r : {&exact, &rounded, &greedy}) {
+    EXPECT_TRUE(r->feasible);
+    EXPECT_LE(r->selected.size(), p.k);
+  }
+  // Weight is unconstrained by coverage: exact takes the top-2 weights.
+  EXPECT_NEAR(exact.total_weight, 18.0, 1e-9);
+}
+
+TEST(RoundingTest, AllZeroWeightsAreDeterministicAndFeasible) {
+  // Zero-weight candidates zero out the LP objective; whatever vertex
+  // the simplex returns, the rounding draws — including the
+  // Rng::NextWeighted all-zero fallback to the last index when every
+  // sampling weight is zero (covered directly in test_rng) — must yield
+  // a deterministic, feasible, within-k selection rather than a crash or
+  // an unstable pick.
+  SelectionProblem p;
+  p.num_groups = 4;
+  p.k = 2;
+  p.theta = 0.0;
+  p.candidates = {
+      {0.0, Cover(4, {0})}, {0.0, Cover(4, {1})}, {0.0, Cover(4, {2})}};
+  const SelectionResult r = SolveByLpRounding(p, 8, 11);
+  ASSERT_TRUE(r.lp_feasible);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_LE(r.selected.size(), p.k);
+  EXPECT_DOUBLE_EQ(r.total_weight, 0.0);
+  const SelectionResult again = SolveByLpRounding(p, 8, 11);
+  EXPECT_EQ(r.selected, again.selected);
+
+  // Greedy on all-zero weights: scores tie at 0; the first
+  // strictly-better scan keeps the lowest index each step.
+  const SelectionResult g = SolveGreedy(p);
+  EXPECT_EQ(g.selected, (std::vector<size_t>{0, 1}));
+  EXPECT_TRUE(g.feasible);
+
+  // k = 0 is the fully degenerate corner: zero draws, empty selection,
+  // feasible exactly because theta = 0 demands nothing.
+  p.k = 0;
+  const SelectionResult none = SolveByLpRounding(p, 8, 11);
+  EXPECT_TRUE(none.feasible);
+  EXPECT_TRUE(none.selected.empty());
+}
+
+TEST(RoundingTest, KLargerThanCandidateCount) {
+  // k exceeding the candidate pool must select at most every candidate
+  // once (rounding draws with replacement dedup; greedy stops early).
+  SelectionProblem p;
+  p.num_groups = 4;
+  p.k = 5;
+  p.theta = 1.0;
+  p.candidates = {{3.0, Cover(4, {0, 1})}, {2.0, Cover(4, {2, 3})}};
+  const SelectionResult exact = SolveExact(p);
+  const SelectionResult rounded = SolveByLpRounding(p, 64, 3);
+  const SelectionResult greedy = SolveGreedy(p, /*gain_bonus=*/1.0);
+  for (const SelectionResult* r : {&exact, &rounded, &greedy}) {
+    ASSERT_TRUE(r->feasible);
+    EXPECT_EQ(r->selected, (std::vector<size_t>{0, 1}));
+    EXPECT_EQ(r->covered_groups, 4u);
+    EXPECT_NEAR(r->total_weight, 5.0, 1e-9);
+  }
+}
+
 TEST(RoundingTest, ReducedLpMatchesFullLpOptimum) {
   const SelectionProblem p = MakeProblem();
   const LpSolution full = SolveLp(p.BuildLp());

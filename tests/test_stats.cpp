@@ -97,6 +97,31 @@ TEST(StatsTest, RunningStatsMatchesBatch) {
   EXPECT_NEAR(rs.StdDev(), StdDev(data), 1e-12);
 }
 
+TEST(StatsTest, KahanSumRecoversLargeOffsetPrecision) {
+  // 100k values near 1e8: naive double summation drifts by the rounding
+  // error of every partial sum (the sum passes 1e13, where one ulp is
+  // ~2e-3); compensated summation tracks the long-double reference to
+  // ~1 ulp of the result.
+  KahanSum kahan;
+  double naive = 0.0;
+  long double exact = 0.0L;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = 1e8 + 0.1 * (i % 7);
+    kahan.Add(v);
+    naive += v;
+    exact += static_cast<long double>(v);
+  }
+  const double kahan_err =
+      std::fabs(static_cast<double>(static_cast<long double>(kahan.Sum()) -
+                                    exact));
+  const double naive_err = std::fabs(
+      static_cast<double>(static_cast<long double>(naive) - exact));
+  EXPECT_LT(kahan_err, 1e-2);
+  // The regression guard: the naive path must actually be worse, so this
+  // test fails loudly if someone swaps the accumulator back.
+  EXPECT_GT(naive_err, kahan_err * 10);
+}
+
 TEST(StatsTest, LogGammaMatchesFactorials) {
   EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
   EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);

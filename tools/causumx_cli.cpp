@@ -6,7 +6,14 @@
 //           [--dag graph.txt | --discover pc|fci|lingam|nodag] \
 //           [--k 5] [--theta 0.75] [--support 0.1] [--alpha 0.05] \
 //           [--where "Attr=value"] [--json] [--top-treatments N] \
-//           [--stats] [--no-cache]
+//           [--stats] [--no-cache] [--append rows.csv]
+//
+// --append demonstrates streaming ingestion: the query runs on data.csv,
+// the rows of rows.csv (same schema, matched by header name) are
+// appended through the service's delta-aware caches, and the query runs
+// again — the second run extends cached bitsets and reuses CATE memos
+// instead of rebuilding them. Both summaries print (two JSONL lines
+// under --json).
 //
 // Batch mode serves many queries through one ExplanationService, so
 // repeated queries share the warm predicate-bitset and CATE caches:
@@ -62,6 +69,7 @@ struct CliOptions {
   size_t top_treatments = 0;
   bool stats = false;
   bool no_cache = false;
+  std::string append_path;
   std::string batch_path;
   size_t budget_mb = 0;
   size_t threads = 0;
@@ -74,6 +82,7 @@ void PrintUsage() {
                "               [--k N] [--theta F] [--support F] [--alpha F]\n"
                "               [--where \"Attr=value\"] [--json]\n"
                "               [--top-treatments N] [--stats] [--no-cache]\n"
+               "               [--append rows.csv]\n"
                "   or: causumx --batch FILE.jsonl [--csv FILE]\n"
                "               [--budget-mb N] [--threads N] [--stats]\n");
 }
@@ -140,6 +149,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       const char* v = next();
       if (!v) return false;
       opt->top_treatments = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--append") {
+      const char* v = next();
+      if (!v) return false;
+      opt->append_path = v;
     } else if (arg == "--batch") {
       const char* v = next();
       if (!v) return false;
@@ -194,6 +207,62 @@ int RunBatchMode(const CliOptions& opt) {
   }
   std::fprintf(stderr, "\n");
   return summary.failed == 0 ? 0 : 1;
+}
+
+// Streaming demo: query, append the delta CSV through the service's
+// delta-aware caches, query again. Returns the after-append exit status.
+int RunAppendMode(const CliOptions& opt,
+                  std::shared_ptr<const Table> table,
+                  const GroupByAvgQuery& query, const CausalDag& dag,
+                  const CauSumXConfig& config) {
+  if (opt.top_treatments > 0) {
+    std::fprintf(stderr,
+                 "warning: --top-treatments is ignored with --append\n");
+  }
+  ServiceOptions service_options;
+  service_options.cache_enabled = !opt.no_cache;
+  ExplanationService service(service_options);
+  const size_t base_rows = table->NumRows();
+  service.RegisterTable("default", std::move(table));
+
+  auto run_phase = [&](const char* label) {
+    const CauSumXResult r = service.Explain("default", query, dag, config);
+    if (opt.json) {
+      std::cout << SummaryToJson(r.summary, &query) << "\n";
+    } else {
+      RenderStyle style;
+      style.outcome_noun = opt.avg_attribute;
+      std::cout << "\n== " << label << " ==\n"
+                << RenderSummary(r.summary, style);
+    }
+    return r;
+  };
+
+  run_phase("before append");
+  const auto grown = service.AppendCsv("default", opt.append_path);
+  std::fprintf(stderr,
+               "appended %zu rows from %s (%zu rows total, version %llu)\n",
+               grown->NumRows() - base_rows, opt.append_path.c_str(),
+               grown->NumRows(), (unsigned long long)grown->version());
+  const CauSumXResult after = run_phase("after append");
+
+  if (opt.stats) {
+    const EvalEngineStats e = service.Engine("default")->Stats();
+    const EstimatorCacheStats& m = after.cache_stats.estimator;
+    std::printf("\nstreaming cache stats (post-append engine):\n");
+    std::printf("  bitsets extended / rebuilt    %llu / %llu\n",
+                (unsigned long long)e.bitsets_extended,
+                (unsigned long long)e.bitsets_materialized);
+    std::printf("  column views extended / built %llu / %llu\n",
+                (unsigned long long)e.column_views_extended,
+                (unsigned long long)e.column_views_built);
+    std::printf("  estimator memo hits/misses    %llu / %llu "
+                "(%llu migrated)\n",
+                (unsigned long long)m.memo_hits,
+                (unsigned long long)m.memo_misses,
+                (unsigned long long)m.memo_migrated);
+  }
+  return after.summary.explanations.empty() ? 1 : 0;
 }
 
 }  // namespace
@@ -253,6 +322,10 @@ int main(int argc, char** argv) {
     config.apriori_support = opt.support;
     config.treatment.alpha = opt.alpha;
     config.disable_eval_cache = opt.no_cache;
+
+    if (!opt.append_path.empty()) {
+      return RunAppendMode(opt, table, query, dag, config);
+    }
 
     ExplorationSession session(table, query, dag, config);
     const ExplanationSummary summary = session.Solve();
