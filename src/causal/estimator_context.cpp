@@ -7,6 +7,7 @@
 #include "causal/ols.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace causumx {
 
@@ -177,11 +178,34 @@ EffectEstimate EstimatorContext::ComputeCate(const Pattern& treatment,
   if (!y_idx) return est;
   const NumericColumnView& y_view = engine_->Numeric(*y_idx);
 
-  // Candidate rows: subpopulation with non-null outcome.
+  // Candidate rows: subpopulation with non-null outcome. Collected as
+  // per-shard sufficient statistics — each shard gathers its own index
+  // range and the concatenation in shard order is exactly the ascending
+  // serial scan, so the estimate is independent of the plan.
+  const ShardPlan& plan = engine_->plan();
+  // Dispatch gate: EstimateCate runs thousands of times per query, and
+  // for small tables the per-call task round trip outweighs the scan it
+  // splits. The serial branch executes the identical per-shard
+  // computation, so results never depend on the gate.
+  ThreadPool* pool =
+      table.NumRows() >= kParallelEstimateRowThreshold ? engine_->pool()
+                                                       : nullptr;
+  const size_t num_shards = plan.NumShards();
+  std::vector<std::vector<size_t>> shard_rows(num_shards);
+  ThreadPool::RunOn(pool, num_shards, [&](size_t s) {
+    std::vector<size_t> local;
+    subpopulation.AppendIndicesInRange(plan.ShardBegin(s), plan.ShardEnd(s),
+                                       &local);
+    std::vector<size_t>& keep = shard_rows[s];
+    keep.reserve(local.size());
+    for (size_t r : local) {
+      if (y_view.valid.Test(r)) keep.push_back(r);
+    }
+  });
   std::vector<size_t> rows;
   rows.reserve(subpopulation.Count());
-  for (size_t r : subpopulation.ToIndices()) {
-    if (y_view.valid.Test(r)) rows.push_back(r);
+  for (auto& part : shard_rows) {
+    rows.insert(rows.end(), part.begin(), part.end());
   }
 
   // Optimization (d): sample large subpopulations for CATE estimation.
@@ -198,14 +222,25 @@ EffectEstimate EstimatorContext::ComputeCate(const Pattern& treatment,
   if (rows.size() < 2 * options_.min_group_size) return est;
 
   // Treatment indicator from the engine's cached bitsets (bit-identical
-  // to row-at-a-time Matches; see the engine property tests).
+  // to row-at-a-time Matches; see the engine property tests). The fill
+  // and the treated count are chunked per-shard statistics: element
+  // writes are disjoint and the counts are integers, so any schedule
+  // sums to the same value.
   const Bitset treated_bits = engine_->EvaluateOn(treatment, subpopulation);
   std::vector<uint8_t> treated(rows.size(), 0);
+  const size_t num_chunks = (rows.size() + kOlsChunkRows - 1) / kOlsChunkRows;
+  std::vector<size_t> chunk_treated(num_chunks, 0);
+  ThreadPool::RunOn(pool, num_chunks, [&](size_t c) {
+    size_t count = 0;
+    const size_t end = std::min(rows.size(), (c + 1) * kOlsChunkRows);
+    for (size_t i = c * kOlsChunkRows; i < end; ++i) {
+      treated[i] = treated_bits.Test(rows[i]) ? 1 : 0;
+      count += treated[i];
+    }
+    chunk_treated[c] = count;
+  });
   size_t n_treated = 0;
-  for (size_t i = 0; i < rows.size(); ++i) {
-    treated[i] = treated_bits.Test(rows[i]) ? 1 : 0;
-    n_treated += treated[i];
-  }
+  for (size_t count : chunk_treated) n_treated += count;
   const size_t n_control = rows.size() - n_treated;
   est.n_treated = n_treated;
   est.n_control = n_control;
@@ -298,16 +333,27 @@ EffectEstimate EstimatorContext::ComputeCate(const Pattern& treatment,
   };
 
   std::vector<double> y(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) y[i] = y_view.values[rows[i]];
+  ThreadPool::RunOn(pool, num_chunks, [&](size_t c) {
+    const size_t end = std::min(rows.size(), (c + 1) * kOlsChunkRows);
+    for (size_t i = c * kOlsChunkRows; i < end; ++i) {
+      y[i] = y_view.values[rows[i]];
+    }
+  });
 
   if (options_.method == EstimationMethod::kRegressionAdjustment) {
     DesignMatrix x(rows.size(), p);
-    for (size_t i = 0; i < rows.size(); ++i) {
-      x.At(i, 0) = 1.0;
-      x.At(i, 1) = treated[i];
-      fill_confounders(&x, i, rows[i], 2);
-    }
-    const OlsResult fit = FitOls(x, y);
+    // Row-disjoint design assembly; the fit itself reduces per-chunk
+    // partials in fixed order (see FitOls), so the estimate is
+    // bit-identical at any thread count.
+    ThreadPool::RunOn(pool, num_chunks, [&](size_t c) {
+      const size_t end = std::min(rows.size(), (c + 1) * kOlsChunkRows);
+      for (size_t i = c * kOlsChunkRows; i < end; ++i) {
+        x.At(i, 0) = 1.0;
+        x.At(i, 1) = treated[i];
+        fill_confounders(&x, i, rows[i], 2);
+      }
+    });
+    const OlsResult fit = FitOls(x, y, pool);
     if (!fit.ok) return est;
     est.valid = true;
     est.cate = fit.coefficients[1];
@@ -323,10 +369,13 @@ EffectEstimate EstimatorContext::ComputeCate(const Pattern& treatment,
   // effect, and its influence function the standard error.
   const size_t q = 1 + extra_cols;  // intercept + confounders
   DesignMatrix z(rows.size(), q);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    z.At(i, 0) = 1.0;
-    fill_confounders(&z, i, rows[i], 1);
-  }
+  ThreadPool::RunOn(pool, num_chunks, [&](size_t c) {
+    const size_t end = std::min(rows.size(), (c + 1) * kOlsChunkRows);
+    for (size_t i = c * kOlsChunkRows; i < end; ++i) {
+      z.At(i, 0) = 1.0;
+      fill_confounders(&z, i, rows[i], 1);
+    }
+  });
   std::vector<double> beta(q, 0.0);
   for (int iter = 0; iter < 8; ++iter) {
     // Newton step: beta += (Z^T W Z)^-1 Z^T (T - mu), W = mu(1-mu).

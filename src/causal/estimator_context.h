@@ -46,6 +46,12 @@ struct EstimatorCacheStats {
   size_t memo_bytes = 0;
 };
 
+/// Minimum table rows before EstimateCate dispatches its per-shard /
+/// per-chunk loops onto the engine pool; below it the same loops run
+/// inline (identical results, no task round trips on the memo-miss hot
+/// path of small tables).
+inline constexpr size_t kParallelEstimateRowThreshold = 1u << 17;
+
 class EstimatorContext {
  public:
   /// Binds to a shared engine. The engine's cache_enabled flag also

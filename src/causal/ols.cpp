@@ -1,8 +1,10 @@
 #include "causal/ols.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace causumx {
 
@@ -86,7 +88,8 @@ bool SolveSpd(std::vector<std::vector<double>>* a_ptr,
   return false;
 }
 
-OlsResult FitOls(const DesignMatrix& x, const std::vector<double>& y) {
+OlsResult FitOls(const DesignMatrix& x, const std::vector<double>& y,
+                 ThreadPool* pool) {
   OlsResult res;
   const size_t n = x.rows();
   const size_t p = x.cols();
@@ -94,17 +97,47 @@ OlsResult FitOls(const DesignMatrix& x, const std::vector<double>& y) {
   res.p = p;
   if (n <= p || p == 0) return res;
 
-  // Normal equations: (X^T X) beta = X^T y.
+  // Normal equations: (X^T X) beta = X^T y, accumulated as fixed-size
+  // row-chunk partials (upper triangle only) merged in chunk order —
+  // the sharded execution path's determinism recipe: the chunk
+  // decomposition depends only on kOlsChunkRows, so any thread count
+  // (including none) produces the same floating-point result.
+  const size_t num_chunks = (n + kOlsChunkRows - 1) / kOlsChunkRows;
+  const size_t tri = p * (p + 1) / 2;  // packed upper triangle
+  std::vector<std::vector<double>> part_xtx(num_chunks);
+  std::vector<std::vector<double>> part_xty(num_chunks);
+  ThreadPool::RunOn(pool, num_chunks, [&](size_t c) {
+    std::vector<double>& cx = part_xtx[c];
+    std::vector<double>& cy = part_xty[c];
+    cx.assign(tri, 0.0);
+    cy.assign(p, 0.0);
+    const size_t end = std::min(n, (c + 1) * kOlsChunkRows);
+    for (size_t r = c * kOlsChunkRows; r < end; ++r) {
+      size_t base = 0;
+      for (size_t i = 0; i < p; ++i) {
+        const double xi = x.At(r, i);
+        if (xi == 0.0) {
+          base += p - i;
+          continue;
+        }
+        cy[i] += xi * y[r];
+        for (size_t j = i; j < p; ++j) {
+          cx[base + j - i] += xi * x.At(r, j);
+        }
+        base += p - i;
+      }
+    }
+  });
   std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
   std::vector<double> xty(p, 0.0);
-  for (size_t r = 0; r < n; ++r) {
+  for (size_t c = 0; c < num_chunks; ++c) {
+    size_t base = 0;
     for (size_t i = 0; i < p; ++i) {
-      const double xi = x.At(r, i);
-      if (xi == 0.0) continue;
-      xty[i] += xi * y[r];
+      xty[i] += part_xty[c][i];
       for (size_t j = i; j < p; ++j) {
-        xtx[i][j] += xi * x.At(r, j);
+        xtx[i][j] += part_xtx[c][base + j - i];
       }
+      base += p - i;
     }
   }
   for (size_t i = 0; i < p; ++i) {
@@ -115,14 +148,22 @@ OlsResult FitOls(const DesignMatrix& x, const std::vector<double>& y) {
   std::vector<double> beta = xty;
   if (!SolveSpd(&xtx_inv, &beta)) return res;
 
-  // Residual variance and coefficient standard errors.
+  // Residual variance and coefficient standard errors; the RSS uses the
+  // same chunked deterministic reduction.
+  std::vector<double> part_rss(num_chunks, 0.0);
+  ThreadPool::RunOn(pool, num_chunks, [&](size_t c) {
+    double rss_c = 0.0;
+    const size_t end = std::min(n, (c + 1) * kOlsChunkRows);
+    for (size_t r = c * kOlsChunkRows; r < end; ++r) {
+      double pred = 0.0;
+      for (size_t j = 0; j < p; ++j) pred += x.At(r, j) * beta[j];
+      const double e = y[r] - pred;
+      rss_c += e * e;
+    }
+    part_rss[c] = rss_c;
+  });
   double rss = 0.0;
-  for (size_t r = 0; r < n; ++r) {
-    double pred = 0.0;
-    for (size_t j = 0; j < p; ++j) pred += x.At(r, j) * beta[j];
-    const double e = y[r] - pred;
-    rss += e * e;
-  }
+  for (size_t c = 0; c < num_chunks; ++c) rss += part_rss[c];
   const double dof = static_cast<double>(n - p);
   res.residual_variance = rss / dof;
   res.coefficients = std::move(beta);

@@ -14,6 +14,8 @@
 
 namespace causumx {
 
+class ThreadPool;
+
 /// Result of an OLS fit y ~ X (X includes any intercept column).
 struct OlsResult {
   bool ok = false;                   ///< false if the solve failed.
@@ -45,9 +47,19 @@ class DesignMatrix {
   std::vector<double> data_;
 };
 
+/// Row-chunk size of the deterministic normal-equation accumulation: the
+/// X^T X / X^T y / RSS sums are computed as per-chunk partials merged in
+/// ascending chunk order, so the fit is a function of the design alone —
+/// identical with or without a pool, at any thread count. Designs of up
+/// to one chunk reproduce the historical fully-serial accumulation
+/// exactly.
+inline constexpr size_t kOlsChunkRows = 16384;
+
 /// Fits y ~ X by OLS. Returns ok=false when n <= p or the normal equations
-/// are singular beyond repair.
-OlsResult FitOls(const DesignMatrix& x, const std::vector<double>& y);
+/// are singular beyond repair. `pool` (optional) computes the per-chunk
+/// partial sums in parallel; the result is bit-identical to pool = null.
+OlsResult FitOls(const DesignMatrix& x, const std::vector<double>& y,
+                 ThreadPool* pool = nullptr);
 
 /// Solves the symmetric positive (semi)definite system A b = c in-place via
 /// Cholesky with diagonal jitter fallback. Returns false when singular.

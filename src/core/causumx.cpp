@@ -19,9 +19,29 @@ CandidateMiningResult MineExplanationCandidates(
     const Table& table, const GroupByAvgQuery& query, const CausalDag& dag,
     const CauSumXConfig& config, std::shared_ptr<EvalEngine> engine,
     std::shared_ptr<EstimatorContext> estimator_ctx, ThreadPool* pool) {
+  // Resolve the worker pool before the engine: a run-private engine
+  // shares it for shard-parallel segment builds, and the view below
+  // evaluates on it. Precedence: explicit pool > the engine's own pool
+  // (only when the caller left num_threads at the default — an explicit
+  // count is a per-query concurrency bound and must not silently widen
+  // to a shared engine's pool) > a private pool of config.num_threads.
+  const size_t num_threads = config.num_threads == 0
+                                 ? ThreadPool::DefaultThreads()
+                                 : config.num_threads;
+  std::shared_ptr<ThreadPool> private_pool;
+  if (pool == nullptr && config.num_threads == 0 && engine != nullptr) {
+    pool = engine->pool();
+  }
+  if (pool == nullptr && num_threads > 1) {
+    private_pool = std::make_shared<ThreadPool>(num_threads);
+    pool = private_pool.get();
+  }
   if (engine == nullptr) {
-    engine =
-        std::make_shared<EvalEngine>(table, !config.disable_eval_cache);
+    EvalEngineOptions eopt;
+    eopt.cache_enabled = !config.disable_eval_cache;
+    eopt.num_shards = config.num_shards;
+    eopt.pool = private_pool;
+    engine = std::make_shared<EvalEngine>(table, std::move(eopt));
   }
   if (estimator_ctx == nullptr) {
     estimator_ctx = std::make_shared<EstimatorContext>(engine, dag,
@@ -30,8 +50,10 @@ CandidateMiningResult MineExplanationCandidates(
   CandidateMiningResult result;
   Timer timer;
 
-  // Evaluate the aggregate view Q(D).
-  result.view = AggregateView::Evaluate(table, query);
+  // Evaluate the aggregate view Q(D), shard-parallel over the engine's
+  // plan (bit-identical to the serial path for every plan).
+  result.view =
+      AggregateView::Evaluate(table, query, engine->plan(), pool);
   const AggregateView& view = result.view;
   const size_t m = view.NumGroups();
   if (m == 0) return result;
@@ -103,18 +125,11 @@ CandidateMiningResult MineExplanationCandidates(
     evaluated.fetch_add(stats.patterns_evaluated);
     candidates[gi] = std::move(exp);
   };
-  const size_t num_threads = config.num_threads == 0
-                                 ? ThreadPool::DefaultThreads()
-                                 : config.num_threads;
   if (pool != nullptr) {
     pool->ParallelFor(grouping.size(), mine_one);
-  } else if (num_threads <= 1 || grouping.size() <= 1) {
-    // Serial: don't spin up a one-worker pool whose worker would idle
-    // while ParallelFor runs inline anyway.
-    for (size_t gi = 0; gi < grouping.size(); ++gi) mine_one(gi);
   } else {
-    ThreadPool private_pool(num_threads);
-    private_pool.ParallelFor(grouping.size(), mine_one);
+    // Serial (num_threads <= 1): no pool was created above.
+    for (size_t gi = 0; gi < grouping.size(); ++gi) mine_one(gi);
   }
   result.treatment_patterns_evaluated = evaluated.load();
 
@@ -132,7 +147,7 @@ CandidateMiningResult MineExplanationCandidates(
 
 ExplanationSummary SelectExplanations(
     const std::vector<Explanation>& candidates, size_t num_groups,
-    const CauSumXConfig& config, PhaseTimer* timings) {
+    const CauSumXConfig& config, PhaseTimer* timings, ThreadPool* pool) {
   Timer timer;
   ExplanationSummary summary;
   summary.num_groups = num_groups;
@@ -152,7 +167,7 @@ ExplanationSummary SelectExplanations(
       sel = SolveByLpRounding(problem, config.rounding_rounds, config.seed);
       break;
     case FinalStepSolver::kGreedy:
-      sel = SolveGreedy(problem);
+      sel = SolveGreedy(problem, /*gain_bonus=*/0.0, pool);
       break;
     case FinalStepSolver::kExact:
       sel = SolveExact(problem);
@@ -164,7 +179,7 @@ ExplanationSummary SelectExplanations(
   // effort, so fall back to coverage-greedy selection and let
   // coverage_satisfied report the violation.
   if (sel.selected.empty() && !candidates.empty()) {
-    sel = SolveGreedy(problem, /*gain_bonus=*/1.0);
+    sel = SolveGreedy(problem, /*gain_bonus=*/1.0, pool);
   }
 
   Bitset covered(num_groups);

@@ -45,6 +45,11 @@ struct CauSumXConfig {
   size_t rounding_rounds = 64;
   uint64_t seed = 1234;
   size_t num_threads = 0;  ///< 0 = hardware concurrency.
+  /// Row shards for the parallel execution engine: 0 = one shard per
+  /// worker thread, N >= 1 = that many shards (clamped to one per 64-row
+  /// block). Results are bit-identical for every value — sharding only
+  /// changes how the work is scheduled (see engine/shard_plan.h).
+  size_t num_shards = 0;
   /// Mine both signs (paper default) or positive-only.
   bool mine_negative = true;
   /// Restrict treatment mining to these attributes (empty = all non-FD
@@ -121,10 +126,12 @@ CandidateMiningResult MineExplanationCandidates(
 
 /// Phase 3 of Algorithm 1: select <= k candidates covering >= theta * m
 /// groups, maximizing total explainability. `timings` (optional) gains a
-/// "selection" phase entry.
+/// "selection" phase entry. `pool` (optional) parallelizes the greedy
+/// solver's marginal-gain scans (identical selection either way).
 ExplanationSummary SelectExplanations(
     const std::vector<Explanation>& candidates, size_t num_groups,
-    const CauSumXConfig& config, PhaseTimer* timings = nullptr);
+    const CauSumXConfig& config, PhaseTimer* timings = nullptr,
+    ThreadPool* pool = nullptr);
 
 /// Runs CauSumX over the table for the given query and causal DAG.
 CauSumXResult RunCauSumX(const Table& table, const GroupByAvgQuery& query,

@@ -1,6 +1,27 @@
 #include "core/exploration.h"
 
+#include "util/thread_pool.h"
+
 namespace causumx {
+
+namespace {
+
+// Session-private sharded engine: the pool is owned by the engine (and
+// so lives exactly as long as the session's caches), and the shard plan
+// follows the config's --shards knob.
+std::shared_ptr<EvalEngine> MakeSessionEngine(
+    const std::shared_ptr<const Table>& table, const CauSumXConfig& config) {
+  EvalEngineOptions options;
+  options.cache_enabled = !config.disable_eval_cache;
+  options.num_shards = config.num_shards;
+  const size_t threads = config.num_threads == 0
+                             ? ThreadPool::DefaultThreads()
+                             : config.num_threads;
+  if (threads > 1) options.pool = std::make_shared<ThreadPool>(threads);
+  return std::make_shared<EvalEngine>(table, std::move(options));
+}
+
+}  // namespace
 
 ExplorationSession::ExplorationSession(
     std::shared_ptr<const Table> table, GroupByAvgQuery query, CausalDag dag,
@@ -10,10 +31,8 @@ ExplorationSession::ExplorationSession(
       query_(std::move(query)),
       dag_(std::move(dag)),
       config_(std::move(config)),
-      engine_(engine != nullptr
-                  ? std::move(engine)
-                  : std::make_shared<EvalEngine>(
-                        table_, !config_.disable_eval_cache)),
+      engine_(engine != nullptr ? std::move(engine)
+                                : MakeSessionEngine(table_, config_)),
       estimator_(context != nullptr
                      ? EffectEstimator(std::move(context))
                      : EffectEstimator(engine_, dag_, config_.estimator)) {}

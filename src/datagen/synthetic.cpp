@@ -1,5 +1,9 @@
 #include "datagen/synthetic.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
 #include "util/string_utils.h"
 
 namespace causumx {
@@ -67,6 +71,63 @@ GeneratedDataset MakeSyntheticDataset(const SyntheticOptions& opt) {
   ds.style.subject_noun = "tuples";
   ds.style.outcome_noun = "the outcome O";
   ds.style.group_noun = "groups";
+  return ds;
+}
+
+GeneratedDataset MakeLinearScmDataset(const LinearScmOptions& opt) {
+  GeneratedDataset ds;
+  ds.name = "LinearSCM";
+  Rng rng(opt.seed);
+
+  Table& t = ds.table;
+  t.AddColumn("G", ColumnType::kCategorical);
+  t.AddColumn("C1", ColumnType::kDouble);
+  t.AddColumn("C2", ColumnType::kDouble);
+  t.AddColumn("T", ColumnType::kCategorical);
+  t.AddColumn("O", ColumnType::kDouble);
+  t.ReserveRows(opt.num_rows);
+
+  std::vector<Value> row(5);
+  for (size_t r = 0; r < opt.num_rows; ++r) {
+    const double c1 = rng.NextGaussian(0, 1);
+    const double c2 = rng.NextGaussian(0, 1);
+    const double propensity =
+        1.0 / (1.0 + std::exp(-opt.confounding * (c1 + c2)));
+    const bool treated = rng.NextDouble() < propensity;
+    const double o = opt.ate * (treated ? 1.0 : 0.0) + opt.b1 * c1 +
+                     opt.b2 * c2 +
+                     (opt.noise_std > 0
+                          ? rng.NextGaussian(0, opt.noise_std)
+                          : 0.0);
+    // G buckets C1's range via the standard-normal CDF so buckets are
+    // roughly equal-sized.
+    const size_t bucket = std::min(
+        opt.num_buckets - 1,
+        static_cast<size_t>(NormalCdf(c1) * static_cast<double>(
+                                                opt.num_buckets)));
+    row[0] = Value(StrFormat("g%zu", bucket));
+    row[1] = Value(c1);
+    row[2] = Value(c2);
+    row[3] = Value(treated ? "1" : "0");
+    row[4] = Value(o);
+    t.AddRow(row);
+  }
+
+  ds.dag.AddEdge("C1", "T");
+  ds.dag.AddEdge("C2", "T");
+  ds.dag.AddEdge("C1", "O");
+  ds.dag.AddEdge("C2", "O");
+  ds.dag.AddEdge("T", "O");
+  ds.dag.AddEdge("C1", "G");
+
+  ds.default_query.group_by = {"G"};
+  ds.default_query.avg_attribute = "O";
+  ds.grouping_attribute_hint = {"G"};
+  ds.treatment_attribute_hint = {"T"};
+
+  ds.style.subject_noun = "units";
+  ds.style.outcome_noun = "the outcome O";
+  ds.style.group_noun = "buckets";
   return ds;
 }
 

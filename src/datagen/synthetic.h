@@ -31,6 +31,31 @@ struct SyntheticOptions {
 /// all y (G's influence O only through selection, not causally).
 GeneratedDataset MakeSyntheticDataset(const SyntheticOptions& options = {});
 
+/// A linear structural causal model with a known, planted average
+/// treatment effect — the ground truth for estimator-recovery tests:
+///
+///   C1 ~ N(0, 1),  C2 ~ N(0, 1)                       (confounders)
+///   T  ~ Bernoulli(sigmoid(confounding * (C1 + C2)))  (treatment, "0"/"1")
+///   O  = ate * 1[T=1] + b1 * C1 + b2 * C2 + N(0, noise_std)
+///   G  = bucket(C1) categorical                       (a grouping attr)
+///
+/// Because T's propensity depends on C1/C2 and both also enter O, the
+/// naive treated-minus-control difference is biased by roughly
+/// confounding * (b1 + b2) * E[C|T] while adjusting for {C1, C2} (the
+/// backdoor set of the bundled DAG) recovers `ate`.
+struct LinearScmOptions {
+  size_t num_rows = 4000;
+  double ate = 2.0;          ///< planted effect of T=1 on O.
+  double b1 = 1.5;           ///< C1 -> O coefficient.
+  double b2 = -1.0;          ///< C2 -> O coefficient.
+  double confounding = 1.0;  ///< strength of C1+C2 in T's propensity.
+  double noise_std = 0.5;
+  size_t num_buckets = 6;    ///< buckets of G.
+  uint64_t seed = 29;
+};
+
+GeneratedDataset MakeLinearScmDataset(const LinearScmOptions& options = {});
+
 }  // namespace causumx
 
 #endif  // CAUSUMX_DATAGEN_SYNTHETIC_H_

@@ -7,8 +7,10 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "engine/shard_plan.h"
 #include "util/stats.h"
 #include "util/string_utils.h"
+#include "util/thread_pool.h"
 
 namespace causumx {
 
@@ -63,6 +65,32 @@ uint64_t CellCode(const Column& col, size_t r) {
 
 AggregateView AggregateView::Evaluate(const Table& table,
                                       const GroupByAvgQuery& query) {
+  return Evaluate(table, query, ShardPlan(table.NumRows()), nullptr);
+}
+
+namespace {
+
+// Per-shard scan output: a local group table in first-appearance order
+// with per-(group, 64-row-block) Kahan partial sums. Shards are merged
+// in shard order, which concatenates each group's block partials in
+// ascending block order — so the merged sum is a function of the data
+// and block size alone, independent of the shard decomposition.
+struct ShardScan {
+  std::vector<uint64_t> group_keys;  // kc words per local group
+  std::vector<uint64_t> hashes;      // FNV of the composite, per group
+  std::vector<size_t> first_rows;    // first member row, per group
+  std::vector<size_t> counts;
+  std::vector<std::vector<size_t>> rows;
+  std::vector<std::vector<std::pair<uint32_t, KahanSum>>> partials;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+};
+
+}  // namespace
+
+AggregateView AggregateView::Evaluate(const Table& table,
+                                      const GroupByAvgQuery& query,
+                                      const ShardPlan& plan,
+                                      ThreadPool* pool) {
   AggregateView view;
   view.query_ = query;
   view.row_group_.assign(table.NumRows(), -1);
@@ -73,59 +101,139 @@ AggregateView AggregateView::Evaluate(const Table& table,
     key_cols.push_back(&table.column(name));
   }
   const Column& avg_col = table.column(query.avg_attribute);
-
-  const Bitset where_mask =
-      query.where.IsEmpty() ? Bitset() : query.where.Evaluate(table);
-
-  // Rows key by their exact composite cell codes: an FNV-1a hash picks the
-  // bucket and a bucket hit compares the full composite against the
-  // group's stored key, so a 64-bit hash collision can never merge two
-  // distinct groups. Group ids follow first appearance for stable output.
   const size_t kc = key_cols.size();
-  std::vector<uint64_t> group_keys;  // kc words per group, by group id
-  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
-  std::vector<uint64_t> scratch(kc);
-  std::vector<KahanSum> sums;
+  const size_t num_shards = plan.NumShards();
 
-  for (size_t r = 0; r < table.NumRows(); ++r) {
-    if (!query.where.IsEmpty() && !where_mask.Test(r)) continue;
-    if (avg_col.IsNull(r)) continue;
-    bool null_key = false;
-    uint64_t h = 0xcbf29ce484222325ULL;
-    for (size_t k = 0; k < kc; ++k) {
-      if (key_cols[k]->IsNull(r)) {
-        null_key = true;
-        break;
-      }
-      scratch[k] = CellCode(*key_cols[k], r);
-      h = (h ^ scratch[k]) * 0x100000001b3ULL;
-    }
-    if (null_key) continue;
-
-    std::vector<uint32_t>& bucket = buckets[h];
-    size_t gid = view.groups_.size();
-    for (uint32_t g : bucket) {
-      if (std::equal(scratch.begin(), scratch.end(),
-                     group_keys.begin() + static_cast<size_t>(g) * kc)) {
-        gid = g;
-        break;
-      }
-    }
-    if (gid == view.groups_.size()) {
-      bucket.push_back(static_cast<uint32_t>(gid));
-      group_keys.insert(group_keys.end(), scratch.begin(), scratch.end());
-      GroupResult g;
-      g.key.reserve(kc);
-      for (const Column* c : key_cols) g.key.push_back(c->GetValue(r));
-      view.groups_.push_back(std::move(g));
-      sums.emplace_back();
-    }
-    GroupResult& g = view.groups_[gid];
-    sums[gid].Add(avg_col.GetNumeric(r));
-    g.count += 1;
-    g.rows.push_back(r);
-    view.row_group_[r] = static_cast<int32_t>(gid);
+  // WHERE mask, evaluated shard-parallel into disjoint word-aligned
+  // ranges (bit-exact, so identical for every plan).
+  Bitset where_mask;
+  if (!query.where.IsEmpty()) {
+    where_mask = Bitset(table.NumRows());
+    ThreadPool::RunOn(pool, num_shards, [&](size_t s) {
+      const size_t begin = plan.ShardBegin(s);
+      where_mask.AssignRange(
+          begin, query.where.EvaluateRange(table, begin, plan.ShardEnd(s)));
+    });
   }
+
+  // Pass 1 (parallel): per-shard local group discovery. Rows key by
+  // their exact composite cell codes: an FNV-1a hash picks the bucket
+  // and a bucket hit compares the full composite against the group's
+  // stored key, so a 64-bit hash collision can never merge two distinct
+  // groups. Local ids follow first appearance within the shard; the
+  // shard writes its local ids into row_group_ (disjoint ranges) and
+  // pass 2 rewrites them as global ids.
+  std::vector<ShardScan> scans(num_shards);
+  ThreadPool::RunOn(pool, num_shards, [&](size_t s) {
+    ShardScan& scan = scans[s];
+    std::vector<uint64_t> scratch(kc);
+    const size_t end = plan.ShardEnd(s);
+    for (size_t r = plan.ShardBegin(s); r < end; ++r) {
+      if (!query.where.IsEmpty() && !where_mask.Test(r)) continue;
+      if (avg_col.IsNull(r)) continue;
+      bool null_key = false;
+      uint64_t h = 0xcbf29ce484222325ULL;
+      for (size_t k = 0; k < kc; ++k) {
+        if (key_cols[k]->IsNull(r)) {
+          null_key = true;
+          break;
+        }
+        scratch[k] = CellCode(*key_cols[k], r);
+        h = (h ^ scratch[k]) * 0x100000001b3ULL;
+      }
+      if (null_key) continue;
+
+      std::vector<uint32_t>& bucket = scan.buckets[h];
+      size_t gid = scan.counts.size();
+      for (uint32_t g : bucket) {
+        if (std::equal(scratch.begin(), scratch.end(),
+                       scan.group_keys.begin() +
+                           static_cast<size_t>(g) * kc)) {
+          gid = g;
+          break;
+        }
+      }
+      if (gid == scan.counts.size()) {
+        bucket.push_back(static_cast<uint32_t>(gid));
+        scan.group_keys.insert(scan.group_keys.end(), scratch.begin(),
+                               scratch.end());
+        scan.hashes.push_back(h);
+        scan.first_rows.push_back(r);
+        scan.counts.push_back(0);
+        scan.rows.emplace_back();
+        scan.partials.emplace_back();
+      }
+      scan.counts[gid] += 1;
+      scan.rows[gid].push_back(r);
+      auto& parts = scan.partials[gid];
+      const uint32_t block =
+          static_cast<uint32_t>(r / kSummationBlockRows);
+      if (parts.empty() || parts.back().first != block) {
+        parts.emplace_back(block, KahanSum());
+      }
+      parts.back().second.Add(avg_col.GetNumeric(r));
+      view.row_group_[r] = static_cast<int32_t>(gid);
+    }
+  });
+
+  // Pass 2 (serial, shard order): fold local groups into the global
+  // table. Shard s covers strictly lower rows than shard s+1, so global
+  // first-appearance order — and hence group ids, key values, and the
+  // ascending per-group row lists — matches a serial full scan exactly.
+  std::vector<uint64_t> group_keys;  // kc words per global group
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  std::vector<KahanSum> sums;
+  std::vector<std::vector<int32_t>> local_to_global(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    ShardScan& scan = scans[s];
+    const size_t num_local = scan.counts.size();
+    local_to_global[s].resize(num_local);
+    for (size_t lg = 0; lg < num_local; ++lg) {
+      const uint64_t* key = scan.group_keys.data() + lg * kc;
+      std::vector<uint32_t>& bucket = buckets[scan.hashes[lg]];
+      size_t gid = view.groups_.size();
+      for (uint32_t g : bucket) {
+        if (std::equal(key, key + kc,
+                       group_keys.begin() + static_cast<size_t>(g) * kc)) {
+          gid = g;
+          break;
+        }
+      }
+      if (gid == view.groups_.size()) {
+        bucket.push_back(static_cast<uint32_t>(gid));
+        group_keys.insert(group_keys.end(), key, key + kc);
+        GroupResult g;
+        g.key.reserve(kc);
+        for (const Column* c : key_cols) {
+          g.key.push_back(c->GetValue(scan.first_rows[lg]));
+        }
+        view.groups_.push_back(std::move(g));
+        sums.emplace_back();
+      }
+      local_to_global[s][lg] = static_cast<int32_t>(gid);
+      GroupResult& g = view.groups_[gid];
+      g.count += scan.counts[lg];
+      if (g.rows.empty()) {
+        g.rows = std::move(scan.rows[lg]);
+      } else {
+        g.rows.insert(g.rows.end(), scan.rows[lg].begin(),
+                      scan.rows[lg].end());
+      }
+      for (const auto& [block, partial] : scan.partials[lg]) {
+        sums[gid].Merge(partial);
+      }
+    }
+  }
+
+  // Rewrite shard-local ids as global ids (parallel, disjoint ranges).
+  ThreadPool::RunOn(pool, num_shards, [&](size_t s) {
+    const size_t end = plan.ShardEnd(s);
+    for (size_t r = plan.ShardBegin(s); r < end; ++r) {
+      const int32_t lg = view.row_group_[r];
+      if (lg >= 0) view.row_group_[r] = local_to_global[s][lg];
+    }
+  });
+
   for (size_t i = 0; i < view.groups_.size(); ++i) {
     GroupResult& g = view.groups_[i];
     if (g.count > 0) g.average = sums[i].Sum() / static_cast<double>(g.count);
@@ -150,9 +258,11 @@ AggregateView AggregateView::EvaluateReference(const Table& table,
       query.where.IsEmpty() ? Bitset() : query.where.Evaluate(table);
 
   // Key rows by the concatenation of group-by cell renderings; group order
-  // follows first appearance, matching the production path.
+  // follows first appearance, matching the production path. Sums stream
+  // through the same 64-row blocked-Kahan structure the production path
+  // merges shard partials with, so the averages agree bit for bit.
   std::map<std::string, size_t> key_to_group;
-  std::vector<KahanSum> sums;
+  std::vector<BlockedKahan> sums;
   for (size_t r = 0; r < table.NumRows(); ++r) {
     if (!query.where.IsEmpty() && !where_mask.Test(r)) continue;
     if (avg_col.IsNull(r)) continue;
@@ -178,7 +288,7 @@ AggregateView AggregateView::EvaluateReference(const Table& table,
       sums.emplace_back();
     }
     GroupResult& g = view.groups_[it->second];
-    sums[it->second].Add(avg_col.GetNumeric(r));
+    sums[it->second].Add(r, avg_col.GetNumeric(r));
     g.count += 1;
     g.rows.push_back(r);
     view.row_group_[r] = static_cast<int32_t>(it->second);

@@ -12,6 +12,13 @@
 
 namespace causumx {
 
+// Forward declarations keep this dataset-layer header free of hard
+// dependencies on the engine and util execution machinery; the sharded
+// overload's implementation includes them. (ShardPlan itself depends
+// only on src/util, so no include cycle is possible.)
+class ShardPlan;
+class ThreadPool;
+
 /// A group-by-average query.
 struct GroupByAvgQuery {
   std::vector<std::string> group_by;  ///< A_gb: categorical attributes.
@@ -40,15 +47,28 @@ class AggregateView {
 
   /// Evaluates the query. Rows failing WHERE or with a null in any group-by
   /// or AVG attribute are excluded. Groups are ordered by first appearance.
-  /// Averages use compensated (Kahan) summation, so large groups with
-  /// large-offset values keep full precision. Group keys compare by exact
-  /// dictionary code / numeric bit pattern (no per-row string rendering).
+  /// Averages use blocked compensated (Kahan) summation — per-64-row-block
+  /// partials merged in block order — so large groups with large-offset
+  /// values keep full precision and the result is bit-identical to the
+  /// sharded overload below for every shard count. Group keys compare by
+  /// exact dictionary code / numeric bit pattern (no per-row string
+  /// rendering).
   static AggregateView Evaluate(const Table& table,
                                 const GroupByAvgQuery& query);
 
+  /// Shard-parallel evaluation: the WHERE mask, the per-row group
+  /// assignment, and the per-group block partial sums are computed per
+  /// shard on `pool` (null = serial), then merged deterministically in
+  /// shard order. Because shard boundaries align to summation blocks,
+  /// the result — group order, keys, counts, member rows, and averages,
+  /// bit for bit — equals the single-shard overload above for any plan.
+  static AggregateView Evaluate(const Table& table,
+                                const GroupByAvgQuery& query,
+                                const ShardPlan& plan, ThreadPool* pool);
+
   /// Reference evaluation keyed by rendered key strings (the
   /// pre-dictionary-code path), kept as the oracle the fast path is
-  /// tested bit-identical against. Same compensated summation. Note the
+  /// tested bit-identical against. Same blocked summation. Note the
   /// one intended divergence: string keys round doubles to 6 significant
   /// digits (conflating near-equal keys) and can alias across composite
   /// fields; the production path is exact.

@@ -42,7 +42,12 @@ bool Pattern::Matches(const Table& table, size_t row) const {
 }
 
 Bitset Pattern::Evaluate(const Table& table) const {
-  Bitset out(table.NumRows());
+  return EvaluateRange(table, 0, table.NumRows());
+}
+
+Bitset Pattern::EvaluateRange(const Table& table, size_t begin,
+                              size_t end) const {
+  Bitset out(end - begin);
   out.SetAll();
   // Evaluate predicate-by-predicate so each pass is a tight loop over one
   // column; categorical equality resolves the dictionary code once.
@@ -56,14 +61,16 @@ Bitset Pattern::Evaluate(const Table& table) const {
         // Constant absent from the dictionary: no row matches. (Without
         // this guard, null cells — whose code is also kNullCode — would
         // pass the inequality test below and diverge from Matches().)
-        return Bitset(table.NumRows());
+        return Bitset(end - begin);
       }
-      for (size_t r = 0; r < table.NumRows(); ++r) {
-        if (out.Test(r) && col.GetCode(r) != code) out.Clear(r);
+      for (size_t r = begin; r < end; ++r) {
+        if (out.Test(r - begin) && col.GetCode(r) != code) {
+          out.Clear(r - begin);
+        }
       }
     } else {
-      for (size_t r = 0; r < table.NumRows(); ++r) {
-        if (out.Test(r) && !p.Matches(table, r)) out.Clear(r);
+      for (size_t r = begin; r < end; ++r) {
+        if (out.Test(r - begin) && !p.Matches(table, r)) out.Clear(r - begin);
       }
     }
   }

@@ -42,6 +42,12 @@ class Pattern {
   /// Batched evaluation over an entire table; bit i set iff row i matches.
   Bitset Evaluate(const Table& table) const;
 
+  /// Batched evaluation of the row range [begin, end): bit i of the
+  /// returned (end - begin)-bit bitset is set iff row (begin + i)
+  /// matches. The per-shard segment builder of the sharded EvalEngine;
+  /// agrees bit-for-bit with Evaluate on the same rows.
+  Bitset EvaluateRange(const Table& table, size_t begin, size_t end) const;
+
   /// Batched evaluation restricted to rows where `mask` is set.
   Bitset EvaluateOn(const Table& table, const Bitset& mask) const;
 

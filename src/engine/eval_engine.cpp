@@ -5,7 +5,10 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
+
+#include "util/thread_pool.h"
 
 namespace causumx {
 
@@ -39,19 +42,40 @@ std::string PredicateKey(const SimplePredicate& p) {
   return key;
 }
 
+ShardPlan PlanFor(const Table& table, const EvalEngineOptions& options) {
+  const size_t auto_shards =
+      options.pool != nullptr ? options.pool->NumThreads() : 1;
+  return ShardPlan::ForShardCount(table.NumRows(), options.num_shards,
+                                  auto_shards);
+}
+
 }  // namespace
 
 EvalEngine::EvalEngine(const Table& table, bool cache_enabled)
-    : keepalive_(nullptr), table_(table), cache_enabled_(cache_enabled) {
+    : EvalEngine(table, EvalEngineOptions{cache_enabled, 1, nullptr}) {}
+
+EvalEngine::EvalEngine(const Table& table, EvalEngineOptions options)
+    : keepalive_(nullptr),
+      table_(table),
+      cache_enabled_(options.cache_enabled),
+      plan_(PlanFor(table, options)),
+      pool_(std::move(options.pool)) {
   for (size_t c = 0; c < table_.NumColumns(); ++c) {
     column_slots_.emplace_back();
   }
 }
 
 EvalEngine::EvalEngine(std::shared_ptr<const Table> table, bool cache_enabled)
+    : EvalEngine(std::move(table),
+                 EvalEngineOptions{cache_enabled, 1, nullptr}) {}
+
+EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
+                       EvalEngineOptions options)
     : keepalive_(std::move(table)),
       table_(*keepalive_),
-      cache_enabled_(cache_enabled) {
+      cache_enabled_(options.cache_enabled),
+      plan_(PlanFor(*keepalive_, options)),
+      pool_(std::move(options.pool)) {
   for (size_t c = 0; c < table_.NumColumns(); ++c) {
     column_slots_.emplace_back();
   }
@@ -61,7 +85,9 @@ EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
                        const EvalEngine& base)
     : keepalive_(std::move(table)),
       table_(*keepalive_),
-      cache_enabled_(base.cache_enabled_) {
+      cache_enabled_(base.cache_enabled_),
+      plan_(base.plan_.Extended(keepalive_->NumRows())),
+      pool_(base.pool_) {
   const size_t old_rows = base.table_.NumRows();
   const size_t new_rows = table_.NumRows();
   if (new_rows < old_rows ||
@@ -72,17 +98,16 @@ EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
 
   // Inherit the intern table (ids must survive so EstimatorContext memo
   // keys stay valid across the append) and carry over every materialized
-  // bitset, extended by evaluating only the delta rows. The base may be
-  // serving queries concurrently, so the snapshot phase under its shared
-  // intern lock only copies pointers — the O(predicates x delta) bitset
-  // re-evaluation happens after the lock is released, so a query that
-  // needs to intern a new predicate into the base never waits on the
-  // append. This engine is still private to the constructor, so its own
-  // members need no locks.
+  // segment. The base may be serving queries concurrently, so the
+  // snapshot phase under its shared intern lock only copies pointers —
+  // the O(predicates x delta) re-evaluation of the dirty shards happens
+  // after the lock is released, so a query that needs to intern a new
+  // predicate into the base never waits on the append. This engine is
+  // still private to the constructor, so its own members need no locks.
   struct SlotSnapshot {
     SimplePredicate pred;
-    std::shared_ptr<const Bitset> bits;  // null when evicted/unbuilt
-    uint64_t last_used;
+    std::vector<std::shared_ptr<const Bitset>> segs;
+    std::vector<uint64_t> seg_used;
   };
   std::vector<SlotSnapshot> snapshot;
   {
@@ -95,32 +120,61 @@ EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
       const PredicateSlot& src = base.slots_[id];
       SlotSnapshot snap;
       snap.pred = src.pred;
-      snap.last_used = src.last_used.load(std::memory_order_relaxed);
       {
         std::lock_guard<std::mutex> lk(src.mu);
-        snap.bits = src.bits;
+        snap.segs = src.segs;
+        snap.seg_used = src.seg_used;
       }
       snapshot.push_back(std::move(snap));
     }
   }
+  const size_t num_shards = plan_.NumShards();
   for (SlotSnapshot& snap : snapshot) {
     slots_.emplace_back();
     PredicateSlot& dst = slots_.back();
     dst.pred = std::move(snap.pred);
-    dst.last_used.store(snap.last_used, std::memory_order_relaxed);
-    if (snap.bits == nullptr) continue;  // evicted: rebuilds on demand
-    Bitset ext = *snap.bits;
-    ext.Resize(new_rows);
-    // Row-at-a-time Matches agrees bit-for-bit with Pattern::Evaluate
-    // (see the engine property tests), including the absent-dictionary-
-    // constant case: old rows keep their old codes, so a constant that
-    // only entered the dictionary with the delta still matches no old row.
-    for (size_t r = old_rows; r < new_rows; ++r) {
-      if (dst.pred.Matches(table_, r)) ext.Set(r);
+    dst.segs.resize(num_shards);
+    dst.seg_used.assign(num_shards, 0);
+    bool carried_any = false;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t begin = plan_.ShardBegin(s);
+      const size_t end = plan_.ShardEnd(s);
+      const bool existed = s < snap.segs.size();
+      const std::shared_ptr<const Bitset> old_seg =
+          existed ? snap.segs[s] : nullptr;
+      if (existed && old_seg == nullptr) continue;  // evicted: stays evicted
+      if (!existed && !carried_any) continue;  // predicate was never cached
+      if (old_seg != nullptr && old_seg->size() == end - begin) {
+        // Clean shard, untouched by the append: share the base's segment.
+        dst.segs[s] = old_seg;
+        dst.seg_used[s] = snap.seg_used[s];
+        carried_any = true;
+        continue;
+      }
+      // Dirty shard (spans the append point) or brand-new tail shard:
+      // evaluate only the rows the base segment did not cover.
+      // Row-at-a-time Matches agrees bit-for-bit with Pattern::Evaluate
+      // (see the engine property tests), including the absent-dictionary-
+      // constant case: old rows keep their old codes, so a constant that
+      // only entered the dictionary with the delta still matches no old
+      // row.
+      const size_t covered =
+          old_seg != nullptr ? begin + old_seg->size() : begin;
+      Bitset ext = old_seg != nullptr ? *old_seg : Bitset();
+      ext.Resize(end - begin);
+      for (size_t r = covered; r < end; ++r) {
+        if (dst.pred.Matches(table_, r)) ext.Set(r - begin);
+      }
+      dst.segs[s] = std::make_shared<const Bitset>(std::move(ext));
+      dst.seg_used[s] = existed ? snap.seg_used[s] : 0;
+      carried_any = true;
     }
-    bitset_bytes_.fetch_add(BitsetBytes(ext), std::memory_order_relaxed);
-    dst.bits = std::make_shared<const Bitset>(std::move(ext));
-    n_extended_.fetch_add(1, std::memory_order_relaxed);
+    for (const auto& seg : dst.segs) {
+      if (seg != nullptr) {
+        bitset_bytes_.fetch_add(BitsetBytes(*seg), std::memory_order_relaxed);
+      }
+    }
+    if (carried_any) n_extended_.fetch_add(1, std::memory_order_relaxed);
   }
   n_interned_.store(slots_.size(), std::memory_order_relaxed);
 
@@ -154,6 +208,11 @@ size_t EvalEngine::BitsetBytes(const Bitset& bits) {
   return sizeof(Bitset) + ((bits.size() + 63) / 64) * sizeof(uint64_t);
 }
 
+void EvalEngine::RunSharded(size_t n,
+                            const std::function<void(size_t)>& fn) const {
+  ThreadPool::RunOn(pool_.get(), n, fn);
+}
+
 PredicateId EvalEngine::Intern(const SimplePredicate& pred) {
   const std::string key = PredicateKey(pred);
   {
@@ -167,32 +226,59 @@ PredicateId EvalEngine::Intern(const SimplePredicate& pred) {
   if (inserted) {
     slots_.emplace_back();
     slots_.back().pred = pred;
+    slots_.back().segs.resize(plan_.NumShards());
+    slots_.back().seg_used.assign(plan_.NumShards(), 0);
     n_interned_.fetch_add(1, std::memory_order_relaxed);
   }
   return it->second;
 }
 
-std::shared_ptr<const Bitset> EvalEngine::PredicateBits(PredicateId id) {
+std::vector<std::shared_ptr<const Bitset>> EvalEngine::SegmentsOf(
+    PredicateId id) {
   PredicateSlot* slot;
   {
     std::shared_lock lock(intern_mu_);
     slot = &slots_[id];
   }
-  slot->last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
-                        std::memory_order_relaxed);
+  const uint64_t stamp = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::lock_guard<std::mutex> lk(slot->mu);
-  if (slot->bits == nullptr) {
-    // The single-atom reference evaluation guarantees agreement with
-    // Pattern::Evaluate (and, via the property tests, with Matches).
-    slot->bits =
-        std::make_shared<const Bitset>(Pattern({slot->pred}).Evaluate(table_));
-    n_materialized_.fetch_add(1, std::memory_order_relaxed);
-    bitset_bytes_.fetch_add(BitsetBytes(*slot->bits),
-                            std::memory_order_relaxed);
-  } else {
-    n_bitset_hits_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<size_t> missing;
+  for (size_t s = 0; s < slot->segs.size(); ++s) {
+    slot->seg_used[s] = stamp;
+    if (slot->segs[s] == nullptr) missing.push_back(s);
   }
-  return slot->bits;
+  if (!missing.empty()) {
+    // Build the missing segments pool-parallel into a scratch array;
+    // workers never touch the slot (the lock is ours), and the
+    // ParallelFor join orders their writes before the publication below.
+    std::vector<Bitset> built(missing.size());
+    const SimplePredicate& pred = slot->pred;
+    RunSharded(missing.size(), [&](size_t i) {
+      const size_t s = missing[i];
+      built[i] = Pattern({pred}).EvaluateRange(table_, plan_.ShardBegin(s),
+                                               plan_.ShardEnd(s));
+    });
+    for (size_t i = 0; i < missing.size(); ++i) {
+      slot->segs[missing[i]] =
+          std::make_shared<const Bitset>(std::move(built[i]));
+      bitset_bytes_.fetch_add(BitsetBytes(*slot->segs[missing[i]]),
+                              std::memory_order_relaxed);
+    }
+    n_materialized_.fetch_add(missing.size(), std::memory_order_relaxed);
+  }
+  n_bitset_hits_.fetch_add(slot->segs.size() - missing.size(),
+                           std::memory_order_relaxed);
+  return slot->segs;
+}
+
+std::shared_ptr<const Bitset> EvalEngine::PredicateBits(PredicateId id) {
+  std::vector<std::shared_ptr<const Bitset>> segs = SegmentsOf(id);
+  if (segs.size() == 1) return segs[0];
+  Bitset whole(table_.NumRows());
+  for (size_t s = 0; s < segs.size(); ++s) {
+    whole.AssignRange(plan_.ShardBegin(s), *segs[s]);
+  }
+  return std::make_shared<const Bitset>(std::move(whole));
 }
 
 Bitset EvalEngine::Evaluate(const Pattern& pattern) {
@@ -203,8 +289,20 @@ Bitset EvalEngine::Evaluate(const Pattern& pattern) {
   n_pattern_evals_.fetch_add(1, std::memory_order_relaxed);
   Bitset out(table_.NumRows());
   out.SetAll();
+  std::vector<std::vector<std::shared_ptr<const Bitset>>> atoms;
+  atoms.reserve(pattern.predicates().size());
   for (const auto& p : pattern.predicates()) {
-    out &= *PredicateBits(Intern(p));
+    atoms.push_back(SegmentsOf(Intern(p)));
+  }
+  // Shard-wise AND-accumulate into the (word-aligned, disjoint) output
+  // ranges. Deliberately serial: the expensive O(rows) work — segment
+  // materialization — already ran pool-parallel inside SegmentsOf, and
+  // the AND itself is a word-wise pass cheaper than a task dispatch.
+  for (size_t s = 0; s < plan_.NumShards(); ++s) {
+    const size_t begin = plan_.ShardBegin(s);
+    for (const auto& segs : atoms) {
+      out.AndRange(begin, *segs[s]);
+    }
   }
   return out;
 }
@@ -224,14 +322,20 @@ const NumericColumnView& EvalEngine::Numeric(size_t col) {
   const size_t n = table_.NumRows();
   slot.view.values.resize(n);
   slot.view.valid = Bitset(n);
-  for (size_t r = 0; r < n; ++r) {
-    if (c.IsNull(r)) {
-      slot.view.values[r] = std::nan("");
-    } else {
-      slot.view.values[r] = c.GetNumeric(r);
-      slot.view.valid.Set(r);
+  // Shards write disjoint index ranges of `values` and disjoint
+  // (word-aligned) ranges of `valid`; the ParallelFor join publishes
+  // their writes before `ready` is released below.
+  RunSharded(plan_.NumShards(), [&](size_t s) {
+    const size_t end = plan_.ShardEnd(s);
+    for (size_t r = plan_.ShardBegin(s); r < end; ++r) {
+      if (c.IsNull(r)) {
+        slot.view.values[r] = std::nan("");
+      } else {
+        slot.view.values[r] = c.GetNumeric(r);
+        slot.view.valid.Set(r);
+      }
     }
-  }
+  });
   n_views_built_.fetch_add(1, std::memory_order_relaxed);
   view_bytes_.fetch_add(n * sizeof(double) + BitsetBytes(slot.view.valid),
                         std::memory_order_relaxed);
@@ -269,22 +373,27 @@ size_t EvalEngine::CacheBytes() const {
 
 size_t EvalEngine::EvictLru(size_t bytes_to_free) {
   if (bytes_to_free == 0) return 0;
-  // Snapshot (stamp, id) pairs oldest-first. A reader racing with the
-  // scan may re-stamp or rebuild a slot; that only makes eviction
-  // slightly less than perfectly LRU, never incorrect — readers hold the
-  // bits by shared_ptr and evicted entries rebuild on demand.
-  std::vector<std::pair<uint64_t, PredicateId>> order;
+  // Snapshot (stamp, id, shard) triples oldest-first. A reader racing
+  // with the scan may re-stamp or rebuild a segment; that only makes
+  // eviction slightly less than perfectly LRU, never incorrect — readers
+  // hold the bits by shared_ptr and evicted segments rebuild on demand.
+  std::vector<std::tuple<uint64_t, PredicateId, uint32_t>> order;
   {
     std::shared_lock lock(intern_mu_);
-    order.reserve(slots_.size());
     for (PredicateId id = 0; id < slots_.size(); ++id) {
-      order.emplace_back(slots_[id].last_used.load(std::memory_order_relaxed),
-                         id);
+      const PredicateSlot& slot = slots_[id];
+      std::lock_guard<std::mutex> lk(slot.mu);
+      for (size_t s = 0; s < slot.segs.size(); ++s) {
+        if (slot.segs[s] != nullptr) {
+          order.emplace_back(slot.seg_used[s], id,
+                             static_cast<uint32_t>(s));
+        }
+      }
     }
   }
   std::sort(order.begin(), order.end());
   size_t freed = 0;
-  for (const auto& [stamp, id] : order) {
+  for (const auto& [stamp, id, shard] : order) {
     if (freed >= bytes_to_free) break;
     PredicateSlot* slot;
     {
@@ -292,9 +401,9 @@ size_t EvalEngine::EvictLru(size_t bytes_to_free) {
       slot = &slots_[id];
     }
     std::lock_guard<std::mutex> lk(slot->mu);
-    if (slot->bits != nullptr) {
-      freed += BitsetBytes(*slot->bits);
-      slot->bits.reset();
+    if (slot->segs[shard] != nullptr) {
+      freed += BitsetBytes(*slot->segs[shard]);
+      slot->segs[shard].reset();
       n_evicted_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -316,6 +425,7 @@ EvalEngineStats EvalEngine::Stats() const {
       n_views_extended_.load(std::memory_order_relaxed);
   s.bitset_bytes = bitset_bytes_.load(std::memory_order_relaxed);
   s.view_bytes = view_bytes_.load(std::memory_order_relaxed);
+  s.num_shards = plan_.NumShards();
   return s;
 }
 

@@ -1,22 +1,32 @@
 // Shared evaluation engine: interned atomic predicates with lazily
-// materialized, cached row bitsets, plus cached numeric column views.
+// materialized, cached row bitsets, plus cached numeric column views —
+// executed shard-parallel over a row-partitioned table.
 //
 // One EvalEngine instance is bound to one Table and shared by every
 // component that evaluates patterns against it — the grouping/treatment
 // miners, the effect estimator, the baselines, and interactive
 // exploration sessions. Each atomic SimplePredicate is interned into a
-// dense id; its matching-row Bitset is computed once per table
-// (thread-safe — the phase-2 thread pool hits the cache concurrently)
-// and conjunctive Patterns evaluate as ANDs of cached bitsets instead of
-// row-at-a-time Value comparisons. The lattice structure of treatment
-// mining makes this pay off: every level-(d+1) pattern reuses the d+1
-// atom bitsets its ancestors already materialized.
+// dense id; its matching rows are materialized once per table as
+// per-shard bitset *segments* (one per ShardPlan shard, built
+// ThreadPool-parallel) and conjunctive Patterns evaluate as shard-wise
+// AND-accumulations of cached segments instead of row-at-a-time Value
+// comparisons. The lattice structure of treatment mining makes this pay
+// off: every level-(d+1) pattern reuses the d+1 atom segments its
+// ancestors already materialized.
 //
-// Cached bitsets are byte-accounted and individually evictable
+// Sharding is a pure execution strategy: shard boundaries are aligned to
+// summation blocks (ShardPlan), all bit-level work decomposes exactly,
+// and results are bit-identical for every shard count and thread count
+// (the property suite in tests/test_property_sharded.cpp enforces this
+// against the row-at-a-time reference path).
+//
+// Cached segments are byte-accounted and individually evictable
 // (EvictLru), so a long-lived engine — e.g. one owned by an
 // ExplanationService table entry serving many queries — can be kept
 // under a memory budget. Eviction only discards cached work: an evicted
-// bitset is rematerialized on next use, bit-identically.
+// segment is rematerialized on next use, bit-identically, and eviction
+// granularity is one (predicate, shard) segment, so a tight budget
+// sheds cold shards before cold predicates.
 //
 // A cache-bypass mode (cache_enabled = false) routes Evaluate through
 // the reference Pattern::Evaluate path so tests can verify the cached
@@ -28,6 +38,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -38,29 +49,36 @@
 #include "dataset/pattern.h"
 #include "dataset/predicate.h"
 #include "dataset/table.h"
+#include "engine/shard_plan.h"
 #include "util/bitset.h"
 
 namespace causumx {
 
+class ThreadPool;
+
 /// Dense id of an interned atomic predicate (valid for one engine).
 using PredicateId = uint32_t;
 
-/// Cumulative cache counters. `bitset_hits` counts atom lookups served
-/// from an already-materialized bitset; `pattern_evals` / `bypass_evals`
-/// split Evaluate/EvaluateOn calls by path. `bitset_bytes` / `view_bytes`
-/// are current (not cumulative) accounted sizes.
+/// Cumulative cache counters. `bitset_hits` counts atom segment lookups
+/// served from an already-materialized segment and
+/// `segments_materialized` counts segment builds; `pattern_evals` /
+/// `bypass_evals` split Evaluate/EvaluateOn calls by path.
+/// `bitset_bytes` / `view_bytes` are current (not cumulative) accounted
+/// sizes. With a single-shard plan a segment is the whole bitset, so the
+/// segment counters coincide with the historical per-bitset ones.
 struct EvalEngineStats {
   uint64_t predicates_interned = 0;
-  uint64_t bitsets_materialized = 0;
+  uint64_t bitsets_materialized = 0;  ///< segments built (alias, see above)
   uint64_t bitset_hits = 0;
-  uint64_t bitsets_evicted = 0;
-  uint64_t bitsets_extended = 0;  ///< inherited via delta extension
+  uint64_t bitsets_evicted = 0;  ///< segments evicted
+  uint64_t bitsets_extended = 0;  ///< predicates inherited via delta extension
   uint64_t pattern_evals = 0;
   uint64_t bypass_evals = 0;
   uint64_t column_views_built = 0;
   uint64_t column_views_extended = 0;  ///< inherited via delta extension
   size_t bitset_bytes = 0;
   size_t view_bytes = 0;
+  size_t num_shards = 1;  ///< shards in the engine's plan
 };
 
 /// Cached numeric view of one column: GetNumeric for every row (NaN on
@@ -70,32 +88,55 @@ struct NumericColumnView {
   Bitset valid;
 };
 
+/// Execution configuration of an engine.
+struct EvalEngineOptions {
+  /// When false, Evaluate routes through the reference
+  /// Pattern::Evaluate path and nothing is cached.
+  bool cache_enabled = true;
+  /// Row shards for the table partition: 0 = one shard per pool worker
+  /// (or 1 without a pool), otherwise the requested count clamped to
+  /// [1, one shard per 64-row block]. Results are bit-identical for
+  /// every value; only the parallelism granularity changes.
+  size_t num_shards = 1;
+  /// Worker pool for shard-parallel builds and evaluations. May be
+  /// null (serial execution over the same shard plan). The engine keeps
+  /// the pool alive.
+  std::shared_ptr<ThreadPool> pool;
+};
+
 /// Pattern-evaluation engine bound to one table.
 ///
 /// Thread-safe: Intern/PredicateBits/Evaluate/EvaluateOn/Numeric/EvictLru
-/// may be called concurrently; each predicate bitset and column view is
+/// may be called concurrently; each predicate segment and column view is
 /// materialized at most once between evictions. The table must outlive
 /// the engine (use the shared_ptr constructor to guarantee it).
 class EvalEngine {
  public:
   explicit EvalEngine(const Table& table, bool cache_enabled = true);
+  EvalEngine(const Table& table, EvalEngineOptions options);
 
   /// Shared-ownership binding: the engine keeps the table alive, so
   /// registry-style owners (ExplanationService, ExplorationSession) can
   /// hand out the engine without lifetime coupling to the table holder.
   explicit EvalEngine(std::shared_ptr<const Table> table,
                       bool cache_enabled = true);
+  EvalEngine(std::shared_ptr<const Table> table, EvalEngineOptions options);
 
   /// Delta-aware rebinding for the streaming append path: a new engine
   /// over `table`, which must be `base`'s table extended by appended rows
   /// (same schema; rows [0, base rows) bit-identical). Every interned
-  /// predicate keeps its id, and each cached bitset / numeric column view
-  /// is carried over and extended by evaluating only the delta rows —
-  /// O(delta) per cache entry instead of a full-table rebuild. Evicted
-  /// entries stay evicted (they rematerialize over the full table on next
-  /// use). Safe while `base` is serving concurrent queries; `base` itself
-  /// is never modified. Throws std::invalid_argument when `table` does
-  /// not extend the base table.
+  /// predicate keeps its id, and each cached segment is carried over:
+  /// shards fully below the old row count share the base's segment
+  /// objects outright (zero copy — their rows are untouched), the shard
+  /// containing the append point extends by evaluating only the delta
+  /// rows, and brand-new tail shards materialize for predicates that
+  /// were cached. Only the dirty shards are re-evaluated — O(delta) per
+  /// cache entry instead of a full-table rebuild. Evicted segments stay
+  /// evicted (they rematerialize on next use). The shard size and pool
+  /// are inherited, so shard boundaries stay stable across appends.
+  /// Safe while `base` is serving concurrent queries; `base` itself is
+  /// never modified. Throws std::invalid_argument when `table` does not
+  /// extend the base table.
   EvalEngine(std::shared_ptr<const Table> table, const EvalEngine& base);
 
   EvalEngine(const EvalEngine&) = delete;
@@ -104,6 +145,12 @@ class EvalEngine {
   const Table& table() const { return table_; }
   bool cache_enabled() const { return cache_enabled_; }
 
+  /// The engine's row partition. Single-shard for the bool constructors.
+  const ShardPlan& plan() const { return plan_; }
+
+  /// The engine's worker pool (null = serial execution).
+  ThreadPool* pool() const { return pool_.get(); }
+
   /// Interns an atomic predicate, returning its dense id. Idempotent:
   /// structurally equal predicates intern to the same id.
   PredicateId Intern(const SimplePredicate& pred);
@@ -111,17 +158,22 @@ class EvalEngine {
   /// The matching-row bitset of an interned predicate, materialized on
   /// first use (agrees bit-for-bit with Pattern::Evaluate / Matches).
   /// Returned by shared_ptr so a concurrent EvictLru can never pull the
-  /// bits out from under a reader; an evicted entry rebuilds on next use.
+  /// bits out from under a reader; an evicted entry rebuilds on next
+  /// use. With a multi-shard plan the cached segments are assembled
+  /// into a fresh whole-table bitset per call; Evaluate works on the
+  /// segments directly and is the hot path.
   std::shared_ptr<const Bitset> PredicateBits(PredicateId id);
 
-  /// Batched pattern evaluation. Cached path: AND of cached atom
-  /// bitsets. Bypass path: Pattern::Evaluate. Bit-identical either way.
+  /// Batched pattern evaluation. Cached path: shard-wise AND-accumulate
+  /// of cached atom segments (pool-parallel across shards). Bypass
+  /// path: Pattern::Evaluate. Bit-identical either way.
   Bitset Evaluate(const Pattern& pattern);
 
   /// Evaluate restricted to rows where `mask` is set.
   Bitset EvaluateOn(const Pattern& pattern, const Bitset& mask);
 
-  /// Cached numeric view of column `col` (by index), built on first use.
+  /// Cached numeric view of column `col` (by index), built on first use
+  /// (pool-parallel across shards).
   const NumericColumnView& Numeric(size_t col);
 
   /// Cached distinct non-null values of column `col`, ascending (the
@@ -135,15 +187,15 @@ class EvalEngine {
   /// Number of distinct predicates interned so far.
   size_t NumInterned() const;
 
-  /// Accounted bytes of currently materialized predicate bitsets (the
+  /// Accounted bytes of currently materialized predicate segments (the
   /// evictable portion of the cache; numeric views are bounded by the
   /// table footprint and not evicted).
   size_t CacheBytes() const;
 
-  /// Evicts least-recently-used predicate bitsets until at least
-  /// `bytes_to_free` accounted bytes are released (or nothing is left to
-  /// evict). Returns the bytes actually freed. Safe to call concurrently
-  /// with evaluation; evicted bitsets rebuild on demand.
+  /// Evicts least-recently-used (predicate, shard) segments until at
+  /// least `bytes_to_free` accounted bytes are released (or nothing is
+  /// left to evict). Returns the bytes actually freed. Safe to call
+  /// concurrently with evaluation; evicted segments rebuild on demand.
   size_t EvictLru(size_t bytes_to_free);
 
   /// Snapshot of the cache counters.
@@ -152,9 +204,11 @@ class EvalEngine {
  private:
   struct PredicateSlot {
     SimplePredicate pred;
-    mutable std::mutex mu;               // guards `bits` build/evict
-    std::shared_ptr<const Bitset> bits;  // null until materialized/evicted
-    std::atomic<uint64_t> last_used{0};
+    mutable std::mutex mu;  // guards `segs` / `seg_used` build/evict
+    /// One entry per shard; null until materialized (or after evict).
+    std::vector<std::shared_ptr<const Bitset>> segs;
+    /// LRU stamp per segment (guarded by mu).
+    std::vector<uint64_t> seg_used;
   };
   /// Double-checked build: `ready` (acquire/release) publishes `view`
   /// after it is built under `mu` — or seeded by the delta-extension
@@ -171,9 +225,20 @@ class EvalEngine {
 
   static size_t BitsetBytes(const Bitset& bits);
 
+  /// Runs fn(shard) for every shard, pool-parallel when a pool is set.
+  void RunSharded(size_t n, const std::function<void(size_t)>& fn) const;
+
+  /// Returns every segment of the predicate, materializing (and
+  /// byte-accounting) the missing ones pool-parallel, and stamping all
+  /// of them as used. The returned pointers are safe against concurrent
+  /// eviction.
+  std::vector<std::shared_ptr<const Bitset>> SegmentsOf(PredicateId id);
+
   const std::shared_ptr<const Table> keepalive_;  // may be null (ref ctor)
   const Table& table_;  // not owned; must outlive the engine.
   const bool cache_enabled_;
+  const ShardPlan plan_;
+  const std::shared_ptr<ThreadPool> pool_;  // may be null (serial)
 
   mutable std::shared_mutex intern_mu_;
   std::unordered_map<std::string, PredicateId> ids_;

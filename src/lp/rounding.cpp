@@ -7,6 +7,7 @@
 
 #include "lp/ilp.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace causumx {
 
@@ -199,9 +200,11 @@ SelectionResult SolveExact(const SelectionProblem& p) {
   return best;
 }
 
-SelectionResult SolveGreedy(const SelectionProblem& p, double gain_bonus) {
+SelectionResult SolveGreedy(const SelectionProblem& p, double gain_bonus,
+                            ThreadPool* pool) {
   SelectionResult result;
   Bitset covered(p.num_groups);
+  const size_t l = p.candidates.size();
   std::set<size_t> chosen;
   // Incomparability constraint: never take two candidates with the same
   // coverage. The dedup compares bit content on a hash-bucket hit — a
@@ -209,22 +212,37 @@ SelectionResult SolveGreedy(const SelectionProblem& p, double gain_bonus) {
   // candidate and degrade the selection.
   BitsetDedup used_coverages;
 
+  std::vector<double> scores(l);
+  constexpr double kExcluded = -1e301;  // below any real score
   for (size_t step = 0; step < p.k; ++step) {
-    size_t best_j = p.candidates.size();
-    double best_score = -1e300;
-    for (size_t j = 0; j < p.candidates.size(); ++j) {
-      if (chosen.count(j)) continue;
-      if (used_coverages.Contains(p.candidates[j].coverage)) continue;
-      const Bitset merged = covered | p.candidates[j].coverage;
+    // Marginal-gain scan: each candidate's score is an independent
+    // popcount (|coverage \ covered|), computed pool-parallel; the
+    // argmax below runs serially in index order, so the chosen index —
+    // the first candidate achieving the maximum — matches the serial
+    // scan exactly.
+    ThreadPool::RunOn(pool, l, [&](size_t j) {
+      if (chosen.count(j) ||
+          used_coverages.Contains(p.candidates[j].coverage)) {
+        scores[j] = kExcluded;
+        return;
+      }
       const double gain =
-          static_cast<double>(merged.Count() - covered.Count());
-      const double score = p.candidates[j].weight + gain_bonus * gain;
-      if (score > best_score) {
-        best_score = score;
+          gain_bonus == 0.0
+              ? 0.0
+              : static_cast<double>(
+                    p.candidates[j].coverage.CountAndNot(covered));
+      scores[j] = p.candidates[j].weight + gain_bonus * gain;
+    });
+    size_t best_j = l;
+    double best_score = -1e300;
+    for (size_t j = 0; j < l; ++j) {
+      if (scores[j] == kExcluded) continue;
+      if (scores[j] > best_score) {
+        best_score = scores[j];
         best_j = j;
       }
     }
-    if (best_j == p.candidates.size()) break;
+    if (best_j == l) break;
     chosen.insert(best_j);
     used_coverages.Insert(p.candidates[best_j].coverage);
     covered |= p.candidates[best_j].coverage;

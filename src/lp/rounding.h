@@ -22,6 +22,8 @@
 
 namespace causumx {
 
+class ThreadPool;
+
 /// Input: one candidate per explanation pattern.
 struct SelectionCandidate {
   double weight = 0.0;  ///< explainability weight (|CATE+| + |CATE-|).
@@ -71,9 +73,13 @@ SelectionResult SolveExact(const SelectionProblem& problem);
 
 /// Greedy selection (the Greedy-Last-Step variant, Section 6): repeatedly
 /// takes the candidate maximizing weight + (coverage gain) * gain_bonus
-/// until k are chosen.
+/// until k are chosen. `pool` (optional) parallelizes each step's
+/// marginal-gain scan across candidates; every candidate's score is an
+/// independent popcount, and the argmax is taken in a serial index-order
+/// pass, so the selection is identical at any thread count.
 SelectionResult SolveGreedy(const SelectionProblem& problem,
-                            double gain_bonus = 0.0);
+                            double gain_bonus = 0.0,
+                            ThreadPool* pool = nullptr);
 
 }  // namespace causumx
 

@@ -14,6 +14,11 @@
 //    "k": 5, "theta": 0.75, "support": 0.1, "alpha": 0.05,
 //    "num_threads": 1}               // per-query mining threads
 //
+// Row sharding is a property of the registered table, not of one
+// request: the service-level --shards (ServiceOptions::num_shards)
+// fixes each table's shard plan at registration, and every batch query
+// executes through it.
+//
 // Streaming ingestion rides the same file via an "op" field:
 //
 //   {"op": "append", "table": "sales", "csv": "delta.csv"}

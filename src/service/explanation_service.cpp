@@ -39,16 +39,23 @@ std::string ContextKey(const CausalDag& dag, const EstimatorOptions& opt) {
 
 ExplanationService::ExplanationService(ServiceOptions options)
     : options_(options),
-      pool_(std::make_unique<ThreadPool>(
+      pool_(std::make_shared<ThreadPool>(
           options.num_threads == 0 ? ThreadPool::DefaultThreads()
                                    : options.num_threads)) {}
+
+EvalEngineOptions ExplanationService::EngineOptions() const {
+  EvalEngineOptions options;
+  options.cache_enabled = options_.cache_enabled;
+  options.num_shards = options_.num_shards;
+  options.pool = pool_;
+  return options;
+}
 
 std::shared_ptr<const Table> ExplanationService::RegisterTable(
     const std::string& name, std::shared_ptr<const Table> table) {
   TableEntry entry;
   entry.table = std::move(table);
-  entry.engine =
-      std::make_shared<EvalEngine>(entry.table, options_.cache_enabled);
+  entry.engine = std::make_shared<EvalEngine>(entry.table, EngineOptions());
   std::shared_ptr<const Table> handle = entry.table;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -83,8 +90,7 @@ std::shared_ptr<const Table> ExplanationService::EnsureCsv(
   TableEntry entry;
   entry.table =
       std::make_shared<const Table>(ReadCsvFile(path, csv_options));
-  entry.engine =
-      std::make_shared<EvalEngine>(entry.table, options_.cache_enabled);
+  entry.engine = std::make_shared<EvalEngine>(entry.table, EngineOptions());
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = tables_.find(name);
@@ -259,8 +265,9 @@ CauSumXResult ExplanationService::Explain(const std::string& table_name,
   result.timings = mined.timings;
   result.cache_stats = mined.cache_stats;
   if (result.view.NumGroups() > 0) {
-    result.summary = SelectExplanations(
-        mined.candidates, result.view.NumGroups(), config, &result.timings);
+    result.summary =
+        SelectExplanations(mined.candidates, result.view.NumGroups(), config,
+                           &result.timings, pool_.get());
   }
   n_queries_.fetch_add(1, std::memory_order_relaxed);
   EnforceBudget();

@@ -40,11 +40,18 @@ namespace causumx {
 
 /// Service-wide configuration.
 struct ServiceOptions {
-  /// Upper bound on the evictable cache bytes (predicate bitsets + CATE
-  /// memo entries) summed over every registered table. 0 = unlimited.
+  /// Upper bound on the evictable cache bytes (predicate bitset segments
+  /// + CATE memo entries) summed over every registered table.
+  /// 0 = unlimited.
   size_t memory_budget_bytes = 0;
   /// Worker threads for ExplainAsync / batch execution (0 = hardware).
   size_t num_threads = 0;
+  /// Row shards per registered table (the --shards knob): 0 = one shard
+  /// per worker thread, N >= 1 = that many shards, clamped to one per
+  /// 64-row block — so 1, huge values, and 0 are all valid and produce
+  /// bit-identical results; only the parallelism granularity changes.
+  /// The shard size is fixed at registration and survives appends.
+  size_t num_shards = 0;
   /// When false, every table's engine runs in cache-bypass mode
   /// (debugging; results are bit-identical, just slower).
   bool cache_enabled = true;
@@ -216,6 +223,10 @@ class ExplanationService {
   /// Resolves the entry or throws std::out_of_range. Caller holds no lock.
   TableEntry Snapshot(const std::string& name) const;
 
+  /// Engine configuration for a newly registered table (cache mode,
+  /// shard count, the shared pool).
+  EvalEngineOptions EngineOptions() const;
+
   /// Append body; caller holds append_mu_ (but not mu_). See Append for
   /// the expected_base contract.
   std::shared_ptr<const Table> AppendLocked(
@@ -230,7 +241,9 @@ class ExplanationService {
   /// never take this lock.
   std::mutex append_mu_;
   std::map<std::string, TableEntry> tables_;
-  std::unique_ptr<ThreadPool> pool_;
+  /// Shared with every table engine (shard-parallel builds run on it),
+  /// so it outlives any engine handed out past the service's lifetime.
+  std::shared_ptr<ThreadPool> pool_;
   std::atomic<uint64_t> n_queries_{0};
   std::atomic<uint64_t> n_tables_{0};
   std::atomic<uint64_t> n_appends_{0};

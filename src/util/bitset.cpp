@@ -1,5 +1,6 @@
 #include "util/bitset.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -25,6 +26,37 @@ bool Bitset::Test(size_t i) const {
 size_t Bitset::Count() const {
   size_t c = 0;
   for (uint64_t w : words_) c += std::popcount(w);
+  return c;
+}
+
+size_t Bitset::CountRange(size_t begin, size_t end) const {
+  end = std::min(end, size_);
+  if (begin >= end) return 0;
+  const size_t first_word = begin >> 6;
+  const size_t last_word = (end - 1) >> 6;
+  // Mask off bits below `begin` in the first word and at/after `end` in
+  // the last; whole words in between popcount directly.
+  uint64_t first_mask = ~uint64_t{0} << (begin & 63);
+  const size_t end_rem = end & 63;
+  uint64_t last_mask =
+      end_rem == 0 ? ~uint64_t{0} : (uint64_t{1} << end_rem) - 1;
+  if (first_word == last_word) {
+    return std::popcount(words_[first_word] & first_mask & last_mask);
+  }
+  size_t c = std::popcount(words_[first_word] & first_mask);
+  for (size_t w = first_word + 1; w < last_word; ++w) {
+    c += std::popcount(words_[w]);
+  }
+  c += std::popcount(words_[last_word] & last_mask);
+  return c;
+}
+
+size_t Bitset::CountAndNot(const Bitset& other) const {
+  assert(size_ == other.size_);
+  size_t c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    c += std::popcount(words_[i] & ~other.words_[i]);
+  }
   return c;
 }
 
@@ -76,6 +108,73 @@ std::vector<size_t> Bitset::ToIndices() const {
     }
   }
   return out;
+}
+
+void Bitset::AppendIndicesInRange(size_t begin, size_t end,
+                                  std::vector<size_t>* out) const {
+  end = std::min(end, size_);
+  for (size_t i = begin; i < end;) {
+    if ((i & 63) == 0 && i + 64 <= end) {
+      uint64_t bits = words_[i >> 6];
+      while (bits) {
+        const int b = std::countr_zero(bits);
+        out->push_back(i + static_cast<size_t>(b));
+        bits &= bits - 1;
+      }
+      i += 64;
+    } else {
+      if (Test(i)) out->push_back(i);
+      ++i;
+    }
+  }
+}
+
+Bitset Bitset::ExtractRange(size_t begin, size_t end) const {
+  assert((begin & 63) == 0 && end >= begin && end <= size_);
+  Bitset out(end - begin);
+  const size_t first_word = begin >> 6;
+  for (size_t w = 0; w < out.words_.size(); ++w) {
+    out.words_[w] = words_[first_word + w];
+  }
+  // Clear padding past the new size (the source word may carry bits of
+  // rows beyond `end`).
+  const size_t rem = out.size_ & 63;
+  if (rem != 0 && !out.words_.empty()) {
+    out.words_.back() &= (uint64_t{1} << rem) - 1;
+  }
+  return out;
+}
+
+void Bitset::AssignRange(size_t offset, const Bitset& segment) {
+  assert((offset & 63) == 0 && offset + segment.size_ <= size_);
+  const size_t first_word = offset >> 6;
+  const size_t full_words = segment.size_ >> 6;
+  for (size_t w = 0; w < full_words; ++w) {
+    words_[first_word + w] = segment.words_[w];
+  }
+  const size_t rem = segment.size_ & 63;
+  if (rem != 0) {
+    // The segment's last word is partial; splice it under a mask so bits
+    // of this bitset beyond the segment keep their value.
+    const uint64_t mask = (uint64_t{1} << rem) - 1;
+    uint64_t& dst = words_[first_word + full_words];
+    dst = (dst & ~mask) | (segment.words_[full_words] & mask);
+  }
+}
+
+void Bitset::AndRange(size_t offset, const Bitset& segment) {
+  assert((offset & 63) == 0 && offset + segment.size_ <= size_);
+  const size_t first_word = offset >> 6;
+  const size_t full_words = segment.size_ >> 6;
+  for (size_t w = 0; w < full_words; ++w) {
+    words_[first_word + w] &= segment.words_[w];
+  }
+  const size_t rem = segment.size_ & 63;
+  if (rem != 0) {
+    const uint64_t mask = (uint64_t{1} << rem) - 1;
+    uint64_t& dst = words_[first_word + full_words];
+    dst &= segment.words_[full_words] | ~mask;
+  }
 }
 
 uint64_t Bitset::Hash() const {

@@ -28,6 +28,15 @@ class Bitset {
   /// Number of set bits.
   size_t Count() const;
 
+  /// Number of set bits with index in [begin, end) — the per-shard
+  /// popcount primitive. `end` is clamped to size().
+  size_t CountRange(size_t begin, size_t end) const;
+
+  /// popcount(this & ~other): the marginal-gain count of the greedy
+  /// solver (|coverage \ covered|) without materializing the union.
+  /// Sizes must match.
+  size_t CountAndNot(const Bitset& other) const;
+
   bool Any() const { return Count() > 0; }
   bool None() const { return Count() == 0; }
 
@@ -45,6 +54,27 @@ class Bitset {
 
   /// Indices of all set bits, ascending.
   std::vector<size_t> ToIndices() const;
+
+  /// Appends the indices of set bits in [begin, end) to `out`, ascending.
+  /// Shard-wise row collection: per-shard calls over [ShardBegin,
+  /// ShardEnd) ranges concatenate to exactly ToIndices().
+  void AppendIndicesInRange(size_t begin, size_t end,
+                            std::vector<size_t>* out) const;
+
+  /// The bits [begin, end) as a new (end - begin)-bit bitset; bit i of
+  /// the result is bit (begin + i) of this. `begin` must be a multiple
+  /// of 64 (shard boundaries are word-aligned by construction).
+  Bitset ExtractRange(size_t begin, size_t end) const;
+
+  /// Writes `segment` over this bitset's range [offset, offset +
+  /// segment.size()), replacing those bits. `offset` must be a multiple
+  /// of 64 and the range must fit. Distinct word-aligned ranges may be
+  /// written concurrently (the parallel shard assembly relies on this).
+  void AssignRange(size_t offset, const Bitset& segment);
+
+  /// ANDs `segment` into this bitset's range [offset, offset +
+  /// segment.size()). Same alignment/concurrency contract as AssignRange.
+  void AndRange(size_t offset, const Bitset& segment);
 
   /// FNV-1a style hash of the bit content (suitable for dedup maps).
   uint64_t Hash() const;

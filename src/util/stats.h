@@ -69,9 +69,63 @@ class KahanSum {
   }
   double Sum() const { return sum_; }
 
+  /// The running compensation term (the low-order bits Sum() is missing).
+  double Compensation() const { return c_; }
+
+  /// Folds another accumulator's state into this one: Add(sum) then
+  /// Add(compensation). Used by the blocked/sharded reductions to combine
+  /// per-block partial sums in a fixed order — the sequence of Add calls
+  /// (and hence the result, bit for bit) depends only on the block
+  /// decomposition, never on which thread computed which block.
+  void Merge(const KahanSum& other) {
+    Add(other.sum_);
+    Add(other.c_);
+  }
+
  private:
   double sum_ = 0.0;
   double c_ = 0.0;
+};
+
+/// Fixed reduction-block size (rows) for order-sensitive floating-point
+/// accumulations on the sharded execution path. Each block is summed
+/// sequentially (Kahan) and block partials merge in ascending block
+/// order, so the result is a function of the data and this constant
+/// alone — any shard decomposition aligned to block boundaries (see
+/// ShardPlan) reproduces the serial result bit for bit. 64 rows = one
+/// bitset word, so block boundaries are also word boundaries.
+inline constexpr size_t kSummationBlockRows = 64;
+
+/// Streaming blocked-Kahan accumulator: values arrive tagged with their
+/// (ascending) row index; rows in the same kSummationBlockRows-block sum
+/// into an open block partial, and each completed block merges into the
+/// running total in block order. `Sum()` flushes the open block. The
+/// final value is bit-identical whether one caller streams every row or
+/// per-shard partials of whole blocks are merged in shard order.
+class BlockedKahan {
+ public:
+  void Add(size_t row, double x) {
+    const size_t block = row / kSummationBlockRows;
+    if (block != block_ && has_block_) {
+      total_.Merge(open_);
+      open_ = KahanSum();
+    }
+    block_ = block;
+    has_block_ = true;
+    open_.Add(x);
+  }
+
+  double Sum() const {
+    KahanSum total = total_;
+    if (has_block_) total.Merge(open_);
+    return total.Sum();
+  }
+
+ private:
+  KahanSum total_;
+  KahanSum open_;
+  size_t block_ = 0;
+  bool has_block_ = false;
 };
 
 /// Welford-style streaming accumulator for mean/variance.

@@ -13,6 +13,15 @@ ThreadPool::ThreadPool(size_t num_threads) {
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  // Wait for every worker to park before returning, so NumIdle() is
+  // meaningful from the first use — otherwise a RunOn immediately after
+  // construction (a cold query's view scan) races worker startup, reads
+  // idle == 0, and silently degrades to the serial path. No task can be
+  // queued yet (the pool isn't published), so each worker necessarily
+  // reaches the idle wait.
+  while (idle_.load(std::memory_order_relaxed) < num_threads) {
+    std::this_thread::yield();
+  }
 }
 
 ThreadPool::~ThreadPool() {
@@ -94,7 +103,9 @@ void ThreadPool::WorkerLoop() {
     std::packaged_task<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      idle_.fetch_add(1, std::memory_order_relaxed);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      idle_.fetch_sub(1, std::memory_order_relaxed);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

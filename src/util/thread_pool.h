@@ -4,6 +4,7 @@
 #ifndef CAUSUMX_UTIL_THREAD_POOL_H_
 #define CAUSUMX_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <future>
@@ -40,8 +41,31 @@ class ThreadPool {
 
   size_t NumThreads() const { return workers_.size(); }
 
+  /// Workers currently parked waiting for a task (approximate; lock-free
+  /// read). The nested-parallelism gate in RunOn uses this.
+  size_t NumIdle() const { return idle_.load(std::memory_order_relaxed); }
+
   /// Hardware concurrency with a sane floor of 1.
   static size_t DefaultThreads();
+
+  /// ParallelFor when a pool is at hand AND has idle capacity, a plain
+  /// serial loop otherwise. The sharded execution paths call this for
+  /// their nested data-parallel stages: when every worker is already
+  /// busy (e.g. phase-2 mining saturates the pool across grouping
+  /// patterns), dispatching inner shards/chunks buys no parallelism and
+  /// only pays queue traffic, so the caller inlines the identical loop —
+  /// and when workers free up (the straggler tail, or pipeline stages
+  /// outside the mining fan-out), inner work spreads across them. The
+  /// gate only chooses a schedule; the computation, and therefore the
+  /// result, is the same either way.
+  static void RunOn(ThreadPool* pool, size_t n,
+                    const std::function<void(size_t)>& fn) {
+    if (pool != nullptr && n > 1 && pool->NumIdle() > 0) {
+      pool->ParallelFor(n, fn);
+    } else {
+      for (size_t i = 0; i < n; ++i) fn(i);
+    }
+  }
 
  private:
   void WorkerLoop();
@@ -50,6 +74,7 @@ class ThreadPool {
   std::queue<std::packaged_task<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
+  std::atomic<size_t> idle_{0};
   bool stop_ = false;
 };
 

@@ -136,6 +136,76 @@ TEST(ServiceTest, TightBudgetEvictsButResultsAreIdentical) {
   EXPECT_GT(engine_stats.bitsets_evicted, 0u);
 }
 
+// --shards edge values: 0 (auto), 1 (serial reference), and a count far
+// beyond the row count (clamps to one shard per 64-row block) must all
+// produce bit-identical summaries, and the resolved plan must respect
+// the clamp.
+TEST(ServiceTest, ShardKnobEdgeValuesAreValidAndBitIdentical) {
+  GeneratedDataset ds = MakeData();
+  const CauSumXConfig config = MakeConfig(ds);
+  const size_t rows = ds.table.NumRows();
+
+  std::string reference;
+  for (const size_t shards : {size_t{1}, size_t{0}, size_t{7}, rows * 10}) {
+    ServiceOptions options;
+    options.num_shards = shards;
+    options.num_threads = 3;
+    ExplanationService service(options);
+    service.RegisterTable("t", std::move(MakeData().table));
+    const CauSumXResult r =
+        service.Explain("t", ds.default_query, ds.dag, config);
+    const auto& plan = service.Engine("t")->plan();
+    EXPECT_GE(plan.NumShards(), size_t{1}) << "shards=" << shards;
+    EXPECT_LE(plan.NumShards(), (rows + 63) / 64) << "shards=" << shards;
+    if (shards == 1) {
+      EXPECT_EQ(plan.NumShards(), size_t{1});
+      reference = SummaryToJson(r.summary);
+    } else {
+      EXPECT_EQ(SummaryToJson(r.summary), reference)
+          << "shards=" << shards;
+    }
+    EXPECT_EQ(service.Engine("t")->Stats().num_shards, plan.NumShards());
+  }
+}
+
+// Per-shard cache segments evict individually under a tight budget: a
+// multi-shard engine sheds (predicate, shard) segments, stays under the
+// cap, and every post-eviction query still matches the unlimited run.
+TEST(ServiceTest, TightBudgetEvictsPerShardSegments) {
+  GeneratedDataset ds = MakeData();
+  const CauSumXConfig config = MakeConfig(ds);
+
+  ExplanationService unlimited;
+  unlimited.RegisterTable("t", std::move(MakeData().table));
+  const CauSumXResult free_run =
+      unlimited.Explain("t", ds.default_query, ds.dag, config);
+
+  ServiceOptions tight;
+  tight.memory_budget_bytes = 4 * 1024;
+  tight.num_shards = 8;
+  tight.num_threads = 3;
+  ExplanationService service(tight);
+  service.RegisterTable("t", std::move(ds.table));
+  for (int round = 0; round < 3; ++round) {
+    const CauSumXResult r =
+        service.Explain("t", ds.default_query, ds.dag, config);
+    EXPECT_EQ(SummaryToJson(r.summary), SummaryToJson(free_run.summary))
+        << "round " << round;
+    EXPECT_LE(service.CacheBytes(), tight.memory_budget_bytes)
+        << "round " << round;
+  }
+  const auto stats = service.Engine("t")->Stats();
+  EXPECT_GT(stats.num_shards, size_t{1});
+  // Segment-granular accounting: with an 8-shard plan the evicted-
+  // segment count exceeds what whole-bitset eviction could produce for
+  // the number of predicates interned.
+  EXPECT_GT(stats.bitsets_evicted, stats.predicates_interned);
+  // Rebuilds after eviction happened segment-wise too (cumulative
+  // builds exceed one build per (predicate, shard) pair only through
+  // rematerialization).
+  EXPECT_GT(stats.bitsets_materialized, 0u);
+}
+
 TEST(ServiceTest, SessionBorrowsServiceCaches) {
   ServiceWorld w;
   // Warm the caches with one service query...

@@ -460,6 +460,72 @@ TEST(ServiceAppendTest, ConcurrentAppendsAndQueriesStayConsistent) {
             expected[2]);
 }
 
+// Sharded variant of the above: appends land mid-query while the table's
+// engine runs a multi-shard plan on the shared pool. The delta extension
+// must keep shard boundaries stable (clean shards share segments with
+// the pre-append engine) and every concurrent query must still match a
+// snapshot version bit for bit. Run under TSan in CI.
+TEST(ServiceAppendTest, ShardedAppendMidQueryStaysConsistent) {
+  GeneratedDataset ds = MakeData(1200);
+  const CauSumXConfig config = MakeConfig(ds);
+  const size_t total = ds.table.NumRows();
+  const size_t base_rows = (total * 3) / 4;
+
+  ServiceOptions sharded;
+  sharded.num_shards = 6;
+  sharded.num_threads = 3;
+
+  std::vector<std::string> expected;
+  for (const size_t rows : {base_rows, total}) {
+    ExplanationService fresh(sharded);
+    fresh.RegisterTable("t", ds.table.Head(rows));
+    expected.push_back(SummaryToJson(
+        fresh.Explain("t", ds.default_query, ds.dag, config).summary));
+  }
+
+  ExplanationService service(sharded);
+  service.RegisterTable("t", ds.table.Head(base_rows));
+  const ShardPlan base_plan = service.Engine("t")->plan();
+  service.Explain("t", ds.default_query, ds.dag, config);  // warm caches
+  std::atomic<bool> start{false};
+
+  std::vector<std::future<std::string>> queries;
+  for (int i = 0; i < 3; ++i) {
+    queries.push_back(std::async(std::launch::async, [&] {
+      while (!start.load()) std::this_thread::yield();
+      CauSumXConfig c = config;
+      c.num_threads = 1;
+      std::string last;
+      for (int q = 0; q < 2; ++q) {
+        last = SummaryToJson(
+            service.Explain("t", ds.default_query, ds.dag, c).summary);
+      }
+      return last;
+    }));
+  }
+  std::thread appender([&] {
+    start.store(true);
+    service.Append("t", ds.table.MaterializeRows(base_rows, total));
+  });
+  for (auto& q : queries) {
+    const std::string got = q.get();
+    EXPECT_TRUE(got == expected[0] || got == expected[1])
+        << "query result matches no snapshot version";
+  }
+  appender.join();
+
+  // Shard size survived the append (boundaries of clean shards stable),
+  // the shard count grew with the rows, and segments were carried.
+  const ShardPlan grown_plan = service.Engine("t")->plan();
+  EXPECT_EQ(grown_plan.shard_rows(), base_plan.shard_rows());
+  EXPECT_GE(grown_plan.NumShards(), base_plan.NumShards());
+  EXPECT_GT(service.Engine("t")->Stats().bitsets_extended, 0u);
+  EXPECT_EQ(SummaryToJson(
+                service.Explain("t", ds.default_query, ds.dag, config)
+                    .summary),
+            expected[1]);
+}
+
 // ---- Batch layer -----------------------------------------------------------
 
 TEST(BatchAppendTest, AppendOpIsABarrierBetweenQueries) {

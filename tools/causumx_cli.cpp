@@ -6,7 +6,13 @@
 //           [--dag graph.txt | --discover pc|fci|lingam|nodag] \
 //           [--k 5] [--theta 0.75] [--support 0.1] [--alpha 0.05] \
 //           [--where "Attr=value"] [--json] [--top-treatments N] \
-//           [--stats] [--no-cache] [--append rows.csv]
+//           [--stats] [--no-cache] [--append rows.csv] \
+//           [--threads N] [--shards N]
+//
+// --shards N partitions the table into N row shards executed in
+// parallel on the worker pool (0 = one shard per thread, 1 = the serial
+// reference path). Results are bit-identical for every value; only the
+// speed changes.
 //
 // --append demonstrates streaming ingestion: the query runs on data.csv,
 // the rows of rows.csv (same schema, matched by header name) are
@@ -73,6 +79,7 @@ struct CliOptions {
   std::string batch_path;
   size_t budget_mb = 0;
   size_t threads = 0;
+  size_t shards = 0;  // 0 = one shard per worker thread
 };
 
 void PrintUsage() {
@@ -82,9 +89,10 @@ void PrintUsage() {
                "               [--k N] [--theta F] [--support F] [--alpha F]\n"
                "               [--where \"Attr=value\"] [--json]\n"
                "               [--top-treatments N] [--stats] [--no-cache]\n"
-               "               [--append rows.csv]\n"
+               "               [--append rows.csv] [--threads N] [--shards N]\n"
                "   or: causumx --batch FILE.jsonl [--csv FILE]\n"
-               "               [--budget-mb N] [--threads N] [--stats]\n");
+               "               [--budget-mb N] [--threads N] [--shards N]\n"
+               "               [--stats]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opt) {
@@ -165,6 +173,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       const char* v = next();
       if (!v) return false;
       opt->threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return false;
+      opt->shards = static_cast<size_t>(std::atoi(v));
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return false;
@@ -186,6 +198,7 @@ int RunBatchMode(const CliOptions& opt) {
   ServiceOptions service_options;
   service_options.memory_budget_bytes = opt.budget_mb * (1 << 20);
   service_options.num_threads = opt.threads;
+  service_options.num_shards = opt.shards;
   service_options.cache_enabled = !opt.no_cache;
   ExplanationService service(service_options);
   if (!opt.csv_path.empty()) {
@@ -221,6 +234,8 @@ int RunAppendMode(const CliOptions& opt,
   }
   ServiceOptions service_options;
   service_options.cache_enabled = !opt.no_cache;
+  service_options.num_threads = opt.threads;
+  service_options.num_shards = opt.shards;
   ExplanationService service(service_options);
   const size_t base_rows = table->NumRows();
   service.RegisterTable("default", std::move(table));
@@ -322,6 +337,8 @@ int main(int argc, char** argv) {
     config.apriori_support = opt.support;
     config.treatment.alpha = opt.alpha;
     config.disable_eval_cache = opt.no_cache;
+    config.num_threads = opt.threads;
+    config.num_shards = opt.shards;
 
     if (!opt.append_path.empty()) {
       return RunAppendMode(opt, table, query, dag, config);
