@@ -2,40 +2,12 @@
 
 #include <sstream>
 
+#include "util/json.h"
 #include "util/string_utils.h"
 
 namespace causumx {
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
+std::string JsonEscape(const std::string& s) { return JsonEscapeString(s); }
 
 std::string PredicateToJson(const SimplePredicate& pred) {
   std::ostringstream oss;

@@ -1,0 +1,414 @@
+#include "server/http.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/json.h"
+#include "util/string_utils.h"
+
+namespace causumx {
+
+namespace {
+
+std::string LowerAscii(const std::string& s) { return ToLower(s); }
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string UrlDecode(const std::string& s, bool query_mode) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '%' && i + 2 < s.size()) {
+      const int hi = HexDigit(s[i + 1]), lo = HexDigit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    if (query_mode && c == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string HttpRequest::Header(const std::string& name) const {
+  auto it = headers.find(LowerAscii(name));
+  return it == headers.end() ? "" : it->second;
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+HttpResponse HttpResponse::Json(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::Error(int status, const std::string& message) {
+  return Json(status, StrFormat("{\"ok\":false,\"status\":%d,\"error\":\"%s\"}",
+                                status, JsonEscapeString(message).c_str()));
+}
+
+std::string HttpResponse::Serialize(bool keep_alive) const {
+  std::string out = StrFormat("HTTP/1.1 %d %s\r\n", status,
+                              HttpStatusReason(status));
+  if (!content_type.empty()) {
+    out += "Content-Type: " + content_type + "\r\n";
+  }
+  out += StrFormat("Content-Length: %zu\r\n", body.size());
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+// ---- request parser --------------------------------------------------------
+
+HttpRequestParser::HttpRequestParser(size_t max_body_bytes,
+                                     size_t max_header_bytes)
+    : max_body_bytes_(max_body_bytes), max_header_bytes_(max_header_bytes) {}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status,
+                                                 const std::string& what) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = what;
+  return state_;
+}
+
+bool HttpRequestParser::TakeExpectContinue() {
+  if (!expect_continue_ || !headers_done_ || state_ != State::kNeedMore) {
+    return false;
+  }
+  expect_continue_ = false;
+  return true;
+}
+
+void HttpRequestParser::Reset() {
+  request_ = HttpRequest();
+  state_ = State::kNeedMore;
+  headers_done_ = false;
+  expect_continue_ = false;
+  body_expected_ = 0;
+  error_status_ = 0;
+  error_.clear();
+  if (!buffer_.empty()) TryParse();
+}
+
+HttpRequestParser::State HttpRequestParser::Consume(const char* data,
+                                                    size_t n) {
+  if (state_ == State::kDone || state_ == State::kError) return state_;
+  buffer_.append(data, n);
+  return TryParse();
+}
+
+bool HttpRequestParser::ParseHeaderBlock(size_t header_end) {
+  // Request line: METHOD SP target SP HTTP/x.y
+  const size_t line_end = buffer_.find("\r\n");
+  const std::string line = buffer_.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  request_.method = line.substr(0, sp1);
+  request_.target = Trim(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string version = line.substr(sp2 + 1);
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.target[0] != '/') {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    Fail(505, "unsupported HTTP version '" + version + "'");
+    return false;
+  }
+  request_.keep_alive = (version == "HTTP/1.1");
+
+  // Split the target into a decoded path and query parameters.
+  const size_t qpos = request_.target.find('?');
+  request_.path = UrlDecode(request_.target.substr(0, qpos));
+  if (qpos != std::string::npos) {
+    for (const std::string& pair :
+         Split(request_.target.substr(qpos + 1), '&')) {
+      if (pair.empty()) continue;
+      const size_t eq = pair.find('=');
+      const std::string key = UrlDecode(pair.substr(0, eq), true);
+      const std::string value =
+          eq == std::string::npos ? "" : UrlDecode(pair.substr(eq + 1), true);
+      request_.query[key] = value;
+    }
+  }
+
+  // Header lines.
+  size_t pos = line_end + 2;
+  while (pos < header_end) {
+    const size_t eol = buffer_.find("\r\n", pos);
+    const std::string header = buffer_.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = header.find(':');
+    if (colon == std::string::npos) {
+      Fail(400, "malformed header line");
+      return false;
+    }
+    const std::string name = LowerAscii(Trim(header.substr(0, colon)));
+    const std::string value = Trim(header.substr(colon + 1));
+    if (name.empty()) {
+      Fail(400, "empty header name");
+      return false;
+    }
+    request_.headers[name] = value;
+  }
+
+  const std::string connection = LowerAscii(request_.Header("connection"));
+  if (connection == "close") request_.keep_alive = false;
+  if (connection == "keep-alive") request_.keep_alive = true;
+
+  if (!request_.Header("transfer-encoding").empty()) {
+    Fail(501, "Transfer-Encoding is not supported; send Content-Length");
+    return false;
+  }
+  const std::string length = request_.Header("content-length");
+  if (!length.empty()) {
+    size_t parsed = 0;
+    for (char c : length) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        Fail(400, "malformed Content-Length");
+        return false;
+      }
+      parsed = parsed * 10 + static_cast<size_t>(c - '0');
+      if (parsed > (size_t{1} << 40)) break;  // absurd; cap the loop
+    }
+    if (parsed > max_body_bytes_) {
+      Fail(413, StrFormat("body of %zu bytes exceeds the %zu-byte limit",
+                          parsed, max_body_bytes_));
+      return false;
+    }
+    body_expected_ = parsed;
+  }
+  if (ToLower(request_.Header("expect")) == "100-continue" &&
+      body_expected_ > 0) {
+    expect_continue_ = true;
+  }
+  return true;
+}
+
+HttpRequestParser::State HttpRequestParser::TryParse() {
+  if (!headers_done_) {
+    const size_t header_end = buffer_.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (buffer_.size() > max_header_bytes_) {
+        return Fail(431, "request header block too large");
+      }
+      return state_;
+    }
+    if (header_end + 4 > max_header_bytes_) {
+      return Fail(431, "request header block too large");
+    }
+    if (!ParseHeaderBlock(header_end)) return state_;
+    headers_done_ = true;
+    buffer_.erase(0, header_end + 4);
+  }
+  if (buffer_.size() < body_expected_) return state_;
+  request_.body = buffer_.substr(0, body_expected_);
+  buffer_.erase(0, body_expected_);
+  state_ = State::kDone;
+  return state_;
+}
+
+// ---- client ----------------------------------------------------------------
+
+HttpClient::HttpClient(std::string host, uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void HttpClient::EnsureConnected() {
+  if (fd_ >= 0) return;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = StrFormat("%u", unsigned{port_});
+  if (::getaddrinfo(host_.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    throw std::runtime_error("http client: cannot resolve " + host_);
+  }
+  fd_ = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd_ < 0 || ::connect(fd_, res->ai_addr, res->ai_addrlen) != 0) {
+    ::freeaddrinfo(res);
+    Close();
+    throw std::runtime_error(
+        StrFormat("http client: cannot connect to %s:%u", host_.c_str(),
+                  unsigned{port_}));
+  }
+  ::freeaddrinfo(res);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+HttpClient::Response HttpClient::ReadResponse() {
+  std::string data;
+  char buf[8192];
+  // Read headers.
+  size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      const bool before_any_byte = data.empty();
+      Close();
+      // The distinction matters for Request's retry: a connection that
+      // died before ANY response byte was a keep-alive socket the
+      // server idle-closed (request never processed — safe to resend);
+      // one that died mid-response had its request processed already.
+      throw std::runtime_error(
+          before_any_byte
+              ? "http client: stale keep-alive connection"
+              : "http client: connection closed mid-response");
+    }
+    data.append(buf, static_cast<size_t>(n));
+    header_end = data.find("\r\n\r\n");
+  }
+
+  Response response;
+  const size_t line_end = data.find("\r\n");
+  const std::string status_line = data.substr(0, line_end);
+  const size_t sp = status_line.find(' ');
+  if (sp == std::string::npos) {
+    Close();
+    throw std::runtime_error("http client: malformed status line");
+  }
+  response.status = std::atoi(status_line.c_str() + sp + 1);
+
+  size_t pos = line_end + 2;
+  while (pos < header_end) {
+    const size_t eol = data.find("\r\n", pos);
+    const std::string header = data.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = header.find(':');
+    if (colon == std::string::npos) continue;
+    response.headers[LowerAscii(Trim(header.substr(0, colon)))] =
+        Trim(header.substr(colon + 1));
+  }
+
+  size_t body_expected = 0;
+  auto it = response.headers.find("content-length");
+  if (it != response.headers.end()) {
+    body_expected = static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+  response.body = data.substr(header_end + 4);
+  while (response.body.size() < body_expected) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      Close();
+      throw std::runtime_error("http client: connection closed mid-body");
+    }
+    response.body.append(buf, static_cast<size_t>(n));
+  }
+
+  auto conn = response.headers.find("connection");
+  if (conn != response.headers.end() && LowerAscii(conn->second) == "close") {
+    Close();
+  }
+  return response;
+}
+
+HttpClient::Response HttpClient::Raw(const std::string& bytes) {
+  EnsureConnected();
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      Close();
+      throw std::runtime_error("http client: send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return ReadResponse();
+}
+
+HttpClient::Response HttpClient::Request(const std::string& method,
+                                         const std::string& target,
+                                         const std::string& body,
+                                         const std::string& content_type) {
+  std::string msg = method + " " + target + " HTTP/1.1\r\n";
+  msg += StrFormat("Host: %s:%u\r\n", host_.c_str(), unsigned{port_});
+  if (!content_type.empty()) msg += "Content-Type: " + content_type + "\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    msg += StrFormat("Content-Length: %zu\r\n", body.size());
+  }
+  msg += "\r\n";
+  msg += body;
+
+  // One transparent retry on a fresh connection — but ONLY when the
+  // failure proves the server never processed the request (an
+  // idle-closed keep-alive socket: the send failed with the request
+  // incomplete, or the connection died before any response byte).
+  // A connection lost mid-response means the request WAS executed;
+  // resending a non-idempotent POST there would double-execute it, so
+  // those propagate to the caller.
+  const bool was_connected = fd_ >= 0;
+  try {
+    return Raw(msg);
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    const bool unprocessed =
+        what.find("stale keep-alive") != std::string::npos ||
+        what.find("send failed") != std::string::npos;
+    if (!was_connected || !unprocessed) throw;
+    Close();
+    return Raw(msg);
+  }
+}
+
+}  // namespace causumx

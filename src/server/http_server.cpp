@@ -1,0 +1,360 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/string_utils.h"
+
+namespace causumx {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetIoTimeouts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Handler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(std::move(options)) {
+  if (options_.num_threads == 0) {
+    options_.num_threads = ThreadPool::DefaultThreads();
+  }
+  if (options_.max_queue == 0) {
+    options_.max_queue = options_.num_threads * 4;
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Start() {
+  if (running_.exchange(true)) return;
+  stopping_.store(false);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    running_.store(false);
+    throw std::runtime_error("server: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    throw std::runtime_error("server: bad bind address " +
+                             options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string what = StrFormat(
+        "server: cannot listen on %s:%u (%s)", options_.bind_address.c_str(),
+        unsigned{options_.port}, std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    throw std::runtime_error(what);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  if (::pipe(wake_fds_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    throw std::runtime_error("server: pipe() failed");
+  }
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+void HttpServer::Stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  Wake();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    // Wait for every admitted request to finish writing its response.
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drained_.wait(lock, [this] { return inflight_.load() == 0; });
+  }
+  pool_.reset();  // joins workers after the queue drains
+  // Close keep-alive fds workers handed back after the acceptor exited.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int fd : returned_) ::close(fd);
+  returned_.clear();
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+  running_.store(false);
+}
+
+void HttpServer::Wake() {
+  if (wake_fds_[1] >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+HttpServerCounters HttpServer::counters() const {
+  HttpServerCounters c;
+  c.connections_accepted = n_accepted_.load();
+  c.requests_handled = n_handled_.load();
+  c.requests_rejected = n_rejected_.load();
+  c.parse_errors = n_parse_errors_.load();
+  c.idle_closed = n_idle_closed_.load();
+  return c;
+}
+
+bool HttpServer::SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+namespace {
+
+// Closes after an early error response without losing it to a TCP
+// reset: close() with unread request bytes pending sends RST, which can
+// destroy the just-written response before the client reads it. Discard
+// what already arrived, signal EOF, and — when the caller may block
+// (worker threads; never the acceptor) — keep discarding until the
+// client closes its end, so no in-flight bytes hit a closed socket.
+// Bounded by `max_drain` and the fd's SO_RCVTIMEO either way.
+void DrainAndClose(int fd, size_t max_drain, bool may_block) {
+  ::shutdown(fd, SHUT_WR);
+  char buf[4096];
+  size_t drained = 0;
+  while (drained < max_drain) {
+    const ssize_t n =
+        ::recv(fd, buf, sizeof(buf), may_block ? 0 : MSG_DONTWAIT);
+    if (n <= 0) break;
+    drained += static_cast<size_t>(n);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+void HttpServer::RejectWith503(int fd) {
+  n_rejected_.fetch_add(1);
+  // The request itself is never processed: HTTP allows an early
+  // response, and handling it would occupy exactly the resources the
+  // gate protects. The body is small enough for the socket buffer, so
+  // this cannot block the acceptor (already-arrived request bytes are
+  // discarded non-blockingly by DrainAndClose).
+  static const std::string kBusy =
+      HttpResponse::Error(503,
+                          "server is at capacity (admission queue full); "
+                          "retry later")
+          .Serialize(false);
+  SendAll(fd, kBusy);
+  DrainAndClose(fd, 1 << 20, /*may_block=*/false);
+}
+
+void HttpServer::ReturnConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    returned_.push_back(fd);
+  }
+  Wake();
+}
+
+void HttpServer::AcceptLoop() {
+  std::vector<IdleConn> idle;
+  const auto idle_timeout = std::chrono::milliseconds(options_.idle_timeout_ms);
+
+  while (true) {
+    // Drain connections workers handed back.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int fd : returned_) {
+        idle.push_back({fd, std::chrono::steady_clock::now() + idle_timeout});
+      }
+      returned_.clear();
+    }
+    if (stopping_.load()) break;
+
+    std::vector<pollfd> fds;
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const IdleConn& c : idle) fds.push_back({c.fd, POLLIN, 0});
+
+    const int n_ready = ::poll(fds.data(), fds.size(), 250);
+    if (stopping_.load()) break;
+    if (n_ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    // Accept into a separate list: `fds` indexes the idle snapshot the
+    // poll saw, so fresh connections must not shift it.
+    std::vector<IdleConn> fresh;
+    if (fds[1].revents & POLLIN) {
+      while (true) {
+        const int conn = ::accept(listen_fd_, nullptr, nullptr);
+        if (conn < 0) break;  // EAGAIN — accepted everything pending
+        n_accepted_.fetch_add(1);
+        const int one = 1;
+        ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        SetIoTimeouts(conn, options_.io_timeout_ms);
+        fresh.push_back(
+            {conn, std::chrono::steady_clock::now() + idle_timeout});
+      }
+    }
+
+    // Admit readable parked connections; expire idle ones.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<IdleConn> still_idle;
+    still_idle.reserve(idle.size() + fresh.size());
+    for (size_t i = 0; i < idle.size(); ++i) {
+      const short revents = fds[2 + i].revents;
+      const int fd = idle[i].fd;
+      if (revents & (POLLERR | POLLNVAL)) {
+        ::close(fd);
+        continue;
+      }
+      if (revents & (POLLIN | POLLHUP)) {
+        // Bytes (or EOF) pending. The admission gate: bound admitted-but-
+        // unfinished requests; the acceptor is the only incrementer, so
+        // check-then-add cannot race another admit.
+        if (inflight_.load(std::memory_order_acquire) >=
+            options_.max_queue) {
+          RejectWith503(fd);
+          continue;
+        }
+        inflight_.fetch_add(1, std::memory_order_acq_rel);
+        pool_->Submit([this, fd] { HandleConnection(fd); });
+        continue;
+      }
+      if (idle[i].deadline <= now) {
+        n_idle_closed_.fetch_add(1);
+        ::close(fd);
+        continue;
+      }
+      still_idle.push_back(idle[i]);
+    }
+    still_idle.insert(still_idle.end(), fresh.begin(), fresh.end());
+    idle.swap(still_idle);
+  }
+
+  for (const IdleConn& c : idle) ::close(c.fd);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::HandleConnection(int fd) {
+  bool keep = false;
+  HttpRequestParser parser(options_.max_body_bytes);
+  char buf[16384];
+
+  // Handle the admitted request — and, should the client have pipelined,
+  // any further complete requests already buffered — under this single
+  // admission.
+  while (true) {
+    while (parser.state() == HttpRequestParser::State::kNeedMore) {
+      // A client waiting on `Expect: 100-continue` withholds its body
+      // until the interim response arrives.
+      if (parser.TakeExpectContinue()) {
+        SendAll(fd, "HTTP/1.1 100 Continue\r\n\r\n");
+      }
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        // Peer closed (a keep-alive race: client gave up) or timed out.
+        ::close(fd);
+        fd = -1;
+        break;
+      }
+      parser.Consume(buf, static_cast<size_t>(n));
+    }
+    if (fd < 0) break;
+
+    if (parser.state() == HttpRequestParser::State::kError) {
+      n_parse_errors_.fetch_add(1);
+      SendAll(fd, HttpResponse::Error(parser.error_status(), parser.error())
+                      .Serialize(false));
+      // An unread body (e.g. a 413 rejected from its Content-Length
+      // alone) may still be in flight; see DrainAndClose.
+      DrainAndClose(fd, options_.max_body_bytes + (1 << 16),
+                    /*may_block=*/true);
+      fd = -1;
+      break;
+    }
+
+    const HttpRequest& request = parser.request();
+    HttpResponse response;
+    try {
+      response = handler_(request);
+    } catch (const std::exception& e) {
+      response = HttpResponse::Error(500, e.what());
+    } catch (...) {
+      response = HttpResponse::Error(500, "unknown handler error");
+    }
+    keep = request.keep_alive && !stopping_.load();
+    const bool sent = SendAll(fd, response.Serialize(keep));
+    n_handled_.fetch_add(1);
+    if (!sent || !keep) {
+      ::close(fd);
+      fd = -1;
+      break;
+    }
+    parser.Reset();
+    if (parser.state() == HttpRequestParser::State::kNeedMore &&
+        !parser.HasBufferedData()) {
+      break;  // connection is idle again — park it
+    }
+  }
+
+  if (fd >= 0) ReturnConnection(fd);
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  drained_.notify_all();
+}
+
+}  // namespace causumx

@@ -1,0 +1,165 @@
+// Embedded HTTP/1.1 server: a non-blocking accept/poll loop feeding a
+// util::ThreadPool of connection workers through a bounded admission
+// gate. Dependency-free (POSIX sockets only), keep-alive aware, and
+// generic over the request handler — the REST surface over the
+// ExplanationService is composed in server/rest_api.h; tests also mount
+// synthetic handlers to exercise transport behavior (backpressure,
+// framing errors, keep-alive reuse) in isolation.
+//
+// Life of a connection:
+//   1. The acceptor thread accepts it and parks it in the poll set.
+//   2. When request bytes arrive, the connection is *admitted*: if
+//      admitted-but-unfinished requests have reached `max_queue`, the
+//      acceptor immediately answers `503 {"error": ...}` and closes —
+//      load sheds with a fast typed response instead of an unbounded
+//      backlog — otherwise the connection is handed to the worker pool.
+//   3. A worker reads the full request (bounded by `max_body_bytes`,
+//      enforced from the Content-Length header before the body is
+//      read), invokes the handler, and writes the response.
+//   4. A keep-alive connection goes back to the poll set and counts
+//      against nothing while idle; `Connection: close`, parse errors,
+//      and idle timeouts end it.
+//
+// Requests on distinct connections execute concurrently (one worker
+// each); requests on one connection are sequential, per HTTP/1.1.
+
+#ifndef CAUSUMX_SERVER_HTTP_SERVER_H_
+#define CAUSUMX_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http.h"
+#include "util/thread_pool.h"
+
+namespace causumx {
+
+/// Transport configuration for an HttpServer.
+struct HttpServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (tests/bench read
+  /// it back from port()).
+  uint16_t port = 8080;
+  /// Bind address. The default only accepts local connections; bind
+  /// "0.0.0.0" to serve externally.
+  std::string bind_address = "127.0.0.1";
+  /// Connection-worker threads (0 = hardware concurrency). Each admitted
+  /// request occupies one worker until its response is written.
+  size_t num_threads = 0;
+  /// Bounded admission queue: the maximum number of admitted-but-
+  /// unfinished requests (running + waiting for a worker). Connections
+  /// becoming readable past it receive 503 immediately. 0 = 4x threads,
+  /// resolved at construction (options() reports the effective value).
+  size_t max_queue = 0;
+  /// Largest accepted request body; a larger declared Content-Length is
+  /// answered with 413 before the body is read.
+  size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Idle keep-alive connections are closed after this long.
+  int idle_timeout_ms = 30000;
+  /// Per-recv/send socket timeout while a worker owns the connection.
+  int io_timeout_ms = 10000;
+};
+
+/// Monotone transport counters (snapshot via HttpServer::counters()).
+struct HttpServerCounters {
+  uint64_t connections_accepted = 0;  ///< TCP connections accepted
+  uint64_t requests_handled = 0;   ///< responses written by the handler path
+  uint64_t requests_rejected = 0;  ///< 503s shed by the admission gate
+  uint64_t parse_errors = 0;       ///< malformed/oversized requests answered
+  uint64_t idle_closed = 0;        ///< keep-alive connections timed out
+};
+
+/// The embedded server. Construct with a handler, Start(), Stop().
+///
+/// Thread-safe: Start/Stop may be called from any thread (Stop blocks
+/// until in-flight requests drain); the handler runs concurrently on
+/// worker threads and must be thread-safe itself.
+class HttpServer {
+ public:
+  /// Computes the response for one parsed request. Runs on a worker
+  /// thread; a thrown std::exception becomes a 500 JSON error response.
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Stores the handler and options; no socket is opened until Start.
+  explicit HttpServer(Handler handler, HttpServerOptions options = {});
+  /// Runs Stop (drains in-flight requests, joins every thread).
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor + worker pool; returns once
+  /// the socket is accepting. Throws std::runtime_error when the address
+  /// cannot be bound.
+  void Start();
+
+  /// Stops accepting, answers nothing new, drains in-flight requests,
+  /// and joins every thread. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound TCP port (resolves an ephemeral request once Start'ed).
+  uint16_t port() const { return port_; }
+
+  /// Whether Start has run and Stop has not yet completed.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Snapshot of the monotone transport counters.
+  HttpServerCounters counters() const;
+
+  /// The transport options, with num_threads and max_queue resolved to
+  /// their effective values.
+  const HttpServerOptions& options() const { return options_; }
+
+ private:
+  /// One parked keep-alive (or not-yet-admitted) connection.
+  struct IdleConn {
+    int fd;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Hands a keep-alive connection back to the poll set (closes it when
+  /// the server is stopping).
+  void ReturnConnection(int fd);
+  void RejectWith503(int fd);
+  /// Writes `data` fully; false on error/timeout.
+  bool SendAll(int fd, const std::string& data);
+  void Wake();
+
+  Handler handler_;
+  HttpServerOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] read end polled, [1] write
+  uint16_t port_ = 0;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread acceptor_;
+
+  std::mutex mu_;                     // guards returned_
+  std::vector<int> returned_;         // keep-alive fds headed back to poll
+  std::condition_variable drained_;   // signaled when inflight_ hits 0
+  std::mutex drain_mu_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> inflight_{0};
+
+  std::atomic<uint64_t> n_accepted_{0};
+  std::atomic<uint64_t> n_handled_{0};
+  std::atomic<uint64_t> n_rejected_{0};
+  std::atomic<uint64_t> n_parse_errors_{0};
+  std::atomic<uint64_t> n_idle_closed_{0};
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_SERVER_HTTP_SERVER_H_

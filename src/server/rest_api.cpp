@@ -1,0 +1,224 @@
+#include "server/rest_api.h"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "engine/eval_engine.h"
+#include "util/json.h"
+#include "util/string_utils.h"
+
+namespace causumx {
+
+namespace {
+
+HttpResponse HandleHealthz() {
+  return HttpResponse::Json(200, "{\"status\":\"ok\"}");
+}
+
+void WriteEngineStats(JsonWriter& w, const EvalEngineStats& e) {
+  w.BeginObject()
+      .Key("predicates_interned").Uint(e.predicates_interned)
+      .Key("bitsets_materialized").Uint(e.bitsets_materialized)
+      .Key("bitset_hits").Uint(e.bitset_hits)
+      .Key("bitsets_evicted").Uint(e.bitsets_evicted)
+      .Key("bitsets_extended").Uint(e.bitsets_extended)
+      .Key("pattern_evals").Uint(e.pattern_evals)
+      .Key("bypass_evals").Uint(e.bypass_evals)
+      .Key("column_views_built").Uint(e.column_views_built)
+      .Key("column_views_extended").Uint(e.column_views_extended)
+      .Key("bitset_bytes").Uint(e.bitset_bytes)
+      .Key("view_bytes").Uint(e.view_bytes)
+      .Key("num_shards").Uint(e.num_shards)
+      .EndObject();
+}
+
+HttpResponse HandleStats(ExplanationService& service) {
+  const ServiceStats s = service.Stats();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("service").BeginObject()
+      .Key("queries_executed").Uint(s.queries_executed)
+      .Key("tables_registered").Uint(s.tables_registered)
+      .Key("appends_executed").Uint(s.appends_executed)
+      .Key("rows_appended").Uint(s.rows_appended)
+      .Key("budget_enforcements").Uint(s.budget_enforcements)
+      .Key("cache_bytes").Uint(s.cache_bytes)
+      .EndObject();
+  w.Key("options").BeginObject()
+      .Key("num_threads").Uint(service.pool().NumThreads())
+      .Key("num_shards").Uint(service.options().num_shards)
+      .Key("memory_budget_bytes").Uint(service.options().memory_budget_bytes)
+      .Key("cache_enabled").Bool(service.options().cache_enabled)
+      .EndObject();
+  w.Key("tables").BeginArray();
+  for (const std::string& name : service.TableNames()) {
+    // A table dropped between TableNames and here is simply skipped.
+    std::shared_ptr<const Table> table;
+    std::shared_ptr<EvalEngine> engine;
+    try {
+      table = service.GetTable(name);
+      engine = service.Engine(name);
+    } catch (const std::out_of_range&) {
+      continue;
+    }
+    w.BeginObject()
+        .Key("name").String(name)
+        .Key("rows").Uint(table->NumRows())
+        .Key("columns").Uint(table->NumColumns())
+        .Key("version").Uint(table->version());
+    w.Key("engine");
+    WriteEngineStats(w, engine->Stats());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return HttpResponse::Json(200, w.str());
+}
+
+HttpResponse HandleTables(ExplanationService& service) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const std::string& name : service.TableNames()) {
+    std::shared_ptr<const Table> table;
+    try {
+      table = service.GetTable(name);
+    } catch (const std::out_of_range&) {
+      continue;
+    }
+    w.BeginObject()
+        .Key("name").String(name)
+        .Key("rows").Uint(table->NumRows())
+        .Key("columns").Uint(table->NumColumns())
+        .Key("version").Uint(table->version())
+        .EndObject();
+  }
+  w.EndArray();
+  return HttpResponse::Json(200, w.str());
+}
+
+HttpResponse HandleExplain(ExplanationService& service,
+                           const HttpRequest& http_request,
+                           const BatchOptions& batch_options) {
+  std::shared_ptr<const JsonValue> request;
+  try {
+    request = std::make_shared<const JsonValue>(
+        JsonValue::Parse(http_request.body));
+  } catch (const std::exception& e) {
+    return HttpResponse::Error(400, e.what());
+  }
+  const std::string op = request->GetString("op", "query");
+  if (op != "query") {
+    return HttpResponse::Error(
+        400, "POST /v1/explain only runs queries; use "
+             "/v1/tables/{name}/append or /v1/batch for op \"" + op + "\"");
+  }
+
+  // Typed 404 before execution: a query naming an unregistered table
+  // (with no "csv" to load it from) can never succeed.
+  std::string table = request->GetString("table");
+  const std::string csv = request->GetString("csv");
+  if (table.empty() && csv.empty()) table = batch_options.default_table;
+  if (csv.empty() && !service.HasTable(table)) {
+    return HttpResponse::Error(404, "unknown table '" + table + "'");
+  }
+
+  const RequestResult result =
+      ExecuteQueryRequest(service, *request, "1", batch_options);
+  return HttpResponse::Json(result.ok ? 200 : 400, result.json_line);
+}
+
+HttpResponse HandleAppend(ExplanationService& service,
+                          const std::string& table,
+                          const HttpRequest& http_request,
+                          const BatchOptions& batch_options) {
+  if (!service.HasTable(table)) {
+    return HttpResponse::Error(404, "unknown table '" + table + "'");
+  }
+  std::shared_ptr<const JsonValue> request;
+  try {
+    request = std::make_shared<const JsonValue>(
+        JsonValue::Parse(http_request.body));
+  } catch (const std::exception& e) {
+    return HttpResponse::Error(400, e.what());
+  }
+  const std::string body_table = request->GetString("table");
+  if (!body_table.empty() && body_table != table) {
+    return HttpResponse::Error(
+        400, "body names table '" + body_table + "' but the URL names '" +
+                 table + "'");
+  }
+  const RequestResult result =
+      ExecuteAppendRequest(service, *request, table, "1", batch_options);
+  return HttpResponse::Json(result.ok ? 200 : 400, result.json_line);
+}
+
+HttpResponse HandleBatch(ExplanationService& service,
+                         const HttpRequest& http_request,
+                         const BatchOptions& batch_options) {
+  if (Trim(http_request.body).empty()) {
+    return HttpResponse::Error(400, "empty batch body; send JSONL requests");
+  }
+  std::istringstream in(http_request.body);
+  std::ostringstream out;
+  RunBatch(service, in, out, batch_options);
+  HttpResponse response = HttpResponse::Json(200, out.str());
+  response.content_type = "application/x-ndjson";
+  return response;
+}
+
+}  // namespace
+
+HttpServer::Handler MakeRestHandler(ExplanationService& service,
+                                    RestApiOptions options) {
+  BatchOptions batch_options;
+  batch_options.default_table = options.default_table;
+  batch_options.emit_cache_stats = options.emit_cache_stats;
+  batch_options.default_query_threads = options.default_query_threads;
+
+  return [&service, batch_options](const HttpRequest& request) {
+    const std::string& path = request.path;
+    const bool get = request.method == "GET";
+    const bool post = request.method == "POST";
+
+    if (path == "/healthz") {
+      if (!get) return HttpResponse::Error(405, "use GET " + path);
+      return HandleHealthz();
+    }
+    if (path == "/v1/stats") {
+      if (!get) return HttpResponse::Error(405, "use GET " + path);
+      return HandleStats(service);
+    }
+    if (path == "/v1/tables") {
+      if (!get) return HttpResponse::Error(405, "use GET " + path);
+      return HandleTables(service);
+    }
+    if (path == "/v1/explain") {
+      if (!post) return HttpResponse::Error(405, "use POST " + path);
+      return HandleExplain(service, request, batch_options);
+    }
+    if (path == "/v1/batch") {
+      if (!post) return HttpResponse::Error(405, "use POST " + path);
+      return HandleBatch(service, request, batch_options);
+    }
+    // /v1/tables/{name}/append
+    static const std::string kTablesPrefix = "/v1/tables/";
+    if (path.size() > kTablesPrefix.size() &&
+        path.compare(0, kTablesPrefix.size(), kTablesPrefix) == 0) {
+      const std::string rest = path.substr(kTablesPrefix.size());
+      const size_t slash = rest.rfind('/');
+      if (slash != std::string::npos && rest.substr(slash + 1) == "append") {
+        const std::string table = rest.substr(0, slash);
+        if (table.empty()) {
+          return HttpResponse::Error(404, "missing table name in " + path);
+        }
+        if (!post) return HttpResponse::Error(405, "use POST " + path);
+        return HandleAppend(service, table, request, batch_options);
+      }
+    }
+    return HttpResponse::Error(
+        404, "no route for " + request.method + " " + path);
+  };
+}
+
+}  // namespace causumx

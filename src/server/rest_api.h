@@ -1,0 +1,57 @@
+// The REST surface of the ExplanationService: a routing Handler for
+// server/http_server.h that exposes explanation queries, streaming
+// appends, batch execution, and engine statistics over HTTP. See
+// docs/API.md for the endpoint reference with curl examples.
+//
+// Endpoints:
+//   GET  /healthz                    liveness probe, {"status":"ok"}
+//   GET  /v1/stats                   service/cache/shard counters + tables
+//   GET  /v1/tables                  registered tables (name/rows/version)
+//   POST /v1/explain                 one query; body = a batch request
+//                                    object (service/batch.h), response =
+//                                    the same JSON line batch mode emits
+//   POST /v1/tables/{name}/append    delta rows ({"rows": [[...]]} or
+//                                    {"csv": "path"}) with the service's
+//                                    copy-on-write snapshot semantics
+//   POST /v1/batch                   JSONL body executed exactly like
+//                                    `causumx --batch` (appends are
+//                                    barriers); responds JSONL
+//
+// Error contract: every non-2xx response is JSON — 400 for malformed
+// bodies/parameters, 404 for unknown routes and unregistered tables,
+// 405 for wrong methods, 413/431/503 from the transport layer. Explain
+// and append responses funnel through the shared batch executor, so a
+// query answered here is bit-identical to the same request in a batch
+// file (and to the CLI's --json output for that query).
+
+#ifndef CAUSUMX_SERVER_REST_API_H_
+#define CAUSUMX_SERVER_REST_API_H_
+
+#include <string>
+
+#include "server/http_server.h"
+#include "service/batch.h"
+#include "service/explanation_service.h"
+
+namespace causumx {
+
+/// Behavior knobs of the REST surface.
+struct RestApiOptions {
+  /// Table used by explain/batch requests that name none.
+  std::string default_table = "default";
+  /// Echo engine/estimator cache counters into each explain result.
+  bool emit_cache_stats = false;
+  /// Per-query mining threads when a request doesn't say (1 leaves
+  /// request-level concurrency as the parallelism source).
+  size_t default_query_threads = 1;
+};
+
+/// Builds the routing handler over `service`. The service must outlive
+/// the returned handler (and the HttpServer it is mounted on); the
+/// handler is thread-safe because the service is.
+HttpServer::Handler MakeRestHandler(ExplanationService& service,
+                                    RestApiOptions options = {});
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_SERVER_REST_API_H_

@@ -42,11 +42,6 @@ SimplePredicate ParseWherePredicate(const std::string& expr,
 
 namespace {
 
-struct BatchResult {
-  bool ok = false;
-  std::string json_line;
-};
-
 std::vector<std::string> ParseGroupBy(const JsonValue& request) {
   const JsonValue* gb = request.Find("group_by");
   if (gb == nullptr) {
@@ -133,52 +128,36 @@ std::vector<std::vector<Value>> ParseJsonRows(const JsonValue& rows_json,
   return rows;
 }
 
-BatchResult ExecuteAppend(ExplanationService& service,
-                          const JsonValue& request, const std::string& id,
-                          const BatchOptions& options) {
-  BatchResult result;
-  std::string table_name = request.GetString("table");
-  if (table_name.empty()) table_name = options.default_table;
-
-  const std::string csv_path = request.GetString("csv");
-  const JsonValue* rows_json = request.Find("rows");
-
-  Timer timer;
-  std::shared_ptr<const Table> grown;
-  size_t rows_appended = 0;
-  if (!csv_path.empty()) {
-    grown = service.AppendCsv(table_name, csv_path, {}, &rows_appended);
-  } else if (rows_json != nullptr) {
-    const std::shared_ptr<const Table> schema =
-        service.GetTable(table_name);
-    const auto rows = ParseJsonRows(*rows_json, *schema);
-    rows_appended = rows.size();
-    // Pin to the schema the cells were coerced against (same race as the
-    // CSV path: a concurrent re-registration must not get stale-typed
-    // rows).
-    grown = service.Append(table_name, rows, schema.get());
+// Optional list-of-strings field: a JSON array or an "A,B" comma string.
+std::vector<std::string> ParseAttrList(const JsonValue& request,
+                                       const std::string& key) {
+  const JsonValue* v = request.Find(key);
+  if (v == nullptr) return {};
+  std::vector<std::string> out;
+  if (v->kind() == JsonValue::Kind::kArray) {
+    for (const auto& item : v->AsArray()) out.push_back(item.AsString());
   } else {
-    throw std::runtime_error("append needs \"csv\" or \"rows\"");
+    for (auto& part : Split(v->AsString(), ',')) out.push_back(Trim(part));
   }
-  result.ok = true;
-  result.json_line = StrFormat(
-      "{\"id\":\"%s\",\"table\":\"%s\",\"ok\":true,\"op\":\"append\","
-      "\"rows_appended\":%zu,\"rows_total\":%zu,\"version\":%llu,"
-      "\"elapsed_ms\":%s}",
-      JsonEscape(id).c_str(), JsonEscape(table_name).c_str(), rows_appended,
-      grown->NumRows(), (unsigned long long)grown->version(),
-      FormatDouble(timer.Seconds() * 1000.0, 3).c_str());
+  return out;
+}
+
+RequestResult ErrorLine(const std::string& id, const std::string& what) {
+  RequestResult result;
+  result.json_line =
+      StrFormat("{\"id\":\"%s\",\"ok\":false,\"error\":\"%s\"}",
+                JsonEscape(id).c_str(), JsonEscape(what).c_str());
   return result;
 }
 
 // `parsed` carries the line's pre-parsed JSON when RunBatch already has
 // it (it peeks at every line for the append barrier); null re-parses —
 // and surfaces the parse error — here.
-BatchResult ExecuteRequest(ExplanationService& service,
-                           const std::string& line,
-                           std::shared_ptr<const JsonValue> parsed,
-                           size_t line_number, const BatchOptions& options) {
-  BatchResult result;
+RequestResult ExecuteRequest(ExplanationService& service,
+                             const std::string& line,
+                             std::shared_ptr<const JsonValue> parsed,
+                             size_t line_number,
+                             const BatchOptions& options) {
   std::string id = StrFormat("%zu", line_number);
   try {
     if (parsed == nullptr) {
@@ -188,8 +167,26 @@ BatchResult ExecuteRequest(ExplanationService& service,
     id = request.GetString("id", id);
 
     const std::string op = request.GetString("op", "query");
-    if (op == "append") return ExecuteAppend(service, request, id, options);
+    if (op == "append") {
+      return ExecuteAppendRequest(service, request, "", id, options);
+    }
     if (op != "query") throw std::runtime_error("unknown op \"" + op + "\"");
+    return ExecuteQueryRequest(service, request, id, options);
+  } catch (const std::exception& e) {
+    return ErrorLine(id, e.what());
+  }
+}
+
+}  // namespace
+
+RequestResult ExecuteQueryRequest(ExplanationService& service,
+                                  const JsonValue& request,
+                                  const std::string& default_id,
+                                  const BatchOptions& options) {
+  RequestResult result;
+  std::string id = default_id;
+  try {
+    id = request.GetString("id", id);
 
     std::string table_name = request.GetString("table");
     const std::string csv_path = request.GetString("csv");
@@ -226,6 +223,12 @@ BatchResult ExecuteRequest(ExplanationService& service,
     config.theta = request.GetNumber("theta", 0.75);
     config.apriori_support = request.GetNumber("support", 0.1);
     config.treatment.alpha = request.GetNumber("alpha", 0.05);
+    config.grouping_attribute_allowlist =
+        ParseAttrList(request, "grouping_attrs");
+    config.treatment_attribute_allowlist =
+        ParseAttrList(request, "treatment_attrs");
+    config.grouping.include_per_group_patterns = request.GetBool(
+        "per_group_patterns", config.grouping.include_per_group_patterns);
     config.num_threads = static_cast<size_t>(request.GetNumber(
         "num_threads",
         static_cast<double>(options.default_query_threads)));
@@ -253,14 +256,57 @@ BatchResult ExecuteRequest(ExplanationService& service,
     result.ok = true;
     result.json_line = oss.str();
   } catch (const std::exception& e) {
-    result.json_line = StrFormat("{\"id\":\"%s\",\"ok\":false,\"error\":\"%s\"}",
-                                 JsonEscape(id).c_str(),
-                                 JsonEscape(e.what()).c_str());
+    return ErrorLine(id, e.what());
   }
   return result;
 }
 
-}  // namespace
+RequestResult ExecuteAppendRequest(ExplanationService& service,
+                                   const JsonValue& request,
+                                   const std::string& table_name,
+                                   const std::string& default_id,
+                                   const BatchOptions& options) {
+  RequestResult result;
+  std::string id = default_id;
+  try {
+    id = request.GetString("id", id);
+
+    std::string table = table_name;
+    if (table.empty()) table = request.GetString("table");
+    if (table.empty()) table = options.default_table;
+
+    const std::string csv_path = request.GetString("csv");
+    const JsonValue* rows_json = request.Find("rows");
+
+    Timer timer;
+    std::shared_ptr<const Table> grown;
+    size_t rows_appended = 0;
+    if (!csv_path.empty()) {
+      grown = service.AppendCsv(table, csv_path, {}, &rows_appended);
+    } else if (rows_json != nullptr) {
+      const std::shared_ptr<const Table> schema = service.GetTable(table);
+      const auto rows = ParseJsonRows(*rows_json, *schema);
+      rows_appended = rows.size();
+      // Pin to the schema the cells were coerced against (same race as
+      // the CSV path: a concurrent re-registration must not get
+      // stale-typed rows).
+      grown = service.Append(table, rows, schema.get());
+    } else {
+      throw std::runtime_error("append needs \"csv\" or \"rows\"");
+    }
+    result.ok = true;
+    result.json_line = StrFormat(
+        "{\"id\":\"%s\",\"table\":\"%s\",\"ok\":true,\"op\":\"append\","
+        "\"rows_appended\":%zu,\"rows_total\":%zu,\"version\":%llu,"
+        "\"elapsed_ms\":%s}",
+        JsonEscape(id).c_str(), JsonEscape(table).c_str(), rows_appended,
+        grown->NumRows(), (unsigned long long)grown->version(),
+        FormatDouble(timer.Seconds() * 1000.0, 3).c_str());
+  } catch (const std::exception& e) {
+    return ErrorLine(id, e.what());
+  }
+  return result;
+}
 
 BatchSummary RunBatch(ExplanationService& service, std::istream& in,
                       std::ostream& out, const BatchOptions& options) {
@@ -280,8 +326,8 @@ BatchSummary RunBatch(ExplanationService& service, std::istream& in,
   BatchSummary summary;
   summary.requests = lines.size();
 
-  std::vector<std::future<BatchResult>> pending;
-  auto emit = [&](BatchResult r) {
+  std::vector<std::future<RequestResult>> pending;
+  auto emit = [&](RequestResult r) {
     out << r.json_line << "\n";
     out.flush();
     if (r.ok) {
@@ -312,7 +358,7 @@ BatchSummary RunBatch(ExplanationService& service, std::istream& in,
       emit(ExecuteRequest(service, lines[i], parsed, i + 1, options));
       continue;
     }
-    auto task = std::make_shared<std::packaged_task<BatchResult()>>(
+    auto task = std::make_shared<std::packaged_task<RequestResult()>>(
         [&service, &options, text = lines[i], parsed, i] {
           return ExecuteRequest(service, text, parsed, i + 1, options);
         });

@@ -12,7 +12,15 @@
 //    "where": "Role=Engineer",       // optional filter predicate
 //    "dag": "graph.txt",             // or "discover": "pc|fci|lingam|nodag"
 //    "k": 5, "theta": 0.75, "support": 0.1, "alpha": 0.05,
+//    "grouping_attrs": ["Country"],  // optional attribute allowlists
+//    "treatment_attrs": ["Role"],
+//    "per_group_patterns": true,     // mine per-group grouping patterns
 //    "num_threads": 1}               // per-query mining threads
+//
+// The same request shape is served over HTTP by POST /v1/explain
+// (server/rest_api.h), which funnels into the same executor — a query
+// answered over the network is bit-identical to the same line in a
+// batch file and to the CLI's --json output.
 //
 // Row sharding is a property of the registered table, not of one
 // request: the service-level --shards (ServiceOptions::num_shards)
@@ -44,6 +52,7 @@
 #include "dataset/predicate.h"
 #include "dataset/table.h"
 #include "service/explanation_service.h"
+#include "util/json.h"
 
 namespace causumx {
 
@@ -54,6 +63,8 @@ namespace causumx {
 SimplePredicate ParseWherePredicate(const std::string& expr,
                                     const Table& table);
 
+/// Execution knobs shared by RunBatch and the REST endpoints that
+/// funnel into the same executor.
 struct BatchOptions {
   /// Table used by requests that name neither "table" nor "csv".
   std::string default_table = "default";
@@ -64,11 +75,42 @@ struct BatchOptions {
   bool emit_cache_stats = false;
 };
 
+/// Aggregate outcome of one batch run.
 struct BatchSummary {
-  size_t requests = 0;
-  size_t succeeded = 0;
-  size_t failed = 0;
+  size_t requests = 0;   ///< non-empty input lines executed
+  size_t succeeded = 0;  ///< result lines with "ok": true
+  size_t failed = 0;     ///< result lines with "ok": false
 };
+
+/// Outcome of one executed request: `json_line` is the complete JSON
+/// result document (one batch output line / one HTTP response body) and
+/// `ok` mirrors its "ok" field.
+struct RequestResult {
+  bool ok = false;         ///< mirrors the result's "ok" field
+  std::string json_line;   ///< the complete JSON result document
+};
+
+/// Executes one parsed query request (the JSONL line shape above, op
+/// "query") against the service. Never throws: every failure — unknown
+/// table, bad parameters, a mining error — is reported as
+/// {"id", "ok": false, "error"}. `default_id` is echoed when the request
+/// carries no "id". Shared by RunBatch and POST /v1/explain, which is
+/// what keeps network answers bit-identical to batch/CLI output.
+RequestResult ExecuteQueryRequest(ExplanationService& service,
+                                  const JsonValue& request,
+                                  const std::string& default_id,
+                                  const BatchOptions& options = {});
+
+/// Executes one append request ({"csv": path} or {"rows": [[...]]})
+/// against table `table_name` (empty = the request's "table" field,
+/// falling back to options.default_table). Same never-throws error
+/// contract as ExecuteQueryRequest. Shared by the batch "op": "append"
+/// lines and POST /v1/tables/{name}/append.
+RequestResult ExecuteAppendRequest(ExplanationService& service,
+                                   const JsonValue& request,
+                                   const std::string& table_name,
+                                   const std::string& default_id,
+                                   const BatchOptions& options = {});
 
 /// Executes every JSONL request from `in` against the service, streaming
 /// one JSON result line per request to `out` in input order.

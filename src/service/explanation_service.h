@@ -59,8 +59,8 @@ struct ServiceOptions {
 
 /// Cumulative service counters plus a point-in-time cache snapshot.
 struct ServiceStats {
-  uint64_t queries_executed = 0;
-  uint64_t tables_registered = 0;
+  uint64_t queries_executed = 0;     ///< Explain/ExplainAsync completions
+  uint64_t tables_registered = 0;    ///< registrations incl. replacements
   uint64_t appends_executed = 0;     ///< Append/AppendCsv batches landed
   uint64_t rows_appended = 0;        ///< total rows across those batches
   uint64_t budget_enforcements = 0;  ///< enforcement passes that evicted
@@ -73,6 +73,8 @@ struct ServiceStats {
 /// enforcement may be called concurrently from any thread.
 class ExplanationService {
  public:
+  /// Builds an empty registry; worker pool and budget come from
+  /// `options`.
   explicit ExplanationService(ServiceOptions options = {});
 
   ExplanationService(const ExplanationService&) = delete;
@@ -103,8 +105,11 @@ class ExplanationService {
                                          const std::string& path,
                                          const CsvOptions& csv_options = {});
 
+  /// Whether `name` is currently registered.
   bool HasTable(const std::string& name) const;
+  /// Removes the table and drops its caches; no-op when absent.
   void DropTable(const std::string& name);
+  /// Names of every registered table (unordered snapshot).
   std::vector<std::string> TableNames() const;
 
   /// Registered table by name; throws std::out_of_range on an unknown one.
@@ -194,7 +199,9 @@ class ExplanationService {
   /// Explain.
   size_t EnforceBudget();
 
+  /// Cumulative counters plus a point-in-time cache-bytes snapshot.
   ServiceStats Stats() const;
+  /// The options the service was constructed with.
   const ServiceOptions& options() const { return options_; }
 
   /// The service worker pool (ExplainAsync tasks; batch execution).

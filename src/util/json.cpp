@@ -1,7 +1,10 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "util/string_utils.h"
@@ -269,6 +272,175 @@ double JsonValue::GetNumber(const std::string& key, double fallback) const {
 bool JsonValue::GetBool(const std::string& key, bool fallback) const {
   const JsonValue* v = Find(key);
   return v == nullptr ? fallback : v->AsBool();
+}
+
+// ---- writer ----------------------------------------------------------------
+
+std::string JsonEscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void Misuse(const char* what) {
+  throw std::logic_error(std::string("JsonWriter: ") + what);
+}
+
+}  // namespace
+
+void JsonWriter::BeginValue() {
+  if (done_) Misuse("document already complete");
+  if (!stack_.empty() && stack_.back() == Frame::kObject && !key_pending_) {
+    Misuse("object member needs Key() before its value");
+  }
+  if (!stack_.empty() && !key_pending_ && has_value_.back()) out_ += ',';
+  if (!stack_.empty()) has_value_.back() = true;
+  key_pending_ = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeginValue();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || key_pending_) {
+    Misuse("EndObject without a matching open object");
+  }
+  out_ += '}';
+  stack_.pop_back();
+  has_value_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeginValue();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    Misuse("EndArray without a matching open array");
+  }
+  out_ += ']';
+  stack_.pop_back();
+  has_value_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  if (stack_.empty() || stack_.back() != Frame::kObject || key_pending_) {
+    Misuse("Key() is only valid directly inside an object");
+  }
+  if (has_value_.back()) out_ += ',';
+  has_value_.back() = true;
+  out_ += '"';
+  out_ += JsonEscapeString(key);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  BeginValue();
+  out_ += '"';
+  out_ += JsonEscapeString(value);
+  out_ += '"';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeginValue();
+  out_ += value ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeginValue();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeginValue();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeginValue();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeginValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+  } else {
+    // %.17g round-trips every double; shrink to the shortest formatting
+    // that still parses back exactly.
+    char buf[32];
+    for (int prec = 1; prec <= 17; ++prec) {
+      std::snprintf(buf, sizeof(buf), "%.*g", prec, value);
+      if (std::strtod(buf, nullptr) == value) break;
+    }
+    out_ += buf;
+  }
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  BeginValue();
+  out_ += json;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!done_) Misuse("str() called with open containers");
+  return out_;
 }
 
 }  // namespace causumx

@@ -1,12 +1,15 @@
 // Minimal JSON value + recursive-descent parser, for machine-readable
-// inputs (the service's JSONL batch requests). Writer-side serialization
-// lives in core/json_export; this is the read side. Supports the full
-// JSON grammar (objects, arrays, strings with \uXXXX escapes, numbers,
-// bools, null); numbers are held as doubles.
+// inputs (the service's JSONL batch requests and the HTTP server's
+// request bodies), plus a streaming JsonWriter for composing response
+// documents. Domain-object serialization (summaries, predicates) lives
+// in core/json_export; this is the generic read/write layer. Supports
+// the full JSON grammar (objects, arrays, strings with \uXXXX escapes,
+// numbers, bools, null); numbers are held as doubles.
 
 #ifndef CAUSUMX_UTIL_JSON_H_
 #define CAUSUMX_UTIL_JSON_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -50,6 +53,64 @@ class JsonValue {
   std::map<std::string, JsonValue> object_;
 
   friend class JsonParser;
+};
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters; no surrounding quotes added).
+/// core/json_export re-exports this as JsonEscape for its callers.
+std::string JsonEscapeString(const std::string& s);
+
+/// A streaming JSON document builder: commas and nesting are managed
+/// automatically, strings are escaped, and the result is a compact
+/// single-line document (matching the batch/JSONL output style).
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject().Key("status").String("ok")
+///    .Key("tables").BeginArray().String("a").String("b").EndArray()
+///    .EndObject();
+///   w.str();  // {"status":"ok","tables":["a","b"]}
+///
+/// Misuse (a Key outside an object, unbalanced End calls) is a
+/// programming error and throws std::logic_error.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object member key; must be inside an object and followed
+  /// by exactly one value.
+  JsonWriter& Key(const std::string& key);
+
+  // Value emitters (as array elements or after Key inside an object).
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Int(int64_t value);
+  /// Shortest round-trip formatting; non-finite values emit null (JSON
+  /// has no NaN/Inf).
+  JsonWriter& Double(double value);
+
+  /// Splices `json` — already-serialized JSON — in as one value.
+  JsonWriter& Raw(const std::string& json);
+
+  /// The finished document; throws std::logic_error while containers
+  /// remain open.
+  const std::string& str() const;
+
+ private:
+  void BeginValue();
+
+  enum class Frame : uint8_t { kObject, kArray };
+  std::string out_;
+  std::vector<Frame> stack_;
+  /// Whether the current container already holds a value (comma needed).
+  std::vector<bool> has_value_;
+  bool key_pending_ = false;
+  bool done_ = false;
 };
 
 }  // namespace causumx

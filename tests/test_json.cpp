@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "core/json_export.h"
@@ -133,6 +134,60 @@ TEST(BatchTest, ParseWherePredicateForms) {
 
   EXPECT_THROW(ParseWherePredicate("unknown=1", t), std::runtime_error);
   EXPECT_THROW(ParseWherePredicate("no operator", t), std::runtime_error);
+}
+
+// ---- JsonWriter ------------------------------------------------------------
+
+TEST(JsonWriterTest, ComposesNestedDocuments) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("status").String("ok")
+      .Key("count").Uint(3)
+      .Key("delta").Int(-7)
+      .Key("ratio").Double(0.5)
+      .Key("flag").Bool(true)
+      .Key("missing").Null()
+      .Key("tables").BeginArray().String("a").String("b").EndArray()
+      .Key("nested").BeginObject().Key("x").Uint(1).EndObject()
+      .EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"status\":\"ok\",\"count\":3,\"delta\":-7,\"ratio\":0.5,"
+            "\"flag\":true,\"missing\":null,\"tables\":[\"a\",\"b\"],"
+            "\"nested\":{\"x\":1}}");
+}
+
+TEST(JsonWriterTest, EscapesStringsAndRoundTripsDoubles) {
+  JsonWriter w;
+  w.BeginObject().Key("s").String("a\"b\\c\nd").Key("pi").Double(
+      3.141592653589793).EndObject();
+  const JsonValue parsed = JsonValue::Parse(w.str());
+  EXPECT_EQ(parsed.GetString("s"), "a\"b\\c\nd");
+  EXPECT_EQ(parsed.GetNumber("pi", 0), 3.141592653589793);
+
+  JsonWriter nonfinite;
+  nonfinite.BeginArray().Double(std::numeric_limits<double>::infinity())
+      .EndArray();
+  EXPECT_EQ(nonfinite.str(), "[null]");
+}
+
+TEST(JsonWriterTest, RawSplicesPreserializedJson) {
+  JsonWriter w;
+  w.BeginObject().Key("summary").Raw("{\"k\":5}").EndObject();
+  EXPECT_EQ(w.str(), "{\"summary\":{\"k\":5}}");
+}
+
+TEST(JsonWriterTest, MisuseThrows) {
+  JsonWriter incomplete;
+  incomplete.BeginObject();
+  EXPECT_THROW(incomplete.str(), std::logic_error);
+
+  JsonWriter keyless;
+  keyless.BeginObject();
+  EXPECT_THROW(keyless.Uint(1), std::logic_error);
+
+  JsonWriter mismatched;
+  mismatched.BeginArray();
+  EXPECT_THROW(mismatched.EndObject(), std::logic_error);
 }
 
 }  // namespace

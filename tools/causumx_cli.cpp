@@ -37,14 +37,30 @@
 // the summary; --no-cache runs with the caches bypassed (debugging /
 // benchmarking the uncached path).
 //
+// Serve mode runs the embedded HTTP server (src/server/) over one
+// long-lived ExplanationService, so a fleet of clients shares the warm
+// caches over REST (see docs/API.md for the endpoints):
+//
+//   causumx serve --port 8080 [--host 0.0.0.0] [--csv data.csv]
+//                 [--table NAME] [--threads N] [--shards N]
+//                 [--budget-mb N] [--max-body-mb N] [--queue N]
+//                 [--no-cache]
+//
+// The process listens until SIGINT/SIGTERM, then drains in-flight
+// requests and exits 0.
+//
 // Without --dag/--discover, the No-DAG strawman is used (and a warning
 // printed): supply domain knowledge for trustworthy effects.
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+
+#include <unistd.h>
 
 #include "causal/dag_io.h"
 #include "causal/discovery.h"
@@ -52,6 +68,8 @@
 #include "core/json_export.h"
 #include "core/renderer.h"
 #include "dataset/csv.h"
+#include "server/http_server.h"
+#include "server/rest_api.h"
 #include "service/batch.h"
 #include "service/explanation_service.h"
 #include "util/string_utils.h"
@@ -92,7 +110,153 @@ void PrintUsage() {
                "               [--append rows.csv] [--threads N] [--shards N]\n"
                "   or: causumx --batch FILE.jsonl [--csv FILE]\n"
                "               [--budget-mb N] [--threads N] [--shards N]\n"
-               "               [--stats]\n");
+               "               [--stats]\n"
+               "   or: causumx serve [--port N] [--host ADDR] [--csv FILE]\n"
+               "               [--table NAME] [--threads N] [--shards N]\n"
+               "               [--budget-mb N] [--max-body-mb N] [--queue N]\n"
+               "               [--no-cache]\n"
+               "see docs/CLI.md for the full reference\n");
+}
+
+// ---- serve mode ------------------------------------------------------------
+
+struct ServeOptions {
+  uint16_t port = 8080;
+  std::string host = "127.0.0.1";
+  std::string csv_path;
+  std::string table_name = "default";
+  size_t threads = 0;
+  size_t shards = 0;
+  size_t budget_mb = 0;
+  size_t max_body_mb = 8;
+  size_t queue = 0;
+  bool no_cache = false;
+};
+
+bool ParseServeArgs(int argc, char** argv, ServeOptions* opt) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--port") {
+      if (!(v = next())) return false;
+      opt->port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--host") {
+      if (!(v = next())) return false;
+      opt->host = v;
+    } else if (arg == "--csv") {
+      if (!(v = next())) return false;
+      opt->csv_path = v;
+    } else if (arg == "--table") {
+      if (!(v = next())) return false;
+      opt->table_name = v;
+    } else if (arg == "--threads") {
+      if (!(v = next())) return false;
+      opt->threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--shards") {
+      if (!(v = next())) return false;
+      opt->shards = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--budget-mb") {
+      if (!(v = next())) return false;
+      opt->budget_mb = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--max-body-mb") {
+      if (!(v = next())) return false;
+      opt->max_body_mb = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--queue") {
+      if (!(v = next())) return false;
+      opt->queue = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--no-cache") {
+      opt->no_cache = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown serve argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Self-pipe for signal-driven shutdown: the handler only writes a byte
+// (async-signal-safe); the main thread blocks on the read end and runs
+// the orderly Stop.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void OnShutdownSignal(int) {
+  const char byte = 's';
+  [[maybe_unused]] ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
+}
+
+int RunServeMode(const ServeOptions& opt) {
+  ServiceOptions service_options;
+  service_options.memory_budget_bytes = opt.budget_mb * (1 << 20);
+  service_options.num_threads = opt.threads;
+  service_options.num_shards = opt.shards;
+  service_options.cache_enabled = !opt.no_cache;
+  ExplanationService service(service_options);
+
+  if (!opt.csv_path.empty()) {
+    service.LoadCsv(opt.table_name, opt.csv_path);
+    const auto table = service.GetTable(opt.table_name);
+    std::fprintf(stderr, "loaded %zu rows x %zu columns from %s as \"%s\"\n",
+                 table->NumRows(), table->NumColumns(), opt.csv_path.c_str(),
+                 opt.table_name.c_str());
+  }
+
+  RestApiOptions api_options;
+  api_options.default_table = opt.table_name;
+
+  HttpServerOptions server_options;
+  server_options.port = opt.port;
+  server_options.bind_address = opt.host;
+  server_options.num_threads = opt.threads;
+  server_options.max_queue = opt.queue;
+  server_options.max_body_bytes = opt.max_body_mb * (1 << 20);
+
+  // Shutdown plumbing goes in before the first request can arrive, so a
+  // SIGTERM racing the startup still drains instead of killing us.
+  if (::pipe(g_shutdown_pipe) != 0) {
+    std::fprintf(stderr, "error: cannot create shutdown pipe\n");
+    return 2;
+  }
+  std::signal(SIGINT, OnShutdownSignal);
+  std::signal(SIGTERM, OnShutdownSignal);
+
+  HttpServer server(MakeRestHandler(service, api_options), server_options);
+  server.Start();
+  std::fprintf(stderr,
+               "causumx serving on http://%s:%u/ (%zu workers, queue %zu, "
+               "max body %zu MB)\n",
+               opt.host.c_str(), unsigned{server.port()},
+               server.options().num_threads, server.options().max_queue,
+               opt.max_body_mb);
+
+  char byte = 0;
+  while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "shutting down (draining in-flight requests)...\n");
+  server.Stop();
+
+  const HttpServerCounters c = server.counters();
+  const ServiceStats s = service.Stats();
+  std::fprintf(stderr,
+               "served %llu requests on %llu connections "
+               "(%llu rejected 503, %llu parse errors); "
+               "%llu queries, %llu appends\n",
+               (unsigned long long)c.requests_handled,
+               (unsigned long long)c.connections_accepted,
+               (unsigned long long)c.requests_rejected,
+               (unsigned long long)c.parse_errors,
+               (unsigned long long)s.queries_executed,
+               (unsigned long long)s.appends_executed);
+  return 0;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opt) {
@@ -283,6 +447,17 @@ int RunAppendMode(const CliOptions& opt,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "serve") {
+    ServeOptions serve_opt;
+    if (!ParseServeArgs(argc, argv, &serve_opt)) return 2;
+    try {
+      return RunServeMode(serve_opt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
   CliOptions opt;
   if (!ParseArgs(argc, argv, &opt)) return 2;
 

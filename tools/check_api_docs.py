@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Header-comment lint for the public API directories.
+
+Fails (exit 1) when a header under the given paths has an undocumented
+declaration — the same class of finding `doxygen` reports as "Member X
+is not documented", but dependency-free so CI can gate on it without
+installing doxygen. Checked, per header:
+
+  * the file starts with a file-level comment block;
+  * every namespace-scope declaration (class/struct/enum, free function,
+    using alias, variable) has a comment on the line directly above it;
+  * every declaration in a `public:` section of a class/struct has a
+    comment directly above it or a trailing `//` comment on its first
+    line.
+
+Exempt: preprocessor lines, namespace braces, access specifiers,
+`= delete` / `= default` special members, friend declarations, and
+everything inside function/enum/initializer bodies (only the
+declaration's first line is linted).
+
+Usage: check_api_docs.py PATH [PATH...]   (directories recurse to *.h)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ACCESS_RE = re.compile(r"^(public|private|protected)\s*:$")
+NAMESPACE_RE = re.compile(r"^(inline\s+)?namespace\b")
+CLASS_OPEN_RE = re.compile(
+    r"^(template\s*<[^;]*>\s*)?(class|struct)\s+(\w+)\s*(final\s*)?"
+    r"(:[^;{]*)?{?\s*$"
+)
+EXEMPT_RE = re.compile(r"=\s*(delete|default)\s*;\s*$|^friend\b")
+
+
+def strip_block_comments(text: str):
+    """Replaces /* ... */ spans with spaces (newlines kept) and returns
+    (text, set of line indexes that were entirely comment)."""
+    out = []
+    in_block = False
+    for line in text.splitlines():
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                out.append(("", True))
+                continue
+            rest = line[end + 2:]
+            out.append((rest, rest.strip() == ""))
+            in_block = False
+            continue
+        kept, was_comment = [], False
+        i = 0
+        while i < len(line):
+            start = line.find("/*", i)
+            if start < 0:
+                kept.append(line[i:])
+                break
+            kept.append(line[i:start])
+            was_comment = True
+            end = line.find("*/", start + 2)
+            if end < 0:
+                in_block = True
+                break
+            i = end + 2
+        joined = "".join(kept)
+        out.append((joined, was_comment and joined.strip() == ""))
+    return out
+
+
+def brace_balance(code: str) -> int:
+    quote, prev, bal = None, "", 0
+    for ch in code:
+        if quote:
+            if ch == quote and prev != "\\":
+                quote = None
+            prev = "" if prev == "\\" else ch
+            continue
+        if ch in "\"'":
+            quote = ch
+            continue
+        if ch == "{":
+            bal += 1
+        elif ch == "}":
+            bal -= 1
+    return bal
+
+
+def lint_header(path: Path) -> list[str]:
+    problems = []
+    raw_lines = path.read_text().splitlines()
+    if not raw_lines or not raw_lines[0].startswith("//"):
+        problems.append(f"{path}:1: header must start with a file comment")
+
+    processed = strip_block_comments(path.read_text())
+
+    depth = 0       # brace depth across the whole file
+    ns_depth = 0    # how many of those braces are namespaces
+    class_stack = []  # (body_depth, access) per open class/struct
+    prev_adjacent_comment = False
+    pending_until_depth = None   # consuming a decl/body: resume when
+    pending_needs_semi = False   # depth back here (+ ';' if required)
+
+    for lineno, (code, was_block_comment) in enumerate(processed, 1):
+        stripped = re.sub(r"//.*", "", code).strip()
+        line_for_msg = code.strip()
+        is_pure_comment = was_block_comment or (
+            code.strip().startswith("//") and stripped == ""
+        )
+
+        if code.strip() == "" or is_pure_comment:
+            prev_adjacent_comment = is_pure_comment or (
+                prev_adjacent_comment and code.strip() == "" and False
+            )
+            continue
+
+        if stripped.startswith("#"):
+            # Preprocessor: no scope change, keeps comment adjacency.
+            continue
+
+        bal = brace_balance(stripped)
+
+        if pending_until_depth is not None:
+            depth += bal
+            while class_stack and depth < class_stack[-1][0]:
+                class_stack.pop()
+            if depth <= pending_until_depth and (
+                not pending_needs_semi or stripped.endswith(";")
+                or ";" in stripped
+            ):
+                if depth <= pending_until_depth and (
+                    ";" in stripped or (not pending_needs_semi and bal < 0)
+                    or stripped.endswith("}")
+                ):
+                    pending_until_depth = None
+            prev_adjacent_comment = False
+            continue
+
+        if ACCESS_RE.match(stripped):
+            if class_stack:
+                class_stack[-1] = (
+                    class_stack[-1][0],
+                    stripped.rstrip(":").strip(),
+                )
+            prev_adjacent_comment = False
+            continue
+
+        if NAMESPACE_RE.match(stripped):
+            depth += bal
+            ns_depth += max(bal, 0)
+            prev_adjacent_comment = False
+            continue
+
+        if stripped in ("{", "}", "};"):
+            depth += bal
+            ns_depth = min(ns_depth, depth)
+            while class_stack and depth < class_stack[-1][0]:
+                class_stack.pop()
+            prev_adjacent_comment = False
+            continue
+
+        ns_scope = depth == ns_depth and not class_stack
+        in_public = bool(class_stack) and depth == class_stack[-1][0] \
+            and class_stack[-1][1] == "public"
+
+        if (ns_scope or in_public) and not EXEMPT_RE.search(stripped):
+            documented = prev_adjacent_comment or "//" in code
+            if not documented:
+                problems.append(
+                    f"{path}:{lineno}: undocumented public declaration: "
+                    f"{line_for_msg[:70]}"
+                )
+
+        class_match = CLASS_OPEN_RE.match(stripped)
+        if class_match and (ns_scope or in_public or class_stack):
+            access = "public" if class_match.group(2) == "struct" \
+                else "private"
+            # A type nested in a non-public section is not public API:
+            # nothing inside it is linted.
+            if class_stack and class_stack[-1][1] != "public":
+                access = "private"
+            if "{" in stripped:
+                depth += bal
+                class_stack.append((depth, access))
+            else:
+                # Brace on a later line: treat it as arriving immediately
+                # (this codebase puts it on the same line).
+                class_stack.append((depth + 1, access))
+        else:
+            start_depth = depth
+            depth += bal
+            while class_stack and depth < class_stack[-1][0]:
+                class_stack.pop()
+            terminated = (
+                (";" in stripped and depth <= start_depth)
+                or (bal == 0 and stripped.endswith("}"))
+            )
+            if not terminated:
+                pending_until_depth = start_depth
+                pending_needs_semi = bal == 0
+        prev_adjacent_comment = False
+
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    headers = []
+    for arg in argv[1:]:
+        p = Path(arg)
+        if p.is_dir():
+            headers.extend(sorted(p.rglob("*.h")))
+        else:
+            headers.append(p)
+    all_problems = []
+    for header in headers:
+        all_problems.extend(lint_header(header))
+    for problem in all_problems:
+        print(problem)
+    print(
+        f"check_api_docs: {len(headers)} headers, "
+        f"{len(all_problems)} undocumented declarations"
+    )
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README + docs/.
+
+Verifies every inline markdown link `[text](target)`:
+
+  * relative file links must resolve (relative to the containing file);
+  * `#anchor` fragments must match a heading in the target file,
+    GitHub-slugified (lower-case, spaces to dashes, punctuation
+    dropped);
+  * `http(s)://` links are *not* fetched (CI must not flake on network)
+    unless --external is passed, which HEAD-requests each one.
+
+Exit 1 with one line per broken link. Usage:
+
+  check_markdown_links.py FILE_OR_DIR [...] [--external]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linkify
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set:
+    slugs = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slugs.add(github_slug(m.group(1)))
+    return slugs
+
+
+def links_of(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for regex in (LINK_RE, IMAGE_RE):
+            for m in regex.finditer(line):
+                yield lineno, m.group(1)
+
+
+def check_file(path: Path, external: bool) -> list:
+    problems = []
+    for lineno, target in links_of(path):
+        where = f"{path}:{lineno}"
+        if target.startswith(("http://", "https://")):
+            if external:
+                import urllib.request
+
+                try:
+                    req = urllib.request.Request(target, method="HEAD")
+                    urllib.request.urlopen(req, timeout=10)
+                except Exception as e:  # noqa: BLE001 — report, don't die
+                    problems.append(f"{where}: {target} ({e})")
+            continue
+        if target.startswith(("mailto:", "tel:")):
+            continue
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in headings_of(path):
+                problems.append(f"{where}: missing anchor {target}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{where}: broken link {target}")
+            continue
+        if anchor and resolved.suffix.lower() in (".md", ".markdown"):
+            if github_slug(anchor) not in headings_of(resolved):
+                problems.append(
+                    f"{where}: missing anchor #{anchor} in {file_part}"
+                )
+    return problems
+
+
+def main(argv) -> int:
+    external = "--external" in argv
+    paths = [a for a in argv[1:] if not a.startswith("--")]
+    if not paths:
+        print(__doc__)
+        return 2
+    files = []
+    for arg in paths:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        else:
+            files.append(p)
+    problems = []
+    for f in files:
+        problems.extend(check_file(f, external))
+    for problem in problems:
+        print(problem)
+    print(
+        f"check_markdown_links: {len(files)} files, "
+        f"{len(problems)} broken links"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
