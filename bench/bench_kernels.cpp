@@ -1,0 +1,292 @@
+// bench_kernels — the vectorized kernel layer versus replicas of the
+// pre-kernel scalar loops, plus the compressed-segment byte reduction.
+//
+// Three measurements (CI smoke-runs this):
+//
+//   dict-eq     single categorical equality predicate over N rows:
+//               EvaluatePredicateRange (word-wise CompareI32Eq through
+//               the active dispatch tier) vs the old per-row
+//               SetAll + Test/GetCode/Clear loop.
+//   and+popcnt  fused a & ~b popcount over the bitset word arrays:
+//               kernels::AndNotPopcount vs the old per-word
+//               std::popcount loop.
+//   compress    resident bytes of a sparse predicate segment under
+//               SegmentCompression::kAuto vs the plain bitset.
+//
+// Acceptance: kernel outputs bit-identical to the baselines on every
+// available tier; with the AVX2 tier active, dict-eq >= 3x rows/sec and
+// and+popcnt >= 2x words/sec against the scalar-loop baselines; the
+// sparse segment holds >= 4x fewer accounted bytes than plain. On a
+// scalar-only build (CAUSUMX_DISABLE_AVX2, or pre-AVX2 hardware) the
+// dict-eq bar drops to 1.2x — hoisting the per-row dispatch already
+// pays — and the and+popcnt bar is waived (the scalar kernel IS the
+// baseline loop). Bars can be pinned with CAUSUMX_BENCH_MIN_EQ_SPEEDUP /
+// CAUSUMX_BENCH_MIN_POPCNT_SPEEDUP / CAUSUMX_BENCH_MIN_BYTES_REDUCTION.
+// Best-of-rounds timing: noise only ever inflates a measurement, so the
+// max rate converges on the true throughput. All rates are per core —
+// every timed loop here is single-threaded.
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dataset/pattern.h"
+#include "dataset/table.h"
+#include "util/compressed_bitset.h"
+#include "util/cpu_features.h"
+#include "util/kernels.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace causumx;
+using namespace causumx::bench;
+
+namespace {
+
+// Replica of the pre-kernel Pattern::EvaluateRange inner loop for a
+// categorical equality predicate (per-row bitset Test/Clear against the
+// resolved dictionary code). Kept deliberately identical to the old
+// code so the speedup measures the kernel layer, not workload drift.
+Bitset BaselineDictEq(const Column& col, int32_t code, size_t n) {
+  Bitset out(n);
+  out.SetAll();
+  for (size_t r = 0; r < n; ++r) {
+    if (out.Test(r) && col.GetCode(r) != code) out.Clear(r);
+  }
+  return out;
+}
+
+// Replica of the pre-kernel Bitset::CountAndNot word loop.
+size_t BaselineAndNotPopcount(const uint64_t* a, const uint64_t* b,
+                              size_t n) {
+  size_t c = 0;
+  for (size_t i = 0; i < n; ++i) c += std::popcount(a[i] & ~b[i]);
+  return c;
+}
+
+// Best-of-rounds throughput: repeats fn until each round is long enough
+// to time reliably, returns items/second of the fastest round.
+template <typename Fn>
+double BestRate(size_t items, int rounds, Fn fn) {
+  double best = 0.0;
+  int reps = 1;
+  for (int round = 0; round < rounds; ++round) {
+    for (;;) {
+      Timer t;
+      for (int i = 0; i < reps; ++i) fn();
+      const double s = t.Seconds();
+      if (s >= 0.02 || reps > (1 << 22)) {
+        const double rate = static_cast<double>(items) * reps / s;
+        if (rate > best) best = rate;
+        break;
+      }
+      reps *= 4;
+    }
+  }
+  return best;
+}
+
+double EnvBar(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Banner("kernels", "vectorized kernels vs the pre-kernel scalar loops");
+
+  const char* json_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+
+  const size_t rows = std::max<size_t>(
+      1'000'000, static_cast<size_t>(8'000'000 * BenchScale()));
+  const size_t words = std::max<size_t>(
+      size_t{1} << 17, static_cast<size_t>((size_t{1} << 20) * BenchScale()));
+  constexpr int kRounds = 5;
+
+  // Dataset: one 12-bucket categorical column (the shape of a grouping
+  // attribute) and the predicate C = b03.
+  Table table;
+  table.AddColumn("C", ColumnType::kCategorical);
+  {
+    Rng rng(42);
+    char buf[8];
+    for (size_t r = 0; r < rows; ++r) {
+      std::snprintf(buf, sizeof(buf), "b%02d",
+                    static_cast<int>(rng.NextU64() % 12));
+      table.column(0).AppendCategorical(buf);
+    }
+  }
+  const Column& col = table.column("C");
+  const SimplePredicate pred("C", CompareOp::kEq, Value(std::string("b03")));
+  const int32_t code = col.CodeOf("b03");
+
+  // Word arrays for the fused AND-NOT popcount.
+  std::vector<uint64_t> wa(words), wb(words);
+  {
+    Rng rng(7);
+    for (size_t i = 0; i < words; ++i) {
+      wa[i] = rng.NextU64();
+      wb[i] = rng.NextU64();
+    }
+  }
+
+  const Bitset ref_bits = BaselineDictEq(col, code, rows);
+  const size_t ref_count = BaselineAndNotPopcount(wa.data(), wb.data(), words);
+
+  std::printf("rows %zu, words %zu; detected tier: %s\n\n", rows, words,
+              KernelTierName(ActiveKernelTier()));
+
+  const double base_eq_rate = BestRate(rows, kRounds, [&] {
+    volatile size_t sink = BaselineDictEq(col, code, rows).Count();
+    (void)sink;
+  });
+  const double base_pc_rate = BestRate(words, kRounds, [&] {
+    volatile size_t sink = BaselineAndNotPopcount(wa.data(), wb.data(), words);
+    (void)sink;
+  });
+  std::printf("%-22s dict-eq %8.1f Mrows/s   and+popcnt %8.1f Mwords/s\n",
+              "baseline (pre-kernel)", base_eq_rate / 1e6, base_pc_rate / 1e6);
+
+  const KernelTier initial_tier = ActiveKernelTier();
+  bool ok = true;
+  struct TierRates {
+    KernelTier tier;
+    double eq_rate;
+    double pc_rate;
+  };
+  std::vector<TierRates> tiers;
+  for (KernelTier tier : {KernelTier::kScalar, KernelTier::kAvx2}) {
+    if (!KernelTierSupported(tier)) continue;
+    SetKernelTier(tier);
+    // Bit-identity against the baseline replicas before timing.
+    if (!(EvaluatePredicateRange(table, pred, 0, rows) == ref_bits)) {
+      std::printf("FAIL: %s dict-eq bits differ from baseline\n",
+                  KernelTierName(tier));
+      ok = false;
+    }
+    if (kernels::AndNotPopcount(wa.data(), wb.data(), words) != ref_count) {
+      std::printf("FAIL: %s and+popcnt differs from baseline\n",
+                  KernelTierName(tier));
+      ok = false;
+    }
+    TierRates r;
+    r.tier = tier;
+    r.eq_rate = BestRate(rows, kRounds, [&] {
+      volatile size_t sink = EvaluatePredicateRange(table, pred, 0, rows).Count();
+      (void)sink;
+    });
+    r.pc_rate = BestRate(words, kRounds, [&] {
+      volatile size_t sink =
+          kernels::AndNotPopcount(wa.data(), wb.data(), words);
+      (void)sink;
+    });
+    tiers.push_back(r);
+    std::printf("%-22s dict-eq %8.1f Mrows/s (%4.2fx)   and+popcnt %8.1f "
+                "Mwords/s (%4.2fx)\n",
+                KernelTierName(tier), r.eq_rate / 1e6,
+                r.eq_rate / base_eq_rate, r.pc_rate / 1e6,
+                r.pc_rate / base_pc_rate);
+  }
+  SetKernelTier(initial_tier);
+
+  // Compressed segment bytes: a sparse predicate (one value of a
+  // 512-bucket attribute, ~0.2% density) under kAuto vs plain storage.
+  double bytes_reduction = 0.0;
+  {
+    Rng rng(11);
+    Bitset sparse(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      if (rng.NextU64() % 512 == 0) sparse.Set(r);
+    }
+    const size_t plain_bytes =
+        sizeof(Bitset) + sparse.num_words() * sizeof(uint64_t);
+    const SegmentBits seg =
+        SegmentBits::Choose(sparse, SegmentCompression::kAuto);
+    if (!(seg.Materialize() == sparse)) {
+      std::printf("FAIL: compressed segment roundtrip differs\n");
+      ok = false;
+    }
+    bytes_reduction = static_cast<double>(plain_bytes) /
+                      static_cast<double>(seg.bytes());
+    std::printf("\nsparse segment: plain %zu bytes, stored %zu bytes "
+                "(%.1fx reduction, compressed=%s)\n",
+                plain_bytes, seg.bytes(), bytes_reduction,
+                seg.compressed() ? "yes" : "no");
+  }
+
+  // Acceptance bars, scaled to the best available tier like
+  // bench_shards scales to the core count: the 3x/2x headline numbers
+  // assume the AVX2 tier exists to run.
+  const bool have_avx2 = KernelTierSupported(KernelTier::kAvx2);
+  const double eq_bar =
+      EnvBar("CAUSUMX_BENCH_MIN_EQ_SPEEDUP", have_avx2 ? 3.0 : 1.2);
+  const double pc_bar =
+      EnvBar("CAUSUMX_BENCH_MIN_POPCNT_SPEEDUP", have_avx2 ? 2.0 : 0.0);
+  const double bytes_bar = EnvBar("CAUSUMX_BENCH_MIN_BYTES_REDUCTION", 4.0);
+
+  double best_eq = 0.0, best_pc = 0.0;
+  for (const TierRates& r : tiers) {
+    if (r.eq_rate > best_eq) best_eq = r.eq_rate;
+    if (r.pc_rate > best_pc) best_pc = r.pc_rate;
+  }
+  const double eq_speedup = best_eq / base_eq_rate;
+  const double pc_speedup = best_pc / base_pc_rate;
+  std::printf("\ndict-eq speedup %.2fx (bar %.2fx), and+popcnt speedup "
+              "%.2fx (bar %.2fx), bytes reduction %.1fx (bar %.1fx)\n",
+              eq_speedup, eq_bar, pc_speedup, pc_bar, bytes_reduction,
+              bytes_bar);
+  if (eq_speedup < eq_bar) {
+    std::printf("FAIL: dict-eq speedup below the bar\n");
+    ok = false;
+  }
+  if (pc_bar > 0.0 && pc_speedup < pc_bar) {
+    std::printf("FAIL: and+popcnt speedup below the bar\n");
+    ok = false;
+  }
+  if (bytes_reduction < bytes_bar) {
+    std::printf("FAIL: bytes reduction below the bar\n");
+    ok = false;
+  }
+
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::printf("FAIL: cannot write %s\n", json_path);
+      ok = false;
+    } else {
+      std::fprintf(f, "{\n  \"rows\": %zu,\n  \"words\": %zu,\n", rows,
+                   words);
+      std::fprintf(f,
+                   "  \"baseline\": {\"dict_eq_rows_per_sec\": %.0f, "
+                   "\"andnot_popcount_words_per_sec\": %.0f},\n",
+                   base_eq_rate, base_pc_rate);
+      std::fprintf(f, "  \"tiers\": [");
+      for (size_t i = 0; i < tiers.size(); ++i) {
+        std::fprintf(f,
+                     "%s\n    {\"tier\": \"%s\", "
+                     "\"dict_eq_rows_per_sec\": %.0f, "
+                     "\"andnot_popcount_words_per_sec\": %.0f}",
+                     i ? "," : "", KernelTierName(tiers[i].tier),
+                     tiers[i].eq_rate, tiers[i].pc_rate);
+      }
+      std::fprintf(f, "\n  ],\n  \"sparse_bytes_reduction\": %.2f\n}\n",
+                   bytes_reduction);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path);
+    }
+  }
+
+  std::printf("\n%s\n", ok ? "PASS" : "FAIL");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -2,6 +2,11 @@
 // pattern evaluation, CATE estimation, Apriori mining, and the simplex
 // solver. These back the engineering claims in DESIGN.md rather than a
 // specific paper figure.
+//
+// Every benchmark calls SetItemsProcessed with its natural work unit
+// (rows scanned, candidates considered), so the reported items_per_second
+// is comparable across runs. All benchmarks here are single-threaded,
+// which makes items_per_second a per-core throughput figure.
 
 #include <benchmark/benchmark.h>
 
@@ -68,6 +73,8 @@ void BM_CateEstimation(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(est.EstimateCate(treatment, "Salary", all));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ds.table.NumRows()));
 }
 BENCHMARK(BM_CateEstimation);
 
@@ -86,6 +93,8 @@ void BM_CateEstimationUncached(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(est.EstimateCate(treatment, "Salary", all));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ds.table.NumRows()));
 }
 BENCHMARK(BM_CateEstimationUncached);
 
@@ -99,6 +108,10 @@ void BM_AprioriMining(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(MineFrequentPatterns(ds.table, attrs, opt));
   }
+  // One row scan per mined level is the dominant cost.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ds.table.NumRows()) *
+                          state.range(0));
 }
 BENCHMARK(BM_AprioriMining)->Arg(1)->Arg(2)->Arg(3);
 
@@ -120,6 +133,8 @@ void BM_SimplexSelection(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(SolveByLpRounding(p, 16, 7));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(l));
 }
 BENCHMARK(BM_SimplexSelection)->Arg(8)->Arg(32)->Arg(128);
 

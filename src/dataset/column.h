@@ -68,6 +68,14 @@ class Column {
 
   const std::vector<std::string>& dictionary() const { return dict_; }
 
+  /// Raw typed storage for the kernel layer (util/kernels.h), size()
+  /// elements each; nulls are in-band sentinels (kNullCode / kNullInt /
+  /// NaN). Each accessor is only meaningful for the matching type() —
+  /// the others return an empty array's data pointer.
+  const int32_t* codes_data() const { return codes_.data(); }
+  const int64_t* ints_data() const { return ints_.data(); }
+  const double* doubles_data() const { return doubles_.data(); }
+
   void Reserve(size_t n);
 
  private:

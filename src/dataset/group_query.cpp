@@ -124,12 +124,23 @@ AggregateView AggregateView::Evaluate(const Table& table,
   // shard writes its local ids into row_group_ (disjoint ranges) and
   // pass 2 rewrites them as global ids.
   std::vector<ShardScan> scans(num_shards);
+  const uint64_t* mask_words =
+      query.where.IsEmpty() ? nullptr : where_mask.data();
   ThreadPool::RunOn(pool, num_shards, [&](size_t s) {
     ShardScan& scan = scans[s];
     std::vector<uint64_t> scratch(kc);
     const size_t end = plan.ShardEnd(s);
     for (size_t r = plan.ShardBegin(s); r < end; ++r) {
-      if (!query.where.IsEmpty() && !where_mask.Test(r)) continue;
+      if (mask_words != nullptr) {
+        // Shard boundaries are word-aligned, so (r & 63) == 0 lands on
+        // whole mask words: a zero word skips its 64 rows outright —
+        // selective WHERE clauses touch only the matching words.
+        if ((r & 63) == 0 && r + 64 <= end && mask_words[r >> 6] == 0) {
+          r += 63;
+          continue;
+        }
+        if (!where_mask.Test(r)) continue;
+      }
       if (avg_col.IsNull(r)) continue;
       bool null_key = false;
       uint64_t h = 0xcbf29ce484222325ULL;

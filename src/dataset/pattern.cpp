@@ -1,9 +1,133 @@
 #include "dataset/pattern.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 
+#include "util/kernels.h"
+
 namespace causumx {
+
+namespace {
+
+kernels::CmpOp ToKernelOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return kernels::CmpOp::kEq;
+    case CompareOp::kLt:
+      return kernels::CmpOp::kLt;
+    case CompareOp::kGt:
+      return kernels::CmpOp::kGt;
+    case CompareOp::kLe:
+      return kernels::CmpOp::kLe;
+    case CompareOp::kGe:
+      return kernels::CmpOp::kGe;
+  }
+  return kernels::CmpOp::kEq;
+}
+
+bool ApplyOpToCmp(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+// Row-at-a-time fallback writing the same tail-masked word layout the
+// kernels emit. Reached only for degenerate constants (non-numeric or
+// NaN rhs against a numeric column) where SimplePredicate::Matches'
+// three-way-compare derivation disagrees with a direct IEEE compare.
+void ReferenceWords(const Table& table, const SimplePredicate& pred,
+                    size_t begin, size_t end, uint64_t* out) {
+  const size_t n = end - begin;
+  std::fill(out, out + (n + 63) / 64, uint64_t{0});
+  for (size_t r = begin; r < end; ++r) {
+    if (pred.Matches(table, r)) {
+      const size_t i = r - begin;
+      out[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+}
+
+// Core of EvaluatePredicateRange: fills the ceil((end - begin) / 64)
+// words of the match mask (bit i = row begin + i, padding clear).
+// Dispatch happens here, once per predicate, not once per row.
+void EvalPredicateWords(const Table& table, const SimplePredicate& pred,
+                        size_t begin, size_t end, uint64_t* out) {
+  const size_t n = end - begin;
+  if (n == 0) return;
+  const Column& col = table.column(pred.attribute);
+  if (col.type() == ColumnType::kCategorical) {
+    const std::string rhs =
+        pred.value.is_string() ? pred.value.AsString() : pred.value.ToString();
+    if (pred.op == CompareOp::kEq) {
+      const int32_t code = col.CodeOf(rhs);
+      if (code == Column::kNullCode) {
+        // Constant absent from the dictionary: no row matches. (Without
+        // this guard, null cells — whose code is also kNullCode — would
+        // pass an equality test against the sentinel and diverge from
+        // Matches().)
+        std::fill(out, out + (n + 63) / 64, uint64_t{0});
+        return;
+      }
+      kernels::CompareI32Eq(col.codes_data() + begin, n, code, out);
+      return;
+    }
+    // Ordered ops compare decoded strings lexicographically. Hoist the
+    // string compares into a per-dictionary-entry lookup table — one
+    // compare per distinct value instead of one per row — then gather.
+    const std::vector<std::string>& dict = col.dictionary();
+    std::vector<uint8_t> lut(dict.size());
+    for (size_t c = 0; c < dict.size(); ++c) {
+      lut[c] = ApplyOpToCmp(pred.op, dict[c].compare(rhs)) ? 1 : 0;
+    }
+    kernels::CompareI32Lut(col.codes_data() + begin, n, lut.data(), out);
+    return;
+  }
+  // Numeric columns. Matches() resolves the constant with AsDouble()
+  // (throws for string constants) and derives a three-way compare, under
+  // which a NaN constant compares "equal" to every non-null cell. Both
+  // cases diverge from the kernels' direct IEEE semantics, so they take
+  // the reference loop; everything else is a vector compare.
+  if (!pred.value.is_double() && !pred.value.is_int()) {
+    ReferenceWords(table, pred, begin, end, out);
+    return;
+  }
+  const double rhs = pred.value.AsDouble();
+  if (std::isnan(rhs)) {
+    ReferenceWords(table, pred, begin, end, out);
+    return;
+  }
+  const kernels::CmpOp op = ToKernelOp(pred.op);
+  if (col.type() == ColumnType::kDouble) {
+    // Null cells are NaN and compare false under every IEEE op — the
+    // "null never matches" rule costs nothing here.
+    kernels::CompareF64(col.doubles_data() + begin, n, op, rhs, out);
+  } else {
+    kernels::CompareI64AsF64(col.ints_data() + begin, n, op, rhs,
+                             Column::kNullInt, out);
+  }
+}
+
+}  // namespace
+
+Bitset EvaluatePredicateRange(const Table& table, const SimplePredicate& pred,
+                              size_t begin, size_t end) {
+  Bitset out(end - begin);
+  if (end > begin) {
+    EvalPredicateWords(table, pred, begin, end, out.mutable_data());
+  }
+  return out;
+}
 
 Pattern::Pattern(std::vector<SimplePredicate> preds) : preds_(std::move(preds)) {
   std::sort(preds_.begin(), preds_.end(),
@@ -48,30 +172,22 @@ Bitset Pattern::Evaluate(const Table& table) const {
 Bitset Pattern::EvaluateRange(const Table& table, size_t begin,
                               size_t end) const {
   Bitset out(end - begin);
-  out.SetAll();
-  // Evaluate predicate-by-predicate so each pass is a tight loop over one
-  // column; categorical equality resolves the dictionary code once.
-  for (const auto& p : preds_) {
-    const Column& col = table.column(p.attribute);
-    if (col.type() == ColumnType::kCategorical && p.op == CompareOp::kEq) {
-      const std::string rhs =
-          p.value.is_string() ? p.value.AsString() : p.value.ToString();
-      const int32_t code = col.CodeOf(rhs);
-      if (code == Column::kNullCode) {
-        // Constant absent from the dictionary: no row matches. (Without
-        // this guard, null cells — whose code is also kNullCode — would
-        // pass the inequality test below and diverge from Matches().)
-        return Bitset(end - begin);
-      }
-      for (size_t r = begin; r < end; ++r) {
-        if (out.Test(r - begin) && col.GetCode(r) != code) {
-          out.Clear(r - begin);
-        }
-      }
-    } else {
-      for (size_t r = begin; r < end; ++r) {
-        if (out.Test(r - begin) && !p.Matches(table, r)) out.Clear(r - begin);
-      }
+  if (preds_.empty()) {
+    out.SetAll();
+    return out;
+  }
+  // First predicate writes the output words directly; the rest evaluate
+  // into a reused scratch buffer and AND in word-wise. Every pass is a
+  // kernel call over one column — per-row dispatch is hoisted into
+  // EvalPredicateWords.
+  EvalPredicateWords(table, preds_[0], begin, end, out.mutable_data());
+  if (preds_.size() > 1) {
+    std::vector<uint64_t> scratch(out.num_words());
+    for (size_t i = 1; i < preds_.size(); ++i) {
+      EvalPredicateWords(table, preds_[i], begin, end, scratch.data());
+      // Both operands carry clear padding, so a full-width AND keeps the
+      // canonical-padding invariant.
+      kernels::AndWords(out.mutable_data(), scratch.data(), out.num_words());
     }
   }
   return out;

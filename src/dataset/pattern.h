@@ -11,6 +11,18 @@
 
 namespace causumx {
 
+/// Batched evaluation of one atomic predicate over the row range
+/// [begin, end): bit i of the returned (end - begin)-bit bitset is set
+/// iff row (begin + i) matches `pred`. Agrees bit-for-bit with
+/// SimplePredicate::Matches on every row, including the degenerate
+/// cases (null cells, absent dictionary constants, NaN / non-numeric
+/// comparison constants). The column pointer and the typed comparator
+/// are resolved once per call — the row loop is a word-wise pass
+/// through the kernel layer (util/kernels.h), not a per-row virtual
+/// dispatch. This is the per-shard segment builder of the EvalEngine.
+Bitset EvaluatePredicateRange(const Table& table, const SimplePredicate& pred,
+                              size_t begin, size_t end);
+
 /// A conjunction of simple predicates, kept in canonical (sorted) order so
 /// that structurally equal patterns compare equal.
 class Pattern {

@@ -58,6 +58,7 @@ EvalEngine::EvalEngine(const Table& table, EvalEngineOptions options)
     : keepalive_(nullptr),
       table_(table),
       cache_enabled_(options.cache_enabled),
+      compression_(options.compression),
       plan_(PlanFor(table, options)),
       pool_(std::move(options.pool)) {
   for (size_t c = 0; c < table_.NumColumns(); ++c) {
@@ -74,6 +75,7 @@ EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
     : keepalive_(std::move(table)),
       table_(*keepalive_),
       cache_enabled_(options.cache_enabled),
+      compression_(options.compression),
       plan_(PlanFor(*keepalive_, options)),
       pool_(std::move(options.pool)) {
   for (size_t c = 0; c < table_.NumColumns(); ++c) {
@@ -86,6 +88,7 @@ EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
     : keepalive_(std::move(table)),
       table_(*keepalive_),
       cache_enabled_(base.cache_enabled_),
+      compression_(base.compression_),
       plan_(base.plan_.Extended(keepalive_->NumRows())),
       pool_(base.pool_) {
   const size_t old_rows = base.table_.NumRows();
@@ -106,7 +109,7 @@ EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
   // still private to the constructor, so its own members need no locks.
   struct SlotSnapshot {
     SimplePredicate pred;
-    std::vector<std::shared_ptr<const Bitset>> segs;
+    std::vector<std::shared_ptr<const SegmentBits>> segs;
     std::vector<uint64_t> seg_used;
   };
   std::vector<SlotSnapshot> snapshot;
@@ -140,7 +143,7 @@ EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
       const size_t begin = plan_.ShardBegin(s);
       const size_t end = plan_.ShardEnd(s);
       const bool existed = s < snap.segs.size();
-      const std::shared_ptr<const Bitset> old_seg =
+      const std::shared_ptr<const SegmentBits> old_seg =
           existed ? snap.segs[s] : nullptr;
       if (existed && old_seg == nullptr) continue;  // evicted: stays evicted
       if (!existed && !carried_any) continue;  // predicate was never cached
@@ -157,21 +160,26 @@ EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
       // (see the engine property tests), including the absent-dictionary-
       // constant case: old rows keep their old codes, so a constant that
       // only entered the dictionary with the delta still matches no old
-      // row.
+      // row. The extended bits re-enter Choose, so the representation
+      // tracks the shard's post-append density.
       const size_t covered =
           old_seg != nullptr ? begin + old_seg->size() : begin;
-      Bitset ext = old_seg != nullptr ? *old_seg : Bitset();
+      Bitset ext = old_seg != nullptr ? old_seg->Materialize() : Bitset();
       ext.Resize(end - begin);
       for (size_t r = covered; r < end; ++r) {
         if (dst.pred.Matches(table_, r)) ext.Set(r - begin);
       }
-      dst.segs[s] = std::make_shared<const Bitset>(std::move(ext));
+      dst.segs[s] = std::make_shared<const SegmentBits>(
+          SegmentBits::Choose(std::move(ext), compression_));
       dst.seg_used[s] = existed ? snap.seg_used[s] : 0;
       carried_any = true;
     }
     for (const auto& seg : dst.segs) {
       if (seg != nullptr) {
-        bitset_bytes_.fetch_add(BitsetBytes(*seg), std::memory_order_relaxed);
+        bitset_bytes_.fetch_add(seg->bytes(), std::memory_order_relaxed);
+        if (seg->compressed()) {
+          n_compressed_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     }
     if (carried_any) n_extended_.fetch_add(1, std::memory_order_relaxed);
@@ -233,7 +241,7 @@ PredicateId EvalEngine::Intern(const SimplePredicate& pred) {
   return it->second;
 }
 
-std::vector<std::shared_ptr<const Bitset>> EvalEngine::SegmentsOf(
+std::vector<std::shared_ptr<const SegmentBits>> EvalEngine::SegmentsOf(
     PredicateId id) {
   PredicateSlot* slot;
   {
@@ -251,18 +259,24 @@ std::vector<std::shared_ptr<const Bitset>> EvalEngine::SegmentsOf(
     // Build the missing segments pool-parallel into a scratch array;
     // workers never touch the slot (the lock is ours), and the
     // ParallelFor join orders their writes before the publication below.
-    std::vector<Bitset> built(missing.size());
+    // Each worker runs the kernel-backed single-predicate evaluator and
+    // then the representation switch, so compression cost parallelizes
+    // with the evaluation itself.
+    std::vector<std::shared_ptr<const SegmentBits>> built(missing.size());
     const SimplePredicate& pred = slot->pred;
     RunSharded(missing.size(), [&](size_t i) {
       const size_t s = missing[i];
-      built[i] = Pattern({pred}).EvaluateRange(table_, plan_.ShardBegin(s),
-                                               plan_.ShardEnd(s));
+      built[i] = std::make_shared<const SegmentBits>(SegmentBits::Choose(
+          EvaluatePredicateRange(table_, pred, plan_.ShardBegin(s),
+                                 plan_.ShardEnd(s)),
+          compression_));
     });
     for (size_t i = 0; i < missing.size(); ++i) {
-      slot->segs[missing[i]] =
-          std::make_shared<const Bitset>(std::move(built[i]));
-      bitset_bytes_.fetch_add(BitsetBytes(*slot->segs[missing[i]]),
-                              std::memory_order_relaxed);
+      slot->segs[missing[i]] = built[i];
+      bitset_bytes_.fetch_add(built[i]->bytes(), std::memory_order_relaxed);
+      if (built[i]->compressed()) {
+        n_compressed_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     n_materialized_.fetch_add(missing.size(), std::memory_order_relaxed);
   }
@@ -272,11 +286,17 @@ std::vector<std::shared_ptr<const Bitset>> EvalEngine::SegmentsOf(
 }
 
 std::shared_ptr<const Bitset> EvalEngine::PredicateBits(PredicateId id) {
-  std::vector<std::shared_ptr<const Bitset>> segs = SegmentsOf(id);
-  if (segs.size() == 1) return segs[0];
+  std::vector<std::shared_ptr<const SegmentBits>> segs = SegmentsOf(id);
+  if (segs.size() == 1) {
+    if (const Bitset* plain = segs[0]->plain()) {
+      // Single plain segment: alias the cached bits, zero copy.
+      return std::shared_ptr<const Bitset>(segs[0], plain);
+    }
+    return std::make_shared<const Bitset>(segs[0]->Materialize());
+  }
   Bitset whole(table_.NumRows());
   for (size_t s = 0; s < segs.size(); ++s) {
-    whole.AssignRange(plan_.ShardBegin(s), *segs[s]);
+    segs[s]->AssignIntoRange(&whole, plan_.ShardBegin(s));
   }
   return std::make_shared<const Bitset>(std::move(whole));
 }
@@ -289,7 +309,7 @@ Bitset EvalEngine::Evaluate(const Pattern& pattern) {
   n_pattern_evals_.fetch_add(1, std::memory_order_relaxed);
   Bitset out(table_.NumRows());
   out.SetAll();
-  std::vector<std::vector<std::shared_ptr<const Bitset>>> atoms;
+  std::vector<std::vector<std::shared_ptr<const SegmentBits>>> atoms;
   atoms.reserve(pattern.predicates().size());
   for (const auto& p : pattern.predicates()) {
     atoms.push_back(SegmentsOf(Intern(p)));
@@ -298,10 +318,12 @@ Bitset EvalEngine::Evaluate(const Pattern& pattern) {
   // ranges. Deliberately serial: the expensive O(rows) work — segment
   // materialization — already ran pool-parallel inside SegmentsOf, and
   // the AND itself is a word-wise pass cheaper than a task dispatch.
+  // Compressed segments decompress into one reused scratch buffer.
+  std::vector<uint64_t> scratch;
   for (size_t s = 0; s < plan_.NumShards(); ++s) {
     const size_t begin = plan_.ShardBegin(s);
     for (const auto& segs : atoms) {
-      out.AndRange(begin, *segs[s]);
+      segs[s]->AndIntoRange(&out, begin, &scratch);
     }
   }
   return out;
@@ -402,7 +424,10 @@ size_t EvalEngine::EvictLru(size_t bytes_to_free) {
     }
     std::lock_guard<std::mutex> lk(slot->mu);
     if (slot->segs[shard] != nullptr) {
-      freed += BitsetBytes(*slot->segs[shard]);
+      freed += slot->segs[shard]->bytes();
+      if (slot->segs[shard]->compressed()) {
+        n_compressed_.fetch_sub(1, std::memory_order_relaxed);
+      }
       slot->segs[shard].reset();
       n_evicted_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -417,6 +442,7 @@ EvalEngineStats EvalEngine::Stats() const {
   s.bitsets_materialized = n_materialized_.load(std::memory_order_relaxed);
   s.bitset_hits = n_bitset_hits_.load(std::memory_order_relaxed);
   s.bitsets_evicted = n_evicted_.load(std::memory_order_relaxed);
+  s.segments_compressed = n_compressed_.load(std::memory_order_relaxed);
   s.bitsets_extended = n_extended_.load(std::memory_order_relaxed);
   s.pattern_evals = n_pattern_evals_.load(std::memory_order_relaxed);
   s.bypass_evals = n_bypass_evals_.load(std::memory_order_relaxed);

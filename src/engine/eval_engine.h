@@ -51,6 +51,7 @@
 #include "dataset/table.h"
 #include "engine/shard_plan.h"
 #include "util/bitset.h"
+#include "util/compressed_bitset.h"
 
 namespace causumx {
 
@@ -79,6 +80,9 @@ struct EvalEngineStats {
   size_t bitset_bytes = 0;
   size_t view_bytes = 0;
   size_t num_shards = 1;  ///< shards in the engine's plan
+  /// Currently resident segments stored in compressed (Roaring-style)
+  /// form; the remainder of the resident segments are plain bitsets.
+  uint64_t segments_compressed = 0;
 };
 
 /// Cached numeric view of one column: GetNumeric for every row (NaN on
@@ -102,6 +106,12 @@ struct EvalEngineOptions {
   /// null (serial execution over the same shard plan). The engine keeps
   /// the pool alive.
   std::shared_ptr<ThreadPool> pool;
+  /// Storage policy for cached predicate segments: kAuto compresses a
+  /// segment when that at least halves its resident bytes, kNever keeps
+  /// every segment as a plain bitset, kAlways compresses all of them
+  /// (differential testing). Query results are bit-identical under
+  /// every policy; only resident bytes and AND-path cost change.
+  SegmentCompression compression = SegmentCompression::kAuto;
 };
 
 /// Pattern-evaluation engine bound to one table.
@@ -206,7 +216,8 @@ class EvalEngine {
     SimplePredicate pred;
     mutable std::mutex mu;  // guards `segs` / `seg_used` build/evict
     /// One entry per shard; null until materialized (or after evict).
-    std::vector<std::shared_ptr<const Bitset>> segs;
+    /// Each segment is plain or compressed per the engine's policy.
+    std::vector<std::shared_ptr<const SegmentBits>> segs;
     /// LRU stamp per segment (guarded by mu).
     std::vector<uint64_t> seg_used;
   };
@@ -232,11 +243,12 @@ class EvalEngine {
   /// byte-accounting) the missing ones pool-parallel, and stamping all
   /// of them as used. The returned pointers are safe against concurrent
   /// eviction.
-  std::vector<std::shared_ptr<const Bitset>> SegmentsOf(PredicateId id);
+  std::vector<std::shared_ptr<const SegmentBits>> SegmentsOf(PredicateId id);
 
   const std::shared_ptr<const Table> keepalive_;  // may be null (ref ctor)
   const Table& table_;  // not owned; must outlive the engine.
   const bool cache_enabled_;
+  const SegmentCompression compression_;
   const ShardPlan plan_;
   const std::shared_ptr<ThreadPool> pool_;  // may be null (serial)
 
@@ -250,6 +262,7 @@ class EvalEngine {
   std::atomic<uint64_t> n_materialized_{0};
   std::atomic<uint64_t> n_bitset_hits_{0};
   std::atomic<uint64_t> n_evicted_{0};
+  std::atomic<uint64_t> n_compressed_{0};  // currently resident compressed
   std::atomic<uint64_t> n_extended_{0};
   std::atomic<uint64_t> n_pattern_evals_{0};
   std::atomic<uint64_t> n_bypass_evals_{0};

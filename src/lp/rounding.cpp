@@ -226,11 +226,15 @@ SelectionResult SolveGreedy(const SelectionProblem& p, double gain_bonus,
         scores[j] = kExcluded;
         return;
       }
+      // Ranged marginal-gain count: candidate coverages are sized to
+      // the problem's group universe, so scanning exactly [0,
+      // num_groups) keeps the score correct even if a caller hands in
+      // coverages over a grown (appended) universe.
       const double gain =
           gain_bonus == 0.0
               ? 0.0
-              : static_cast<double>(
-                    p.candidates[j].coverage.CountAndNot(covered));
+              : static_cast<double>(p.candidates[j].coverage.CountAndNotRange(
+                    covered, 0, p.num_groups));
       scores[j] = p.candidates[j].weight + gain_bonus * gain;
     });
     size_t best_j = l;

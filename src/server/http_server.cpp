@@ -335,8 +335,11 @@ void HttpServer::HandleConnection(int fd) {
       response = HttpResponse::Error(500, "unknown handler error");
     }
     keep = request.keep_alive && !stopping_.load();
-    const bool sent = SendAll(fd, response.Serialize(keep));
+    // Count before writing: a client that has read its response must
+    // observe the increment in counters() (counting after SendAll races
+    // with the client's next counters() call).
     n_handled_.fetch_add(1);
+    const bool sent = SendAll(fd, response.Serialize(keep));
     if (!sent || !keep) {
       ::close(fd);
       fd = -1;

@@ -48,6 +48,7 @@ EvalEngineOptions ExplanationService::EngineOptions() const {
   options.cache_enabled = options_.cache_enabled;
   options.num_shards = options_.num_shards;
   options.pool = pool_;
+  options.compression = options_.segment_compression;
   return options;
 }
 

@@ -55,6 +55,12 @@ struct ServiceOptions {
   /// When false, every table's engine runs in cache-bypass mode
   /// (debugging; results are bit-identical, just slower).
   bool cache_enabled = true;
+  /// Storage policy for cached predicate segments in every table's
+  /// engine (see SegmentCompression): kAuto trades AND-path decompression
+  /// for resident bytes on sparse predicates, which stretches
+  /// memory_budget_bytes before the LRU starts evicting. Bit-identical
+  /// results under every policy.
+  SegmentCompression segment_compression = SegmentCompression::kAuto;
 };
 
 /// Cumulative service counters plus a point-in-time cache snapshot.

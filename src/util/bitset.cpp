@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "util/kernels.h"
+
 namespace causumx {
 
 Bitset::Bitset(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
@@ -24,9 +26,7 @@ bool Bitset::Test(size_t i) const {
 }
 
 size_t Bitset::Count() const {
-  size_t c = 0;
-  for (uint64_t w : words_) c += std::popcount(w);
-  return c;
+  return kernels::PopcountWords(words_.data(), words_.size());
 }
 
 size_t Bitset::CountRange(size_t begin, size_t end) const {
@@ -53,22 +53,66 @@ size_t Bitset::CountRange(size_t begin, size_t end) const {
 
 size_t Bitset::CountAndNot(const Bitset& other) const {
   assert(size_ == other.size_);
-  size_t c = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    c += std::popcount(words_[i] & ~other.words_[i]);
+  // Normalize a size drift instead of reading past the shorter word
+  // array: `other`'s absent words are zero, so every bit of ours in the
+  // non-overlapping tail counts.
+  const size_t common = std::min(words_.size(), other.words_.size());
+  size_t c = kernels::AndNotPopcount(words_.data(), other.words_.data(),
+                                     common);
+  for (size_t i = common; i < words_.size(); ++i) {
+    c += std::popcount(words_[i]);
   }
+  return c;
+}
+
+size_t Bitset::CountAndNotRange(const Bitset& other, size_t begin,
+                                size_t end) const {
+  end = std::min(end, size_);
+  if (begin >= end) return 0;
+  auto other_word = [&](size_t w) -> uint64_t {
+    return w < other.words_.size() ? other.words_[w] : 0;
+  };
+  const size_t first_word = begin >> 6;
+  const size_t last_word = (end - 1) >> 6;
+  const uint64_t first_mask = ~uint64_t{0} << (begin & 63);
+  const size_t end_rem = end & 63;
+  const uint64_t last_mask =
+      end_rem == 0 ? ~uint64_t{0} : (uint64_t{1} << end_rem) - 1;
+  if (first_word == last_word) {
+    return std::popcount(words_[first_word] & ~other_word(first_word) &
+                         first_mask & last_mask);
+  }
+  size_t c = std::popcount(words_[first_word] & ~other_word(first_word) &
+                           first_mask);
+  // Whole words in between go through the fused kernel; `other` only
+  // needs the zero-extension fallback when it is genuinely shorter.
+  const size_t mid_begin = first_word + 1;
+  const size_t mid_end = last_word;
+  if (mid_end > mid_begin) {
+    const size_t overlap =
+        std::min(mid_end, std::max(mid_begin, other.words_.size()));
+    c += kernels::AndNotPopcount(words_.data() + mid_begin,
+                                 other.words_.data() + mid_begin,
+                                 overlap - mid_begin);
+    for (size_t w = overlap; w < mid_end; ++w) {
+      c += std::popcount(words_[w]);
+    }
+  }
+  c += std::popcount(words_[last_word] & ~other_word(last_word) & last_mask);
   return c;
 }
 
 Bitset& Bitset::operator|=(const Bitset& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  kernels::OrWords(words_.data(), other.words_.data(),
+                   std::min(words_.size(), other.words_.size()));
   return *this;
 }
 
 Bitset& Bitset::operator&=(const Bitset& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  kernels::AndWords(words_.data(), other.words_.data(),
+                    std::min(words_.size(), other.words_.size()));
   return *this;
 }
 

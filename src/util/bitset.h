@@ -34,8 +34,18 @@ class Bitset {
 
   /// popcount(this & ~other): the marginal-gain count of the greedy
   /// solver (|coverage \ covered|) without materializing the union.
-  /// Sizes must match.
+  /// Sizes should match (debug-asserted); a shorter `other` is treated
+  /// as zero-extended — this bitset's tail bits all count — so a size
+  /// drift after appends over-counts predictably instead of reading out
+  /// of bounds.
   size_t CountAndNot(const Bitset& other) const;
+
+  /// popcount(this & ~other) restricted to bit indexes in [begin, end)
+  /// (clamped to size()); `other` is zero-extended as above. Lets
+  /// callers whose universe grew (appends) scan exactly the original
+  /// range instead of counting tail bits.
+  size_t CountAndNotRange(const Bitset& other, size_t begin,
+                          size_t end) const;
 
   bool Any() const { return Count() > 0; }
   bool None() const { return Count() == 0; }
@@ -78,6 +88,20 @@ class Bitset {
 
   /// FNV-1a style hash of the bit content (suitable for dedup maps).
   uint64_t Hash() const;
+
+  /// Raw 64-bit word storage (little-endian bit order: bit i of the set
+  /// lives in word i/64 at position i%64). The kernel layer
+  /// (util/kernels.h) operates on these words directly.
+  const uint64_t* data() const { return words_.data(); }
+
+  /// Mutable word storage for kernel writers. Invariant: padding bits at
+  /// indexes >= size() must stay clear (word-wise equality, Hash(), and
+  /// Count() rely on canonical padding) — predicate kernels emit
+  /// tail-masked words, so writes of whole kernel outputs preserve it.
+  uint64_t* mutable_data() { return words_.data(); }
+
+  /// Number of 64-bit words backing the set (= ceil(size() / 64)).
+  size_t num_words() const { return words_.size(); }
 
   /// Sets every bit in the universe.
   void SetAll();

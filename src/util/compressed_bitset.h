@@ -1,0 +1,152 @@
+// Roaring-style compressed bitsets and the representation-switching
+// segment wrapper used by the EvalEngine's per-shard predicate cache.
+//
+// A CompressedBitset partitions its universe into 65536-bit chunks and
+// stores each chunk in whichever container is smallest for its contents:
+// a sorted uint16 array (sparse chunks), a plain 1024-word bitmap (dense
+// chunks), or a run list (clustered chunks, e.g. predicates over sorted
+// ingest keys). This is the classic Roaring layout (Chambi et al.),
+// scoped to what the engine needs: build-once read-many segments with
+// exact byte accounting — there is no incremental mutation.
+//
+// SegmentBits is the representation switch: given a materialized plain
+// segment it either keeps it or compresses it, by density (kAuto) or by
+// decree (kNever / kAlways, used by tests and the differential harness).
+// Whatever the representation, reads are bit-identical — decompression
+// reproduces the exact words the predicate kernels emitted.
+
+#ifndef CAUSUMX_UTIL_COMPRESSED_BITSET_H_
+#define CAUSUMX_UTIL_COMPRESSED_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace causumx {
+
+/// Immutable Roaring-style compressed bitset: per-65536-bit-chunk
+/// array / bitmap / run containers, chosen per chunk by encoded size.
+class CompressedBitset {
+ public:
+  /// Rows per chunk (and the alignment of container boundaries).
+  static constexpr size_t kChunkBits = 65536;
+
+  /// The empty bitset over an empty universe.
+  CompressedBitset() = default;
+
+  /// Compresses `bits`. Deterministic: equal bitsets always produce the
+  /// identical container layout.
+  static CompressedBitset FromBitset(const Bitset& bits);
+
+  /// Decompresses to a plain bitset equal to the FromBitset input.
+  Bitset ToBitset() const;
+
+  /// Writes the ceil(size()/64) words of the decompressed bitset to
+  /// `words` (little-endian bit order, padding bits clear) — the
+  /// scratch-buffer decompression primitive behind SegmentBits'
+  /// AND/assign paths.
+  void DecompressTo(uint64_t* words) const;
+
+  /// Universe size in bits.
+  size_t size() const { return size_; }
+
+  /// Number of set bits (precomputed at build time; O(1)).
+  size_t Count() const { return count_; }
+
+  /// Membership test for bit `i` (false past the universe).
+  bool Test(size_t i) const;
+
+  /// Accounted resident bytes: the object itself plus every container's
+  /// heap storage. This is what the engine's LRU charges per segment.
+  size_t SizeBytes() const;
+
+  /// Content equality (same universe, same bits). Representations are
+  /// deterministic, so this is a cheap structural comparison.
+  bool operator==(const CompressedBitset& other) const;
+
+ private:
+  enum class ContainerType : uint8_t { kArray, kBitmap, kRun };
+
+  /// One 65536-bit chunk. At most one of the two storage vectors is
+  /// non-empty (a chunk with no set bits encodes as an empty run list).
+  struct Container {
+    ContainerType type = ContainerType::kArray;
+    uint32_t count = 0;  // set bits in this chunk
+    /// kArray: sorted bit offsets. kRun: flattened (start, length-1)
+    /// pairs, sorted by start.
+    std::vector<uint16_t> u16;
+    /// kBitmap: the chunk's words verbatim (1024, fewer for a final
+    /// partial chunk).
+    std::vector<uint64_t> words;
+  };
+
+  size_t size_ = 0;
+  size_t count_ = 0;
+  std::vector<Container> chunks_;
+};
+
+/// How SegmentBits decides between plain and compressed storage.
+enum class SegmentCompression {
+  /// Compress when the compressed form is at most half the plain bytes
+  /// (hysteresis: borderline chunks stay plain, so the cheap word-wise
+  /// AND path keeps serving dense segments).
+  kAuto,
+  /// Always plain (the pre-compression engine behavior).
+  kNever,
+  /// Always compressed, even when larger (differential testing).
+  kAlways,
+};
+
+/// One cached predicate segment: a plain Bitset or its compressed form,
+/// chosen at build time. Immutable after Choose; safe to share across
+/// threads by shared_ptr like the plain segments it replaces.
+class SegmentBits {
+ public:
+  /// Wraps `bits` under `mode` (see SegmentCompression). The plain
+  /// bitset is moved in, not copied, when it is kept.
+  static SegmentBits Choose(Bitset bits, SegmentCompression mode);
+
+  /// Universe size in bits.
+  size_t size() const;
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// Accounted resident bytes of this segment (object + heap), the unit
+  /// of the engine's LRU byte budget.
+  size_t bytes() const;
+
+  /// True when the segment is stored compressed.
+  bool compressed() const { return comp_.has_value(); }
+
+  /// The plain bitset when stored plain, nullptr when compressed (the
+  /// zero-copy fast path of PredicateBits).
+  const Bitset* plain() const { return plain_ ? &*plain_ : nullptr; }
+
+  /// The segment as a plain bitset (copy or decompression).
+  Bitset Materialize() const;
+
+  /// ANDs this segment into dst rows [offset, offset + size()).
+  /// `offset` must be word-aligned; rows of dst past the range keep
+  /// their value. `scratch` is caller-owned reusable word storage for
+  /// the compressed path (grown as needed, contents clobbered).
+  void AndIntoRange(Bitset* dst, size_t offset,
+                    std::vector<uint64_t>* scratch) const;
+
+  /// Writes this segment over dst rows [offset, offset + size()),
+  /// replacing them. Same alignment contract as AndIntoRange.
+  void AssignIntoRange(Bitset* dst, size_t offset) const;
+
+ private:
+  SegmentBits() = default;
+
+  std::optional<Bitset> plain_;
+  std::optional<CompressedBitset> comp_;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_UTIL_COMPRESSED_BITSET_H_

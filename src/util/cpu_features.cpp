@@ -1,0 +1,81 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace causumx {
+
+namespace {
+
+// Best tier this build + CPU can execute. The AVX2 translation unit is
+// only compiled on x86-64 builds (CAUSUMX_HAVE_AVX2_KERNELS), and even
+// then the executing CPU must report the extension — a binary built on
+// an AVX2 machine keeps working on an older one.
+KernelTier DetectBestTier() {
+#if defined(CAUSUMX_HAVE_AVX2_KERNELS)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt")) {
+    return KernelTier::kAvx2;
+  }
+#endif
+  return KernelTier::kScalar;
+}
+
+// -1 = not yet resolved; otherwise the KernelTier value.
+std::atomic<int> g_active_tier{-1};
+
+KernelTier ResolveTier() {
+  KernelTier tier = DetectBestTier();
+  if (const char* env = std::getenv("CAUSUMX_KERNEL")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      tier = KernelTier::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0 &&
+               KernelTierSupported(KernelTier::kAvx2)) {
+      tier = KernelTier::kAvx2;
+    }
+    // Unknown or unsupported values keep the detected tier: an
+    // over-requesting CAUSUMX_KERNEL must degrade, never crash.
+  }
+  return tier;
+}
+
+}  // namespace
+
+const char* KernelTierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool KernelTierSupported(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return true;
+    case KernelTier::kAvx2:
+      return DetectBestTier() == KernelTier::kAvx2;
+  }
+  return false;
+}
+
+KernelTier ActiveKernelTier() {
+  int t = g_active_tier.load(std::memory_order_acquire);
+  if (t < 0) {
+    // Concurrent first calls resolve the same value; last store wins.
+    const KernelTier tier = ResolveTier();
+    g_active_tier.store(static_cast<int>(tier), std::memory_order_release);
+    return tier;
+  }
+  return static_cast<KernelTier>(t);
+}
+
+bool SetKernelTier(KernelTier tier) {
+  if (!KernelTierSupported(tier)) return false;
+  g_active_tier.store(static_cast<int>(tier), std::memory_order_release);
+  return true;
+}
+
+}  // namespace causumx

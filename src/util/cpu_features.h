@@ -1,0 +1,52 @@
+// Runtime CPU-capability detection and kernel-tier selection for the
+// vectorized kernel layer (util/kernels.h).
+//
+// The library ships one binary with several implementations of each hot
+// kernel — a portable scalar tier that runs everywhere, and an AVX2 tier
+// compiled into its own translation unit with the matching -m flags.
+// The tier is selected once, at first kernel use, from (a) the
+// `CAUSUMX_KERNEL` environment variable when set (`scalar` or `avx2`,
+// for testing and for pinning CI legs), falling back to (b) what the CPU
+// executing the process actually supports. A requested tier the build or
+// CPU cannot honor silently degrades to the best supported one, so
+// `CAUSUMX_KERNEL=avx2` on a non-AVX2 machine still runs correctly.
+//
+// Every tier of every kernel is bit-identical by contract — dispatch is
+// purely a throughput decision — and the differential tests in
+// tests/test_kernels.cpp hold all tiers to that contract.
+
+#ifndef CAUSUMX_UTIL_CPU_FEATURES_H_
+#define CAUSUMX_UTIL_CPU_FEATURES_H_
+
+namespace causumx {
+
+/// Implementation tiers of the kernel layer, ordered by preference.
+/// Numeric values are stable (used in dispatch tables).
+enum class KernelTier {
+  kScalar = 0,  ///< portable word-at-a-time C++; runs on any CPU
+  kAvx2 = 1,    ///< AVX2 + POPCNT vector kernels (x86-64 only)
+};
+
+/// Human-readable tier name ("scalar", "avx2").
+const char* KernelTierName(KernelTier tier);
+
+/// True when `tier` can run here: its code is compiled into this binary
+/// and the executing CPU reports the required ISA extensions.
+bool KernelTierSupported(KernelTier tier);
+
+/// The tier every kernel currently dispatches to. Resolved once on first
+/// call: `CAUSUMX_KERNEL` if set (degraded to a supported tier if not),
+/// otherwise the best supported tier. Thread-safe.
+KernelTier ActiveKernelTier();
+
+/// Overrides the active tier (tests and benchmarks compare tiers
+/// in-process with this). Returns false — and changes nothing — when the
+/// tier is unsupported here. Thread-safe, but callers must not change
+/// tiers while kernels are executing concurrently if they expect a
+/// single run to use one tier throughout; results are bit-identical
+/// across tiers either way.
+bool SetKernelTier(KernelTier tier);
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_UTIL_CPU_FEATURES_H_

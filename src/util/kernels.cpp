@@ -1,0 +1,209 @@
+#include "util/kernels.h"
+
+#include <bit>
+
+#include "util/cpu_features.h"
+#include "util/kernels_internal.h"
+
+namespace causumx {
+namespace kernels {
+
+namespace internal {
+
+namespace {
+
+// Emits one output word from up to 64 rows via `bit(i)` (i is the
+// row index relative to the word). The helper is the single place the
+// word-assembly convention lives; every scalar predicate kernel routes
+// through it.
+template <typename BitFn>
+inline void EmitWords(size_t n, uint64_t* out, BitFn bit) {
+  const size_t full = n >> 6;
+  for (size_t w = 0; w < full; ++w) {
+    uint64_t m = 0;
+    const size_t base = w << 6;
+    for (size_t b = 0; b < 64; ++b) {
+      m |= static_cast<uint64_t>(bit(base + b)) << b;
+    }
+    out[w] = m;
+  }
+  const size_t rem = n & 63;
+  if (rem != 0) {
+    uint64_t m = 0;
+    const size_t base = full << 6;
+    for (size_t b = 0; b < rem; ++b) {
+      m |= static_cast<uint64_t>(bit(base + b)) << b;
+    }
+    out[full] = m;
+  }
+}
+
+}  // namespace
+
+void CompareI32EqScalar(const int32_t* values, size_t n, int32_t target,
+                        uint64_t* out) {
+  EmitWords(n, out, [&](size_t i) { return values[i] == target; });
+}
+
+void CompareF64Scalar(const double* values, size_t n, CmpOp op, double rhs,
+                      uint64_t* out) {
+  // One comparator per op, resolved once — the row loop is branch-free.
+  // IEEE semantics give `false` for NaN cells under every op.
+  switch (op) {
+    case CmpOp::kEq:
+      EmitWords(n, out, [&](size_t i) { return values[i] == rhs; });
+      break;
+    case CmpOp::kLt:
+      EmitWords(n, out, [&](size_t i) { return values[i] < rhs; });
+      break;
+    case CmpOp::kGt:
+      EmitWords(n, out, [&](size_t i) { return values[i] > rhs; });
+      break;
+    case CmpOp::kLe:
+      EmitWords(n, out, [&](size_t i) { return values[i] <= rhs; });
+      break;
+    case CmpOp::kGe:
+      EmitWords(n, out, [&](size_t i) { return values[i] >= rhs; });
+      break;
+  }
+}
+
+size_t PopcountWordsScalar(const uint64_t* words, size_t n) {
+  size_t c = 0;
+  for (size_t i = 0; i < n; ++i) c += std::popcount(words[i]);
+  return c;
+}
+
+size_t AndNotPopcountScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t c = 0;
+  for (size_t i = 0; i < n; ++i) c += std::popcount(a[i] & ~b[i]);
+  return c;
+}
+
+void AndWordsScalar(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+void OrWordsScalar(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+double BlockedKahanSumScalar(const double* x, size_t n) {
+  // Mirrors streaming BlockedKahan exactly: Kahan within each 64-row
+  // block, each block folded into the total as Add(sum) then Add(c), in
+  // ascending block order.
+  double total = 0.0, total_c = 0.0;
+  auto fold = [&](double v) {
+    const double y = v - total_c;
+    const double t = total + y;
+    total_c = (t - total) - y;
+    total = t;
+  };
+  for (size_t begin = 0; begin < n; begin += 64) {
+    const size_t end = begin + 64 < n ? begin + 64 : n;
+    double s = 0.0, c = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      const double y = x[i] - c;
+      const double t = s + y;
+      c = (t - s) - y;
+      s = t;
+    }
+    fold(s);
+    fold(c);
+  }
+  return total;
+}
+
+const KernelOps* GetScalarOps() {
+  static const KernelOps ops = {
+      &CompareI32EqScalar, &CompareF64Scalar,    &PopcountWordsScalar,
+      &AndNotPopcountScalar, &AndWordsScalar,    &OrWordsScalar,
+      &BlockedKahanSumScalar,
+  };
+  return &ops;
+}
+
+}  // namespace internal
+
+namespace {
+
+const internal::KernelOps& Ops() {
+#if defined(CAUSUMX_HAVE_AVX2_KERNELS)
+  if (ActiveKernelTier() == KernelTier::kAvx2) {
+    return *internal::GetAvx2Ops();
+  }
+#endif
+  return *internal::GetScalarOps();
+}
+
+}  // namespace
+
+void CompareI32Eq(const int32_t* values, size_t n, int32_t target,
+                  uint64_t* out) {
+  Ops().compare_i32_eq(values, n, target, out);
+}
+
+void CompareI32Lut(const int32_t* values, size_t n, const uint8_t* lut,
+                   uint64_t* out) {
+  internal::EmitWords(n, out, [&](size_t i) {
+    const int32_t code = values[i];
+    return code >= 0 && lut[code] != 0;
+  });
+}
+
+void CompareF64(const double* values, size_t n, CmpOp op, double rhs,
+                uint64_t* out) {
+  Ops().compare_f64(values, n, op, rhs, out);
+}
+
+void CompareI64AsF64(const int64_t* values, size_t n, CmpOp op, double rhs,
+                     int64_t null_value, uint64_t* out) {
+  // The reference path compares int cells in the double domain after a
+  // null check; resolve the comparator once, keep the loop branch-light.
+  auto emit = [&](auto cmp) {
+    internal::EmitWords(n, out, [&](size_t i) {
+      const int64_t v = values[i];
+      return v != null_value && cmp(static_cast<double>(v), rhs);
+    });
+  };
+  switch (op) {
+    case CmpOp::kEq:
+      emit([](double a, double b) { return a == b; });
+      break;
+    case CmpOp::kLt:
+      emit([](double a, double b) { return a < b; });
+      break;
+    case CmpOp::kGt:
+      emit([](double a, double b) { return a > b; });
+      break;
+    case CmpOp::kLe:
+      emit([](double a, double b) { return a <= b; });
+      break;
+    case CmpOp::kGe:
+      emit([](double a, double b) { return a >= b; });
+      break;
+  }
+}
+
+size_t PopcountWords(const uint64_t* words, size_t n) {
+  return Ops().popcount_words(words, n);
+}
+
+size_t AndNotPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+  return Ops().andnot_popcount(a, b, n);
+}
+
+void AndWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  Ops().and_words(dst, src, n);
+}
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  Ops().or_words(dst, src, n);
+}
+
+double BlockedKahanSum(const double* x, size_t n) {
+  return Ops().blocked_kahan_sum(x, n);
+}
+
+}  // namespace kernels
+}  // namespace causumx

@@ -1,0 +1,94 @@
+// Vectorized kernels for the per-core hot loops, behind runtime CPU
+// dispatch (util/cpu_features.h).
+//
+// These are the innermost loops of the lattice walk: predicate
+// evaluation against dictionary-coded and numeric columns, bitwise
+// AND/ANDNOT/popcount over bitset words, and the blocked-Kahan
+// reductions. Each kernel has a portable scalar implementation and, on
+// x86-64 builds, an AVX2 implementation (src/util/kernels_avx2.cpp,
+// compiled with its own -m flags); every call dispatches to the active
+// tier (ActiveKernelTier()).
+//
+// Bit-identity contract: every tier of every kernel produces exactly the
+// same output — predicate kernels emit the same words, popcounts the
+// same counts, and BlockedKahanSum performs the identical per-block
+// floating-point operation sequence merged in the identical block order.
+// Dispatch is a pure throughput decision; tests/test_kernels.cpp holds
+// all tiers to this contract differentially.
+//
+// Word conventions: predicate kernels emit ceil(n/64) little-endian
+// words — bit i of the output is row i of the input range — and clear
+// every padding bit past n, so outputs drop into Bitset storage
+// canonically. Operand layering: this header depends on nothing but the
+// standard library, so bitset/stats/pattern can all sit on top of it.
+
+#ifndef CAUSUMX_UTIL_KERNELS_H_
+#define CAUSUMX_UTIL_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace causumx {
+namespace kernels {
+
+/// Comparison operator of a predicate kernel. Mirrors the dataset
+/// layer's CompareOp (this header cannot depend on it); pattern.cpp maps
+/// between the two.
+enum class CmpOp { kEq, kLt, kGt, kLe, kGe };
+
+/// Dictionary-equality predicate evaluation: bit i of `out` is set iff
+/// values[i] == target. Null codes (-1, or any value != target) clear
+/// the bit, matching "null never matches". Writes ceil(n/64) words.
+void CompareI32Eq(const int32_t* values, size_t n, int32_t target,
+                  uint64_t* out);
+
+/// Dictionary-lookup predicate evaluation for ordered operators on
+/// categorical columns: bit i is set iff values[i] >= 0 &&
+/// lut[values[i]] != 0. The caller resolves the (string) comparator
+/// against each dictionary entry once into `lut`, turning a per-row
+/// string comparison into a byte load. Scalar on every tier.
+void CompareI32Lut(const int32_t* values, size_t n, const uint8_t* lut,
+                   uint64_t* out);
+
+/// Floating-point predicate evaluation with IEEE ordered-quiet
+/// semantics: bit i is set iff `values[i] op rhs` holds numerically; any
+/// comparison involving NaN is false, which implements "null cells never
+/// match" (double-column nulls are NaN). The caller must handle a NaN
+/// `rhs` itself (see EvaluatePredicateRange) — kernels assume rhs==rhs.
+void CompareF64(const double* values, size_t n, CmpOp op, double rhs,
+                uint64_t* out);
+
+/// Integer-column predicate evaluation matching the row-at-a-time
+/// reference: bit i is set iff values[i] != null_value and
+/// `(double)values[i] op rhs` holds (the reference path compares int
+/// cells in the double domain). Scalar on every tier. `rhs` must not be
+/// NaN (same caller contract as CompareF64).
+void CompareI64AsF64(const int64_t* values, size_t n, CmpOp op, double rhs,
+                     int64_t null_value, uint64_t* out);
+
+/// Total set bits over `n` words.
+size_t PopcountWords(const uint64_t* words, size_t n);
+
+/// Fused popcount(a & ~b) over `n` words — the greedy selector's
+/// marginal-gain count, without materializing the intersection.
+size_t AndNotPopcount(const uint64_t* a, const uint64_t* b, size_t n);
+
+/// dst[i] &= src[i] over `n` words — the shard-segment AND-accumulation.
+void AndWords(uint64_t* dst, const uint64_t* src, size_t n);
+
+/// dst[i] |= src[i] over `n` words.
+void OrWords(uint64_t* dst, const uint64_t* src, size_t n);
+
+/// Blocked compensated summation of x[0..n): rows are summed
+/// sequentially (Kahan) within each kSummationBlockRows(=64)-row block
+/// and block partials merge in ascending block order — exactly the
+/// operation sequence of streaming BlockedKahan::Add(i, x[i]) for
+/// i = 0..n, so the result is bit-identical to it on every tier (the
+/// AVX2 tier runs four blocks in four lanes; each block's internal
+/// sequence and the merge order are unchanged).
+double BlockedKahanSum(const double* x, size_t n);
+
+}  // namespace kernels
+}  // namespace causumx
+
+#endif  // CAUSUMX_UTIL_KERNELS_H_

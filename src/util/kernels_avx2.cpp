@@ -1,0 +1,236 @@
+// AVX2 tier of the kernel layer. This translation unit is compiled with
+// -mavx2 -mpopcnt (see CMakeLists.txt) and only on x86-64 builds; it is
+// reached exclusively through the dispatch table after a runtime
+// __builtin_cpu_supports("avx2") check, so the library binary stays
+// runnable on pre-AVX2 CPUs.
+//
+// Bit-identity notes, kernel by kernel:
+//  - Predicate compares use cmpeq_epi32 / cmp_pd with ordered-quiet
+//    predicates — exact integer equality and IEEE comparisons, the same
+//    booleans the scalar tier computes (NaN cells compare false).
+//  - Popcounts are integer arithmetic (Mula's SSSE3-style byte-LUT
+//    popcount widened to 256 bits); counts are exact.
+//  - BlockedKahanSum runs four 64-row blocks in the four vector lanes.
+//    Each lane executes the identical sequence of IEEE add/sub ops the
+//    scalar per-block loop executes (no FMA contraction — Kahan has no
+//    multiplies), and lane partials fold into the total in ascending
+//    block order, so the result is bit-identical to the scalar tier.
+
+#include <immintrin.h>
+
+#include "util/kernels_internal.h"
+
+namespace causumx {
+namespace kernels {
+namespace internal {
+
+namespace {
+
+void CompareI32EqAvx2(const int32_t* values, size_t n, int32_t target,
+                      uint64_t* out) {
+  const __m256i t = _mm256_set1_epi32(target);
+  const size_t full = n >> 6;
+  for (size_t w = 0; w < full; ++w) {
+    const int32_t* base = values + (w << 6);
+    uint64_t m = 0;
+    for (size_t k = 0; k < 8; ++k) {
+      const __m256i x = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + 8 * k));
+      const int bits =
+          _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(x, t)));
+      m |= static_cast<uint64_t>(static_cast<uint32_t>(bits)) << (8 * k);
+    }
+    out[w] = m;
+  }
+  const size_t rem = n & 63;
+  if (rem != 0) {
+    CompareI32EqScalar(values + (full << 6), rem, target, out + full);
+  }
+}
+
+template <int kImm>
+void CompareF64Imm(const double* values, size_t n, double rhs,
+                   uint64_t* out) {
+  const __m256d r = _mm256_set1_pd(rhs);
+  const size_t full = n >> 6;
+  for (size_t w = 0; w < full; ++w) {
+    const double* base = values + (w << 6);
+    uint64_t m = 0;
+    for (size_t k = 0; k < 16; ++k) {
+      const __m256d x = _mm256_loadu_pd(base + 4 * k);
+      const int bits = _mm256_movemask_pd(_mm256_cmp_pd(x, r, kImm));
+      m |= static_cast<uint64_t>(static_cast<uint32_t>(bits)) << (4 * k);
+    }
+    out[w] = m;
+  }
+  return;
+}
+
+void CompareF64Avx2(const double* values, size_t n, CmpOp op, double rhs,
+                    uint64_t* out) {
+  switch (op) {
+    case CmpOp::kEq:
+      CompareF64Imm<_CMP_EQ_OQ>(values, n, rhs, out);
+      break;
+    case CmpOp::kLt:
+      CompareF64Imm<_CMP_LT_OQ>(values, n, rhs, out);
+      break;
+    case CmpOp::kGt:
+      CompareF64Imm<_CMP_GT_OQ>(values, n, rhs, out);
+      break;
+    case CmpOp::kLe:
+      CompareF64Imm<_CMP_LE_OQ>(values, n, rhs, out);
+      break;
+    case CmpOp::kGe:
+      CompareF64Imm<_CMP_GE_OQ>(values, n, rhs, out);
+      break;
+  }
+  const size_t rem = n & 63;
+  if (rem != 0) {
+    const size_t full = n >> 6;
+    CompareF64Scalar(values + (full << 6), rem, op, rhs, out + full);
+  }
+}
+
+// 256-bit byte-LUT popcount (Mula): per-byte nibble lookups summed with
+// SAD against zero into four 64-bit lane counts.
+inline __m256i Popcount256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline size_t HorizontalSum64(__m256i v) {
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+size_t PopcountWordsAvx2(const uint64_t* words, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(words + i));
+    acc = _mm256_add_epi64(acc, Popcount256(v));
+  }
+  size_t c = HorizontalSum64(acc);
+  for (; i < n; ++i) c += static_cast<size_t>(__builtin_popcountll(words[i]));
+  return c;
+}
+
+size_t AndNotPopcountAvx2(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // andnot(vb, va) = ~vb & va — the a & ~b we want.
+    acc = _mm256_add_epi64(acc, Popcount256(_mm256_andnot_si256(vb, va)));
+  }
+  size_t c = HorizontalSum64(acc);
+  for (; i < n; ++i) {
+    c += static_cast<size_t>(__builtin_popcountll(a[i] & ~b[i]));
+  }
+  return c;
+}
+
+void AndWordsAvx2(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+void OrWordsAvx2(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+double BlockedKahanSumAvx2(const double* x, size_t n) {
+  double total = 0.0, total_c = 0.0;
+  auto fold = [&](double v) {
+    const double y = v - total_c;
+    const double t = total + y;
+    total_c = (t - total) - y;
+    total = t;
+  };
+  size_t begin = 0;
+  // Four whole 64-row blocks at a time: lane l holds the running Kahan
+  // state of block (begin/64 + l); iteration i adds element i of each of
+  // the four blocks (a strided gather). Lane arithmetic is element-wise
+  // IEEE add/sub — the exact per-block operation sequence of the scalar
+  // tier — and lanes fold into the total in ascending block order below.
+  const __m256i stride =
+      _mm256_set_epi64x(int64_t{192}, int64_t{128}, int64_t{64}, int64_t{0});
+  for (; begin + 256 <= n; begin += 256) {
+    __m256d sum = _mm256_setzero_pd();
+    __m256d comp = _mm256_setzero_pd();
+    const double* base = x + begin;
+    for (size_t i = 0; i < 64; ++i) {
+      const __m256d v = _mm256_i64gather_pd(base + i, stride, 8);
+      const __m256d y = _mm256_sub_pd(v, comp);
+      const __m256d t = _mm256_add_pd(sum, y);
+      comp = _mm256_sub_pd(_mm256_sub_pd(t, sum), y);
+      sum = t;
+    }
+    alignas(32) double lane_sum[4], lane_c[4];
+    _mm256_store_pd(lane_sum, sum);
+    _mm256_store_pd(lane_c, comp);
+    for (int l = 0; l < 4; ++l) {
+      fold(lane_sum[l]);
+      fold(lane_c[l]);
+    }
+  }
+  // Remaining (< 4) blocks: the scalar per-block loop.
+  for (; begin < n; begin += 64) {
+    const size_t end = begin + 64 < n ? begin + 64 : n;
+    double s = 0.0, c = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      const double y = x[i] - c;
+      const double t = s + y;
+      c = (t - s) - y;
+      s = t;
+    }
+    fold(s);
+    fold(c);
+  }
+  return total;
+}
+
+}  // namespace
+
+const KernelOps* GetAvx2Ops() {
+  static const KernelOps ops = {
+      &CompareI32EqAvx2, &CompareF64Avx2,    &PopcountWordsAvx2,
+      &AndNotPopcountAvx2, &AndWordsAvx2,    &OrWordsAvx2,
+      &BlockedKahanSumAvx2,
+  };
+  return &ops;
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace causumx

@@ -1,0 +1,59 @@
+// Internal plumbing of the kernel layer: the per-tier dispatch table and
+// the scalar reference implementations (also used as loop tails by the
+// vector tiers). Not part of the public API — include util/kernels.h.
+
+#ifndef CAUSUMX_UTIL_KERNELS_INTERNAL_H_
+#define CAUSUMX_UTIL_KERNELS_INTERNAL_H_
+
+#include "util/kernels.h"
+
+namespace causumx {
+namespace kernels {
+namespace internal {
+
+/// One function pointer per dispatched kernel. Kernels with no vector
+/// variant (LUT gather, int64 compare) are plain functions in
+/// kernels.cpp and do not appear here.
+struct KernelOps {
+  void (*compare_i32_eq)(const int32_t*, size_t, int32_t, uint64_t*);
+  void (*compare_f64)(const double*, size_t, CmpOp, double, uint64_t*);
+  size_t (*popcount_words)(const uint64_t*, size_t);
+  size_t (*andnot_popcount)(const uint64_t*, const uint64_t*, size_t);
+  void (*and_words)(uint64_t*, const uint64_t*, size_t);
+  void (*or_words)(uint64_t*, const uint64_t*, size_t);
+  double (*blocked_kahan_sum)(const double*, size_t);
+};
+
+/// The portable tier (always available).
+const KernelOps* GetScalarOps();
+
+#if defined(CAUSUMX_HAVE_AVX2_KERNELS)
+/// The AVX2 tier (kernels_avx2.cpp; x86-64 builds only).
+const KernelOps* GetAvx2Ops();
+#endif
+
+// Scalar implementations, shared as tail handlers by the vector tiers.
+// Each matches its public counterpart's contract exactly.
+
+/// Scalar CompareI32Eq.
+void CompareI32EqScalar(const int32_t* values, size_t n, int32_t target,
+                        uint64_t* out);
+/// Scalar CompareF64 (rhs must not be NaN; see the public contract).
+void CompareF64Scalar(const double* values, size_t n, CmpOp op, double rhs,
+                      uint64_t* out);
+/// Scalar PopcountWords.
+size_t PopcountWordsScalar(const uint64_t* words, size_t n);
+/// Scalar AndNotPopcount.
+size_t AndNotPopcountScalar(const uint64_t* a, const uint64_t* b, size_t n);
+/// Scalar AndWords.
+void AndWordsScalar(uint64_t* dst, const uint64_t* src, size_t n);
+/// Scalar OrWords.
+void OrWordsScalar(uint64_t* dst, const uint64_t* src, size_t n);
+/// Scalar BlockedKahanSum.
+double BlockedKahanSumScalar(const double* x, size_t n);
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace causumx
+
+#endif  // CAUSUMX_UTIL_KERNELS_INTERNAL_H_

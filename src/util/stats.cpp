@@ -4,13 +4,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/kernels.h"
+
 namespace causumx {
+
+double BlockedKahanSum(const double* x, size_t n) {
+  return kernels::BlockedKahanSum(x, n);
+}
 
 double Mean(const std::vector<double>& x) {
   if (x.empty()) return 0.0;
-  double s = 0.0;
-  for (double v : x) s += v;
-  return s / static_cast<double>(x.size());
+  return BlockedKahanSum(x.data(), x.size()) /
+         static_cast<double>(x.size());
 }
 
 double Variance(const std::vector<double>& x) {

@@ -13,7 +13,16 @@
 
 namespace causumx {
 
-/// Arithmetic mean; returns 0 for an empty vector.
+/// Sum of x[0..n) under the fixed blocked-Kahan reduction order: Kahan
+/// within each kSummationBlockRows-row block, block partials folded into
+/// the total in ascending block order (sum, then compensation — exactly
+/// KahanSum::Merge). Bit-identical to streaming every element through a
+/// BlockedKahan accumulator, on every kernel dispatch tier; the
+/// vectorized implementation lives in the kernel layer (util/kernels.h).
+double BlockedKahanSum(const double* x, size_t n);
+
+/// Arithmetic mean (blocked-Kahan sum / n); returns 0 for an empty
+/// vector.
 double Mean(const std::vector<double>& x);
 
 /// Unbiased sample variance (divides by n-1); returns 0 for n < 2.

@@ -22,6 +22,7 @@
 #include "dataset/group_query.h"
 #include "engine/eval_engine.h"
 #include "engine/shard_plan.h"
+#include "util/cpu_features.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -342,6 +343,83 @@ TEST_P(ShardedPropertyTest, AppendsPreserveShardedEquivalence) {
       *current, q, extended->plan(), pool.get());
   ExpectViewsIdentical(serial, sharded, current->NumRows(),
                        "post-append view");
+}
+
+// Case family 6: kernel dispatch tiers x segment-compression policies.
+// Every (tier, compression) cell must reproduce the cache-bypass
+// reference bitsets, the serial aggregate view, and the CATE estimates
+// bit for bit — dispatch is a throughput decision and compression a
+// memory decision; neither may leak into results.
+TEST_P(ShardedPropertyTest, TiersAndCompressionAreBitIdentical) {
+  const RandomWorld w = MakeWorld(GetParam() * 127 + 13);
+  Rng rng(GetParam() * 31 + 6);
+  auto pool = std::make_shared<ThreadPool>(3);
+
+  std::vector<Pattern> patterns;
+  for (int i = 0; i < 6; ++i) patterns.push_back(RandomPattern(w, &rng, 3));
+  GroupByAvgQuery q;
+  q.group_by = {"g1", "g2"};
+  q.avg_attribute = "y";
+  q.where = patterns[0];
+  CausalDag dag;
+  dag.AddEdge("t1", "y");
+  dag.AddEdge("d1", "y");
+  const Pattern treatment({w.atoms[3]});
+  Bitset subpop(w.table->NumRows());
+  subpop.SetAll();
+
+  // References, computed at whatever tier the process started with.
+  EvalEngine bypass(*w.table, /*cache_enabled=*/false);
+  std::vector<Bitset> expected_bits;
+  for (const Pattern& p : patterns) expected_bits.push_back(bypass.Evaluate(p));
+  const AggregateView expected_view = AggregateView::Evaluate(*w.table, q);
+  EstimatorOptions est_opt;
+  est_opt.min_group_size = 3;
+  EstimatorContext ref_ctx(MakeShardedEngine(w.table, 1, nullptr), dag,
+                           est_opt);
+  const EffectEstimate expected_cate =
+      ref_ctx.EstimateCate(treatment, "y", subpop);
+
+  std::vector<KernelTier> tiers = {KernelTier::kScalar};
+  if (KernelTierSupported(KernelTier::kAvx2)) {
+    tiers.push_back(KernelTier::kAvx2);
+  }
+  const KernelTier initial = ActiveKernelTier();
+  const size_t shards = 1 + rng.NextBounded(16);
+  for (KernelTier tier : tiers) {
+    ASSERT_TRUE(SetKernelTier(tier));
+    for (SegmentCompression compression :
+         {SegmentCompression::kNever, SegmentCompression::kAlways,
+          SegmentCompression::kAuto}) {
+      EvalEngineOptions options;
+      options.cache_enabled = true;
+      options.num_shards = shards;
+      options.pool = pool;
+      options.compression = compression;
+      auto engine = std::make_shared<EvalEngine>(
+          std::shared_ptr<const Table>(w.table), options);
+      const std::string context =
+          std::string("tier=") + KernelTierName(tier) + " compression=" +
+          std::to_string(static_cast<int>(compression)) +
+          " shards=" + std::to_string(shards);
+      for (size_t i = 0; i < patterns.size(); ++i) {
+        ASSERT_TRUE(engine->Evaluate(patterns[i]) == expected_bits[i])
+            << context << " " << patterns[i].ToString();
+      }
+      if (compression == SegmentCompression::kAlways) {
+        EXPECT_GT(engine->Stats().segments_compressed, 0u) << context;
+      }
+      EstimatorContext ctx(engine, dag, est_opt);
+      ExpectEstimatesIdentical(ctx.EstimateCate(treatment, "y", subpop),
+                               expected_cate, context);
+    }
+    const AggregateView view =
+        AggregateView::Evaluate(*w.table, q, ShardPlan(w.table->NumRows()),
+                                pool.get());
+    ExpectViewsIdentical(view, expected_view, w.table->NumRows(),
+                         std::string("view tier=") + KernelTierName(tier));
+  }
+  SetKernelTier(initial);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardedPropertyTest,

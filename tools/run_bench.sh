@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Runs the two engine-facing benchmarks and writes their results as JSON:
+# Runs the engine-facing benchmarks and writes their results as JSON:
 #
 #   BENCH_micro.json             Google Benchmark JSON (kernel microbenches)
 #   BENCH_phase_breakdown.json   per-dataset phase runtimes, cached vs
 #                                cache-bypassed, plus cache counters
+#   BENCH_kernels.json           vectorized-kernel throughput per dispatch
+#                                tier vs the pre-kernel scalar loops, plus
+#                                the compressed-segment byte reduction
 #
 # Usage: tools/run_bench.sh [output-dir]
 # Env:   BUILD_DIR (default: build), CAUSUMX_BENCH_SCALE (default: 0.2)
@@ -24,6 +27,9 @@ else
   echo "bench_micro unavailable (Google Benchmark not found) — skipping"
 fi
 
-"$BUILD_DIR/bench_phase_breakdown" --json "$OUT_DIR/BENCH_phase_breakdown.json"
+cmake --build "$BUILD_DIR" -j --target bench_kernels
 
-echo "wrote $OUT_DIR/BENCH_micro.json and $OUT_DIR/BENCH_phase_breakdown.json"
+"$BUILD_DIR/bench_phase_breakdown" --json "$OUT_DIR/BENCH_phase_breakdown.json"
+"$BUILD_DIR/bench_kernels" --json "$OUT_DIR/BENCH_kernels.json"
+
+echo "wrote $OUT_DIR/BENCH_micro.json, $OUT_DIR/BENCH_phase_breakdown.json, and $OUT_DIR/BENCH_kernels.json"
