@@ -1,0 +1,92 @@
+// Fuzz harness for the CSV reader (src/dataset/csv.*).
+//
+// Properties checked on every input:
+//   1. ReadCsv either returns a Table or throws std::runtime_error /
+//      std::invalid_argument — never crashes, never throws anything else.
+//   2. Round-trip: a parsed table written back out by WriteCsv parses
+//      again with the same shape (row and column counts).
+//   3. The round-tripped text is accepted by ReadCsvDelta against the
+//      parsed table's own schema (the streaming append path), or is
+//      rejected with a typed error — never a crash.
+//
+// Links against libFuzzer under clang (-DCAUSUMX_FUZZERS=ON); under GCC
+// the same TU builds as a standalone corpus replayer (see
+// standalone_main.h).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "dataset/csv.h"
+#include "dataset/table.h"
+
+#include "fuzz/standalone_main.h"
+
+namespace {
+
+[[noreturn]] void Die(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "fuzz_csv: %s: %s\n", what, detail.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Bound per-input cost: parsing is linear, but giant inputs just slow
+  // the fuzzer down without reaching new states.
+  if (size > (1u << 20)) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  causumx::CsvOptions options;
+  // Small inference window so the "later row demotes the column type"
+  // paths are reachable from short fuzzer inputs.
+  options.type_inference_rows = 16;
+
+  causumx::Table table;
+  try {
+    std::istringstream in(text);
+    table = causumx::ReadCsv(in, options);
+  } catch (const std::runtime_error&) {
+    return 0;  // typed rejection (ragged rows, bad stream) is correct
+  } catch (const std::invalid_argument&) {
+    return 0;  // typed rejection (duplicate/bad header) is correct
+  }
+
+  // Round-trip: our own writer's output must parse, with the same shape.
+  std::ostringstream out;
+  causumx::WriteCsv(table, out, options.delimiter);
+  const std::string round = out.str();
+  try {
+    std::istringstream in2(round);
+    const causumx::Table again = causumx::ReadCsv(in2, options);
+    if (again.NumRows() != table.NumRows() ||
+        again.NumColumns() != table.NumColumns()) {
+      Die("round-trip shape mismatch",
+          std::to_string(table.NumRows()) + "x" +
+              std::to_string(table.NumColumns()) + " -> " +
+              std::to_string(again.NumRows()) + "x" +
+              std::to_string(again.NumColumns()));
+    }
+  } catch (const std::exception& e) {
+    Die("round-trip re-parse rejected writer output", e.what());
+  }
+
+  // Delta path: the round-tripped text names exactly the table's columns,
+  // so ReadCsvDelta must accept it or reject with a typed error (cells
+  // that inference nulled can legitimately fail the stricter no-inference
+  // parse; what it must never do is crash).
+  try {
+    std::istringstream in3(round);
+    const auto rows = causumx::ReadCsvDelta(table, in3, options);
+    if (rows.size() != table.NumRows()) {
+      Die("delta row-count mismatch", std::to_string(rows.size()) + " vs " +
+                                          std::to_string(table.NumRows()));
+    }
+  } catch (const std::runtime_error&) {
+  } catch (const std::invalid_argument&) {
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Fuzz harness for the JSON parser/writer (src/util/json.*).
+//
+// Properties checked on every input:
+//   1. JsonValue::Parse either returns a value or throws
+//      std::runtime_error — never crashes, never throws anything else.
+//   2. Round-trip: a parsed value re-serialized through JsonWriter
+//      parses again, structurally equal to the original. (Non-finite
+//      numbers are the one sanctioned exception: JSON has no NaN/Inf
+//      literal, so the writer emits null for them.)
+//
+// Links against libFuzzer under clang (-DCAUSUMX_FUZZERS=ON); under GCC
+// the same TU builds as a standalone corpus replayer (see
+// standalone_main.h).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.h"
+
+#include "fuzz/standalone_main.h"
+
+namespace {
+
+using causumx::JsonValue;
+using causumx::JsonWriter;
+
+void Emit(const JsonValue& v, JsonWriter& w) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      w.Null();
+      break;
+    case JsonValue::Kind::kBool:
+      w.Bool(v.AsBool());
+      break;
+    case JsonValue::Kind::kNumber:
+      w.Double(v.AsNumber());
+      break;
+    case JsonValue::Kind::kString:
+      w.String(v.AsString());
+      break;
+    case JsonValue::Kind::kArray:
+      w.BeginArray();
+      for (const JsonValue& e : v.AsArray()) Emit(e, w);
+      w.EndArray();
+      break;
+    case JsonValue::Kind::kObject:
+      w.BeginObject();
+      for (const auto& [key, value] : v.AsObject()) {
+        w.Key(key);
+        Emit(value, w);
+      }
+      w.EndObject();
+      break;
+  }
+}
+
+std::string Serialize(const JsonValue& v) {
+  JsonWriter w;
+  Emit(v, w);
+  return w.str();
+}
+
+bool Equal(const JsonValue& a, const JsonValue& b) {
+  if (a.kind() == JsonValue::Kind::kNumber && !std::isfinite(a.AsNumber())) {
+    // Writer emits null for non-finite numbers; accept the degradation.
+    return b.kind() == JsonValue::Kind::kNull;
+  }
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case JsonValue::Kind::kNull:
+      return true;
+    case JsonValue::Kind::kBool:
+      return a.AsBool() == b.AsBool();
+    case JsonValue::Kind::kNumber:
+      // JsonWriter::Double uses shortest-round-trip formatting, so the
+      // reparse must reproduce the exact double.
+      return a.AsNumber() == b.AsNumber();
+    case JsonValue::Kind::kString:
+      return a.AsString() == b.AsString();
+    case JsonValue::Kind::kArray: {
+      const auto& xs = a.AsArray();
+      const auto& ys = b.AsArray();
+      if (xs.size() != ys.size()) return false;
+      for (size_t i = 0; i < xs.size(); ++i) {
+        if (!Equal(xs[i], ys[i])) return false;
+      }
+      return true;
+    }
+    case JsonValue::Kind::kObject: {
+      const auto& xs = a.AsObject();
+      const auto& ys = b.AsObject();
+      if (xs.size() != ys.size()) return false;
+      auto it = ys.begin();
+      for (const auto& [key, value] : xs) {
+        if (it->first != key || !Equal(value, it->second)) return false;
+        ++it;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+[[noreturn]] void Die(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "fuzz_json: %s: %s\n", what, detail.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  JsonValue parsed;
+  try {
+    parsed = JsonValue::Parse(text);
+  } catch (const std::runtime_error&) {
+    return 0;  // typed rejection of malformed input is correct
+  }
+
+  const std::string serialized = Serialize(parsed);
+  try {
+    const JsonValue again = JsonValue::Parse(serialized);
+    if (!Equal(parsed, again)) {
+      Die("round-trip structural mismatch", serialized);
+    }
+  } catch (const std::exception& e) {
+    Die("re-parse rejected writer output",
+        std::string(e.what()) + " in: " + serialized);
+  }
+  return 0;
+}

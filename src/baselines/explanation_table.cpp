@@ -62,6 +62,7 @@ double ResidualKl(const Table& table, const std::vector<uint8_t>& label,
   for (const auto& [_, st] : strata) {
     const double q = st.n > 0 ? st.pos / st.n : 0.0;
     // Each tuple is 0/1; sum of KL(label_i || q).
+    // causumx-lint: allow(fp-accumulation) serial loop, insertion-ordered strata)
     kl += KlTerm(st.pos, 1.0, q) + KlTerm(st.n - st.pos, 0.0, q);
   }
   return kl;

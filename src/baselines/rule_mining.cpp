@@ -17,7 +17,7 @@ BinnedOutcome BinOutcomeAtMean(const Table& table,
   size_t count = 0;
   for (size_t r = 0; r < table.NumRows(); ++r) {
     if (col.IsNull(r)) continue;
-    sum += col.GetNumeric(r);
+    sum += col.GetNumeric(r);  // causumx-lint: allow(fp-accumulation) serial fixed row order)
     ++count;
   }
   binned.threshold = count ? sum / static_cast<double>(count) : 0.0;

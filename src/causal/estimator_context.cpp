@@ -35,7 +35,7 @@ EstimatorContext::EstimatorContext(std::shared_ptr<EvalEngine> engine,
   std::vector<std::pair<Bitset, uint32_t>> subpops;
   std::vector<std::pair<MemoKey, MemoEntry>> entries;  // LRU, oldest first
   {
-    std::lock_guard<std::mutex> lock(base.memo_mu_);
+    util::MutexLock lock(base.memo_mu_);
     next_subpop_id_ = base.next_subpop_id_;
     for (const auto& [hash, bucket] : base.subpop_ids_) {
       for (const auto& [bits, id] : bucket) subpops.emplace_back(bits, id);
@@ -90,7 +90,7 @@ EffectEstimate EstimatorContext::EstimateCate(const Pattern& treatment,
   key.outcome = outcome;
   const uint64_t subpop_hash = subpopulation.Hash();  // O(rows), unlocked
   {
-    std::lock_guard<std::mutex> lock(memo_mu_);
+    util::MutexLock lock(memo_mu_);
     key.subpop_id = InternSubpopLocked(subpop_hash, subpopulation);
     auto it = memo_.find(key);
     if (it != memo_.end()) {
@@ -103,7 +103,7 @@ EffectEstimate EstimatorContext::EstimateCate(const Pattern& treatment,
   // duplicate work once, but never block each other on the OLS solve.
   const EffectEstimate est = ComputeCate(treatment, outcome, subpopulation);
   {
-    std::lock_guard<std::mutex> lock(memo_mu_);
+    util::MutexLock lock(memo_mu_);
     auto it = memo_.find(key);
     if (it == memo_.end()) {
       lru_.push_front(key);
@@ -143,13 +143,13 @@ uint32_t EstimatorContext::InternSubpopLocked(uint64_t hash,
 }
 
 size_t EstimatorContext::CacheBytes() const {
-  std::lock_guard<std::mutex> lock(memo_mu_);
+  util::MutexLock lock(memo_mu_);
   return memo_bytes_ + subpop_bytes_;
 }
 
 size_t EstimatorContext::EvictLru(size_t bytes_to_free) {
   if (bytes_to_free == 0) return 0;
-  std::lock_guard<std::mutex> lock(memo_mu_);
+  util::MutexLock lock(memo_mu_);
   size_t freed = 0;
   while (freed < bytes_to_free && !lru_.empty()) {
     auto it = memo_.find(lru_.back());
@@ -418,7 +418,7 @@ EffectEstimate EstimatorContext::ComputeCate(const Pattern& treatment,
     prop[i] = e;
     if (treated[i]) {
       const double w = 1.0 / e;
-      sw1 += w;
+      sw1 += w;  // causumx-lint: allow(fp-accumulation) serial fixed row order)
       sy1 += w * y[i];
     } else {
       const double w = 1.0 / (1.0 - e);
@@ -437,7 +437,7 @@ EffectEstimate EstimatorContext::ComputeCate(const Pattern& treatment,
     const double e = prop[i];
     const double psi =
         treated[i] ? (y[i] - mu1) / e : -(y[i] - mu0) / (1.0 - e);
-    var_sum += psi * psi;
+    var_sum += psi * psi;  // causumx-lint: allow(fp-accumulation) serial fixed row order)
   }
   est.valid = true;
   est.cate = mu1 - mu0;
@@ -455,7 +455,7 @@ EstimatorCacheStats EstimatorContext::Stats() const {
   s.memo_misses = n_misses_.load(std::memory_order_relaxed);
   s.memo_evicted = n_evicted_.load(std::memory_order_relaxed);
   s.memo_migrated = n_migrated_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(memo_mu_);
+  util::MutexLock lock(memo_mu_);
   s.memo_entries = memo_.size();
   s.memo_bytes = memo_bytes_;
   return s;

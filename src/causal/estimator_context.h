@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -32,6 +31,7 @@
 #include "dataset/pattern.h"
 #include "engine/eval_engine.h"
 #include "util/bitset.h"
+#include "util/thread_annotations.h"
 
 namespace causumx {
 
@@ -148,8 +148,9 @@ class EstimatorContext {
   /// Dense id of a subpopulation by exact bit content (a copy of each
   /// distinct bitset is kept; distinct subpopulations are few — one per
   /// grouping pattern). `hash` is the bitset's precomputed Hash() so the
-  /// O(rows) hashing happens outside the lock. Requires memo_mu_.
-  uint32_t InternSubpopLocked(uint64_t hash, const Bitset& subpopulation);
+  /// O(rows) hashing happens outside the lock.
+  uint32_t InternSubpopLocked(uint64_t hash, const Bitset& subpopulation)
+      CAUSUMX_REQUIRES(memo_mu_);
 
   /// The actual estimation (regression adjustment or IPW), uncached.
   EffectEstimate ComputeCate(const Pattern& treatment,
@@ -160,19 +161,21 @@ class EstimatorContext {
   CausalDag dag_;  // owned copy (DAGs are tiny; avoids lifetime traps).
   EstimatorOptions options_;
 
-  mutable std::mutex memo_mu_;
-  std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> memo_;
-  std::list<MemoKey> lru_;  // front = most recently used
-  size_t memo_bytes_ = 0;   // guarded by memo_mu_
+  mutable util::Mutex memo_mu_;
+  std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> memo_
+      CAUSUMX_GUARDED_BY(memo_mu_);
+  /// Front = most recently used.
+  std::list<MemoKey> lru_ CAUSUMX_GUARDED_BY(memo_mu_);
+  size_t memo_bytes_ CAUSUMX_GUARDED_BY(memo_mu_) = 0;
   /// Subpopulation intern table: Bitset::Hash bucket -> (bits, id), with
   /// exact comparison on bucket hits. Its retained bitset copies are
   /// byte-accounted (subpop_bytes_) so the memory budget sees them, and
   /// the table is dropped wholesale whenever eviction empties the memo
-  /// (no memo entry references an id then). Guarded by memo_mu_.
+  /// (no memo entry references an id then).
   std::unordered_map<uint64_t, std::vector<std::pair<Bitset, uint32_t>>>
-      subpop_ids_;
-  uint32_t next_subpop_id_ = 0;
-  size_t subpop_bytes_ = 0;  // guarded by memo_mu_
+      subpop_ids_ CAUSUMX_GUARDED_BY(memo_mu_);
+  uint32_t next_subpop_id_ CAUSUMX_GUARDED_BY(memo_mu_) = 0;
+  size_t subpop_bytes_ CAUSUMX_GUARDED_BY(memo_mu_) = 0;
   std::atomic<uint64_t> n_hits_{0};
   std::atomic<uint64_t> n_misses_{0};
   std::atomic<uint64_t> n_evicted_{0};

@@ -30,6 +30,7 @@ double ApproxEntropy(const std::vector<double>& u) {
   const double h_gauss = 0.5 * (1.0 + std::log(2.0 * M_PI));
   double e_logcosh = 0.0, e_uexp = 0.0;
   for (double x : u) {
+    // causumx-lint: allow(fp-accumulation) serial fixed sample order)
     e_logcosh += std::log(std::cosh(x));
     e_uexp += x * std::exp(-0.5 * x * x);
   }
@@ -105,7 +106,7 @@ LingamResult RunLingam(const Table& table, double prune_threshold,
         const double m = (ApproxEntropy(xi) + ApproxEntropy(res_j_on_i)) -
                          (ApproxEntropy(xj) + ApproxEntropy(res_i_on_j));
         const double neg = std::min(0.0, m);
-        score += neg * neg;
+        score += neg * neg;  // causumx-lint: allow(fp-accumulation) serial fixed pair order)
       }
       if (score < best_score) {
         best_score = score;
@@ -148,6 +149,7 @@ LingamResult RunLingam(const Table& table, double prune_threshold,
       for (size_t qq = 0; qq < q; ++qq) {
         const size_t earlier = order_idx[qq];
         const double r = PearsonCorrelation(x, data[earlier]);
+        // causumx-lint: allow(fp-accumulation) elementwise update, distinct index per pass)
         for (size_t t = 0; t < x.size(); ++t) x[t] -= r * data[earlier][t];
       }
       const double sd = StdDev(x);
@@ -157,7 +159,7 @@ LingamResult RunLingam(const Table& table, double prune_threshold,
         double num = 0.0, den = 0.0;
         const double mx = Mean(x), my = Mean(y);
         for (size_t t = 0; t < x.size(); ++t) {
-          num += (x[t] - mx) * (y[t] - my);
+          num += (x[t] - mx) * (y[t] - my);  // causumx-lint: allow(fp-accumulation) serial fixed sample order)
           den += (x[t] - mx) * (x[t] - mx);
         }
         coef = den > 0 ? num / den : 0.0;

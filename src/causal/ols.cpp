@@ -158,11 +158,12 @@ OlsResult FitOls(const DesignMatrix& x, const std::vector<double>& y,
       double pred = 0.0;
       for (size_t j = 0; j < p; ++j) pred += x.At(r, j) * beta[j];
       const double e = y[r] - pred;
-      rss_c += e * e;
+      rss_c += e * e;  // causumx-lint: allow(fp-accumulation) per-chunk serial partial; fixed chunk boundaries)
     }
     part_rss[c] = rss_c;
   });
   double rss = 0.0;
+  // causumx-lint: allow(fp-accumulation) fixed chunk-index order, thread-count independent)
   for (size_t c = 0; c < num_chunks; ++c) rss += part_rss[c];
   const double dof = static_cast<double>(n - p);
   res.residual_variance = rss / dof;

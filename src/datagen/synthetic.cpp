@@ -39,6 +39,7 @@ GeneratedDataset MakeSyntheticDataset(const SyntheticOptions& opt) {
     for (size_t y = 0; y < opt.num_treatment_attrs; ++y) {
       const int64_t ty = rng.NextInt(1, 5);
       row[1 + opt.num_grouping_attrs + y] = Value(ty);
+      // causumx-lint: allow(fp-accumulation) fixed attribute order per row)
       o += (y % 2 == 0) ? static_cast<double>(ty)
                         : -static_cast<double>(ty);
     }

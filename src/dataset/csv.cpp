@@ -4,6 +4,7 @@
 #include <cctype>
 #include <charconv>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -129,10 +130,25 @@ Table ReadCsv(std::istream& in, const CsvOptions& opt) {
     throw std::runtime_error("csv: empty input");
   }
   const std::vector<std::string> header = SplitCsvLine(line, opt.delimiter);
+  // Validate the header here with parse errors: Table::AddColumn treats a
+  // duplicate name as a programming error (std::logic_error), but a CSV
+  // header is untrusted input — fuzzing caught the logic_error escaping.
+  {
+    std::set<std::string> seen;
+    for (const std::string& raw : header) {
+      if (!seen.insert(Trim(raw)).second) {
+        throw std::runtime_error("csv: duplicate column name: " + Trim(raw));
+      }
+    }
+  }
 
   std::vector<std::vector<std::string>> rows;
   while (ReadCsvRecord(in, &line, opt.delimiter)) {
-    if (line.empty()) continue;
+    // A blank line is noise for a multi-column schema (a real row would
+    // be ragged) but a legitimate one-null-cell row for a single-column
+    // one — WriteCsv emits exactly that for a null cell, and fuzzing
+    // caught the round-trip dropping such rows.
+    if (line.empty() && header.size() > 1) continue;
     auto fields = SplitCsvLine(line, opt.delimiter);
     if (fields.size() != header.size()) {
       throw std::runtime_error(StrFormat(
@@ -271,7 +287,8 @@ std::vector<std::vector<Value>> ReadCsvDelta(const Table& schema,
   size_t line_number = 1;
   while (ReadCsvRecord(in, &line, opt.delimiter)) {
     ++line_number;
-    if (line.empty()) continue;
+    // Same single-column blank-line rule as ReadCsv (see there).
+    if (line.empty() && header.size() > 1) continue;
     const auto fields = SplitCsvLine(line, opt.delimiter);
     if (fields.size() != header.size()) {
       throw std::runtime_error(StrFormat(

@@ -85,6 +85,15 @@ class Table {
   void ReserveRows(size_t n);
 
  private:
+  // Concurrency contract (checked at the owners, not here): a Table has
+  // no internal locking. Mutation is single-writer-before-publication —
+  // builders (CSV reader, datagen) fill a private instance, and the
+  // streaming path mutates only a private Clone() under
+  // ExplanationService::append_mu_, publishing the result as a new
+  // shared_ptr<const Table> snapshot (copy-on-write). Once published
+  // const, every member below is immutable; `version_` tells the
+  // generations apart. Clang's -Wthread-safety leg enforces the
+  // publication discipline in service/explanation_service.h.
   std::vector<std::unique_ptr<Column>> columns_;
   std::unordered_map<std::string, size_t> index_;
   size_t num_rows_ = 0;

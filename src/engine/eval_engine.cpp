@@ -114,7 +114,7 @@ EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
   };
   std::vector<SlotSnapshot> snapshot;
   {
-    std::shared_lock base_lock(base.intern_mu_);
+    util::ReaderMutexLock base_lock(base.intern_mu_);
     ids_ = base.ids_;
     clock_.store(base.clock_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
@@ -124,7 +124,7 @@ EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
       SlotSnapshot snap;
       snap.pred = src.pred;
       {
-        std::lock_guard<std::mutex> lk(src.mu);
+        util::MutexLock lk(src.mu);
         snap.segs = src.segs;
         snap.seg_used = src.seg_used;
       }
@@ -224,11 +224,11 @@ void EvalEngine::RunSharded(size_t n,
 PredicateId EvalEngine::Intern(const SimplePredicate& pred) {
   const std::string key = PredicateKey(pred);
   {
-    std::shared_lock lock(intern_mu_);
+    util::ReaderMutexLock lock(intern_mu_);
     auto it = ids_.find(key);
     if (it != ids_.end()) return it->second;
   }
-  std::unique_lock lock(intern_mu_);
+  util::WriterMutexLock lock(intern_mu_);
   auto [it, inserted] =
       ids_.emplace(key, static_cast<PredicateId>(slots_.size()));
   if (inserted) {
@@ -245,11 +245,11 @@ std::vector<std::shared_ptr<const SegmentBits>> EvalEngine::SegmentsOf(
     PredicateId id) {
   PredicateSlot* slot;
   {
-    std::shared_lock lock(intern_mu_);
+    util::ReaderMutexLock lock(intern_mu_);
     slot = &slots_[id];
   }
   const uint64_t stamp = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
-  std::lock_guard<std::mutex> lk(slot->mu);
+  util::MutexLock lk(slot->mu);
   std::vector<size_t> missing;
   for (size_t s = 0; s < slot->segs.size(); ++s) {
     slot->seg_used[s] = stamp;
@@ -338,7 +338,7 @@ Bitset EvalEngine::EvaluateOn(const Pattern& pattern, const Bitset& mask) {
 const NumericColumnView& EvalEngine::Numeric(size_t col) {
   ColumnSlot& slot = column_slots_[col];
   if (slot.ready.load(std::memory_order_acquire)) return slot.view;
-  std::lock_guard<std::mutex> lk(slot.mu);
+  util::MutexLock lk(slot.mu);
   if (slot.ready.load(std::memory_order_relaxed)) return slot.view;
   const Column& c = table_.column(col);
   const size_t n = table_.NumRows();
@@ -375,7 +375,7 @@ std::shared_ptr<const std::vector<Value>> EvalEngine::DistinctValues(
   if (slot.distinct_ready.load(std::memory_order_acquire)) {
     return slot.distinct;
   }
-  std::lock_guard<std::mutex> lk(slot.distinct_mu);
+  util::MutexLock lk(slot.distinct_mu);
   if (!slot.distinct_ready.load(std::memory_order_relaxed)) {
     slot.distinct = std::make_shared<const std::vector<Value>>(
         table_.column(col).DistinctValues());
@@ -385,7 +385,7 @@ std::shared_ptr<const std::vector<Value>> EvalEngine::DistinctValues(
 }
 
 size_t EvalEngine::NumInterned() const {
-  std::shared_lock lock(intern_mu_);
+  util::ReaderMutexLock lock(intern_mu_);
   return slots_.size();
 }
 
@@ -401,10 +401,10 @@ size_t EvalEngine::EvictLru(size_t bytes_to_free) {
   // hold the bits by shared_ptr and evicted segments rebuild on demand.
   std::vector<std::tuple<uint64_t, PredicateId, uint32_t>> order;
   {
-    std::shared_lock lock(intern_mu_);
+    util::ReaderMutexLock lock(intern_mu_);
     for (PredicateId id = 0; id < slots_.size(); ++id) {
       const PredicateSlot& slot = slots_[id];
-      std::lock_guard<std::mutex> lk(slot.mu);
+      util::MutexLock lk(slot.mu);
       for (size_t s = 0; s < slot.segs.size(); ++s) {
         if (slot.segs[s] != nullptr) {
           order.emplace_back(slot.seg_used[s], id,
@@ -419,10 +419,10 @@ size_t EvalEngine::EvictLru(size_t bytes_to_free) {
     if (freed >= bytes_to_free) break;
     PredicateSlot* slot;
     {
-      std::shared_lock lock(intern_mu_);
+      util::ReaderMutexLock lock(intern_mu_);
       slot = &slots_[id];
     }
-    std::lock_guard<std::mutex> lk(slot->mu);
+    util::MutexLock lk(slot->mu);
     if (slot->segs[shard] != nullptr) {
       freed += slot->segs[shard]->bytes();
       if (slot->segs[shard]->compressed()) {

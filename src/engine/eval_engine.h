@@ -40,8 +40,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +50,7 @@
 #include "engine/shard_plan.h"
 #include "util/bitset.h"
 #include "util/compressed_bitset.h"
+#include "util/thread_annotations.h"
 
 namespace causumx {
 
@@ -214,22 +213,25 @@ class EvalEngine {
  private:
   struct PredicateSlot {
     SimplePredicate pred;
-    mutable std::mutex mu;  // guards `segs` / `seg_used` build/evict
+    mutable util::Mutex mu;  // guards `segs` / `seg_used` build/evict
     /// One entry per shard; null until materialized (or after evict).
     /// Each segment is plain or compressed per the engine's policy.
-    std::vector<std::shared_ptr<const SegmentBits>> segs;
-    /// LRU stamp per segment (guarded by mu).
-    std::vector<uint64_t> seg_used;
+    std::vector<std::shared_ptr<const SegmentBits>> segs
+        CAUSUMX_GUARDED_BY(mu);
+    /// LRU stamp per segment.
+    std::vector<uint64_t> seg_used CAUSUMX_GUARDED_BY(mu);
   };
   /// Double-checked build: `ready` (acquire/release) publishes `view`
   /// after it is built under `mu` — or seeded by the delta-extension
   /// constructor. (A once_flag cannot express "already built": the
-  /// extension ctor pre-fills inherited views.)
+  /// extension ctor pre-fills inherited views.) `view` / `distinct` are
+  /// deliberately NOT GUARDED_BY: after publication they are immutable
+  /// and read lock-free; the mutex only serializes the one-time build.
   struct ColumnSlot {
-    std::mutex mu;
+    util::Mutex mu;
     std::atomic<bool> ready{false};
     NumericColumnView view;
-    std::mutex distinct_mu;
+    util::Mutex distinct_mu;
     std::atomic<bool> distinct_ready{false};
     std::shared_ptr<const std::vector<Value>> distinct;
   };
@@ -252,9 +254,13 @@ class EvalEngine {
   const ShardPlan plan_;
   const std::shared_ptr<ThreadPool> pool_;  // may be null (serial)
 
-  mutable std::shared_mutex intern_mu_;
-  std::unordered_map<std::string, PredicateId> ids_;
-  std::deque<PredicateSlot> slots_;  // deque: stable refs while growing.
+  mutable util::SharedMutex intern_mu_;
+  std::unordered_map<std::string, PredicateId> ids_
+      CAUSUMX_GUARDED_BY(intern_mu_);
+  /// Deque: stable refs while growing. The container (growth, indexing)
+  /// is guarded; a PredicateSlot* obtained under the lock stays valid
+  /// after release and synchronizes on its own slot mutex.
+  std::deque<PredicateSlot> slots_ CAUSUMX_GUARDED_BY(intern_mu_);
   std::deque<ColumnSlot> column_slots_;
 
   std::atomic<uint64_t> clock_{0};  // LRU stamp source

@@ -162,7 +162,7 @@ LpSolution SolveLp(const LinearProgram& lp, size_t max_iterations) {
   double obj1 = 0.0;
   for (size_t i = 0; i < m; ++i) {
     for (size_t j = 0; j < n_total; ++j) c1[j] += a[i][j];
-    obj1 -= b[i];
+    obj1 -= b[i];  // causumx-lint: allow(fp-accumulation) serial fixed row order)
   }
   // (c1 := c1 - sum over basic rows of (coef of artificial = -1)*row.)
   LpStatus st = RunSimplex(a, b, c1, obj1, basis, max_iterations);
@@ -211,7 +211,7 @@ LpSolution SolveLp(const LinearProgram& lp, size_t max_iterations) {
     const double cb = bj < n0 ? lp.objective[bj] : 0.0;
     if (cb == 0.0) continue;
     for (size_t j = 0; j < n_total; ++j) c2[j] -= cb * a[i][j];
-    obj2 += cb * b[i];
+    obj2 += cb * b[i];  // causumx-lint: allow(fp-accumulation) serial fixed row order)
   }
   for (size_t i = 0; i < m; ++i) c2[n1 + i] = -1e30;  // block artificials
   st = RunSimplex(a, b, c2, obj2, basis, max_iterations);

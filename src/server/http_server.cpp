@@ -104,12 +104,12 @@ void HttpServer::Stop() {
   if (acceptor_.joinable()) acceptor_.join();
   {
     // Wait for every admitted request to finish writing its response.
-    std::unique_lock<std::mutex> lock(drain_mu_);
-    drained_.wait(lock, [this] { return inflight_.load() == 0; });
+    util::MutexLock lock(drain_mu_);
+    while (inflight_.load() != 0) drained_.Wait(drain_mu_);
   }
   pool_.reset();  // joins workers after the queue drains
   // Close keep-alive fds workers handed back after the acceptor exited.
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (int fd : returned_) ::close(fd);
   returned_.clear();
   ::close(wake_fds_[0]);
@@ -188,7 +188,7 @@ void HttpServer::RejectWith503(int fd) {
 
 void HttpServer::ReturnConnection(int fd) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (stopping_.load()) {
       ::close(fd);
       return;
@@ -205,7 +205,7 @@ void HttpServer::AcceptLoop() {
   while (true) {
     // Drain connections workers handed back.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       for (int fd : returned_) {
         idle.push_back({fd, std::chrono::steady_clock::now() + idle_timeout});
       }
@@ -354,10 +354,10 @@ void HttpServer::HandleConnection(int fd) {
 
   if (fd >= 0) ReturnConnection(fd);
   {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    util::MutexLock lock(drain_mu_);
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
   }
-  drained_.notify_all();
+  drained_.NotifyAll();
 }
 
 }  // namespace causumx

@@ -28,16 +28,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "server/http.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace causumx {
@@ -144,10 +143,11 @@ class HttpServer {
   std::unique_ptr<ThreadPool> pool_;
   std::thread acceptor_;
 
-  std::mutex mu_;                     // guards returned_
-  std::vector<int> returned_;         // keep-alive fds headed back to poll
-  std::condition_variable drained_;   // signaled when inflight_ hits 0
-  std::mutex drain_mu_;
+  util::Mutex mu_;
+  /// Keep-alive fds workers handed back, headed for the poll set.
+  std::vector<int> returned_ CAUSUMX_GUARDED_BY(mu_);
+  util::Mutex drain_mu_;
+  util::CondVar drained_;  // signaled under drain_mu_ when inflight_ hits 0
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

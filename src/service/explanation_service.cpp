@@ -59,7 +59,7 @@ std::shared_ptr<const Table> ExplanationService::RegisterTable(
   entry.engine = std::make_shared<EvalEngine>(entry.table, EngineOptions());
   std::shared_ptr<const Table> handle = entry.table;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     tables_[name] = std::move(entry);
   }
   n_tables_.fetch_add(1, std::memory_order_relaxed);
@@ -82,7 +82,7 @@ std::shared_ptr<const Table> ExplanationService::EnsureCsv(
     const std::string& name, const std::string& path,
     const CsvOptions& csv_options) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = tables_.find(name);
     if (it != tables_.end()) return it->second.table;
   }
@@ -93,7 +93,7 @@ std::shared_ptr<const Table> ExplanationService::EnsureCsv(
       std::make_shared<const Table>(ReadCsvFile(path, csv_options));
   entry.engine = std::make_shared<EvalEngine>(entry.table, EngineOptions());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = tables_.find(name);
     if (it != tables_.end()) return it->second.table;
     tables_[name] = entry;
@@ -103,17 +103,17 @@ std::shared_ptr<const Table> ExplanationService::EnsureCsv(
 }
 
 bool ExplanationService::HasTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return tables_.count(name) > 0;
 }
 
 void ExplanationService::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   tables_.erase(name);
 }
 
 std::vector<std::string> ExplanationService::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, entry] : tables_) names.push_back(name);
@@ -122,7 +122,7 @@ std::vector<std::string> ExplanationService::TableNames() const {
 
 ExplanationService::TableEntry ExplanationService::Snapshot(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     throw std::out_of_range("explanation service: unknown table '" + name +
@@ -145,7 +145,7 @@ ExplanationService::Resolved ExplanationService::Resolve(
     const std::string& name, const CausalDag& dag,
     const EstimatorOptions& options) {
   const std::string key = ContextKey(dag, options);  // built outside the lock
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     throw std::out_of_range("explanation service: unknown table '" + name +
@@ -172,7 +172,7 @@ std::shared_ptr<const Table> ExplanationService::Append(
 std::shared_ptr<const Table> ExplanationService::Append(
     const std::string& name, const std::vector<std::vector<Value>>& rows,
     const Table* expected_base) {
-  std::lock_guard<std::mutex> append_lock(append_mu_);
+  util::MutexLock append_lock(append_mu_);
   return AppendLocked(name, rows, expected_base);
 }
 
@@ -202,7 +202,7 @@ std::shared_ptr<const Table> ExplanationService::AppendLocked(
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = tables_.find(name);
     if (it == tables_.end() || it->second.table != base.table) {
       // RegisterTable/DropTable replaced the entry mid-append. Installing
@@ -225,7 +225,7 @@ std::shared_ptr<const Table> ExplanationService::AppendCsv(
   // against this snapshot's schema and pinned to it, and a concurrent
   // append (which cannot change the schema) serializes behind us instead
   // of tripping the pinned-snapshot check.
-  std::lock_guard<std::mutex> append_lock(append_mu_);
+  util::MutexLock append_lock(append_mu_);
   const std::shared_ptr<const Table> schema = Snapshot(name).table;
   const auto rows = ReadCsvDeltaFile(*schema, path, csv_options);
   if (rows_appended != nullptr) *rows_appended = rows.size();
@@ -301,7 +301,7 @@ ExplorationSession ExplanationService::OpenSession(
 size_t ExplanationService::CacheBytes() const {
   std::vector<TableEntry> entries;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     entries.reserve(tables_.size());
     for (const auto& [name, entry] : tables_) entries.push_back(entry);
   }
@@ -323,7 +323,7 @@ size_t ExplanationService::EnforceBudget() {
   std::vector<std::shared_ptr<EvalEngine>> engines;
   std::vector<std::shared_ptr<EstimatorContext>> contexts;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& [name, entry] : tables_) {
       engines.push_back(entry.engine);
       for (const auto& [key, ctx] : entry.contexts) {

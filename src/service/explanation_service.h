@@ -24,7 +24,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +33,7 @@
 #include "dataset/csv.h"
 #include "dataset/table.h"
 #include "engine/eval_engine.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace causumx {
@@ -147,7 +147,8 @@ class ExplanationService {
   /// table and std::runtime_error if the entry was concurrently replaced
   /// by RegisterTable/DropTable while the append was in progress.
   std::shared_ptr<const Table> Append(
-      const std::string& name, const std::vector<std::vector<Value>>& rows);
+      const std::string& name, const std::vector<std::vector<Value>>& rows)
+      CAUSUMX_EXCLUDES(append_mu_, mu_);
 
   /// As Append, but lands only if the registered table is still the
   /// exact snapshot `expected_base` (else throws std::runtime_error).
@@ -157,7 +158,7 @@ class ExplanationService {
   /// appends to whatever snapshot is current.
   std::shared_ptr<const Table> Append(
       const std::string& name, const std::vector<std::vector<Value>>& rows,
-      const Table* expected_base);
+      const Table* expected_base) CAUSUMX_EXCLUDES(append_mu_, mu_);
 
   /// As Append, with the delta read from a CSV file whose header and
   /// cell types are checked against the registered table's schema. The
@@ -168,7 +169,8 @@ class ExplanationService {
   std::shared_ptr<const Table> AppendCsv(const std::string& name,
                                          const std::string& path,
                                          const CsvOptions& csv_options = {},
-                                         size_t* rows_appended = nullptr);
+                                         size_t* rows_appended = nullptr)
+      CAUSUMX_EXCLUDES(append_mu_, mu_);
 
   /// Monotone data version of the table's current snapshot.
   uint64_t TableVersion(const std::string& name) const;
@@ -231,29 +233,32 @@ class ExplanationService {
     std::shared_ptr<EstimatorContext> context;
   };
   Resolved Resolve(const std::string& name, const CausalDag& dag,
-                   const EstimatorOptions& options);
+                   const EstimatorOptions& options) CAUSUMX_EXCLUDES(mu_);
 
   /// Resolves the entry or throws std::out_of_range. Caller holds no lock.
-  TableEntry Snapshot(const std::string& name) const;
+  TableEntry Snapshot(const std::string& name) const CAUSUMX_EXCLUDES(mu_);
 
   /// Engine configuration for a newly registered table (cache mode,
   /// shard count, the shared pool).
   EvalEngineOptions EngineOptions() const;
 
-  /// Append body; caller holds append_mu_ (but not mu_). See Append for
-  /// the expected_base contract.
+  /// Append body; caller holds append_mu_ (but not mu_ — the body takes
+  /// mu_ briefly to snapshot and to install, so holding it here would
+  /// self-deadlock). See Append for the expected_base contract.
   std::shared_ptr<const Table> AppendLocked(
       const std::string& name, const std::vector<std::vector<Value>>& rows,
-      const Table* expected_base);
+      const Table* expected_base)
+      CAUSUMX_REQUIRES(append_mu_) CAUSUMX_EXCLUDES(mu_);
 
   ServiceOptions options_;
-  mutable std::mutex mu_;  // guards tables_
+  mutable util::Mutex mu_;
   /// Serializes Append/AppendCsv calls (an append clones + extends
   /// outside mu_, so two concurrent appends to one table would otherwise
   /// both extend the same base and one delta would be lost). Queries
-  /// never take this lock.
-  std::mutex append_mu_;
-  std::map<std::string, TableEntry> tables_;
+  /// never take this lock. Lock order: append_mu_ before mu_, never the
+  /// reverse.
+  util::Mutex append_mu_;
+  std::map<std::string, TableEntry> tables_ CAUSUMX_GUARDED_BY(mu_);
   /// Shared with every table engine (shard-parallel builds run on it),
   /// so it outlives any engine handed out past the service's lifetime.
   std::shared_ptr<ThreadPool> pool_;

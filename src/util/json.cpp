@@ -59,14 +59,26 @@ class JsonParser {
     return true;
   }
 
+  // The parser recurses once per nesting level, so untrusted input could
+  // otherwise overflow the stack with a run of '[' — the HTTP server
+  // parses request bodies with this (fuzzing found the segfault). 256
+  // levels is far beyond any document we produce or accept.
+  static constexpr size_t kMaxDepth = 256;
+
   JsonValue ParseValue() {
     SkipWhitespace();
     JsonValue v;
     switch (Peek()) {
       case '{':
-        return ParseObject();
+        if (++depth_ > kMaxDepth) Fail(pos_, "nesting too deep");
+        v = ParseObject();
+        --depth_;
+        return v;
       case '[':
-        return ParseArray();
+        if (++depth_ > kMaxDepth) Fail(pos_, "nesting too deep");
+        v = ParseArray();
+        --depth_;
+        return v;
       case '"':
         v.kind_ = JsonValue::Kind::kString;
         v.string_ = ParseString();
@@ -213,6 +225,7 @@ class JsonParser {
 
   const std::string& text_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 JsonValue JsonValue::Parse(const std::string& text) {

@@ -67,11 +67,12 @@ double Rng::NextGaussian() {
 }
 
 size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  // causumx-lint: allow(fp-accumulation) serial fixed weight order)
   double total = std::accumulate(weights.begin(), weights.end(), 0.0);
   if (total <= 0.0) return weights.empty() ? 0 : weights.size() - 1;
   double x = NextDouble() * total;
   for (size_t i = 0; i < weights.size(); ++i) {
-    x -= weights[i];
+    x -= weights[i];  // causumx-lint: allow(fp-accumulation) serial fixed weight order)
     if (x <= 0.0) return i;
   }
   return weights.size() - 1;

@@ -1,0 +1,212 @@
+// Clang thread-safety annotation macros and capability-annotated
+// synchronization primitives.
+//
+// The concurrency discipline of the service/engine/server layers —
+// which member is guarded by which mutex, which private methods demand
+// a lock already held — was previously prose in comments ("guards
+// tables_") and enforced only dynamically by the TSan CI leg, i.e. for
+// the schedules the tests happen to exercise. These macros make the
+// discipline machine-checked: under Clang's `-Wthread-safety` analysis
+// (a dedicated CI leg compiles with it promoted to an error) every
+// access to a `CAUSUMX_GUARDED_BY(mu)` member outside a critical
+// section of `mu`, and every call to a `CAUSUMX_REQUIRES(mu)` method
+// without the lock, is a compile error — for *all* schedules, not just
+// the sampled ones.
+//
+// Under GCC (the default local toolchain) every macro expands to
+// nothing and `Mutex`/`SharedMutex`/`CondVar` are zero-overhead
+// wrappers over their std counterparts.
+//
+// Conventions used across the codebase:
+//   * Every mutex-protected member carries CAUSUMX_GUARDED_BY(mu).
+//   * Private "the caller already holds the lock" helpers are suffixed
+//     `Locked` and carry CAUSUMX_REQUIRES(mu); public entry points
+//     take the lock and delegate.
+//   * Public methods that must NOT be called with a lock held (they
+//     take it themselves) carry CAUSUMX_EXCLUDES(mu) where deadlock
+//     through re-entry is plausible.
+//   * std::mutex / std::lock_guard are not used directly in annotated
+//     code: the analysis cannot see through libstdc++'s unannotated
+//     types, so annotated code uses util::Mutex + util::MutexLock
+//     (and util::CondVar for waiting).
+
+#ifndef CAUSUMX_UTIL_THREAD_ANNOTATIONS_H_
+#define CAUSUMX_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CAUSUMX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CAUSUMX_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define CAUSUMX_CAPABILITY(x) CAUSUMX_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define CAUSUMX_SCOPED_CAPABILITY CAUSUMX_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated member may only be read or written while holding `x`.
+#define CAUSUMX_GUARDED_BY(x) CAUSUMX_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is guarded by `x`.
+#define CAUSUMX_PT_GUARDED_BY(x) CAUSUMX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding `x` exclusively.
+#define CAUSUMX_REQUIRES(...) \
+  CAUSUMX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function may only be called while holding `x` (shared or
+/// exclusive).
+#define CAUSUMX_REQUIRES_SHARED(...) \
+  CAUSUMX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires `x` exclusively and does not release it.
+#define CAUSUMX_ACQUIRE(...) \
+  CAUSUMX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function acquires `x` shared and does not release it.
+#define CAUSUMX_ACQUIRE_SHARED(...) \
+  CAUSUMX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases `x` (exclusive).
+#define CAUSUMX_RELEASE(...) \
+  CAUSUMX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function releases `x` (shared).
+#define CAUSUMX_RELEASE_SHARED(...) \
+  CAUSUMX_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding `x` (it acquires `x`
+/// itself, or acquiring would deadlock/violate ordering).
+#define CAUSUMX_EXCLUDES(...) \
+  CAUSUMX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires `x` exclusively iff it returns `b`.
+#define CAUSUMX_TRY_ACQUIRE(...) \
+  CAUSUMX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The annotated function returns a reference to the capability
+/// guarding its result.
+#define CAUSUMX_RETURN_CAPABILITY(x) \
+  CAUSUMX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function body. Used for
+/// primitives whose correctness argument lives outside the lock
+/// discipline (e.g. CondVar::Wait, which releases and reacquires).
+#define CAUSUMX_NO_THREAD_SAFETY_ANALYSIS \
+  CAUSUMX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace causumx {
+namespace util {
+
+/// A capability-annotated std::mutex. Lowercase lock/unlock keep it a
+/// C++ Lockable, so std::condition_variable_any (inside CondVar) and
+/// std::unique_lock still compose with it.
+class CAUSUMX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CAUSUMX_ACQUIRE() { mu_.lock(); }
+  void unlock() CAUSUMX_RELEASE() { mu_.unlock(); }
+  bool try_lock() CAUSUMX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// A capability-annotated std::shared_mutex (reader/writer).
+class CAUSUMX_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() CAUSUMX_ACQUIRE() { mu_.lock(); }
+  void unlock() CAUSUMX_RELEASE() { mu_.unlock(); }
+  void lock_shared() CAUSUMX_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() CAUSUMX_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock on a Mutex (the annotated std::lock_guard).
+class CAUSUMX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CAUSUMX_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CAUSUMX_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock on a SharedMutex (writer side).
+class CAUSUMX_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) CAUSUMX_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() CAUSUMX_RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock on a SharedMutex (reader side).
+class CAUSUMX_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) CAUSUMX_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() CAUSUMX_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable waiting on a util::Mutex. Wait releases and
+/// reacquires the mutex internally — from the caller's (and the
+/// analysis') perspective the lock is held across the call, hence
+/// REQUIRES. Callers keep their `while (!cond) cv.Wait(mu);` loops in
+/// the locked scope, so guarded condition reads stay checked.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified; `mu` must be held and is held on return.
+  void Wait(Mutex& mu) CAUSUMX_REQUIRES(mu) CAUSUMX_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any works with any Lockable — here the annotated
+  // Mutex itself, so no unannotated std lock type enters the picture.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace util
+}  // namespace causumx
+
+#endif  // CAUSUMX_UTIL_THREAD_ANNOTATIONS_H_

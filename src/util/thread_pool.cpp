@@ -26,10 +26,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -39,10 +39,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   std::future<void> fut = pt.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     tasks_.push(std::move(pt));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return fut;
 }
 
@@ -66,9 +66,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     const size_t n;
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr first_error;  // guarded by mu
+    util::Mutex mu;
+    util::CondVar cv;
+    std::exception_ptr first_error CAUSUMX_GUARDED_BY(mu);
   };
   auto state = std::make_shared<ForState>(n);
   auto drain = [&fn, state] {
@@ -79,12 +79,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mu);
+        util::MutexLock lock(state->mu);
         if (!state->first_error) state->first_error = std::current_exception();
       }
       if (state->done.fetch_add(1) + 1 == state->n) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->cv.notify_all();
+        util::MutexLock lock(state->mu);
+        state->cv.NotifyAll();
       }
     }
   };
@@ -93,8 +93,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     Submit(drain);
   }
   drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->done.load() == state->n; });
+  util::MutexLock lock(state->mu);
+  while (state->done.load() != state->n) state->cv.Wait(state->mu);
   if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
@@ -102,9 +102,9 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       idle_.fetch_add(1, std::memory_order_relaxed);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      while (!stop_ && tasks_.empty()) cv_.Wait(mu_);
       idle_.fetch_sub(1, std::memory_order_relaxed);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());

@@ -5,13 +5,13 @@
 #define CAUSUMX_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace causumx {
 
@@ -71,11 +71,11 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  util::Mutex mu_;
+  std::queue<std::packaged_task<void()>> tasks_ CAUSUMX_GUARDED_BY(mu_);
+  util::CondVar cv_;
   std::atomic<size_t> idle_{0};
-  bool stop_ = false;
+  bool stop_ CAUSUMX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace causumx

@@ -48,6 +48,7 @@ class PhaseTimer {
 
   double Total() const {
     double t = 0;
+    // causumx-lint: allow(fp-accumulation) phases_ is an ordered std::map)
     for (const auto& [_, v] : phases_) t += v;
     return t;
   }

@@ -57,6 +57,37 @@ TEST(JsonParseTest, MalformedInputsThrow) {
   EXPECT_THROW(JsonValue::Parse("{}").AsArray(), std::runtime_error);
 }
 
+// Fuzzing regressions: escape sequences truncated by end-of-input must
+// come back as typed parse errors at every cut point, not reads past the
+// buffer.
+TEST(JsonParseTest, TruncatedEscapesThrow) {
+  EXPECT_THROW(JsonValue::Parse("\"\\"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse("\"\\u"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse("\"\\u0"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse("\"\\u00"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse("\"\\u004"), std::runtime_error);
+  EXPECT_THROW(JsonValue::Parse("\"truncated \\u00"), std::runtime_error);
+  // A high surrogate whose low half is cut off mid-escape.
+  EXPECT_THROW(JsonValue::Parse("\"\\ud83d\\ud"), std::runtime_error);
+}
+
+// Fuzzing regression: the recursive-descent parser used to overflow the
+// stack on a long run of '[' (remotely reachable — the HTTP server
+// parses request bodies with this). Depth past the limit is now a typed
+// parse error; documents at sane depths still parse.
+TEST(JsonParseTest, PathologicalNestingIsAParseError) {
+  EXPECT_THROW(JsonValue::Parse(std::string(100000, '[')),
+               std::runtime_error);
+  std::string deep_obj;
+  for (int i = 0; i < 100000; ++i) deep_obj += "{\"a\":";
+  EXPECT_THROW(JsonValue::Parse(deep_obj), std::runtime_error);
+
+  // 200 levels (under the 256 cap) parses fine.
+  const std::string ok =
+      std::string(200, '[') + "1" + std::string(200, ']');
+  EXPECT_NO_THROW(JsonValue::Parse(ok));
+}
+
 TEST(JsonParseTest, RoundTripsJsonExportOutput) {
   // The writer side (core/json_export) and this reader must agree.
   SyntheticOptions opt;

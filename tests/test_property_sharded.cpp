@@ -436,7 +436,9 @@ TEST(ShardPlanTest, CoverageAlignmentAndClamping) {
         ShardPlan::ForShardCount(rows, requested, /*auto_shards=*/4);
     const size_t shards = plan.NumShards();
     ASSERT_GE(shards, size_t{1});
-    if (requested > 0) ASSERT_LE(shards, std::max<size_t>(1, requested));
+    if (requested > 0) {
+      ASSERT_LE(shards, std::max<size_t>(1, requested));
+    }
     size_t covered = 0;
     for (size_t s = 0; s < shards; ++s) {
       ASSERT_EQ(plan.ShardBegin(s), covered);

@@ -81,6 +81,40 @@ TEST(HttpParserTest, TypedParseErrors) {
   EXPECT_EQ(tiny_headers.error_status(), 431);
 }
 
+// Fuzz-harness property pinned as a unit test: obsolete header folding
+// (a continuation line starting with SP/HTAB, RFC 7230 §3.2.4) is
+// rejected with a 400 — the folded line has no colon — and the verdict
+// is identical whether the request arrives whole or byte-by-byte.
+TEST(HttpParserTest, ObsoleteHeaderFoldingIs400AtAnySplit) {
+  const std::string raw =
+      "GET /h HTTP/1.1\r\n"
+      "X-Folded: first\r\n"
+      "\tcontinued value\r\n"
+      "\r\n";
+
+  HttpRequestParser whole(1024);
+  EXPECT_EQ(whole.Consume(raw.data(), raw.size()),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(whole.error_status(), 400);
+
+  HttpRequestParser split(1024);
+  HttpRequestParser::State st = HttpRequestParser::State::kNeedMore;
+  for (char c : raw) {
+    st = split.Consume(&c, 1);
+    if (st != HttpRequestParser::State::kNeedMore) break;
+  }
+  EXPECT_EQ(st, HttpRequestParser::State::kError);
+  EXPECT_EQ(split.error_status(), whole.error_status());
+
+  // The space-folded variant is the same defect.
+  const std::string space_folded =
+      "GET /h HTTP/1.1\r\nA: b\r\n  c\r\n\r\n";
+  HttpRequestParser sp(1024);
+  EXPECT_EQ(sp.Consume(space_folded.data(), space_folded.size()),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(sp.error_status(), 400);
+}
+
 TEST(HttpParserTest, PipelinedRequestsParseAcrossReset) {
   const std::string raw =
       "GET /first HTTP/1.1\r\n\r\n"

@@ -217,5 +217,95 @@ TEST(CsvTest, LateFractionalCellDemotesIntToDouble) {
   EXPECT_DOUBLE_EQ(t.column("a").GetDouble(2), 2.5);
 }
 
+// Fuzzing regression: a duplicate header name used to escape as
+// Table::AddColumn's std::logic_error (a programming-error exception)
+// instead of a typed parse error for the untrusted input.
+TEST(CsvTest, DuplicateHeaderNameIsAParseError) {
+  std::istringstream in(
+      "a,b,a\n"
+      "1,2,3\n");
+  EXPECT_THROW(ReadCsv(in), std::runtime_error);
+}
+
+// Header names are compared after trimming, like AddColumn receives them.
+TEST(CsvTest, DuplicateHeaderNameAfterTrimIsAParseError) {
+  std::istringstream in("a, a \n1,2\n");
+  EXPECT_THROW(ReadCsv(in), std::runtime_error);
+}
+
+// Fuzzing regression: a null cell in a single-column table writes as an
+// empty line, and the reader's blank-line skip used to drop that row on
+// re-read (3 rows round-tripped to 2).
+TEST(CsvTest, SingleColumnNullRowSurvivesRoundTrip) {
+  std::istringstream in(
+      "a\n"
+      "1\n"
+      "NA\n"
+      "2\n");
+  const Table t = ReadCsv(in);
+  ASSERT_EQ(t.NumRows(), 3u);
+  EXPECT_TRUE(t.column("a").IsNull(1));
+
+  std::ostringstream out;
+  WriteCsv(t, out);
+  std::istringstream in2(out.str());
+  const Table back = ReadCsv(in2);
+  ASSERT_EQ(back.NumRows(), 3u);
+  EXPECT_EQ(back.column("a").GetInt(0), 1);
+  EXPECT_TRUE(back.column("a").IsNull(1));
+  EXPECT_EQ(back.column("a").GetInt(2), 2);
+}
+
+// Blank lines inside multi-column files stay skippable noise (a real row
+// would be ragged); only the single-column case treats them as data.
+TEST(CsvTest, BlankLineInMultiColumnFileIsSkipped) {
+  std::istringstream in(
+      "a,b\n"
+      "1,2\n"
+      "\n"
+      "3,4\n");
+  const Table t = ReadCsv(in);
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+// The delta reader follows the same blank-line rule as ReadCsv, so a
+// single-column round trip appends every row.
+TEST(CsvTest, DeltaSingleColumnNullRowParses) {
+  std::istringstream base_in(
+      "a\n"
+      "1\n");
+  const Table base = ReadCsv(base_in);
+  std::istringstream delta_in(
+      "a\n"
+      "5\n"
+      "\n"
+      "7\n");
+  const auto rows = ReadCsvDelta(base, delta_in);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(rows[1][0].is_null());
+}
+
+// An unterminated quoted field at EOF swallows the rest of the record
+// (the quote state machine never closes), so the multi-column row comes
+// up ragged — the reader must reject it with a typed parse error, not
+// hang waiting for the closing quote or crash.
+TEST(CsvTest, UnterminatedQuoteAtEofIsAParseError) {
+  std::istringstream in(
+      "a,b\n"
+      "\"unterminated,2\n");
+  EXPECT_THROW(ReadCsv(in), std::runtime_error);
+}
+
+// In a single-column table the swallowed record is still a valid row:
+// the unterminated quote yields one field holding the rest of the input.
+TEST(CsvTest, UnterminatedQuoteSingleColumnParsesAsOneCell) {
+  std::istringstream in(
+      "a\n"
+      "\"unterminated,2\n");
+  const Table t = ReadCsv(in);
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.column("a").GetValue(0).AsString(), "unterminated,2");
+}
+
 }  // namespace
 }  // namespace causumx

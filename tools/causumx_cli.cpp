@@ -2,11 +2,11 @@
 //
 // Runs the full pipeline on any CSV:
 //
-//   causumx --csv data.csv --group-by Country --avg Salary \
-//           [--dag graph.txt | --discover pc|fci|lingam|nodag] \
-//           [--k 5] [--theta 0.75] [--support 0.1] [--alpha 0.05] \
-//           [--where "Attr=value"] [--json] [--top-treatments N] \
-//           [--stats] [--no-cache] [--append rows.csv] \
+//   causumx --csv data.csv --group-by Country --avg Salary
+//           [--dag graph.txt | --discover pc|fci|lingam|nodag]
+//           [--k 5] [--theta 0.75] [--support 0.1] [--alpha 0.05]
+//           [--where "Attr=value"] [--json] [--top-treatments N]
+//           [--stats] [--no-cache] [--append rows.csv]
 //           [--threads N] [--shards N]
 //
 // --shards N partitions the table into N row shards executed in
@@ -24,7 +24,7 @@
 // Batch mode serves many queries through one ExplanationService, so
 // repeated queries share the warm predicate-bitset and CATE caches:
 //
-//   causumx --batch queries.jsonl [--csv data.csv] \
+//   causumx --batch queries.jsonl [--csv data.csv]
 //           [--budget-mb N] [--threads N] [--stats]
 //
 // Each line of queries.jsonl is one JSON request (see service/batch.h);

@@ -1,0 +1,444 @@
+#!/usr/bin/env python3
+"""Determinism lint for the CauSumX C++ tree.
+
+The engine's contract is bit-identical results across thread counts,
+shard counts, cache modes, and append orders (ROADMAP "bit-identical"
+invariants; the differential harness in tests/ enforces it end to end).
+The three bug classes that historically break that contract are all
+statically visible:
+
+  fp-accumulation      Raw floating-point reduction outside the blessed
+                       numeric layers: `x += ...` on a double/float
+                       declared OUTSIDE the loop doing the accumulating
+                       (the sum crosses iterations, so its value depends
+                       on iteration order), or any std::accumulate.
+                       Order-sensitive FP sums must go through
+                       util/stats (KahanSum / pairwise reducers) or the
+                       kernel layer, which own the fixed-order
+                       guarantees. Straight-line scalar composition
+                       (`logit += 0.8` on a per-row local) is fixed
+                       program order and stays quiet.
+  unordered-iteration  Range-for over std::unordered_map/set feeding a
+                       reduction or output sequence. Iteration order is
+                       implementation-defined, so anything
+                       order-sensitive must sort first (or iterate an
+                       ordered mirror).
+  raw-rng              rand()/srand()/std::random_device outside
+                       util/rng. All randomness flows through the seeded
+                       SplitMix64/Philox Rng so runs replay exactly.
+
+Findings are heuristic (this is a grep with scoping, not a compiler);
+false positives are silenced inline, on the offending line or the line
+above:
+
+    sum += x;  // causumx-lint: allow(fp-accumulation) fixed serial order
+
+Usage:
+    tools/lint_determinism.py [paths...]     # default: src/
+    tools/lint_determinism.py --self-test    # run the fixture suite
+    tools/lint_determinism.py --list-rules
+
+Exit status: 0 clean, 1 findings (or self-test failure), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Iterable, List, NamedTuple, Optional, Set
+
+# Files whose whole job is FP accumulation: the blessed numeric layers.
+FP_EXEMPT_BASENAMES = re.compile(r"^(stats\.[^/]+|kernels[^/]*)$")
+FP_EXEMPT_DIRS = ("util",)  # exemption applies only inside src/util/
+
+# The one home randomness is allowed to live in.
+RNG_EXEMPT = re.compile(r"(^|/)util/rng[^/]*$")
+
+ALLOW_RE = re.compile(r"//\s*causumx-lint:\s*allow\(([a-z\-,\s]+)\)")
+
+RULES = {
+    "fp-accumulation": (
+        "raw floating-point accumulation; route order-sensitive sums "
+        "through util/stats (KahanSum) or the kernel layer"
+    ),
+    "unordered-iteration": (
+        "iteration over an unordered container feeds a reduction or "
+        "output sequence; iteration order is implementation-defined — "
+        "sort keys first"
+    ),
+    "raw-rng": (
+        "direct rand()/std::random_device; all randomness must flow "
+        "through the seeded util/rng generators"
+    ),
+}
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int  # 1-based
+    rule: str
+    detail: str
+
+
+def strip_noise(line: str) -> str:
+    """Removes string/char literals and // comments from one line.
+
+    Keeps the line length stable where it can so column positions stay
+    meaningful; block comments are handled by the caller's state.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == '"' or c == "'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append(quote)
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+DECL_FP_RE = re.compile(
+    r"\b(?:double|float)\s+(?:\w+\s*,\s*)*(\w+(?:\s*,\s*\w+)*)\s*(?:[={;(\[]|$)"
+)
+DECL_FP_AUTO_RE = re.compile(r"\bauto\s+(\w+)\s*=\s*[^;]*?\d+\.\d")
+# Non-FP declarations shadow an earlier FP declaration of the same name
+# (file-level tracking is scope-blind; the nearest declaration wins).
+DECL_INT_RE = re.compile(
+    r"\b(?:int|long|short|bool|char|size_t|unsigned|u?int\d+_t|ssize_t)"
+    r"(?:\s+long)?\s+(\w+)\s*(?:[={;(\[]|$)"
+)
+DECL_INT_AUTO_RE = re.compile(r"\bauto\s+(\w+)\s*=\s*\d+\s*[;,)]")
+DECL_UNORDERED_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*&?\s*(\w+)"
+)
+DECL_ORDERED_RE = re.compile(
+    r"\bstd::(?:map|set|multimap|multiset|vector|deque|list)"
+    r"\s*<[^;{]*?>\s*&?\s*(\w+)"
+)
+UNORDERED_ALIAS_HINT_RE = re.compile(r"unordered", re.IGNORECASE)
+COMPOUND_FP_RE = re.compile(r"\b(\w+(?:\.\w+|->\w+|\[[^\]]*\])*)\s*[+\-*]=")
+ACCUMULATE_RE = re.compile(r"\bstd::accumulate\s*\(")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*(?:const\s+)?[^;:]*:\s*([^)]+)\)")
+RAND_RE = re.compile(r"(?<![\w:.])(?:s?rand)\s*\(")
+RANDOM_DEVICE_RE = re.compile(r"\bstd::random_device\b")
+OUTPUT_HINT_RE = re.compile(r"(<<|push_back|emplace_back|append|\+=)")
+
+
+def fp_exempt(path: str) -> bool:
+    norm = path.replace(os.sep, "/")
+    parts = norm.split("/")
+    base = parts[-1]
+    return (
+        len(parts) >= 2
+        and parts[-2] in FP_EXEMPT_DIRS
+        and FP_EXEMPT_BASENAMES.match(base) is not None
+    )
+
+
+def rng_exempt(path: str) -> bool:
+    return RNG_EXEMPT.search(path.replace(os.sep, "/")) is not None
+
+
+def allowed_rules(raw_lines: List[str], idx: int) -> Set[str]:
+    """Rules silenced for line `idx` (0-based): hatch on it or just above."""
+    rules: Set[str] = set()
+    for look in (idx, idx - 1):
+        if 0 <= look < len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[look])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def lint_text(path: str, text: str) -> List[Finding]:
+    raw_lines = text.splitlines()
+
+    # Strip block comments with line-granular state, then literals and
+    # line comments, so detection regexes never fire inside prose.
+    code_lines: List[str] = []
+    in_block = False
+    for raw in raw_lines:
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                code_lines.append("")
+                continue
+            line = " " * (end + 2) + line[end + 2 :]
+            in_block = False
+        # Handle (possibly several) /* ... */ spans on one line.
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2 :]
+        code_lines.append(strip_noise(line))
+
+    # Pass 1: record declarations of interest per identifier, in line
+    # order. Scope tracking is deliberately coarse (a whole file is one
+    # scope), so at a use site the *nearest preceding* declaration wins —
+    # `long sum` after `double sum` makes later `sum +=` integral.
+    fp_decls: dict = {}  # ident -> [(line_idx, is_fp)]
+    container_decls: dict = {}  # ident -> [(line_idx, is_unordered)]
+    for idx, line in enumerate(code_lines):
+        for m in DECL_FP_RE.finditer(line):
+            for name in re.split(r"\s*,\s*", m.group(1)):
+                if name:
+                    fp_decls.setdefault(name, []).append((idx, True))
+        for m in DECL_FP_AUTO_RE.finditer(line):
+            fp_decls.setdefault(m.group(1), []).append((idx, True))
+        for m in DECL_INT_RE.finditer(line):
+            fp_decls.setdefault(m.group(1), []).append((idx, False))
+        for m in DECL_INT_AUTO_RE.finditer(line):
+            fp_decls.setdefault(m.group(1), []).append((idx, False))
+        for m in DECL_UNORDERED_RE.finditer(line):
+            container_decls.setdefault(m.group(1), []).append((idx, True))
+        for m in DECL_ORDERED_RE.finditer(line):
+            container_decls.setdefault(m.group(1), []).append((idx, False))
+
+    # Loop spans: for each line, the start line of the innermost
+    # enclosing for/while loop (brace-counted; None outside any loop).
+    # An accumulation is order-sensitive only when the accumulator was
+    # declared before its enclosing loop began.
+    innermost_loop_start: List[Optional[int]] = [None] * len(code_lines)
+    loop_stack: List[List[int]] = []  # [start_idx, open_braces_remaining]
+    pending_loop: Optional[int] = None  # loop header seen, '{' not yet
+    for idx, line in enumerate(code_lines):
+        if pending_loop is None and re.search(
+            r"\b(?:for|while)\s*\(", line
+        ):
+            pending_loop = idx
+        for ch in line:
+            if ch == "{":
+                if pending_loop is not None:
+                    loop_stack.append([pending_loop, 1])
+                    pending_loop = None
+                elif loop_stack:
+                    loop_stack[-1][1] += 1
+            elif ch == "}":
+                if loop_stack:
+                    loop_stack[-1][1] -= 1
+                    if loop_stack[-1][1] == 0:
+                        loop_stack.pop()
+        if (
+            pending_loop is not None
+            and line.strip().endswith(";")
+            and line.count("(") == line.count(")")
+        ):
+            # Braceless single-statement loop body: the statement line(s)
+            # count as inside; close it at the semicolon.
+            innermost_loop_start[idx] = pending_loop
+            pending_loop = None
+        if loop_stack:
+            innermost_loop_start[idx] = loop_stack[-1][0]
+
+    def nearest(decls: dict, ident: str, at_idx: int):
+        """(decl_line, kind) of the nearest declaration of `ident` at or
+        before `at_idx` (falls forward to the first one for uses that
+        precede any declaration, e.g. a use above a header's member
+        list). None when never declared in this file."""
+        entries = decls.get(ident)
+        if not entries:
+            return None
+        best = None
+        for line_idx, kind in entries:
+            if line_idx <= at_idx:
+                best = (line_idx, kind)
+            else:
+                break
+        return best if best is not None else entries[0]
+
+    findings: List[Finding] = []
+
+    def emit(idx: int, rule: str, detail: str) -> None:
+        if rule in allowed_rules(raw_lines, idx):
+            return
+        findings.append(Finding(path, idx + 1, rule, detail))
+
+    check_fp = not fp_exempt(path)
+    check_rng = not rng_exempt(path)
+
+    for idx, line in enumerate(code_lines):
+        if check_fp:
+            loop_start = innermost_loop_start[idx]
+            for m in COMPOUND_FP_RE.finditer(line):
+                if loop_start is None:
+                    break  # straight-line composition: fixed program order
+                target = m.group(1)
+                root = re.split(r"[.\->\[]", target)[0]
+                decl = nearest(fp_decls, root, idx) or nearest(
+                    fp_decls, target, idx
+                )
+                if decl is not None and decl[1] and decl[0] < loop_start:
+                    emit(
+                        idx,
+                        "fp-accumulation",
+                        f"`{m.group(0).strip()}` on floating-point "
+                        f"`{target}` accumulates across loop iterations",
+                    )
+            if ACCUMULATE_RE.search(line):
+                emit(idx, "fp-accumulation", "std::accumulate call")
+
+        for m in RANGE_FOR_RE.finditer(line):
+            expr = m.group(1).strip()
+            root = re.split(r"[.\->\[(]", expr)[0].strip(" &*")
+            container = nearest(container_decls, root, idx)
+            if (container is not None and container[1]) or (
+                container is None and UNORDERED_ALIAS_HINT_RE.search(expr)
+            ):
+                # Only order-sensitive consumption is a defect: look for a
+                # reduction/output in the loop header or the lines below.
+                window = " ".join(code_lines[idx : idx + 8])
+                if OUTPUT_HINT_RE.search(window):
+                    emit(
+                        idx,
+                        "unordered-iteration",
+                        f"range-for over unordered `{root or expr}` "
+                        "feeding a reduction/output",
+                    )
+
+        if check_rng:
+            if RAND_RE.search(line):
+                emit(idx, "raw-rng", "rand()/srand() call")
+            if RANDOM_DEVICE_RE.search(line):
+                emit(idx, "raw-rng", "std::random_device use")
+
+    return findings
+
+
+CPP_EXTS = (".h", ".hpp", ".cc", ".cpp", ".cxx", ".inl")
+
+
+def collect_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(CPP_EXTS):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"lint_determinism: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(files)
+
+
+def run_lint(paths: List[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    for path in collect_files(paths):
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            findings.extend(lint_text(path, fh.read()))
+    return findings
+
+
+# --- self-test ---------------------------------------------------------------
+
+EXPECT_RE = re.compile(r"//\s*EXPECT-FLAG\(([a-z\-]+)\)")
+
+
+def self_test(fixture_dir: str) -> int:
+    """Fixture files encode expectations inline: a line carrying
+    `// EXPECT-FLAG(<rule>)` must be reported with exactly that rule;
+    every other reported line is a false positive. Both directions fail
+    the self-test."""
+    failures = 0
+    fixture_files = collect_files([fixture_dir])
+    if not fixture_files:
+        print(f"self-test: no fixtures under {fixture_dir}", file=sys.stderr)
+        return 1
+    for path in fixture_files:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        expected = {}  # line (1-based) -> rule
+        for idx, raw in enumerate(text.splitlines()):
+            m = EXPECT_RE.search(raw)
+            if m:
+                expected[idx + 1] = m.group(1)
+        got = {(f.line, f.rule) for f in lint_text(path, text)}
+        for line, rule in sorted(expected.items()):
+            if (line, rule) not in got:
+                print(f"self-test MISS: {path}:{line} expected {rule}")
+                failures += 1
+        for line, rule in sorted(got):
+            if expected.get(line) != rule:
+                print(f"self-test FALSE-POSITIVE: {path}:{line} {rule}")
+                failures += 1
+    total = sum(
+        len(EXPECT_RE.findall(open(p, encoding="utf-8").read()))
+        for p in fixture_files
+    )
+    if failures:
+        print(f"self-test: {failures} failure(s)")
+        return 1
+    print(
+        f"self-test: ok — {len(fixture_files)} fixture(s), "
+        f"{total} expectation(s)"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lint_determinism.py",
+        description="Determinism lint for the CauSumX C++ tree.",
+    )
+    parser.add_argument("paths", nargs="*", help="files/dirs (default: src/)")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the checked-in fixture suite and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule set"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, blurb in RULES.items():
+            print(f"{rule}: {blurb}")
+        return 0
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if args.self_test:
+        return self_test(os.path.join(repo_root, "tools", "lint_fixtures"))
+
+    paths = args.paths or [os.path.join(repo_root, "src")]
+    findings = run_lint(paths)
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.detail}")
+    if findings:
+        print(
+            f"lint_determinism: {len(findings)} finding(s); silence "
+            "intentional sites with  // causumx-lint: allow(<rule>)"
+        )
+        return 1
+    print("lint_determinism: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

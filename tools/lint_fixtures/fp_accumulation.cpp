@@ -1,0 +1,94 @@
+// Fixture for the fp-accumulation rule. Lines carrying EXPECT-FLAG must
+// be reported with that rule by lint_determinism.py --self-test; every
+// other line must stay quiet. This file is never compiled.
+
+#include <numeric>
+#include <vector>
+
+double BadRawSum(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;  // EXPECT-FLAG(fp-accumulation)
+  }
+  return sum;
+}
+
+double BadCompoundFormsInLoop(const std::vector<double>& xs) {
+  float acc = 0.0f;
+  double scale = 1.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    acc -= static_cast<float>(xs[i]);  // EXPECT-FLAG(fp-accumulation)
+    scale *= xs[i];                    // EXPECT-FLAG(fp-accumulation)
+  }
+  return acc + scale;
+}
+
+double BadAccumulate(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);  // EXPECT-FLAG(fp-accumulation)
+}
+
+double BadAutoDouble(const std::vector<double>& xs) {
+  auto total = 0.5;
+  for (double x : xs) total += x;  // EXPECT-FLAG(fp-accumulation)
+  return total;
+}
+
+double BadWhileLoop(const std::vector<double>& xs) {
+  double sum = 0.0;
+  size_t i = 0;
+  while (i < xs.size()) {
+    sum += xs[i];  // EXPECT-FLAG(fp-accumulation)
+    ++i;
+  }
+  return sum;
+}
+
+// Negative cases: integer accumulation is order-insensitive and fine.
+long GoodIntSum(const std::vector<long>& xs) {
+  long sum = 0;
+  size_t count = 0;
+  for (long x : xs) {
+    sum += x;
+    count += 1;
+  }
+  return sum + static_cast<long>(count);
+}
+
+// Negative case: straight-line scalar composition (no loop) is fixed
+// program order — `logit += 0.8` chains in datagen are deterministic.
+double GoodStraightLineComposition(double age, bool employed) {
+  double logit = 0.0;
+  logit += 0.04 * age;
+  logit -= 1.5;
+  if (employed) logit += 0.8;
+  return logit;
+}
+
+// Negative case: a per-iteration local declared inside the loop resets
+// every pass, so nothing accumulates across iterations.
+double GoodPerIterationLocal(const std::vector<double>& xs) {
+  double last = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double row_score = 1.0;
+    row_score += xs[i];
+    last = row_score;
+  }
+  return last;
+}
+
+// Negative case: the inline escape hatch silences a justified site.
+double AllowedKahanStyle(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) {
+    // causumx-lint: allow(fp-accumulation) fixed serial order by design
+    sum += x;
+  }
+  for (double x : xs) {
+    sum += x;  // causumx-lint: allow(fp-accumulation) same-line hatch
+  }
+  return sum;
+}
+
+// Negative case: mentions of "sum += x" in comments or strings stay
+// quiet, as does prose about std::accumulate.
+const char* kDoc = "example: sum += x via std::accumulate";

@@ -1,0 +1,36 @@
+// Fixture for the raw-rng rule (see fp_accumulation.cpp for the
+// EXPECT-FLAG protocol). This file is never compiled.
+
+#include <cstdlib>
+#include <random>
+
+int BadRand() {
+  return rand();  // EXPECT-FLAG(raw-rng)
+}
+
+void BadSrand(unsigned seed) {
+  srand(seed);  // EXPECT-FLAG(raw-rng)
+}
+
+unsigned BadRandomDevice() {
+  std::random_device rd;  // EXPECT-FLAG(raw-rng)
+  return rd();
+}
+
+// Negative case: identifiers merely containing "rand" stay quiet.
+int GoodIdentifiers(int operand) {
+  int grand_total = operand;
+  return grand_total;
+}
+
+// Negative case: the project's own seeded generator is the sanctioned
+// path (util/rng.h exposes Rng; naming it here must not trip anything).
+struct Rng;
+int GoodSeededRng(Rng& /*rng*/) { return 0; }
+
+// Negative case: the escape hatch for a justified site (e.g. seeding an
+// integration test's port picker where determinism is irrelevant).
+unsigned AllowedRandomDevice() {
+  std::random_device rd;  // causumx-lint: allow(raw-rng) port picker
+  return rd();
+}

@@ -1,0 +1,60 @@
+// Fixture for the unordered-iteration rule (see fp_accumulation.cpp for
+// the EXPECT-FLAG protocol). This file is never compiled.
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+double BadReductionOverUnorderedMap(
+    const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, w] : weights) {  // EXPECT-FLAG(unordered-iteration)
+    // The += below also trips fp-accumulation on its own line; this
+    // fixture pins the loop-header finding.
+    // causumx-lint: allow(fp-accumulation)
+    total += w;
+  }
+  return total;
+}
+
+std::vector<std::string> BadOutputOrderFromUnorderedSet(
+    const std::unordered_set<std::string>& names) {
+  std::vector<std::string> out;
+  for (const auto& name : names) {  // EXPECT-FLAG(unordered-iteration)
+    out.push_back(name);
+  }
+  return out;
+}
+
+// Negative case: ordered containers iterate deterministically.
+std::vector<std::string> GoodOrderedMap(
+    const std::map<std::string, int>& counts) {
+  std::vector<std::string> out;
+  for (const auto& [key, n] : counts) {
+    if (n > 0) out.push_back(key);
+  }
+  return out;
+}
+
+// Negative case: order-insensitive consumption of an unordered map (a
+// pure lookup / max scan with no reduction or output in the window).
+bool GoodMembershipScan(
+    const std::unordered_map<std::string, int>& counts) {
+  for (const auto& [key, n] : counts) {
+    if (n > 1000) return true;
+  }
+  return false;
+}
+
+// Negative case: the escape hatch on a sorted-downstream iteration.
+std::vector<std::string> AllowedSortedAfter(
+    const std::unordered_set<std::string>& names) {
+  std::vector<std::string> out;
+  // causumx-lint: allow(unordered-iteration) sorted before use below
+  for (const auto& name : names) {
+    out.push_back(name);
+  }
+  return out;
+}

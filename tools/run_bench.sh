@@ -12,17 +12,19 @@
 # Env:   BUILD_DIR (default: build), CAUSUMX_BENCH_SCALE (default: 0.2)
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT_DIR="${1:-.}"
 mkdir -p "$OUT_DIR"
 
+wrote=()
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target bench_phase_breakdown
 if cmake --build "$BUILD_DIR" -j --target bench_micro 2>/dev/null; then
   "$BUILD_DIR/bench_micro" \
     --benchmark_out="$OUT_DIR/BENCH_micro.json" \
     --benchmark_out_format=json
+  wrote+=("$OUT_DIR/BENCH_micro.json")
 else
   echo "bench_micro unavailable (Google Benchmark not found) — skipping"
 fi
@@ -30,6 +32,8 @@ fi
 cmake --build "$BUILD_DIR" -j --target bench_kernels
 
 "$BUILD_DIR/bench_phase_breakdown" --json "$OUT_DIR/BENCH_phase_breakdown.json"
+wrote+=("$OUT_DIR/BENCH_phase_breakdown.json")
 "$BUILD_DIR/bench_kernels" --json "$OUT_DIR/BENCH_kernels.json"
+wrote+=("$OUT_DIR/BENCH_kernels.json")
 
-echo "wrote $OUT_DIR/BENCH_micro.json, $OUT_DIR/BENCH_phase_breakdown.json, and $OUT_DIR/BENCH_kernels.json"
+echo "wrote ${wrote[*]}"
