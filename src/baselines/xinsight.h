@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "causal/estimator.h"
+#include "causal/estimator_types.h"
 #include "dataset/group_query.h"
 #include "mining/treatment_miner.h"
 

@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "causal/independence.h"
+#include "causal/pc.h"
 
 namespace causumx {
 

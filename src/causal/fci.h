@@ -10,7 +10,8 @@
 #ifndef CAUSUMX_CAUSAL_FCI_H_
 #define CAUSUMX_CAUSAL_FCI_H_
 
-#include "causal/pc.h"
+#include "causal/dag.h"
+#include "dataset/table.h"
 
 namespace causumx {
 

@@ -1,5 +1,7 @@
 #include "causal/pc.h"
 
+#include "causal/independence.h"
+
 #include <algorithm>
 #include <functional>
 

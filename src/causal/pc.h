@@ -15,7 +15,6 @@
 #include <vector>
 
 #include "causal/dag.h"
-#include "causal/independence.h"
 #include "dataset/table.h"
 
 namespace causumx {

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "causal/dag.h"
-#include "causal/estimator.h"
+#include "causal/estimator_context.h"
 #include "core/explanation.h"
 #include "dataset/fd.h"
 #include "dataset/group_query.h"
@@ -48,7 +48,7 @@ struct CauSumXConfig {
   /// Row shards for the parallel execution engine: 0 = one shard per
   /// worker thread, N >= 1 = that many shards (clamped to one per 64-row
   /// block). Results are bit-identical for every value — sharding only
-  /// changes how the work is scheduled (see engine/shard_plan.h).
+  /// changes how the work is scheduled (see util/shard_plan.h).
   size_t num_shards = 0;
   /// Mine both signs (paper default) or positive-only.
   bool mine_negative = true;

@@ -8,8 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "causal/estimator.h"
-#include "dataset/group_query.h"
+#include "causal/estimator_types.h"
 #include "dataset/pattern.h"
 #include "util/bitset.h"
 

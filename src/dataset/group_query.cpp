@@ -7,7 +7,7 @@
 #include <sstream>
 #include <unordered_map>
 
-#include "engine/shard_plan.h"
+#include "util/shard_plan.h"
 #include "util/stats.h"
 #include "util/string_utils.h"
 #include "util/thread_pool.h"

@@ -65,8 +65,12 @@ void EvalPredicateWords(const Table& table, const SimplePredicate& pred,
                         size_t begin, size_t end, uint64_t* out) {
   const size_t n = end - begin;
   if (n == 0) return;
+  // causumx-analyzer: allow(hot-path-throw) unknown-attribute throw is the
+  // cold input-validation path; predicates are checked at intern time.
   const Column& col = table.column(pred.attribute);
   if (col.type() == ColumnType::kCategorical) {
+    // causumx-analyzer: allow(hot-path-alloc) one constant decode per
+    // predicate evaluation (O(1) per call, not per row).
     const std::string rhs =
         pred.value.is_string() ? pred.value.AsString() : pred.value.ToString();
     if (pred.op == CompareOp::kEq) {
@@ -86,6 +90,8 @@ void EvalPredicateWords(const Table& table, const SimplePredicate& pred,
     // string compares into a per-dictionary-entry lookup table — one
     // compare per distinct value instead of one per row — then gather.
     const std::vector<std::string>& dict = col.dictionary();
+    // causumx-analyzer: allow(hot-path-alloc) O(|dict|) setup buffer that
+    // hoists per-row string compares out of the row loop.
     std::vector<uint8_t> lut(dict.size());
     for (size_t c = 0; c < dict.size(); ++c) {
       lut[c] = ApplyOpToCmp(pred.op, dict[c].compare(rhs)) ? 1 : 0;
@@ -99,11 +105,16 @@ void EvalPredicateWords(const Table& table, const SimplePredicate& pred,
   // cases diverge from the kernels' direct IEEE semantics, so they take
   // the reference loop; everything else is a vector compare.
   if (!pred.value.is_double() && !pred.value.is_int()) {
+    // causumx-analyzer: allow(hot-path-alloc, hot-path-throw) cold
+    // fallback for non-numeric constants; the scalar reference loop is
+    // exempt from kernel-tier constraints by design (see kernels.h).
     ReferenceWords(table, pred, begin, end, out);
     return;
   }
   const double rhs = pred.value.AsDouble();
   if (std::isnan(rhs)) {
+    // causumx-analyzer: allow(hot-path-alloc, hot-path-throw) cold
+    // fallback for NaN constants, as above.
     ReferenceWords(table, pred, begin, end, out);
     return;
   }
@@ -182,6 +193,8 @@ Bitset Pattern::EvaluateRange(const Table& table, size_t begin,
   // EvalPredicateWords.
   EvalPredicateWords(table, preds_[0], begin, end, out.mutable_data());
   if (preds_.size() > 1) {
+    // causumx-analyzer: allow(hot-path-alloc) one scratch buffer per
+    // multi-predicate evaluation, reused across all predicate passes.
     std::vector<uint64_t> scratch(out.num_words());
     for (size_t i = 1; i < preds_.size(); ++i) {
       EvalPredicateWords(table, preds_[i], begin, end, scratch.data());

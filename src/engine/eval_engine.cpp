@@ -264,6 +264,10 @@ std::vector<std::shared_ptr<const SegmentBits>> EvalEngine::SegmentsOf(
     // with the evaluation itself.
     std::vector<std::shared_ptr<const SegmentBits>> built(missing.size());
     const SimplePredicate& pred = slot->pred;
+    // causumx-analyzer: allow(lock-blocking) intentional: the sharded
+    // build fans out while holding this slot's mutex so concurrent
+    // readers of the same predicate block instead of duplicating the
+    // build; workers take no locks, so no cycle is possible.
     RunSharded(missing.size(), [&](size_t i) {
       const size_t s = missing[i];
       built[i] = std::make_shared<const SegmentBits>(SegmentBits::Choose(
@@ -347,6 +351,9 @@ const NumericColumnView& EvalEngine::Numeric(size_t col) {
   // Shards write disjoint index ranges of `values` and disjoint
   // (word-aligned) ranges of `valid`; the ParallelFor join publishes
   // their writes before `ready` is released below.
+  // causumx-analyzer: allow(lock-blocking) intentional: the sharded view
+  // build runs under this column's mutex so concurrent callers block on
+  // one build instead of duplicating it; workers take no locks.
   RunSharded(plan_.NumShards(), [&](size_t s) {
     const size_t end = plan_.ShardEnd(s);
     for (size_t r = plan_.ShardBegin(s); r < end; ++r) {

@@ -47,7 +47,7 @@
 #include "dataset/pattern.h"
 #include "dataset/predicate.h"
 #include "dataset/table.h"
-#include "engine/shard_plan.h"
+#include "util/shard_plan.h"
 #include "util/bitset.h"
 #include "util/compressed_bitset.h"
 #include "util/thread_annotations.h"

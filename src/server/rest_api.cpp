@@ -4,7 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "engine/eval_engine.h"
+#include "service/batch.h"
 #include "util/json.h"
 #include "util/string_utils.h"
 
@@ -52,23 +52,14 @@ HttpResponse HandleStats(ExplanationService& service) {
       .Key("cache_enabled").Bool(service.options().cache_enabled)
       .EndObject();
   w.Key("tables").BeginArray();
-  for (const std::string& name : service.TableNames()) {
-    // A table dropped between TableNames and here is simply skipped.
-    std::shared_ptr<const Table> table;
-    std::shared_ptr<EvalEngine> engine;
-    try {
-      table = service.GetTable(name);
-      engine = service.Engine(name);
-    } catch (const std::out_of_range&) {
-      continue;
-    }
+  for (const TableDescription& d : service.DescribeTables()) {
     w.BeginObject()
-        .Key("name").String(name)
-        .Key("rows").Uint(table->NumRows())
-        .Key("columns").Uint(table->NumColumns())
-        .Key("version").Uint(table->version());
+        .Key("name").String(d.name)
+        .Key("rows").Uint(d.rows)
+        .Key("columns").Uint(d.columns)
+        .Key("version").Uint(d.version);
     w.Key("engine");
-    WriteEngineStats(w, engine->Stats());
+    WriteEngineStats(w, d.engine);
     w.EndObject();
   }
   w.EndArray();
@@ -79,18 +70,12 @@ HttpResponse HandleStats(ExplanationService& service) {
 HttpResponse HandleTables(ExplanationService& service) {
   JsonWriter w;
   w.BeginArray();
-  for (const std::string& name : service.TableNames()) {
-    std::shared_ptr<const Table> table;
-    try {
-      table = service.GetTable(name);
-    } catch (const std::out_of_range&) {
-      continue;
-    }
+  for (const TableDescription& d : service.DescribeTables()) {
     w.BeginObject()
-        .Key("name").String(name)
-        .Key("rows").Uint(table->NumRows())
-        .Key("columns").Uint(table->NumColumns())
-        .Key("version").Uint(table->version())
+        .Key("name").String(d.name)
+        .Key("rows").Uint(d.rows)
+        .Key("columns").Uint(d.columns)
+        .Key("version").Uint(d.version)
         .EndObject();
   }
   w.EndArray();

@@ -30,7 +30,6 @@
 #include <string>
 
 #include "server/http_server.h"
-#include "service/batch.h"
 #include "service/explanation_service.h"
 
 namespace causumx {

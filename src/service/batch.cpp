@@ -12,7 +12,6 @@
 #include "causal/dag_io.h"
 #include "causal/discovery.h"
 #include "core/json_export.h"
-#include "dataset/csv.h"
 #include "util/json.h"
 #include "util/string_utils.h"
 #include "util/timer.h"

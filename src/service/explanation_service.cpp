@@ -120,6 +120,30 @@ std::vector<std::string> ExplanationService::TableNames() const {
   return names;
 }
 
+std::vector<TableDescription> ExplanationService::DescribeTables() const {
+  // One registry lock for the whole snapshot; the engine counter reads
+  // (atomics + the engine's own interner lock) happen after mu_ is
+  // released, keeping the critical section to shared_ptr copies.
+  std::vector<std::pair<std::string, TableEntry>> entries;
+  {
+    util::MutexLock lock(mu_);
+    entries.reserve(tables_.size());
+    for (const auto& [name, entry] : tables_) entries.emplace_back(name, entry);
+  }
+  std::vector<TableDescription> out;
+  out.reserve(entries.size());
+  for (const auto& [name, entry] : entries) {
+    TableDescription d;
+    d.name = name;
+    d.rows = entry.table->NumRows();
+    d.columns = entry.table->NumColumns();
+    d.version = entry.table->version();
+    d.engine = entry.engine->Stats();
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
 ExplanationService::TableEntry ExplanationService::Snapshot(
     const std::string& name) const {
   util::MutexLock lock(mu_);

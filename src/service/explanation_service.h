@@ -73,6 +73,19 @@ struct ServiceStats {
   size_t cache_bytes = 0;            ///< current accounted evictable bytes
 };
 
+/// Point-in-time description of one registered table: identity, shape,
+/// data version, and the cache counters of its long-lived engine. This
+/// is the service-level view the REST layer serves — server code reads
+/// these instead of reaching for EvalEngine itself (the server/ module
+/// depends only on service/ and util/, see docs/ARCHITECTURE.md).
+struct TableDescription {
+  std::string name;       ///< registry key the table was registered under
+  size_t rows = 0;        ///< row count at snapshot time
+  size_t columns = 0;     ///< column count at snapshot time
+  uint64_t version = 0;   ///< data version (bumped by every append)
+  EvalEngineStats engine; ///< cache counters of the table's engine
+};
+
 /// A shared, thread-safe registry of tables with warm evaluation caches.
 ///
 /// Thread-safe: registration, Explain/ExplainAsync, and budget
@@ -117,6 +130,13 @@ class ExplanationService {
   void DropTable(const std::string& name);
   /// Names of every registered table (unordered snapshot).
   std::vector<std::string> TableNames() const;
+
+  /// Descriptions of every registered table, captured from one registry
+  /// snapshot — callers never race a concurrent DropTable the way a
+  /// TableNames + per-name lookup loop would. Engine counters are read
+  /// outside the registry lock.
+  std::vector<TableDescription> DescribeTables() const
+      CAUSUMX_EXCLUDES(mu_);
 
   /// Registered table by name; throws std::out_of_range on an unknown one.
   std::shared_ptr<const Table> GetTable(const std::string& name) const;

@@ -1,4 +1,4 @@
-#include "engine/shard_plan.h"
+#include "util/shard_plan.h"
 
 #include <algorithm>
 

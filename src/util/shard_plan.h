@@ -28,12 +28,13 @@
 // worker thread. Out-of-range requests clamp (a shard is never smaller
 // than one block and never empty), so any N is valid.
 //
-// Layering note: this header deliberately depends only on src/util, so
-// lower layers (the dataset layer's sharded AggregateView overload)
-// can consume plans without an include cycle through the engine.
+// Layering note: this lives in src/util (it depends on nothing but
+// <cstddef>) precisely so lower layers — the dataset layer's sharded
+// AggregateView overload — can consume plans without reaching up into
+// the engine module. The architectural analyzer enforces that DAG.
 
-#ifndef CAUSUMX_ENGINE_SHARD_PLAN_H_
-#define CAUSUMX_ENGINE_SHARD_PLAN_H_
+#ifndef CAUSUMX_UTIL_SHARD_PLAN_H_
+#define CAUSUMX_UTIL_SHARD_PLAN_H_
 
 #include <cstddef>
 
@@ -88,4 +89,4 @@ class ShardPlan {
 
 }  // namespace causumx
 
-#endif  // CAUSUMX_ENGINE_SHARD_PLAN_H_
+#endif  // CAUSUMX_UTIL_SHARD_PLAN_H_

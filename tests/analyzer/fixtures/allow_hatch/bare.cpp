@@ -1,0 +1,5 @@
+// Deliberate violation: this hatch names a rule but gives no reason, so
+// the analyzer flags the hatch itself.
+#include "values.h"  // causumx-analyzer: allow(unused-include)
+
+int OtherValue() { return 4; }

@@ -1,0 +1,6 @@
+#ifndef FIXTURE_VALUES_H_
+#define FIXTURE_VALUES_H_
+
+int SharedValue();
+
+#endif  // FIXTURE_VALUES_H_

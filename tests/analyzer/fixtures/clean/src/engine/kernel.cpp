@@ -1,0 +1,12 @@
+#include "engine/kernel.h"
+
+long SumRange(const long* xs, int n) {
+  long total = 0;
+  for (int i = 0; i < n; ++i) total += xs[i];
+  return total;
+}
+
+const CleanOps* GetCleanOps() {
+  static const CleanOps ops = {&SumRange};
+  return &ops;
+}

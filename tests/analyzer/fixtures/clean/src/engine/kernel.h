@@ -1,0 +1,11 @@
+#ifndef FIXTURE_CLEAN_ENGINE_KERNEL_H_
+#define FIXTURE_CLEAN_ENGINE_KERNEL_H_
+
+struct CleanOps {
+  long (*sum)(const long*, int);
+};
+
+long SumRange(const long* xs, int n);
+const CleanOps* GetCleanOps();
+
+#endif  // FIXTURE_CLEAN_ENGINE_KERNEL_H_

@@ -1,0 +1,20 @@
+#include "util/sync.h"
+
+struct CleanServer {
+  void AcceptLoop();
+  int Decode(const std::string& raw);
+};
+
+int CleanServer::Decode(const std::string& raw) {
+  try {
+    return std::stoi(raw);
+  } catch (...) {
+    return 0;
+  }
+}
+
+void CleanServer::AcceptLoop() {
+  JobQueue queue;
+  queue.Post();
+  Decode("1");
+}

@@ -1,0 +1,24 @@
+#include "util/sync.h"
+
+void JobQueue::Await() {
+  util::MutexLock lock(mu);
+  while (pending == 0) {
+    cv.Wait(mu);
+  }
+  --pending;
+}
+
+void JobQueue::Post() {
+  util::MutexLock lock(mu);
+  ++pending;
+}
+
+void RunPhases(TwoPhase* tp) {
+  util::MutexLock a(tp->first);
+  util::MutexLock b(tp->second);
+}
+
+void RunPhasesAgain(TwoPhase* tp) {
+  util::MutexLock a(tp->first);
+  util::MutexLock b(tp->second);
+}

@@ -1,0 +1,21 @@
+#ifndef FIXTURE_CLEAN_UTIL_SYNC_H_
+#define FIXTURE_CLEAN_UTIL_SYNC_H_
+
+struct JobQueue {
+  util::Mutex mu;
+  util::CondVar cv;
+  int pending = 0;
+
+  void Await();
+  void Post();
+};
+
+struct TwoPhase {
+  util::Mutex first;
+  util::Mutex second;
+};
+
+void RunPhases(TwoPhase* tp);
+void RunPhasesAgain(TwoPhase* tp);
+
+#endif  // FIXTURE_CLEAN_UTIL_SYNC_H_

@@ -1,0 +1,25 @@
+// Deliberate violation: AcceptLoop reaches ParseHeader, whose stoi can
+// throw out of the boundary; ServeOne shows the covered pattern.
+
+struct MiniServer {
+  void AcceptLoop();
+  void ServeOne();
+  int ParseHeader(const std::string& raw);
+};
+
+int MiniServer::ParseHeader(const std::string& raw) {
+  return std::stoi(raw);
+}
+
+void MiniServer::ServeOne() {
+  try {
+    ParseHeader("42");
+  } catch (const std::exception& e) {
+    (void)e;
+  }
+}
+
+void MiniServer::AcceptLoop() {
+  ServeOne();
+  ParseHeader("7");
+}

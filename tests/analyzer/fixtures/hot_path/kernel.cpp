@@ -1,0 +1,29 @@
+// Deliberate violations: FastSum is wired into the dispatch table yet
+// heap-allocates, throws, and makes a virtual call.
+
+struct Renderer {
+  virtual void Render();
+};
+
+struct KernelOps {
+  int (*sum)(const int*, int);
+};
+
+int FastSum(const int* xs, int n);
+
+const KernelOps* GetOps() {
+  static const KernelOps ops = {&FastSum};
+  return &ops;
+}
+
+int FastSum(const int* xs, int n) {
+  std::vector<int> scratch(n);
+  if (n < 0) {
+    throw std::runtime_error("negative length");
+  }
+  Renderer r;
+  r.Render();
+  int total = 0;
+  for (int i = 0; i < n; ++i) total += scratch[i] + xs[i];
+  return total;
+}

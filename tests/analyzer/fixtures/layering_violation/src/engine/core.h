@@ -1,0 +1,8 @@
+#ifndef FIXTURE_ENGINE_CORE_H_
+#define FIXTURE_ENGINE_CORE_H_
+
+#include "util/strings.h"
+
+inline int SpinOnce(const char* s) { return TrimLength(s); }
+
+#endif  // FIXTURE_ENGINE_CORE_H_

@@ -1,0 +1,5 @@
+// Deliberate violation: util is the bottom layer and may not reach up
+// into engine.
+#include "engine/core.h"
+
+int UtilShim(const char* s) { return SpinOnce(s); }

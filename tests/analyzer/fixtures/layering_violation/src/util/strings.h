@@ -1,0 +1,6 @@
+#ifndef FIXTURE_UTIL_STRINGS_H_
+#define FIXTURE_UTIL_STRINGS_H_
+
+int TrimLength(const char* s);
+
+#endif  // FIXTURE_UTIL_STRINGS_H_

@@ -1,0 +1,26 @@
+// Deliberate violations: Rebuild fans out on the pool while holding the
+// cache mutex, and BadWait waits on a condvar while holding an
+// unrelated second mutex.
+
+struct RowCache {
+  util::Mutex mu;
+};
+
+struct Gate {
+  util::Mutex gate_mu;
+  util::Mutex stats_mu;
+  util::CondVar cv;
+};
+
+void Rebuild(RowCache* cache, int shards) {
+  util::MutexLock lock(cache->mu);
+  pool_->ParallelFor(shards);
+}
+
+void BadWait(Gate* g) {
+  util::MutexLock stats(g->stats_mu);
+  util::MutexLock gate(g->gate_mu);
+  while (!g->ready) {
+    g->cv.Wait(g->gate_mu);
+  }
+}

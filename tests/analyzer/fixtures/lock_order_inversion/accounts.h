@@ -1,0 +1,12 @@
+#ifndef FIXTURE_ACCOUNTS_H_
+#define FIXTURE_ACCOUNTS_H_
+
+struct AccountA {
+  util::Mutex mu_a;
+};
+
+struct AccountB {
+  util::Mutex mu_b;
+};
+
+#endif  // FIXTURE_ACCOUNTS_H_

@@ -1,0 +1,18 @@
+// Crafted two-lock order inversion: TransferAB takes mu_a then mu_b,
+// while DrainB takes mu_b and then reaches mu_a through GrabA — an
+// interprocedural B -> A edge that closes the cycle.
+#include "accounts.h"
+
+void GrabA(AccountA* a) {
+  util::MutexLock hold_a(a->mu_a);
+}
+
+void TransferAB(AccountA* a, AccountB* b) {
+  util::MutexLock la(a->mu_a);
+  util::MutexLock lb(b->mu_b);
+}
+
+void DrainB(AccountB* b, AccountA* a) {
+  util::MutexLock lb(b->mu_b);
+  GrabA(a);
+}

@@ -1,0 +1,6 @@
+#ifndef FIXTURE_HELPERS_H_
+#define FIXTURE_HELPERS_H_
+
+int HelperValue();
+
+#endif  // FIXTURE_HELPERS_H_

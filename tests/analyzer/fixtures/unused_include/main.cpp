@@ -1,0 +1,5 @@
+// Deliberate violation: helpers.h provides HelperValue, which this file
+// never names.
+#include "helpers.h"
+
+int main() { return 0; }

@@ -86,6 +86,7 @@ TEST(CauSumXTest, TotalExplainabilityIsSumOfWeights) {
   const CauSumXResult result =
       RunCauSumX(ds.table, ds.default_query, ds.dag, SyntheticConfig(ds));
   double sum = 0;
+  // causumx-lint: allow(fp-accumulation) serial test oracle, fixed order
   for (const auto& e : result.summary.explanations) sum += e.Weight();
   EXPECT_NEAR(result.summary.total_explainability, sum, 1e-9);
 }

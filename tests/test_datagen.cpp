@@ -99,6 +99,7 @@ TEST(DatagenTest, AdultMarriageEffectPlanted) {
   for (size_t r = 0; r < ds.table.NumRows(); ++r) {
     const std::string m = marital.GetValue(r).AsString();
     if (m == "Married") {
+      // causumx-lint: allow(fp-accumulation) serial test oracle, fixed order
       married_sum += income.GetNumeric(r);
       ++married_n;
     } else if (m == "Never-married") {
@@ -132,6 +133,7 @@ TEST(DatagenTest, GermanPlantedEffects) {
     const double y = risk.GetNumeric(r);
     all_sum += y;
     if (checking.GetValue(r).AsString() == "200+ DM") {
+      // causumx-lint: allow(fp-accumulation) serial test oracle, as above
       rich_sum += y;
       ++rich_n;
     }
@@ -184,6 +186,7 @@ TEST(DatagenTest, AccidentsPlantedRegionalEffects) {
     if (region.GetValue(r).AsString() != "Midwest") continue;
     const std::string w = weather.GetValue(r).AsString();
     if (w == "Snow") {
+      // causumx-lint: allow(fp-accumulation) serial test oracle, as above
       snow_sum += sev.GetNumeric(r);
       ++snow_n;
     } else if (w == "Clear") {

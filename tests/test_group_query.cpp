@@ -117,6 +117,7 @@ TEST(GroupQueryTest, CompensatedAverageSurvivesLargeOffsets) {
   long double exact = 0.0L;
   for (size_t i = 0; i < n; ++i) {
     const double v = 1e8 + 0.1 * static_cast<double>(i % 7);
+    // causumx-lint: allow(fp-accumulation) long-double oracle for the sum
     exact += static_cast<long double>(v);
     t.AddRow({Value("US"), Value(v)});
   }

@@ -109,6 +109,7 @@ TEST(IlpTest, MatchesBruteForceOnRandomInstances) {
       double w = 0, c = 0;
       for (size_t j = 0; j < n; ++j) {
         if (mask & (1u << j)) {
+          // causumx-lint: allow(fp-accumulation) oracle, fixed subset order
           w += weights[j];
           c += costs[j];
         }

@@ -21,7 +21,7 @@
 #include "core/json_export.h"
 #include "dataset/group_query.h"
 #include "engine/eval_engine.h"
-#include "engine/shard_plan.h"
+#include "util/shard_plan.h"
 #include "util/cpu_features.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"

@@ -37,6 +37,7 @@ TEST_P(SimplexPropertyTest, OptimumDominatesKnownFeasiblePoint) {
     double lhs = 0.0;
     for (size_t j = 0; j < n; ++j) {
       row[j] = rng.NextDouble() * 2.0 - 0.5;
+      // causumx-lint: allow(fp-accumulation) test setup, fixed index order
       lhs += row[j] * interior[j];
     }
     // rhs strictly above the interior point's lhs -> point stays feasible.
@@ -48,6 +49,7 @@ TEST_P(SimplexPropertyTest, OptimumDominatesKnownFeasiblePoint) {
   ASSERT_EQ(sol.status, LpStatus::kOptimal) << "seed " << GetParam();
 
   double interior_obj = 0.0;
+  // causumx-lint: allow(fp-accumulation) serial dot product, test oracle
   for (size_t j = 0; j < n; ++j) interior_obj += lp.objective[j] * interior[j];
   EXPECT_GE(sol.objective_value + 1e-6, interior_obj);
 

@@ -60,6 +60,7 @@ TEST(RngTest, GaussianMoments) {
   const int n = 200000;
   for (int i = 0; i < n; ++i) {
     const double x = rng.NextGaussian();
+    // causumx-lint: allow(fp-accumulation) moments over a fixed stream
     sum += x;
     sum2 += x * x;
   }
@@ -73,6 +74,7 @@ TEST(RngTest, GaussianWithParameters) {
   Rng rng(15);
   double sum = 0;
   const int n = 100000;
+  // causumx-lint: allow(fp-accumulation) moment estimate, as above.
   for (int i = 0; i < n; ++i) sum += rng.NextGaussian(5.0, 2.0);
   EXPECT_NEAR(sum / n, 5.0, 0.05);
 }

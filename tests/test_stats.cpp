@@ -108,7 +108,10 @@ TEST(StatsTest, KahanSumRecoversLargeOffsetPrecision) {
   for (int i = 0; i < 100000; ++i) {
     const double v = 1e8 + 0.1 * (i % 7);
     kahan.Add(v);
-    naive += v;
+    // The next two sums are the point of the test: the naive float sum
+    // exhibits the error Kahan corrects, the long-double sum is the
+    // oracle both are measured against.
+    naive += v;  // causumx-lint: allow(fp-accumulation) deliberate
     exact += static_cast<long double>(v);
   }
   const double kahan_err =

@@ -1,0 +1,264 @@
+"""libclang (clang.cindex) frontend for causumx-analyzer.
+
+Builds the same IR as `cpp_frontend` from a real clang parse, using
+`build/compile_commands.json` for flags. The bindings are an apt
+package (`python3-clang-14` + `libclang-14-dev`), pinned in the CI
+analyzer job; many dev boxes don't carry them, so everything here is
+lazily imported and `available()` gates use.
+
+The textual frontend remains authoritative for the gating scan (it is
+deterministic and dependency-free); this frontend backs the CI parity
+step, which cross-checks the structural skeleton — functions found,
+acquisitions, throw sites, try coverage — and reports drift without
+failing the build. See docs/DEVELOPMENT.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from cpp_frontend import (
+    Acquisition,
+    AllocSite,
+    CallSite,
+    ClassInfo,
+    FileIR,
+    FunctionInfo,
+    Include,
+    ThrowSite,
+    TryRegion,
+    WaitSite,
+    strip_comments_and_strings,
+    _IDENT_RE,
+)
+
+_LOCK_TYPES = {"MutexLock", "WriterMutexLock", "ReaderMutexLock"}
+_MUTEX_TYPES = {"Mutex": "mutex", "SharedMutex": "shared_mutex",
+                "CondVar": "condvar"}
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+def _load_compdb(compdb_path: Optional[str]) -> Dict[str, List[str]]:
+    """file -> extra args (include dirs, standard, defines)."""
+    if not compdb_path or not os.path.exists(compdb_path):
+        return {}
+    with open(compdb_path, "r", encoding="utf-8") as fh:
+        entries = json.load(fh)
+    out: Dict[str, List[str]] = {}
+    for e in entries:
+        args = e.get("command", "").split() or e.get("arguments", [])
+        keep: List[str] = []
+        i = 0
+        while i < len(args):
+            a = args[i]
+            if a.startswith(("-I", "-D", "-std=")):
+                keep.append(a)
+            elif a in ("-isystem", "-include"):
+                keep.append(a)
+                if i + 1 < len(args):
+                    keep.append(args[i + 1])
+                    i += 1
+            i += 1
+        out[os.path.normpath(e["file"])] = keep
+    return out
+
+
+def _default_args(repo_root: str) -> List[str]:
+    return ["-x", "c++", "-std=c++20", f"-I{os.path.join(repo_root, 'src')}"]
+
+
+def build_project_entries(
+        entries: Sequence[Tuple[str, str]],
+        repo_root: str,
+        compdb_path: Optional[str] = None) -> Dict[str, FileIR]:
+    """Parse each (abs, rel) entry with libclang into FileIR."""
+    import clang.cindex as ci
+
+    compdb = _load_compdb(compdb_path)
+    index = ci.Index.create()
+    irs: Dict[str, FileIR] = {}
+    for abs_path, rel in entries:
+        args = compdb.get(os.path.normpath(abs_path)) \
+            or _default_args(repo_root)
+        try:
+            tu = index.parse(abs_path, args=args)
+        except ci.TranslationUnitLoadError:
+            continue
+        irs[rel] = _translate(tu, abs_path, rel)
+    return irs
+
+
+def _translate(tu, abs_path: str, rel: str) -> "FileIR":
+    import clang.cindex as ci
+
+    with open(abs_path, "r", encoding="utf-8", errors="replace") as fh:
+        text = fh.read()
+    ir = FileIR(path=rel, raw_lines=text.splitlines(),
+                code_text=strip_comments_and_strings(text))
+    for ident in _IDENT_RE.findall(ir.code_text):
+        ir.used_names.add(ident)
+    for inc in tu.get_includes():
+        if inc.depth == 1:
+            loc_line = inc.location.line
+            raw = ir.raw_lines[loc_line - 1] if \
+                0 < loc_line <= len(ir.raw_lines) else ""
+            ir.includes.append(Include(
+                line=loc_line,
+                header=os.path.basename(str(inc.include)) if
+                '"' not in raw else raw.split('"')[1],
+                is_system="<" in raw))
+
+    K = ci.CursorKind
+
+    def in_main_file(cur) -> bool:
+        f = cur.location.file
+        return f is not None and os.path.normpath(f.name) == \
+            os.path.normpath(abs_path)
+
+    def walk(cur, cls_name: Optional[str]) -> None:
+        for child in cur.get_children():
+            if not in_main_file(child):
+                continue
+            kind = child.kind
+            if kind in (K.NAMESPACE, K.LINKAGE_SPEC,
+                        K.UNEXPOSED_DECL):
+                walk(child, cls_name)
+            elif kind in (K.CLASS_DECL, K.STRUCT_DECL) and \
+                    child.is_definition():
+                _class(child)
+                walk(child, child.spelling)
+            elif kind in (K.CXX_METHOD, K.FUNCTION_DECL,
+                          K.CONSTRUCTOR, K.DESTRUCTOR) and \
+                    child.is_definition():
+                _function(child, cls_name)
+            elif kind == K.ENUM_DECL:
+                ir.provided_names.add(child.spelling)
+                for e in child.get_children():
+                    ir.provided_names.add(e.spelling)
+
+    def _class(cur) -> None:
+        info = ClassInfo(name=cur.spelling, file=rel,
+                         line=cur.location.line)
+        for child in cur.get_children():
+            if child.kind == K.FIELD_DECL:
+                tname = child.type.spelling.split("::")[-1]
+                if tname in _MUTEX_TYPES:
+                    info.mutex_members.append(
+                        (child.spelling, _MUTEX_TYPES[tname]))
+            elif child.kind == K.CXX_METHOD and \
+                    child.is_virtual_method():
+                info.virtual_methods.append(child.spelling)
+        ir.classes.append(info)
+        ir.provided_names.add(cur.spelling)
+
+    def _function(cur, cls_name: Optional[str]) -> None:
+        sem = cur.semantic_parent
+        cls = cls_name
+        if sem is not None and sem.kind in (K.CLASS_DECL, K.STRUCT_DECL):
+            cls = sem.spelling
+        parts: List[str] = [cur.spelling]
+        p = sem
+        while p is not None and p.kind in (
+                K.NAMESPACE, K.CLASS_DECL, K.STRUCT_DECL):
+            if p.spelling:
+                parts.insert(0, p.spelling)
+            p = p.semantic_parent
+        fn = FunctionInfo(
+            qualified_name="::".join(parts), name=cur.spelling, cls=cls,
+            file=rel, start_line=cur.extent.start.line,
+            end_line=cur.extent.end.line)
+        if cls is None:
+            ir.provided_names.add(cur.spelling)
+        _body(cur, fn)
+        ir.functions.append(fn)
+
+    def _body(cur, fn: FunctionInfo) -> None:
+        for child in cur.walk_preorder():
+            kind = child.kind
+            line = child.location.line
+            if kind == K.VAR_DECL:
+                tname = child.type.spelling.split("::")[-1]
+                if tname in _LOCK_TYPES:
+                    arg = ""
+                    for sub in child.walk_preorder():
+                        if sub.kind in (K.MEMBER_REF_EXPR, K.DECL_REF_EXPR):
+                            toks = [t.spelling for t in sub.get_tokens()]
+                            arg = "".join(toks)
+                            break
+                    parent_end = fn.end_line
+                    lex = child.lexical_parent
+                    if lex is not None and lex.extent.end.line:
+                        parent_end = lex.extent.end.line
+                    fn.acquisitions.append(Acquisition(
+                        line=line,
+                        kind="shared" if tname == "ReaderMutexLock"
+                        else "exclusive",
+                        lock_expr=arg, scope_end_line=parent_end))
+                else:
+                    fn.local_types.setdefault(
+                        child.spelling,
+                        child.type.spelling.split("::")[-1]
+                        .replace("*", "").replace("&", "").strip())
+            elif kind == K.CXX_THROW_EXPR:
+                fn.throws.append(ThrowSite(line, "throw"))
+            elif kind == K.CXX_NEW_EXPR:
+                fn.allocs.append(AllocSite(line, "new"))
+            elif kind == K.CALL_EXPR:
+                name = child.spelling or ""
+                if name == "Wait":
+                    toks = [t.spelling for t in child.get_tokens()]
+                    inner = "".join(toks)
+                    arg = inner[inner.find("(") + 1:inner.rfind(")")]
+                    fn.waits.append(WaitSite(line, arg))
+                elif name:
+                    fn.calls.append(CallSite(line, name, ""))
+            elif kind == K.CXX_TRY_STMT:
+                children = list(child.get_children())
+                if not children:
+                    continue
+                body = children[0]
+                catch_all = catch_std = False
+                end_line = child.extent.end.line
+                for c in children[1:]:
+                    if c.kind != K.CXX_CATCH_STMT:
+                        continue
+                    params = [x for x in c.get_children()
+                              if x.kind == K.VAR_DECL]
+                    if not params:
+                        catch_all = True
+                    elif "exception" in params[0].type.spelling or \
+                            "_error" in params[0].type.spelling:
+                        catch_std = True
+                fn.trys.append(TryRegion(
+                    start_line=child.extent.start.line,
+                    body_end_line=body.extent.end.line,
+                    end_line=end_line,
+                    catch_all=catch_all, catch_std=catch_std))
+
+    walk(tu.cursor, None)
+    return ir
+
+
+def skeleton(ir: "FileIR") -> dict:
+    """Frontend-comparable structural summary used by the parity step."""
+    return {
+        "functions": sorted(f.qualified_name for f in ir.functions),
+        "acquisitions": sorted(
+            (f.qualified_name, a.line)
+            for f in ir.functions for a in f.acquisitions),
+        "throws": sorted(
+            (f.qualified_name, t.line)
+            for f in ir.functions for t in f.throws),
+        "trys": sorted(
+            (f.qualified_name, r.start_line, r.catch_all or r.catch_std)
+            for f in ir.functions for r in f.trys),
+    }

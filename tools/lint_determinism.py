@@ -34,9 +34,13 @@ above:
     sum += x;  // causumx-lint: allow(fp-accumulation) fixed serial order
 
 Usage:
-    tools/lint_determinism.py [paths...]     # default: src/
+    tools/lint_determinism.py [paths...]     # default: src/ tests/
+                                             #          tools/ fuzz/
     tools/lint_determinism.py --self-test    # run the fixture suite
     tools/lint_determinism.py --list-rules
+
+Directory walks skip checked-in lint/analyzer fixture trees (their
+violations are deliberate).
 
 Exit status: 0 clean, 1 findings (or self-test failure), 2 usage error.
 """
@@ -330,6 +334,11 @@ def lint_text(path: str, text: str) -> List[Finding]:
 
 CPP_EXTS = (".h", ".hpp", ".cc", ".cpp", ".cxx", ".inl")
 
+# Subdirectories holding deliberate-violation fixtures (this lint's own
+# suite and the architectural analyzer's); pruned from directory walks.
+# A fixture root passed explicitly (as --self-test does) still walks.
+SKIP_DIR_NAMES = {"lint_fixtures", "fixtures"}
+
 
 def collect_files(paths: Iterable[str]) -> List[str]:
     files: List[str] = []
@@ -337,7 +346,8 @@ def collect_files(paths: Iterable[str]) -> List[str]:
         if os.path.isfile(p):
             files.append(p)
         elif os.path.isdir(p):
-            for root, _dirs, names in os.walk(p):
+            for root, dirs, names in os.walk(p):
+                dirs[:] = [d for d in dirs if d not in SKIP_DIR_NAMES]
                 for name in sorted(names):
                     if name.endswith(CPP_EXTS):
                         files.append(os.path.join(root, name))
@@ -406,7 +416,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="lint_determinism.py",
         description="Determinism lint for the CauSumX C++ tree.",
     )
-    parser.add_argument("paths", nargs="*", help="files/dirs (default: src/)")
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/dirs (default: src/ tests/ tools/ fuzz/)",
+    )
     parser.add_argument(
         "--self-test",
         action="store_true",
@@ -426,7 +440,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.self_test:
         return self_test(os.path.join(repo_root, "tools", "lint_fixtures"))
 
-    paths = args.paths or [os.path.join(repo_root, "src")]
+    paths = args.paths or [
+        os.path.join(repo_root, d)
+        for d in ("src", "tests", "tools", "fuzz")
+        if os.path.isdir(os.path.join(repo_root, d))
+    ]
     findings = run_lint(paths)
     for f in findings:
         print(f"{f.path}:{f.line}: [{f.rule}] {f.detail}")

@@ -1,0 +1,24 @@
+// Fixture for the tests/ scan surface: test sources are linted with the
+// same rules as src/. Lines carrying EXPECT-FLAG must be reported;
+// every other line must stay quiet (the allow() hatch included).
+
+double SumWeights(const double* w, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += w[i];  // EXPECT-FLAG(fp-accumulation)
+  }
+  return total;
+}
+
+double SumWeightsAllowed(const double* w, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // causumx-lint: allow(fp-accumulation) serial test oracle
+    total += w[i];
+  }
+  return total;
+}
+
+int PickIndex(int n) {
+  return rand() % n;  // EXPECT-FLAG(raw-rng)
+}
