@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "causal/ols.h"
+#include "storage/bytes.h"
+#include "storage/storage_error.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -459,6 +461,192 @@ EstimatorCacheStats EstimatorContext::Stats() const {
   s.memo_entries = memo_.size();
   s.memo_bytes = memo_bytes_;
   return s;
+}
+
+namespace {
+
+void PutBitset(ByteWriter* w, const Bitset& bits) {
+  w->PutVarint(bits.size());
+  for (size_t i = 0; i < (bits.size() + 63) / 64; ++i) {
+    w->PutU64(bits.data()[i]);
+  }
+}
+
+Bitset GetBitset(ByteReader* r) {
+  const uint64_t n = r->GetVarint();
+  const uint64_t n_words = (n + 63) / 64;
+  if (n_words > r->remaining() / 8) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       "memo state: truncated bitset");
+  }
+  Bitset bits(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n_words; ++i) bits.mutable_data()[i] = r->GetU64();
+  if ((n & 63) != 0 && n_words > 0 &&
+      (bits.data()[n_words - 1] & ~((uint64_t{1} << (n & 63)) - 1)) != 0) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       "memo state: bitset padding bits set");
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::string EstimatorContext::ExportMemoState() const {
+  // Copy under the lock, serialize outside it (the same lock-minimizing
+  // split as the append-migration constructor).
+  std::vector<std::pair<uint32_t, Bitset>> subpops;
+  std::vector<std::pair<MemoKey, EffectEstimate>> entries;  // oldest first
+  uint32_t next_id = 0;
+  {
+    util::MutexLock lock(memo_mu_);
+    next_id = next_subpop_id_;
+    for (const auto& [hash, bucket] : subpop_ids_) {
+      for (const auto& [bits, id] : bucket) subpops.emplace_back(id, bits);
+    }
+    entries.reserve(memo_.size());
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      entries.emplace_back(*it, memo_.find(*it)->second.est);
+    }
+  }
+  // The intern table iterates in unordered_map order; sort by id so the
+  // exported bytes are deterministic for identical cache state.
+  std::sort(subpops.begin(), subpops.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  ByteWriter w;
+  w.PutU64(engine_->table().NumRows());
+  w.PutVarint(engine_->NumInterned());
+  w.PutVarint(next_id);
+  w.PutVarint(subpops.size());
+  for (const auto& [id, bits] : subpops) {
+    w.PutVarint(id);
+    PutBitset(&w, bits);
+  }
+  w.PutVarint(entries.size());
+  for (const auto& [key, est] : entries) {
+    w.PutVarint(key.treatment.size());
+    for (PredicateId id : key.treatment) w.PutVarint(id);
+    w.PutString(key.outcome);
+    w.PutVarint(key.subpop_id);
+    w.PutU8(est.valid ? 1 : 0);
+    w.PutDouble(est.cate);
+    w.PutDouble(est.std_error);
+    w.PutDouble(est.p_value);
+    w.PutVarint(est.n_treated);
+    w.PutVarint(est.n_control);
+    w.PutVarint(est.n_used);
+  }
+  return w.TakeBytes();
+}
+
+size_t EstimatorContext::ImportMemoState(const std::string& bytes) {
+  ByteReader r(bytes);
+  const size_t rows = engine_->table().NumRows();
+  if (r.GetU64() != rows) {
+    throw StorageError(StorageErrorKind::kStale,
+                       "memo state: universe size mismatch");
+  }
+  // The memo keys reference the engine's dense predicate ids; every id
+  // the exporting engine knew must already be interned here (restore
+  // the engine cache first).
+  const uint64_t known = r.GetVarint();
+  if (known > engine_->NumInterned()) {
+    throw StorageError(StorageErrorKind::kStale,
+                       "memo state: predicate id space mismatch");
+  }
+  const uint64_t next_id = r.GetVarint();
+  const uint64_t n_subpops = r.GetVarint();
+  if (n_subpops > next_id || n_subpops > bytes.size()) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       "memo state: implausible subpopulation count");
+  }
+
+  util::MutexLock lock(memo_mu_);
+  if (!memo_.empty() || next_subpop_id_ != 0) {
+    throw std::logic_error(
+        "EstimatorContext::ImportMemoState requires a fresh context");
+  }
+  // Export writes subpopulations sorted by id, so strict ascending order
+  // doubles as the uniqueness check and keeps membership tests a binary
+  // search (no allocation sized from untrusted counts).
+  std::vector<uint64_t> subpop_ids_seen;
+  subpop_ids_seen.reserve(static_cast<size_t>(n_subpops));
+  for (uint64_t i = 0; i < n_subpops; ++i) {
+    const uint64_t id = r.GetVarint();
+    if (id >= next_id ||
+        (!subpop_ids_seen.empty() && id <= subpop_ids_seen.back())) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "memo state: bad subpopulation id");
+    }
+    subpop_ids_seen.push_back(id);
+    Bitset bits = GetBitset(&r);
+    if (bits.size() != rows) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "memo state: subpopulation universe mismatch");
+    }
+    const uint64_t h = bits.Hash();
+    subpop_bytes_ += SubpopEntryBytes(bits.size());
+    subpop_ids_[h].emplace_back(std::move(bits),
+                                static_cast<uint32_t>(id));
+  }
+  next_subpop_id_ = static_cast<uint32_t>(next_id);
+
+  const uint64_t n_entries = r.GetVarint();
+  if (n_entries > bytes.size()) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       "memo state: implausible entry count");
+  }
+  for (uint64_t i = 0; i < n_entries; ++i) {
+    MemoKey key;
+    const uint64_t n_ids = r.GetVarint();
+    if (n_ids > known) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "memo state: implausible treatment arity");
+    }
+    key.treatment.reserve(n_ids);
+    for (uint64_t j = 0; j < n_ids; ++j) {
+      const uint64_t id = r.GetVarint();
+      if (id >= known ||
+          (!key.treatment.empty() && id <= key.treatment.back())) {
+        throw StorageError(StorageErrorKind::kCorrupt,
+                           "memo state: treatment ids not sorted in range");
+      }
+      key.treatment.push_back(static_cast<PredicateId>(id));
+    }
+    key.outcome = r.GetString();
+    const uint64_t subpop = r.GetVarint();
+    if (!std::binary_search(subpop_ids_seen.begin(), subpop_ids_seen.end(),
+                            subpop)) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "memo state: entry references unknown subpopulation");
+    }
+    key.subpop_id = static_cast<uint32_t>(subpop);
+
+    EffectEstimate est;
+    est.valid = r.GetU8() != 0;
+    est.cate = r.GetDouble();
+    est.std_error = r.GetDouble();
+    est.p_value = r.GetDouble();
+    est.n_treated = static_cast<size_t>(r.GetVarint());
+    est.n_control = static_cast<size_t>(r.GetVarint());
+    est.n_used = static_cast<size_t>(r.GetVarint());
+
+    // Entries arrive oldest first; push_front keeps the newest at the
+    // front, reproducing the exported LRU order.
+    lru_.push_front(key);
+    MemoEntry entry{est, lru_.begin(), EntryBytes(key)};
+    memo_bytes_ += entry.bytes;
+    if (!memo_.emplace(std::move(key), std::move(entry)).second) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "memo state: duplicate entry");
+    }
+  }
+  if (!r.AtEnd()) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       "memo state: trailing bytes");
+  }
+  n_migrated_.store(memo_.size(), std::memory_order_relaxed);
+  return memo_.size();
 }
 
 }  // namespace causumx

@@ -101,6 +101,20 @@ class EstimatorContext {
 
   EstimatorCacheStats Stats() const;
 
+  /// Serializes the CATE memo — the interned subpopulation bitsets and
+  /// every memo entry in LRU order — for the storage layer's warm-state
+  /// snapshots. Safe to call concurrently with EstimateCate.
+  std::string ExportMemoState() const;
+
+  /// Seeds a freshly constructed context (empty memo) with state
+  /// exported from a context over an engine with identical table
+  /// content and identical restored predicate ids (restore the engine
+  /// cache first — memo keys reference its dense ids). Returns the
+  /// number of entries restored. Throws StorageError: kStale when the
+  /// universe or id space does not match, kCorrupt when the payload is
+  /// malformed; the context must be discarded after a throw.
+  size_t ImportMemoState(const std::string& bytes);
+
  private:
   // Exact memo key: the treatment as its sorted engine-interned predicate
   // ids (interning encodes numeric constants exactly, unlike

@@ -3,7 +3,6 @@
 #include <sstream>
 
 #include "util/json.h"
-#include "util/string_utils.h"
 
 namespace causumx {
 
@@ -17,6 +16,10 @@ std::string PredicateToJson(const SimplePredicate& pred) {
     oss << "null";
   } else if (pred.value.is_string()) {
     oss << "\"" << JsonEscape(pred.value.AsString()) << "\"";
+  } else if (pred.value.is_double()) {
+    // Routed through the shared token helper: a non-finite constant
+    // would otherwise print as bare nan/inf, which no JSON parser takes.
+    oss << JsonNumberToken(pred.value.AsDouble(), 6);
   } else {
     oss << pred.value.ToString();
   }
@@ -39,11 +42,14 @@ std::string PatternToJson(const Pattern& pattern) {
 std::string EffectToJson(const EffectEstimate& effect) {
   const auto [lo, hi] = effect.ConfidenceInterval();
   std::ostringstream oss;
+  // An invalid estimate carries NaN in every double field; JsonNumberToken
+  // turns those into null instead of bare nan tokens (invalid JSON).
   oss << "{\"valid\":" << (effect.valid ? "true" : "false")
-      << ",\"cate\":" << FormatDouble(effect.cate, 8)
-      << ",\"std_error\":" << FormatDouble(effect.std_error, 8)
-      << ",\"p_value\":" << FormatDouble(effect.p_value, 8)
-      << ",\"ci95\":[" << FormatDouble(lo, 8) << "," << FormatDouble(hi, 8)
+      << ",\"cate\":" << JsonNumberToken(effect.cate, 8)
+      << ",\"std_error\":" << JsonNumberToken(effect.std_error, 8)
+      << ",\"p_value\":" << JsonNumberToken(effect.p_value, 8)
+      << ",\"ci95\":[" << JsonNumberToken(lo, 8) << ","
+      << JsonNumberToken(hi, 8)
       << "],\"n_treated\":" << effect.n_treated
       << ",\"n_control\":" << effect.n_control << "}";
   return oss.str();
@@ -58,7 +64,7 @@ std::string ExplanationToJson(const Explanation& exp) {
     if (i) oss << ",";
     oss << groups[i];
   }
-  oss << "],\"weight\":" << FormatDouble(exp.Weight(), 8);
+  oss << "],\"weight\":" << JsonNumberToken(exp.Weight(), 8);
   if (exp.positive) {
     oss << ",\"positive\":{\"pattern\":"
         << PatternToJson(exp.positive->pattern)
@@ -85,7 +91,7 @@ std::string SummaryToJson(const ExplanationSummary& summary,
       << ",\"coverage_satisfied\":"
       << (summary.coverage_satisfied ? "true" : "false")
       << ",\"total_explainability\":"
-      << FormatDouble(summary.total_explainability, 8)
+      << JsonNumberToken(summary.total_explainability, 8)
       << ",\"explanations\":[";
   for (size_t i = 0; i < summary.explanations.size(); ++i) {
     if (i) oss << ",";

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "storage/storage_error.h"
 #include "util/string_utils.h"
 
 namespace causumx {
@@ -156,6 +157,15 @@ Table ReadCsv(std::istream& in, const CsvOptions& opt) {
           fields.size(), header.size()));
     }
     rows.push_back(std::move(fields));
+  }
+  // getline returning false means either EOF (fine) or a stream-level
+  // read failure (disk error, closed pipe). Silently treating the latter
+  // as EOF would load a truncated table as if it were complete.
+  if (in.bad()) {
+    throw StorageError(StorageErrorKind::kIo,
+                       "csv: stream read failed mid-file (badbit set after "
+                       "reading " +
+                           std::to_string(rows.size()) + " rows)");
   }
 
   // Infer a type per column from a prefix of the data.
@@ -331,6 +341,14 @@ std::vector<std::vector<Value>> ReadCsvDelta(const Table& schema,
     }
     rows.push_back(std::move(row));
   }
+  // Same EOF-vs-failure distinction as ReadCsv: a mid-stream I/O error
+  // must not pass as a short-but-valid delta.
+  if (in.bad()) {
+    throw StorageError(StorageErrorKind::kIo,
+                       "csv delta: stream read failed mid-file (badbit set "
+                       "after reading " +
+                           std::to_string(rows.size()) + " rows)");
+  }
   return rows;
 }
 
@@ -379,6 +397,16 @@ void WriteCsv(const Table& table, std::ostream& out, char delimiter) {
     }
     out << '\n';
   }
+  // operator<< on a failed stream is a silent no-op, so a full disk or
+  // closed pipe would otherwise yield a truncated file and a clean
+  // return. Flush and check once at the end — failbit/badbit are sticky,
+  // so this catches any write failure above.
+  out.flush();
+  if (!out.good()) {
+    throw StorageError(StorageErrorKind::kIo,
+                       "csv: stream write failed (stream not good after "
+                       "flush)");
+  }
 }
 
 void WriteCsvFile(const Table& table, const std::string& path,
@@ -386,6 +414,11 @@ void WriteCsvFile(const Table& table, const std::string& path,
   std::ofstream f(path);
   if (!f) throw std::runtime_error("csv: cannot open for write " + path);
   WriteCsv(table, f, delimiter);
+  f.close();
+  if (!f.good()) {
+    throw StorageError(StorageErrorKind::kIo,
+                       "csv: write failed closing " + path);
+  }
 }
 
 }  // namespace causumx

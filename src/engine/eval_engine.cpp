@@ -8,6 +8,8 @@
 #include <tuple>
 #include <utility>
 
+#include "storage/bytes.h"
+#include "storage/storage_error.h"
 #include "util/thread_pool.h"
 
 namespace causumx {
@@ -460,6 +462,193 @@ EvalEngineStats EvalEngine::Stats() const {
   s.view_bytes = view_bytes_.load(std::memory_order_relaxed);
   s.num_shards = plan_.NumShards();
   return s;
+}
+
+namespace {
+
+// Typed Value codec for predicate constants (tags: 0 null, 1 int,
+// 2 double by bit pattern, 3 string).
+void PutValue(ByteWriter* w, const Value& v) {
+  if (v.is_int()) {
+    w->PutU8(1);
+    w->PutVarintSigned(v.AsInt());
+  } else if (v.is_double()) {
+    w->PutU8(2);
+    w->PutDouble(v.AsDouble());
+  } else if (v.is_string()) {
+    w->PutU8(3);
+    w->PutString(v.AsString());
+  } else {
+    w->PutU8(0);
+  }
+}
+
+Value GetValue(ByteReader* r) {
+  switch (r->GetU8()) {
+    case 0:
+      return Value();
+    case 1:
+      return Value(r->GetVarintSigned());
+    case 2:
+      return Value(r->GetDouble());
+    case 3:
+      return Value(r->GetString());
+    default:
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "engine cache: unknown value tag");
+  }
+}
+
+}  // namespace
+
+std::string EvalEngine::ExportCacheState() const {
+  // Snapshot phase mirrors the delta-extension constructor: copy the
+  // predicates and segment pointers under the locks, serialize after
+  // releasing them so concurrent queries are never blocked on encoding.
+  struct SlotSnapshot {
+    SimplePredicate pred;
+    std::vector<std::shared_ptr<const SegmentBits>> segs;
+  };
+  std::vector<SlotSnapshot> snapshot;
+  {
+    util::ReaderMutexLock lock(intern_mu_);
+    snapshot.reserve(slots_.size());
+    for (size_t id = 0; id < slots_.size(); ++id) {
+      const PredicateSlot& src = slots_[id];
+      SlotSnapshot snap;
+      snap.pred = src.pred;
+      {
+        util::MutexLock lk(src.mu);
+        snap.segs = src.segs;
+      }
+      snapshot.push_back(std::move(snap));
+    }
+  }
+
+  ByteWriter w;
+  w.PutU64(table_.NumRows());
+  w.PutVarint(plan_.NumShards());
+  w.PutVarint(plan_.shard_rows());
+  w.PutU8(static_cast<uint8_t>(compression_));
+  w.PutU8(cache_enabled_ ? 1 : 0);
+  w.PutVarint(snapshot.size());
+  for (const SlotSnapshot& snap : snapshot) {
+    w.PutString(snap.pred.attribute);
+    w.PutU8(static_cast<uint8_t>(snap.pred.op));
+    PutValue(&w, snap.pred.value);
+    w.PutVarint(snap.segs.size());
+    for (const auto& seg : snap.segs) {
+      if (seg == nullptr) {
+        w.PutU8(0);
+      } else {
+        w.PutU8(1);
+        std::string bytes;
+        seg->Serialize(&bytes);
+        w.PutString(bytes);
+      }
+    }
+  }
+  return w.TakeBytes();
+}
+
+size_t EvalEngine::ImportCacheState(const std::string& bytes) {
+  ByteReader r(bytes);
+  if (r.GetU64() != table_.NumRows()) {
+    throw StorageError(StorageErrorKind::kStale,
+                       "engine cache: row count mismatch");
+  }
+  if (r.GetVarint() != plan_.NumShards() ||
+      r.GetVarint() != plan_.shard_rows()) {
+    throw StorageError(StorageErrorKind::kStale,
+                       "engine cache: shard plan mismatch");
+  }
+  if (r.GetU8() != static_cast<uint8_t>(compression_) ||
+      (r.GetU8() != 0) != cache_enabled_) {
+    throw StorageError(StorageErrorKind::kStale,
+                       "engine cache: options mismatch");
+  }
+  const uint64_t n_preds = r.GetVarint();
+  if (n_preds > bytes.size()) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       "engine cache: implausible predicate count");
+  }
+
+  util::WriterMutexLock lock(intern_mu_);
+  if (!slots_.empty()) {
+    throw std::logic_error(
+        "EvalEngine::ImportCacheState requires a fresh engine");
+  }
+  size_t restored = 0;
+  const size_t num_shards = plan_.NumShards();
+  for (uint64_t id = 0; id < n_preds; ++id) {
+    SimplePredicate pred;
+    pred.attribute = r.GetString();
+    const uint8_t op = r.GetU8();
+    if (op > static_cast<uint8_t>(CompareOp::kGe)) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "engine cache: unknown compare op");
+    }
+    pred.op = static_cast<CompareOp>(op);
+    pred.value = GetValue(&r);
+
+    const std::string key = PredicateKey(pred);
+    if (!ids_.emplace(key, static_cast<PredicateId>(slots_.size())).second) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "engine cache: duplicate predicate");
+    }
+    slots_.emplace_back();
+    PredicateSlot& dst = slots_.back();
+    dst.pred = std::move(pred);
+    util::MutexLock slot_lock(dst.mu);
+    dst.segs.resize(num_shards);
+    dst.seg_used.assign(num_shards, 0);
+
+    const uint64_t n_segs = r.GetVarint();
+    if (n_segs != num_shards) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "engine cache: segment count mismatch");
+    }
+    bool carried_any = false;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (r.GetU8() == 0) continue;
+      const std::string seg_bytes = r.GetString();
+      size_t pos = 0;
+      SegmentBits seg = [&] {
+        try {
+          return SegmentBits::Deserialize(seg_bytes, &pos);
+        } catch (const StorageError&) {
+          throw;
+        } catch (const std::runtime_error& e) {
+          throw StorageError(StorageErrorKind::kCorrupt, e.what());
+        }
+      }();
+      if (pos != seg_bytes.size()) {
+        throw StorageError(StorageErrorKind::kCorrupt,
+                           "engine cache: trailing segment bytes");
+      }
+      if (seg.size() != plan_.ShardEnd(s) - plan_.ShardBegin(s)) {
+        throw StorageError(StorageErrorKind::kCorrupt,
+                           "engine cache: segment size does not match shard");
+      }
+      auto shared = std::make_shared<const SegmentBits>(std::move(seg));
+      bitset_bytes_.fetch_add(shared->bytes(), std::memory_order_relaxed);
+      if (shared->compressed()) {
+        n_compressed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      dst.segs[s] = std::move(shared);
+      carried_any = true;
+      ++restored;
+    }
+    // Restored predicates count as inherited, like delta extension —
+    // they were carried into this engine, not materialized by it.
+    if (carried_any) n_extended_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!r.AtEnd()) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       "engine cache: trailing bytes");
+  }
+  n_interned_.store(slots_.size(), std::memory_order_relaxed);
+  return restored;
 }
 
 }  // namespace causumx

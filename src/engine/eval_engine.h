@@ -210,6 +210,24 @@ class EvalEngine {
   /// Snapshot of the cache counters.
   EvalEngineStats Stats() const;
 
+  /// Serializes the warm predicate cache — every interned predicate in
+  /// id order and each resident segment in its exact representation —
+  /// for the storage layer's warm-state snapshots. Evicted segments are
+  /// skipped (they rematerialize on demand). Column views are cheap to
+  /// rebuild and not exported. Safe to call concurrently with queries.
+  std::string ExportCacheState() const;
+
+  /// Seeds a freshly constructed engine (nothing interned yet) with
+  /// state exported from an engine over identical table content and an
+  /// identical (rows, shard plan, compression, cache mode)
+  /// configuration. Predicates intern in export order, so the dense ids
+  /// — and every CATE memo keyed on them — are preserved. Returns the
+  /// number of segments restored. Throws StorageError: kStale when the
+  /// configuration does not match, kCorrupt when the payload is
+  /// malformed; the engine is unusable after a throw mid-import and
+  /// must be discarded (the caller rebuilds cold).
+  size_t ImportCacheState(const std::string& bytes);
+
  private:
   struct PredicateSlot {
     SimplePredicate pred;

@@ -1,5 +1,6 @@
 #include "server/rest_api.h"
 
+#include <chrono>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -45,6 +46,26 @@ HttpResponse HandleStats(ExplanationService& service) {
       .Key("budget_enforcements").Uint(s.budget_enforcements)
       .Key("cache_bytes").Uint(s.cache_bytes)
       .EndObject();
+  w.Key("snapshots").BeginObject()
+      .Key("enabled").Bool(!service.options().data_dir.empty())
+      .Key("written").Uint(s.snapshots_written)
+      .Key("restored").Uint(s.snapshots_restored)
+      .Key("rejected").Uint(s.snapshots_rejected);
+  // Age of the newest snapshot written by this process; null before the
+  // first write (or with persistence off).
+  if (s.last_snapshot_unix_ms > 0) {
+    const uint64_t now_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    const uint64_t age_ms =
+        now_ms > s.last_snapshot_unix_ms ? now_ms - s.last_snapshot_unix_ms
+                                         : 0;
+    w.Key("last_written_age_seconds").Double(age_ms / 1000.0);
+  } else {
+    w.Key("last_written_age_seconds").Null();
+  }
+  w.EndObject();
   w.Key("options").BeginObject()
       .Key("num_threads").Uint(service.pool().NumThreads())
       .Key("num_shards").Uint(service.options().num_shards)

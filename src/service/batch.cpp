@@ -12,6 +12,7 @@
 #include "causal/dag_io.h"
 #include "causal/discovery.h"
 #include "core/json_export.h"
+#include "storage/storage_error.h"
 #include "util/json.h"
 #include "util/string_utils.h"
 #include "util/timer.h"
@@ -320,6 +321,15 @@ BatchSummary RunBatch(ExplanationService& service, std::istream& in,
   while (std::getline(in, line)) {
     if (Trim(line).empty()) continue;
     lines.push_back(line);
+  }
+  // EOF and a failed read both end the getline loop; only EOF means the
+  // whole file was seen. A mid-stream failure must not silently run a
+  // truncated batch.
+  if (in.bad()) {
+    throw StorageError(StorageErrorKind::kIo,
+                       "batch: stream read failed mid-file (badbit set after "
+                       "reading " +
+                           std::to_string(lines.size()) + " lines)");
   }
 
   BatchSummary summary;

@@ -1,9 +1,16 @@
 #include "service/explanation_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "causal/dag_io.h"
+#include "dataset/table_io.h"
+#include "storage/bytes.h"
+#include "storage/file_io.h"
+#include "storage/snapshot.h"
+#include "storage/storage_error.h"
 #include "util/string_utils.h"
 
 namespace causumx {
@@ -35,6 +42,45 @@ std::string ContextKey(const CausalDag& dag, const EstimatorOptions& opt) {
   return key;
 }
 
+// Warm-state snapshot container identity (storage/snapshot.h).
+constexpr char kWarmSnapshotKind[] = "causumx-snapshot";
+constexpr uint32_t kWarmSnapshotVersion = 1;
+
+uint64_t NowUnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// The estimator knobs travel inside each context section so a restored
+// context is constructed with exactly the options it was built under
+// (ContextKey re-derivation then cross-checks them).
+void PutEstimatorOptions(ByteWriter* w, const EstimatorOptions& opt) {
+  w->PutVarint(opt.min_group_size);
+  w->PutVarint(opt.sample_cap);
+  w->PutU64(opt.sample_seed);
+  w->PutVarint(opt.max_onehot_levels);
+  w->PutU8(static_cast<uint8_t>(opt.method));
+  w->PutDouble(opt.propensity_clip);
+}
+
+EstimatorOptions GetEstimatorOptions(ByteReader* r) {
+  EstimatorOptions opt;
+  opt.min_group_size = static_cast<size_t>(r->GetVarint());
+  opt.sample_cap = static_cast<size_t>(r->GetVarint());
+  opt.sample_seed = r->GetU64();
+  opt.max_onehot_levels = static_cast<size_t>(r->GetVarint());
+  const uint8_t method = r->GetU8();
+  if (method > static_cast<uint8_t>(EstimationMethod::kIpw)) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       "snapshot: unknown estimation method tag");
+  }
+  opt.method = static_cast<EstimationMethod>(method);
+  opt.propensity_clip = r->GetDouble();
+  return opt;
+}
+
 }  // namespace
 
 ExplanationService::ExplanationService(ServiceOptions options)
@@ -57,6 +103,10 @@ std::shared_ptr<const Table> ExplanationService::RegisterTable(
   TableEntry entry;
   entry.table = std::move(table);
   entry.engine = std::make_shared<EvalEngine>(entry.table, EngineOptions());
+  // With persistence on, seed the fresh caches from the table's durable
+  // snapshot — accepted only when the snapshot key proves it was taken
+  // over this exact table content and engine configuration.
+  if (!options_.data_dir.empty()) TryRestoreWarmState(name, &entry);
   std::shared_ptr<const Table> handle = entry.table;
   {
     util::MutexLock lock(mu_);
@@ -92,6 +142,7 @@ std::shared_ptr<const Table> ExplanationService::EnsureCsv(
   entry.table =
       std::make_shared<const Table>(ReadCsvFile(path, csv_options));
   entry.engine = std::make_shared<EvalEngine>(entry.table, EngineOptions());
+  if (!options_.data_dir.empty()) TryRestoreWarmState(name, &entry);
   {
     util::MutexLock lock(mu_);
     auto it = tables_.find(name);
@@ -239,6 +290,16 @@ std::shared_ptr<const Table> ExplanationService::AppendLocked(
   n_appends_.fetch_add(1, std::memory_order_relaxed);
   n_rows_appended_.fetch_add(rows.size(), std::memory_order_relaxed);
   EnforceBudget();
+  if (!options_.data_dir.empty() && options_.snapshot_on_append) {
+    // The append has landed in memory; a snapshot write failure must not
+    // unwind it. The previous snapshot stays durable and self-consistent
+    // (its version key no longer matches, so a restart rejects it and
+    // rebuilds cold — correct, just not warm).
+    try {
+      SaveSnapshot(name);
+    } catch (const StorageError&) {
+    }
+  }
   return new_table;
 }
 
@@ -258,6 +319,191 @@ std::shared_ptr<const Table> ExplanationService::AppendCsv(
 
 uint64_t ExplanationService::TableVersion(const std::string& name) const {
   return Snapshot(name).table->version();
+}
+
+std::string ExplanationService::SnapshotPath(const std::string& name) const {
+  if (options_.data_dir.empty()) {
+    throw std::logic_error("explanation service: no data_dir configured");
+  }
+  return options_.data_dir + "/" + EncodeFileStem(name) + ".snap";
+}
+
+std::string ExplanationService::WarmSnapshotKey(const Table& table) const {
+  return StrFormat("h%016llx|v%llu|s%zu|c%d|z%d",
+                   (unsigned long long)TableContentHash(table),
+                   (unsigned long long)table.version(), options_.num_shards,
+                   options_.cache_enabled ? 1 : 0,
+                   static_cast<int>(options_.segment_compression));
+}
+
+size_t ExplanationService::SaveSnapshot(const std::string& name) {
+  const std::string path = SnapshotPath(name);
+  const TableEntry entry = Snapshot(name);
+  // All export work happens on the captured entry, outside every lock of
+  // this class (the engine and contexts synchronize themselves).
+  SnapshotWriter writer(kWarmSnapshotKind, kWarmSnapshotVersion,
+                        WarmSnapshotKey(*entry.table));
+  writer.AddSection("table", SerializeTable(*entry.table));
+  writer.AddSection("engine", entry.engine->ExportCacheState());
+  size_t ctx_index = 0;
+  for (const auto& [key, ctx] : entry.contexts) {
+    ByteWriter w;
+    w.PutString(key);
+    w.PutString(DagToText(ctx->dag()));
+    PutEstimatorOptions(&w, ctx->options());
+    w.PutString(ctx->ExportMemoState());
+    writer.AddSection(StrFormat("ctx/%zu", ctx_index++), w.TakeBytes());
+  }
+  const std::string bytes = writer.Serialize();
+  {
+    util::MutexLock lock(snapshot_mu_);
+    WriteFileDurable(path, bytes);
+  }
+  n_snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+  last_snapshot_unix_ms_.store(NowUnixMs(), std::memory_order_relaxed);
+  return bytes.size();
+}
+
+size_t ExplanationService::SaveAllSnapshots() {
+  size_t written = 0;
+  for (const std::string& name : TableNames()) {
+    try {
+      SaveSnapshot(name);
+      ++written;
+    } catch (const std::out_of_range&) {
+      // Dropped between the listing and the save; nothing to persist.
+    }
+  }
+  return written;
+}
+
+bool ExplanationService::TryRestoreWarmState(const std::string& name,
+                                             TableEntry* entry) {
+  const std::string path = SnapshotPath(name);
+  if (!FileExists(path)) return false;
+  try {
+    SnapshotReader snap = SnapshotReader::ReadFile(path, kWarmSnapshotKind,
+                                                   kWarmSnapshotVersion);
+    if (snap.key() != WarmSnapshotKey(*entry->table)) {
+      // Valid snapshot of different data (content, version, or engine
+      // configuration) — e.g. the CSV changed since it was written, or
+      // appends happened after the source file was exported. Never
+      // trusted; the caller keeps its cold caches.
+      n_snapshots_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    ImportWarmSections(snap, entry);
+    n_snapshots_restored_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  } catch (const std::runtime_error&) {
+    // Damaged or stale snapshot, possibly detected mid-import. A
+    // partially imported engine is unusable by contract, so rebuild the
+    // entry cold — the restore is all-or-nothing.
+    entry->engine = std::make_shared<EvalEngine>(entry->table, EngineOptions());
+    entry->contexts.clear();
+    n_snapshots_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+}
+
+void ExplanationService::ImportWarmSections(const SnapshotReader& snap,
+                                            TableEntry* entry) {
+  entry->engine->ImportCacheState(snap.Section("engine"));
+  for (const std::string& section : snap.SectionNames()) {
+    if (section.rfind("ctx/", 0) != 0) continue;
+    ByteReader r(snap.Section(section));
+    const std::string key = r.GetString();
+    const std::string dag_text = r.GetString();
+    const EstimatorOptions opt = GetEstimatorOptions(&r);
+    const std::string memo = r.GetString();
+    if (!r.AtEnd()) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "snapshot: trailing bytes in context section");
+    }
+    const CausalDag dag = ParseDagText(dag_text);
+    if (ContextKey(dag, opt) != key) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "snapshot: context fingerprint does not match its "
+                         "DAG and options");
+    }
+    auto ctx = std::make_shared<EstimatorContext>(entry->engine, dag, opt);
+    ctx->ImportMemoState(memo);
+    if (!entry->contexts.emplace(key, std::move(ctx)).second) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "snapshot: duplicate context section");
+    }
+  }
+}
+
+bool ExplanationService::RestoreTable(const std::string& name) {
+  const std::string path = SnapshotPath(name);
+  if (!FileExists(path)) return false;
+  try {
+    SnapshotReader snap = SnapshotReader::ReadFile(path, kWarmSnapshotKind,
+                                                   kWarmSnapshotVersion);
+    TableEntry entry;
+    entry.table =
+        std::make_shared<const Table>(DeserializeTable(snap.Section("table")));
+    // The embedded table self-verified against its own container key;
+    // cross-check the warm key's hash component so an engine section
+    // spliced onto a different table section cannot pass. The version
+    // component is not compared — the decoded table restarts at version
+    // 0 like any cold load. The engine-configuration suffix must match
+    // this service's options (the engine import would reject it anyway;
+    // checking here avoids decoding cache state we cannot use).
+    const std::string hash_part = StrFormat(
+        "h%016llx", (unsigned long long)TableContentHash(*entry.table));
+    const std::string config_part =
+        StrFormat("|s%zu|c%d|z%d", options_.num_shards,
+                  options_.cache_enabled ? 1 : 0,
+                  static_cast<int>(options_.segment_compression));
+    if (snap.key().compare(0, hash_part.size(), hash_part) != 0) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "snapshot: key does not match embedded table");
+    }
+    if (snap.key().size() < config_part.size() ||
+        snap.key().compare(snap.key().size() - config_part.size(),
+                           config_part.size(), config_part) != 0) {
+      throw StorageError(StorageErrorKind::kStale,
+                         "snapshot: engine configuration changed");
+    }
+    entry.engine = std::make_shared<EvalEngine>(entry.table, EngineOptions());
+    ImportWarmSections(snap, &entry);
+    {
+      util::MutexLock lock(mu_);
+      tables_[name] = std::move(entry);
+    }
+    n_tables_.fetch_add(1, std::memory_order_relaxed);
+    n_snapshots_restored_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  } catch (const std::runtime_error&) {
+    n_snapshots_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+}
+
+size_t ExplanationService::RestoreAll() {
+  if (options_.data_dir.empty()) {
+    throw std::logic_error("explanation service: no data_dir configured");
+  }
+  size_t restored = 0;
+  for (const std::string& file : ListDirFiles(options_.data_dir)) {
+    constexpr char kSuffix[] = ".snap";
+    constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+    if (file.size() <= kSuffixLen ||
+        file.compare(file.size() - kSuffixLen, kSuffixLen, kSuffix) != 0) {
+      continue;  // stray .tmp from a killed writer, or foreign files
+    }
+    std::string name;
+    try {
+      name = DecodeFileStem(file.substr(0, file.size() - kSuffixLen));
+    } catch (const StorageError&) {
+      n_snapshots_rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (RestoreTable(name)) ++restored;
+  }
+  return restored;
 }
 
 CauSumXResult ExplanationService::Explain(const std::string& table_name,
@@ -409,6 +655,11 @@ ServiceStats ExplanationService::Stats() const {
   s.rows_appended = n_rows_appended_.load(std::memory_order_relaxed);
   s.budget_enforcements = n_enforcements_.load(std::memory_order_relaxed);
   s.cache_bytes = CacheBytes();
+  s.snapshots_written = n_snapshots_written_.load(std::memory_order_relaxed);
+  s.snapshots_restored = n_snapshots_restored_.load(std::memory_order_relaxed);
+  s.snapshots_rejected = n_snapshots_rejected_.load(std::memory_order_relaxed);
+  s.last_snapshot_unix_ms =
+      last_snapshot_unix_ms_.load(std::memory_order_relaxed);
   return s;
 }
 

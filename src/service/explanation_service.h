@@ -61,6 +61,19 @@ struct ServiceOptions {
   /// memory_budget_bytes before the LRU starts evicting. Bit-identical
   /// results under every policy.
   SegmentCompression segment_compression = SegmentCompression::kAuto;
+  /// Directory for durable snapshots (columnar table + warm caches).
+  /// Empty = persistence off (the pre-storage behavior). When set,
+  /// RegisterTable/LoadCsv attempt a warm restore from the table's
+  /// snapshot (accepted only when the snapshot key — table content
+  /// hash, data version, engine configuration — matches exactly; stale
+  /// or damaged snapshots are counted and ignored, never trusted), and
+  /// RestoreTable/RestoreAll can cold-start tables from disk alone.
+  std::string data_dir;
+  /// When data_dir is set: automatically write a fresh snapshot after
+  /// every append batch that lands. The previous snapshot stays durable
+  /// until the new one is fully on disk (write-to-temp + fsync + atomic
+  /// rename), so a crash mid-write never loses the old state.
+  bool snapshot_on_append = true;
 };
 
 /// Cumulative service counters plus a point-in-time cache snapshot.
@@ -71,6 +84,13 @@ struct ServiceStats {
   uint64_t rows_appended = 0;        ///< total rows across those batches
   uint64_t budget_enforcements = 0;  ///< enforcement passes that evicted
   size_t cache_bytes = 0;            ///< current accounted evictable bytes
+  uint64_t snapshots_written = 0;    ///< durable snapshots written
+  uint64_t snapshots_restored = 0;   ///< warm restores accepted
+  uint64_t snapshots_rejected = 0;   ///< stale/corrupt snapshots ignored
+  /// Wall-clock time (unix milliseconds) of the last snapshot written;
+  /// 0 = none this process. The REST stats endpoint derives snapshot
+  /// age from this.
+  uint64_t last_snapshot_unix_ms = 0;
 };
 
 /// Point-in-time description of one registered table: identity, shape,
@@ -195,6 +215,42 @@ class ExplanationService {
   /// Monotone data version of the table's current snapshot.
   uint64_t TableVersion(const std::string& name) const;
 
+  // ---- durable snapshots ---------------------------------------------------
+
+  /// The snapshot file path for `name` under data_dir:
+  /// `<data_dir>/<EncodeFileStem(name)>.snap`. Throws std::logic_error
+  /// when no data_dir is configured.
+  std::string SnapshotPath(const std::string& name) const;
+
+  /// Writes a durable warm-state snapshot of the table: the columnar
+  /// table itself, the engine's interned predicate segments, and every
+  /// estimator context's CATE memo, all in one crash-safe file (the
+  /// previous snapshot is superseded only after the new one is fully on
+  /// disk). Returns the bytes written. Throws std::out_of_range on an
+  /// unknown table, std::logic_error without a data_dir, and
+  /// StorageError(kIo) on write failure.
+  size_t SaveSnapshot(const std::string& name);
+
+  /// SaveSnapshot for every registered table; returns how many were
+  /// written. A failing write aborts with its StorageError (snapshots
+  /// already written stay durable).
+  size_t SaveAllSnapshots();
+
+  /// Cold-starts `name` from its durable snapshot alone — no CSV: the
+  /// embedded columnar table is decoded and self-verified against the
+  /// snapshot's content-hash key, then the warm caches import on top.
+  /// Returns false (counting a rejection where a file existed) when the
+  /// snapshot is missing, damaged, or built under a different engine
+  /// configuration — the caller falls back to a cold load; a snapshot
+  /// is never partially trusted. Throws std::logic_error without a
+  /// data_dir.
+  bool RestoreTable(const std::string& name);
+
+  /// RestoreTable for every `*.snap` under data_dir; returns how many
+  /// tables restored. Unreadable entries are skipped (counted as
+  /// rejected), never fatal.
+  size_t RestoreAll();
+
   // ---- query execution -----------------------------------------------------
 
   /// Runs CauSumX over a registered table through the table's shared
@@ -262,6 +318,24 @@ class ExplanationService {
   /// shard count, the shared pool).
   EvalEngineOptions EngineOptions() const;
 
+  /// Staleness fingerprint of a warm snapshot for `table` under this
+  /// service's engine configuration (content hash, data version, shard /
+  /// cache / compression knobs). A restore is accepted only on an exact
+  /// match.
+  std::string WarmSnapshotKey(const Table& table) const;
+
+  /// Attempts to warm `entry`'s freshly built engine (and contexts) from
+  /// the durable snapshot for `name`. On any mismatch or damage the
+  /// entry is rebuilt cold (a partially imported engine is never kept)
+  /// and false is returned. Requires a configured data_dir.
+  bool TryRestoreWarmState(const std::string& name, TableEntry* entry);
+
+  /// Imports the engine + context sections of a validated snapshot into
+  /// `entry` (whose engine must be freshly built over the snapshot's
+  /// table). Throws StorageError on damage; the entry is unusable then.
+  void ImportWarmSections(const class SnapshotReader& snap,
+                          TableEntry* entry);
+
   /// Append body; caller holds append_mu_ (but not mu_ — the body takes
   /// mu_ briefly to snapshot and to install, so holding it here would
   /// self-deadlock). See Append for the expected_base contract.
@@ -278,6 +352,14 @@ class ExplanationService {
   /// never take this lock. Lock order: append_mu_ before mu_, never the
   /// reverse.
   util::Mutex append_mu_;
+  /// Serializes durable snapshot writes (WriteFileDurable uses one
+  /// `<path>.tmp` per target, so two concurrent saves of one table
+  /// would interleave on it). Taken around the file write only, after
+  /// all export work; never held together with mu_ or append_mu_ by
+  /// this class's code taking another lock inside. Lock order:
+  /// append_mu_ / mu_ released before snapshot_mu_ is needed — saves
+  /// take it standalone.
+  util::Mutex snapshot_mu_;
   std::map<std::string, TableEntry> tables_ CAUSUMX_GUARDED_BY(mu_);
   /// Shared with every table engine (shard-parallel builds run on it),
   /// so it outlives any engine handed out past the service's lifetime.
@@ -287,6 +369,10 @@ class ExplanationService {
   std::atomic<uint64_t> n_appends_{0};
   std::atomic<uint64_t> n_rows_appended_{0};
   std::atomic<uint64_t> n_enforcements_{0};
+  std::atomic<uint64_t> n_snapshots_written_{0};
+  std::atomic<uint64_t> n_snapshots_restored_{0};
+  std::atomic<uint64_t> n_snapshots_rejected_{0};
+  std::atomic<uint64_t> last_snapshot_unix_ms_{0};
 };
 
 }  // namespace causumx

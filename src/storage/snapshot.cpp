@@ -1,0 +1,225 @@
+#include "storage/snapshot.h"
+
+#include "storage/bytes.h"
+#include "storage/crc32.h"
+#include "storage/file_io.h"
+#include "storage/storage_error.h"
+#include "util/string_utils.h"
+
+namespace causumx {
+namespace {
+
+constexpr uint32_t kFileMagic = 0x53585343u;     // "CSXS" little-endian
+constexpr uint32_t kSectionMagic = 0x54434553u;  // "SECT"
+constexpr uint32_t kPageMagic = 0x45474150u;     // "PAGE"
+
+// Caps that bound allocation before any payload byte is trusted. A
+// snapshot cannot legitimately carry more sections than a few per
+// context times a few thousand contexts.
+constexpr uint64_t kMaxSections = 1u << 20;
+constexpr uint64_t kMaxHeaderLen = 1u << 20;
+
+// Emits `block` framed as: magic, length, CRC, bytes.
+void PutFramedBlock(uint32_t magic, const std::string& block,
+                    std::string* out) {
+  ByteWriter frame;
+  frame.PutU32(magic);
+  frame.PutU32(static_cast<uint32_t>(block.size()));
+  frame.PutU32(Crc32(block));
+  out->append(frame.TakeBytes());
+  out->append(block);
+}
+
+// Reads a framed block written by PutFramedBlock, verifying magic,
+// length bound, and CRC.
+std::string GetFramedBlock(ByteReader* r, uint32_t magic, const char* what) {
+  if (r->GetU32() != magic) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       StrFormat("storage: bad %s magic", what));
+  }
+  uint32_t len = r->GetU32();
+  if (len > kMaxHeaderLen) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       StrFormat("storage: %s header too large", what));
+  }
+  uint32_t crc = r->GetU32();
+  const unsigned char* p = r->GetRaw(len, what);
+  if (Crc32(p, len) != crc) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       StrFormat("storage: %s header checksum mismatch", what));
+  }
+  return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(std::string kind, uint32_t version,
+                               std::string key)
+    : kind_(std::move(kind)), version_(version), key_(std::move(key)) {}
+
+void SnapshotWriter::AddSection(const std::string& name, std::string payload) {
+  for (const auto& section : sections_) {
+    if (section.first == name) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "storage: duplicate section '" + name + "'");
+    }
+  }
+  sections_.emplace_back(name, std::move(payload));
+}
+
+std::string SnapshotWriter::Serialize() const {
+  std::string out;
+
+  ByteWriter header;
+  header.PutString(kind_);
+  header.PutU32(version_);
+  header.PutString(key_);
+  header.PutVarint(sections_.size());
+  PutFramedBlock(kFileMagic, header.TakeBytes(), &out);
+
+  for (const auto& [name, payload] : sections_) {
+    ByteWriter sect;
+    sect.PutString(name);
+    sect.PutU64(payload.size());
+    PutFramedBlock(kSectionMagic, sect.TakeBytes(), &out);
+
+    size_t off = 0;
+    // A zero-length payload still writes one empty page so the reader
+    // sees uniform framing.
+    do {
+      size_t n = std::min(kStoragePageSize, payload.size() - off);
+      ByteWriter page;
+      page.PutU32(kPageMagic);
+      page.PutU32(static_cast<uint32_t>(n));
+      page.PutU32(Crc32(payload.data() + off, n));
+      out.append(page.TakeBytes());
+      out.append(payload, off, n);
+      off += n;
+    } while (off < payload.size());
+  }
+  return out;
+}
+
+void SnapshotWriter::WriteFile(const std::string& path) const {
+  WriteFileDurable(path, Serialize());
+}
+
+SnapshotReader SnapshotReader::Parse(const std::string& bytes,
+                                     const std::string& expected_kind,
+                                     uint32_t expected_version) {
+  ByteReader r(bytes);
+
+  const std::string file_header = GetFramedBlock(&r, kFileMagic, "file");
+  std::string kind;
+  uint32_t version = 0;
+  uint64_t num_sections = 0;
+  SnapshotReader out;
+  {
+    ByteReader h(file_header);
+    kind = h.GetString();
+    version = h.GetU32();
+    out.key_ = h.GetString();
+    num_sections = h.GetVarint();
+    if (!h.AtEnd()) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "storage: trailing bytes in file header");
+    }
+  }
+  if (kind != expected_kind) {
+    throw StorageError(StorageErrorKind::kStale,
+                       StrFormat("storage: file kind '%s', expected '%s'",
+                                 kind.c_str(), expected_kind.c_str()));
+  }
+  if (version != expected_version) {
+    throw StorageError(
+        StorageErrorKind::kStale,
+        StrFormat("storage: format version %u, expected %u", version,
+                  expected_version));
+  }
+  if (num_sections > kMaxSections) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       "storage: implausible section count");
+  }
+
+  for (uint64_t i = 0; i < num_sections; ++i) {
+    const std::string sect_header = GetFramedBlock(&r, kSectionMagic, "section");
+    std::string name;
+    uint64_t payload_len = 0;
+    {
+      ByteReader h(sect_header);
+      name = h.GetString();
+      payload_len = h.GetU64();
+      if (!h.AtEnd()) {
+        throw StorageError(StorageErrorKind::kCorrupt,
+                           "storage: trailing bytes in section header");
+      }
+    }
+    if (payload_len > bytes.size()) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "storage: section length exceeds file size");
+    }
+
+    std::string payload;
+    payload.reserve(payload_len);
+    // Mirror the writer: a zero-length payload still carries one page.
+    do {
+      if (r.GetU32() != kPageMagic) {
+        throw StorageError(StorageErrorKind::kCorrupt,
+                           "storage: bad page magic");
+      }
+      uint32_t data_len = r.GetU32();
+      if (data_len > kStoragePageSize ||
+          data_len > payload_len - payload.size()) {
+        throw StorageError(StorageErrorKind::kCorrupt,
+                           "storage: page length out of range");
+      }
+      uint32_t crc = r.GetU32();
+      const unsigned char* data = r.GetRaw(data_len, "page data");
+      if (Crc32(data, data_len) != crc) {
+        throw StorageError(StorageErrorKind::kCorrupt,
+                           "storage: page checksum mismatch");
+      }
+      payload.append(reinterpret_cast<const char*>(data), data_len);
+      // Every non-final page must be full, or the lengths cannot add up
+      // to the advertised payload size.
+      if (data_len < kStoragePageSize && payload.size() < payload_len) {
+        throw StorageError(StorageErrorKind::kCorrupt,
+                           "storage: short page before end of section");
+      }
+    } while (payload.size() < payload_len);
+
+    if (out.sections_.count(name) != 0) {
+      throw StorageError(StorageErrorKind::kCorrupt,
+                         "storage: duplicate section '" + name + "'");
+    }
+    out.order_.push_back(name);
+    out.sections_.emplace(name, std::move(payload));
+  }
+
+  if (!r.AtEnd()) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       "storage: trailing bytes after last section");
+  }
+  return out;
+}
+
+const std::string& SnapshotReader::Section(const std::string& name) const {
+  auto it = sections_.find(name);
+  if (it == sections_.end()) {
+    throw StorageError(StorageErrorKind::kCorrupt,
+                       "storage: missing section '" + name + "'");
+  }
+  return it->second;
+}
+
+bool SnapshotReader::HasSection(const std::string& name) const {
+  return sections_.count(name) != 0;
+}
+
+SnapshotReader SnapshotReader::ReadFile(const std::string& path,
+                                        const std::string& expected_kind,
+                                        uint32_t expected_version) {
+  return Parse(ReadFileBytes(path), expected_kind, expected_version);
+}
+
+}  // namespace causumx

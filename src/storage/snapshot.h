@@ -1,0 +1,108 @@
+// Snapshot container: the common on-disk envelope for both the columnar
+// table format and the warm-state snapshots.
+//
+// A file is a CRC-checked header followed by named sections. Section
+// payloads are chunked into fixed-size pages, each with its own
+// CRC32-checksummed page header, so truncation and bit-flips anywhere
+// in the file are detected at read time — a damaged snapshot is
+// reported as StorageError(kCorrupt), never returned as data.
+//
+// Layout (all integers little-endian):
+//
+//   u32  kFileMagic                u32  kSectionMagic        (per section)
+//   u32  header_len                u32  header_len
+//   u32  crc32(header block)       u32  crc32(header block)
+//   header block:                  header block:
+//     kind string                    name string
+//     u32 format version             u64 payload length
+//     key string                   pages (<= kPageSize bytes each):
+//     section count                  u32 kPageMagic
+//                                    u32 data_len
+//                                    u32 crc32(data)
+//                                    data
+//
+// The `kind` string separates table files from warm-state snapshots;
+// the format version gates skew (kStale); the free-form `key` carries
+// the (content hash, version, DAG hash, options) fingerprint the
+// service uses to reject snapshots of different data.
+
+#ifndef CAUSUMX_STORAGE_SNAPSHOT_H_
+#define CAUSUMX_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace causumx {
+
+/// Payload bytes per page. Small enough that a bit-flip is localized to
+/// one page's checksum, large enough that header overhead is ~0.02%.
+inline constexpr size_t kStoragePageSize = 64 * 1024;
+
+/// Builds a snapshot container in memory and writes it durably.
+class SnapshotWriter {
+ public:
+  /// `kind` tags the file type (e.g. "causumx-table"), `version` the
+  /// format revision, `key` the producer's staleness fingerprint.
+  SnapshotWriter(std::string kind, uint32_t version, std::string key);
+
+  /// Appends a named section. Names must be unique within a file;
+  /// sections are written (and enumerated on read) in insertion order.
+  void AddSection(const std::string& name, std::string payload);
+
+  /// Serializes the whole container (header + paged sections).
+  std::string Serialize() const;
+
+  /// Serializes and writes via WriteFileDurable (write-to-temp + fsync
+  /// + atomic rename). Throws StorageError(kIo) on failure.
+  void WriteFile(const std::string& path) const;
+
+ private:
+  std::string kind_;
+  uint32_t version_;
+  std::string key_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// Parses and validates a snapshot container. All CRCs, magics, and
+/// lengths are verified up front; a reader that constructs successfully
+/// holds fully-validated section payloads.
+class SnapshotReader {
+ public:
+  /// Parses `bytes`. Throws StorageError(kCorrupt) for any structural
+  /// damage (bad magic/CRC/length), StorageError(kStale) when the file
+  /// is a valid container of the wrong kind or format version.
+  static SnapshotReader Parse(const std::string& bytes,
+                              const std::string& expected_kind,
+                              uint32_t expected_version);
+
+  /// ReadFileBytes + Parse. Throws StorageError(kIo) on read failure.
+  static SnapshotReader ReadFile(const std::string& path,
+                                 const std::string& expected_kind,
+                                 uint32_t expected_version);
+
+  /// The producer's staleness fingerprint, verbatim.
+  const std::string& key() const { return key_; }
+
+  /// True if a section with this name is present.
+  bool HasSection(const std::string& name) const;
+
+  /// The payload of section `name`; throws StorageError(kCorrupt) if
+  /// absent (a missing section means a truncated or foreign file).
+  const std::string& Section(const std::string& name) const;
+
+  /// Section names in file order.
+  const std::vector<std::string>& SectionNames() const { return order_; }
+
+ private:
+  SnapshotReader() = default;
+
+  std::string key_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::string> sections_;
+};
+
+}  // namespace causumx
+
+#endif  // CAUSUMX_STORAGE_SNAPSHOT_H_

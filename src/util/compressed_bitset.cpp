@@ -3,12 +3,68 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <stdexcept>
 
 #include "util/kernels.h"
 
 namespace causumx {
 
 namespace {
+
+// -- minimal byte codec for Serialize/Deserialize ---------------------------
+// util cannot depend on the storage layer, so the few primitives the
+// bitset encodings need live here: LEB128 varints and fixed-width
+// little-endian scalars, with checked reads that throw on truncation.
+
+void PutVar(std::string* out, uint64_t v) {
+  while (v >= 0x80u) {
+    out->push_back(static_cast<char>((v & 0x7Fu) | 0x80u));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+[[noreturn]] void Malformed(const char* what) {
+  throw std::runtime_error(std::string("compressed bitset: ") + what);
+}
+
+uint64_t GetVar(const std::string& b, size_t* pos) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= b.size()) Malformed("truncated varint");
+    const unsigned char byte = static_cast<unsigned char>(b[(*pos)++]);
+    v |= static_cast<uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) return v;
+  }
+  Malformed("overlong varint");
+}
+
+void PutU16Le(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFFu));
+  out->push_back(static_cast<char>(v >> 8));
+}
+
+void PutU64Le(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+uint16_t GetU16Le(const std::string& b, size_t* pos) {
+  if (b.size() - *pos < 2) Malformed("truncated u16");
+  const auto* p = reinterpret_cast<const unsigned char*>(b.data() + *pos);
+  *pos += 2;
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint64_t GetU64Le(const std::string& b, size_t* pos) {
+  if (b.size() - *pos < 8) Malformed("truncated u64");
+  const auto* p = reinterpret_cast<const unsigned char*>(b.data() + *pos);
+  *pos += 8;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
 
 // Number of maximal runs of consecutive set bits across the words of one
 // chunk: rising edges of the bit stream, i.e. popcount(x & ~(x << 1))
@@ -268,6 +324,165 @@ void SegmentBits::AssignIntoRange(Bitset* dst, size_t offset) const {
     return;
   }
   dst->AssignRange(offset, comp_->ToBitset());
+}
+
+void CompressedBitset::Serialize(std::string* out) const {
+  PutVar(out, size_);
+  PutVar(out, count_);
+  PutVar(out, chunks_.size());
+  for (const Container& ct : chunks_) {
+    out->push_back(static_cast<char>(ct.type));
+    PutVar(out, ct.count);
+    PutVar(out, ct.u16.size());
+    for (uint16_t v : ct.u16) PutU16Le(out, v);
+    PutVar(out, ct.words.size());
+    for (uint64_t w : ct.words) PutU64Le(out, w);
+  }
+}
+
+CompressedBitset CompressedBitset::Deserialize(const std::string& bytes,
+                                               size_t* pos) {
+  CompressedBitset out;
+  out.size_ = GetVar(bytes, pos);
+  const uint64_t stored_count = GetVar(bytes, pos);
+  const uint64_t n_chunks = GetVar(bytes, pos);
+  const uint64_t expect_chunks =
+      (static_cast<uint64_t>(out.size_) + kChunkBits - 1) / kChunkBits;
+  if (n_chunks != expect_chunks) {
+    Malformed("chunk count does not match universe size");
+  }
+  // Each container costs at least 4 encoded bytes, so the chunk count is
+  // bounded by the remaining input — this caps allocation before any
+  // container is trusted.
+  if (n_chunks > (bytes.size() - *pos) / 4 + 1) {
+    Malformed("implausible chunk count");
+  }
+  uint64_t total = 0;
+  out.chunks_.reserve(n_chunks);
+  for (uint64_t c = 0; c < n_chunks; ++c) {
+    const size_t chunk_bits = static_cast<size_t>(
+        std::min<uint64_t>(kChunkBits, out.size_ - c * kChunkBits));
+    const size_t chunk_words = (chunk_bits + 63) / 64;
+    if (*pos >= bytes.size()) Malformed("truncated container");
+    const unsigned char type = static_cast<unsigned char>(bytes[(*pos)++]);
+    if (type > static_cast<unsigned char>(ContainerType::kRun)) {
+      Malformed("unknown container type");
+    }
+    Container ct;
+    ct.type = static_cast<ContainerType>(type);
+    const uint64_t count = GetVar(bytes, pos);
+    if (count > chunk_bits) Malformed("container count exceeds chunk");
+    ct.count = static_cast<uint32_t>(count);
+    const uint64_t n_u16 = GetVar(bytes, pos);
+    if (n_u16 > (bytes.size() - *pos) / 2) Malformed("truncated u16 array");
+    ct.u16.reserve(n_u16);
+    for (uint64_t i = 0; i < n_u16; ++i) ct.u16.push_back(GetU16Le(bytes, pos));
+    const uint64_t n_words = GetVar(bytes, pos);
+    if (n_words > (bytes.size() - *pos) / 8) Malformed("truncated word array");
+    ct.words.reserve(n_words);
+    for (uint64_t i = 0; i < n_words; ++i) {
+      ct.words.push_back(GetU64Le(bytes, pos));
+    }
+
+    // Shape validation per type: everything Test/DecompressTo will index
+    // with must be proven in range here, and the canonical-layout
+    // invariants (sortedness, maximal runs, exact counts) that equality
+    // and byte accounting rely on must hold.
+    switch (ct.type) {
+      case ContainerType::kArray: {
+        if (!ct.words.empty()) Malformed("array container carries words");
+        if (ct.u16.size() != count) Malformed("array length != count");
+        for (size_t i = 0; i < ct.u16.size(); ++i) {
+          if (ct.u16[i] >= chunk_bits) Malformed("array offset out of range");
+          if (i > 0 && ct.u16[i] <= ct.u16[i - 1]) {
+            Malformed("array offsets not strictly increasing");
+          }
+        }
+        break;
+      }
+      case ContainerType::kBitmap: {
+        if (!ct.u16.empty()) Malformed("bitmap container carries u16s");
+        if (ct.words.size() != chunk_words) Malformed("bitmap word count");
+        if (kernels::PopcountWords(ct.words.data(), ct.words.size()) !=
+            count) {
+          Malformed("bitmap popcount != count");
+        }
+        if ((chunk_bits & 63) != 0 &&
+            (ct.words.back() & ~((uint64_t{1} << (chunk_bits & 63)) - 1)) !=
+                0) {
+          Malformed("bitmap padding bits set");
+        }
+        break;
+      }
+      case ContainerType::kRun: {
+        if (!ct.words.empty()) Malformed("run container carries words");
+        if (ct.u16.size() % 2 != 0) Malformed("odd run list length");
+        uint64_t run_total = 0;
+        size_t prev_end = 0;  // exclusive end of the previous run
+        for (size_t i = 0; i + 1 < ct.u16.size(); i += 2) {
+          const size_t start = ct.u16[i];
+          const size_t end = start + ct.u16[i + 1] + 1;  // exclusive
+          if (i > 0 && start <= prev_end) {
+            // Canonical runs are maximal: a gap of at least one bit.
+            Malformed("runs overlap or touch");
+          }
+          if (end > chunk_bits) Malformed("run exceeds chunk");
+          run_total += ct.u16[i + 1] + 1;
+          prev_end = end;
+        }
+        if (run_total != count) Malformed("run lengths != count");
+        break;
+      }
+    }
+    total += count;
+    out.chunks_.push_back(std::move(ct));
+  }
+  if (total != stored_count) Malformed("chunk counts != total count");
+  out.count_ = static_cast<size_t>(total);
+  return out;
+}
+
+void SegmentBits::Serialize(std::string* out) const {
+  if (plain_) {
+    out->push_back(0);
+    PutVar(out, plain_->size());
+    for (size_t i = 0; i < plain_->num_words(); ++i) {
+      PutU64Le(out, plain_->data()[i]);
+    }
+  } else {
+    out->push_back(1);
+    comp_->Serialize(out);
+  }
+}
+
+SegmentBits SegmentBits::Deserialize(const std::string& bytes, size_t* pos) {
+  if (*pos >= bytes.size()) Malformed("truncated segment tag");
+  const unsigned char tag = static_cast<unsigned char>(bytes[(*pos)++]);
+  SegmentBits seg;
+  if (tag == 0) {
+    const uint64_t n = GetVar(bytes, pos);
+    const uint64_t n_words = (n + 63) / 64;
+    // Length check before allocation so hostile sizes cannot OOM.
+    if (n_words > (bytes.size() - *pos) / 8) {
+      Malformed("truncated plain segment");
+    }
+    Bitset bits(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n_words; ++i) {
+      bits.mutable_data()[i] = GetU64Le(bytes, pos);
+    }
+    if ((n & 63) != 0 && n_words > 0) {
+      const uint64_t mask = (uint64_t{1} << (n & 63)) - 1;
+      if ((bits.data()[n_words - 1] & ~mask) != 0) {
+        Malformed("plain segment padding bits set");
+      }
+    }
+    seg.plain_ = std::move(bits);
+  } else if (tag == 1) {
+    seg.comp_ = CompressedBitset::Deserialize(bytes, pos);
+  } else {
+    Malformed("unknown segment tag");
+  }
+  return seg;
 }
 
 }  // namespace causumx

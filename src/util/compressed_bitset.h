@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "util/bitset.h"
@@ -66,6 +67,18 @@ class CompressedBitset {
   /// Content equality (same universe, same bits). Representations are
   /// deterministic, so this is a cheap structural comparison.
   bool operator==(const CompressedBitset& other) const;
+
+  /// Appends a portable little-endian byte encoding to `out`: the exact
+  /// container layout, so Serialize → Deserialize → operator== holds.
+  /// Consumed by the storage layer's warm-state snapshots.
+  void Serialize(std::string* out) const;
+
+  /// Parses an encoding produced by Serialize from `bytes` starting at
+  /// `*pos` and advances `*pos` past it. Every container is validated
+  /// (bounds, ordering, counts, padding) before the object is returned,
+  /// so hostile bytes can never build a bitset whose readers index out
+  /// of range. Throws std::runtime_error on malformed input.
+  static CompressedBitset Deserialize(const std::string& bytes, size_t* pos);
 
  private:
   enum class ContainerType : uint8_t { kArray, kBitmap, kRun };
@@ -139,6 +152,16 @@ class SegmentBits {
   /// Writes this segment over dst rows [offset, offset + size()),
   /// replacing them. Same alignment contract as AndIntoRange.
   void AssignIntoRange(Bitset* dst, size_t offset) const;
+
+  /// Appends a portable byte encoding of this segment to `out` — a
+  /// representation tag plus the plain words or compressed containers,
+  /// so a restored segment is byte-for-byte the segment that was saved
+  /// (same representation, same accounted bytes).
+  void Serialize(std::string* out) const;
+
+  /// Inverse of Serialize; reads from `bytes` at `*pos` and advances
+  /// it. Throws std::runtime_error on malformed input.
+  static SegmentBits Deserialize(const std::string& bytes, size_t* pos);
 
  private:
   SegmentBits() = default;

@@ -320,6 +320,11 @@ std::string JsonEscapeString(const std::string& s) {
   return out;
 }
 
+std::string JsonNumberToken(double value, int digits) {
+  if (!std::isfinite(value)) return "null";
+  return FormatDouble(value, digits);
+}
+
 namespace {
 
 [[noreturn]] void Misuse(const char* what) {

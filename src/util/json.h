@@ -60,6 +60,13 @@ class JsonValue {
 /// core/json_export re-exports this as JsonEscape for its callers.
 std::string JsonEscapeString(const std::string& s);
 
+/// A JSON number token: FormatDouble(value, digits) for finite values,
+/// "null" for NaN/Inf — JSON has no non-finite numbers, and emitting
+/// them verbatim produces documents no parser accepts. Domain
+/// serializers route every double through here so invalid JSON cannot
+/// leak out of one forgotten call site.
+std::string JsonNumberToken(double value, int digits);
+
 /// A streaming JSON document builder: commas and nesting are managed
 /// automatically, strings are escaped, and the result is a compact
 /// single-line document (matching the batch/JSONL output style).

@@ -1,0 +1,851 @@
+// Tests for the storage layer: byte codec, snapshot container, columnar
+// table format, segment serialization, durable-write primitives — and
+// the service-level warm-restart path, including the corruption suite
+// (truncation, bit-flips, version skew, stale keys, killed writers must
+// all be detected and fall back to a cold rebuild with bit-identical
+// results).
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "core/json_export.h"
+#include "datagen/synthetic.h"
+#include "dataset/csv.h"
+#include "dataset/table_io.h"
+#include "server/rest_api.h"
+#include "service/explanation_service.h"
+#include "storage/bytes.h"
+#include "storage/crc32.h"
+#include "storage/file_io.h"
+#include "storage/snapshot.h"
+#include "storage/storage_error.h"
+#include "util/compressed_bitset.h"
+#include "util/json.h"
+#include "util/string_utils.h"
+
+namespace causumx {
+namespace {
+
+// A scratch directory removed (with its files) on destruction.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char buf[] = "/tmp/causumx_storage_XXXXXX";
+    path = ::mkdtemp(buf);
+    EXPECT_FALSE(path.empty());
+  }
+  ~TempDir() {
+    for (const std::string& f : ListDirFiles(path)) {
+      ::unlink((path + "/" + f).c_str());
+    }
+    ::rmdir(path.c_str());
+  }
+};
+
+// ---- byte codec ------------------------------------------------------------
+
+TEST(BytesTest, ScalarsRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutVarint(0);
+  w.PutVarint(127);
+  w.PutVarint(128);
+  w.PutVarint(~0ull);
+  w.PutVarintSigned(-1);
+  w.PutVarintSigned(INT64_MIN);
+  w.PutDouble(-0.0);
+  w.PutString("hello\0world");  // embedded NUL truncates the literal; fine
+  const std::string bytes = w.TakeBytes();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.GetU8(), 0xAB);
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.GetVarint(), 0u);
+  EXPECT_EQ(r.GetVarint(), 127u);
+  EXPECT_EQ(r.GetVarint(), 128u);
+  EXPECT_EQ(r.GetVarint(), ~0ull);
+  EXPECT_EQ(r.GetVarintSigned(), -1);
+  EXPECT_EQ(r.GetVarintSigned(), INT64_MIN);
+  const double neg_zero = r.GetDouble();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.GetString(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, TruncationThrowsCorrupt) {
+  ByteWriter w;
+  w.PutU64(42);
+  w.PutString("payload");
+  const std::string bytes = w.TakeBytes();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    ByteReader r(bytes.data(), len);
+    try {
+      r.GetU64();
+      const std::string s = r.GetString();
+      FAIL() << "prefix of length " << len << " parsed as a whole record";
+    } catch (const StorageError& e) {
+      EXPECT_EQ(e.kind(), StorageErrorKind::kCorrupt);
+    }
+  }
+}
+
+TEST(BytesTest, OverlongVarintRejected) {
+  std::string bytes(11, '\x80');  // 11 continuation bytes: > 10-byte cap
+  ByteReader r(bytes);
+  EXPECT_THROW(r.GetVarint(), StorageError);
+}
+
+TEST(Crc32Test, KnownVector) {
+  // The standard CRC-32 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+// ---- file primitives -------------------------------------------------------
+
+TEST(FileIoTest, FileStemRoundTrips) {
+  const std::string names[] = {"simple", "with space", "a/b\\c", "100%",
+                               "mixed_OK-1.2", "\x01\xFF"};
+  for (const std::string& name : names) {
+    const std::string stem = EncodeFileStem(name);
+    EXPECT_EQ(stem.find('/'), std::string::npos) << name;
+    EXPECT_EQ(DecodeFileStem(stem), name);
+  }
+  EXPECT_THROW(DecodeFileStem("trailing%"), StorageError);
+  EXPECT_THROW(DecodeFileStem("bad%ZZescape"), StorageError);
+}
+
+TEST(FileIoTest, DurableWriteRoundTripsAndLeavesNoTemp) {
+  TempDir dir;
+  const std::string path = dir.path + "/file.bin";
+  std::string payload(100000, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 31 + 7);
+  }
+  WriteFileDurable(path, payload);
+  EXPECT_EQ(ReadFileBytes(path), payload);
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+
+  // Overwrite: the new bytes fully replace the old.
+  WriteFileDurable(path, "second");
+  EXPECT_EQ(ReadFileBytes(path), "second");
+}
+
+TEST(FileIoTest, ReadMissingFileThrowsIo) {
+  try {
+    ReadFileBytes("/nonexistent/causumx/file");
+    FAIL() << "expected StorageError";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.kind(), StorageErrorKind::kIo);
+  }
+}
+
+// ---- snapshot container ----------------------------------------------------
+
+std::string MakeBigPayload(size_t n) {
+  std::string payload(n, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<char>((i * 131) ^ (i >> 8));
+  }
+  return payload;
+}
+
+TEST(SnapshotTest, ContainerRoundTrips) {
+  SnapshotWriter w("test-kind", 3, "key|v1|abc");
+  w.AddSection("alpha", "first payload");
+  w.AddSection("beta", "");  // empty sections are legal
+  w.AddSection("gamma", MakeBigPayload(3 * kStoragePageSize + 17));
+  const std::string bytes = w.Serialize();
+
+  const SnapshotReader r = SnapshotReader::Parse(bytes, "test-kind", 3);
+  EXPECT_EQ(r.key(), "key|v1|abc");
+  ASSERT_EQ(r.SectionNames().size(), 3u);
+  EXPECT_EQ(r.SectionNames()[0], "alpha");
+  EXPECT_EQ(r.SectionNames()[2], "gamma");
+  EXPECT_EQ(r.Section("alpha"), "first payload");
+  EXPECT_EQ(r.Section("beta"), "");
+  EXPECT_EQ(r.Section("gamma"), MakeBigPayload(3 * kStoragePageSize + 17));
+  EXPECT_TRUE(r.HasSection("beta"));
+  EXPECT_FALSE(r.HasSection("delta"));
+  EXPECT_THROW(r.Section("delta"), StorageError);
+}
+
+TEST(SnapshotTest, KindAndVersionSkewAreStale) {
+  SnapshotWriter w("kind-a", 1, "k");
+  w.AddSection("s", "p");
+  const std::string bytes = w.Serialize();
+  try {
+    SnapshotReader::Parse(bytes, "kind-b", 1);
+    FAIL() << "wrong kind accepted";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.kind(), StorageErrorKind::kStale);
+  }
+  try {
+    SnapshotReader::Parse(bytes, "kind-a", 2);
+    FAIL() << "wrong version accepted";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.kind(), StorageErrorKind::kStale);
+  }
+}
+
+TEST(SnapshotTest, EveryTruncationIsDetected) {
+  SnapshotWriter w("test-kind", 1, "key");
+  w.AddSection("a", "some section payload data");
+  w.AddSection("b", MakeBigPayload(300));
+  const std::string bytes = w.Serialize();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(
+        SnapshotReader::Parse(bytes.substr(0, len), "test-kind", 1),
+        StorageError)
+        << "prefix of length " << len << " of " << bytes.size()
+        << " parsed cleanly";
+  }
+}
+
+TEST(SnapshotTest, EveryBitFlipIsDetected) {
+  SnapshotWriter w("test-kind", 1, "key");
+  w.AddSection("a", "some section payload data");
+  w.AddSection("b", MakeBigPayload(200));
+  const std::string bytes = w.Serialize();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (unsigned char mask : {0x01, 0x80}) {
+      std::string damaged = bytes;
+      damaged[i] = static_cast<char>(damaged[i] ^ mask);
+      EXPECT_THROW(SnapshotReader::Parse(damaged, "test-kind", 1),
+                   StorageError)
+          << "flip of bit mask " << int{mask} << " at byte " << i
+          << " went unnoticed";
+    }
+  }
+}
+
+TEST(SnapshotTest, TrailingGarbageRejected) {
+  SnapshotWriter w("test-kind", 1, "key");
+  w.AddSection("a", "p");
+  std::string bytes = w.Serialize();
+  bytes += "extra";
+  EXPECT_THROW(SnapshotReader::Parse(bytes, "test-kind", 1), StorageError);
+}
+
+// ---- columnar table format -------------------------------------------------
+
+// Mixed-type table exercising nulls, negatives, wide ranges, shared and
+// per-row dictionary codes, and non-block-aligned row counts.
+Table MakeMixedTable(size_t rows) {
+  Table t;
+  t.AddColumn("id", ColumnType::kInt64);
+  t.AddColumn("score", ColumnType::kDouble);
+  t.AddColumn("city", ColumnType::kCategorical);
+  const char* cities[] = {"tokyo", "lima", "oslo", "cairo", "quito"};
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<Value> row(3);
+    if (i % 7 == 3) {
+      row[0] = Value();  // null int
+    } else {
+      row[0] = Value(static_cast<int64_t>(i) * 1000003 - 5000000);
+    }
+    if (i % 11 == 5) {
+      row[1] = Value();  // null double
+    } else {
+      row[1] = Value(static_cast<double>(i) * 0.37 - 21.5);
+    }
+    if (i % 13 == 6) {
+      row[2] = Value();  // null categorical
+    } else {
+      row[2] = Value(std::string(cities[(i * i) % 5]));
+    }
+    t.AddRow(row);
+  }
+  return t;
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  ASSERT_EQ(a.NumColumns(), b.NumColumns());
+  for (size_t c = 0; c < a.NumColumns(); ++c) {
+    EXPECT_EQ(a.column(c).name(), b.column(c).name());
+    ASSERT_EQ(a.column(c).type(), b.column(c).type());
+    for (size_t r = 0; r < a.NumRows(); ++r) {
+      ASSERT_EQ(a.column(c).IsNull(r), b.column(c).IsNull(r))
+          << "null mismatch at row " << r << " col " << c;
+      if (!a.column(c).IsNull(r)) {
+        ASSERT_EQ(a.column(c).GetValue(r), b.column(c).GetValue(r))
+            << "cell mismatch at row " << r << " col " << c;
+      }
+    }
+  }
+  EXPECT_EQ(TableContentHash(a), TableContentHash(b));
+}
+
+TEST(TableIoTest, MixedTableRoundTrips) {
+  for (size_t rows : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                      size_t{65}, size_t{130}, size_t{1000}}) {
+    const Table t = MakeMixedTable(rows);
+    const Table back = DeserializeTable(SerializeTable(t));
+    ExpectTablesEqual(t, back);
+  }
+}
+
+TEST(TableIoTest, FileRoundTripViaDurableWrite) {
+  TempDir dir;
+  const std::string path = dir.path + "/table.ctbl";
+  const Table t = MakeMixedTable(200);
+  WriteTableFile(t, path);
+  ExpectTablesEqual(t, ReadTableFile(path));
+}
+
+TEST(TableIoTest, ContentHashIsOrderAndValueSensitive) {
+  Table a;
+  a.AddColumn("x", ColumnType::kInt64);
+  a.AddRow({Value(int64_t{1})});
+  a.AddRow({Value(int64_t{2})});
+  Table b;
+  b.AddColumn("x", ColumnType::kInt64);
+  b.AddRow({Value(int64_t{2})});
+  b.AddRow({Value(int64_t{1})});
+  EXPECT_NE(TableContentHash(a), TableContentHash(b));
+  Table c;
+  c.AddColumn("y", ColumnType::kInt64);  // same cells, renamed column
+  c.AddRow({Value(int64_t{1})});
+  c.AddRow({Value(int64_t{2})});
+  EXPECT_NE(TableContentHash(a), TableContentHash(c));
+}
+
+TEST(TableIoTest, SplicedKeyRejected) {
+  // Re-wrap the real sections under a key claiming a different content
+  // hash: the reader must notice the table does not match its key.
+  const Table t = MakeMixedTable(50);
+  const std::string bytes = SerializeTable(t);
+  const SnapshotReader real = SnapshotReader::Parse(bytes, "causumx-table", 1);
+  SnapshotWriter forged("causumx-table", 1,
+                        "h0000000000000000" + real.key().substr(17));
+  for (const std::string& name : real.SectionNames()) {
+    forged.AddSection(name, real.Section(name));
+  }
+  try {
+    DeserializeTable(forged.Serialize());
+    FAIL() << "forged key accepted";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.kind(), StorageErrorKind::kCorrupt);
+  }
+}
+
+TEST(TableIoTest, TruncationsAndBitFlipsRejected) {
+  const Table t = MakeMixedTable(80);
+  const std::string bytes = SerializeTable(t);
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    EXPECT_THROW(DeserializeTable(bytes.substr(0, len)), StorageError);
+  }
+  for (size_t i = 0; i < bytes.size(); i += 3) {
+    std::string damaged = bytes;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x10);
+    EXPECT_THROW(DeserializeTable(damaged), StorageError)
+        << "flip at byte " << i;
+  }
+}
+
+// ---- segment serialization -------------------------------------------------
+
+Bitset MakePatternedBitset(size_t size, int pattern) {
+  Bitset bits(size);
+  for (size_t i = 0; i < size; ++i) {
+    bool set = false;
+    switch (pattern) {
+      case 0: set = false; break;                    // empty
+      case 1: set = true; break;                     // full
+      case 2: set = (i % 97) == 0; break;            // sparse -> array
+      case 3: set = (i / 500) % 2 == 0; break;       // clustered -> runs
+      case 4: set = ((i * 2654435761u) >> 13) & 1; break;  // dense mix
+    }
+    if (set) bits.Set(i);
+  }
+  return bits;
+}
+
+TEST(SegmentSerdeTest, AllRepresentationsRoundTrip) {
+  for (size_t size : {size_t{0}, size_t{1}, size_t{64}, size_t{65536},
+                      size_t{65537}, size_t{200000}}) {
+    for (int pattern = 0; pattern < 5; ++pattern) {
+      const Bitset bits = MakePatternedBitset(size, pattern);
+      for (SegmentCompression mode :
+           {SegmentCompression::kNever, SegmentCompression::kAlways,
+            SegmentCompression::kAuto}) {
+        const SegmentBits seg = SegmentBits::Choose(bits, mode);
+        std::string bytes;
+        seg.Serialize(&bytes);
+        size_t pos = 0;
+        const SegmentBits back = SegmentBits::Deserialize(bytes, &pos);
+        EXPECT_EQ(pos, bytes.size());
+        // Same representation, same accounting, same bits.
+        EXPECT_EQ(back.compressed(), seg.compressed());
+        EXPECT_EQ(back.bytes(), seg.bytes());
+        EXPECT_EQ(back.size(), bits.size());
+        EXPECT_EQ(back.Count(), bits.Count());
+        EXPECT_TRUE(back.Materialize() == bits);
+      }
+    }
+  }
+}
+
+TEST(SegmentSerdeTest, MalformedBytesRejected) {
+  const Bitset bits = MakePatternedBitset(70000, 4);
+  const SegmentBits seg =
+      SegmentBits::Choose(bits, SegmentCompression::kAlways);
+  std::string bytes;
+  seg.Serialize(&bytes);
+  // Truncations: every prefix must throw, not crash or return garbage.
+  for (size_t len = 0; len < bytes.size(); len += 11) {
+    size_t pos = 0;
+    EXPECT_THROW(SegmentBits::Deserialize(bytes.substr(0, len), &pos),
+                 std::runtime_error);
+  }
+  // Unknown representation tag.
+  std::string bad = bytes;
+  bad[0] = 7;
+  size_t pos = 0;
+  EXPECT_THROW(SegmentBits::Deserialize(bad, &pos), std::runtime_error);
+}
+
+// ---- CSV stream-failure regression (satellites 1 + 2) ----------------------
+
+// A streambuf that serves `data` and then fails the stream (underflow
+// throws, which istream converts to badbit) — simulating a disk error
+// mid-read rather than a clean EOF.
+class FailingReadBuf : public std::streambuf {
+ public:
+  explicit FailingReadBuf(std::string data) : data_(std::move(data)) {
+    setg(data_.data(), data_.data(), data_.data() + data_.size());
+  }
+
+ protected:
+  int_type underflow() override {
+    throw std::runtime_error("simulated device failure");
+  }
+
+ private:
+  std::string data_;
+};
+
+// A streambuf that accepts nothing: every overflow fails, so the first
+// buffered flush sets badbit on the ostream — simulating a full disk.
+class FailingWriteBuf : public std::streambuf {
+ protected:
+  int_type overflow(int_type) override { return traits_type::eof(); }
+};
+
+TEST(CsvStreamFailureTest, ReadCsvDistinguishesFailureFromEof) {
+  FailingReadBuf buf("a,b\n1,x\n2,y\n");  // fails after the buffered rows
+  std::istream in(&buf);
+  try {
+    ReadCsv(in);
+    FAIL() << "mid-stream failure read as clean EOF";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.kind(), StorageErrorKind::kIo);
+  }
+}
+
+TEST(CsvStreamFailureTest, ReadCsvDeltaDistinguishesFailureFromEof) {
+  Table schema;
+  schema.AddColumn("a", ColumnType::kInt64);
+  schema.AddColumn("b", ColumnType::kCategorical);
+  FailingReadBuf buf("a,b\n7,z\n");
+  std::istream in(&buf);
+  try {
+    ReadCsvDelta(schema, in);
+    FAIL() << "mid-stream failure read as clean EOF";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.kind(), StorageErrorKind::kIo);
+  }
+}
+
+TEST(CsvStreamFailureTest, CleanEofStillParses) {
+  std::istringstream in("a,b\n1,x\n2,y\n");
+  const Table t = ReadCsv(in);
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(CsvStreamFailureTest, WriteCsvReportsStreamFailure) {
+  Table t;
+  t.AddColumn("a", ColumnType::kInt64);
+  for (int i = 0; i < 1000; ++i) t.AddRow({Value(int64_t{i})});
+  FailingWriteBuf buf;
+  std::ostream out(&buf);
+  try {
+    WriteCsv(t, out);
+    FAIL() << "write failure went unreported";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.kind(), StorageErrorKind::kIo);
+  }
+}
+
+// ---- JSON non-finite doubles (satellite 3) ---------------------------------
+
+TEST(JsonNonFiniteTest, NumberTokenNullsNonFinite) {
+  EXPECT_EQ(JsonNumberToken(1.5, 6), FormatDouble(1.5, 6));
+  EXPECT_EQ(JsonNumberToken(std::nan(""), 6), "null");
+  EXPECT_EQ(JsonNumberToken(INFINITY, 8), "null");
+  EXPECT_EQ(JsonNumberToken(-INFINITY, 8), "null");
+}
+
+TEST(JsonNonFiniteTest, EffectWithNonFiniteFieldsIsValidJson) {
+  EffectEstimate e;
+  e.valid = false;
+  e.cate = std::nan("");
+  e.std_error = INFINITY;
+  e.p_value = -INFINITY;
+  const std::string json = EffectToJson(e);
+  // A bare nan/inf token would make this throw.
+  const JsonValue parsed = JsonValue::Parse(json);
+  EXPECT_TRUE(parsed.Find("cate")->is_null());
+  EXPECT_TRUE(parsed.Find("std_error")->is_null());
+  EXPECT_TRUE(parsed.Find("p_value")->is_null());
+  EXPECT_TRUE(parsed.Find("ci95")->AsArray()[0].is_null());
+}
+
+TEST(JsonNonFiniteTest, PredicateWithNonFiniteValueIsValidJson) {
+  const SimplePredicate pred("x", CompareOp::kGt, Value(std::nan("")));
+  const JsonValue parsed = JsonValue::Parse(PredicateToJson(pred));
+  EXPECT_TRUE(parsed.Find("value")->is_null());
+}
+
+// ---- engine cache export/import --------------------------------------------
+
+TEST(EngineCacheSerdeTest, RestoredEngineEvaluatesIdentically) {
+  const auto table =
+      std::make_shared<const Table>(MakeMixedTable(500));
+  EvalEngineOptions opts;
+  opts.num_shards = 4;
+  EvalEngine a(table, opts);
+  const Pattern pattern({
+      SimplePredicate("city", CompareOp::kEq, Value(std::string("tokyo"))),
+      SimplePredicate("id", CompareOp::kGt, Value(int64_t{0})),
+  });
+  const Bitset expected = a.Evaluate(pattern);
+  ASSERT_GT(a.NumInterned(), 0u);
+
+  const std::string state = a.ExportCacheState();
+  EvalEngine b(table, opts);
+  const size_t restored = b.ImportCacheState(state);
+  EXPECT_GT(restored, 0u);
+  EXPECT_EQ(b.NumInterned(), a.NumInterned());
+  EXPECT_EQ(b.CacheBytes(), a.CacheBytes());
+  EXPECT_TRUE(b.Evaluate(pattern) == expected);
+
+  // Import into a non-fresh engine is a programming error.
+  EXPECT_THROW(b.ImportCacheState(state), std::logic_error);
+
+  // Import under a different configuration is stale, not silently wrong.
+  EvalEngineOptions other = opts;
+  other.num_shards = 2;
+  EvalEngine c(table, other);
+  try {
+    c.ImportCacheState(state);
+    FAIL() << "config mismatch accepted";
+  } catch (const StorageError& e) {
+    EXPECT_EQ(e.kind(), StorageErrorKind::kStale);
+  }
+}
+
+// ---- service warm restarts -------------------------------------------------
+
+GeneratedDataset MakeData() {
+  SyntheticOptions opt;
+  opt.num_rows = 1200;
+  opt.num_treatment_attrs = 3;
+  return MakeSyntheticDataset(opt);
+}
+
+CauSumXConfig MakeConfig(const GeneratedDataset& ds) {
+  CauSumXConfig config;
+  config.grouping_attribute_allowlist = ds.grouping_attribute_hint;
+  config.treatment_attribute_allowlist = ds.treatment_attribute_hint;
+  config.grouping.include_per_group_patterns = false;
+  return config;
+}
+
+ServiceOptions PersistentOptions(const std::string& data_dir) {
+  ServiceOptions o;
+  o.data_dir = data_dir;
+  return o;
+}
+
+// Runs one query on a fresh persistent service registered with
+// deterministic synthetic data; returns the summary JSON.
+std::string RunOnFreshService(const std::string& data_dir,
+                              ServiceStats* stats_out = nullptr) {
+  GeneratedDataset ds = MakeData();
+  const CauSumXConfig config = MakeConfig(ds);
+  ExplanationService service(PersistentOptions(data_dir));
+  service.RegisterTable("t", std::move(ds.table));
+  const CauSumXResult r = service.Explain("t", ds.default_query, ds.dag,
+                                          config);
+  if (stats_out != nullptr) *stats_out = service.Stats();
+  return SummaryToJson(r.summary);
+}
+
+TEST(ServicePersistenceTest, WarmRestartIsBitIdenticalAndServedFromMemo) {
+  TempDir dir;
+  GeneratedDataset ds = MakeData();
+  const CauSumXConfig config = MakeConfig(ds);
+
+  std::string cold_json;
+  {
+    ExplanationService service(PersistentOptions(dir.path));
+    service.RegisterTable("t", std::move(ds.table));
+    const CauSumXResult cold =
+        service.Explain("t", ds.default_query, ds.dag, config);
+    cold_json = SummaryToJson(cold.summary);
+    EXPECT_EQ(service.Stats().snapshots_restored, 0u);
+    service.SaveSnapshot("t");
+    EXPECT_EQ(service.Stats().snapshots_written, 1u);
+    EXPECT_GT(service.Stats().last_snapshot_unix_ms, 0u);
+  }
+
+  // Restart: same data content re-registered; the snapshot key matches,
+  // so the caches restore and the first query is warm and bit-identical.
+  GeneratedDataset ds2 = MakeData();
+  ExplanationService restarted(PersistentOptions(dir.path));
+  restarted.RegisterTable("t", std::move(ds2.table));
+  EXPECT_EQ(restarted.Stats().snapshots_restored, 1u);
+  EXPECT_EQ(restarted.Stats().snapshots_rejected, 0u);
+  const CauSumXResult warm =
+      restarted.Explain("t", ds.default_query, ds.dag, config);
+  EXPECT_EQ(SummaryToJson(warm.summary), cold_json);
+  EXPECT_GT(warm.cache_stats.estimator.memo_hits, 0u);
+  EXPECT_EQ(warm.cache_stats.estimator.memo_misses, 0u);
+}
+
+TEST(ServicePersistenceTest, SnapshotBytesAreDeterministic) {
+  TempDir dir;
+  GeneratedDataset ds = MakeData();
+  ExplanationService service(PersistentOptions(dir.path));
+  service.RegisterTable("t", std::move(ds.table));
+  service.Explain("t", ds.default_query, ds.dag, MakeConfig(ds));
+  service.SaveSnapshot("t");
+  const std::string first = ReadFileBytes(service.SnapshotPath("t"));
+  service.SaveSnapshot("t");
+  const std::string second = ReadFileBytes(service.SnapshotPath("t"));
+  EXPECT_EQ(first, second);
+}
+
+TEST(ServicePersistenceTest, ColdStartFromSnapshotAlone) {
+  TempDir dir;
+  GeneratedDataset ds = MakeData();
+  const CauSumXConfig config = MakeConfig(ds);
+  std::string cold_json;
+  {
+    ExplanationService service(PersistentOptions(dir.path));
+    service.RegisterTable("t", std::move(ds.table));
+    cold_json = SummaryToJson(
+        service.Explain("t", ds.default_query, ds.dag, config).summary);
+    service.SaveSnapshot("t");
+  }
+
+  // No CSV, no RegisterTable: the snapshot alone rebuilds the table and
+  // its warm caches.
+  ExplanationService restored(PersistentOptions(dir.path));
+  EXPECT_EQ(restored.RestoreAll(), 1u);
+  ASSERT_TRUE(restored.HasTable("t"));
+  const CauSumXResult warm =
+      restored.Explain("t", ds.default_query, ds.dag, config);
+  EXPECT_EQ(SummaryToJson(warm.summary), cold_json);
+  EXPECT_GT(warm.cache_stats.estimator.memo_hits, 0u);
+}
+
+// Writes a valid snapshot, damages it with `mutate`, then asserts a
+// restart detects the damage, falls back to a cold rebuild, and still
+// answers bit-identically.
+void ExpectDamageDetectedAndColdFallback(
+    const std::function<void(const std::string& path)>& mutate) {
+  TempDir dir;
+  ServiceStats cold_stats;
+  const std::string cold_json = RunOnFreshService(dir.path, &cold_stats);
+  {
+    GeneratedDataset ds = MakeData();
+    ExplanationService service(PersistentOptions(dir.path));
+    service.RegisterTable("t", std::move(ds.table));
+    service.Explain("t", ds.default_query, ds.dag,
+                    MakeConfig(MakeData()));
+    service.SaveSnapshot("t");
+  }
+  ExplanationService victim(PersistentOptions(dir.path));
+  mutate(victim.SnapshotPath("t"));
+
+  GeneratedDataset ds = MakeData();
+  victim.RegisterTable("t", std::move(ds.table));
+  EXPECT_EQ(victim.Stats().snapshots_restored, 0u);
+  EXPECT_GE(victim.Stats().snapshots_rejected, 1u);
+  const CauSumXResult r =
+      victim.Explain("t", ds.default_query, ds.dag, MakeConfig(MakeData()));
+  EXPECT_EQ(SummaryToJson(r.summary), cold_json);
+}
+
+TEST(ServicePersistenceTest, TruncatedSnapshotFallsBackCold) {
+  ExpectDamageDetectedAndColdFallback([](const std::string& path) {
+    const std::string bytes = ReadFileBytes(path);
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  });
+}
+
+TEST(ServicePersistenceTest, BitFlippedSnapshotFallsBackCold) {
+  ExpectDamageDetectedAndColdFallback([](const std::string& path) {
+    std::string bytes = ReadFileBytes(path);
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x04);
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  });
+}
+
+TEST(ServicePersistenceTest, FormatVersionSkewFallsBackCold) {
+  ExpectDamageDetectedAndColdFallback([](const std::string& path) {
+    SnapshotWriter future("causumx-snapshot", 999, "whatever");
+    future.AddSection("table", "from a future format");
+    future.WriteFile(path);
+  });
+}
+
+TEST(ServicePersistenceTest, GarbageFileFallsBackCold) {
+  ExpectDamageDetectedAndColdFallback([](const std::string& path) {
+    WriteFileDurable(path, "this is not a snapshot container at all");
+  });
+}
+
+TEST(ServicePersistenceTest, StaleSnapshotOfDifferentDataRejected) {
+  TempDir dir;
+  {
+    // Snapshot of the *appended* table: its key carries version 1.
+    GeneratedDataset ds = MakeData();
+    ExplanationService service(PersistentOptions(dir.path));
+    ServiceOptions o = PersistentOptions(dir.path);
+    o.snapshot_on_append = false;  // snapshot manually below
+    ExplanationService svc(o);
+    svc.RegisterTable("t", std::move(ds.table));
+    svc.Append("t", svc.GetTable("t")->MaterializeRows(0, 5));
+    svc.SaveSnapshot("t");
+  }
+  // Restart registers the *original* table (fresh parse, version 0):
+  // the key no longer matches and the snapshot must be rejected.
+  GeneratedDataset ds = MakeData();
+  ExplanationService restarted(PersistentOptions(dir.path));
+  restarted.RegisterTable("t", std::move(ds.table));
+  EXPECT_EQ(restarted.Stats().snapshots_restored, 0u);
+  EXPECT_EQ(restarted.Stats().snapshots_rejected, 1u);
+  const CauSumXResult r = restarted.Explain("t", ds.default_query, ds.dag,
+                                            MakeConfig(MakeData()));
+  EXPECT_FALSE(SummaryToJson(r.summary).empty());
+}
+
+TEST(ServicePersistenceTest, KilledWriterLeavesPreviousSnapshotLoadable) {
+  TempDir dir;
+  std::string cold_json;
+  {
+    GeneratedDataset ds = MakeData();
+    ExplanationService service(PersistentOptions(dir.path));
+    service.RegisterTable("t", std::move(ds.table));
+    cold_json = SummaryToJson(
+        service.Explain("t", ds.default_query, ds.dag,
+                        MakeConfig(MakeData()))
+            .summary);
+    service.SaveSnapshot("t");
+  }
+  // Simulate a writer killed mid-snapshot: a half-written temp file next
+  // to the durable one. Readers must ignore it.
+  ExplanationService restarted(PersistentOptions(dir.path));
+  {
+    std::ofstream tmp(restarted.SnapshotPath("t") + ".tmp",
+                      std::ios::binary);
+    tmp << "half-written garbage from a crashed process";
+  }
+  GeneratedDataset ds = MakeData();
+  restarted.RegisterTable("t", std::move(ds.table));
+  EXPECT_EQ(restarted.Stats().snapshots_restored, 1u);
+  const CauSumXResult warm = restarted.Explain(
+      "t", ds.default_query, ds.dag, MakeConfig(MakeData()));
+  EXPECT_EQ(SummaryToJson(warm.summary), cold_json);
+
+  // RestoreAll must skip the .tmp too (and restore the one real table).
+  ExplanationService scanner(PersistentOptions(dir.path));
+  EXPECT_EQ(scanner.RestoreAll(), 1u);
+}
+
+TEST(ServicePersistenceTest, AppendWritesSnapshotAutomatically) {
+  TempDir dir;
+  GeneratedDataset ds = MakeData();
+  ExplanationService service(PersistentOptions(dir.path));
+  service.RegisterTable("t", std::move(ds.table));
+  EXPECT_FALSE(FileExists(service.SnapshotPath("t")));
+  service.Append("t", service.GetTable("t")->MaterializeRows(0, 3));
+  EXPECT_TRUE(FileExists(service.SnapshotPath("t")));
+  EXPECT_GE(service.Stats().snapshots_written, 1u);
+  // And the snapshot matches the post-append state: a restart that
+  // rebuilds the same appended table restores warm.
+  const uint64_t version = service.TableVersion("t");
+  EXPECT_EQ(version, 1u);
+}
+
+TEST(ServicePersistenceTest, StatsEndpointReportsSnapshots) {
+  TempDir dir;
+  GeneratedDataset ds = MakeData();
+  ExplanationService service(PersistentOptions(dir.path));
+  service.RegisterTable("t", std::move(ds.table));
+  service.SaveSnapshot("t");
+
+  auto handler = MakeRestHandler(service);
+  HttpRequest req;
+  req.method = "GET";
+  req.path = "/v1/stats";
+  const HttpResponse resp = handler(req);
+  EXPECT_EQ(resp.status, 200);
+  const JsonValue parsed = JsonValue::Parse(resp.body);
+  const JsonValue* snaps = parsed.Find("snapshots");
+  ASSERT_NE(snaps, nullptr);
+  EXPECT_TRUE(snaps->GetBool("enabled", false));
+  EXPECT_EQ(snaps->GetNumber("written", 0), 1.0);
+  EXPECT_GE(snaps->GetNumber("last_written_age_seconds", -1), 0.0);
+}
+
+TEST(ServicePersistenceTest, ExplainResponseIsParseableJson) {
+  // Regression for the non-finite leak: whatever estimates a query
+  // produces, the REST explain body must parse as JSON.
+  GeneratedDataset ds = MakeData();
+  ExplanationService service;
+  service.RegisterTable("synthetic", std::move(ds.table));
+  auto handler = MakeRestHandler(service);
+
+  JsonWriter body;
+  body.BeginObject().Key("table").String("synthetic")
+      .Key("group_by").BeginArray();
+  for (const auto& a : ds.default_query.group_by) body.String(a);
+  body.EndArray().Key("avg").String(ds.default_query.avg_attribute)
+      .Key("discover").String("nodag")
+      .Key("per_group_patterns").Bool(false)
+      .EndObject();
+
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/v1/explain";
+  req.body = body.str();
+  const HttpResponse resp = handler(req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NO_THROW(JsonValue::Parse(resp.body));
+}
+
+}  // namespace
+}  // namespace causumx

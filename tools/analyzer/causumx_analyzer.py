@@ -42,17 +42,18 @@ REPO_ROOT = os.path.dirname(os.path.dirname(
 DEFAULT_CONFIG = {
     "layers": {
         "util": [],
+        "storage": ["util"],
         "lp": ["util"],
-        "dataset": ["util"],
-        "engine": ["dataset", "util"],
-        "causal": ["engine", "dataset", "util"],
+        "dataset": ["storage", "util"],
+        "engine": ["storage", "dataset", "util"],
+        "causal": ["storage", "engine", "dataset", "util"],
         "mining": ["causal", "engine", "dataset", "util"],
         "core": ["mining", "causal", "engine", "lp", "dataset", "util"],
         "datagen": ["core", "causal", "dataset", "util"],
         "baselines": ["core", "mining", "causal", "engine", "lp",
                       "dataset", "util"],
         "service": ["core", "mining", "causal", "engine", "lp",
-                    "dataset", "util"],
+                    "storage", "dataset", "util"],
         "server": ["service", "util"],
     },
     "include_roots": ["src"],

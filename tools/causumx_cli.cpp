@@ -44,10 +44,20 @@
 //   causumx serve --port 8080 [--host 0.0.0.0] [--csv data.csv]
 //                 [--table NAME] [--threads N] [--shards N]
 //                 [--budget-mb N] [--max-body-mb N] [--queue N]
-//                 [--no-cache]
+//                 [--no-cache] [--data-dir DIR]
 //
 // The process listens until SIGINT/SIGTERM, then drains in-flight
 // requests and exits 0.
+//
+// --data-dir DIR enables durable snapshots: tables restore warm from
+// DIR on startup (any stale or damaged snapshot is detected and
+// ignored — the table rebuilds cold), every append writes a fresh
+// crash-safe snapshot, and a clean shutdown persists all tables.
+//
+// Snapshot mode writes a durable snapshot of a CSV without serving:
+//
+//   causumx snapshot --csv data.csv --data-dir DIR [--table NAME]
+//                    [--shards N] [--threads N] [--no-cache]
 //
 // Without --dag/--discover, the No-DAG strawman is used (and a warning
 // printed): supply domain knowledge for trustworthy effects.
@@ -114,6 +124,9 @@ void PrintUsage() {
                "   or: causumx serve [--port N] [--host ADDR] [--csv FILE]\n"
                "               [--table NAME] [--threads N] [--shards N]\n"
                "               [--budget-mb N] [--max-body-mb N] [--queue N]\n"
+               "               [--no-cache] [--data-dir DIR]\n"
+               "   or: causumx snapshot --csv FILE --data-dir DIR\n"
+               "               [--table NAME] [--shards N] [--threads N]\n"
                "               [--no-cache]\n"
                "see docs/CLI.md for the full reference\n");
 }
@@ -131,6 +144,7 @@ struct ServeOptions {
   size_t max_body_mb = 8;
   size_t queue = 0;
   bool no_cache = false;
+  std::string data_dir;
 };
 
 bool ParseServeArgs(int argc, char** argv, ServeOptions* opt) {
@@ -173,6 +187,9 @@ bool ParseServeArgs(int argc, char** argv, ServeOptions* opt) {
       opt->queue = static_cast<size_t>(std::atoi(v));
     } else if (arg == "--no-cache") {
       opt->no_cache = true;
+    } else if (arg == "--data-dir") {
+      if (!(v = next())) return false;
+      opt->data_dir = v;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return false;
@@ -200,14 +217,31 @@ int RunServeMode(const ServeOptions& opt) {
   service_options.num_threads = opt.threads;
   service_options.num_shards = opt.shards;
   service_options.cache_enabled = !opt.no_cache;
+  service_options.data_dir = opt.data_dir;
   ExplanationService service(service_options);
 
   if (!opt.csv_path.empty()) {
+    // With --data-dir, LoadCsv restores the warm caches from the table's
+    // snapshot when its key matches the freshly parsed CSV exactly.
     service.LoadCsv(opt.table_name, opt.csv_path);
     const auto table = service.GetTable(opt.table_name);
     std::fprintf(stderr, "loaded %zu rows x %zu columns from %s as \"%s\"\n",
                  table->NumRows(), table->NumColumns(), opt.csv_path.c_str(),
                  opt.table_name.c_str());
+  } else if (!opt.data_dir.empty()) {
+    const size_t restored = service.RestoreAll();
+    std::fprintf(stderr, "restored %zu table(s) from %s\n", restored,
+                 opt.data_dir.c_str());
+  }
+  if (!opt.data_dir.empty()) {
+    const ServiceStats s = service.Stats();
+    if (s.snapshots_restored > 0 || s.snapshots_rejected > 0) {
+      std::fprintf(stderr,
+                   "snapshots: %llu warm restore(s), %llu rejected "
+                   "(stale/damaged -> cold rebuild)\n",
+                   (unsigned long long)s.snapshots_restored,
+                   (unsigned long long)s.snapshots_rejected);
+    }
   }
 
   RestApiOptions api_options;
@@ -244,6 +278,18 @@ int RunServeMode(const ServeOptions& opt) {
   std::fprintf(stderr, "shutting down (draining in-flight requests)...\n");
   server.Stop();
 
+  if (!opt.data_dir.empty()) {
+    // Persist every table on clean shutdown so the next start is warm.
+    // In-flight work has drained, so the snapshots capture final state.
+    try {
+      const size_t written = service.SaveAllSnapshots();
+      std::fprintf(stderr, "wrote %zu snapshot(s) to %s\n", written,
+                   opt.data_dir.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: snapshot write failed: %s\n", e.what());
+    }
+  }
+
   const HttpServerCounters c = server.counters();
   const ServiceStats s = service.Stats();
   std::fprintf(stderr,
@@ -256,6 +302,37 @@ int RunServeMode(const ServeOptions& opt) {
                (unsigned long long)c.parse_errors,
                (unsigned long long)s.queries_executed,
                (unsigned long long)s.appends_executed);
+  return 0;
+}
+
+// ---- snapshot mode ---------------------------------------------------------
+
+// `causumx snapshot` reuses the serve-mode flag set (csv/table/shards/
+// threads/no-cache/data-dir); unrelated serve flags are accepted and
+// ignored rather than maintaining a second parser.
+int RunSnapshotMode(const ServeOptions& opt) {
+  if (opt.csv_path.empty() || opt.data_dir.empty()) {
+    std::fprintf(stderr,
+                 "snapshot mode requires --csv FILE and --data-dir DIR\n");
+    return 2;
+  }
+  ServiceOptions service_options;
+  service_options.num_threads = opt.threads;
+  service_options.num_shards = opt.shards;
+  service_options.cache_enabled = !opt.no_cache;
+  service_options.data_dir = opt.data_dir;
+  ExplanationService service(service_options);
+  // LoadCsv warm-restores from an existing matching snapshot, so
+  // re-snapshotting unchanged data preserves the warm caches instead of
+  // flattening them to a cold table image.
+  service.LoadCsv(opt.table_name, opt.csv_path);
+  const auto table = service.GetTable(opt.table_name);
+  const size_t bytes = service.SaveSnapshot(opt.table_name);
+  std::fprintf(stderr,
+               "snapshot: %zu rows x %zu columns as \"%s\" -> %s (%zu "
+               "bytes)\n",
+               table->NumRows(), table->NumColumns(), opt.table_name.c_str(),
+               service.SnapshotPath(opt.table_name).c_str(), bytes);
   return 0;
 }
 
@@ -452,6 +529,16 @@ int main(int argc, char** argv) {
     if (!ParseServeArgs(argc, argv, &serve_opt)) return 2;
     try {
       return RunServeMode(serve_opt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (argc > 1 && std::string(argv[1]) == "snapshot") {
+    ServeOptions snap_opt;
+    if (!ParseServeArgs(argc, argv, &snap_opt)) return 2;
+    try {
+      return RunSnapshotMode(snap_opt);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
