@@ -70,6 +70,56 @@ EstimatorContext::EstimatorContext(std::shared_ptr<EvalEngine> engine,
   n_migrated_.store(memo_.size(), std::memory_order_relaxed);
 }
 
+EstimatorContext::EstimatorContext(std::shared_ptr<EvalEngine> engine,
+                                   const EstimatorContext& base,
+                                   size_t dropped_prefix_rows)
+    : engine_(std::move(engine)), dag_(base.dag_), options_(base.options_) {
+  const size_t new_rows = engine_->table().NumRows();
+  const size_t dropped = dropped_prefix_rows;
+  // Same id-race guard as the append migration: entries memoized under
+  // predicate ids the new engine did not inherit are dropped.
+  const size_t known = engine_->NumInterned();
+  std::vector<std::pair<Bitset, uint32_t>> subpops;
+  std::vector<std::pair<MemoKey, MemoEntry>> entries;  // LRU, oldest first
+  {
+    util::MutexLock lock(base.memo_mu_);
+    next_subpop_id_ = base.next_subpop_id_;
+    for (const auto& [hash, bucket] : base.subpop_ids_) {
+      for (const auto& [bits, id] : bucket) subpops.emplace_back(bits, id);
+    }
+    entries.reserve(base.memo_.size());
+    for (auto it = base.lru_.rbegin(); it != base.lru_.rend(); ++it) {
+      entries.emplace_back(*it, base.memo_.find(*it)->second);
+    }
+  }
+  // Carry exactly the subpopulations that lost no row: their bits shift
+  // down by the dropped prefix (preserving ids) and re-bucket under the
+  // shifted hash. Two distinct carried subpopulations stay distinct —
+  // both prefixes were empty, so they already differed in the surviving
+  // range. Subpopulations with any expired member are invalidated.
+  std::vector<bool> id_carried(static_cast<size_t>(next_subpop_id_), false);
+  for (auto& [bits, id] : subpops) {
+    if (bits.size() != new_rows + dropped) continue;  // stale universe
+    if (bits.CountRange(0, dropped) != 0) continue;   // lost rows
+    bits.DropPrefix(dropped);
+    const uint64_t h = bits.Hash();
+    subpop_bytes_ += SubpopEntryBytes(bits.size());
+    if (id < id_carried.size()) id_carried[id] = true;
+    subpop_ids_[h].emplace_back(std::move(bits), id);
+  }
+  for (auto& [key, src] : entries) {
+    if (!key.treatment.empty() && key.treatment.back() >= known) continue;
+    if (key.subpop_id >= id_carried.size() || !id_carried[key.subpop_id]) {
+      continue;
+    }
+    lru_.push_front(key);
+    MemoEntry entry{std::move(src.est), lru_.begin(), src.bytes};
+    memo_bytes_ += entry.bytes;
+    memo_.emplace(std::move(key), std::move(entry));
+  }
+  n_migrated_.store(memo_.size(), std::memory_order_relaxed);
+}
+
 std::set<std::string> EstimatorContext::AdjustmentSet(
     const Pattern& treatment, const std::string& outcome) const {
   return dag_.BackdoorAdjustmentSet(treatment.Attributes(), outcome);
@@ -258,8 +308,11 @@ EffectEstimate EstimatorContext::ComputeCate(const Pattern& treatment,
   // Assemble design matrix columns: intercept, T, then confounders.
   // Numeric confounders enter via the cached column views; categorical
   // ones are one-hot encoded with the most frequent level dropped as
-  // baseline (dense code counting; ties break by dictionary code so the
-  // encoding is deterministic).
+  // baseline (dense code counting; ties break by the level's dictionary
+  // *string*, not its code — the string order is a function of the data
+  // values alone, so the encoding survives the windowed-retention path's
+  // dictionary re-coding and stays bit-identical to a from-scratch
+  // rebuild over the same rows).
   struct Encoded {
     const Column* col;
     const NumericColumnView* view;
@@ -295,9 +348,9 @@ EffectEstimate EstimatorContext::ComputeCate(const Pattern& treatment,
         }
       }
       std::sort(levels.begin(), levels.end(),
-                [](const auto& a, const auto& b) {
+                [&c](const auto& a, const auto& b) {
                   if (a.second != b.second) return a.second > b.second;
-                  return a.first < b.first;
+                  return c.DictString(a.first) < c.DictString(b.first);
                 });
       // Drop the most frequent level (baseline) and merge the long tail.
       const size_t keep =

@@ -73,6 +73,22 @@ class EstimatorContext {
   EstimatorContext(std::shared_ptr<EvalEngine> engine,
                    const EstimatorContext& base);
 
+  /// Windowed-retention migration: binds to `engine` (which must be a
+  /// retraction of `base`'s engine by `dropped_prefix_rows`, so interned
+  /// predicate ids are preserved) and carries over exactly the memo
+  /// state that is still valid. A subpopulation with no set bit in the
+  /// dropped prefix lost no rows: its bitset shifts down, keeps its
+  /// dense id, and every memo entry over it stays bit-identical to a
+  /// from-scratch estimate over the surviving rows (row values, gather
+  /// order, and summation blocking are unchanged). A subpopulation that
+  /// did lose rows is dropped together with its memo entries — exact
+  /// invalidation, the grow-only delta logic in reverse. Byte accounting
+  /// restarts from the carried (strictly smaller) state, so expiry
+  /// shrinks resident bytes. Safe while `base` serves concurrent
+  /// queries.
+  EstimatorContext(std::shared_ptr<EvalEngine> engine,
+                   const EstimatorContext& base, size_t dropped_prefix_rows);
+
   EstimatorContext(const EstimatorContext&) = delete;
   EstimatorContext& operator=(const EstimatorContext&) = delete;
 

@@ -77,6 +77,13 @@ Table Table::Head(size_t n) const {
   return SelectRows(rows);
 }
 
+Table Table::Tail(size_t begin) const {
+  begin = std::min(begin, num_rows_);
+  std::vector<size_t> rows(num_rows_ - begin);
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = begin + i;
+  return SelectRows(rows);
+}
+
 std::vector<std::vector<Value>> Table::MaterializeRows(size_t begin,
                                                        size_t end) const {
   end = std::min(end, num_rows_);

@@ -56,6 +56,12 @@ class Table {
   /// prefix plus append deltas.
   Table Head(size_t n) const;
 
+  /// The rows [begin, NumRows()) as a new table (fresh version 0, fresh
+  /// dictionaries in survivor first-appearance order — exactly what a
+  /// from-scratch rebuild over the surviving rows would build). The
+  /// windowed-retention path compacts expired prefixes with this.
+  Table Tail(size_t begin) const;
+
   /// Materializes rows [begin, end) as AppendRows-ready value rows
   /// (categoricals decode to strings, nulls to null Values).
   std::vector<std::vector<Value>> MaterializeRows(size_t begin,

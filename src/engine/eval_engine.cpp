@@ -214,6 +214,124 @@ EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
   }
 }
 
+EvalEngine::EvalEngine(std::shared_ptr<const Table> table,
+                       const EvalEngine& base, size_t dropped_prefix_rows)
+    : keepalive_(std::move(table)),
+      table_(*keepalive_),
+      cache_enabled_(base.cache_enabled_),
+      compression_(base.compression_),
+      plan_(keepalive_->NumRows(), base.plan_.shard_rows()),
+      pool_(base.pool_) {
+  const size_t old_rows = base.table_.NumRows();
+  const size_t new_rows = table_.NumRows();
+  const size_t dropped = dropped_prefix_rows;
+  if (dropped > old_rows || new_rows != old_rows - dropped ||
+      table_.NumColumns() != base.table_.NumColumns()) {
+    throw std::invalid_argument(
+        "EvalEngine retraction: table is not the base table minus its "
+        "dropped prefix");
+  }
+
+  // Same two-phase structure as the delta-extension constructor: the
+  // snapshot under the base's shared intern lock copies only pointers,
+  // and all bit work happens after release, so the base keeps serving
+  // queries. Every predicate keeps its id; its bits shift down by the
+  // dropped prefix and re-slice at the new shard boundaries.
+  struct SlotSnapshot {
+    SimplePredicate pred;
+    std::vector<std::shared_ptr<const SegmentBits>> segs;
+    std::vector<uint64_t> seg_used;
+  };
+  std::vector<SlotSnapshot> snapshot;
+  {
+    util::ReaderMutexLock base_lock(base.intern_mu_);
+    ids_ = base.ids_;
+    clock_.store(base.clock_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    snapshot.reserve(base.slots_.size());
+    for (size_t id = 0; id < base.slots_.size(); ++id) {
+      const PredicateSlot& src = base.slots_[id];
+      SlotSnapshot snap;
+      snap.pred = src.pred;
+      {
+        util::MutexLock lk(src.mu);
+        snap.segs = src.segs;
+        snap.seg_used = src.seg_used;
+      }
+      snapshot.push_back(std::move(snap));
+    }
+  }
+  const size_t num_shards = plan_.NumShards();
+  for (SlotSnapshot& snap : snapshot) {
+    slots_.emplace_back();
+    PredicateSlot& dst = slots_.back();
+    dst.pred = std::move(snap.pred);
+    dst.segs.resize(num_shards);
+    dst.seg_used.assign(num_shards, 0);
+    // All-or-nothing carry: the shifted bits must equal a from-scratch
+    // evaluation over the survivors, so every base segment overlapping a
+    // surviving row must be resident (survivor values — though not
+    // dictionary codes — are unchanged, and predicates match by value).
+    // Shards ending inside the dropped prefix contribute no surviving
+    // bits and may be missing or evicted. A predicate with a hole
+    // carries nothing and rematerializes on demand, like an evictee.
+    bool all_resident = true;
+    bool any_surviving = false;
+    for (size_t s = 0; s < base.plan_.NumShards(); ++s) {
+      if (base.plan_.ShardEnd(s) <= dropped) continue;
+      if (s < snap.segs.size() && snap.segs[s] != nullptr) {
+        any_surviving = true;
+      } else {
+        all_resident = false;
+      }
+    }
+    if (!all_resident || !any_surviving) continue;
+    Bitset whole(old_rows);
+    uint64_t carried_stamp = 0;
+    for (size_t s = 0; s < base.plan_.NumShards(); ++s) {
+      if (base.plan_.ShardEnd(s) <= dropped) continue;
+      snap.segs[s]->AssignIntoRange(&whole, base.plan_.ShardBegin(s));
+      carried_stamp = std::max(carried_stamp, snap.seg_used[s]);
+    }
+    whole.DropPrefix(dropped);
+    for (size_t s = 0; s < num_shards; ++s) {
+      Bitset seg_bits =
+          whole.ExtractRange(plan_.ShardBegin(s), plan_.ShardEnd(s));
+      dst.segs[s] = std::make_shared<const SegmentBits>(
+          SegmentBits::Choose(std::move(seg_bits), compression_));
+      dst.seg_used[s] = carried_stamp;
+      bitset_bytes_.fetch_add(dst.segs[s]->bytes(),
+                              std::memory_order_relaxed);
+      if (dst.segs[s]->compressed()) {
+        n_compressed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    n_retracted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  n_interned_.store(slots_.size(), std::memory_order_relaxed);
+
+  for (size_t c = 0; c < table_.NumColumns(); ++c) {
+    column_slots_.emplace_back();
+    ColumnSlot& dst = column_slots_.back();
+    const ColumnSlot& src = base.column_slots_[c];
+    if (!src.ready.load(std::memory_order_acquire)) continue;
+    // A categorical column's numeric view holds dictionary codes, and
+    // the compacted table re-codes its dictionaries in survivor
+    // first-appearance order — those views rebuild on demand.
+    if (table_.column(c).type() == ColumnType::kCategorical) continue;
+    dst.view.values.assign(
+        src.view.values.begin() + static_cast<ptrdiff_t>(dropped),
+        src.view.values.end());
+    dst.view.valid = src.view.valid;
+    dst.view.valid.DropPrefix(dropped);
+    view_bytes_.fetch_add(
+        new_rows * sizeof(double) + BitsetBytes(dst.view.valid),
+        std::memory_order_relaxed);
+    n_views_retracted_.fetch_add(1, std::memory_order_relaxed);
+    dst.ready.store(true, std::memory_order_release);
+  }
+}
+
 size_t EvalEngine::BitsetBytes(const Bitset& bits) {
   return sizeof(Bitset) + ((bits.size() + 63) / 64) * sizeof(uint64_t);
 }
@@ -453,11 +571,14 @@ EvalEngineStats EvalEngine::Stats() const {
   s.bitsets_evicted = n_evicted_.load(std::memory_order_relaxed);
   s.segments_compressed = n_compressed_.load(std::memory_order_relaxed);
   s.bitsets_extended = n_extended_.load(std::memory_order_relaxed);
+  s.bitsets_retracted = n_retracted_.load(std::memory_order_relaxed);
   s.pattern_evals = n_pattern_evals_.load(std::memory_order_relaxed);
   s.bypass_evals = n_bypass_evals_.load(std::memory_order_relaxed);
   s.column_views_built = n_views_built_.load(std::memory_order_relaxed);
   s.column_views_extended =
       n_views_extended_.load(std::memory_order_relaxed);
+  s.column_views_retracted =
+      n_views_retracted_.load(std::memory_order_relaxed);
   s.bitset_bytes = bitset_bytes_.load(std::memory_order_relaxed);
   s.view_bytes = view_bytes_.load(std::memory_order_relaxed);
   s.num_shards = plan_.NumShards();

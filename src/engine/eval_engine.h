@@ -72,10 +72,12 @@ struct EvalEngineStats {
   uint64_t bitset_hits = 0;
   uint64_t bitsets_evicted = 0;  ///< segments evicted
   uint64_t bitsets_extended = 0;  ///< predicates inherited via delta extension
+  uint64_t bitsets_retracted = 0;  ///< predicates carried through retraction
   uint64_t pattern_evals = 0;
   uint64_t bypass_evals = 0;
   uint64_t column_views_built = 0;
   uint64_t column_views_extended = 0;  ///< inherited via delta extension
+  uint64_t column_views_retracted = 0;  ///< carried through retraction
   size_t bitset_bytes = 0;
   size_t view_bytes = 0;
   size_t num_shards = 1;  ///< shards in the engine's plan
@@ -147,6 +149,28 @@ class EvalEngine {
   /// never modified. Throws std::invalid_argument when `table` does not
   /// extend the base table.
   EvalEngine(std::shared_ptr<const Table> table, const EvalEngine& base);
+
+  /// Retract-aware rebinding for the windowed-retention path: a new
+  /// engine over `table`, which must be `base`'s table with its first
+  /// `dropped_prefix_rows` rows removed — row r of `table` holds the
+  /// values of base row `dropped_prefix_rows + r` (Table::Tail builds
+  /// exactly this; its dictionaries may be re-coded, which is fine
+  /// because predicates match by value, not code). Every interned
+  /// predicate keeps its dense id, so EstimatorContext memo keys stay
+  /// valid across the retraction. A predicate whose surviving-row
+  /// segments are all resident carries its bits over, shifted down by
+  /// the dropped prefix and re-sliced at the new shard boundaries; a
+  /// predicate with any needed segment evicted carries nothing and
+  /// rematerializes on demand. Numeric column views of int/double
+  /// columns shift down likewise; categorical views (whose numeric
+  /// values are dictionary codes) and distinct-value caches rebuild on
+  /// demand. Byte accounting restarts from the carried state — the
+  /// expiry path is exactly how resident bytes shrink. The shard size
+  /// and pool are inherited. Safe while `base` serves concurrent
+  /// queries; `base` is never modified. Throws std::invalid_argument on
+  /// a row-count/schema mismatch.
+  EvalEngine(std::shared_ptr<const Table> table, const EvalEngine& base,
+             size_t dropped_prefix_rows);
 
   EvalEngine(const EvalEngine&) = delete;
   EvalEngine& operator=(const EvalEngine&) = delete;
@@ -288,6 +312,8 @@ class EvalEngine {
   std::atomic<uint64_t> n_evicted_{0};
   std::atomic<uint64_t> n_compressed_{0};  // currently resident compressed
   std::atomic<uint64_t> n_extended_{0};
+  std::atomic<uint64_t> n_retracted_{0};
+  std::atomic<uint64_t> n_views_retracted_{0};
   std::atomic<uint64_t> n_pattern_evals_{0};
   std::atomic<uint64_t> n_bypass_evals_{0};
   std::atomic<uint64_t> n_views_built_{0};

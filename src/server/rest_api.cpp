@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "service/batch.h"
+#include "stream/monitor.h"
 #include "util/json.h"
 #include "util/string_utils.h"
 
@@ -26,8 +27,10 @@ void WriteEngineStats(JsonWriter& w, const EvalEngineStats& e) {
       .Key("bitsets_extended").Uint(e.bitsets_extended)
       .Key("pattern_evals").Uint(e.pattern_evals)
       .Key("bypass_evals").Uint(e.bypass_evals)
+      .Key("bitsets_retracted").Uint(e.bitsets_retracted)
       .Key("column_views_built").Uint(e.column_views_built)
       .Key("column_views_extended").Uint(e.column_views_extended)
+      .Key("column_views_retracted").Uint(e.column_views_retracted)
       .Key("bitset_bytes").Uint(e.bitset_bytes)
       .Key("view_bytes").Uint(e.view_bytes)
       .Key("num_shards").Uint(e.num_shards)
@@ -173,16 +176,128 @@ HttpResponse HandleBatch(ExplanationService& service,
   return response;
 }
 
-}  // namespace
+void WriteMonitorStatus(JsonWriter& w, const MonitorStatus& s) {
+  w.BeginObject()
+      .Key("id").String(s.id)
+      .Key("table").String(s.table)
+      .Key("rows_observed").Uint(s.rows_observed)
+      .Key("windows_evaluated").Uint(s.windows_evaluated)
+      .Key("last_seq").Uint(s.last_seq)
+      .Key("window_rows").Uint(s.window_rows)
+      .Key("events_buffered").Uint(s.events_buffered)
+      .Key("cache_bytes").Uint(s.cache_bytes)
+      .EndObject();
+}
 
-HttpServer::Handler MakeRestHandler(ExplanationService& service,
-                                    RestApiOptions options) {
+HttpResponse HandleMonitorCreate(MonitorRegistry& monitors,
+                                 const HttpRequest& request) {
+  std::shared_ptr<StreamMonitor> monitor;
+  try {
+    monitor = monitors.Create(request.body);
+  } catch (const std::out_of_range&) {
+    return HttpResponse::Error(404, "spec names an unregistered table");
+  } catch (const std::exception& e) {
+    return HttpResponse::Error(400, e.what());
+  }
+  JsonWriter w;
+  w.BeginObject().Key("id").String(monitor->id()).Key("status");
+  WriteMonitorStatus(w, monitor->Status());
+  w.EndObject();
+  return HttpResponse::Json(201, w.str());
+}
+
+HttpResponse HandleMonitorsList(MonitorRegistry& monitors) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const auto& monitor : monitors.List()) {
+    WriteMonitorStatus(w, monitor->Status());
+  }
+  w.EndArray();
+  return HttpResponse::Json(200, w.str());
+}
+
+HttpResponse HandleMonitorGet(MonitorRegistry& monitors,
+                              const std::string& id) {
+  const std::shared_ptr<StreamMonitor> monitor = monitors.Get(id);
+  if (monitor == nullptr) {
+    return HttpResponse::Error(404, "unknown monitor '" + id + "'");
+  }
+  JsonWriter w;
+  w.BeginObject().Key("status");
+  WriteMonitorStatus(w, monitor->Status());
+  w.Key("spec").Raw(monitor->spec_json());
+  w.EndObject();
+  return HttpResponse::Json(200, w.str());
+}
+
+HttpResponse HandleMonitorDelete(MonitorRegistry& monitors,
+                                 const std::string& id) {
+  if (!monitors.Remove(id)) {
+    return HttpResponse::Error(404, "unknown monitor '" + id + "'");
+  }
+  return HttpResponse::Json(200, "{\"ok\":true}");
+}
+
+// Query parameter as a non-negative integer; `fallback` when absent,
+// -1 when present but malformed.
+int64_t QueryUint(const HttpRequest& request, const std::string& name,
+                  int64_t fallback) {
+  auto it = request.query.find(name);
+  if (it == request.query.end()) return fallback;
+  try {
+    size_t pos = 0;
+    const long long v = std::stoll(it->second, &pos);
+    if (pos != it->second.size() || v < 0) return -1;
+    return v;
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+HttpResponse HandleMonitorEvents(MonitorRegistry& monitors,
+                                 const std::string& id,
+                                 const HttpRequest& request,
+                                 int64_t max_poll_ms) {
+  const std::shared_ptr<StreamMonitor> monitor = monitors.Get(id);
+  if (monitor == nullptr) {
+    return HttpResponse::Error(404, "unknown monitor '" + id + "'");
+  }
+  const int64_t since = QueryUint(request, "since", 0);
+  const int64_t timeout_ms = QueryUint(request, "timeout_ms", 0);
+  if (since < 0 || timeout_ms < 0) {
+    return HttpResponse::Error(
+        400, "\"since\" and \"timeout_ms\" must be non-negative integers");
+  }
+  const std::vector<MonitorEvent> events =
+      timeout_ms == 0
+          ? monitor->EventsSince(static_cast<uint64_t>(since))
+          : monitor->WaitEventsSince(static_cast<uint64_t>(since),
+                                     std::min<int64_t>(timeout_ms,
+                                                       max_poll_ms));
+  uint64_t next_since = static_cast<uint64_t>(since);
+  JsonWriter w;
+  w.BeginObject().Key("monitor").String(id).Key("events").BeginArray();
+  for (const MonitorEvent& e : events) {
+    w.Raw(e.json);
+    next_since = e.seq;
+  }
+  w.EndArray().Key("next_since").Uint(next_since).EndObject();
+  return HttpResponse::Json(200, w.str());
+}
+
+// The shared routing core; `monitors` is null when the monitor surface
+// is not mounted (the single-argument MakeRestHandler overload).
+HttpServer::Handler MakeHandler(ExplanationService& service,
+                                MonitorRegistry* monitors,
+                                RestApiOptions options) {
   BatchOptions batch_options;
   batch_options.default_table = options.default_table;
   batch_options.emit_cache_stats = options.emit_cache_stats;
   batch_options.default_query_threads = options.default_query_threads;
+  const int64_t max_poll_ms = options.max_event_poll_ms;
 
-  return [&service, batch_options](const HttpRequest& request) {
+  return [&service, monitors, batch_options,
+          max_poll_ms](const HttpRequest& request) {
     const std::string& path = request.path;
     const bool get = request.method == "GET";
     const bool post = request.method == "POST";
@@ -207,6 +322,35 @@ HttpServer::Handler MakeRestHandler(ExplanationService& service,
       if (!post) return HttpResponse::Error(405, "use POST " + path);
       return HandleBatch(service, request, batch_options);
     }
+    if (monitors != nullptr && path == "/v1/monitors") {
+      if (post) return HandleMonitorCreate(*monitors, request);
+      if (get) return HandleMonitorsList(*monitors);
+      return HttpResponse::Error(405, "use GET or POST " + path);
+    }
+    // /v1/monitors/{id} and /v1/monitors/{id}/events
+    static const std::string kMonitorsPrefix = "/v1/monitors/";
+    if (monitors != nullptr && path.size() > kMonitorsPrefix.size() &&
+        path.compare(0, kMonitorsPrefix.size(), kMonitorsPrefix) == 0) {
+      std::string id = path.substr(kMonitorsPrefix.size());
+      const size_t slash = id.find('/');
+      const bool events = slash != std::string::npos &&
+                          id.substr(slash + 1) == "events";
+      if (slash == std::string::npos || events) {
+        if (events) id = id.substr(0, slash);
+        if (id.empty()) {
+          return HttpResponse::Error(404, "missing monitor id in " + path);
+        }
+        if (events) {
+          if (!get) return HttpResponse::Error(405, "use GET " + path);
+          return HandleMonitorEvents(*monitors, id, request, max_poll_ms);
+        }
+        if (get) return HandleMonitorGet(*monitors, id);
+        if (request.method == "DELETE") {
+          return HandleMonitorDelete(*monitors, id);
+        }
+        return HttpResponse::Error(405, "use GET or DELETE " + path);
+      }
+    }
     // /v1/tables/{name}/append
     static const std::string kTablesPrefix = "/v1/tables/";
     if (path.size() > kTablesPrefix.size() &&
@@ -225,6 +369,19 @@ HttpServer::Handler MakeRestHandler(ExplanationService& service,
     return HttpResponse::Error(
         404, "no route for " + request.method + " " + path);
   };
+}
+
+}  // namespace
+
+HttpServer::Handler MakeRestHandler(ExplanationService& service,
+                                    RestApiOptions options) {
+  return MakeHandler(service, nullptr, std::move(options));
+}
+
+HttpServer::Handler MakeRestHandler(ExplanationService& service,
+                                    MonitorRegistry& monitors,
+                                    RestApiOptions options) {
+  return MakeHandler(service, &monitors, std::move(options));
 }
 
 }  // namespace causumx

@@ -17,6 +17,17 @@
 //                                    `causumx --batch` (appends are
 //                                    barriers); responds JSONL
 //
+// With a MonitorRegistry attached (the second overload), the windowed
+// continuous-monitoring surface of src/stream/ is also mounted:
+//   POST   /v1/monitors              create a monitor from a spec body;
+//                                    201 with {"id", "status"}
+//   GET    /v1/monitors              statuses of all monitors
+//   GET    /v1/monitors/{id}         one monitor's status + spec
+//   DELETE /v1/monitors/{id}         unregister (the window state drops)
+//   GET    /v1/monitors/{id}/events  drift/summary events with seq >
+//                                    ?since=N; ?timeout_ms=M long-polls
+//                                    until an event arrives (capped)
+//
 // Error contract: every non-2xx response is JSON — 400 for malformed
 // bodies/parameters, 404 for unknown routes and unregistered tables,
 // 405 for wrong methods, 413/431/503 from the transport layer. Explain
@@ -34,6 +45,10 @@
 
 namespace causumx {
 
+/// Forward declaration (src/stream/monitor.h): the windowed-monitor
+/// registry the two-argument MakeRestHandler overload mounts.
+class MonitorRegistry;
+
 /// Behavior knobs of the REST surface.
 struct RestApiOptions {
   /// Table used by explain/batch requests that name none.
@@ -43,12 +58,21 @@ struct RestApiOptions {
   /// Per-query mining threads when a request doesn't say (1 leaves
   /// request-level concurrency as the parallelism source).
   size_t default_query_threads = 1;
+  /// Hard cap on ?timeout_ms= for the events long-poll; larger requests
+  /// are clamped (a worker thread is parked for the duration).
+  int64_t max_event_poll_ms = 30000;
 };
 
 /// Builds the routing handler over `service`. The service must outlive
 /// the returned handler (and the HttpServer it is mounted on); the
 /// handler is thread-safe because the service is.
 HttpServer::Handler MakeRestHandler(ExplanationService& service,
+                                    RestApiOptions options = {});
+
+/// Same handler with the /v1/monitors surface mounted over `monitors`
+/// (which must be bound to `service` and outlive the handler).
+HttpServer::Handler MakeRestHandler(ExplanationService& service,
+                                    MonitorRegistry& monitors,
                                     RestApiOptions options = {});
 
 }  // namespace causumx

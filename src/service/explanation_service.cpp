@@ -289,6 +289,16 @@ std::shared_ptr<const Table> ExplanationService::AppendLocked(
   }
   n_appends_.fetch_add(1, std::memory_order_relaxed);
   n_rows_appended_.fetch_add(rows.size(), std::memory_order_relaxed);
+  // Deliver the landed batch to the append observers, still under
+  // append_mu_: deliveries are totally ordered and never concurrent, so
+  // a windowed monitor replays the exact append sequence. A throwing
+  // observer must not unwind an append that already landed.
+  for (const AppendObserver& observer : append_observers_) {
+    try {
+      observer(name, rows, new_table);
+    } catch (...) {
+    }
+  }
   EnforceBudget();
   if (!options_.data_dir.empty() && options_.snapshot_on_append) {
     // The append has landed in memory; a snapshot write failure must not
@@ -319,6 +329,11 @@ std::shared_ptr<const Table> ExplanationService::AppendCsv(
 
 uint64_t ExplanationService::TableVersion(const std::string& name) const {
   return Snapshot(name).table->version();
+}
+
+void ExplanationService::AddAppendObserver(AppendObserver observer) {
+  util::MutexLock lock(append_mu_);
+  append_observers_.push_back(std::move(observer));
 }
 
 std::string ExplanationService::SnapshotPath(const std::string& name) const {

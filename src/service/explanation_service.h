@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -215,6 +216,27 @@ class ExplanationService {
   /// Monotone data version of the table's current snapshot.
   uint64_t TableVersion(const std::string& name) const;
 
+  /// Callback invoked synchronously after an append batch lands: the
+  /// table name, the delta rows exactly as appended, and the new
+  /// snapshot. Observers run under the append lock in registration
+  /// order, after the new entry is installed — so every observer sees
+  /// the append batches of a table in exactly the order they landed and
+  /// no two deliveries ever overlap (the stream layer's windowed
+  /// monitors depend on both properties). An observer must not call
+  /// Append/AppendCsv (self-deadlock on the append lock) and must treat
+  /// the rows as read-only. Exceptions thrown by an observer are
+  /// swallowed: a landed append is never unwound by observation.
+  using AppendObserver = std::function<void(
+      const std::string& name, const std::vector<std::vector<Value>>& rows,
+      const std::shared_ptr<const Table>& snapshot)>;
+
+  /// Registers `observer` for every future append. Observers cannot be
+  /// removed, so whatever the callback captures must outlive the
+  /// service's last append (stream/monitor.h's MonitorRegistry — the
+  /// canonical user — documents the same requirement to its owner).
+  void AddAppendObserver(AppendObserver observer)
+      CAUSUMX_EXCLUDES(append_mu_);
+
   // ---- durable snapshots ---------------------------------------------------
 
   /// The snapshot file path for `name` under data_dir:
@@ -361,6 +383,11 @@ class ExplanationService {
   /// take it standalone.
   util::Mutex snapshot_mu_;
   std::map<std::string, TableEntry> tables_ CAUSUMX_GUARDED_BY(mu_);
+  /// Append observers in registration order; delivered by AppendLocked
+  /// (under append_mu_, hence the guard — registration synchronizes
+  /// with delivery on the same lock).
+  std::vector<AppendObserver> append_observers_
+      CAUSUMX_GUARDED_BY(append_mu_);
   /// Shared with every table engine (shard-parallel builds run on it),
   /// so it outlives any engine handed out past the service's lifetime.
   std::shared_ptr<ThreadPool> pool_;

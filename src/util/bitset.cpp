@@ -250,6 +250,34 @@ void Bitset::Resize(size_t new_size) {
   }
 }
 
+void Bitset::DropPrefix(size_t n) {
+  assert(n <= size_);
+  if (n == 0) return;
+  const size_t new_size = size_ - n;
+  const size_t word_shift = n >> 6;
+  const size_t bit_shift = n & 63;
+  const size_t new_words = (new_size + 63) / 64;
+  if (bit_shift == 0) {
+    words_.erase(words_.begin(),
+                 words_.begin() + static_cast<ptrdiff_t>(word_shift));
+  } else {
+    for (size_t w = 0; w < new_words; ++w) {
+      uint64_t lo = words_[word_shift + w] >> bit_shift;
+      uint64_t hi = word_shift + w + 1 < words_.size()
+                        ? words_[word_shift + w + 1] << (64 - bit_shift)
+                        : 0;
+      words_[w] = lo | hi;
+    }
+  }
+  words_.resize(new_words);
+  size_ = new_size;
+  // Keep the canonical-padding invariant: bits at indexes >= size() clear.
+  const size_t rem = size_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << rem) - 1;
+  }
+}
+
 bool BitsetDedup::Contains(const Bitset& bits) const {
   auto it = buckets_.find(bits.Hash());
   if (it == buckets_.end()) return false;

@@ -111,6 +111,12 @@ class Bitset {
   /// relies on this); shrinking drops bits past the new size.
   void Resize(size_t new_size);
 
+  /// Removes the first `n` bits: bit i of the result is bit (n + i) of
+  /// the original, and the universe shrinks to size() - n. `n` may have
+  /// any alignment. The windowed-retention retract path shifts cached
+  /// bitsets down by the expired-prefix length with this.
+  void DropPrefix(size_t n);
+
  private:
   size_t size_ = 0;
   std::vector<uint64_t> words_;

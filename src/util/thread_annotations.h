@@ -33,6 +33,7 @@
 #ifndef CAUSUMX_UTIL_THREAD_ANNOTATIONS_H_
 #define CAUSUMX_UTIL_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -195,6 +196,17 @@ class CondVar {
   /// Blocks until notified; `mu` must be held and is held on return.
   void Wait(Mutex& mu) CAUSUMX_REQUIRES(mu) CAUSUMX_NO_THREAD_SAFETY_ANALYSIS {
     cv_.wait(mu);
+  }
+
+  /// Blocks until notified or `timeout` elapses; `mu` must be held and
+  /// is held on return. Returns false on timeout. Long-poll waiters
+  /// (the monitor event subscription surface) bound their waits with
+  /// this; spurious wakeups are possible, so callers re-check their
+  /// condition in a deadline loop.
+  template <class Rep, class Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      CAUSUMX_REQUIRES(mu) CAUSUMX_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -25,6 +25,7 @@
 #include "server/http_server.h"
 #include "server/rest_api.h"
 #include "service/explanation_service.h"
+#include "stream/monitor.h"
 #include "util/json.h"
 #include "util/string_utils.h"
 
@@ -516,6 +517,160 @@ TEST(RestApiTest, ConcurrentExplainAndAppendOnOneTable) {
   ASSERT_EQ(r.status, 200);
   EXPECT_EQ(ExtractSummary(r.body),
             SummaryToJson(direct.summary, &w.ds.default_query));
+}
+
+// ---- the monitor surface ---------------------------------------------------
+
+// A server with the windowed-monitor registry mounted (the two-argument
+// MakeRestHandler overload) over a small categorical/double table.
+struct MonitorServerWorld {
+  ExplanationService service;
+  MonitorRegistry monitors;
+  HttpServer server;
+
+  MonitorServerWorld()
+      : monitors(service),
+        server(MakeRestHandler(service, monitors),
+               ServerWorld::MakeOptions()) {
+    Table t;
+    t.AddColumn("grp", ColumnType::kCategorical);
+    t.AddColumn("trt", ColumnType::kCategorical);
+    t.AddColumn("val", ColumnType::kDouble);
+    service.RegisterTable("t", std::make_shared<const Table>(std::move(t)));
+    server.Start();
+  }
+  ~MonitorServerWorld() { server.Stop(); }
+
+  /// A tumbling 20-row monitor spec over the registered table, loose
+  /// enough that every window emits a summary.
+  static std::string Spec() {
+    return "{\"table\":\"t\",\"group_by\":[\"grp\"],\"avg\":\"val\","
+           "\"dag_text\":\"trt -> val\\n\",\"grouping_attrs\":[\"grp\"],"
+           "\"treatment_attrs\":[\"trt\"],\"alpha\":0.99,"
+           "\"min_group_size\":3,\"support\":0.1,\"num_threads\":1,"
+           "\"emit_summaries\":true,"
+           "\"window\":{\"kind\":\"tumbling\",\"size_rows\":20}}";
+  }
+
+  /// One append body of `n` rows split across two groups, half treated.
+  static std::string AppendBody(size_t n) {
+    JsonWriter w;
+    w.BeginObject().Key("rows").BeginArray();
+    for (size_t i = 0; i < n; ++i) {
+      w.BeginArray()
+          .String(i % 2 == 0 ? "g1" : "g2")
+          .String(i % 4 < 2 ? "hi" : "lo")
+          .Double(i % 4 < 2 ? 9.0 + static_cast<double>(i % 3)
+                            : 1.0 + static_cast<double>(i % 3))
+          .EndArray();
+    }
+    w.EndArray().EndObject();
+    return w.str();
+  }
+};
+
+TEST(RestApiMonitorTest, CreateListGetDeleteLifecycle) {
+  MonitorServerWorld w;
+  HttpClient client("127.0.0.1", w.server.port());
+
+  const auto created =
+      client.Request("POST", "/v1/monitors", MonitorServerWorld::Spec());
+  ASSERT_EQ(created.status, 201);
+  const JsonValue created_json = JsonValue::Parse(created.body);
+  EXPECT_EQ(created_json.GetString("id", ""), "m1");
+  EXPECT_EQ(created_json.Find("status")->GetNumber("rows_observed", -1), 0);
+
+  const auto list = client.Request("GET", "/v1/monitors");
+  ASSERT_EQ(list.status, 200);
+  EXPECT_EQ(JsonValue::Parse(list.body).AsArray().size(), 1u);
+
+  const auto got = client.Request("GET", "/v1/monitors/m1");
+  ASSERT_EQ(got.status, 200);
+  const JsonValue got_json = JsonValue::Parse(got.body);
+  EXPECT_EQ(got_json.Find("status")->GetString("table", ""), "t");
+  EXPECT_EQ(got_json.Find("spec")->GetString("avg", ""), "val");
+
+  // Typed failures: unknown id, unregistered table, malformed spec,
+  // wrong method.
+  EXPECT_EQ(client.Request("GET", "/v1/monitors/nope").status, 404);
+  EXPECT_EQ(client
+                .Request("POST", "/v1/monitors",
+                         "{\"table\":\"ghost\",\"group_by\":[\"g\"],"
+                         "\"avg\":\"v\",\"window\":{\"size_rows\":5}}")
+                .status,
+            404);
+  EXPECT_EQ(client.Request("POST", "/v1/monitors", "{no spec").status, 400);
+  EXPECT_EQ(client.Request("PUT", "/v1/monitors").status, 405);
+
+  EXPECT_EQ(client.Request("DELETE", "/v1/monitors/m1").status, 200);
+  EXPECT_EQ(client.Request("DELETE", "/v1/monitors/m1").status, 404);
+  const auto drained = client.Request("GET", "/v1/monitors");
+  EXPECT_EQ(JsonValue::Parse(drained.body).AsArray().size(), 0u);
+}
+
+TEST(RestApiMonitorTest, AppendsDriveEventsAndLongPollOverHttp) {
+  MonitorServerWorld w;
+  HttpClient client("127.0.0.1", w.server.port());
+
+  const auto created =
+      client.Request("POST", "/v1/monitors", MonitorServerWorld::Spec());
+  ASSERT_EQ(created.status, 201);
+
+  // Two appends of 20 rows = two tumbling windows = two summary events.
+  for (int i = 0; i < 2; ++i) {
+    const auto appended = client.Request(
+        "POST", "/v1/tables/t/append", MonitorServerWorld::AppendBody(20));
+    ASSERT_EQ(appended.status, 200);
+  }
+
+  const auto all = client.Request("GET", "/v1/monitors/m1/events");
+  ASSERT_EQ(all.status, 200);
+  const JsonValue all_json = JsonValue::Parse(all.body);
+  ASSERT_EQ(all_json.Find("events")->AsArray().size(), 2u);
+  EXPECT_EQ(all_json.Find("events")->AsArray()[0].GetNumber("seq", -1), 1);
+  EXPECT_EQ(all_json.Find("events")->AsArray()[1].GetNumber("seq", -1), 2);
+  EXPECT_EQ(all_json.GetNumber("next_since", -1), 2);
+
+  // Tailing from next_since returns nothing new; from 1, just seq 2. A
+  // long-poll with events already pending returns immediately.
+  const auto tail =
+      client.Request("GET", "/v1/monitors/m1/events?since=2");
+  EXPECT_EQ(JsonValue::Parse(tail.body).Find("events")->AsArray().size(),
+            0u);
+  EXPECT_EQ(JsonValue::Parse(tail.body).GetNumber("next_since", -1), 2);
+  const auto from_one =
+      client.Request("GET", "/v1/monitors/m1/events?since=1");
+  ASSERT_EQ(
+      JsonValue::Parse(from_one.body).Find("events")->AsArray().size(), 1u);
+  const auto polled = client.Request(
+      "GET", "/v1/monitors/m1/events?since=1&timeout_ms=5000");
+  ASSERT_EQ(polled.status, 200);
+  EXPECT_EQ(JsonValue::Parse(polled.body).Find("events")->AsArray().size(),
+            1u);
+
+  EXPECT_EQ(
+      client.Request("GET", "/v1/monitors/m1/events?since=banana").status,
+      400);
+
+  // The monitor status over HTTP reflects the stream.
+  const auto got = client.Request("GET", "/v1/monitors/m1");
+  const JsonValue status = *JsonValue::Parse(got.body).Find("status");
+  EXPECT_EQ(status.GetNumber("rows_observed", -1), 40);
+  EXPECT_EQ(status.GetNumber("windows_evaluated", -1), 2);
+  EXPECT_EQ(status.GetNumber("last_seq", -1), 2);
+}
+
+TEST(RestApiMonitorTest, MonitorRoutesAbsentWithoutRegistry) {
+  // The single-argument MakeRestHandler overload does not mount the
+  // monitor surface: the routes 404 like any unknown path.
+  ServerWorld w;
+  HttpClient client("127.0.0.1", w.server.port());
+  EXPECT_EQ(client.Request("GET", "/v1/monitors").status, 404);
+  EXPECT_EQ(client
+                .Request("POST", "/v1/monitors",
+                         MonitorServerWorld::Spec())
+                .status,
+            404);
 }
 
 }  // namespace

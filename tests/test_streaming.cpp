@@ -7,8 +7,10 @@
 // and ASan+UBSan in CI).
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <future>
 #include <sstream>
 #include <string>
@@ -22,6 +24,8 @@
 #include "engine/eval_engine.h"
 #include "service/batch.h"
 #include "service/explanation_service.h"
+#include "storage/file_io.h"
+#include "stream/monitor.h"
 #include "util/rng.h"
 
 namespace causumx {
@@ -594,6 +598,119 @@ TEST(BatchAppendTest, AppendErrorsAreReportedPerLine) {
   EXPECT_EQ(summary.failed, 2u);
   EXPECT_NE(out.str().find("unknown table"), std::string::npos);
   EXPECT_NE(out.str().find("unknown op"), std::string::npos);
+}
+
+// ---- Windowed-monitor concurrency soak -------------------------------------
+
+// Runs under TSan in CI: concurrent appender threads drive a sliding-
+// window monitor (so rows expire and the retract path runs) through the
+// registry's append observer with snapshot-on-append enabled, while
+// long-poll subscriber threads tail the event stream and status readers
+// poll concurrently. Every subscriber must observe every event seq
+// exactly once with no gaps or duplicates.
+TEST(MonitorConcurrencyTest, SoakAppendsLongPollAndSnapshots) {
+  struct TempDir {
+    std::string path;
+    TempDir() {
+      char buf[] = "/tmp/causumx_soak_XXXXXX";
+      path = ::mkdtemp(buf);
+    }
+    ~TempDir() {
+      for (const std::string& f : ListDirFiles(path)) {
+        ::unlink((path + "/" + f).c_str());
+      }
+      ::rmdir(path.c_str());
+    }
+  } dir;
+
+  Table schema;
+  schema.AddColumn("grp", ColumnType::kCategorical);
+  schema.AddColumn("trt", ColumnType::kCategorical);
+  schema.AddColumn("val", ColumnType::kDouble);
+
+  ServiceOptions options;
+  options.data_dir = dir.path;
+  ExplanationService service(options);
+  service.RegisterTable("t", std::make_shared<const Table>(schema.Clone()));
+
+  MonitorRegistryOptions registry_options;
+  registry_options.snapshot_on_append = true;
+  MonitorRegistry registry(service, registry_options);
+  const auto monitor = registry.Create(
+      "{\"table\":\"t\",\"group_by\":[\"grp\"],\"avg\":\"val\","
+      "\"dag_text\":\"trt -> val\\n\",\"grouping_attrs\":[\"grp\"],"
+      "\"treatment_attrs\":[\"trt\"],\"alpha\":0.99,\"min_group_size\":3,"
+      "\"support\":0.1,\"num_shards\":3,\"compression\":\"always\","
+      "\"emit_summaries\":true,"
+      "\"window\":{\"kind\":\"sliding\",\"size_rows\":40,"
+      "\"slide_rows\":20}}");
+
+  constexpr int kAppenders = 3;
+  constexpr int kBatchesPerAppender = 12;
+  constexpr int kRowsPerBatch = 15;
+  std::atomic<uint64_t> final_seq{~uint64_t{0}};
+
+  auto subscriber = [&]() {
+    uint64_t since = 0;
+    while (true) {
+      for (const MonitorEvent& e : monitor->WaitEventsSince(since, 25)) {
+        // Contiguous and duplicate-free: each delivered seq is exactly
+        // the successor of the last one this subscriber saw.
+        EXPECT_EQ(e.seq, since + 1) << "lost or duplicated event";
+        since = e.seq;
+      }
+      const uint64_t target = final_seq.load(std::memory_order_acquire);
+      if (target != ~uint64_t{0} && since >= target) break;
+    }
+    EXPECT_EQ(since, final_seq.load(std::memory_order_acquire));
+  };
+  auto status_reader = [&]() {
+    while (final_seq.load(std::memory_order_acquire) == ~uint64_t{0}) {
+      const MonitorStatus s = monitor->Status();
+      EXPECT_LE(s.window_rows, 60u);  // never beyond window + slide
+      std::this_thread::yield();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) threads.emplace_back(subscriber);
+  threads.emplace_back(status_reader);
+
+  std::vector<std::thread> appenders;
+  for (int a = 0; a < kAppenders; ++a) {
+    appenders.emplace_back([&, a]() {
+      Rng rng(1000 + a);
+      const char* groups[] = {"g1", "g2", "g3"};
+      for (int b = 0; b < kBatchesPerAppender; ++b) {
+        std::vector<std::vector<Value>> rows;
+        for (int r = 0; r < kRowsPerBatch; ++r) {
+          const bool treated = rng.NextBool(0.5);
+          rows.push_back({Value(groups[rng.NextBounded(3)]),
+                          Value(treated ? "hi" : "lo"),
+                          Value((treated ? 8.0 : 1.0) + rng.NextDouble())});
+        }
+        service.Append("t", rows);
+      }
+    });
+  }
+  for (auto& t : appenders) t.join();
+  final_seq.store(monitor->Status().last_seq, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  // Append delivery is serialized, so windows land at every slide
+  // boundary of the total row count.
+  const size_t total = kAppenders * kBatchesPerAppender * kRowsPerBatch;
+  const MonitorStatus s = monitor->Status();
+  EXPECT_EQ(s.rows_observed, total);
+  EXPECT_EQ(s.windows_evaluated, (total - 40) / 20 + 1);
+  EXPECT_EQ(s.last_seq, s.windows_evaluated);  // one summary per window
+  // snapshot_on_append persisted the registry; a fresh registry can
+  // restore the monitor from it.
+  ExplanationService fresh(options);
+  fresh.RegisterTable("t", std::make_shared<const Table>(schema.Clone()));
+  MonitorRegistry restored(fresh);
+  EXPECT_EQ(restored.RestoreMonitors(), 1u);
+  EXPECT_EQ(restored.Get(monitor->id())->Status().rows_observed, total);
 }
 
 }  // namespace

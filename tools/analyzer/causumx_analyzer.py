@@ -54,7 +54,9 @@ DEFAULT_CONFIG = {
                       "dataset", "util"],
         "service": ["core", "mining", "causal", "engine", "lp",
                     "storage", "dataset", "util"],
-        "server": ["service", "util"],
+        "stream": ["service", "core", "mining", "causal", "engine",
+                   "storage", "dataset", "util"],
+        "server": ["stream", "service", "util"],
     },
     "include_roots": ["src"],
     "dispatch_functions": ["GetScalarOps", "GetAvx2Ops"],

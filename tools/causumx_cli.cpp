@@ -59,6 +59,20 @@
 //   causumx snapshot --csv data.csv --data-dir DIR [--table NAME]
 //                    [--shards N] [--threads N] [--no-cache]
 //
+// Monitor mode replays a CSV through the windowed continuous-monitoring
+// subsystem (src/stream/) and prints the monitor's drift/summary events
+// as JSON lines on stdout:
+//
+//   causumx monitor --spec spec.json --replay data.csv
+//                   [--seed-rows N] [--batch-rows M] [--table NAME]
+//                   [--threads N] [--shards N] [--data-dir DIR]
+//
+// The first --seed-rows rows register as the table (default 0: an
+// empty table carrying just the CSV's schema); the remainder streams
+// through the service in --batch-rows appends (default 1), the monitor
+// re-evaluating at every window boundary. --data-dir persists monitor
+// state alongside the table snapshots (warm restart).
+//
 // Without --dag/--discover, the No-DAG strawman is used (and a warning
 // printed): supply domain knowledge for trustworthy effects.
 
@@ -82,6 +96,9 @@
 #include "server/rest_api.h"
 #include "service/batch.h"
 #include "service/explanation_service.h"
+#include "storage/file_io.h"
+#include "stream/monitor.h"
+#include "util/json.h"
 #include "util/string_utils.h"
 
 using namespace causumx;
@@ -128,6 +145,10 @@ void PrintUsage() {
                "   or: causumx snapshot --csv FILE --data-dir DIR\n"
                "               [--table NAME] [--shards N] [--threads N]\n"
                "               [--no-cache]\n"
+               "   or: causumx monitor --spec FILE --replay FILE.csv\n"
+               "               [--seed-rows N] [--batch-rows M]\n"
+               "               [--table NAME] [--threads N] [--shards N]\n"
+               "               [--data-dir DIR]\n"
                "see docs/CLI.md for the full reference\n");
 }
 
@@ -244,6 +265,18 @@ int RunServeMode(const ServeOptions& opt) {
     }
   }
 
+  // The windowed continuous-monitoring surface (src/stream/): monitors
+  // registered over REST observe every append and re-evaluate at window
+  // boundaries; with --data-dir their state restores warm.
+  MonitorRegistry monitors(service);
+  if (!opt.data_dir.empty()) {
+    const size_t restored_monitors = monitors.RestoreMonitors();
+    if (restored_monitors > 0) {
+      std::fprintf(stderr, "restored %zu monitor(s) from %s\n",
+                   restored_monitors, opt.data_dir.c_str());
+    }
+  }
+
   RestApiOptions api_options;
   api_options.default_table = opt.table_name;
 
@@ -263,7 +296,8 @@ int RunServeMode(const ServeOptions& opt) {
   std::signal(SIGINT, OnShutdownSignal);
   std::signal(SIGTERM, OnShutdownSignal);
 
-  HttpServer server(MakeRestHandler(service, api_options), server_options);
+  HttpServer server(MakeRestHandler(service, monitors, api_options),
+                    server_options);
   server.Start();
   std::fprintf(stderr,
                "causumx serving on http://%s:%u/ (%zu workers, queue %zu, "
@@ -283,6 +317,7 @@ int RunServeMode(const ServeOptions& opt) {
     // In-flight work has drained, so the snapshots capture final state.
     try {
       const size_t written = service.SaveAllSnapshots();
+      monitors.SaveSnapshot();
       std::fprintf(stderr, "wrote %zu snapshot(s) to %s\n", written,
                    opt.data_dir.c_str());
     } catch (const std::exception& e) {
@@ -302,6 +337,186 @@ int RunServeMode(const ServeOptions& opt) {
                (unsigned long long)c.parse_errors,
                (unsigned long long)s.queries_executed,
                (unsigned long long)s.appends_executed);
+  return 0;
+}
+
+// ---- monitor mode ----------------------------------------------------------
+
+// Re-serializes a parsed JSON value (used to rewrite the monitor spec's
+// "table" binding when --table overrides it).
+void DumpJson(const JsonValue& v, JsonWriter& w) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      w.Null();
+      break;
+    case JsonValue::Kind::kBool:
+      w.Bool(v.AsBool());
+      break;
+    case JsonValue::Kind::kNumber:
+      w.Double(v.AsNumber());
+      break;
+    case JsonValue::Kind::kString:
+      w.String(v.AsString());
+      break;
+    case JsonValue::Kind::kArray:
+      w.BeginArray();
+      for (const JsonValue& item : v.AsArray()) DumpJson(item, w);
+      w.EndArray();
+      break;
+    case JsonValue::Kind::kObject:
+      w.BeginObject();
+      for (const auto& [key, value] : v.AsObject()) {
+        w.Key(key);
+        DumpJson(value, w);
+      }
+      w.EndObject();
+      break;
+  }
+}
+
+struct MonitorCliOptions {
+  std::string spec_path;
+  std::string replay_path;
+  size_t seed_rows = 0;
+  size_t batch_rows = 1;
+  std::string table_name;  // overrides the spec's "table" when set
+  size_t threads = 0;
+  size_t shards = 0;
+  std::string data_dir;
+};
+
+bool ParseMonitorArgs(int argc, char** argv, MonitorCliOptions* opt) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--spec") {
+      if (!(v = next())) return false;
+      opt->spec_path = v;
+    } else if (arg == "--replay") {
+      if (!(v = next())) return false;
+      opt->replay_path = v;
+    } else if (arg == "--seed-rows") {
+      if (!(v = next())) return false;
+      opt->seed_rows = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--batch-rows") {
+      if (!(v = next())) return false;
+      opt->batch_rows = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--table") {
+      if (!(v = next())) return false;
+      opt->table_name = v;
+    } else if (arg == "--threads") {
+      if (!(v = next())) return false;
+      opt->threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--shards") {
+      if (!(v = next())) return false;
+      opt->shards = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--data-dir") {
+      if (!(v = next())) return false;
+      opt->data_dir = v;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown monitor argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opt->spec_path.empty() || opt->replay_path.empty()) {
+    std::fprintf(stderr, "monitor mode requires --spec FILE and --replay "
+                         "FILE.csv\n");
+    return false;
+  }
+  if (opt->batch_rows == 0) opt->batch_rows = 1;
+  return true;
+}
+
+int RunMonitorMode(const MonitorCliOptions& opt) {
+  std::string spec_json = ReadFileBytes(opt.spec_path);
+  const std::string table_name =
+      !opt.table_name.empty()
+          ? opt.table_name
+          : JsonValue::Parse(spec_json).GetString("table");
+  if (table_name.empty()) {
+    std::fprintf(stderr,
+                 "monitor spec names no \"table\" and no --table given\n");
+    return 2;
+  }
+  if (!opt.table_name.empty()) {
+    // Rewrite the spec's table binding so one spec file replays against
+    // any table name.
+    const JsonValue spec = JsonValue::Parse(spec_json);
+    JsonWriter w;
+    w.BeginObject().Key("table").String(table_name);
+    for (const auto& [key, value] : spec.AsObject()) {
+      if (key != "table") {
+        w.Key(key);
+        DumpJson(value, w);
+      }
+    }
+    w.EndObject();
+    spec_json = w.str();
+  }
+
+  ServiceOptions service_options;
+  service_options.num_threads = opt.threads;
+  service_options.num_shards = opt.shards;
+  service_options.data_dir = opt.data_dir;
+  ExplanationService service(service_options);
+  MonitorRegistry monitors(service);
+
+  const Table full = ReadCsvFile(opt.replay_path);
+  const size_t seed = std::min(opt.seed_rows, full.NumRows());
+  service.RegisterTable(table_name,
+                        std::make_shared<const Table>(full.Head(seed)));
+  std::fprintf(stderr,
+               "replay: %zu rows from %s (%zu seed the table, %zu stream)\n",
+               full.NumRows(), opt.replay_path.c_str(), seed,
+               full.NumRows() - seed);
+
+  const auto monitor = monitors.Create(spec_json);
+  uint64_t printed_seq = 0;
+  auto drain_events = [&]() {
+    for (const MonitorEvent& e : monitor->EventsSince(printed_seq)) {
+      std::cout << e.json << "\n";
+      printed_seq = e.seq;
+    }
+  };
+
+  for (size_t begin = seed; begin < full.NumRows();
+       begin += opt.batch_rows) {
+    const size_t end = std::min(begin + opt.batch_rows, full.NumRows());
+    // The append observer delivers these rows to the monitor
+    // synchronously, so events are ready as soon as Append returns.
+    service.Append(table_name, full.MaterializeRows(begin, end));
+    drain_events();
+  }
+  drain_events();
+
+  if (!opt.data_dir.empty()) {
+    try {
+      const size_t bytes = monitors.SaveSnapshot();
+      service.SaveAllSnapshots();
+      std::fprintf(stderr, "monitor snapshot: %zu bytes -> %s\n", bytes,
+                   opt.data_dir.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: snapshot write failed: %s\n", e.what());
+    }
+  }
+
+  const MonitorStatus status = monitor->Status();
+  std::fprintf(stderr,
+               "monitor %s: %llu rows observed, %llu windows evaluated, "
+               "%llu events\n",
+               status.id.c_str(), (unsigned long long)status.rows_observed,
+               (unsigned long long)status.windows_evaluated,
+               (unsigned long long)status.last_seq);
   return 0;
 }
 
@@ -529,6 +744,16 @@ int main(int argc, char** argv) {
     if (!ParseServeArgs(argc, argv, &serve_opt)) return 2;
     try {
       return RunServeMode(serve_opt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (argc > 1 && std::string(argv[1]) == "monitor") {
+    MonitorCliOptions monitor_opt;
+    if (!ParseMonitorArgs(argc, argv, &monitor_opt)) return 2;
+    try {
+      return RunMonitorMode(monitor_opt);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
